@@ -1,0 +1,75 @@
+//! Criterion benchmarks for switching-activity estimation and technology
+//! mapping — the machinery behind every Eq. 4 edge weight.
+
+use activity::{analyze, analyze_zero_delay, ActivityConfig, ZeroDelayModel};
+use cdfg::FuType;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hlpower::partial_datapath;
+use mapper::{enumerate_cuts, map, CutConfig, MapConfig, MapObjective};
+use netlist::{cells, Netlist, NodeId};
+
+fn multiplier_netlist(w: usize) -> Netlist {
+    let mut nl = Netlist::new("mul");
+    let a: Vec<NodeId> = (0..w).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..w).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let p = cells::array_multiplier(&mut nl, "m", &a, &b);
+    for (i, s) in p.iter().enumerate() {
+        nl.mark_output(format!("p{i}"), *s);
+    }
+    nl
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let nl = multiplier_netlist(8);
+    let mapped = map(&nl, &MapConfig::new(4, MapObjective::Depth)).netlist;
+    let cfg = ActivityConfig::uniform();
+    let mut group = c.benchmark_group("estimation");
+    group.bench_function("glitch_aware_mult8", |b| b.iter(|| analyze(&mapped, &cfg)));
+    group.bench_function("chou_roy_mult8", |b| {
+        b.iter(|| analyze_zero_delay(&mapped, &cfg, ZeroDelayModel::ChouRoy))
+    });
+    group.bench_function("najm_mult8", |b| {
+        b.iter(|| analyze_zero_delay(&mapped, &cfg, ZeroDelayModel::Najm))
+    });
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let nl = multiplier_netlist(8);
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(20);
+    group.bench_function("cut_enum_mult8_k4", |b| {
+        b.iter(|| enumerate_cuts(&nl, &CutConfig::default()))
+    });
+    for obj in [MapObjective::Depth, MapObjective::AreaFlow, MapObjective::GlitchSa] {
+        group.bench_with_input(
+            BenchmarkId::new("map_mult8", format!("{obj:?}")),
+            &obj,
+            |b, &obj| b.iter(|| map(&nl, &MapConfig::new(4, obj))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sa_table_entry(c: &mut Criterion) {
+    // Cost of one precalculated-table miss: build the Figure 2 partial
+    // datapath, map it, and estimate its SA.
+    let mut group = c.benchmark_group("sa_table_entry");
+    group.sample_size(10);
+    for (a, b) in [(2usize, 2usize), (4, 4), (8, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("mult_w6", format!("{a}x{b}")),
+            &(a, b),
+            |bch, &(a, b)| {
+                bch.iter(|| hlpower::compute_sa(FuType::Mul, a, b, 6, 4, true))
+            },
+        );
+    }
+    group.bench_function("partial_datapath_build_only", |b| {
+        b.iter(|| partial_datapath(FuType::Mul, 4, 4, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_mapping, bench_sa_table_entry);
+criterion_main!(benches);

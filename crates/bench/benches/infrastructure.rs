@@ -1,0 +1,82 @@
+//! Criterion benchmarks for the substrate: unit-delay simulation
+//! throughput, Hungarian matching scaling, and BLIF I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gatesim::CycleSim;
+use hlpower::flow::{bind, prepare, sa_table_for};
+use hlpower::matching::max_weight_matching;
+use hlpower::{elaborate, Binder, DatapathConfig, FlowConfig};
+use netlist::{parse_blif, write_blif};
+
+fn bench_simulation(c: &mut Criterion) {
+    // Simulate the bound `pr` datapath (the Table 3 inner loop).
+    let cfg = FlowConfig { width: 8, sa_width: 6, ..FlowConfig::default() };
+    let p = cdfg::profile("pr").unwrap();
+    let g = cdfg::generate(p, p.seed);
+    let rc = hlpower::paper_constraint("pr").unwrap();
+    let (sched, rb) = prepare(&g, &rc, &cfg);
+    let binder = Binder::HlPower { alpha: 0.5 };
+    let mut table = sa_table_for(&cfg, binder);
+    let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+    let dp = elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(cfg.width));
+    let mapped = mapper::map(
+        &dp.netlist,
+        &mapper::MapConfig::new(4, mapper::MapObjective::GlitchSa),
+    )
+    .netlist;
+
+    let mut group = c.benchmark_group("simulation");
+    group.bench_function("pr_datapath_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim = CycleSim::new(&mapped);
+            let data: Vec<u64> = (0..dp.data_ports.len() as u64).collect();
+            for cyc in 0..100u64 {
+                let step = (cyc % dp.num_steps as u64) as u32;
+                sim.step(&dp.input_vector(step, &data));
+            }
+            sim.stats().total_transitions
+        })
+    });
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for n in [8usize, 16, 32, 64] {
+        // Deterministic dense weights.
+        let w: Vec<Vec<Option<f64>>> = (0..n)
+            .map(|r| {
+                (0..n)
+                    .map(|c| Some(1.0 + ((r * 31 + c * 17) % 97) as f64))
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| max_weight_matching(w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blif(c: &mut Criterion) {
+    let nl = {
+        let mut nl = netlist::Netlist::new("blifbench");
+        let a: Vec<_> = (0..12).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..12).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let p = netlist::cells::array_multiplier(&mut nl, "m", &a, &b);
+        for (i, s) in p.iter().enumerate() {
+            nl.mark_output(format!("p{i}"), *s);
+        }
+        nl
+    };
+    let text = write_blif(&nl);
+    let mut group = c.benchmark_group("blif");
+    group.bench_function("write_mult12", |b| b.iter(|| write_blif(&nl)));
+    group.bench_function("parse_mult12", |b| {
+        b.iter(|| parse_blif(&text).unwrap().flatten(None, &[]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_matching, bench_blif);
+criterion_main!(benches);

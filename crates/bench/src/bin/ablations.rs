@@ -1,0 +1,152 @@
+//! Design-choice ablations beyond the paper's tables:
+//!
+//! 1. **LUT size K** — map the same bindings onto 4/5/6-input LUTs;
+//! 2. **Glitch-aware vs zero-delay SA** inside Eq. 4's edge weights;
+//! 3. **FSM controller overhead** vs testbench-driven control;
+//! 4. **Register binding algorithm** — the paper's weighted matching vs
+//!    classic left-edge, measured through the full flow;
+//! 5. **Multi-cycle multipliers** (the paper's future-work scenario).
+//!
+//! ```text
+//! cargo run --release -p hlpower-bench --bin ablations [-- --fast --bench pr]
+//! ```
+
+use cdfg::ResourceLibrary;
+use hlpower::flow::{bind, measure, prepare, sa_table_for};
+use hlpower::{
+    bind_registers_left_edge, elaborate, mux_report, Binder, ControlStyle,
+    DatapathConfig, FlowConfig, RegBindConfig,
+};
+use hlpower_bench::{pct_change, render_table, run_one, Args};
+use mapper::{map, MapConfig};
+
+fn main() {
+    let args = Args::parse();
+    let suite = args.suite();
+    let take = suite.len().min(3);
+    let small = &suite[suite.len() - take..]; // the smaller benchmarks
+
+    // ---- 1. LUT size sweep ------------------------------------------------
+    println!("=== Ablation 1: LUT input count K (HLPower a=0.5 bindings) ===");
+    let mut rows = Vec::new();
+    for (g, rc) in small {
+        let (sched, rb) = prepare(g, rc, &args.flow);
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let mut table = sa_table_for(&args.flow, binder);
+        let (fb, _) = bind(g, &sched, &rb, rc, binder, &mut table);
+        let dp = elaborate(g, &sched, &rb, &fb, &DatapathConfig::with_width(args.flow.width));
+        let mut cells = vec![g.name().to_string()];
+        for k in [4usize, 5, 6] {
+            let m = map(&dp.netlist, &MapConfig::new(k, args.flow.map_objective));
+            cells.push(format!("{} LUTs/d{}", m.stats.luts, m.stats.depth));
+        }
+        rows.push(cells);
+    }
+    println!("{}", render_table(&["Bench", "K=4", "K=5", "K=6"], &rows));
+
+    // ---- 2. Glitch-aware vs zero-delay SA in Eq. 4 ------------------------
+    println!("=== Ablation 2: glitch-aware vs zero-delay SA in the edge weight ===");
+    let mut rows = Vec::new();
+    for (g, rc) in small {
+        let glitchy = run_one(g, rc, Binder::HlPower { alpha: 0.5 }, &args.flow);
+        let blind = run_one(g, rc, Binder::HlPowerZeroDelay { alpha: 0.5 }, &args.flow);
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{:.2}", glitchy.power.dynamic_power_mw),
+            format!("{:.2}", blind.power.dynamic_power_mw),
+            format!(
+                "{:+.1}%",
+                pct_change(glitchy.power.dynamic_power_mw, blind.power.dynamic_power_mw)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Bench", "glitch-aware mW", "zero-delay mW", "delta"], &rows)
+    );
+
+    // ---- 3. FSM controller overhead ---------------------------------------
+    println!("=== Ablation 3: on-chip FSM controller vs external control ===");
+    let mut rows = Vec::new();
+    for (g, rc) in small {
+        let ext = run_one(g, rc, Binder::HlPower { alpha: 0.5 }, &args.flow);
+        let fsm_cfg = FlowConfig { control: ControlStyle::Fsm, ..args.flow.clone() };
+        let fsm = run_one(g, rc, Binder::HlPower { alpha: 0.5 }, &fsm_cfg);
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{}", ext.luts),
+            format!("{}", fsm.luts),
+            format!("{:.2}", ext.power.dynamic_power_mw),
+            format!("{:.2}", fsm.power.dynamic_power_mw),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Bench", "LUTs ext", "LUTs fsm", "mW ext", "mW fsm"],
+            &rows
+        )
+    );
+
+    // ---- 4. Register binding algorithm ------------------------------------
+    println!("=== Ablation 4: weighted-matching vs left-edge register binding ===");
+    let mut rows = Vec::new();
+    for (g, rc) in small {
+        let (sched, rb_wm) = prepare(g, rc, &args.flow);
+        let rb_le = bind_registers_left_edge(
+            g,
+            &sched,
+            &RegBindConfig {
+                lifetime: cdfg::LifetimeOptions { latch_inputs: false },
+                seed: args.flow.port_seed,
+            },
+        );
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let mut t1 = sa_table_for(&args.flow, binder);
+        let (fb_wm, _) = bind(g, &sched, &rb_wm, rc, binder, &mut t1);
+        let mut t2 = sa_table_for(&args.flow, binder);
+        let (fb_le, _) = bind(g, &sched, &rb_le, rc, binder, &mut t2);
+        let m_wm = mux_report(g, &rb_wm, &fb_wm);
+        let m_le = mux_report(g, &rb_le, &fb_le);
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{}", rb_wm.num_regs),
+            format!("{}", m_wm.length),
+            format!("{}", m_le.length),
+            format!("{:+.1}%", pct_change(m_wm.length as f64, m_le.length as f64)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Bench", "regs", "muxlen matching", "muxlen left-edge", "delta"],
+            &rows
+        )
+    );
+
+    // ---- 5. Multi-cycle multipliers ----------------------------------------
+    println!("=== Ablation 5: 2-cycle multipliers (paper future work) ===");
+    let mut rows = Vec::new();
+    for (g, rc) in small {
+        let multi = FlowConfig {
+            library: ResourceLibrary { addsub_latency: 1, mul_latency: 2 },
+            ..args.flow.clone()
+        };
+        let (sched, rb) = prepare(g, rc, &multi);
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let mut table = sa_table_for(&multi, binder);
+        let (fb, t) = bind(g, &sched, &rb, rc, binder, &mut table);
+        let r = measure(g, &sched, &rb, &fb, rc, binder, &multi, t);
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{}", r.schedule_steps),
+            format!("{}", r.fus_mul),
+            if r.meets_constraint { "yes".into() } else { "NO".into() },
+            format!("{:.2}", r.power.dynamic_power_mw),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Bench", "steps", "mults", "meets rc", "mW"], &rows)
+    );
+}

@@ -1,0 +1,201 @@
+//! Runs the complete experiment suite (Tables 1–4, Figure 3, and the
+//! baseline-strength ablation) in one pass, sharing bindings between
+//! tables, and prints a combined report. This is the binary behind
+//! EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p hlpower-bench --bin all_experiments [-- --fast]
+//! ```
+
+use cdfg::FuType;
+use hlpower::flow::{bind, measure, prepare, sa_table_for};
+use hlpower::{Binder, FlowResult};
+use hlpower_bench::{pct_change, render_table, Args, PAPER_TABLE3, PAPER_TABLE4};
+
+fn main() {
+    let args = Args::parse();
+    let suite = args.suite();
+
+    // ---- Table 1 ----------------------------------------------------------
+    let mut rows = Vec::new();
+    for (g, _) in &suite {
+        let p = cdfg::profile(g.name()).expect("known");
+        rows.push(vec![
+            g.name().to_string(),
+            g.inputs().len().to_string(),
+            g.outputs().len().to_string(),
+            g.op_count(FuType::AddSub).to_string(),
+            g.op_count(FuType::Mul).to_string(),
+            format!("{}/{}", p.paper_edges, g.num_edges()),
+        ]);
+    }
+    println!("\n=== Table 1: Benchmark Profiles (edges: paper/ours) ===");
+    println!(
+        "{}",
+        render_table(&["Bench", "PIs", "POs", "Adds", "Mults", "Edges"], &rows)
+    );
+
+    // ---- Full flow for the three headline binders ------------------------
+    let binders =
+        [Binder::Lopass, Binder::HlPower { alpha: 1.0 }, Binder::HlPower { alpha: 0.5 }];
+    let mut results: Vec<Vec<FlowResult>> = Vec::new();
+    for (g, rc) in &suite {
+        let (sched, rb) = prepare(g, rc, &args.flow);
+        let mut per_binder = Vec::new();
+        for binder in binders {
+            eprintln!("  flow: {} / {}", g.name(), binder.label());
+            let mut table = sa_table_for(&args.flow, binder);
+            let (fb, t) = bind(g, &sched, &rb, rc, binder, &mut table);
+            per_binder.push(measure(g, &sched, &rb, &fb, rc, binder, &args.flow, t));
+        }
+        results.push(per_binder);
+    }
+
+    // ---- Table 2 ----------------------------------------------------------
+    let mut rows = Vec::new();
+    for ((g, rc), per) in suite.iter().zip(&results) {
+        let hlp = &per[2];
+        rows.push(vec![
+            g.name().to_string(),
+            rc.addsub.to_string(),
+            rc.mul.to_string(),
+            hlp.schedule_steps.to_string(),
+            hlp.registers.to_string(),
+            format!("{:.3}", hlp.bind_time.as_secs_f64()),
+        ]);
+    }
+    println!("\n=== Table 2: Constraints, Schedule, Registers, HLPower Runtime ===");
+    println!(
+        "{}",
+        render_table(&["Bench", "Add", "Mult", "Cycle", "Reg", "Runtime(s)"], &rows)
+    );
+
+    // ---- Table 3 ----------------------------------------------------------
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 5];
+    for ((g, _), per) in suite.iter().zip(&results) {
+        let (lop, hlp) = (&per[0], &per[2]);
+        let paper = PAPER_TABLE3.iter().find(|(n, ..)| *n == g.name()).expect("known");
+        let d_pow = pct_change(lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw);
+        let d_clk = pct_change(lop.power.clock_period_ns, hlp.power.clock_period_ns);
+        let d_lut = pct_change(lop.luts as f64, hlp.luts as f64);
+        let d_mux = hlp.mux.largest as f64 - lop.mux.largest as f64;
+        let d_len = pct_change(lop.mux.length as f64, hlp.mux.length as f64);
+        sums[0] += d_pow;
+        sums[1] += d_clk;
+        sums[2] += d_lut;
+        sums[3] += d_mux;
+        sums[4] += d_len;
+        let paper_dpow = pct_change(paper.1 .0, paper.1 .1);
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{:.1}/{:.1}", lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw),
+            format!("{}/{}", lop.luts, hlp.luts),
+            format!("{}/{}", lop.mux.largest, hlp.mux.largest),
+            format!("{}/{}", lop.mux.length, hlp.mux.length),
+            format!("{d_pow:+.1}"),
+            format!("{paper_dpow:+.1}"),
+            format!("{d_clk:+.1}"),
+            format!("{d_lut:+.1}"),
+            format!("{d_mux:+.0}"),
+            format!("{d_len:+.1}"),
+        ]);
+    }
+    let n = suite.len().max(1) as f64;
+    rows.push(vec![
+        "Average".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{:+.1}", sums[0] / n),
+        "-19.3".into(),
+        format!("{:+.1}", sums[1] / n),
+        format!("{:+.1}", sums[2] / n),
+        format!("{:+.1}", sums[3] / n),
+        format!("{:+.1}", sums[4] / n),
+    ]);
+    println!("\n=== Table 3: LOPASS vs HLPower(a=0.5) ===");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Bench", "Pow mW L/H", "LUTs L/H", "LrgMUX", "MUXLen", "dPow%",
+                "dPow%(p)", "dClk%", "dLUT%", "dMUX", "dLen%",
+            ],
+            &rows
+        )
+    );
+
+    // ---- Table 4 ----------------------------------------------------------
+    let mut rows = Vec::new();
+    for ((g, _), per) in suite.iter().zip(&results) {
+        let paper = PAPER_TABLE4.iter().find(|(n, ..)| *n == g.name()).expect("known");
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{:.1}/{:.1}", per[0].mux.muxdiff_mean(), per[0].mux.muxdiff_variance()),
+            format!("{:.1}/{:.1}", per[1].mux.muxdiff_mean(), per[1].mux.muxdiff_variance()),
+            format!("{:.1}/{:.1}", per[2].mux.muxdiff_mean(), per[2].mux.muxdiff_variance()),
+            format!("{}", per[2].mux.num_fu_muxes()),
+            format!(
+                "{:.1}/{:.1} {:.1}/{:.1} {:.1}/{:.1} {}",
+                paper.1 .0, paper.1 .1, paper.2 .0, paper.2 .1, paper.3 .0, paper.3 .1, paper.4
+            ),
+        ]);
+    }
+    println!("\n=== Table 4: muxDiff mean/var (LOPASS, a=1, a=0.5) ===");
+    println!(
+        "{}",
+        render_table(
+            &["Bench", "LOPASS", "a=1", "a=0.5", "#muxes", "paper (L, a1, a05, #)"],
+            &rows
+        )
+    );
+
+    // ---- Figure 3 ---------------------------------------------------------
+    println!("\n=== Figure 3: average toggle rate (M transitions/s) ===");
+    println!("benchmark,lopass,hlpower_a1,hlpower_a05");
+    let mut tsum = [0.0f64; 3];
+    for ((g, _), per) in suite.iter().zip(&results) {
+        println!(
+            "{},{:.2},{:.2},{:.2}",
+            g.name(),
+            per[0].power.avg_toggle_rate_mhz,
+            per[1].power.avg_toggle_rate_mhz,
+            per[2].power.avg_toggle_rate_mhz
+        );
+        for k in 0..3 {
+            tsum[k] += per[k].power.avg_toggle_rate_mhz;
+        }
+    }
+    println!(
+        "toggle change vs LOPASS: a=1 {:+.1}%, a=0.5 {:+.1}% (paper -8.4%, -21.9%)",
+        pct_change(tsum[0], tsum[1]),
+        pct_change(tsum[0], tsum[2])
+    );
+
+    // ---- Baseline-strength ablation (beyond the paper) --------------------
+    println!("\n=== Ablation: stronger interconnect baselines (power mW) ===");
+    let mut rows = Vec::new();
+    for ((g, rc), per) in suite.iter().zip(&results) {
+        let (sched, rb) = prepare(g, rc, &args.flow);
+        let mut cells = vec![g.name().to_string(), format!("{:.1}", per[0].power.dynamic_power_mw)];
+        for binder in [Binder::LopassInterconnect, Binder::LopassAnnealed] {
+            eprintln!("  ablation: {} / {}", g.name(), binder.label());
+            let mut table = sa_table_for(&args.flow, binder);
+            let (fb, t) = bind(g, &sched, &rb, rc, binder, &mut table);
+            let r = measure(g, &sched, &rb, &fb, rc, binder, &args.flow, t);
+            cells.push(format!("{:.1}", r.power.dynamic_power_mw));
+        }
+        cells.push(format!("{:.1}", per[1].power.dynamic_power_mw));
+        cells.push(format!("{:.1}", per[2].power.dynamic_power_mw));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Bench", "LOPASS", "LOPASS-ic", "LOPASS-sa", "HLP a=1", "HLP a=0.5"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Compares every binder variant side by side on the benchmark suite —
+//! the quick way to explore the binding design space.
+//!
+//! ```text
+//! cargo run --release -p hlpower-bench --bin binders [-- --fast --bench pr]
+//! ```
+use hlpower::Binder;
+use hlpower_bench::{run_one, Args};
+
+fn main() {
+    let args = Args::parse();
+    for (g, rc) in args.suite() {
+        for binder in [
+            Binder::Lopass,
+            Binder::LopassInterconnect,
+            Binder::LopassAnnealed,
+            Binder::HlPower { alpha: 1.0 },
+            Binder::HlPower { alpha: 0.5 },
+        ] {
+            let r = run_one(&g, &rc, binder, &args.flow);
+            println!(
+                "{:8} {:18} pow={:7.2}mW luts={:5} len={:4} lrg={:2} mdMean={:.2} mdVar={:.2} togg={:.1} glitch={:.2} estSA={:.0}",
+                r.name, r.binder, r.power.dynamic_power_mw, r.luts, r.mux.length,
+                r.mux.largest, r.mux.muxdiff_mean(), r.mux.muxdiff_variance(),
+                r.power.avg_toggle_rate_mhz, r.power.glitch_fraction, r.estimated_sa
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Regenerates **Figure 3**: average toggle rate (millions of transitions
+//! per second) per benchmark for LOPASS, HLPower α=1, and HLPower α=0.5,
+//! as an ASCII bar chart plus a CSV block for replotting.
+//!
+//! ```text
+//! cargo run --release -p hlpower-bench --bin fig3 [-- --fast]
+//! ```
+
+use hlpower::Binder;
+use hlpower_bench::{pct_change, run_one, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut series: Vec<(String, [f64; 3])> = Vec::new();
+    for (g, rc) in args.suite() {
+        let lop = run_one(&g, &rc, Binder::Lopass, &args.flow);
+        let a1 = run_one(&g, &rc, Binder::HlPower { alpha: 1.0 }, &args.flow);
+        let a05 = run_one(&g, &rc, Binder::HlPower { alpha: 0.5 }, &args.flow);
+        series.push((
+            g.name().to_string(),
+            [
+                lop.power.avg_toggle_rate_mhz,
+                a1.power.avg_toggle_rate_mhz,
+                a05.power.avg_toggle_rate_mhz,
+            ],
+        ));
+    }
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(1.0f64, f64::max);
+    println!("\nFigure 3: Average Toggle Rate (millions of transitions / sec)");
+    println!("  bars: L = LOPASS, 1 = HLPower a=1, 5 = HLPower a=0.5\n");
+    for (name, vals) in &series {
+        for (label, v) in ["L", "1", "5"].iter().zip(vals) {
+            let width = ((v / max) * 50.0).round() as usize;
+            println!("  {name:>6} {label} |{} {v:.1}", "#".repeat(width));
+        }
+        println!();
+    }
+    // Averages and CSV.
+    let n = series.len().max(1) as f64;
+    let avg = |k: usize| series.iter().map(|(_, v)| v[k]).sum::<f64>() / n;
+    let (l, a1, a05) = (avg(0), avg(1), avg(2));
+    println!(
+        "average toggle-rate change vs LOPASS: a=1 {:+.1}%, a=0.5 {:+.1}% (paper: -8.4%, -21.9%)",
+        pct_change(l, a1),
+        pct_change(l, a05)
+    );
+    println!("\ncsv:");
+    println!("benchmark,lopass,hlpower_a1,hlpower_a05");
+    for (name, vals) in &series {
+        println!("{name},{:.3},{:.3},{:.3}", vals[0], vals[1], vals[2]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 3**: dynamic power, clock period, LUTs, largest
+//! MUX, and MUX length for LOPASS vs HLPower (α = 0.5), with per-benchmark
+//! percentage changes and the suite averages the paper reports.
+//!
+//! ```text
+//! cargo run --release -p hlpower-bench --bin table3 [-- --fast | --width 16 ...]
+//! ```
+
+use hlpower::Binder;
+use hlpower_bench::{pct_change, render_table, run_one, Args};
+
+fn main() {
+    let args = Args::parse();
+    let mut rows = Vec::new();
+    let mut sums = [0.0f64; 5]; // power%, clk%, lut%, largest mux delta, mux len %
+    let mut n = 0usize;
+    for (g, rc) in args.suite() {
+        let lop = run_one(&g, &rc, Binder::Lopass, &args.flow);
+        let hlp = run_one(&g, &rc, Binder::HlPower { alpha: 0.5 }, &args.flow);
+        let d_pow = pct_change(lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw);
+        let d_clk = pct_change(lop.power.clock_period_ns, hlp.power.clock_period_ns);
+        let d_lut = pct_change(lop.luts as f64, hlp.luts as f64);
+        let d_mux = hlp.mux.largest as f64 - lop.mux.largest as f64;
+        let d_len = pct_change(lop.mux.length as f64, hlp.mux.length as f64);
+        sums[0] += d_pow;
+        sums[1] += d_clk;
+        sums[2] += d_lut;
+        sums[3] += d_mux;
+        sums[4] += d_len;
+        n += 1;
+        rows.push(vec![
+            g.name().to_string(),
+            format!("{:.1}/{:.1}", lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw),
+            format!("{:.1}/{:.1}", lop.power.clock_period_ns, hlp.power.clock_period_ns),
+            format!("{}/{}", lop.luts, hlp.luts),
+            format!("{}/{}", lop.mux.largest, hlp.mux.largest),
+            format!("{}/{}", lop.mux.length, hlp.mux.length),
+            format!("{d_pow:.2}"),
+            format!("{d_clk:.2}"),
+            format!("{d_lut:.2}"),
+            format!("{d_mux:+.0}"),
+            format!("{d_len:.1}"),
+        ]);
+    }
+    if n > 0 {
+        rows.push(vec![
+            "Average".into(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.2}", sums[0] / n as f64),
+            format!("{:.2}", sums[1] / n as f64),
+            format!("{:.2}", sums[2] / n as f64),
+            format!("{:+.1}", sums[3] / n as f64),
+            format!("{:.1}", sums[4] / n as f64),
+        ]);
+    }
+    println!("\nTable 3: LOPASS vs HLPower (alpha = 0.5)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Bench", "DynPow(mW)", "ClkPer(ns)", "LUTs", "LrgMUX", "MUXLen",
+                "dPow(%)", "dClk(%)", "dLUT(%)", "dMUX", "dLen(%)",
+            ],
+            &rows
+        )
+    );
+    println!("Paper averages: power -19.28%, clock +0.58%, LUTs -9.11%, largest MUX -2.6, MUX length -7.2%");
+}

@@ -1,0 +1,74 @@
+//! Regenerates **Table 4**: mean and variance of `muxDiff` across all
+//! allocated functional units, for LOPASS, HLPower α=1, and HLPower
+//! α=0.5, plus the number of FU input muxes. Paper reference values are
+//! printed in parentheses.
+//!
+//! ```text
+//! cargo run --release -p hlpower-bench --bin table4 [-- --fast]
+//! ```
+
+use hlpower::flow::{bind, prepare, sa_table_for};
+use hlpower::{mux_report, Binder};
+use hlpower_bench::{render_table, Args, PAPER_TABLE4};
+
+fn main() {
+    let args = Args::parse();
+    let mut rows = Vec::new();
+    let mut avgs = [[0.0f64; 2]; 3];
+    let mut n = 0usize;
+    for (g, rc) in args.suite() {
+        let paper = PAPER_TABLE4
+            .iter()
+            .find(|(name, ..)| *name == g.name())
+            .expect("known benchmark");
+        let (sched, rb) = prepare(&g, &rc, &args.flow);
+        let mut cells = vec![g.name().to_string()];
+        for (k, binder) in [
+            Binder::Lopass,
+            Binder::HlPower { alpha: 1.0 },
+            Binder::HlPower { alpha: 0.5 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut table = sa_table_for(&args.flow, binder);
+            let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+            let rep = mux_report(&g, &rb, &fb);
+            let (mean, var) = (rep.muxdiff_mean(), rep.muxdiff_variance());
+            avgs[k][0] += mean;
+            avgs[k][1] += var;
+            let paper_ref = match k {
+                0 => paper.1,
+                1 => paper.2,
+                _ => paper.3,
+            };
+            cells.push(format!(
+                "{mean:.1}/{var:.1} (p {:.1}/{:.1})",
+                paper_ref.0, paper_ref.1
+            ));
+            if k == 2 {
+                cells.push(format!("{} (p {})", rep.num_fu_muxes(), paper.4));
+            }
+        }
+        rows.push(cells);
+        n += 1;
+    }
+    if n > 0 {
+        let mut avg_row = vec!["average".to_string()];
+        for a in avgs {
+            avg_row.push(format!("{:.1}/{:.1}", a[0] / n as f64, a[1] / n as f64));
+        }
+        avg_row.push(String::new());
+        rows.push(avg_row);
+    }
+    println!("\nTable 4: mean/variance of muxDiff across allocated FUs");
+    println!("(cells: ours mean/var, `p` = paper reference)");
+    println!(
+        "{}",
+        render_table(
+            &["Bench", "LOPASS", "HLPower a=1", "HLPower a=0.5", "# muxes"],
+            &rows
+        )
+    );
+    println!("Paper averages: LOPASS 3.9/13.8, a=1 3.2/8.3, a=0.5 2.6/6.2");
+}

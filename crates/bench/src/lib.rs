@@ -1,0 +1,197 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the common pieces: benchmark suite loading,
+//! simple CLI parsing, text-table rendering, and the paper's reference
+//! numbers for side-by-side reporting.
+
+#![warn(missing_docs)]
+
+use cdfg::{Cdfg, ResourceConstraint};
+use hlpower::{paper_constraint, Binder, FlowConfig, FlowResult};
+
+/// Command-line options shared by the experiment binaries.
+///
+/// Flags: `--width N`, `--cycles N`, `--sa-width N`, `--bench NAME`
+/// (repeatable), `--fast` (width 8, 300 cycles — for smoke runs).
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Flow configuration assembled from the flags.
+    pub flow: FlowConfig,
+    /// Benchmark name filter (empty = whole suite).
+    pub only: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> Args {
+        let mut flow = FlowConfig::default();
+        let mut only = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let take_value = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).unwrap_or_else(|| usage()).clone()
+            };
+            match argv[i].as_str() {
+                "--width" => flow.width = take_value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--sa-width" => {
+                    flow.sa_width = take_value(&mut i).parse().unwrap_or_else(|_| usage())
+                }
+                "--cycles" => {
+                    flow.sim_cycles = take_value(&mut i).parse().unwrap_or_else(|_| usage())
+                }
+                "--seed" => {
+                    flow.sim_seed = take_value(&mut i).parse().unwrap_or_else(|_| usage())
+                }
+                "--bench" => only.push(take_value(&mut i)),
+                "--fast" => {
+                    flow.width = 8;
+                    flow.sa_width = 6;
+                    flow.sim_cycles = 300;
+                }
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown flag `{other}`");
+                    usage()
+                }
+            }
+            i += 1;
+        }
+        Args { flow, only }
+    }
+
+    /// The benchmark suite (optionally filtered), paired with the paper's
+    /// Table 2 resource constraints.
+    pub fn suite(&self) -> Vec<(Cdfg, ResourceConstraint)> {
+        cdfg::PROFILES
+            .iter()
+            .filter(|p| self.only.is_empty() || self.only.iter().any(|n| n == p.name))
+            .map(|p| {
+                let g = cdfg::generate(p, p.seed);
+                let rc = paper_constraint(p.name).expect("suite constraint");
+                (g, rc)
+            })
+            .collect()
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] [--bench NAME]... [--fast]"
+    );
+    std::process::exit(2)
+}
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Percentage change from `from` to `to` (negative = reduction).
+pub fn pct_change(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+/// Runs one benchmark with one binder, printing progress to stderr.
+pub fn run_one(g: &Cdfg, rc: &ResourceConstraint, binder: Binder, flow: &FlowConfig) -> FlowResult {
+    eprintln!("  running {} / {} ...", g.name(), binder.label());
+    hlpower::run_benchmark(g, rc, binder, flow)
+}
+
+/// One Table 3 reference row: `(benchmark, dynamic power mW
+/// LOPASS/HLPower, clock ns LOPASS/HLPower, LUTs LOPASS/HLPower)`.
+pub type PaperTable3Row = (&'static str, (f64, f64), (f64, f64), (u32, u32));
+
+/// The paper's Table 3 reference numbers for side-by-side reporting in
+/// EXPERIMENTS.md.
+pub const PAPER_TABLE3: [PaperTable3Row; 7] = [
+    ("chem", (1602.3, 1468.6), (26.0, 27.5), (9806, 9613)),
+    ("dir", (709.1, 405.8), (23.8, 24.2), (4527, 3453)),
+    ("honda", (658.7, 534.1), (23.5, 23.2), (3352, 3057)),
+    ("mcm", (351.3, 208.7), (24.1, 24.2), (3274, 2548)),
+    ("pr", (232.7, 192.9), (20.9, 21.7), (1714, 1732)),
+    ("steam", (729.6, 690.6), (24.4, 23.6), (5121, 4469)),
+    ("wang", (161.5, 158.5), (20.5, 19.9), (1697, 1775)),
+];
+
+/// One Table 4 reference row: `(benchmark, LOPASS mean/var, α=1 mean/var,
+/// α=0.5 mean/var, #muxes)`.
+pub type PaperTable4Row = (&'static str, (f64, f64), (f64, f64), (f64, f64), u32);
+
+/// The paper's Table 4 reference numbers.
+pub const PAPER_TABLE4: [PaperTable4Row; 7] = [
+    ("chem", (7.4, 16.1), (4.6, 9.8), (2.4, 5.3), 16),
+    ("dir", (5.4, 12.2), (4.0, 11.2), (4.2, 3.8), 5),
+    ("honda", (3.1, 11.1), (3.9, 6.4), (3.0, 6.3), 8),
+    ("mcm", (1.0, 0.3), (1.8, 0.5), (0.5, 0.3), 6),
+    ("pr", (0.8, 0.2), (0.3, 0.2), (0.8, 0.2), 4),
+    ("steam", (8.1, 56.1), (6.8, 29.9), (5.8, 26.7), 8),
+    ("wang", (1.3, 0.7), (0.8, 0.2), (1.8, 0.7), 4),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn pct_change_signs() {
+        assert!((pct_change(100.0, 81.0) + 19.0).abs() < 1e-12);
+        assert!((pct_change(100.0, 103.0) - 3.0).abs() < 1e-12);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn paper_reference_data_covers_suite() {
+        for p in cdfg::PROFILES {
+            assert!(PAPER_TABLE3.iter().any(|(n, ..)| *n == p.name));
+            assert!(PAPER_TABLE4.iter().any(|(n, ..)| *n == p.name));
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! The control/data-flow graph IR.
+//!
+//! A [`Cdfg`] is the input of the binding problem (paper Section 3): a DAG
+//! of two-input operations (additions/subtractions and multiplications —
+//! the two operation classes of the paper's benchmarks) over *variables*.
+//! Every operation defines exactly one variable; primary inputs are
+//! variables without a defining operation; primary outputs name variables
+//! whose values must survive the schedule.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Operation kinds found in the paper's benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Addition.
+    Add,
+    /// Subtraction (shares the adder/subtractor functional unit).
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+impl OpKind {
+    /// The functional-unit class this operation binds to.
+    pub fn fu_type(self) -> FuType {
+        match self {
+            OpKind::Add | OpKind::Sub => FuType::AddSub,
+            OpKind::Mul => FuType::Mul,
+        }
+    }
+
+    /// Whether the operation commutes (its input ports can be swapped).
+    pub fn is_commutative(self) -> bool {
+        !matches!(self, OpKind::Sub)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Add => write!(f, "add"),
+            OpKind::Sub => write!(f, "sub"),
+            OpKind::Mul => write!(f, "mul"),
+        }
+    }
+}
+
+/// Functional-unit classes of the resource library.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuType {
+    /// Combined adder/subtractor.
+    AddSub,
+    /// Multiplier.
+    Mul,
+}
+
+impl FuType {
+    /// All functional-unit classes.
+    pub const ALL: [FuType; 2] = [FuType::AddSub, FuType::Mul];
+}
+
+impl fmt::Display for FuType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuType::AddSub => write!(f, "addsub"),
+            FuType::Mul => write!(f, "mult"),
+        }
+    }
+}
+
+/// Index of an operation in a [`Cdfg`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Index of a variable in a [`Cdfg`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// How a variable is produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarSource {
+    /// A primary input (with its position in the input list).
+    PrimaryInput(usize),
+    /// Defined by an operation.
+    Op(OpId),
+}
+
+/// A variable (one SSA-style value).
+#[derive(Clone, Debug)]
+pub struct Variable {
+    /// Net name, unique in the CDFG.
+    pub name: String,
+    /// Producer.
+    pub source: VarSource,
+}
+
+/// A two-input operation.
+#[derive(Clone, Debug)]
+pub struct Operation {
+    /// The operation kind.
+    pub kind: OpKind,
+    /// Input variables (port 0, port 1). `Sub` computes `inputs[0] - inputs[1]`.
+    pub inputs: [VarId; 2],
+    /// The variable this operation defines.
+    pub output: VarId,
+}
+
+/// Errors reported by [`Cdfg::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdfgError {
+    /// An operation references a variable id out of range.
+    DanglingVar(OpId),
+    /// The graph has a cycle.
+    Cycle,
+    /// A primary output names an unknown variable.
+    UnknownOutput(u32),
+    /// Duplicate variable name.
+    DuplicateName(String),
+}
+
+impl fmt::Display for CdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgError::DanglingVar(op) => write!(f, "{op} references an unknown variable"),
+            CdfgError::Cycle => write!(f, "data-flow graph has a cycle"),
+            CdfgError::UnknownOutput(v) => write!(f, "primary output v{v} does not exist"),
+            CdfgError::DuplicateName(n) => write!(f, "duplicate variable name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for CdfgError {}
+
+/// A data-flow graph (the paper's scheduled CDFGs are a [`Cdfg`] plus a
+/// [`crate::Schedule`]).
+///
+/// # Examples
+///
+/// ```
+/// use cdfg::{Cdfg, OpKind};
+/// let mut g = Cdfg::new("mac");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let c = g.add_input("c");
+/// let (_, prod) = g.add_op(OpKind::Mul, a, b);
+/// let (_, acc) = g.add_op(OpKind::Add, prod, c);
+/// g.mark_output(acc);
+/// g.check().unwrap();
+/// assert_eq!(g.num_ops(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cdfg {
+    name: String,
+    ops: Vec<Operation>,
+    vars: Vec<Variable>,
+    inputs: Vec<VarId>,
+    outputs: Vec<VarId>,
+}
+
+impl Cdfg {
+    /// Creates an empty CDFG.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cdfg {
+            name: name.into(),
+            ops: Vec::new(),
+            vars: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary-input variable.
+    pub fn add_input(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            name: name.into(),
+            source: VarSource::PrimaryInput(self.inputs.len()),
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds an operation reading `a` and `b`; returns the operation and its
+    /// output variable.
+    pub fn add_op(&mut self, kind: OpKind, a: VarId, b: VarId) -> (OpId, VarId) {
+        let op_id = OpId(self.ops.len() as u32);
+        let out = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            name: format!("t{}", op_id.0),
+            source: VarSource::Op(op_id),
+        });
+        self.ops.push(Operation { kind, inputs: [a, b], output: out });
+        (op_id, out)
+    }
+
+    /// Declares `v` as a primary output.
+    pub fn mark_output(&mut self, v: VarId) {
+        self.outputs.push(v);
+    }
+
+    /// Number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of variables (inputs + op outputs).
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Operations in id order.
+    pub fn ops(&self) -> impl Iterator<Item = (OpId, &Operation)> {
+        self.ops.iter().enumerate().map(|(i, o)| (OpId(i as u32), o))
+    }
+
+    /// Access one operation.
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.index()]
+    }
+
+    /// Access one variable.
+    pub fn var(&self, id: VarId) -> &Variable {
+        &self.vars[id.index()]
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[VarId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[VarId] {
+        &self.outputs
+    }
+
+    /// Operations of one functional-unit class.
+    pub fn ops_of_type(&self, t: FuType) -> Vec<OpId> {
+        self.ops()
+            .filter(|(_, o)| o.kind.fu_type() == t)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Count of operations per functional-unit class.
+    pub fn op_count(&self, t: FuType) -> usize {
+        self.ops.iter().filter(|o| o.kind.fu_type() == t).count()
+    }
+
+    /// Consumers of each variable: `uses[v]` lists `(op, port)` pairs.
+    pub fn uses(&self) -> Vec<Vec<(OpId, usize)>> {
+        let mut uses: Vec<Vec<(OpId, usize)>> = vec![Vec::new(); self.vars.len()];
+        for (id, op) in self.ops() {
+            for (port, v) in op.inputs.iter().enumerate() {
+                uses[v.index()].push((id, port));
+            }
+        }
+        uses
+    }
+
+    /// Data edge count: one per operation input plus one per primary
+    /// output.
+    pub fn num_edges(&self) -> usize {
+        self.ops.len() * 2 + self.outputs.len()
+    }
+
+    /// Operations in topological (dependency) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic; use [`Cdfg::check`] for a graceful
+    /// error.
+    pub fn topo_ops(&self) -> Vec<OpId> {
+        self.try_topo_ops().expect("CDFG has a cycle")
+    }
+
+    fn try_topo_ops(&self) -> Option<Vec<OpId>> {
+        let mut indeg = vec![0usize; self.ops.len()];
+        let mut consumers: Vec<Vec<OpId>> = vec![Vec::new(); self.ops.len()];
+        for (id, op) in self.ops() {
+            for v in &op.inputs {
+                if let VarSource::Op(src) = self.vars.get(v.index())?.source {
+                    indeg[id.index()] += 1;
+                    consumers[src.index()].push(id);
+                }
+            }
+        }
+        let mut queue: Vec<OpId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| OpId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(self.ops.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &c in &consumers[id.index()] {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        (order.len() == self.ops.len()).then_some(order)
+    }
+
+    /// Validates the graph structure.
+    ///
+    /// # Errors
+    ///
+    /// See [`CdfgError`].
+    pub fn check(&self) -> Result<(), CdfgError> {
+        let nv = self.vars.len() as u32;
+        let mut names: HashMap<&str, u32> = HashMap::new();
+        for v in &self.vars {
+            if names.insert(v.name.as_str(), 1).is_some() {
+                return Err(CdfgError::DuplicateName(v.name.clone()));
+            }
+        }
+        for (id, op) in self.ops() {
+            if op.inputs.iter().any(|v| v.0 >= nv) || op.output.0 >= nv {
+                return Err(CdfgError::DanglingVar(id));
+            }
+        }
+        for v in &self.outputs {
+            if v.0 >= nv {
+                return Err(CdfgError::UnknownOutput(v.0));
+            }
+        }
+        if self.try_topo_ops().is_none() {
+            return Err(CdfgError::Cycle);
+        }
+        Ok(())
+    }
+
+    /// Longest dependency chain length (a latency lower bound for
+    /// single-cycle operations).
+    pub fn critical_path(&self) -> usize {
+        let mut depth = vec![0usize; self.ops.len()];
+        for id in self.topo_ops() {
+            let op = self.op(id);
+            let mut d = 0;
+            for v in &op.inputs {
+                if let VarSource::Op(src) = self.var(*v).source {
+                    d = d.max(depth[src.index()]);
+                }
+            }
+            depth[id.index()] = d + 1;
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Evaluates the data-flow graph as `width`-bit modular integer
+    /// arithmetic (the reference model for elaborated datapaths). Returns
+    /// the primary-output values in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the PI count, `width` is 0 or
+    /// exceeds 64, or the graph is cyclic.
+    pub fn evaluate(&self, inputs: &[u64], width: usize) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.inputs.len(), "one value per primary input");
+        assert!((1..=64).contains(&width));
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mut values = vec![0u64; self.vars.len()];
+        for (pos, &v) in self.inputs.iter().enumerate() {
+            values[v.index()] = inputs[pos] & mask;
+        }
+        for id in self.topo_ops() {
+            let op = self.op(id);
+            let a = values[op.inputs[0].index()];
+            let b = values[op.inputs[1].index()];
+            values[op.output.index()] = match op.kind {
+                OpKind::Add => a.wrapping_add(b) & mask,
+                OpKind::Sub => a.wrapping_sub(b) & mask,
+                OpKind::Mul => a.wrapping_mul(b) & mask,
+            };
+        }
+        self.outputs.iter().map(|v| values[v.index()]).collect()
+    }
+
+    /// A one-line summary (counts by kind).
+    pub fn profile_line(&self) -> String {
+        format!(
+            "{}: {} PIs, {} POs, {} add/sub, {} mult, {} edges",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.op_count(FuType::AddSub),
+            self.op_count(FuType::Mul),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Cdfg {
+        // o = (a+b) * (a-b)
+        let mut g = Cdfg::new("diamond");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, s) = g.add_op(OpKind::Add, a, b);
+        let (_, d) = g.add_op(OpKind::Sub, a, b);
+        let (_, p) = g.add_op(OpKind::Mul, s, d);
+        g.mark_output(p);
+        g
+    }
+
+    #[test]
+    fn build_and_check() {
+        let g = diamond();
+        g.check().unwrap();
+        assert_eq!(g.num_ops(), 3);
+        assert_eq!(g.num_vars(), 5);
+        assert_eq!(g.op_count(FuType::AddSub), 2);
+        assert_eq!(g.op_count(FuType::Mul), 1);
+        assert_eq!(g.num_edges(), 7);
+        assert_eq!(g.critical_path(), 2);
+    }
+
+    #[test]
+    fn topo_respects_deps() {
+        let g = diamond();
+        let order = g.topo_ops();
+        let pos: HashMap<OpId, usize> =
+            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        for (id, op) in g.ops() {
+            for v in &op.inputs {
+                if let VarSource::Op(src) = g.var(*v).source {
+                    assert!(pos[&src] < pos[&id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uses_tracks_ports() {
+        let g = diamond();
+        let uses = g.uses();
+        // a (v0) feeds op0 port 0 and op1 port 0.
+        assert_eq!(uses[0], vec![(OpId(0), 0), (OpId(1), 0)]);
+        // the mul reads s (v2) on port 0 and d (v3) on port 1.
+        assert_eq!(uses[2], vec![(OpId(2), 0)]);
+        assert_eq!(uses[3], vec![(OpId(2), 1)]);
+    }
+
+    #[test]
+    fn fu_types() {
+        assert_eq!(OpKind::Add.fu_type(), FuType::AddSub);
+        assert_eq!(OpKind::Sub.fu_type(), FuType::AddSub);
+        assert_eq!(OpKind::Mul.fu_type(), FuType::Mul);
+        assert!(OpKind::Add.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Cdfg::new("cyc");
+        let a = g.add_input("a");
+        let (o1, v1) = g.add_op(OpKind::Add, a, a);
+        let (_, v2) = g.add_op(OpKind::Add, v1, a);
+        // Introduce the cycle by rewriting op o1's input to v2.
+        g.ops[o1.index()].inputs[1] = v2;
+        assert_eq!(g.check(), Err(CdfgError::Cycle));
+    }
+
+    #[test]
+    fn unknown_output_detected() {
+        let mut g = Cdfg::new("bad");
+        g.add_input("a");
+        g.mark_output(VarId(99));
+        assert_eq!(g.check(), Err(CdfgError::UnknownOutput(99)));
+    }
+
+    #[test]
+    fn evaluate_reference_model() {
+        let g = diamond();
+        // o = (a+b) * (a-b) mod 256
+        assert_eq!(g.evaluate(&[7, 3], 8), vec![(10 * 4)]);
+        assert_eq!(g.evaluate(&[3, 7], 8), vec![(10u64 * 252) % 256]);
+        assert_eq!(g.evaluate(&[200, 100], 8), vec![(44 * 100) % 256]);
+    }
+
+    #[test]
+    fn self_square_allowed() {
+        let mut g = Cdfg::new("sq");
+        let a = g.add_input("a");
+        let (_, s) = g.add_op(OpKind::Mul, a, a);
+        g.mark_output(s);
+        g.check().unwrap();
+        assert_eq!(g.critical_path(), 1);
+    }
+}

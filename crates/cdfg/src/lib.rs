@@ -1,0 +1,53 @@
+//! Scheduled control/data-flow graphs for the HLPower reproduction.
+//!
+//! The binding problem's input (paper Section 3) is a *scheduled CDFG*, a
+//! resource constraint, and a resource library. This crate provides all
+//! three ingredients:
+//!
+//! * [`Cdfg`] — the data-flow IR over add/sub/mul operations and
+//!   SSA-style variables;
+//! * [`sched`] — ASAP, ALAP, and resource-constrained list scheduling
+//!   ([`ResourceConstraint`], [`ResourceLibrary`] with optional
+//!   multi-cycle latencies);
+//! * [`lifetime`] — variable lifetime intervals and the register lower
+//!   bound (paper Section 5.1);
+//! * `bench` — the seven-benchmark suite of the paper's Table 1,
+//!   regenerated synthetically with exactly the published profiles;
+//! * [`textio`] — a human-readable text format plus Graphviz export.
+//!
+//! # Examples
+//!
+//! Build and schedule a multiply-accumulate kernel under a resource
+//! constraint:
+//!
+//! ```
+//! use cdfg::{list_schedule, Cdfg, OpKind, ResourceConstraint, ResourceLibrary};
+//!
+//! let mut g = Cdfg::new("mac2");
+//! let x0 = g.add_input("x0");
+//! let x1 = g.add_input("x1");
+//! let c0 = g.add_input("c0");
+//! let c1 = g.add_input("c1");
+//! let (_, p0) = g.add_op(OpKind::Mul, x0, c0);
+//! let (_, p1) = g.add_op(OpKind::Mul, x1, c1);
+//! let (_, acc) = g.add_op(OpKind::Add, p0, p1);
+//! g.mark_output(acc);
+//!
+//! let sched = list_schedule(&g, &ResourceLibrary::default(), &ResourceConstraint::new(1, 1));
+//! sched.validate(&g, None).unwrap();
+//! assert_eq!(sched.num_steps, 3); // the two products serialize on 1 multiplier
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod graph;
+pub mod lifetime;
+pub mod sched;
+pub mod textio;
+
+pub use bench::{generate, profile, standard_suite, BenchmarkProfile, PROFILES};
+pub use graph::{Cdfg, CdfgError, FuType, OpId, OpKind, Operation, VarId, VarSource, Variable};
+pub use lifetime::{lifetimes, LifetimeOptions, Lifetimes};
+pub use sched::{alap, asap, list_schedule, ResourceConstraint, ResourceLibrary, Schedule};
+pub use textio::{parse_cdfg, to_dot, write_cdfg, ParseError};

@@ -1,0 +1,183 @@
+//! Variable lifetime analysis over a scheduled CDFG.
+//!
+//! A variable is *born* when its producing operation finishes (primary
+//! inputs are born at step 0) and *dies* after its last consumer's start
+//! step (primary outputs live to the end of the schedule). Variables with
+//! overlapping `[birth, death]` intervals are "mutually unsharable" in the
+//! paper's register-binding terminology: they cannot occupy the same
+//! register. The maximum number of simultaneously-live variables is the
+//! register allocation used by the flow (paper Section 5.1).
+
+use crate::graph::{Cdfg, VarId, VarSource};
+use crate::sched::Schedule;
+
+/// Per-variable lifetime intervals (inclusive on both ends).
+#[derive(Clone, Debug)]
+pub struct Lifetimes {
+    /// First control step at which each variable holds a live value.
+    pub birth: Vec<u32>,
+    /// Last control step at which each variable is needed.
+    pub death: Vec<u32>,
+}
+
+impl Lifetimes {
+    /// True when two variables' lifetimes overlap (cannot share a
+    /// register).
+    pub fn overlaps(&self, a: VarId, b: VarId) -> bool {
+        self.birth[a.index()] <= self.death[b.index()]
+            && self.birth[b.index()] <= self.death[a.index()]
+    }
+
+    /// Variables alive at `step`.
+    pub fn live_at(&self, step: u32) -> Vec<VarId> {
+        (0..self.birth.len())
+            .filter(|&i| self.birth[i] <= step && step <= self.death[i])
+            .map(|i| VarId(i as u32))
+            .collect()
+    }
+
+    /// The register lower bound: the largest number of variables alive in
+    /// any single control step.
+    pub fn max_overlap(&self, num_steps: u32) -> usize {
+        (0..=num_steps).map(|s| self.live_at(s).len()).max().unwrap_or(0)
+    }
+
+    /// Lifetime interval of one variable.
+    pub fn interval(&self, v: VarId) -> (u32, u32) {
+        (self.birth[v.index()], self.death[v.index()])
+    }
+}
+
+/// Options controlling lifetime analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct LifetimeOptions {
+    /// Treat primary inputs as registered values alive from step 0 (the
+    /// usual datapath style, and the default). When `false`, PIs are
+    /// assumed to be stable external wires and get zero-length lifetimes
+    /// so they never consume a register.
+    pub latch_inputs: bool,
+}
+
+impl Default for LifetimeOptions {
+    fn default() -> Self {
+        LifetimeOptions { latch_inputs: true }
+    }
+}
+
+/// Computes variable lifetimes for a scheduled CDFG.
+pub fn lifetimes(cdfg: &Cdfg, sched: &Schedule, opts: &LifetimeOptions) -> Lifetimes {
+    let n = cdfg.num_vars();
+    let mut birth = vec![0u32; n];
+    let mut death = vec![0u32; n];
+    for i in 0..n {
+        let v = VarId(i as u32);
+        birth[i] = match cdfg.var(v).source {
+            VarSource::PrimaryInput(_) => 0,
+            VarSource::Op(op) => sched.end(cdfg, op),
+        };
+        death[i] = birth[i];
+    }
+    let uses = cdfg.uses();
+    for (i, users) in uses.iter().enumerate() {
+        for (op, _) in users {
+            // A consumer holds its inputs for its whole busy interval
+            // (multi-cycle operations keep reading until they finish), so
+            // the variable must stay live through the consumer's last
+            // busy step. For single-cycle operations this is the start
+            // step.
+            death[i] = death[i].max(sched.end(cdfg, *op) - 1);
+        }
+    }
+    for v in cdfg.outputs() {
+        death[v.index()] = death[v.index()].max(sched.num_steps);
+    }
+    if !opts.latch_inputs {
+        for v in cdfg.inputs() {
+            birth[v.index()] = 0;
+            death[v.index()] = 0;
+        }
+    }
+    Lifetimes { birth, death }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+    use crate::sched::{asap, ResourceLibrary};
+
+    #[test]
+    fn chain_lifetimes() {
+        // a,b inputs; t0 = a+b @0; t1 = t0+b @1; out = t1.
+        let mut g = Cdfg::new("c");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, t0) = g.add_op(OpKind::Add, a, b);
+        let (_, t1) = g.add_op(OpKind::Add, t0, b);
+        g.mark_output(t1);
+        let s = asap(&g, &ResourceLibrary::default());
+        let lt = lifetimes(&g, &s, &LifetimeOptions::default());
+        assert_eq!(lt.interval(a), (0, 0));
+        assert_eq!(lt.interval(b), (0, 1), "b read again at step 1");
+        assert_eq!(lt.interval(t0), (1, 1));
+        assert_eq!(lt.interval(t1), (2, 2), "PO alive to schedule end");
+        assert!(lt.overlaps(b, t0));
+        assert!(!lt.overlaps(a, t0));
+        assert!(!lt.overlaps(t0, t1), "chained temporaries can share a register");
+    }
+
+    #[test]
+    fn max_overlap_counts_registers() {
+        let mut g = Cdfg::new("p");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            let (_, v) = g.add_op(OpKind::Mul, a, b);
+            outs.push(v);
+        }
+        for v in &outs {
+            g.mark_output(*v);
+        }
+        let s = asap(&g, &ResourceLibrary::default());
+        let lt = lifetimes(&g, &s, &LifetimeOptions::default());
+        // Step 0 holds {a, b}; step 1 holds the 4 products (a and b die
+        // after their last use at step 0), so the register bound is 4.
+        assert_eq!(lt.max_overlap(s.num_steps), 4);
+    }
+
+    #[test]
+    fn unlatched_inputs_take_no_register() {
+        let mut g = Cdfg::new("u");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, v) = g.add_op(OpKind::Add, a, b);
+        g.mark_output(v);
+        let s = asap(&g, &ResourceLibrary::default());
+        let latched = lifetimes(&g, &s, &LifetimeOptions { latch_inputs: true });
+        let wired = lifetimes(&g, &s, &LifetimeOptions { latch_inputs: false });
+        assert_eq!(latched.max_overlap(s.num_steps), 2);
+        assert_eq!(wired.max_overlap(s.num_steps), 2, "a,b zero-length at 0 still counted at step 0");
+        assert_eq!(wired.interval(a), (0, 0));
+    }
+
+    #[test]
+    fn live_at_is_consistent_with_overlap() {
+        let mut g = Cdfg::new("l");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, t0) = g.add_op(OpKind::Mul, a, b);
+        let (_, t1) = g.add_op(OpKind::Add, t0, a);
+        g.mark_output(t1);
+        let s = asap(&g, &ResourceLibrary::default());
+        let lt = lifetimes(&g, &s, &LifetimeOptions::default());
+        for step in 0..=s.num_steps {
+            let live = lt.live_at(step);
+            for &x in &live {
+                for &y in &live {
+                    assert!(lt.overlaps(x, y), "{x} and {y} both live at {step}");
+                }
+            }
+        }
+    }
+}

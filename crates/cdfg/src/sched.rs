@@ -1,0 +1,430 @@
+//! Operation scheduling.
+//!
+//! The paper's binding algorithm takes a *scheduled* CDFG as input; this
+//! module provides the schedules. [`asap`]/[`alap`] give the classic
+//! unconstrained schedules; [`list_schedule`] implements
+//! resource-constrained list scheduling with ALAP-slack priority, which is
+//! how the Table 2 schedules (cycle counts under the paper's Add/Mult
+//! constraints) are produced.
+//!
+//! Operations may take several cycles ([`ResourceLibrary::latency`]); the
+//! paper's experiments use single-cycle resources, multi-cycle support
+//! matches its "future work" discussion and is exercised by ablations.
+
+use crate::graph::{Cdfg, FuType, OpId, VarSource};
+use std::collections::HashMap;
+
+/// Resource constraint: how many functional units of each class may be
+/// allocated (paper Table 2, columns "Add"/"Mult").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceConstraint {
+    /// Number of adder/subtractors.
+    pub addsub: usize,
+    /// Number of multipliers.
+    pub mul: usize,
+}
+
+impl ResourceConstraint {
+    /// Creates a constraint.
+    pub fn new(addsub: usize, mul: usize) -> Self {
+        ResourceConstraint { addsub, mul }
+    }
+
+    /// Limit for one class.
+    pub fn limit(&self, t: FuType) -> usize {
+        match t {
+            FuType::AddSub => self.addsub,
+            FuType::Mul => self.mul,
+        }
+    }
+}
+
+/// Per-class operation latencies in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceLibrary {
+    /// Adder/subtractor latency.
+    pub addsub_latency: u32,
+    /// Multiplier latency.
+    pub mul_latency: u32,
+}
+
+impl Default for ResourceLibrary {
+    /// The paper's experimental library: all resources single-cycle.
+    fn default() -> Self {
+        ResourceLibrary { addsub_latency: 1, mul_latency: 1 }
+    }
+}
+
+impl ResourceLibrary {
+    /// Latency of one class.
+    pub fn latency(&self, t: FuType) -> u32 {
+        match t {
+            FuType::AddSub => self.addsub_latency,
+            FuType::Mul => self.mul_latency,
+        }
+    }
+}
+
+/// A schedule: the start control step of every operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Start control step per operation (indexed by `OpId`).
+    pub cstep: Vec<u32>,
+    /// Latencies used when the schedule was built.
+    pub library: ResourceLibrary,
+    /// Total number of control steps (max end step).
+    pub num_steps: u32,
+}
+
+impl Schedule {
+    /// Start step of `op`.
+    pub fn start(&self, op: OpId) -> u32 {
+        self.cstep[op.index()]
+    }
+
+    /// Exclusive end step of `op` (start + latency).
+    pub fn end(&self, cdfg: &Cdfg, op: OpId) -> u32 {
+        self.cstep[op.index()] + self.library.latency(cdfg.op(op).kind.fu_type())
+    }
+
+    /// True when the busy intervals `[start, end)` of two operations
+    /// overlap — such operations cannot share a functional unit
+    /// (compatibility criterion 2 of the paper's Section 5.2.1).
+    pub fn conflicts(&self, cdfg: &Cdfg, a: OpId, b: OpId) -> bool {
+        let (sa, ea) = (self.start(a), self.end(cdfg, a));
+        let (sb, eb) = (self.start(b), self.end(cdfg, b));
+        sa < eb && sb < ea
+    }
+
+    /// Operations (by class) in the densest control step — the paper's
+    /// lower bound on the resource allocation and the seed set `U` of the
+    /// binding algorithm.
+    pub fn densest_step_ops(&self, cdfg: &Cdfg, t: FuType) -> (u32, Vec<OpId>) {
+        let mut per_step: HashMap<u32, Vec<OpId>> = HashMap::new();
+        for (id, op) in cdfg.ops() {
+            if op.kind.fu_type() != t {
+                continue;
+            }
+            for s in self.start(id)..self.end(cdfg, id) {
+                per_step.entry(s).or_default().push(id);
+            }
+        }
+        let mut best: (u32, Vec<OpId>) = (0, Vec::new());
+        let mut steps: Vec<u32> = per_step.keys().copied().collect();
+        steps.sort_unstable();
+        for s in steps {
+            let ops = &per_step[&s];
+            if ops.len() > best.1.len() {
+                best = (s, ops.clone());
+            }
+        }
+        best
+    }
+
+    /// Maximum per-step density for a class (the minimum feasible number
+    /// of functional units of that class).
+    pub fn min_resources(&self, cdfg: &Cdfg, t: FuType) -> usize {
+        self.densest_step_ops(cdfg, t).1.len()
+    }
+
+    /// Verifies that the schedule respects data dependencies and, when
+    /// `constraint` is given, the per-step resource limits.
+    pub fn validate(
+        &self,
+        cdfg: &Cdfg,
+        constraint: Option<&ResourceConstraint>,
+    ) -> Result<(), String> {
+        for (id, op) in cdfg.ops() {
+            for v in &op.inputs {
+                if let VarSource::Op(src) = cdfg.var(*v).source {
+                    if self.start(id) < self.end(cdfg, src) {
+                        return Err(format!(
+                            "{id} starts at {} before its producer {src} finishes at {}",
+                            self.start(id),
+                            self.end(cdfg, src)
+                        ));
+                    }
+                }
+            }
+            if self.end(cdfg, id) > self.num_steps {
+                return Err(format!("{id} ends after num_steps"));
+            }
+        }
+        if let Some(rc) = constraint {
+            for t in FuType::ALL {
+                let dense = self.min_resources(cdfg, t);
+                if dense > rc.limit(t) {
+                    return Err(format!(
+                        "step density {dense} exceeds the {t} limit {}",
+                        rc.limit(t)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// As-soon-as-possible schedule (unbounded resources).
+pub fn asap(cdfg: &Cdfg, library: &ResourceLibrary) -> Schedule {
+    let mut cstep = vec![0u32; cdfg.num_ops()];
+    let mut num_steps = 0;
+    for id in cdfg.topo_ops() {
+        let op = cdfg.op(id);
+        let mut start = 0;
+        for v in &op.inputs {
+            if let VarSource::Op(src) = cdfg.var(*v).source {
+                start = start.max(cstep[src.index()] + library.latency(cdfg.op(src).kind.fu_type()));
+            }
+        }
+        cstep[id.index()] = start;
+        num_steps = num_steps.max(start + library.latency(op.kind.fu_type()));
+    }
+    Schedule { cstep, library: *library, num_steps }
+}
+
+/// As-late-as-possible schedule within `latency_bound` steps.
+///
+/// # Panics
+///
+/// Panics if `latency_bound` is smaller than the ASAP latency.
+pub fn alap(cdfg: &Cdfg, library: &ResourceLibrary, latency_bound: u32) -> Schedule {
+    let asap_sched = asap(cdfg, library);
+    assert!(
+        latency_bound >= asap_sched.num_steps,
+        "latency bound {latency_bound} below critical path {}",
+        asap_sched.num_steps
+    );
+    let mut cstep = vec![0u32; cdfg.num_ops()];
+    // Deadline per op: min over consumers.
+    let mut deadline = vec![latency_bound; cdfg.num_ops()];
+    let order = cdfg.topo_ops();
+    for &id in order.iter().rev() {
+        let lat = library.latency(cdfg.op(id).kind.fu_type());
+        let start = deadline[id.index()] - lat;
+        cstep[id.index()] = start;
+        for v in &cdfg.op(id).inputs {
+            if let VarSource::Op(src) = cdfg.var(*v).source {
+                deadline[src.index()] = deadline[src.index()].min(start);
+            }
+        }
+    }
+    Schedule { cstep, library: *library, num_steps: latency_bound }
+}
+
+/// Resource-constrained list scheduling with ALAP-slack (least slack
+/// first) priority. Returns a schedule whose per-step density never
+/// exceeds the constraint, so the constraint is always achievable by the
+/// binder (paper Theorem 1 setting).
+pub fn list_schedule(
+    cdfg: &Cdfg,
+    library: &ResourceLibrary,
+    constraint: &ResourceConstraint,
+) -> Schedule {
+    assert!(constraint.addsub >= 1 && constraint.mul >= 1, "need at least one FU per class");
+    let asap_sched = asap(cdfg, library);
+    // Generous ALAP horizon for slack computation; tightness only affects
+    // priorities, not legality.
+    let horizon = asap_sched.num_steps + cdfg.num_ops() as u32;
+    let alap_sched = alap(cdfg, library, horizon);
+
+    let mut cstep = vec![u32::MAX; cdfg.num_ops()];
+    let mut remaining_preds = vec![0usize; cdfg.num_ops()];
+    let mut consumers: Vec<Vec<OpId>> = vec![Vec::new(); cdfg.num_ops()];
+    for (id, op) in cdfg.ops() {
+        for v in &op.inputs {
+            if let VarSource::Op(src) = cdfg.var(*v).source {
+                remaining_preds[id.index()] += 1;
+                consumers[src.index()].push(id);
+            }
+        }
+    }
+    // ready_at[op]: earliest step all inputs are available.
+    let mut ready_at = vec![0u32; cdfg.num_ops()];
+    let mut ready: Vec<OpId> = cdfg
+        .ops()
+        .filter(|(id, _)| remaining_preds[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut scheduled = 0usize;
+    let mut busy: HashMap<(FuType, u32), usize> = HashMap::new();
+    let mut step = 0u32;
+    let mut num_steps = 0u32;
+    while scheduled < cdfg.num_ops() {
+        // Candidates ready at this step, least ALAP slack first.
+        let mut candidates: Vec<OpId> = ready
+            .iter()
+            .copied()
+            .filter(|op| ready_at[op.index()] <= step)
+            .collect();
+        candidates.sort_by_key(|&op| (alap_sched.start(op), op));
+        for op in candidates {
+            let t = cdfg.op(op).kind.fu_type();
+            let lat = library.latency(t);
+            // All busy slots over the operation's interval must have room.
+            let fits = (step..step + lat)
+                .all(|s| busy.get(&(t, s)).copied().unwrap_or(0) < constraint.limit(t));
+            if fits {
+                for s in step..step + lat {
+                    *busy.entry((t, s)).or_insert(0) += 1;
+                }
+                cstep[op.index()] = step;
+                num_steps = num_steps.max(step + lat);
+                scheduled += 1;
+                ready.retain(|&r| r != op);
+                for &c in &consumers[op.index()] {
+                    remaining_preds[c.index()] -= 1;
+                    ready_at[c.index()] = ready_at[c.index()].max(step + lat);
+                    if remaining_preds[c.index()] == 0 {
+                        ready.push(c);
+                    }
+                }
+            }
+        }
+        step += 1;
+    }
+    Schedule { cstep, library: *library, num_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+
+    fn chain(n: usize) -> Cdfg {
+        let mut g = Cdfg::new("chain");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let mut prev = a;
+        for _ in 0..n {
+            let (_, v) = g.add_op(OpKind::Add, prev, b);
+            prev = v;
+        }
+        g.mark_output(prev);
+        g
+    }
+
+    fn parallel(n: usize) -> Cdfg {
+        let mut g = Cdfg::new("par");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        for _ in 0..n {
+            let (_, v) = g.add_op(OpKind::Mul, a, b);
+            g.mark_output(v);
+        }
+        g
+    }
+
+    #[test]
+    fn asap_on_chain() {
+        let g = chain(5);
+        let s = asap(&g, &ResourceLibrary::default());
+        s.validate(&g, None).unwrap();
+        assert_eq!(s.num_steps, 5);
+        for (i, &c) in s.cstep.iter().enumerate() {
+            assert_eq!(c, i as u32);
+        }
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let g = parallel(3);
+        let lib = ResourceLibrary::default();
+        let s = alap(&g, &lib, 4);
+        s.validate(&g, None).unwrap();
+        for &c in &s.cstep {
+            assert_eq!(c, 3, "independent ops all land at the deadline");
+        }
+    }
+
+    #[test]
+    fn list_schedule_respects_constraints() {
+        let g = parallel(7);
+        let lib = ResourceLibrary::default();
+        let rc = ResourceConstraint::new(1, 2);
+        let s = list_schedule(&g, &lib, &rc);
+        s.validate(&g, Some(&rc)).unwrap();
+        assert_eq!(s.num_steps, 4, "7 muls on 2 multipliers need ceil(7/2)=4 steps");
+        assert_eq!(s.min_resources(&g, FuType::Mul), 2);
+    }
+
+    #[test]
+    fn list_schedule_chain_unaffected_by_constraint() {
+        let g = chain(6);
+        let rc = ResourceConstraint::new(1, 1);
+        let s = list_schedule(&g, &ResourceLibrary::default(), &rc);
+        s.validate(&g, Some(&rc)).unwrap();
+        assert_eq!(s.num_steps, 6);
+    }
+
+    #[test]
+    fn multicycle_latency_respected() {
+        // mul (2 cycles) feeding add: add starts at step 2.
+        let mut g = Cdfg::new("mc");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, p) = g.add_op(OpKind::Mul, a, b);
+        let (add_op, s) = g.add_op(OpKind::Add, p, a);
+        g.mark_output(s);
+        let lib = ResourceLibrary { addsub_latency: 1, mul_latency: 2 };
+        let sched = list_schedule(&g, &lib, &ResourceConstraint::new(1, 1));
+        sched.validate(&g, None).unwrap();
+        assert_eq!(sched.start(add_op), 2);
+        assert_eq!(sched.num_steps, 3);
+    }
+
+    #[test]
+    fn multicycle_occupancy_blocks_sharing() {
+        // Two independent muls on one 2-cycle multiplier: serialized.
+        let g = parallel(2);
+        let lib = ResourceLibrary { addsub_latency: 1, mul_latency: 2 };
+        let rc = ResourceConstraint::new(1, 1);
+        let s = list_schedule(&g, &lib, &rc);
+        s.validate(&g, Some(&rc)).unwrap();
+        assert_eq!(s.num_steps, 4);
+        let (a, b) = (OpId(0), OpId(1));
+        assert!(!s.conflicts(&g, a, b));
+    }
+
+    #[test]
+    fn conflicts_detects_overlap() {
+        let g = parallel(2);
+        let lib = ResourceLibrary::default();
+        let s = asap(&g, &lib);
+        assert!(s.conflicts(&g, OpId(0), OpId(1)), "both at step 0");
+    }
+
+    #[test]
+    fn densest_step_matches_constraint_saturation() {
+        let g = parallel(5);
+        let rc = ResourceConstraint::new(1, 2);
+        let s = list_schedule(&g, &ResourceLibrary::default(), &rc);
+        let (_, ops) = s.densest_step_ops(&g, FuType::Mul);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(s.min_resources(&g, FuType::AddSub), 0);
+    }
+
+    #[test]
+    fn mixed_types_schedule_independently() {
+        let mut g = Cdfg::new("mix");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let mut outs = Vec::new();
+        for _ in 0..3 {
+            let (_, v) = g.add_op(OpKind::Add, a, b);
+            outs.push(v);
+        }
+        for _ in 0..3 {
+            let (_, v) = g.add_op(OpKind::Mul, a, b);
+            outs.push(v);
+        }
+        for v in outs {
+            g.mark_output(v);
+        }
+        let rc = ResourceConstraint::new(3, 1);
+        let s = list_schedule(&g, &ResourceLibrary::default(), &rc);
+        s.validate(&g, Some(&rc)).unwrap();
+        // adds all in step 0; muls serialized over 3 steps.
+        assert_eq!(s.num_steps, 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! Text serialization and Graphviz export of (scheduled) CDFGs.
+//!
+//! The line-oriented format keeps benchmarks and regression inputs
+//! human-readable:
+//!
+//! ```text
+//! cdfg mac
+//! input a
+//! input b
+//! input c
+//! op 0 mul a b -> t0
+//! op 1 add t0 c -> t1
+//! output t1
+//! ```
+//!
+//! Schedules can be embedded by appending `@<cstep>` to an `op` line.
+
+use crate::graph::{Cdfg, OpKind, VarId};
+use crate::sched::{ResourceLibrary, Schedule};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`parse_cdfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed line, with 1-based line number.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Reference to an unknown variable name.
+    UnknownVar {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::UnknownVar { line, name } => {
+                write!(f, "line {line}: unknown variable `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a CDFG (optionally with its schedule) to the text format.
+pub fn write_cdfg(cdfg: &Cdfg, sched: Option<&Schedule>) -> String {
+    let mut out = format!("cdfg {}\n", cdfg.name());
+    for &v in cdfg.inputs() {
+        out.push_str(&format!("input {}\n", cdfg.var(v).name));
+    }
+    for (id, op) in cdfg.ops() {
+        let at = sched
+            .map(|s| format!(" @{}", s.start(id)))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "op {} {} {} {} -> {}{at}\n",
+            id.0,
+            op.kind,
+            cdfg.var(op.inputs[0]).name,
+            cdfg.var(op.inputs[1]).name,
+            cdfg.var(op.output).name,
+        ));
+    }
+    for &v in cdfg.outputs() {
+        out.push_str(&format!("output {}\n", cdfg.var(v).name));
+    }
+    out
+}
+
+/// Parses the text format back into a CDFG and (when every `op` line has a
+/// `@step`) a schedule.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input. Variable names must be
+/// defined (as `input` or an op result) before use.
+pub fn parse_cdfg(text: &str) -> Result<(Cdfg, Option<Schedule>), ParseError> {
+    let mut g = Cdfg::new("cdfg");
+    let mut names: HashMap<String, VarId> = HashMap::new();
+    let mut csteps: Vec<Option<u32>> = Vec::new();
+    for (ln0, raw) in text.lines().enumerate() {
+        let line = ln0 + 1;
+        let s = raw.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        match toks[0] {
+            "cdfg" => {
+                let name = toks.get(1).unwrap_or(&"cdfg");
+                g = Cdfg::new(*name);
+                names.clear();
+                csteps.clear();
+            }
+            "input" => {
+                let name = toks.get(1).ok_or(ParseError::Syntax {
+                    line,
+                    message: "input needs a name".into(),
+                })?;
+                let v = g.add_input(*name);
+                names.insert((*name).to_string(), v);
+            }
+            "op" => {
+                // op <id> <kind> <a> <b> -> <out> [@step]
+                if toks.len() < 7 || toks[5] != "->" {
+                    return Err(ParseError::Syntax {
+                        line,
+                        message: "expected `op <id> <kind> <a> <b> -> <out> [@step]`".into(),
+                    });
+                }
+                let kind = match toks[2] {
+                    "add" => OpKind::Add,
+                    "sub" => OpKind::Sub,
+                    "mul" => OpKind::Mul,
+                    other => {
+                        return Err(ParseError::Syntax {
+                            line,
+                            message: format!("unknown op kind `{other}`"),
+                        })
+                    }
+                };
+                let a = *names.get(toks[3]).ok_or_else(|| ParseError::UnknownVar {
+                    line,
+                    name: toks[3].to_string(),
+                })?;
+                let b = *names.get(toks[4]).ok_or_else(|| ParseError::UnknownVar {
+                    line,
+                    name: toks[4].to_string(),
+                })?;
+                let (_, out) = g.add_op(kind, a, b);
+                names.insert(toks[6].to_string(), out);
+                let step = toks.get(7).and_then(|t| t.strip_prefix('@')).map(|t| {
+                    t.parse::<u32>().map_err(|_| ParseError::Syntax {
+                        line,
+                        message: format!("bad control step `{t}`"),
+                    })
+                });
+                csteps.push(match step {
+                    Some(Ok(v)) => Some(v),
+                    Some(Err(e)) => return Err(e),
+                    None => None,
+                });
+            }
+            "output" => {
+                let name = toks.get(1).ok_or(ParseError::Syntax {
+                    line,
+                    message: "output needs a name".into(),
+                })?;
+                let v = *names.get(*name).ok_or_else(|| ParseError::UnknownVar {
+                    line,
+                    name: (*name).to_string(),
+                })?;
+                g.mark_output(v);
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+    let sched = if !csteps.is_empty() && csteps.iter().all(Option::is_some) {
+        let cstep: Vec<u32> = csteps.into_iter().map(Option::unwrap).collect();
+        let library = ResourceLibrary::default();
+        let num_steps = g
+            .ops()
+            .map(|(id, op)| cstep[id.index()] + library.latency(op.kind.fu_type()))
+            .max()
+            .unwrap_or(0);
+        Some(Schedule { cstep, library, num_steps })
+    } else {
+        None
+    };
+    Ok((g, sched))
+}
+
+/// Renders the CDFG as Graphviz DOT, optionally ranked by control step.
+pub fn to_dot(cdfg: &Cdfg, sched: Option<&Schedule>) -> String {
+    let mut out = format!("digraph \"{}\" {{\n  rankdir=TB;\n", cdfg.name());
+    for &v in cdfg.inputs() {
+        out.push_str(&format!(
+            "  \"{}\" [shape=invtriangle,style=filled,fillcolor=lightblue];\n",
+            cdfg.var(v).name
+        ));
+    }
+    for (id, op) in cdfg.ops() {
+        let label = match sched {
+            Some(s) => format!("{} {}\\n@{}", op.kind, id, s.start(id)),
+            None => format!("{} {}", op.kind, id),
+        };
+        let shape = match op.kind {
+            OpKind::Mul => "box",
+            _ => "ellipse",
+        };
+        out.push_str(&format!("  \"{id}\" [label=\"{label}\",shape={shape}];\n"));
+    }
+    for (id, op) in cdfg.ops() {
+        for v in &op.inputs {
+            match cdfg.var(*v).source {
+                crate::graph::VarSource::PrimaryInput(_) => {
+                    out.push_str(&format!("  \"{}\" -> \"{id}\";\n", cdfg.var(*v).name));
+                }
+                crate::graph::VarSource::Op(src) => {
+                    out.push_str(&format!("  \"{src}\" -> \"{id}\";\n"));
+                }
+            }
+        }
+    }
+    for &v in cdfg.outputs() {
+        let name = &cdfg.var(v).name;
+        out.push_str(&format!(
+            "  \"out_{name}\" [label=\"{name}\",shape=triangle,style=filled,fillcolor=lightyellow];\n"
+        ));
+        match cdfg.var(v).source {
+            crate::graph::VarSource::Op(src) => {
+                out.push_str(&format!("  \"{src}\" -> \"out_{name}\";\n"));
+            }
+            crate::graph::VarSource::PrimaryInput(_) => {
+                out.push_str(&format!("  \"{name}\" -> \"out_{name}\";\n"));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::FuType;
+    use crate::sched::{asap, ResourceLibrary};
+
+    fn mac() -> Cdfg {
+        let mut g = Cdfg::new("mac");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let (_, p) = g.add_op(OpKind::Mul, a, b);
+        let (_, s) = g.add_op(OpKind::Add, p, c);
+        g.mark_output(s);
+        g
+    }
+
+    #[test]
+    fn roundtrip_without_schedule() {
+        let g = mac();
+        let text = write_cdfg(&g, None);
+        let (back, sched) = parse_cdfg(&text).unwrap();
+        assert!(sched.is_none());
+        back.check().unwrap();
+        assert_eq!(back.num_ops(), 2);
+        assert_eq!(back.op_count(FuType::Mul), 1);
+        assert_eq!(back.inputs().len(), 3);
+        assert_eq!(back.outputs().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_with_schedule() {
+        let g = mac();
+        let s = asap(&g, &ResourceLibrary::default());
+        let text = write_cdfg(&g, Some(&s));
+        assert!(text.contains("@0") && text.contains("@1"));
+        let (back, sched) = parse_cdfg(&text).unwrap();
+        let sched = sched.expect("schedule embedded");
+        sched.validate(&back, None).unwrap();
+        assert_eq!(sched.cstep, s.cstep);
+        assert_eq!(sched.num_steps, s.num_steps);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_vars() {
+        let err = parse_cdfg("cdfg x\nop 0 add nope nada -> t0\n").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownVar { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_bad_kind() {
+        let err = parse_cdfg("cdfg x\ninput a\nop 0 div a a -> t0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let (g, _) =
+            parse_cdfg("# hello\n\ncdfg t\ninput a\n# mid\nop 0 add a a -> t0\noutput t0\n")
+                .unwrap();
+        assert_eq!(g.num_ops(), 1);
+    }
+
+    #[test]
+    fn dot_contains_all_ops() {
+        let g = mac();
+        let s = asap(&g, &ResourceLibrary::default());
+        let dot = to_dot(&g, Some(&s));
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("mul op0"));
+        assert!(dot.contains("add op1"));
+        assert!(dot.contains("@1"));
+        assert!(dot.contains("out_t1"));
+    }
+}

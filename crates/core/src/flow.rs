@@ -1,0 +1,446 @@
+//! End-to-end experiment flow (paper Section 6.1).
+//!
+//! One [`run_benchmark`] call reproduces the paper's per-benchmark
+//! methodology: schedule the CDFG under the Table 2 resource constraint,
+//! bind registers once (shared by every binder, as the paper shares
+//! schedules and register bindings between LOPASS and HLPower), bind
+//! functional units with the selected binder, elaborate the datapath,
+//! technology-map it to 4-LUTs, simulate 1000 random vectors while the
+//! control program walks the schedule, and evaluate the virtual
+//! Cyclone II power model.
+
+use crate::datapath::{elaborate, Datapath, DatapathConfig};
+use crate::fubind::{bind_hlpower, FuBinding, HlPowerConfig};
+use crate::lopass::{bind_lopass, bind_lopass_annealed, refine_lopass};
+use crate::mux::{mux_report, MuxReport};
+use crate::power::{PowerModel, PowerReport};
+use crate::regbind::{bind_registers, RegBindConfig, RegisterBinding};
+use crate::satable::{SaMode, SaTable};
+use cdfg::{
+    list_schedule, Cdfg, FuType, LifetimeOptions, ResourceConstraint, ResourceLibrary,
+    Schedule,
+};
+use gatesim::VectorSource;
+use mapper::{map, MapConfig, MapObjective};
+use std::time::{Duration, Instant};
+
+/// Which binding algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Binder {
+    /// The model of the paper's comparison baseline. The published LOPASS
+    /// optimizes a placement-level interconnect estimate that does not
+    /// resolve per-port multiplexer structure; its published binding
+    /// solutions (paper Table 3 "Largest MUX" up to 26, Table 4 muxDiff
+    /// mean up to 8.1) are statistically indistinguishable from
+    /// mux-structure-agnostic binding. This binder therefore assigns
+    /// operations first-fit in schedule order — see DESIGN.md for the
+    /// full calibration argument and the stronger baselines below.
+    Lopass,
+    /// Greedy marginal-cost bipartite binder + local refinement: a
+    /// *stronger* interconnect minimizer than the published system
+    /// (extension baseline).
+    LopassInterconnect,
+    /// Simulated annealing over the global wire-count estimate from a
+    /// first-fit start: the architecture of the published LOPASS system
+    /// given a modern, exact connection-count objective (extension
+    /// baseline).
+    LopassAnnealed,
+    /// HLPower with the given `α` (paper: 0.5 main result, 1.0 ablation).
+    HlPower {
+        /// Eq. 4 weighting coefficient.
+        alpha: f64,
+    },
+    /// HLPower with zero-delay (glitch-blind) SA estimates — ablation of
+    /// the glitch model itself.
+    HlPowerZeroDelay {
+        /// Eq. 4 weighting coefficient.
+        alpha: f64,
+    },
+}
+
+impl Binder {
+    /// Short label used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            Binder::Lopass => "LOPASS".to_string(),
+            Binder::LopassInterconnect => "LOPASS-ic".to_string(),
+            Binder::LopassAnnealed => "LOPASS-sa".to_string(),
+            Binder::HlPower { alpha } => format!("HLPower(a={alpha})"),
+            Binder::HlPowerZeroDelay { alpha } => format!("HLPower-zd(a={alpha})"),
+        }
+    }
+}
+
+/// Flow parameters.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Datapath word width (paper-scale experiments use 16).
+    pub width: usize,
+    /// Width used for the SA precalculation table (smaller widths keep
+    /// the table cheap; relative SA ordering across mux sizes is
+    /// preserved).
+    pub sa_width: usize,
+    /// LUT size of the target FPGA (Cyclone II: 4).
+    pub k: usize,
+    /// Simulated clock cycles (the paper's 1000 random vectors).
+    pub sim_cycles: u64,
+    /// Seed for simulation vectors.
+    pub sim_seed: u64,
+    /// Seed for the register binding's random port assignment (shared by
+    /// all binders).
+    pub port_seed: u64,
+    /// Power/area/timing constants.
+    pub power: PowerModel,
+    /// Technology-mapping objective for the shared backend.
+    pub map_objective: MapObjective,
+    /// Resource latencies (the paper's experiments are single-cycle;
+    /// multi-cycle latencies exercise its future-work discussion).
+    pub library: ResourceLibrary,
+    /// Controller style for elaborated datapaths.
+    pub control: crate::datapath::ControlStyle,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            width: 16,
+            sa_width: 8,
+            k: 4,
+            sim_cycles: 1000,
+            sim_seed: 42,
+            port_seed: 1,
+            power: PowerModel::default(),
+            map_objective: MapObjective::GlitchSa,
+            library: ResourceLibrary::default(),
+            control: crate::datapath::ControlStyle::External,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// A small, fast configuration for tests.
+    pub fn fast() -> Self {
+        FlowConfig {
+            width: 4,
+            sa_width: 4,
+            sim_cycles: 100,
+            ..FlowConfig::default()
+        }
+    }
+}
+
+/// Everything measured for one benchmark × binder combination.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Binder label.
+    pub binder: String,
+    /// Schedule length in control steps (Table 2 "Cycle").
+    pub schedule_steps: u32,
+    /// Instantiated register words (Table 2 "Reg").
+    pub registers: usize,
+    /// Allocated adder/subtractors.
+    pub fus_addsub: usize,
+    /// Allocated multipliers.
+    pub fus_mul: usize,
+    /// Whether the binding met the resource constraint.
+    pub meets_constraint: bool,
+    /// 4-LUT count after mapping (Table 3 "LUTs").
+    pub luts: usize,
+    /// Mapped depth in LUT levels.
+    pub depth: u32,
+    /// Estimated switching activity of the mapped netlist (Eq. 3).
+    pub estimated_sa: f64,
+    /// Mux statistics (Table 3 mux columns, Table 4).
+    pub mux: MuxReport,
+    /// Measured power/timing (Table 3, Figure 3).
+    pub power: PowerReport,
+    /// Wall-clock time of FU binding (Table 2 "HLPower Runtime").
+    pub bind_time: Duration,
+}
+
+/// The paper's Table 2 resource constraints for the benchmark suite.
+///
+/// Returns `None` for unknown benchmark names.
+pub fn paper_constraint(name: &str) -> Option<ResourceConstraint> {
+    let (add, mul) = match name {
+        "chem" => (9, 7),
+        "dir" => (3, 2),
+        "honda" => (4, 4),
+        "mcm" => (4, 2),
+        "pr" => (2, 2),
+        "steam" => (7, 6),
+        "wang" => (2, 2),
+        _ => return None,
+    };
+    Some(ResourceConstraint::new(add, mul))
+}
+
+/// Schedules and register-binds a benchmark (the part shared by all
+/// binders).
+pub fn prepare(
+    cdfg: &Cdfg,
+    rc: &ResourceConstraint,
+    cfg: &FlowConfig,
+) -> (Schedule, RegisterBinding) {
+    let sched = list_schedule(cdfg, &cfg.library, rc);
+    let rb = bind_registers(
+        cdfg,
+        &sched,
+        &RegBindConfig {
+            lifetime: LifetimeOptions { latch_inputs: false },
+            seed: cfg.port_seed,
+        },
+    );
+    (sched, rb)
+}
+
+/// Runs one binder on an already-prepared benchmark. Returns the binding
+/// and the binding wall-clock time.
+pub fn bind(
+    cdfg: &Cdfg,
+    sched: &Schedule,
+    rb: &RegisterBinding,
+    rc: &ResourceConstraint,
+    binder: Binder,
+    table: &mut SaTable,
+) -> (FuBinding, Duration) {
+    let start = Instant::now();
+    let fb = match binder {
+        Binder::Lopass => crate::lopass::bind_first_fit(cdfg, sched, rc),
+        Binder::LopassAnnealed => bind_lopass_annealed(cdfg, sched, rb, rc, 7),
+        Binder::LopassInterconnect => {
+            let base = bind_lopass(cdfg, sched, rb, rc);
+            refine_lopass(cdfg, sched, rb, base, 5)
+        }
+        Binder::HlPower { alpha } | Binder::HlPowerZeroDelay { alpha } => {
+            // β adjusts the muxDiff term's size relative to SA (paper:
+            // "based on empirical study β ≈ 30 for add operations and 1000
+            // for mult" — i.e. the SA scale of a typical partial
+            // datapath). Merged-node SA grows as binding progresses, so
+            // the calibration point is the *expected final* mux size:
+            // about two thirds of the per-unit operation count.
+            let beta_at = |ty: FuType, table: &mut SaTable| -> f64 {
+                let ops = cdfg.op_count(ty).max(1);
+                let per_fu = ops.div_ceil(rc.limit(ty).max(1));
+                let s = (per_fu * 2 / 3).clamp(2, 16);
+                table.get(ty, s, s)
+            };
+            let beta_addsub = beta_at(FuType::AddSub, table);
+            let beta_mul = beta_at(FuType::Mul, table);
+            let cfg = HlPowerConfig { alpha, beta_addsub, beta_mul };
+            let (fb, _) = bind_hlpower(cdfg, sched, rb, rc, table, &cfg);
+            fb
+        }
+    };
+    (fb, start.elapsed())
+}
+
+/// Builds the SA table a binder needs for a flow configuration.
+pub fn sa_table_for(cfg: &FlowConfig, binder: Binder) -> SaTable {
+    let mode = match binder {
+        Binder::HlPowerZeroDelay { .. } => SaMode::ZeroDelayAblation,
+        _ => SaMode::Precalculated,
+    };
+    SaTable::new(cfg.sa_width, cfg.k).with_mode(mode)
+}
+
+/// Full flow for one benchmark and binder: bind, elaborate, map,
+/// simulate, evaluate.
+pub fn run_benchmark(
+    cdfg: &Cdfg,
+    rc: &ResourceConstraint,
+    binder: Binder,
+    cfg: &FlowConfig,
+) -> FlowResult {
+    let (sched, rb) = prepare(cdfg, rc, cfg);
+    let mut table = sa_table_for(cfg, binder);
+    let (fb, bind_time) = bind(cdfg, &sched, &rb, rc, binder, &mut table);
+    measure(cdfg, &sched, &rb, &fb, rc, binder, cfg, bind_time)
+}
+
+/// Measures an existing binding through the backend (exposed separately
+/// so ablations can reuse one binding under several backends).
+#[allow(clippy::too_many_arguments)]
+pub fn measure(
+    cdfg: &Cdfg,
+    sched: &Schedule,
+    rb: &RegisterBinding,
+    fb: &FuBinding,
+    rc: &ResourceConstraint,
+    binder: Binder,
+    cfg: &FlowConfig,
+    bind_time: Duration,
+) -> FlowResult {
+    let mux = mux_report(cdfg, rb, fb);
+    let dp = elaborate(
+        cdfg,
+        sched,
+        rb,
+        fb,
+        &DatapathConfig { width: cfg.width, control: cfg.control },
+    );
+    let mapped = map(&dp.netlist, &MapConfig::new(cfg.k, cfg.map_objective));
+    let stats = simulate(&dp, &mapped.netlist, cfg);
+    // Nets that can toggle: LUTs + registers + input pins.
+    let num_nets = mapped.stats.luts
+        + mapped.netlist.num_latches()
+        + mapped.netlist.inputs().len();
+    let power = cfg.power.evaluate(&stats, mapped.stats.depth, num_nets);
+    FlowResult {
+        name: cdfg.name().to_string(),
+        binder: binder.label(),
+        schedule_steps: sched.num_steps,
+        registers: dp.registers,
+        fus_addsub: fb.count(FuType::AddSub),
+        fus_mul: fb.count(FuType::Mul),
+        meets_constraint: fb.meets(rc),
+        luts: mapped.stats.luts,
+        depth: mapped.stats.depth,
+        estimated_sa: mapped.stats.estimated_sa,
+        mux,
+        power,
+        bind_time,
+    }
+}
+
+/// Simulates `cfg.sim_cycles` cycles of the mapped datapath: a fresh
+/// random vector on the data pins **every clock cycle** — the paper's
+/// `.vwf` methodology — while the control program cycles through the
+/// schedule. The registered inputs turn the pin noise into an identical
+/// background for every binding, so differences reflect the bound
+/// datapath's structure.
+pub fn simulate(dp: &Datapath, mapped: &netlist::Netlist, cfg: &FlowConfig) -> gatesim::SimStats {
+    let mut sim = gatesim::CycleSim::new(mapped);
+    let mut src = VectorSource::new(cfg.sim_seed);
+    let mask = if cfg.width == 64 { u64::MAX } else { (1u64 << cfg.width) - 1 };
+    let mut data: Vec<u64> = vec![0; dp.data_ports.len()];
+    for c in 0..cfg.sim_cycles {
+        let step = (c % dp.num_steps as u64) as u32;
+        for d in &mut data {
+            let bits = src.next_vector(cfg.width);
+            *d = bits
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+                & mask;
+        }
+        sim.step(&dp.input_vector(step, &data));
+    }
+    sim.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_flow_runs_both_binders_on_pr() {
+        let p = cdfg::profile("pr").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("pr").unwrap();
+        let cfg = FlowConfig::fast();
+        let lop = run_benchmark(&g, &rc, Binder::Lopass, &cfg);
+        let hlp = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &cfg);
+        assert!(lop.meets_constraint && hlp.meets_constraint);
+        assert_eq!(lop.schedule_steps, hlp.schedule_steps, "shared schedule");
+        assert_eq!(lop.registers, hlp.registers, "shared register binding");
+        assert_eq!(lop.fus_addsub, hlp.fus_addsub);
+        assert_eq!(lop.fus_mul, hlp.fus_mul);
+        assert!(lop.luts > 0 && hlp.luts > 0);
+        assert!(lop.power.dynamic_power_mw > 0.0);
+        assert!(hlp.power.dynamic_power_mw > 0.0);
+        assert!(lop.power.glitch_fraction > 0.0, "datapaths glitch");
+    }
+
+    #[test]
+    fn paper_constraints_cover_suite() {
+        for p in cdfg::PROFILES {
+            assert!(paper_constraint(p.name).is_some(), "{}", p.name);
+        }
+        assert!(paper_constraint("nope").is_none());
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig::fast();
+        let a = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &cfg);
+        let b = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &cfg);
+        assert_eq!(a.luts, b.luts);
+        assert_eq!(a.power.total_transitions, b.power.total_transitions);
+        assert_eq!(a.mux, b.mux);
+    }
+
+    #[test]
+    fn fsm_control_flow_runs() {
+        let p = cdfg::profile("pr").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("pr").unwrap();
+        let cfg = FlowConfig {
+            control: crate::datapath::ControlStyle::Fsm,
+            ..FlowConfig::fast()
+        };
+        let r = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &cfg);
+        assert!(r.meets_constraint);
+        assert!(r.power.dynamic_power_mw > 0.0);
+        // The FSM adds its counter/ROM logic on top of the datapath.
+        let ext = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &FlowConfig::fast());
+        assert!(r.luts > ext.luts, "FSM controller costs LUTs: {} vs {}", r.luts, ext.luts);
+    }
+
+    #[test]
+    fn multicycle_multiplier_flow_runs() {
+        // The paper's future-work scenario: 2-cycle multipliers. The
+        // schedule stretches and the binders must respect occupancy.
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let single = FlowConfig::fast();
+        let multi = FlowConfig {
+            library: ResourceLibrary { addsub_latency: 1, mul_latency: 2 },
+            ..FlowConfig::fast()
+        };
+        let r1 = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &single);
+        let r2 = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &multi);
+        assert!(
+            r2.schedule_steps > r1.schedule_steps,
+            "2-cycle multipliers stretch the schedule: {} vs {}",
+            r2.schedule_steps,
+            r1.schedule_steps
+        );
+        assert!(r2.fus_mul <= rc.mul || !r2.meets_constraint);
+        // Functional check: the multi-cycle datapath still computes the
+        // CDFG (inputs held across each multiplier's occupancy).
+        let (sched, rb) = prepare(&g, &rc, &multi);
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let mut table = sa_table_for(&multi, binder);
+        let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+        let dp = crate::datapath::elaborate(
+            &g,
+            &sched,
+            &rb,
+            &fb,
+            &DatapathConfig::with_width(4),
+        );
+        let data: Vec<u64> = (0..g.inputs().len() as u64).collect();
+        assert_eq!(
+            crate::datapath::execute(&dp, &dp.netlist, &data),
+            g.evaluate(&data, 4)
+        );
+    }
+
+    #[test]
+    fn zero_delay_ablation_runs() {
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig::fast();
+        let r = run_benchmark(&g, &rc, Binder::HlPowerZeroDelay { alpha: 0.5 }, &cfg);
+        assert!(r.meets_constraint);
+        assert!(r.binder.contains("zd"));
+    }
+}

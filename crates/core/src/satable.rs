@@ -1,0 +1,432 @@
+//! Switching-activity precalculation for partial datapaths (paper
+//! Section 5.2.2, Figure 2).
+//!
+//! An edge weight in HLPower's bipartite graph needs the glitch-aware SA
+//! of the *partial datapath* a merge would create: the two input
+//! multiplexers plus the functional unit. This module generates exactly
+//! those netlists (the Figure 2 construction), maps them to 4-LUTs, runs
+//! the glitch-aware estimator, and memoizes the result keyed by
+//! `(FU type, mux size A, mux size B)` — the paper's precalculated hash
+//! table, including its text-file persistence format. Dynamic (uncached)
+//! estimation is kept for the equivalence/runtime ablation the paper
+//! reports ("the same results ... but with a much shorter run time").
+
+use activity::{analyze_zero_delay, ActivityConfig, ZeroDelayModel};
+use cdfg::FuType;
+use mapper::{map, MapConfig, MapObjective};
+use netlist::{cells, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Builds the gate-level partial datapath of Figure 2: an `mux_a`-input
+/// word multiplexer into port A, an `mux_b`-input word multiplexer into
+/// port B, and the functional unit. Mux sizes of 1 mean the port is fed
+/// directly. The adder/subtractor includes its `mode` control input.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or a mux size is 0.
+pub fn partial_datapath(fu: FuType, mux_a: usize, mux_b: usize, width: usize) -> Netlist {
+    assert!(width > 0 && mux_a > 0 && mux_b > 0);
+    let mut nl = Netlist::new(format!("{fu}_{mux_a}_{mux_b}"));
+    let port = |nl: &mut Netlist, tag: &str, n: usize| -> Vec<cells::Bus> {
+        (0..n)
+            .map(|k| {
+                (0..width)
+                    .map(|i| nl.add_input(format!("{tag}{k}_{i}")))
+                    .collect()
+            })
+            .collect()
+    };
+    let a_words = port(&mut nl, "a", mux_a);
+    let b_words = port(&mut nl, "b", mux_b);
+    let sa: Vec<_> = (0..cells::mux_select_bits(mux_a))
+        .map(|i| nl.add_input(format!("sa{i}")))
+        .collect();
+    let sb: Vec<_> = (0..cells::mux_select_bits(mux_b))
+        .map(|i| nl.add_input(format!("sb{i}")))
+        .collect();
+    let a = cells::mux_tree(&mut nl, "muxa", &sa, &a_words);
+    let b = cells::mux_tree(&mut nl, "muxb", &sb, &b_words);
+    let out = match fu {
+        FuType::AddSub => {
+            let mode = nl.add_input("mode");
+            cells::addsub(&mut nl, "fu", &a, &b, mode)
+        }
+        FuType::Mul => cells::array_multiplier(&mut nl, "fu", &a, &b),
+    };
+    for (i, o) in out.iter().enumerate() {
+        nl.mark_output(format!("o{i}"), *o);
+    }
+    nl
+}
+
+/// Computes the estimated switching activity of one partial datapath:
+/// technology-map to K-LUTs, then run the estimator. With
+/// `glitch_aware = false` the zero-delay Chou–Roy estimate is used
+/// instead (the ablation baseline).
+pub fn compute_sa(
+    fu: FuType,
+    mux_a: usize,
+    mux_b: usize,
+    width: usize,
+    k: usize,
+    glitch_aware: bool,
+) -> f64 {
+    let nl = partial_datapath(fu, mux_a, mux_b, width);
+    let mapped = map(&nl, &MapConfig::new(k, MapObjective::GlitchSa));
+    if glitch_aware {
+        mapped.stats.estimated_sa
+    } else {
+        analyze_zero_delay(
+            &mapped.netlist,
+            &ActivityConfig::uniform(),
+            ZeroDelayModel::ChouRoy,
+        )
+        .total_sa
+    }
+}
+
+/// How edge-weight SA values are obtained during binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SaMode {
+    /// Memoized lookups backed by on-demand computation (the paper's
+    /// precalculated hash table).
+    Precalculated,
+    /// Recompute the partial-datapath estimate on every query (the paper's
+    /// "dynamic SA estimation" comparison point).
+    Dynamic,
+    /// Zero-delay (glitch-blind) estimates — ablation of the glitch model.
+    ZeroDelayAblation,
+}
+
+/// Memoized switching-activity table.
+///
+/// # Examples
+///
+/// ```
+/// use cdfg::FuType;
+/// use hlpower::satable::SaTable;
+/// let mut t = SaTable::new(4, 4);
+/// let sa21 = t.get(FuType::AddSub, 2, 1);
+/// let sa22 = t.get(FuType::AddSub, 2, 2);
+/// assert!(sa22 > sa21, "more mux inputs switch more");
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SaTable {
+    width: usize,
+    k: usize,
+    mode: SaMode,
+    entries: HashMap<(FuType, u16, u16), f64>,
+    queries: u64,
+    misses: u64,
+}
+
+impl SaTable {
+    /// Creates an empty table for a datapath `width` and LUT size `k`.
+    pub fn new(width: usize, k: usize) -> Self {
+        SaTable {
+            width,
+            k,
+            mode: SaMode::Precalculated,
+            entries: HashMap::new(),
+            queries: 0,
+            misses: 0,
+        }
+    }
+
+    /// Sets the estimation mode (see [`SaMode`]).
+    pub fn with_mode(mut self, mode: SaMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Datapath width of the modeled partial datapaths.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(queries, cache misses)` counters for the precalc-vs-dynamic
+    /// runtime comparison.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.queries, self.misses)
+    }
+
+    /// The estimated SA of the `(fu, mux_a, mux_b)` partial datapath.
+    pub fn get(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
+        self.queries += 1;
+        let key = (fu, mux_a.min(u16::MAX as usize) as u16, mux_b.min(u16::MAX as usize) as u16);
+        match self.mode {
+            SaMode::Dynamic => {
+                self.misses += 1;
+                compute_sa(fu, mux_a, mux_b, self.width, self.k, true)
+            }
+            SaMode::Precalculated | SaMode::ZeroDelayAblation => {
+                let glitch = self.mode == SaMode::Precalculated;
+                let (width, k) = (self.width, self.k);
+                let misses = &mut self.misses;
+                *self.entries.entry(key).or_insert_with(|| {
+                    *misses += 1;
+                    compute_sa(fu, mux_a, mux_b, width, k, glitch)
+                })
+            }
+        }
+    }
+
+    /// Precomputes all entries with mux sizes up to `max_size` (the
+    /// paper's offline generation pass).
+    pub fn precompute(&mut self, max_size: usize) {
+        for fu in FuType::ALL {
+            for a in 1..=max_size {
+                for b in 1..=max_size {
+                    self.get(fu, a, b);
+                }
+            }
+        }
+    }
+
+    /// Serializes the table to the text format the paper stores on disk.
+    pub fn to_text(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(&(fu, a, b), &sa)| format!("{fu} {a} {b} {sa:.6}"))
+            .collect();
+        lines.sort();
+        format!(
+            "# hlpower SA table width={} k={}\n{}\n",
+            self.width,
+            self.k,
+            lines.join("\n")
+        )
+    }
+
+    /// Parses a table saved with [`SaTable::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, SaTableParseError> {
+        let mut width = 16;
+        let mut k = 4;
+        let mut entries = HashMap::new();
+        for (ln0, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                for tok in rest.split_whitespace() {
+                    if let Some(w) = tok.strip_prefix("width=") {
+                        width = w.parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+                    }
+                    if let Some(kk) = tok.strip_prefix("k=") {
+                        k = kk.parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+                    }
+                }
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 4 {
+                return Err(SaTableParseError(ln0 + 1));
+            }
+            let fu = match toks[0] {
+                "addsub" => FuType::AddSub,
+                "mult" => FuType::Mul,
+                _ => return Err(SaTableParseError(ln0 + 1)),
+            };
+            let a: u16 = toks[1].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+            let b: u16 = toks[2].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+            let sa: f64 = toks[3].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+            entries.insert((fu, a, b), sa);
+        }
+        Ok(SaTable {
+            width,
+            k,
+            mode: SaMode::Precalculated,
+            entries,
+            queries: 0,
+            misses: 0,
+        })
+    }
+}
+
+/// Parse error for [`SaTable::from_text`] (1-based line number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaTableParseError(pub usize);
+
+impl fmt::Display for SaTableParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed SA table line {}", self.0)
+    }
+}
+
+impl std::error::Error for SaTableParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatesim::Evaluator;
+
+    #[test]
+    fn partial_datapath_structure() {
+        let nl = partial_datapath(FuType::Mul, 3, 2, 4);
+        nl.check().unwrap();
+        // 3 + 2 words of 4 bits + 2 + 1 select bits
+        assert_eq!(nl.inputs().len(), 5 * 4 + 3);
+        assert_eq!(nl.outputs().len(), 4);
+        let addsub = partial_datapath(FuType::AddSub, 2, 2, 4);
+        // 4 words + 1 + 1 selects + mode
+        assert_eq!(addsub.inputs().len(), 4 * 4 + 3);
+    }
+
+    #[test]
+    fn partial_datapath_computes_selected_product() {
+        let width = 4;
+        let nl = partial_datapath(FuType::Mul, 2, 2, width);
+        let mut ev = Evaluator::new(&nl);
+        // word values: a0=3, a1=5, b0=2, b1=7
+        let vals = [("a0", 3u64), ("a1", 5), ("b0", 2), ("b1", 7)];
+        for (tag, v) in vals {
+            let bits: Vec<_> = (0..width)
+                .map(|i| nl.find(&format!("{tag}_{i}")).unwrap())
+                .collect();
+            ev.set_word(&bits, v);
+        }
+        let sa0 = nl.find("sa0").unwrap();
+        let sb0 = nl.find("sb0").unwrap();
+        let outs: Vec<_> = (0..width).map(|i| nl.outputs()[i].1).collect();
+        for (sa, sb, want) in [
+            (false, false, 3 * 2),
+            (true, false, 5 * 2),
+            (false, true, 3 * 7 % 16),
+            (true, true, 5 * 7 % 16),
+        ] {
+            ev.set_input(sa0, sa);
+            ev.set_input(sb0, sb);
+            ev.settle();
+            assert_eq!(ev.word(&outs), want as u64, "sa={sa} sb={sb}");
+        }
+    }
+
+    #[test]
+    fn addsub_partial_datapath_mode() {
+        let width = 4;
+        let nl = partial_datapath(FuType::AddSub, 1, 1, width);
+        let mut ev = Evaluator::new(&nl);
+        for (tag, v) in [("a0", 9u64), ("b0", 3)] {
+            let bits: Vec<_> = (0..width)
+                .map(|i| nl.find(&format!("{tag}_{i}")).unwrap())
+                .collect();
+            ev.set_word(&bits, v);
+        }
+        let mode = nl.find("mode").unwrap();
+        let outs: Vec<_> = (0..width).map(|i| nl.outputs()[i].1).collect();
+        ev.set_input(mode, false);
+        ev.settle();
+        assert_eq!(ev.word(&outs), 12);
+        ev.set_input(mode, true);
+        ev.settle();
+        assert_eq!(ev.word(&outs), 6);
+    }
+
+    #[test]
+    fn sa_grows_with_mux_size() {
+        let mut t = SaTable::new(4, 4);
+        let a11 = t.get(FuType::AddSub, 1, 1);
+        let a33 = t.get(FuType::AddSub, 3, 3);
+        assert!(a33 > a11, "bigger muxes -> more switching: {a11} vs {a33}");
+    }
+
+    #[test]
+    fn multiplier_dominates_adder_at_realistic_width() {
+        // At tiny widths the truncated multiplier can be smaller than the
+        // adder; at the paper's datapath widths the multiplier dominates
+        // (hence β ≈ 30 vs β ≈ 1000).
+        let mut t = SaTable::new(8, 4);
+        let a11 = t.get(FuType::AddSub, 1, 1);
+        let m11 = t.get(FuType::Mul, 1, 1);
+        assert!(
+            m11 > 2.0 * a11,
+            "multiplier should dominate adder: {a11} vs {m11}"
+        );
+    }
+
+    #[test]
+    fn memoization_counts() {
+        let mut t = SaTable::new(4, 4);
+        t.get(FuType::AddSub, 2, 2);
+        t.get(FuType::AddSub, 2, 2);
+        t.get(FuType::AddSub, 2, 2);
+        let (q, m) = t.counters();
+        assert_eq!(q, 3);
+        assert_eq!(m, 1, "only the first query computes");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_mode_matches_precalculated_values() {
+        // The paper: dynamic estimation gives the same results, only
+        // slower. The values must agree exactly.
+        let mut pre = SaTable::new(4, 4);
+        let mut dy = SaTable::new(4, 4).with_mode(SaMode::Dynamic);
+        for (a, b) in [(1, 1), (2, 3), (4, 2)] {
+            assert_eq!(
+                pre.get(FuType::AddSub, a, b),
+                dy.get(FuType::AddSub, a, b),
+                "({a},{b})"
+            );
+        }
+        let (_, m) = dy.counters();
+        assert_eq!(m, 3, "dynamic mode recomputes every query");
+    }
+
+    #[test]
+    fn zero_delay_ablation_underestimates() {
+        let mut glitchy = SaTable::new(4, 4);
+        let mut blind = SaTable::new(4, 4).with_mode(SaMode::ZeroDelayAblation);
+        let g = glitchy.get(FuType::Mul, 2, 2);
+        let z = blind.get(FuType::Mul, 2, 2);
+        assert!(
+            z < g,
+            "zero-delay ignores glitches so it must be lower: {z} vs {g}"
+        );
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut t = SaTable::new(6, 4);
+        t.get(FuType::AddSub, 1, 2);
+        t.get(FuType::Mul, 2, 1);
+        let text = t.to_text();
+        assert!(text.contains("width=6"));
+        let back = SaTable::from_text(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.width(), 6);
+        let mut back = back;
+        // Values must round-trip (within the 1e-6 text precision).
+        let orig = t.get(FuType::AddSub, 1, 2);
+        let load = back.get(FuType::AddSub, 1, 2);
+        assert!((orig - load).abs() < 1e-5);
+        let (_, misses) = back.counters();
+        assert_eq!(misses, 0, "loaded entry must not recompute");
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(SaTable::from_text("addsub 1 1\n").is_err());
+        assert!(SaTable::from_text("div 1 1 3.0\n").is_err());
+        assert!(SaTable::from_text("addsub x 1 3.0\n").is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Structural VHDL emission for elaborated datapaths.
+//!
+//! The paper converts binding solutions "to RTL design in VHDL with a CDFG
+//! to VHDL tool" before handing them to Quartus II. Our backend consumes
+//! the gate-level netlist directly, but the VHDL view is kept as an
+//! inspectable artifact (and for users who want to push a binding through
+//! a real synthesis flow). The writer emits a single self-contained
+//! entity: data/control inputs, one `std_logic` signal per net, gate
+//! bodies as concurrent assignments, and one clocked process for the
+//! registers.
+
+use crate::datapath::Datapath;
+use netlist::{Netlist, NodeId, NodeKind};
+
+/// Renders an elaborated datapath as structural VHDL.
+///
+/// The netlist rendered is `dp.netlist` (pre-mapping); every logic node
+/// becomes a concurrent signal assignment of its truth table in
+/// sum-of-products form, and latches become a clocked process with
+/// synchronous load.
+pub fn write_vhdl(dp: &Datapath) -> String {
+    let nl = &dp.netlist;
+    let mut out = String::new();
+    out.push_str("library ieee;\nuse ieee.std_logic_1164.all;\n\n");
+    out.push_str(&format!("entity {} is\n  port (\n    clk : in std_logic", sanitize(nl.name())));
+    for &i in nl.inputs() {
+        out.push_str(&format!(";\n    {} : in std_logic", sanitize(&nl.node(i).name)));
+    }
+    for (port, _) in nl.outputs() {
+        out.push_str(&format!(";\n    {} : out std_logic", sanitize(port)));
+    }
+    out.push_str("\n  );\nend entity;\n\n");
+    out.push_str(&format!("architecture rtl of {} is\n", sanitize(nl.name())));
+    for (id, node) in nl.nodes() {
+        if matches!(node.kind, NodeKind::Logic { .. } | NodeKind::Latch { .. } | NodeKind::Constant(_)) {
+            out.push_str(&format!("  signal {} : std_logic;\n", net(nl, id)));
+        }
+    }
+    out.push_str("begin\n");
+    // Combinational nodes and constants.
+    for (id, node) in nl.nodes() {
+        match &node.kind {
+            NodeKind::Constant(v) => {
+                out.push_str(&format!("  {} <= '{}';\n", net(nl, id), if *v { 1 } else { 0 }));
+            }
+            NodeKind::Logic { fanins, table } => {
+                out.push_str(&format!("  {} <= {};\n", net(nl, id), sop(nl, fanins, table)));
+            }
+            _ => {}
+        }
+    }
+    // Registers.
+    if !nl.latches().is_empty() {
+        out.push_str("  regs : process (clk)\n  begin\n    if rising_edge(clk) then\n");
+        for &l in nl.latches() {
+            if let NodeKind::Latch { data, .. } = &nl.node(l).kind {
+                out.push_str(&format!(
+                    "      {} <= {};\n",
+                    net(nl, l),
+                    net(nl, *data)
+                ));
+            }
+        }
+        out.push_str("    end if;\n  end process;\n");
+    }
+    for (port, id) in nl.outputs() {
+        out.push_str(&format!("  {} <= {};\n", sanitize(port), net(nl, *id)));
+    }
+    out.push_str("end architecture;\n");
+    out
+}
+
+/// VHDL-safe reference to a net: inputs keep their port name, everything
+/// else gets a sanitized signal name.
+fn net(nl: &Netlist, id: NodeId) -> String {
+    sanitize(&nl.node(id).name)
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.starts_with(|c: char| c.is_ascii_digit()) || s.starts_with('_') {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+/// Sum-of-products expression of a truth table over fanin signal names.
+fn sop(nl: &Netlist, fanins: &[NodeId], table: &netlist::TruthTable) -> String {
+    if let Some(v) = table.as_constant() {
+        return format!("'{}'", if v { 1 } else { 0 });
+    }
+    let mut terms = Vec::new();
+    for row in 0..table.num_rows() {
+        if !table.eval(row) {
+            continue;
+        }
+        let term: Vec<String> = fanins
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                if row & (1 << i) != 0 {
+                    net(nl, *f)
+                } else {
+                    format!("not {}", net(nl, *f))
+                }
+            })
+            .collect();
+        terms.push(format!("({})", term.join(" and ")));
+    }
+    terms.join(" or ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::{elaborate, DatapathConfig};
+    use crate::fubind::{bind_hlpower, HlPowerConfig};
+    use crate::regbind::{bind_registers, RegBindConfig};
+    use crate::satable::SaTable;
+    use cdfg::{list_schedule, Cdfg, OpKind, ResourceConstraint, ResourceLibrary};
+
+    fn small_datapath() -> Datapath {
+        let mut g = Cdfg::new("vh");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, p) = g.add_op(OpKind::Mul, a, b);
+        let (_, s) = g.add_op(OpKind::Add, p, a);
+        g.mark_output(s);
+        let rc = ResourceConstraint::new(1, 1);
+        let sched = list_schedule(&g, &ResourceLibrary::default(), &rc);
+        let rb = bind_registers(&g, &sched, &RegBindConfig::default());
+        let mut t = SaTable::new(4, 4);
+        let (fb, _) = bind_hlpower(&g, &sched, &rb, &rc, &mut t, &HlPowerConfig::default());
+        elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(4))
+    }
+
+    #[test]
+    fn vhdl_has_entity_ports_and_process() {
+        let dp = small_datapath();
+        let v = write_vhdl(&dp);
+        assert!(v.contains("library ieee;"));
+        assert!(v.contains("entity vh_dp is"));
+        assert!(v.contains("clk : in std_logic"));
+        assert!(v.contains("a_0 : in std_logic"));
+        assert!(v.contains("rising_edge(clk)"));
+        assert!(v.contains("end architecture;"));
+        // every primary output appears as an out port and an assignment
+        for (port, _) in dp.netlist.outputs() {
+            let p = super::sanitize(port);
+            assert!(v.contains(&format!("{p} : out std_logic")), "{p}");
+            assert!(v.contains(&format!("  {p} <= ")), "{p}");
+        }
+    }
+
+    #[test]
+    fn vhdl_signal_count_matches_netlist() {
+        let dp = small_datapath();
+        let v = write_vhdl(&dp);
+        let signal_lines = v.lines().filter(|l| l.trim_start().starts_with("signal ")).count();
+        let expected = dp
+            .netlist
+            .nodes()
+            .filter(|(_, n)| {
+                matches!(
+                    n.kind,
+                    NodeKind::Logic { .. } | NodeKind::Latch { .. } | NodeKind::Constant(_)
+                )
+            })
+            .count();
+        assert_eq!(signal_lines, expected);
+    }
+
+    #[test]
+    fn sanitize_rules() {
+        assert_eq!(sanitize("a_0"), "a_0");
+        assert_eq!(sanitize("9bad"), "n9bad");
+        assert_eq!(sanitize("_x"), "n_x");
+        assert_eq!(sanitize("dot.name"), "dot_name");
+    }
+}

@@ -1,0 +1,239 @@
+//! Zero-delay functional evaluation.
+//!
+//! The [`Evaluator`] computes stable node values per clock cycle without
+//! modelling propagation delay. It is the *verification oracle* of the
+//! workspace: every transformation (technology mapping, datapath
+//! elaboration) is checked for functional equivalence against it, and the
+//! unit-delay simulator's settled values must agree with it cycle by
+//! cycle.
+
+use netlist::{Netlist, NodeId, NodeKind};
+
+/// Zero-delay, cycle-accurate evaluator for a netlist.
+///
+/// # Examples
+///
+/// ```
+/// use gatesim::Evaluator;
+/// use netlist::{Netlist, TruthTable};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_logic("g", vec![a, b], TruthTable::xor(2));
+/// nl.mark_output("o", g);
+/// let mut ev = Evaluator::new(&nl);
+/// ev.set_input(a, true);
+/// ev.set_input(b, false);
+/// ev.settle();
+/// assert!(ev.value(g));
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    nl: &'a Netlist,
+    order: Vec<NodeId>,
+    values: Vec<bool>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator with latches at their init values and inputs
+    /// low.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails [`Netlist::check`].
+    pub fn new(nl: &'a Netlist) -> Self {
+        nl.check().expect("evaluator input must be a valid netlist");
+        let order = nl.topo_order();
+        let mut ev = Evaluator { nl, order, values: vec![false; nl.num_nodes()] };
+        ev.reset();
+        ev
+    }
+
+    /// Resets latches to their init values and primary inputs to 0, then
+    /// settles.
+    pub fn reset(&mut self) {
+        for (id, node) in self.nl.nodes() {
+            self.values[id.index()] = match &node.kind {
+                NodeKind::Constant(v) => *v,
+                NodeKind::Latch { init, .. } => *init,
+                _ => false,
+            };
+        }
+        self.settle();
+    }
+
+    /// Sets one primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a primary input.
+    pub fn set_input(&mut self, id: NodeId, value: bool) {
+        assert!(
+            matches!(self.nl.node(id).kind, NodeKind::Input),
+            "{id} is not a primary input"
+        );
+        self.values[id.index()] = value;
+    }
+
+    /// Sets a little-endian input word.
+    pub fn set_word(&mut self, bits: &[NodeId], value: u64) {
+        for (i, &b) in bits.iter().enumerate() {
+            self.set_input(b, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Propagates all combinational logic (zero delay).
+    pub fn settle(&mut self) {
+        for &id in &self.order {
+            if let NodeKind::Logic { fanins, table } = &self.nl.node(id).kind {
+                let mut row = 0u32;
+                for (k, f) in fanins.iter().enumerate() {
+                    if self.values[f.index()] {
+                        row |= 1 << k;
+                    }
+                }
+                self.values[id.index()] = table.eval(row);
+            }
+        }
+    }
+
+    /// Clocks every latch: `Q := D` simultaneously, then settles.
+    pub fn step_clock(&mut self) {
+        let captured: Vec<(usize, bool)> = self
+            .nl
+            .latches()
+            .iter()
+            .map(|&l| match &self.nl.node(l).kind {
+                NodeKind::Latch { data, .. } => (l.index(), self.values[data.index()]),
+                _ => unreachable!(),
+            })
+            .collect();
+        for (idx, v) in captured {
+            self.values[idx] = v;
+        }
+        self.settle();
+    }
+
+    /// Current value of a node (after [`Evaluator::settle`]).
+    pub fn value(&self, id: NodeId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// Reads a little-endian word of node values.
+    pub fn word(&self, bits: &[NodeId]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((self.values[b.index()] as u64) << i))
+    }
+
+    /// Snapshot of all node values (indexed by node id).
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{cells, Netlist, TruthTable};
+
+    #[test]
+    fn combinational_eval() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_logic("g", vec![a, b], TruthTable::and(2));
+        nl.mark_output("o", g);
+        let mut ev = Evaluator::new(&nl);
+        for (x, y) in [(false, false), (true, false), (true, true)] {
+            ev.set_input(a, x);
+            ev.set_input(b, y);
+            ev.settle();
+            assert_eq!(ev.value(g), x && y);
+        }
+    }
+
+    #[test]
+    fn word_helpers() {
+        let mut nl = Netlist::new("w");
+        let a: Vec<NodeId> = (0..8).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<NodeId> = (0..8).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let (sum, _) = cells::ripple_adder(&mut nl, "add", &a, &b, None);
+        for (i, s) in sum.iter().enumerate() {
+            nl.mark_output(format!("s{i}"), *s);
+        }
+        let mut ev = Evaluator::new(&nl);
+        ev.set_word(&a, 100);
+        ev.set_word(&b, 55);
+        ev.settle();
+        assert_eq!(ev.word(&sum), 155);
+    }
+
+    #[test]
+    fn sequential_counterish() {
+        // q' = q XOR 1 : toggles every cycle.
+        let mut nl = Netlist::new("t");
+        let one = nl.add_constant("one", true);
+        let q = nl.add_latch("q", false);
+        let d = nl.add_logic("d", vec![q, one], TruthTable::xor(2));
+        nl.set_latch_data(q, d);
+        nl.mark_output("o", q);
+        let mut ev = Evaluator::new(&nl);
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(ev.value(q));
+            ev.step_clock();
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn latch_init_respected() {
+        let mut nl = Netlist::new("init");
+        let q = nl.add_latch("q", true);
+        let d = nl.add_logic("d", vec![q], TruthTable::buffer());
+        nl.set_latch_data(q, d);
+        nl.mark_output("o", q);
+        let ev = Evaluator::new(&nl);
+        assert!(ev.value(q));
+    }
+
+    #[test]
+    fn enabled_register_holds_value() {
+        let mut nl = Netlist::new("reg");
+        let d: Vec<NodeId> = (0..4).map(|i| nl.add_input(format!("d{i}"))).collect();
+        let en = nl.add_input("en");
+        let reg = cells::register_word(&mut nl, "r", 4, 0);
+        cells::connect_register_with_enable(&mut nl, "r", &reg, en, &d);
+        nl.mark_output("q0", reg.q[0]);
+        let mut ev = Evaluator::new(&nl);
+        ev.set_word(&d, 9);
+        ev.set_input(en, true);
+        ev.settle();
+        ev.step_clock();
+        assert_eq!(ev.word(&reg.q), 9);
+        // disable and change the input: register must hold
+        ev.set_word(&d, 5);
+        ev.set_input(en, false);
+        ev.settle();
+        ev.step_clock();
+        assert_eq!(ev.word(&reg.q), 9);
+        // enable again
+        ev.set_input(en, true);
+        ev.settle();
+        ev.step_clock();
+        assert_eq!(ev.word(&reg.q), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn set_input_rejects_logic_nodes() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let g = nl.add_logic("g", vec![a], TruthTable::buffer());
+        nl.mark_output("o", g);
+        let mut ev = Evaluator::new(&nl);
+        ev.set_input(g, true);
+    }
+}

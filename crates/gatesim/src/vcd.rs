@@ -1,0 +1,180 @@
+//! VCD (Value Change Dump) waveform export.
+//!
+//! Records cycle-accurate waveforms of selected nets across a stimulus
+//! sequence, for inspection in GTKWave or any VCD viewer — the debugging
+//! companion to the toggle statistics. One VCD timestep per clock cycle
+//! (settled values; per-cycle glitches are reported by
+//! [`crate::CycleSim`]'s counters rather than drawn).
+
+use crate::eval::Evaluator;
+use netlist::{Netlist, NodeId, NodeKind};
+
+/// Builds a VCD identifier (printable ASCII 33..=126) for a signal index.
+fn vcd_id(mut index: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push(char::from(33 + (index % 94) as u8));
+        index /= 94;
+        if index == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Dumps a VCD trace of `signals` (or of every input, latch, and output
+/// driver when `None`) across the given per-cycle input vectors. Each
+/// vector lists one value per primary input in [`Netlist::inputs`] order;
+/// latches clock between vectors exactly as in [`crate::CycleSim`].
+///
+/// # Panics
+///
+/// Panics if the netlist is invalid or a vector has the wrong length.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{Netlist, TruthTable};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_logic("g", vec![a], TruthTable::inverter());
+/// nl.mark_output("o", g);
+/// let vcd = gatesim::dump_vcd(&nl, &[vec![false], vec![true]], None);
+/// assert!(vcd.contains("$var wire 1"));
+/// assert!(vcd.contains("#1"));
+/// ```
+pub fn dump_vcd(nl: &Netlist, vectors: &[Vec<bool>], signals: Option<&[NodeId]>) -> String {
+    let selected: Vec<NodeId> = match signals {
+        Some(s) => s.to_vec(),
+        None => {
+            let mut auto: Vec<NodeId> = nl.inputs().to_vec();
+            auto.extend(nl.latches().iter().copied());
+            for (_, id) in nl.outputs() {
+                if !auto.contains(id) {
+                    auto.push(*id);
+                }
+            }
+            auto
+        }
+    };
+    let mut out = String::new();
+    out.push_str("$date hlpower gatesim $end\n");
+    out.push_str("$version hlpower gatesim $end\n");
+    out.push_str("$timescale 1 ns $end\n");
+    out.push_str(&format!("$scope module {} $end\n", nl.name()));
+    for (k, &id) in selected.iter().enumerate() {
+        let kind = match nl.node(id).kind {
+            NodeKind::Latch { .. } => "reg",
+            _ => "wire",
+        };
+        out.push_str(&format!(
+            "$var {kind} 1 {} {} $end\n",
+            vcd_id(k),
+            nl.node(id).name
+        ));
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let mut ev = Evaluator::new(nl);
+    let mut last: Vec<Option<bool>> = vec![None; selected.len()];
+    for (cycle, vector) in vectors.iter().enumerate() {
+        assert_eq!(vector.len(), nl.inputs().len(), "one value per input");
+        if cycle > 0 {
+            ev.step_clock();
+        }
+        for (k, &i) in nl.inputs().iter().enumerate() {
+            ev.set_input(i, vector[k]);
+        }
+        ev.settle();
+        let mut changes = String::new();
+        for (k, &id) in selected.iter().enumerate() {
+            let v = ev.value(id);
+            if last[k] != Some(v) {
+                last[k] = Some(v);
+                changes.push_str(&format!("{}{}\n", if v { '1' } else { '0' }, vcd_id(k)));
+            }
+        }
+        if !changes.is_empty() {
+            out.push_str(&format!("#{cycle}\n"));
+            if cycle == 0 {
+                out.push_str("$dumpvars\n");
+            }
+            out.push_str(&changes);
+            if cycle == 0 {
+                out.push_str("$end\n");
+            }
+        }
+    }
+    out.push_str(&format!("#{}\n", vectors.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{cells, TruthTable};
+
+    #[test]
+    fn vcd_ids_are_unique_and_printable() {
+        let ids: Vec<String> = (0..300).map(vcd_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn counter_waveform() {
+        // 2-bit counter; the LSB toggles every cycle in the dump.
+        let mut nl = Netlist::new("cnt");
+        let one = cells::const_word(&mut nl, "k", 1, 2);
+        let state = cells::register_word(&mut nl, "q", 2, 0);
+        let (next, _) = cells::ripple_adder(&mut nl, "inc", &state.q, &one, None);
+        cells::connect_register(&mut nl, &state, &next);
+        nl.mark_output("q0", state.q[0]);
+        nl.mark_output("q1", state.q[1]);
+        let vectors = vec![vec![]; 6];
+        let vcd = dump_vcd(&nl, &vectors, Some(&state.q));
+        assert!(vcd.contains("$var reg 1 ! q_q0 $end"));
+        // q0 toggles every cycle: one change line per timestep.
+        let q0_changes = vcd.lines().filter(|l| l.ends_with('!') && l.len() <= 2).count();
+        assert_eq!(q0_changes, 6, "{vcd}");
+        // q1 toggles every other cycle.
+        let q1_changes =
+            vcd.lines().filter(|l| l.ends_with('"') && l.len() <= 2).count();
+        assert_eq!(q1_changes, 3);
+    }
+
+    #[test]
+    fn only_changes_are_dumped() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let g = nl.add_logic("g", vec![a], TruthTable::buffer());
+        nl.mark_output("o", g);
+        let vectors = vec![vec![false], vec![false], vec![true], vec![true]];
+        let vcd = dump_vcd(&nl, &vectors, None);
+        // timestep markers only where something changed (plus the final
+        // end-of-trace marker)
+        assert!(vcd.contains("#0"));
+        assert!(!vcd.contains("#1\n"), "no change at cycle 1:\n{vcd}");
+        assert!(vcd.contains("#2"));
+        assert!(vcd.contains("#4"), "end marker");
+    }
+
+    #[test]
+    fn default_selection_covers_io_and_state() {
+        let mut nl = Netlist::new("sel");
+        let a = nl.add_input("a");
+        let q = nl.add_latch("q", false);
+        let d = nl.add_logic("d", vec![a, q], TruthTable::xor(2));
+        nl.set_latch_data(q, d);
+        nl.mark_output("o", d);
+        let vcd = dump_vcd(&nl, &vec![vec![true]; 3], None);
+        assert!(vcd.contains("$var wire 1 ! a $end"));
+        assert!(vcd.contains("$var reg 1 \" q $end"));
+        assert!(vcd.contains(" d $end"));
+    }
+}

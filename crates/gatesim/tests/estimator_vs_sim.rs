@@ -1,0 +1,155 @@
+//! Cross-validation: the probabilistic glitch-aware SA estimator
+//! (`activity` crate, paper Section 4) against measured toggle counts from
+//! the unit-delay event simulator. Both use the same delay model, so on
+//! fanout-free structures the estimate should converge to the measurement;
+//! reconvergent fanout introduces correlation the estimator ignores, so
+//! those comparisons use loose tolerances.
+
+use activity::{analyze, ActivityConfig};
+use gatesim::run_random;
+use netlist::{cells, Netlist, NodeId, TruthTable};
+
+const CYCLES: u64 = 4000;
+
+/// Measured per-cycle switching activity of one node.
+fn measured(stats: &gatesim::SimStats, id: NodeId) -> f64 {
+    stats.per_node[id.index()] as f64 / stats.cycles as f64
+}
+
+#[test]
+fn xor_tree_estimate_is_exact() {
+    // Independent inputs, fanout-free tree: estimator assumptions hold.
+    let mut nl = Netlist::new("xt");
+    let ins: Vec<NodeId> = (0..4).map(|i| nl.add_input(format!("i{i}"))).collect();
+    let x1 = nl.add_logic("x1", vec![ins[0], ins[1]], TruthTable::xor(2));
+    let x2 = nl.add_logic("x2", vec![ins[2], ins[3]], TruthTable::xor(2));
+    let x3 = nl.add_logic("x3", vec![x1, x2], TruthTable::xor(2));
+    nl.mark_output("o", x3);
+    let est = analyze(&nl, &ActivityConfig::uniform());
+    let sim = run_random(&nl, CYCLES, 7);
+    for id in [x1, x2, x3] {
+        let e = est.signals[id.index()].total_activity();
+        let m = measured(&sim, id);
+        assert!(
+            (e - m).abs() < 0.04,
+            "node {id}: estimated {e:.3} vs measured {m:.3}"
+        );
+    }
+}
+
+#[test]
+fn skewed_and_glitches_match() {
+    // h = AND(AND(a,b), c): the estimator predicts glitching at time 1;
+    // the simulator must see glitches of comparable magnitude.
+    let mut nl = Netlist::new("sk");
+    let a = nl.add_input("a");
+    let b = nl.add_input("b");
+    let c = nl.add_input("c");
+    let g = nl.add_logic("g", vec![a, b], TruthTable::and(2));
+    let h = nl.add_logic("h", vec![g, c], TruthTable::and(2));
+    nl.mark_output("o", h);
+    let est = analyze(&nl, &ActivityConfig::uniform());
+    let sim = run_random(&nl, CYCLES, 11);
+    let e = est.signals[h.index()].total_activity();
+    let m = measured(&sim, h);
+    assert!((e - m).abs() < 0.05, "estimated {e:.3} vs measured {m:.3}");
+    // Glitch shares agree in sign and rough magnitude.
+    let est_glitch = est.signals[h.index()].glitch_activity();
+    assert!(est_glitch > 0.0);
+    assert!(sim.glitch_transitions > 0);
+}
+
+#[test]
+fn adder_totals_track_measurement() {
+    // Carry chains reconverge, so allow a generous relative band on the
+    // *total* SA; the estimator must still rank glitchy vs quiet circuits
+    // correctly (checked in mux_balance_ranking below).
+    let w = 6;
+    let mut nl = Netlist::new("add");
+    let a: Vec<NodeId> = (0..w).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..w).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let (sum, _) = cells::ripple_adder(&mut nl, "fu", &a, &b, None);
+    for (i, s) in sum.iter().enumerate() {
+        nl.mark_output(format!("s{i}"), *s);
+    }
+    let est = analyze(&nl, &ActivityConfig::uniform());
+    let sim = run_random(&nl, CYCLES, 13);
+    let logic_ids: Vec<NodeId> = nl
+        .nodes()
+        .filter(|(_, n)| matches!(n.kind, netlist::NodeKind::Logic { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    let measured_total: f64 = logic_ids.iter().map(|&id| measured(&sim, id)).sum();
+    let ratio = est.total_sa / measured_total;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "estimated {:.2} vs measured {measured_total:.2} (ratio {ratio:.2})",
+        est.total_sa
+    );
+}
+
+#[test]
+fn mux_balance_ranking_agrees_with_simulation() {
+    // The paper's central premise: balanced mux trees glitch less than
+    // skewed chains. Both the estimator and the simulator must agree on
+    // the ranking.
+    fn build(chain: bool) -> (Netlist, usize) {
+        let mut nl = Netlist::new(if chain { "chain" } else { "tree" });
+        let w = 4;
+        let inputs: Vec<netlist::Bus> = (0..6)
+            .map(|k| (0..w).map(|i| nl.add_input(format!("in{k}_{i}"))).collect())
+            .collect();
+        let sels: Vec<NodeId> =
+            (0..cells::mux_select_bits(6)).map(|i| nl.add_input(format!("s{i}"))).collect();
+        let out = if chain {
+            cells::mux_chain(&mut nl, "m", &sels, &inputs)
+        } else {
+            cells::mux_tree(&mut nl, "m", &sels, &inputs)
+        };
+        for (i, o) in out.iter().enumerate() {
+            nl.mark_output(format!("o{i}"), *o);
+        }
+        let logic = nl.num_logic();
+        (nl, logic)
+    }
+    let (tree, _) = build(false);
+    let (chain, _) = build(true);
+    let est_tree = analyze(&tree, &ActivityConfig::uniform()).total_sa;
+    let est_chain = analyze(&chain, &ActivityConfig::uniform()).total_sa;
+    let sim_tree = run_random(&tree, CYCLES, 17).total_transitions;
+    let sim_chain = run_random(&chain, CYCLES, 17).total_transitions;
+    assert!(
+        est_chain > est_tree,
+        "estimator: chain {est_chain:.1} vs tree {est_tree:.1}"
+    );
+    assert!(
+        sim_chain > sim_tree,
+        "simulator: chain {sim_chain} vs tree {sim_tree}"
+    );
+}
+
+#[test]
+fn multiplier_glitch_fraction_is_substantial() {
+    // Array multipliers are the dominant glitch source the paper targets;
+    // both views should attribute a large share of activity to glitches.
+    let w = 5;
+    let mut nl = Netlist::new("mul");
+    let a: Vec<NodeId> = (0..w).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..w).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let p = cells::array_multiplier(&mut nl, "m", &a, &b);
+    for (i, s) in p.iter().enumerate() {
+        nl.mark_output(format!("p{i}"), *s);
+    }
+    let est = analyze(&nl, &ActivityConfig::uniform());
+    let sim = run_random(&nl, CYCLES, 19);
+    assert!(
+        est.glitch_fraction() > 0.15,
+        "estimated glitch fraction {:.2}",
+        est.glitch_fraction()
+    );
+    assert!(
+        sim.glitch_fraction() > 0.15,
+        "measured glitch fraction {:.2}",
+        sim.glitch_fraction()
+    );
+}

@@ -1,0 +1,415 @@
+//! K-feasible cut enumeration with dominance pruning (Cong/Wu/Ding \[8\]).
+//!
+//! A *cut* of node `n` is a set of nodes (leaves) such that every path
+//! from a source to `n` passes through a leaf; a cut is K-feasible when it
+//! has at most `K` leaves and can therefore be implemented by one K-input
+//! LUT. Cut sets are built bottom-up: the cuts of a node are the
+//! K-feasible unions of one cut per fanin, plus the trivial cut `{n}`.
+//!
+//! Constant nodes get an *empty* cut, so constants are folded into LUT
+//! functions instead of occupying LUT pins.
+
+use netlist::{Netlist, NodeId, NodeKind, TruthTable};
+use std::collections::HashMap;
+
+/// One cut: sorted leaf set plus a 64-bit subset signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+    sig: u64,
+}
+
+impl Cut {
+    /// The trivial cut `{n}`.
+    pub fn trivial(n: NodeId) -> Self {
+        Cut { leaves: vec![n], sig: 1u64 << (n.0 % 64) }
+    }
+
+    /// The empty cut (used for constant nodes).
+    pub fn empty() -> Self {
+        Cut { leaves: Vec::new(), sig: 0 }
+    }
+
+    /// Sorted leaves.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Leaf count.
+    pub fn size(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Merges two cuts; `None` if the union exceeds `k` leaves.
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        // Quick reject: the signature union popcount is a lower bound on
+        // the merged size (signatures alias mod 64, never undercounting
+        // distinct bits they do set).
+        if (self.sig | other.sig).count_ones() as usize > k {
+            return None;
+        }
+        let mut merged = Vec::with_capacity(self.leaves.len() + other.leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.leaves.len() && j < other.leaves.len() {
+            match self.leaves[i].cmp(&other.leaves[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.leaves[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.leaves[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.leaves[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+            if merged.len() > k {
+                return None;
+            }
+        }
+        merged.extend_from_slice(&self.leaves[i..]);
+        merged.extend_from_slice(&other.leaves[j..]);
+        if merged.len() > k {
+            return None;
+        }
+        let sig = self.sig | other.sig;
+        Some(Cut { leaves: merged, sig })
+    }
+
+    /// True if `self`'s leaves are a subset of `other`'s (so `self`
+    /// dominates `other`).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        if self.sig & other.sig != self.sig {
+            return false;
+        }
+        let mut j = 0;
+        for leaf in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < *leaf {
+                j += 1;
+            }
+            if j >= other.leaves.len() || other.leaves[j] != *leaf {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Cut enumeration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CutConfig {
+    /// LUT input count `K` (Cyclone II uses 4).
+    pub k: usize,
+    /// Maximum number of cuts kept per node (trivial cut not counted).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig { k: 4, max_cuts: 12 }
+    }
+}
+
+/// Per-node cut sets for a whole netlist, indexed by `NodeId`.
+#[derive(Clone, Debug)]
+pub struct CutSets {
+    sets: Vec<Vec<Cut>>,
+}
+
+impl CutSets {
+    /// Cuts of one node. For logic nodes the first entry is the trivial
+    /// cut; the remaining entries are K-feasible non-trivial cuts sorted by
+    /// size.
+    pub fn cuts(&self, n: NodeId) -> &[Cut] {
+        &self.sets[n.index()]
+    }
+
+    /// Non-trivial cuts of a logic node (the ones a LUT can implement).
+    pub fn implementable(&self, n: NodeId) -> &[Cut] {
+        let all = &self.sets[n.index()];
+        if all.first().map(|c| c.leaves() == [n]) == Some(true) {
+            &all[1..]
+        } else {
+            all
+        }
+    }
+
+    /// Total number of stored cuts (diagnostics).
+    pub fn total(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+/// Enumerates K-feasible cuts for every node.
+///
+/// # Panics
+///
+/// Panics if the netlist is cyclic (run [`Netlist::check`] first).
+pub fn enumerate_cuts(nl: &Netlist, cfg: &CutConfig) -> CutSets {
+    assert!(cfg.k >= 2 && cfg.k <= 8, "supported LUT sizes are 2..=8");
+    let mut sets: Vec<Vec<Cut>> = vec![Vec::new(); nl.num_nodes()];
+    for id in nl.topo_order() {
+        let node = nl.node(id);
+        let cuts = match &node.kind {
+            NodeKind::Input | NodeKind::Latch { .. } => vec![Cut::trivial(id)],
+            NodeKind::Constant(_) => vec![Cut::empty()],
+            NodeKind::Logic { fanins, .. } => {
+                let mut partial: Vec<Cut> = vec![Cut::empty()];
+                for f in fanins {
+                    let mut next: Vec<Cut> = Vec::new();
+                    for p in &partial {
+                        for c in &sets[f.index()] {
+                            if let Some(m) = p.merge(c, cfg.k) {
+                                insert_pruned(&mut next, m);
+                            }
+                        }
+                    }
+                    // Cap intermediate growth to keep merging polynomial.
+                    sort_cuts(&mut next);
+                    next.truncate(cfg.max_cuts * 4);
+                    partial = next;
+                }
+                sort_cuts(&mut partial);
+                partial.truncate(cfg.max_cuts);
+                let mut with_trivial = Vec::with_capacity(partial.len() + 1);
+                with_trivial.push(Cut::trivial(id));
+                with_trivial.extend(partial);
+                with_trivial
+            }
+        };
+        sets[id.index()] = cuts;
+    }
+    CutSets { sets }
+}
+
+fn sort_cuts(cuts: &mut [Cut]) {
+    cuts.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.leaves.cmp(&b.leaves)));
+}
+
+fn insert_pruned(set: &mut Vec<Cut>, cut: Cut) {
+    for existing in set.iter() {
+        if existing.dominates(&cut) {
+            return;
+        }
+    }
+    set.retain(|existing| !cut.dominates(existing));
+    set.push(cut);
+}
+
+/// Computes the Boolean function of `root` expressed over the leaves of
+/// `cut`, by evaluating the cone for every leaf assignment. Constants
+/// encountered inside the cone are folded.
+///
+/// # Panics
+///
+/// Panics if the cone reaches a non-constant source that is not a leaf
+/// (i.e. `cut` is not actually a cut of `root`), or if the cut has more
+/// than [`netlist::MAX_INPUTS`] leaves.
+pub fn cut_function(nl: &Netlist, root: NodeId, cut: &Cut) -> TruthTable {
+    let leaves = cut.leaves();
+    let k = leaves.len();
+    let mut leaf_pos: HashMap<NodeId, usize> = HashMap::with_capacity(k);
+    for (i, &l) in leaves.iter().enumerate() {
+        leaf_pos.insert(l, i);
+    }
+    // Collect the cone in topological order once, then evaluate per row.
+    let cone = collect_cone(nl, root, &leaf_pos);
+    TruthTable::from_fn(k, |row| {
+        let mut values: HashMap<NodeId, bool> = HashMap::with_capacity(cone.len() + k);
+        for (i, &l) in leaves.iter().enumerate() {
+            values.insert(l, row & (1 << i) != 0);
+        }
+        for &n in &cone {
+            let v = match &nl.node(n).kind {
+                NodeKind::Constant(c) => *c,
+                NodeKind::Logic { fanins, table } => {
+                    let mut idx = 0u32;
+                    for (bit, f) in fanins.iter().enumerate() {
+                        if values[f] {
+                            idx |= 1 << bit;
+                        }
+                    }
+                    table.eval(idx)
+                }
+                _ => unreachable!("cone stops at leaves"),
+            };
+            values.insert(n, v);
+        }
+        values[&root]
+    })
+}
+
+/// Nodes strictly inside the cone (excluding leaves), in topological order
+/// ending with `root`. Empty when `root` is itself a leaf.
+fn collect_cone(nl: &Netlist, root: NodeId, leaf_pos: &HashMap<NodeId, usize>) -> Vec<NodeId> {
+    if leaf_pos.contains_key(&root) {
+        return Vec::new();
+    }
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut state: HashMap<NodeId, u8> = HashMap::new(); // 1 = open, 2 = done
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    while let Some((n, child)) = stack.pop() {
+        if child == 0 {
+            if state.get(&n) == Some(&2) {
+                continue;
+            }
+            state.insert(n, 1);
+        }
+        let fanins: &[NodeId] = match &nl.node(n).kind {
+            NodeKind::Logic { fanins, .. } => fanins,
+            NodeKind::Constant(_) => &[],
+            _ => panic!(
+                "cone of {root:?} reached non-leaf source {:?} — invalid cut",
+                nl.node(n).name
+            ),
+        };
+        if child < fanins.len() {
+            stack.push((n, child + 1));
+            let f = fanins[child];
+            if !leaf_pos.contains_key(&f) && state.get(&f) != Some(&2) {
+                stack.push((f, 0));
+            }
+        } else {
+            state.insert(n, 2);
+            order.push(n);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::TruthTable;
+
+    fn two_level() -> (Netlist, NodeId, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        // f = (a AND b) XOR (c OR d)
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let d = nl.add_input("d");
+        let g1 = nl.add_logic("g1", vec![a, b], TruthTable::and(2));
+        let g2 = nl.add_logic("g2", vec![c, d], TruthTable::or(2));
+        let f = nl.add_logic("f", vec![g1, g2], TruthTable::xor(2));
+        nl.mark_output("o", f);
+        (nl, a, b, c, d, g1, f)
+    }
+
+    #[test]
+    fn enumerates_expected_cuts() {
+        let (nl, a, b, _c, _d, g1, f) = two_level();
+        let cuts = enumerate_cuts(&nl, &CutConfig { k: 4, max_cuts: 16 });
+        // g1: trivial + {a,b}
+        let g1_cuts = cuts.cuts(g1);
+        assert_eq!(g1_cuts.len(), 2);
+        assert_eq!(g1_cuts[0].leaves(), [g1]);
+        assert_eq!(g1_cuts[1].leaves(), [a, b]);
+        // f: trivial, {g1,g2}, {a,b,g2}, {g1,c,d}, {a,b,c,d}
+        let f_cuts = cuts.cuts(f);
+        assert_eq!(f_cuts.len(), 5);
+        assert_eq!(f_cuts[0].leaves(), [f]);
+        let sizes: Vec<usize> = f_cuts.iter().skip(1).map(Cut::size).collect();
+        assert_eq!(sizes, vec![2, 3, 3, 4]);
+    }
+
+    #[test]
+    fn k_limits_cut_width() {
+        let (nl, _, _, _, _, _, f) = two_level();
+        let cuts = enumerate_cuts(&nl, &CutConfig { k: 3, max_cuts: 16 });
+        for c in cuts.implementable(f) {
+            assert!(c.size() <= 3);
+        }
+        // the 4-leaf global cut must be absent
+        assert_eq!(cuts.cuts(f).len(), 4);
+    }
+
+    #[test]
+    fn dominance_pruning() {
+        let c1 = Cut::trivial(NodeId(3));
+        let c2 = c1.merge(&Cut::trivial(NodeId(7)), 4).unwrap();
+        assert!(c1.dominates(&c2));
+        assert!(!c2.dominates(&c1));
+        assert!(c1.dominates(&c1));
+        let mut set = vec![c2.clone()];
+        insert_pruned(&mut set, c1.clone());
+        assert_eq!(set, vec![c1]);
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a: Cut = Cut::trivial(NodeId(1)).merge(&Cut::trivial(NodeId(2)), 4).unwrap();
+        let b: Cut = Cut::trivial(NodeId(3)).merge(&Cut::trivial(NodeId(4)), 4).unwrap();
+        assert!(a.merge(&b, 4).is_some());
+        assert!(a.merge(&b, 3).is_none());
+        let shared = Cut::trivial(NodeId(1)).merge(&Cut::trivial(NodeId(3)), 4).unwrap();
+        // {1,2} U {1,3} = {1,2,3}
+        let m = a.merge(&shared, 3).unwrap();
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn cut_function_matches_cone() {
+        let (nl, _a, _b, _c, _d, _g1, f) = two_level();
+        let cuts = enumerate_cuts(&nl, &CutConfig { k: 4, max_cuts: 16 });
+        let global = cuts
+            .cuts(f)
+            .iter()
+            .find(|c| c.size() == 4)
+            .expect("4-input cut");
+        let table = cut_function(&nl, f, global);
+        // leaves sorted = [a, b, c, d]
+        for row in 0..16u32 {
+            let (a, b, c, d) =
+                (row & 1 != 0, row & 2 != 0, row & 4 != 0, row & 8 != 0);
+            assert_eq!(table.get(row), (a && b) != (c || d), "row {row}");
+        }
+    }
+
+    #[test]
+    fn constants_are_folded_out_of_cuts() {
+        let mut nl = Netlist::new("k");
+        let a = nl.add_input("a");
+        let k1 = nl.add_constant("k1", true);
+        let g = nl.add_logic("g", vec![a, k1], TruthTable::and(2));
+        nl.mark_output("o", g);
+        let cuts = enumerate_cuts(&nl, &CutConfig::default());
+        let best = &cuts.implementable(g)[0];
+        assert_eq!(best.leaves(), [a], "constant must not occupy a leaf");
+        let table = cut_function(&nl, g, best);
+        assert_eq!(table, TruthTable::buffer());
+    }
+
+    #[test]
+    fn trivial_cut_function_is_buffer() {
+        let (nl, _, _, _, _, g1, _) = two_level();
+        let t = Cut::trivial(g1);
+        let table = cut_function(&nl, g1, &t);
+        assert_eq!(table, TruthTable::buffer());
+    }
+
+    #[test]
+    fn deep_chain_has_bounded_cuts() {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("i0");
+        for k in 1..=32 {
+            let i = nl.add_input(format!("i{k}"));
+            prev = nl.add_logic(format!("x{k}"), vec![prev, i], TruthTable::xor(2));
+        }
+        nl.mark_output("o", prev);
+        let cfg = CutConfig { k: 4, max_cuts: 8 };
+        let cuts = enumerate_cuts(&nl, &cfg);
+        for (id, node) in nl.nodes() {
+            if matches!(node.kind, NodeKind::Logic { .. }) {
+                let n = cuts.implementable(id).len();
+                assert!(n >= 1 && n <= cfg.max_cuts, "node {id}: {n} cuts");
+            }
+        }
+    }
+}

@@ -1,0 +1,950 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! Supports the subset used by the paper's flow (SIS \[19\]): `.model`,
+//! `.inputs`, `.outputs`, `.names` (SOP covers), `.latch`, `.subckt`,
+//! `.search`, `.end`. Multi-model files are parsed into a [`BlifFile`];
+//! [`BlifFile::flatten`] links `.subckt` instances into a single
+//! [`Netlist`], which is how the paper's partial-datapath netlists
+//! (Figure 2) are assembled from the mux/FU component models.
+
+use crate::graph::{Netlist, NodeId, NodeKind};
+use crate::truth::TruthTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced by the BLIF parser and linker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlifError {
+    /// Malformed directive or cover line, with 1-based line number.
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// `.subckt` referenced a model that is not in the file or the extra
+    /// library.
+    UnknownModel(String),
+    /// A net was used but never defined.
+    UndefinedNet {
+        /// Model in which the reference occurred.
+        model: String,
+        /// The missing net.
+        net: String,
+    },
+    /// A net was defined more than once in the same model.
+    Redefined {
+        /// Model in which the clash occurred.
+        model: String,
+        /// The redefined net.
+        net: String,
+    },
+    /// The cover rows of a `.names` block disagree on the output value.
+    MixedCover {
+        /// Model containing the cover.
+        model: String,
+        /// Output net of the cover.
+        net: String,
+    },
+    /// Combinational loop discovered while linking.
+    CombinationalLoop {
+        /// A net on the loop.
+        net: String,
+    },
+    /// A `.subckt` pin did not match any port of the referenced model.
+    BadPin {
+        /// The referenced model.
+        model: String,
+        /// The unmatched formal pin.
+        pin: String,
+    },
+    /// Truth table would exceed the supported input count.
+    TooManyInputs {
+        /// Output net of the too-wide cover.
+        net: String,
+        /// Its input count.
+        inputs: usize,
+    },
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            BlifError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            BlifError::UndefinedNet { model, net } => {
+                write!(f, "model `{model}`: undefined net `{net}`")
+            }
+            BlifError::Redefined { model, net } => {
+                write!(f, "model `{model}`: net `{net}` redefined")
+            }
+            BlifError::MixedCover { model, net } => {
+                write!(f, "model `{model}`: cover of `{net}` mixes output values")
+            }
+            BlifError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net `{net}`")
+            }
+            BlifError::BadPin { model, pin } => {
+                write!(f, "subckt of `{model}`: pin `{pin}` matches no port")
+            }
+            BlifError::TooManyInputs { net, inputs } => {
+                write!(f, "net `{net}` has {inputs} inputs (max 16)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+/// One `.names` block: a sum-of-products cover.
+#[derive(Debug, Clone)]
+pub struct Cover {
+    /// Input net names (may be empty for constants).
+    pub inputs: Vec<String>,
+    /// Output net name.
+    pub output: String,
+    /// Cube rows: one pattern string (`0`/`1`/`-` per input) per row.
+    pub cubes: Vec<String>,
+    /// Output phase: `true` if rows list the on-set, `false` for off-set.
+    pub on_set: bool,
+}
+
+impl Cover {
+    /// Converts the cover into a truth table over its inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlifError::TooManyInputs`] when the cover is too wide.
+    pub fn to_table(&self) -> Result<TruthTable, BlifError> {
+        let n = self.inputs.len();
+        if n > crate::truth::MAX_INPUTS {
+            return Err(BlifError::TooManyInputs { net: self.output.clone(), inputs: n });
+        }
+        let cubes: Vec<(u32, u32)> = self
+            .cubes
+            .iter()
+            .map(|p| {
+                let mut care = 0u32;
+                let mut val = 0u32;
+                for (i, ch) in p.chars().enumerate() {
+                    match ch {
+                        '0' => care |= 1 << i,
+                        '1' => {
+                            care |= 1 << i;
+                            val |= 1 << i;
+                        }
+                        _ => {}
+                    }
+                }
+                (care, val)
+            })
+            .collect();
+        let covered = move |row: u32| cubes.iter().any(|&(care, val)| row & care == val);
+        Ok(if self.on_set {
+            TruthTable::from_fn(n, covered)
+        } else {
+            TruthTable::from_fn(n, |r| !covered(r))
+        })
+    }
+}
+
+/// One `.latch` statement.
+#[derive(Debug, Clone)]
+pub struct BlifLatch {
+    /// Data (D) net name.
+    pub input: String,
+    /// Output (Q) net name.
+    pub output: String,
+    /// Power-up value (`0`/`1`; `2`/`3` in files map to `false`).
+    pub init: bool,
+}
+
+/// One `.subckt` instantiation.
+#[derive(Debug, Clone)]
+pub struct SubcktRef {
+    /// Referenced model name.
+    pub model: String,
+    /// `formal -> actual` pin bindings.
+    pub bindings: Vec<(String, String)>,
+}
+
+/// A parsed `.model` section.
+#[derive(Debug, Clone)]
+pub struct BlifModel {
+    /// Model name.
+    pub name: String,
+    /// Primary input nets.
+    pub inputs: Vec<String>,
+    /// Primary output nets.
+    pub outputs: Vec<String>,
+    /// `.names` covers.
+    pub covers: Vec<Cover>,
+    /// `.latch` statements.
+    pub latches: Vec<BlifLatch>,
+    /// `.subckt` instances.
+    pub subckts: Vec<SubcktRef>,
+}
+
+/// A parsed BLIF file: one or more models plus any `.search` directives.
+#[derive(Debug, Clone)]
+pub struct BlifFile {
+    /// Models in file order; the first is conventionally the top.
+    pub models: Vec<BlifModel>,
+    /// Files referenced by `.search` (resolution is up to the caller).
+    pub searches: Vec<String>,
+}
+
+/// Parses BLIF text into models.
+///
+/// # Errors
+///
+/// Returns [`BlifError::Syntax`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let file = netlist::parse_blif(".model t\n.inputs a b\n.outputs o\n.names a b o\n11 1\n.end\n")?;
+/// assert_eq!(file.models[0].name, "t");
+/// # Ok::<(), netlist::BlifError>(())
+/// ```
+pub fn parse_blif(text: &str) -> Result<BlifFile, BlifError> {
+    // Join continuation lines, strip comments, remember line numbers.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let mut s = no_comment.trim_end().to_string();
+        let continues = s.ends_with('\\');
+        if continues {
+            s.pop();
+        }
+        match pending.take() {
+            Some((ln, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(s.trim());
+                if continues {
+                    pending = Some((ln, acc));
+                } else {
+                    lines.push((ln, acc));
+                }
+            }
+            None => {
+                if continues {
+                    pending = Some((idx + 1, s));
+                } else if !s.trim().is_empty() {
+                    lines.push((idx + 1, s));
+                }
+            }
+        }
+    }
+    if let Some((ln, s)) = pending {
+        lines.push((ln, s));
+    }
+
+    let mut file = BlifFile { models: Vec::new(), searches: Vec::new() };
+    let mut current: Option<BlifModel> = None;
+    let mut open_cover: Option<Cover> = None;
+
+    let close_cover = |model: &mut BlifModel, open: &mut Option<Cover>| {
+        if let Some(c) = open.take() {
+            model.covers.push(c);
+        }
+    };
+
+    for (ln, line) in lines {
+        let trimmed = line.trim();
+        let mut toks = trimmed.split_whitespace();
+        let first = toks.next().unwrap_or("");
+        if let Some(directive) = first.strip_prefix('.') {
+            let rest: Vec<&str> = toks.collect();
+            match directive {
+                "model" => {
+                    if let Some(mut m) = current.take() {
+                        close_cover(&mut m, &mut open_cover);
+                        file.models.push(m);
+                    }
+                    current = Some(BlifModel {
+                        name: rest.first().unwrap_or(&"top").to_string(),
+                        inputs: Vec::new(),
+                        outputs: Vec::new(),
+                        covers: Vec::new(),
+                        latches: Vec::new(),
+                        subckts: Vec::new(),
+                    });
+                }
+                "inputs" => {
+                    let m = current.as_mut().ok_or(BlifError::Syntax {
+                        line: ln,
+                        message: ".inputs outside .model".into(),
+                    })?;
+                    close_cover(m, &mut open_cover);
+                    m.inputs.extend(rest.iter().map(|s| s.to_string()));
+                }
+                "outputs" => {
+                    let m = current.as_mut().ok_or(BlifError::Syntax {
+                        line: ln,
+                        message: ".outputs outside .model".into(),
+                    })?;
+                    close_cover(m, &mut open_cover);
+                    m.outputs.extend(rest.iter().map(|s| s.to_string()));
+                }
+                "names" => {
+                    let m = current.as_mut().ok_or(BlifError::Syntax {
+                        line: ln,
+                        message: ".names outside .model".into(),
+                    })?;
+                    close_cover(m, &mut open_cover);
+                    if rest.is_empty() {
+                        return Err(BlifError::Syntax {
+                            line: ln,
+                            message: ".names needs at least an output".into(),
+                        });
+                    }
+                    let output = rest[rest.len() - 1].to_string();
+                    let inputs =
+                        rest[..rest.len() - 1].iter().map(|s| s.to_string()).collect();
+                    open_cover =
+                        Some(Cover { inputs, output, cubes: Vec::new(), on_set: true });
+                }
+                "latch" => {
+                    let m = current.as_mut().ok_or(BlifError::Syntax {
+                        line: ln,
+                        message: ".latch outside .model".into(),
+                    })?;
+                    close_cover(m, &mut open_cover);
+                    if rest.len() < 2 {
+                        return Err(BlifError::Syntax {
+                            line: ln,
+                            message: ".latch needs input and output".into(),
+                        });
+                    }
+                    let init = matches!(rest.last(), Some(&"1"));
+                    m.latches.push(BlifLatch {
+                        input: rest[0].to_string(),
+                        output: rest[1].to_string(),
+                        init,
+                    });
+                }
+                "subckt" => {
+                    let m = current.as_mut().ok_or(BlifError::Syntax {
+                        line: ln,
+                        message: ".subckt outside .model".into(),
+                    })?;
+                    close_cover(m, &mut open_cover);
+                    if rest.is_empty() {
+                        return Err(BlifError::Syntax {
+                            line: ln,
+                            message: ".subckt needs a model name".into(),
+                        });
+                    }
+                    let mut bindings = Vec::new();
+                    for pin in &rest[1..] {
+                        let (f, a) = pin.split_once('=').ok_or(BlifError::Syntax {
+                            line: ln,
+                            message: format!("bad pin binding `{pin}`"),
+                        })?;
+                        bindings.push((f.to_string(), a.to_string()));
+                    }
+                    m.subckts.push(SubcktRef { model: rest[0].to_string(), bindings });
+                }
+                "search" => {
+                    file.searches.extend(rest.iter().map(|s| s.to_string()));
+                }
+                "end" => {
+                    if let Some(mut m) = current.take() {
+                        close_cover(&mut m, &mut open_cover);
+                        file.models.push(m);
+                    }
+                }
+                // Directives we accept and ignore (clocks, delays, etc.)
+                _ => {}
+            }
+        } else if let Some(cover) = open_cover.as_mut() {
+            // A cover row: `<pattern> <value>` or bare `<value>` for
+            // constant outputs.
+            let toks: Vec<&str> = trimmed.split_whitespace().collect();
+            let (pattern, value) = match toks.len() {
+                1 => ("", toks[0]),
+                2 => (toks[0], toks[1]),
+                _ => {
+                    return Err(BlifError::Syntax {
+                        line: ln,
+                        message: format!("bad cover row `{trimmed}`"),
+                    })
+                }
+            };
+            if pattern.len() != cover.inputs.len() {
+                return Err(BlifError::Syntax {
+                    line: ln,
+                    message: format!(
+                        "cover row width {} does not match {} inputs",
+                        pattern.len(),
+                        cover.inputs.len()
+                    ),
+                });
+            }
+            let on = match value {
+                "1" => true,
+                "0" => false,
+                _ => {
+                    return Err(BlifError::Syntax {
+                        line: ln,
+                        message: format!("bad cover value `{value}`"),
+                    })
+                }
+            };
+            if cover.cubes.is_empty() {
+                cover.on_set = on;
+            } else if cover.on_set != on {
+                return Err(BlifError::MixedCover {
+                    model: String::new(),
+                    net: cover.output.clone(),
+                });
+            }
+            cover.cubes.push(pattern.to_string());
+        } else {
+            return Err(BlifError::Syntax {
+                line: ln,
+                message: format!("unexpected line `{trimmed}`"),
+            });
+        }
+    }
+    if let Some(mut m) = current.take() {
+        close_cover(&mut m, &mut open_cover);
+        file.models.push(m);
+    }
+    Ok(file)
+}
+
+/// How a net is produced, gathered during flattening.
+enum NetDef {
+    Input,
+    Cover { fanins: Vec<String>, table: TruthTable },
+    LatchOut { data: String, init: bool },
+}
+
+impl BlifFile {
+    /// Finds a model by name.
+    pub fn model(&self, name: &str) -> Option<&BlifModel> {
+        self.models.iter().find(|m| m.name == name)
+    }
+
+    /// Flattens `top` (or the first model when `None`) into a [`Netlist`],
+    /// recursively instantiating `.subckt`s. `extra` supplies additional
+    /// component models (the resolution of `.search` directives).
+    ///
+    /// # Errors
+    ///
+    /// Reports unknown models, undefined or redefined nets, bad pins, and
+    /// combinational loops.
+    pub fn flatten(
+        &self,
+        top: Option<&str>,
+        extra: &[BlifModel],
+    ) -> Result<Netlist, BlifError> {
+        let top_model = match top {
+            Some(name) => self
+                .model(name)
+                .or_else(|| extra.iter().find(|m| m.name == name))
+                .ok_or_else(|| BlifError::UnknownModel(name.to_string()))?,
+            None => self.models.first().ok_or_else(|| {
+                BlifError::UnknownModel("<empty file>".to_string())
+            })?,
+        };
+        let lookup = |name: &str| -> Option<&BlifModel> {
+            self.models
+                .iter()
+                .find(|m| m.name == name)
+                .or_else(|| extra.iter().find(|m| m.name == name))
+        };
+
+        let mut defs: HashMap<String, NetDef> = HashMap::new();
+        let mut instance_counter = 0usize;
+        collect_model(top_model, "", &lookup, &mut defs, &mut instance_counter)?;
+        for input in &top_model.inputs {
+            if defs.insert(input.clone(), NetDef::Input).is_some() {
+                return Err(BlifError::Redefined {
+                    model: top_model.name.clone(),
+                    net: input.clone(),
+                });
+            }
+        }
+
+        let mut nl = Netlist::new(top_model.name.clone());
+        let mut ids: HashMap<String, NodeId> = HashMap::new();
+        // Inputs in declaration order, then latches, then logic by demand.
+        for input in &top_model.inputs {
+            ids.insert(input.clone(), nl.add_input(input.clone()));
+        }
+        // Deterministic creation order regardless of hash-map iteration.
+        let mut sorted_nets: Vec<&String> = defs.keys().collect();
+        sorted_nets.sort();
+        let mut latch_connections: Vec<(NodeId, String)> = Vec::new();
+        for net in &sorted_nets {
+            if let Some(NetDef::LatchOut { data, init }) = defs.get(*net) {
+                let id = nl.add_latch((*net).clone(), *init);
+                ids.insert((*net).clone(), id);
+                latch_connections.push((id, data.clone()));
+            }
+        }
+        // Iterative DFS to create logic nodes in dependency order.
+        let mut visiting: HashMap<String, bool> = HashMap::new();
+        for net in &sorted_nets {
+            build_net(net, &defs, &mut nl, &mut ids, &mut visiting)?;
+        }
+        for (latch, data_net) in latch_connections {
+            let data = *ids.get(&data_net).ok_or_else(|| BlifError::UndefinedNet {
+                model: top_model.name.clone(),
+                net: data_net.clone(),
+            })?;
+            nl.set_latch_data(latch, data);
+        }
+        for output in &top_model.outputs {
+            let id = *ids.get(output).ok_or_else(|| BlifError::UndefinedNet {
+                model: top_model.name.clone(),
+                net: output.clone(),
+            })?;
+            nl.mark_output(output.clone(), id);
+        }
+        Ok(nl)
+    }
+}
+
+fn collect_model<'a>(
+    model: &'a BlifModel,
+    prefix: &str,
+    lookup: &dyn Fn(&str) -> Option<&'a BlifModel>,
+    defs: &mut HashMap<String, NetDef>,
+    instance_counter: &mut usize,
+) -> Result<(), BlifError> {
+    let qualify = |net: &str| -> String {
+        if prefix.is_empty() {
+            net.to_string()
+        } else {
+            format!("{prefix}{net}")
+        }
+    };
+    for cover in &model.covers {
+        let table = cover.to_table()?;
+        let out = qualify(&cover.output);
+        let fanins = cover.inputs.iter().map(|i| qualify(i)).collect();
+        if defs
+            .insert(out.clone(), NetDef::Cover { fanins, table })
+            .is_some()
+        {
+            return Err(BlifError::Redefined { model: model.name.clone(), net: out });
+        }
+    }
+    for latch in &model.latches {
+        let out = qualify(&latch.output);
+        if defs
+            .insert(
+                out.clone(),
+                NetDef::LatchOut { data: qualify(&latch.input), init: latch.init },
+            )
+            .is_some()
+        {
+            return Err(BlifError::Redefined { model: model.name.clone(), net: out });
+        }
+    }
+    for sub in &model.subckts {
+        let child = lookup(&sub.model)
+            .ok_or_else(|| BlifError::UnknownModel(sub.model.clone()))?;
+        *instance_counter += 1;
+        let child_prefix = format!("{prefix}u{instance_counter}.");
+        // Formal->actual bindings become buffer covers on the boundary:
+        // child inputs read the actual nets; child outputs drive them.
+        let mut bound: HashMap<&str, &str> = HashMap::new();
+        for (formal, actual) in &sub.bindings {
+            let is_port = child.inputs.iter().any(|i| i == formal)
+                || child.outputs.iter().any(|o| o == formal);
+            if !is_port {
+                return Err(BlifError::BadPin {
+                    model: sub.model.clone(),
+                    pin: formal.clone(),
+                });
+            }
+            bound.insert(formal.as_str(), actual.as_str());
+        }
+        collect_model(child, &child_prefix, lookup, defs, instance_counter)?;
+        for input in &child.inputs {
+            if let Some(actual) = bound.get(input.as_str()) {
+                let inner = format!("{child_prefix}{input}");
+                defs.insert(
+                    inner,
+                    NetDef::Cover {
+                        fanins: vec![qualify(actual)],
+                        table: TruthTable::buffer(),
+                    },
+                );
+            }
+        }
+        for output in &child.outputs {
+            if let Some(actual) = bound.get(output.as_str()) {
+                let inner = format!("{child_prefix}{output}");
+                let out_net = qualify(actual);
+                if defs
+                    .insert(
+                        out_net.clone(),
+                        NetDef::Cover {
+                            fanins: vec![inner],
+                            table: TruthTable::buffer(),
+                        },
+                    )
+                    .is_some()
+                {
+                    return Err(BlifError::Redefined {
+                        model: model.name.clone(),
+                        net: out_net,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn build_net(
+    net: &str,
+    defs: &HashMap<String, NetDef>,
+    nl: &mut Netlist,
+    ids: &mut HashMap<String, NodeId>,
+    visiting: &mut HashMap<String, bool>,
+) -> Result<NodeId, BlifError> {
+    if let Some(&id) = ids.get(net) {
+        return Ok(id);
+    }
+    // Iterative DFS with an explicit stack to avoid deep recursion.
+    let mut stack: Vec<(String, usize)> = vec![(net.to_string(), 0)];
+    while let Some((cur, child_idx)) = stack.pop() {
+        if ids.contains_key(&cur) {
+            continue;
+        }
+        let def = defs.get(&cur).ok_or_else(|| BlifError::UndefinedNet {
+            model: nl.name().to_string(),
+            net: cur.clone(),
+        })?;
+        match def {
+            NetDef::Input | NetDef::LatchOut { .. } => {
+                // Inputs/latches were pre-created; reaching here means the
+                // net is genuinely missing.
+                return Err(BlifError::UndefinedNet {
+                    model: nl.name().to_string(),
+                    net: cur.clone(),
+                });
+            }
+            NetDef::Cover { fanins, table } => {
+                if child_idx == 0
+                    && visiting.insert(cur.clone(), true) == Some(true) {
+                        return Err(BlifError::CombinationalLoop { net: cur });
+                    }
+                if let Some(next) = fanins.get(child_idx) {
+                    stack.push((cur.clone(), child_idx + 1));
+                    if !ids.contains_key(next) {
+                        match defs.get(next) {
+                            Some(NetDef::Cover { .. }) => {
+                                if visiting.get(next) == Some(&true) {
+                                    return Err(BlifError::CombinationalLoop {
+                                        net: next.clone(),
+                                    });
+                                }
+                                stack.push((next.clone(), 0));
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(BlifError::UndefinedNet {
+                                    model: nl.name().to_string(),
+                                    net: next.clone(),
+                                })
+                            }
+                        }
+                    }
+                } else {
+                    let fanin_ids: Result<Vec<NodeId>, BlifError> = fanins
+                        .iter()
+                        .map(|f| {
+                            ids.get(f).copied().ok_or_else(|| BlifError::UndefinedNet {
+                                model: nl.name().to_string(),
+                                net: f.clone(),
+                            })
+                        })
+                        .collect();
+                    let id = nl.add_logic(cur.clone(), fanin_ids?, table.clone());
+                    ids.insert(cur.clone(), id);
+                    visiting.insert(cur.clone(), false);
+                }
+            }
+        }
+    }
+    Ok(*ids.get(net).expect("net built"))
+}
+
+/// Serializes a netlist as single-model BLIF.
+///
+/// Logic nodes are written as minterm covers; constants become `.names`
+/// blocks with an empty (constant-0) or universal (constant-1) cover.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{Netlist, TruthTable, write_blif};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_logic("g", vec![a], TruthTable::inverter());
+/// nl.mark_output("o", g);
+/// let text = write_blif(&nl);
+/// assert!(text.contains(".model t"));
+/// ```
+pub fn write_blif(nl: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", nl.name()));
+    out.push_str(".inputs");
+    for &i in nl.inputs() {
+        out.push(' ');
+        out.push_str(&nl.node(i).name);
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for (port, _) in nl.outputs() {
+        out.push(' ');
+        out.push_str(port);
+    }
+    out.push('\n');
+    for &l in nl.latches() {
+        if let NodeKind::Latch { data, init } = &nl.node(l).kind {
+            out.push_str(&format!(
+                ".latch {} {} re clk {}\n",
+                nl.node(*data).name,
+                nl.node(l).name,
+                if *init { 1 } else { 0 }
+            ));
+        }
+    }
+    for (_, node) in nl.nodes() {
+        match &node.kind {
+            NodeKind::Constant(v) => {
+                out.push_str(&format!(".names {}\n", node.name));
+                if *v {
+                    out.push_str("1\n");
+                }
+            }
+            NodeKind::Logic { fanins, table } => {
+                out.push_str(".names");
+                for f in fanins {
+                    out.push(' ');
+                    out.push_str(&nl.node(*f).name);
+                }
+                out.push(' ');
+                out.push_str(&node.name);
+                out.push('\n');
+                let n = table.num_inputs();
+                for row in 0..table.num_rows() {
+                    if table.eval(row) {
+                        let mut pat = String::with_capacity(n + 2);
+                        for i in 0..n {
+                            pat.push(if row & (1 << i) != 0 { '1' } else { '0' });
+                        }
+                        if n > 0 {
+                            pat.push(' ');
+                        }
+                        pat.push('1');
+                        pat.push('\n');
+                        out.push_str(&pat);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Output ports that rename an internal net need buffer covers.
+    for (port, id) in nl.outputs() {
+        if &nl.node(*id).name != port {
+            out.push_str(&format!(".names {} {}\n1 1\n", nl.node(*id).name, port));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_model() {
+        let text = "\
+# comment
+.model add1
+.inputs a b
+.outputs s c
+.names a b s
+01 1
+10 1
+.names a b c
+11 1
+.end
+";
+        let file = parse_blif(text).unwrap();
+        assert_eq!(file.models.len(), 1);
+        let m = &file.models[0];
+        assert_eq!(m.name, "add1");
+        assert_eq!(m.inputs, vec!["a", "b"]);
+        assert_eq!(m.covers.len(), 2);
+        let nl = file.flatten(None, &[]).unwrap();
+        nl.check().unwrap();
+        assert_eq!(nl.num_logic(), 2);
+        let s = nl.find("s").unwrap();
+        if let NodeKind::Logic { table, .. } = &nl.node(s).kind {
+            assert_eq!(*table, TruthTable::xor(2));
+        } else {
+            panic!("s should be logic");
+        }
+    }
+
+    #[test]
+    fn parse_offset_cover() {
+        let text = ".model t\n.inputs a b\n.outputs o\n.names a b o\n11 0\n.end\n";
+        let nl = parse_blif(text).unwrap().flatten(None, &[]).unwrap();
+        let o = nl.find("o").unwrap();
+        if let NodeKind::Logic { table, .. } = &nl.node(o).kind {
+            assert_eq!(*table, TruthTable::nand(2));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parse_constants() {
+        let text = ".model t\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let nl = parse_blif(text).unwrap().flatten(None, &[]).unwrap();
+        let one = nl.find("one").unwrap();
+        if let NodeKind::Logic { table, .. } = &nl.node(one).kind {
+            assert_eq!(table.as_constant(), Some(true));
+        } else {
+            panic!();
+        }
+        let zero = nl.find("zero").unwrap();
+        if let NodeKind::Logic { table, .. } = &nl.node(zero).kind {
+            assert_eq!(table.as_constant(), Some(false));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn parse_latch() {
+        let text = ".model seq\n.inputs d\n.outputs q\n.latch dn q re clk 1\n.names d q dn\n10 1\n01 1\n.end\n";
+        let nl = parse_blif(text).unwrap().flatten(None, &[]).unwrap();
+        nl.check().unwrap();
+        assert_eq!(nl.num_latches(), 1);
+        let q = nl.find("q").unwrap();
+        match &nl.node(q).kind {
+            NodeKind::Latch { init, .. } => assert!(*init),
+            _ => panic!("q should be a latch"),
+        }
+    }
+
+    #[test]
+    fn subckt_flattening() {
+        let text = "\
+.model top
+.inputs x y z
+.outputs o
+.subckt pair a=x b=y o=t1
+.subckt pair a=t1 b=z o=o
+.end
+.model pair
+.inputs a b
+.outputs o
+.names a b o
+11 1
+.end
+";
+        let file = parse_blif(text).unwrap();
+        let nl = file.flatten(Some("top"), &[]).unwrap();
+        nl.check().unwrap();
+        // two AND instances plus boundary buffers
+        assert!(nl.num_logic() >= 2);
+        assert_eq!(nl.inputs().len(), 3);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn subckt_unknown_model() {
+        let text = ".model top\n.inputs a\n.outputs o\n.subckt nope x=a y=o\n.end\n";
+        let err = parse_blif(text).unwrap().flatten(None, &[]).unwrap_err();
+        assert!(matches!(err, BlifError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn undefined_net_reported() {
+        let text = ".model t\n.inputs a\n.outputs o\n.names a missing o\n11 1\n.end\n";
+        let err = parse_blif(text).unwrap().flatten(None, &[]).unwrap_err();
+        assert!(matches!(err, BlifError::UndefinedNet { .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let mut nl = Netlist::new("rt");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let g1 = nl.add_logic("g1", vec![a, b, c], TruthTable::maj3());
+        let g2 = nl.add_logic("g2", vec![g1, c], TruthTable::xor(2));
+        nl.mark_output("o", g2);
+        let text = write_blif(&nl);
+        let back = parse_blif(&text).unwrap().flatten(None, &[]).unwrap();
+        back.check().unwrap();
+        assert_eq!(back.inputs().len(), 2 + 1);
+        let g1b = back.find("g1").unwrap();
+        if let NodeKind::Logic { table, .. } = &back.node(g1b).kind {
+            assert_eq!(*table, TruthTable::maj3());
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn roundtrip_latches() {
+        let mut nl = Netlist::new("seq");
+        let en = nl.add_input("en");
+        let q = nl.add_latch("q", true);
+        let d = nl.add_logic("d", vec![q, en], TruthTable::xor(2));
+        nl.set_latch_data(q, d);
+        nl.mark_output("o", q);
+        let text = write_blif(&nl);
+        let back = parse_blif(&text).unwrap().flatten(None, &[]).unwrap();
+        back.check().unwrap();
+        assert_eq!(back.num_latches(), 1);
+    }
+
+    #[test]
+    fn search_directive_recorded() {
+        let text = ".search mux2.blif\n.search mult.blif\n.model m\n.inputs a\n.outputs o\n.names a o\n1 1\n.end\n";
+        let file = parse_blif(text).unwrap();
+        assert_eq!(file.searches, vec!["mux2.blif", "mult.blif"]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model t\n.inputs a b \\\nc d\n.outputs o\n.names a b c d o\n1111 1\n.end\n";
+        let file = parse_blif(text).unwrap();
+        assert_eq!(file.models[0].inputs.len(), 4);
+    }
+
+    #[test]
+    fn mixed_cover_rejected() {
+        let text = ".model t\n.inputs a b\n.outputs o\n.names a b o\n11 1\n00 0\n.end\n";
+        assert!(matches!(parse_blif(text), Err(BlifError::MixedCover { .. })));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let text = ".model t\n.inputs a\n.outputs o\n.names a p o\n11 1\n.names o p\n1 1\n.end\n";
+        let err = parse_blif(text).unwrap().flatten(None, &[]).unwrap_err();
+        assert!(matches!(err, BlifError::CombinationalLoop { .. }));
+    }
+}

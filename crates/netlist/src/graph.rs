@@ -1,0 +1,724 @@
+//! The gate-level netlist graph.
+//!
+//! A [`Netlist`] is a directed acyclic graph of Boolean nodes. Nodes are one
+//! of: primary input, constant, combinational logic (a fanin list plus a
+//! [`TruthTable`]), or latch (a D-flip-flop bit whose output is the node
+//! itself and whose data input is another node). Primary outputs are named
+//! references to nodes. This mirrors the BLIF view of a circuit and is the
+//! common IR consumed by the technology mapper, switching-activity
+//! estimator, and gate-level simulator.
+
+use crate::truth::TruthTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node inside a [`Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a usize, for slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node computes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Primary input.
+    Input,
+    /// Constant 0 or 1 driver.
+    Constant(bool),
+    /// Combinational node: `table` evaluated over `fanins` (fanin `i` is
+    /// truth-table input `i`).
+    Logic {
+        /// Driving nodes, in truth-table input order.
+        fanins: Vec<NodeId>,
+        /// The Boolean function.
+        table: TruthTable,
+    },
+    /// One bit of clocked state. The node's value is the latch output `Q`.
+    Latch {
+        /// The `D` input sampled at each clock edge.
+        data: NodeId,
+        /// Power-up value.
+        init: bool,
+    },
+}
+
+/// A named node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Net name (unique within the netlist).
+    pub name: String,
+    /// Function of the node.
+    pub kind: NodeKind,
+}
+
+/// Errors reported by [`Netlist::check`] and the netlist constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A node name was defined twice.
+    DuplicateName(String),
+    /// A fanin refers to a node id that does not exist.
+    DanglingFanin {
+        /// Name of the node with the bad fanin.
+        node: String,
+        /// The out-of-range fanin id.
+        fanin: u32,
+    },
+    /// Fanin count does not match the truth-table input count.
+    ArityMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Number of fanins on the node.
+        fanins: usize,
+        /// Number of inputs of its truth table.
+        table_inputs: usize,
+    },
+    /// The combinational part of the graph has a cycle through this node.
+    CombinationalCycle(String),
+    /// A latch whose data input was never connected.
+    UnconnectedLatch(String),
+    /// Referenced name not present in the netlist.
+    UnknownName(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            NetlistError::DanglingFanin { node, fanin } => {
+                write!(f, "node `{node}` has dangling fanin id {fanin}")
+            }
+            NetlistError::ArityMismatch { node, fanins, table_inputs } => write!(
+                f,
+                "node `{node}` has {fanins} fanins but a {table_inputs}-input table"
+            ),
+            NetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through node `{n}`")
+            }
+            NetlistError::UnconnectedLatch(n) => write!(f, "latch `{n}` has no data input"),
+            NetlistError::UnknownName(n) => write!(f, "unknown node name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// Sentinel used for latches created before their data input exists.
+const UNCONNECTED: NodeId = NodeId(u32::MAX);
+
+/// A gate-level netlist.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{Netlist, TruthTable};
+/// let mut nl = Netlist::new("toy");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_logic("g", vec![a, b], TruthTable::and(2));
+/// nl.mark_output("out", g);
+/// assert_eq!(nl.num_nodes(), 3);
+/// nl.check().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<(String, NodeId)>,
+    latches: Vec<NodeId>,
+    names: HashMap<String, NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with a model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            latches: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the model.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    fn push(&mut self, name: String, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        assert!(
+            self.names.insert(name.clone(), id).is_none(),
+            "duplicate node name `{name}`"
+        );
+        self.nodes.push(Node { name, kind });
+        id
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = self.push(name.into(), NodeKind::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant driver node.
+    pub fn add_constant(&mut self, name: impl Into<String>, value: bool) -> NodeId {
+        self.push(name.into(), NodeKind::Constant(value))
+    }
+
+    /// Adds a combinational node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used or the fanin count does not match
+    /// the table input count.
+    pub fn add_logic(
+        &mut self,
+        name: impl Into<String>,
+        fanins: Vec<NodeId>,
+        table: TruthTable,
+    ) -> NodeId {
+        assert_eq!(
+            fanins.len(),
+            table.num_inputs(),
+            "fanin count must match table inputs"
+        );
+        self.push(name.into(), NodeKind::Logic { fanins, table })
+    }
+
+    /// Adds a latch whose data input will be connected later with
+    /// [`Netlist::set_latch_data`] (needed for feedback paths such as
+    /// enable-registers).
+    pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> NodeId {
+        let id = self.push(name.into(), NodeKind::Latch { data: UNCONNECTED, init });
+        self.latches.push(id);
+        id
+    }
+
+    /// Connects (or reconnects) the data input of a latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is not a latch node.
+    pub fn set_latch_data(&mut self, latch: NodeId, data: NodeId) {
+        match &mut self.nodes[latch.index()].kind {
+            NodeKind::Latch { data: d, .. } => *d = data,
+            _ => panic!("node {latch} is not a latch"),
+        }
+    }
+
+    /// Declares `node` as a primary output under `port_name`.
+    pub fn mark_output(&mut self, port_name: impl Into<String>, node: NodeId) {
+        self.outputs.push((port_name.into(), node));
+    }
+
+    /// Number of nodes of any kind.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs (port name, node) in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Latches in declaration order.
+    pub fn latches(&self) -> &[NodeId] {
+        &self.latches
+    }
+
+    /// Looks a node up by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Fanins of a node (empty for inputs/constants; the data input for a
+    /// connected latch).
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        match &self.nodes[id.index()].kind {
+            NodeKind::Logic { fanins, .. } => fanins,
+            NodeKind::Latch { data, .. } if *data != UNCONNECTED => {
+                std::slice::from_ref(data)
+            }
+            _ => &[],
+        }
+    }
+
+    /// True for nodes that act as combinational sources: inputs, constants
+    /// and latch outputs.
+    pub fn is_source(&self, id: NodeId) -> bool {
+        !matches!(self.nodes[id.index()].kind, NodeKind::Logic { .. })
+    }
+
+    /// Validates the netlist. See [`NetlistError`] for the conditions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found.
+    pub fn check(&self) -> Result<(), NetlistError> {
+        let n = self.nodes.len() as u32;
+        for node in &self.nodes {
+            match &node.kind {
+                NodeKind::Logic { fanins, table } => {
+                    if fanins.len() != table.num_inputs() {
+                        return Err(NetlistError::ArityMismatch {
+                            node: node.name.clone(),
+                            fanins: fanins.len(),
+                            table_inputs: table.num_inputs(),
+                        });
+                    }
+                    for f in fanins {
+                        if f.0 >= n {
+                            return Err(NetlistError::DanglingFanin {
+                                node: node.name.clone(),
+                                fanin: f.0,
+                            });
+                        }
+                    }
+                }
+                NodeKind::Latch { data, .. } => {
+                    if *data == UNCONNECTED {
+                        return Err(NetlistError::UnconnectedLatch(node.name.clone()));
+                    }
+                    if data.0 >= n {
+                        return Err(NetlistError::DanglingFanin {
+                            node: node.name.clone(),
+                            fanin: data.0,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (name, id) in &self.outputs {
+            if id.0 >= n {
+                return Err(NetlistError::UnknownName(name.clone()));
+            }
+        }
+        // Cycle check over the combinational subgraph.
+        if self.topo_order_internal().is_none() {
+            // Find a node on a cycle for the report: any logic node not in
+            // the partial order.
+            let order = self.partial_topo();
+            let mut in_order = vec![false; self.nodes.len()];
+            for id in order {
+                in_order[id.index()] = true;
+            }
+            let offender = self
+                .nodes()
+                .find(|(id, node)| {
+                    matches!(node.kind, NodeKind::Logic { .. }) && !in_order[id.index()]
+                })
+                .map(|(_, node)| node.name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle(offender));
+        }
+        Ok(())
+    }
+
+    fn partial_topo(&self) -> Vec<NodeId> {
+        let mut indeg = vec![0usize; self.nodes.len()];
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes() {
+            if let NodeKind::Logic { fanins, .. } = &node.kind {
+                indeg[id.index()] = fanins.len();
+                for f in fanins {
+                    fanouts[f.index()].push(id);
+                }
+            }
+        }
+        let mut queue: Vec<NodeId> = self
+            .nodes()
+            .filter(|(id, _)| self.is_source(*id))
+            .map(|(id, _)| id)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            for &fo in &fanouts[id.index()] {
+                indeg[fo.index()] -= 1;
+                if indeg[fo.index()] == 0 {
+                    queue.push(fo);
+                }
+            }
+        }
+        order
+    }
+
+    fn topo_order_internal(&self) -> Option<Vec<NodeId>> {
+        let order = self.partial_topo();
+        if order.len() == self.nodes.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Topological order of all nodes: sources (inputs, constants, latch
+    /// outputs) first, then combinational nodes respecting fanin order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combinational subgraph is cyclic; run
+    /// [`Netlist::check`] first for a graceful error.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        self.topo_order_internal()
+            .expect("combinational cycle in netlist")
+    }
+
+    /// Fanout adjacency: for each node, the logic nodes that read it (latch
+    /// data edges included).
+    pub fn fanouts(&self) -> Vec<Vec<NodeId>> {
+        let mut fo: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (id, node) in self.nodes() {
+            match &node.kind {
+                NodeKind::Logic { fanins, .. } => {
+                    for f in fanins {
+                        fo[f.index()].push(id);
+                    }
+                }
+                NodeKind::Latch { data, .. } if *data != UNCONNECTED => {
+                    fo[data.index()].push(id);
+                }
+                _ => {}
+            }
+        }
+        fo
+    }
+
+    /// Logic level (depth) per node: sources are level 0, a logic node is
+    /// `1 + max(fanin levels)`. Returns a vector indexed by node id.
+    pub fn levels(&self) -> Vec<u32> {
+        let mut level = vec![0u32; self.nodes.len()];
+        for id in self.topo_order() {
+            if let NodeKind::Logic { fanins, .. } = &self.nodes[id.index()].kind {
+                level[id.index()] =
+                    1 + fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0);
+            }
+        }
+        level
+    }
+
+    /// Maximum logic level over output and latch-data cones (the critical
+    /// combinational depth of the circuit).
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels();
+        let mut d = 0;
+        for (_, id) in &self.outputs {
+            d = d.max(levels[id.index()]);
+        }
+        for &l in &self.latches {
+            if let NodeKind::Latch { data, .. } = &self.nodes[l.index()].kind {
+                if *data != UNCONNECTED {
+                    d = d.max(levels[data.index()]);
+                }
+            }
+        }
+        d
+    }
+
+    /// Number of combinational (logic) nodes.
+    pub fn num_logic(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Logic { .. }))
+            .count()
+    }
+
+    /// Number of latch bits.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Total fanin edge count of logic nodes.
+    pub fn num_edges(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.kind {
+                NodeKind::Logic { fanins, .. } => fanins.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Removes nodes not reachable (backwards) from any primary output or
+    /// latch data input. Returns the number of removed nodes. Ids are
+    /// remapped; the relative order of surviving nodes is preserved.
+    pub fn sweep(&mut self) -> usize {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for (_, id) in &self.outputs {
+            stack.push(*id);
+        }
+        for &l in &self.latches {
+            stack.push(l);
+        }
+        // Keep all primary inputs: dropping ports would change the interface.
+        for &i in &self.inputs {
+            stack.push(i);
+        }
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            match &self.nodes[id.index()].kind {
+                NodeKind::Logic { fanins, .. } => stack.extend(fanins.iter().copied()),
+                NodeKind::Latch { data, .. } if *data != UNCONNECTED => stack.push(*data),
+                _ => {}
+            }
+        }
+        let removed = live.iter().filter(|l| !**l).count();
+        if removed == 0 {
+            return 0;
+        }
+        let mut remap = vec![UNCONNECTED; self.nodes.len()];
+        let mut new_nodes = Vec::with_capacity(self.nodes.len() - removed);
+        for (i, node) in self.nodes.drain(..).enumerate() {
+            if live[i] {
+                remap[i] = NodeId(new_nodes.len() as u32);
+                new_nodes.push(node);
+            }
+        }
+        for node in &mut new_nodes {
+            match &mut node.kind {
+                NodeKind::Logic { fanins, .. } => {
+                    for f in fanins {
+                        *f = remap[f.index()];
+                    }
+                }
+                NodeKind::Latch { data, .. }
+                    if *data != UNCONNECTED => {
+                        *data = remap[data.index()];
+                    }
+                _ => {}
+            }
+        }
+        self.nodes = new_nodes;
+        self.inputs = self.inputs.iter().map(|i| remap[i.index()]).collect();
+        self.latches = self.latches.iter().map(|l| remap[l.index()]).collect();
+        for (_, id) in &mut self.outputs {
+            *id = remap[id.index()];
+        }
+        self.names = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), NodeId(i as u32)))
+            .collect();
+        removed
+    }
+
+    /// Summary statistics for reports and tests.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            latches: self.latches.len(),
+            logic: self.num_logic(),
+            edges: self.num_edges(),
+            depth: self.depth(),
+        }
+    }
+}
+
+/// Summary counts returned by [`Netlist::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Latch bit count.
+    pub latches: usize,
+    /// Combinational node count.
+    pub logic: usize,
+    /// Total fanin edges of logic nodes.
+    pub edges: usize,
+    /// Critical combinational depth in logic levels.
+    pub depth: u32,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pi={} po={} latch={} logic={} edges={} depth={}",
+            self.inputs, self.outputs, self.latches, self.logic, self.edges, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("i0");
+        for k in 1..=n {
+            let i = nl.add_input(format!("i{k}"));
+            prev = nl.add_logic(format!("x{k}"), vec![prev, i], TruthTable::xor(2));
+        }
+        nl.mark_output("out", prev);
+        nl
+    }
+
+    #[test]
+    fn build_and_check() {
+        let nl = xor_chain(5);
+        nl.check().unwrap();
+        assert_eq!(nl.num_logic(), 5);
+        assert_eq!(nl.depth(), 5);
+        assert_eq!(nl.stats().edges, 10);
+    }
+
+    #[test]
+    fn topo_order_respects_fanins() {
+        let nl = xor_chain(8);
+        let order = nl.topo_order();
+        let mut pos = vec![0usize; nl.num_nodes()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for (id, _) in nl.nodes() {
+            for f in nl.fanins(id) {
+                assert!(pos[f.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn latch_feedback_is_legal() {
+        // q' = q XOR en  (toggle register) — feedback through the latch.
+        let mut nl = Netlist::new("toggle");
+        let en = nl.add_input("en");
+        let q = nl.add_latch("q", false);
+        let d = nl.add_logic("d", vec![q, en], TruthTable::xor(2));
+        nl.set_latch_data(q, d);
+        nl.mark_output("out", q);
+        nl.check().unwrap();
+        assert_eq!(nl.depth(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_input("a");
+        // g1 depends on g2 which depends on g1: patch fanin by hand.
+        let g1 = nl.add_logic("g1", vec![a, a], TruthTable::and(2));
+        let g2 = nl.add_logic("g2", vec![g1, a], TruthTable::and(2));
+        if let NodeKind::Logic { fanins, .. } = &mut nl.nodes[g1.index()].kind {
+            fanins[1] = g2;
+        }
+        assert!(matches!(
+            nl.check(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn unconnected_latch_detected() {
+        let mut nl = Netlist::new("bad");
+        nl.add_latch("q", false);
+        assert!(matches!(nl.check(), Err(NetlistError::UnconnectedLatch(_))));
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let live = nl.add_logic("live", vec![a, b], TruthTable::and(2));
+        let _dead = nl.add_logic("dead", vec![a, b], TruthTable::or(2));
+        nl.mark_output("o", live);
+        let removed = nl.sweep();
+        assert_eq!(removed, 1);
+        assert_eq!(nl.num_logic(), 1);
+        assert!(nl.find("dead").is_none());
+        assert!(nl.find("live").is_some());
+        nl.check().unwrap();
+        // outputs remapped correctly
+        let (_, o) = &nl.outputs()[0];
+        assert_eq!(nl.node(*o).name, "live");
+    }
+
+    #[test]
+    fn sweep_keeps_latch_cones() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_latch("q", false);
+        let d = nl.add_logic("d", vec![a, q], TruthTable::xor(2));
+        nl.set_latch_data(q, d);
+        // no primary outputs at all
+        assert_eq!(nl.sweep(), 0);
+        nl.check().unwrap();
+    }
+
+    #[test]
+    fn find_by_name() {
+        let nl = xor_chain(2);
+        assert_eq!(nl.find("x1"), Some(NodeId(2)));
+        assert!(nl.find("nope").is_none());
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut nl = Netlist::new("lv");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g1 = nl.add_logic("g1", vec![a, b], TruthTable::and(2));
+        let g2 = nl.add_logic("g2", vec![g1, b], TruthTable::or(2));
+        nl.mark_output("o", g2);
+        let lv = nl.levels();
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[g1.index()], 1);
+        assert_eq!(lv[g2.index()], 2);
+        assert_eq!(nl.depth(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Gate-level netlist infrastructure for the HLPower reproduction.
+//!
+//! This crate provides the common circuit IR shared by the technology
+//! mapper, switching-activity estimator, gate-level simulator, and the
+//! high-level-synthesis datapath generator:
+//!
+//! * [`TruthTable`] — bit-packed Boolean functions of up to 16 inputs;
+//! * [`Netlist`] — a DAG of input/constant/logic/latch nodes with named
+//!   nets and primary outputs;
+//! * [`blif`] — BLIF parsing (including `.subckt` flattening, as used for
+//!   the paper's Figure 2 partial-datapath netlists) and writing;
+//! * [`cells`] — word-level generators for the paper's resource library:
+//!   balanced mux trees, adder/subtractors, carry-save array multipliers,
+//!   and registers with write enables.
+//!
+//! # Examples
+//!
+//! Build a 4-bit adder datapath fragment and serialize it to BLIF:
+//!
+//! ```
+//! use netlist::{cells, write_blif, Netlist};
+//!
+//! let mut nl = Netlist::new("frag");
+//! let a: cells::Bus = (0..4).map(|i| nl.add_input(format!("a{i}"))).collect();
+//! let b: cells::Bus = (0..4).map(|i| nl.add_input(format!("b{i}"))).collect();
+//! let (sum, _carry) = cells::ripple_adder(&mut nl, "add", &a, &b, None);
+//! for (i, s) in sum.iter().enumerate() {
+//!     nl.mark_output(format!("s{i}"), *s);
+//! }
+//! let blif = write_blif(&nl);
+//! assert!(blif.contains(".model frag"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blif;
+pub mod cells;
+pub mod graph;
+pub mod truth;
+
+pub use blif::{parse_blif, write_blif, BlifError, BlifFile, BlifModel};
+pub use cells::Bus;
+pub use graph::{Netlist, NetlistError, NetlistStats, Node, NodeId, NodeKind};
+pub use truth::{TruthTable, MAX_INPUTS};

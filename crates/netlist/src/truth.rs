@@ -1,0 +1,433 @@
+//! Bit-packed truth tables over up to [`MAX_INPUTS`] inputs.
+//!
+//! A [`TruthTable`] is the single functional representation used throughout
+//! the workspace: BLIF `.names` covers are converted into truth tables on
+//! parse, the technology mapper derives LUT functions as truth tables, the
+//! gate-level simulator evaluates them, and the switching-activity
+//! estimator enumerates them. Row index bit `i` is the value of input `i`
+//! (LSB = input 0), matching the fanin order of the owning netlist node.
+
+use std::fmt;
+
+/// Maximum number of truth-table inputs supported (2^16 rows).
+pub const MAX_INPUTS: usize = 16;
+
+/// A complete truth table over `n <= MAX_INPUTS` Boolean inputs.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::TruthTable;
+/// let and2 = TruthTable::and(2);
+/// assert!(!and2.get(0b01));
+/// assert!(and2.get(0b11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    n: u8,
+    words: Vec<u64>,
+}
+
+fn words_for(n: usize) -> usize {
+    if n >= 6 {
+        1 << (n - 6)
+    } else {
+        1
+    }
+}
+
+/// Mask selecting the valid bits of the single word used when `n < 6`.
+fn tail_mask(n: usize) -> u64 {
+    if n >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << n)) - 1
+    }
+}
+
+impl TruthTable {
+    /// Builds a table by evaluating `f` on every row (input assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_INPUTS`.
+    pub fn from_fn<F: FnMut(u32) -> bool>(n: usize, mut f: F) -> Self {
+        assert!(n <= MAX_INPUTS, "truth table limited to {MAX_INPUTS} inputs, got {n}");
+        let mut words = vec![0u64; words_for(n)];
+        for row in 0..(1u32 << n) {
+            if f(row) {
+                words[(row >> 6) as usize] |= 1u64 << (row & 63);
+            }
+        }
+        TruthTable { n: n as u8, words }
+    }
+
+    /// Builds a table from raw little-endian words (row 0 = bit 0 of word 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_INPUTS` or `words` has the wrong length.
+    pub fn from_words(n: usize, words: Vec<u64>) -> Self {
+        assert!(n <= MAX_INPUTS);
+        assert_eq!(words.len(), words_for(n), "wrong word count for {n} inputs");
+        let mut tt = TruthTable { n: n as u8, words };
+        let m = tail_mask(n);
+        if let Some(w) = tt.words.first_mut() {
+            *w &= m;
+        }
+        tt
+    }
+
+    /// The constant function with zero inputs.
+    pub fn constant(value: bool) -> Self {
+        TruthTable { n: 0, words: vec![if value { 1 } else { 0 }] }
+    }
+
+    /// Single-input buffer.
+    pub fn buffer() -> Self {
+        Self::from_fn(1, |r| r & 1 == 1)
+    }
+
+    /// Single-input inverter.
+    pub fn inverter() -> Self {
+        Self::from_fn(1, |r| r & 1 == 0)
+    }
+
+    /// `n`-input AND.
+    pub fn and(n: usize) -> Self {
+        Self::from_fn(n, |r| r == (1u32 << n) - 1)
+    }
+
+    /// `n`-input OR.
+    pub fn or(n: usize) -> Self {
+        Self::from_fn(n, |r| r != 0)
+    }
+
+    /// `n`-input XOR (odd parity).
+    pub fn xor(n: usize) -> Self {
+        Self::from_fn(n, |r| r.count_ones() % 2 == 1)
+    }
+
+    /// `n`-input NAND.
+    pub fn nand(n: usize) -> Self {
+        Self::from_fn(n, |r| r != (1u32 << n) - 1)
+    }
+
+    /// `n`-input NOR.
+    pub fn nor(n: usize) -> Self {
+        Self::from_fn(n, |r| r == 0)
+    }
+
+    /// 3-input majority (the full-adder carry function).
+    pub fn maj3() -> Self {
+        Self::from_fn(3, |r| r.count_ones() >= 2)
+    }
+
+    /// 2:1 multiplexer over fanins `(a, b, s)`: output is `b` when `s` is
+    /// high, `a` otherwise.
+    pub fn mux2() -> Self {
+        Self::from_fn(3, |r| {
+            let (a, b, s) = (r & 1 != 0, r & 2 != 0, r & 4 != 0);
+            if s {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// AND with selective input inversion: input `i` is complemented before
+    /// the AND when bit `i` of `neg_mask` is set. Useful for decoders.
+    pub fn and_with_polarity(n: usize, neg_mask: u32) -> Self {
+        Self::from_fn(n, move |r| (r ^ neg_mask) == (1u32 << n) - 1)
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of rows (`2^n`).
+    pub fn num_rows(&self) -> u32 {
+        1u32 << self.n
+    }
+
+    /// Value of the function for the input assignment `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= 2^n`.
+    #[inline]
+    pub fn get(&self, row: u32) -> bool {
+        assert!(row < self.num_rows(), "row {row} out of range");
+        (self.words[(row >> 6) as usize] >> (row & 63)) & 1 == 1
+    }
+
+    /// Evaluates without bounds checking beyond the slice index; `row` must
+    /// be `< 2^n`.
+    #[inline]
+    pub fn eval(&self, row: u32) -> bool {
+        debug_assert!(row < self.num_rows());
+        (self.words[(row >> 6) as usize] >> (row & 63)) & 1 == 1
+    }
+
+    /// Sets the function value for `row`.
+    pub fn set(&mut self, row: u32, value: bool) {
+        assert!(row < self.num_rows());
+        let w = &mut self.words[(row >> 6) as usize];
+        if value {
+            *w |= 1u64 << (row & 63);
+        } else {
+            *w &= !(1u64 << (row & 63));
+        }
+    }
+
+    /// Number of rows on which the function is 1 (the on-set size).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `Some(v)` if the function is the constant `v`.
+    pub fn as_constant(&self) -> Option<bool> {
+        let ones = self.count_ones();
+        if ones == 0 {
+            Some(false)
+        } else if ones == self.num_rows() {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the function actually depends on input `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        assert!(var < self.num_inputs());
+        let bit = 1u32 << var;
+        for row in 0..self.num_rows() {
+            if row & bit == 0 && self.eval(row) != self.eval(row | bit) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Shannon cofactor with respect to `var = value`; the result has one
+    /// fewer input, with remaining inputs renumbered to close the gap.
+    pub fn cofactor(&self, var: usize, value: bool) -> TruthTable {
+        assert!(var < self.num_inputs());
+        let n = self.num_inputs() - 1;
+        let low_mask = (1u32 << var) - 1;
+        TruthTable::from_fn(n, |r| {
+            let full = (r & low_mask)
+                | (if value { 1 } else { 0 } << var)
+                | ((r & !low_mask) << 1);
+            self.eval(full)
+        })
+    }
+
+    /// Boolean difference `∂f/∂x_var = f|x=0 XOR f|x=1`, over the remaining
+    /// inputs (renumbered as in [`TruthTable::cofactor`]).
+    ///
+    /// This is the quantity whose signal probability appears in Najm's
+    /// transition-density propagation rule (paper Eq. 1).
+    pub fn boolean_difference(&self, var: usize) -> TruthTable {
+        let c0 = self.cofactor(var, false);
+        let c1 = self.cofactor(var, true);
+        TruthTable::from_fn(self.num_inputs() - 1, |r| c0.eval(r) != c1.eval(r))
+    }
+
+    /// Returns the function with inputs permuted: new input `i` is old input
+    /// `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permute(&self, perm: &[usize]) -> TruthTable {
+        let n = self.num_inputs();
+        assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+        }
+        TruthTable::from_fn(n, |r| {
+            let mut old = 0u32;
+            for (new_i, &old_i) in perm.iter().enumerate() {
+                if r & (1 << new_i) != 0 {
+                    old |= 1 << old_i;
+                }
+            }
+            self.eval(old)
+        })
+    }
+
+    /// Extends the table to `n_new >= n` inputs; the added inputs are
+    /// don't-cares.
+    pub fn extend_inputs(&self, n_new: usize) -> TruthTable {
+        assert!(n_new >= self.num_inputs() && n_new <= MAX_INPUTS);
+        let mask = self.num_rows() - 1;
+        TruthTable::from_fn(n_new, |r| self.eval(r & mask))
+    }
+
+    /// Complemented function.
+    pub fn complement(&self) -> TruthTable {
+        let n = self.num_inputs();
+        TruthTable::from_fn(n, |r| !self.eval(r))
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} inputs: ", self.n)?;
+        if self.num_inputs() <= 6 {
+            for row in (0..self.num_rows()).rev() {
+                write!(f, "{}", if self.eval(row) { '1' } else { '0' })?;
+            }
+        } else {
+            write!(f, "{} ones / {} rows", self.count_ones(), self.num_rows())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(TruthTable::constant(true).as_constant(), Some(true));
+        assert_eq!(TruthTable::constant(false).as_constant(), Some(false));
+        assert_eq!(TruthTable::constant(true).num_inputs(), 0);
+        assert_eq!(TruthTable::constant(true).num_rows(), 1);
+    }
+
+    #[test]
+    fn basic_gates() {
+        let and3 = TruthTable::and(3);
+        assert_eq!(and3.count_ones(), 1);
+        assert!(and3.get(0b111));
+        let or3 = TruthTable::or(3);
+        assert_eq!(or3.count_ones(), 7);
+        let xor2 = TruthTable::xor(2);
+        assert!(xor2.get(0b01) && xor2.get(0b10));
+        assert!(!xor2.get(0b00) && !xor2.get(0b11));
+        let nand2 = TruthTable::nand(2);
+        assert_eq!(nand2.count_ones(), 3);
+        let nor2 = TruthTable::nor(2);
+        assert_eq!(nor2.count_ones(), 1);
+        assert!(nor2.get(0));
+    }
+
+    #[test]
+    fn mux2_semantics() {
+        let m = TruthTable::mux2();
+        // fanins (a, b, s): s=0 -> a, s=1 -> b
+        for a in 0..2u32 {
+            for b in 0..2u32 {
+                for s in 0..2u32 {
+                    let row = a | (b << 1) | (s << 2);
+                    let want = if s == 1 { b == 1 } else { a == 1 };
+                    assert_eq!(m.get(row), want, "a={a} b={b} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maj3_is_fa_carry() {
+        let m = TruthTable::maj3();
+        for r in 0..8u32 {
+            assert_eq!(m.get(r), r.count_ones() >= 2);
+        }
+    }
+
+    #[test]
+    fn large_tables() {
+        let xor10 = TruthTable::xor(10);
+        assert_eq!(xor10.count_ones(), 512);
+        assert!(xor10.get(0b1));
+        assert!(!xor10.get(0b11));
+    }
+
+    #[test]
+    fn cofactor_and_difference() {
+        // f = a AND b; df/da = b
+        let and2 = TruthTable::and(2);
+        let c0 = and2.cofactor(0, false);
+        assert_eq!(c0.as_constant(), Some(false));
+        let c1 = and2.cofactor(0, true);
+        assert!(c1.get(1) && !c1.get(0)); // = b
+        let diff = and2.boolean_difference(0);
+        assert!(diff.get(1) && !diff.get(0)); // = b
+        // f = a XOR b; df/da = 1
+        let xor2 = TruthTable::xor(2);
+        assert_eq!(xor2.boolean_difference(0).as_constant(), Some(true));
+        assert_eq!(xor2.boolean_difference(1).as_constant(), Some(true));
+    }
+
+    #[test]
+    fn cofactor_middle_variable() {
+        // f(a,b,c) = mux2: cofactor on s (var 2)
+        let m = TruthTable::mux2();
+        let f_s0 = m.cofactor(2, false); // = a over (a,b)
+        let f_s1 = m.cofactor(2, true); // = b over (a,b)
+        for r in 0..4u32 {
+            assert_eq!(f_s0.get(r), r & 1 == 1);
+            assert_eq!(f_s1.get(r), r & 2 == 2);
+        }
+    }
+
+    #[test]
+    fn depends_on() {
+        let m = TruthTable::mux2();
+        assert!(m.depends_on(0) && m.depends_on(1) && m.depends_on(2));
+        let buf_of_three = TruthTable::from_fn(3, |r| r & 2 != 0);
+        assert!(!buf_of_three.depends_on(0));
+        assert!(buf_of_three.depends_on(1));
+        assert!(!buf_of_three.depends_on(2));
+    }
+
+    #[test]
+    fn permute_swaps_inputs() {
+        // f = a AND NOT b
+        let f = TruthTable::from_fn(2, |r| r & 1 != 0 && r & 2 == 0);
+        let g = f.permute(&[1, 0]); // g(a,b) = f(b,a) = b AND NOT a
+        assert!(g.get(0b10) && !g.get(0b01));
+    }
+
+    #[test]
+    fn extend_inputs_ignores_new() {
+        let f = TruthTable::xor(2).extend_inputs(4);
+        for r in 0..16u32 {
+            assert_eq!(f.get(r), (r & 3).count_ones() % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let f = TruthTable::maj3();
+        assert_eq!(f.complement().complement(), f);
+        assert_eq!(f.complement().count_ones(), 8 - f.count_ones());
+    }
+
+    #[test]
+    fn and_with_polarity_decodes() {
+        // 2-input decoder term for code 0b01: in0 plain, in1 inverted
+        let t = TruthTable::and_with_polarity(2, 0b10);
+        assert!(t.get(0b01));
+        assert!(!t.get(0b00) && !t.get(0b10) && !t.get(0b11));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        TruthTable::and(2).get(4);
+    }
+}

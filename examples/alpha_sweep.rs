@@ -1,0 +1,47 @@
+//! Sweeps Eq. 4's weighting coefficient `α` from 0 (pure multiplexer
+//! balancing) to 1 (pure switching-activity estimation) on one benchmark
+//! and reports how power, area, and mux balance respond — the paper's
+//! central ablation, extended to a full sweep.
+//!
+//! ```text
+//! cargo run --release --example alpha_sweep [benchmark] (default: wang)
+//! ```
+
+use hlpower::{paper_constraint, run_benchmark, Binder, FlowConfig};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "wang".to_string());
+    let profile = cdfg::profile(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; use one of: chem dir honda mcm pr steam wang");
+        std::process::exit(2);
+    });
+    let g = cdfg::generate(profile, profile.seed);
+    let rc = paper_constraint(&name).expect("suite constraint");
+    let cfg = FlowConfig { sim_cycles: 500, ..FlowConfig::default() };
+
+    println!("alpha sweep on `{name}` (width {}, {} cycles)", cfg.width, cfg.sim_cycles);
+    println!("alpha  power(mW)  LUTs  muxlen  muxDiff(mean/var)  toggle(M/s)");
+    let baseline = run_benchmark(&g, &rc, Binder::Lopass, &cfg);
+    println!(
+        "LOPASS {:>9.2} {:>5} {:>7} {:>8.2}/{:<8.2} {:>6.1}",
+        baseline.power.dynamic_power_mw,
+        baseline.luts,
+        baseline.mux.length,
+        baseline.mux.muxdiff_mean(),
+        baseline.mux.muxdiff_variance(),
+        baseline.power.avg_toggle_rate_mhz
+    );
+    for alpha in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let r = run_benchmark(&g, &rc, Binder::HlPower { alpha }, &cfg);
+        println!(
+            "{alpha:<6} {:>9.2} {:>5} {:>7} {:>8.2}/{:<8.2} {:>6.1}",
+            r.power.dynamic_power_mw,
+            r.luts,
+            r.mux.length,
+            r.mux.muxdiff_mean(),
+            r.mux.muxdiff_variance(),
+            r.power.avg_toggle_rate_mhz
+        );
+    }
+    println!("\n(the paper evaluates alpha = 1 and alpha = 0.5; Section 6.2)");
+}

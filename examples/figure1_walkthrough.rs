@@ -1,0 +1,77 @@
+//! Reproduces the paper's **Figure 1**: the worked example of iterative
+//! functional-unit binding on an 8-operation, 3-control-step CDFG,
+//! printing the bipartite matching of every iteration and ending at the
+//! figure's final allocation of 2 adders + 1 multiplier.
+//!
+//! ```text
+//! cargo run --release --example figure1_walkthrough
+//! ```
+
+use cdfg::{Cdfg, FuType, OpKind, ResourceConstraint, ResourceLibrary, Schedule};
+use hlpower::{bind_hlpower, bind_registers, HlPowerConfig, RegBindConfig, SaTable};
+
+fn main() {
+    // The CDFG of Figure 1: ops 1..8 (here op0..op7), csteps as drawn:
+    //   cstep1: add1 add2 mul3 | cstep2: add4 mul5 | cstep3: add6 mul7 add8
+    let mut g = Cdfg::new("figure1");
+    let x: Vec<_> = (0..6).map(|i| g.add_input(format!("x{i}"))).collect();
+    let (_, v1) = g.add_op(OpKind::Add, x[0], x[1]); // 1+
+    let (_, v2) = g.add_op(OpKind::Add, x[2], x[3]); // 2+
+    let (_, v3) = g.add_op(OpKind::Mul, x[4], x[5]); // 3x
+    let (_, v4) = g.add_op(OpKind::Add, v1, v2); // 4+
+    let (_, v5) = g.add_op(OpKind::Mul, v3, v1); // 5x
+    let (_, v6) = g.add_op(OpKind::Add, v4, v5); // 6+
+    let (_, v7) = g.add_op(OpKind::Mul, v5, v4); // 7x
+    let (_, v8) = g.add_op(OpKind::Add, v4, v2); // 8+
+    for v in [v6, v7, v8] {
+        g.mark_output(v);
+    }
+    let sched = Schedule {
+        cstep: vec![0, 0, 0, 1, 1, 2, 2, 2],
+        library: ResourceLibrary::default(),
+        num_steps: 3,
+    };
+    sched.validate(&g, None).expect("legal schedule");
+
+    println!("CDFG (paper Figure 1):");
+    for (id, op) in g.ops() {
+        println!(
+            "  op{} {:4}  @cstep{}",
+            id.0 + 1,
+            op.kind.to_string(),
+            sched.start(id) + 1
+        );
+    }
+    let (step, u_adds) = sched.densest_step_ops(&g, FuType::AddSub);
+    let (_, u_muls) = sched.densest_step_ops(&g, FuType::Mul);
+    println!(
+        "\nset U: adds of cstep{} {:?} + mult {:?} (max-density steps)",
+        step + 1,
+        u_adds.iter().map(|o| o.0 + 1).collect::<Vec<_>>(),
+        u_muls.iter().map(|o| o.0 + 1).collect::<Vec<_>>()
+    );
+
+    let rc = ResourceConstraint::new(2, 1);
+    let rb = bind_registers(&g, &sched, &RegBindConfig::default());
+    let mut table = SaTable::new(8, 4);
+    let (fb, trace) =
+        bind_hlpower(&g, &sched, &rb, &rc, &mut table, &HlPowerConfig::default());
+
+    for it in &trace {
+        println!("\niteration {} ({} compatible edges):", it.iteration, it.num_edges);
+        for m in &it.merges {
+            let u: Vec<u32> = m.u_ops.iter().map(|o| o.0 + 1).collect();
+            let v: Vec<u32> = m.v_ops.iter().map(|o| o.0 + 1).collect();
+            println!("  merge {v:?} into {u:?}  (edge weight {:.5})", m.weight);
+        }
+    }
+
+    println!("\nfinal binding:");
+    for (i, fu) in fb.fus.iter().enumerate() {
+        let ops: Vec<u32> = fu.ops.iter().map(|o| o.0 + 1).collect();
+        println!("  fu{i} ({}) <- ops {ops:?}", fu.ty);
+    }
+    assert_eq!(fb.count(FuType::AddSub), 2, "the figure ends at 2 adders");
+    assert_eq!(fb.count(FuType::Mul), 1, "and 1 multiplier");
+    println!("\nfinal allocation: 2 adders + 1 multiplier — matches the paper.");
+}

@@ -1,0 +1,269 @@
+//! `hlp` — command-line driver for the HLPower flow.
+//!
+//! ```text
+//! hlp run <file.cdfg> [options]     bind a CDFG file and report
+//! hlp bench <name> [options]        run one suite benchmark end to end
+//! hlp table <out.txt> [options]     precompute an SA table to a file
+//! hlp suite                         list the built-in benchmarks
+//!
+//! options:
+//!   --width N        datapath width in bits        (default 16)
+//!   --adders N       adder/subtractor constraint   (default 2)
+//!   --mults N        multiplier constraint         (default 2)
+//!   --alpha A        Eq. 4 weighting coefficient   (default 0.5)
+//!   --binder NAME    lopass | lopass-ic | lopass-sa | hlpower  (default hlpower)
+//!   --cycles N       simulation cycles             (default 1000)
+//!   --fsm            elaborate the on-chip FSM controller
+//!   --vhdl PATH      write structural VHDL
+//!   --blif PATH      write the gate-level netlist as BLIF
+//!   --dot PATH       write the scheduled CDFG as Graphviz
+//!   --sa-table PATH  load/store the SA precalculation table
+//! ```
+
+use cdfg::ResourceConstraint;
+use hlpower::flow::{bind, measure, prepare};
+use hlpower::{Binder, ControlStyle, FlowConfig, SaTable};
+use std::process::exit;
+
+struct Options {
+    width: usize,
+    rc: ResourceConstraint,
+    alpha: f64,
+    binder: Binder,
+    cycles: u64,
+    fsm: bool,
+    vhdl: Option<String>,
+    blif: Option<String>,
+    dot: Option<String>,
+    sa_table: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hlp <run FILE | bench NAME | table OUT | suite> \
+         [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
+         [--cycles N] [--fsm] [--vhdl P] [--blif P] [--dot P] [--sa-table P]"
+    );
+    exit(2)
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut o = Options {
+        width: 16,
+        rc: ResourceConstraint::new(2, 2),
+        alpha: 0.5,
+        binder: Binder::HlPower { alpha: 0.5 },
+        cycles: 1000,
+        fsm: false,
+        vhdl: None,
+        blif: None,
+        dot: None,
+        sa_table: None,
+    };
+    let mut binder_name = "hlpower".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--width" => o.width = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--adders" => o.rc.addsub = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--mults" => o.rc.mul = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--alpha" => o.alpha = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--binder" => binder_name = value(&mut i),
+            "--cycles" => o.cycles = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--fsm" => o.fsm = true,
+            "--vhdl" => o.vhdl = Some(value(&mut i)),
+            "--blif" => o.blif = Some(value(&mut i)),
+            "--dot" => o.dot = Some(value(&mut i)),
+            "--sa-table" => o.sa_table = Some(value(&mut i)),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o.binder = match binder_name.as_str() {
+        "lopass" => Binder::Lopass,
+        "lopass-ic" => Binder::LopassInterconnect,
+        "lopass-sa" => Binder::LopassAnnealed,
+        "hlpower" => Binder::HlPower { alpha: o.alpha },
+        "hlpower-zd" => Binder::HlPowerZeroDelay { alpha: o.alpha },
+        other => {
+            eprintln!("unknown binder `{other}`");
+            usage()
+        }
+    };
+    o
+}
+
+fn flow_config(o: &Options) -> FlowConfig {
+    FlowConfig {
+        width: o.width,
+        sa_width: o.width.min(8),
+        sim_cycles: o.cycles,
+        control: if o.fsm { ControlStyle::Fsm } else { ControlStyle::External },
+        ..FlowConfig::default()
+    }
+}
+
+fn load_table(o: &Options, cfg: &FlowConfig, binder: Binder) -> SaTable {
+    if let Some(path) = &o.sa_table {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            match SaTable::from_text(&text) {
+                Ok(t) => {
+                    eprintln!("loaded SA table `{path}` ({} entries)", t.len());
+                    return t;
+                }
+                Err(e) => eprintln!("ignoring malformed SA table `{path}`: {e}"),
+            }
+        }
+    }
+    hlpower::flow::sa_table_for(cfg, binder)
+}
+
+fn store_table(o: &Options, table: &SaTable) {
+    if let Some(path) = &o.sa_table {
+        if let Err(e) = std::fs::write(path, table.to_text()) {
+            eprintln!("cannot write SA table `{path}`: {e}");
+        } else {
+            eprintln!("saved SA table `{path}` ({} entries)", table.len());
+        }
+    }
+}
+
+fn run_flow(g: &cdfg::Cdfg, o: &Options) {
+    g.check().unwrap_or_else(|e| {
+        eprintln!("invalid CDFG: {e}");
+        exit(1);
+    });
+    println!("{}", g.profile_line());
+    let cfg = flow_config(o);
+    let (sched, rb) = prepare(g, &o.rc, &cfg);
+    println!(
+        "schedule: {} steps under (add={}, mult={})",
+        sched.num_steps, o.rc.addsub, o.rc.mul
+    );
+    let mut table = load_table(o, &cfg, o.binder);
+    let (fb, elapsed) = bind(g, &sched, &rb, &o.rc, o.binder, &mut table);
+    store_table(o, &table);
+    println!(
+        "binding ({}): {} FUs in {:.3}s{}",
+        o.binder.label(),
+        fb.fus.len(),
+        elapsed.as_secs_f64(),
+        if fb.meets(&o.rc) { "" } else { "  [constraint NOT met]" }
+    );
+    for (i, fu) in fb.fus.iter().enumerate() {
+        println!("  fu{i} ({}): {} ops", fu.ty, fu.ops.len());
+    }
+    let result = measure(g, &sched, &rb, &fb, &o.rc, o.binder, &cfg, elapsed);
+    println!("datapath: {} registers ({:?} control)", result.registers, cfg.control);
+    println!(
+        "mapped:   {} LUTs, depth {}, estimated SA {:.1}",
+        result.luts, result.depth, result.estimated_sa
+    );
+    println!(
+        "muxes:    largest {}, length {}, muxDiff mean {:.2} var {:.2}",
+        result.mux.largest,
+        result.mux.length,
+        result.mux.muxdiff_mean(),
+        result.mux.muxdiff_variance()
+    );
+    println!(
+        "measured: {:.2} mW dynamic, {:.1} ns clock, {:.1} M toggles/s/net, {:.0}% glitches",
+        result.power.dynamic_power_mw,
+        result.power.clock_period_ns,
+        result.power.avg_toggle_rate_mhz,
+        result.power.glitch_fraction * 100.0
+    );
+
+    // Optional artifacts (re-elaborate so artifacts match the options).
+    if o.vhdl.is_some() || o.blif.is_some() || o.dot.is_some() {
+        let dp = hlpower::elaborate(
+            g,
+            &sched,
+            &rb,
+            &fb,
+            &hlpower::DatapathConfig {
+                width: o.width,
+                control: if o.fsm { ControlStyle::Fsm } else { ControlStyle::External },
+            },
+        );
+        if let Some(path) = &o.vhdl {
+            write_or_die(path, &hlpower::write_vhdl(&dp));
+        }
+        if let Some(path) = &o.blif {
+            write_or_die(path, &netlist::write_blif(&dp.netlist));
+        }
+        if let Some(path) = &o.dot {
+            write_or_die(path, &cdfg::to_dot(g, Some(&sched)));
+        }
+    }
+}
+
+fn write_or_die(path: &str, content: &str) {
+    match std::fs::write(path, content) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write `{path}`: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else { usage() };
+    match command.as_str() {
+        "run" => {
+            let Some(path) = argv.get(1) else { usage() };
+            let o = parse_options(&argv[2..]);
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read `{path}`: {e}");
+                exit(1);
+            });
+            let (g, _) = cdfg::parse_cdfg(&text).unwrap_or_else(|e| {
+                eprintln!("parse error in `{path}`: {e}");
+                exit(1);
+            });
+            run_flow(&g, &o);
+        }
+        "bench" => {
+            let Some(name) = argv.get(1) else { usage() };
+            let mut o = parse_options(&argv[2..]);
+            let Some(p) = cdfg::profile(name) else {
+                eprintln!("unknown benchmark `{name}`; try `hlp suite`");
+                exit(1);
+            };
+            if let Some(rc) = hlpower::paper_constraint(name) {
+                o.rc = rc;
+            }
+            let g = cdfg::generate(p, p.seed);
+            run_flow(&g, &o);
+        }
+        "table" => {
+            let Some(out) = argv.get(1) else { usage() };
+            let o = parse_options(&argv[2..]);
+            let mut table = SaTable::new(o.width.min(8), 4);
+            eprintln!("precomputing SA table up to 8x8 muxes (width {})...", table.width());
+            table.precompute(8);
+            write_or_die(out, &table.to_text());
+        }
+        "suite" => {
+            println!("built-in benchmarks (paper Table 1):");
+            for p in &cdfg::PROFILES {
+                let rc = hlpower::paper_constraint(p.name).expect("suite constraint");
+                println!(
+                    "  {:6}  {:3} PIs {:3} POs {:4} adds {:4} mults  (constraint add={} mult={})",
+                    p.name, p.pis, p.pos, p.adds, p.muls, rc.addsub, rc.mul
+                );
+            }
+        }
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

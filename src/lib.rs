@@ -1,0 +1,4 @@
+//! Workspace root crate: re-exports the HLPower reproduction stack for the
+//! examples and integration tests that live at the repository root.
+#![warn(missing_docs)]
+pub use {activity, cdfg, gatesim, hlpower, mapper, netlist};

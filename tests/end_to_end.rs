@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: the complete paper pipeline on real
+//! (generated) benchmarks at reduced width — every stage checked against
+//! the stage-independent reference model.
+
+use cdfg::{FuType, ResourceConstraint};
+use gatesim::Evaluator;
+use hlpower::flow::{bind, prepare, sa_table_for};
+use hlpower::{
+    elaborate, execute, paper_constraint, write_vhdl, Binder, DatapathConfig,
+    FlowConfig,
+};
+use mapper::{map, MapConfig, MapObjective};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn small_flow() -> FlowConfig {
+    FlowConfig { width: 4, sa_width: 4, sim_cycles: 60, ..FlowConfig::default() }
+}
+
+/// Every binder produces a datapath that computes the benchmark's exact
+/// function, before and after technology mapping.
+#[test]
+fn all_binders_preserve_function_on_pr() {
+    let p = cdfg::profile("pr").unwrap();
+    let g = cdfg::generate(p, p.seed);
+    let rc = paper_constraint("pr").unwrap();
+    let cfg = small_flow();
+    let (sched, rb) = prepare(&g, &rc, &cfg);
+    let mut rng = StdRng::seed_from_u64(77);
+    for binder in [
+        Binder::Lopass,
+        Binder::LopassInterconnect,
+        Binder::LopassAnnealed,
+        Binder::HlPower { alpha: 0.5 },
+        Binder::HlPowerZeroDelay { alpha: 0.5 },
+    ] {
+        let mut table = sa_table_for(&cfg, binder);
+        let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+        fb.validate(&g, &sched).unwrap();
+        assert!(fb.meets(&rc), "{:?}", binder);
+        let dp = elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(cfg.width));
+        let data: Vec<u64> =
+            (0..g.inputs().len()).map(|_| rng.gen_range(0..16)).collect();
+        let expected = g.evaluate(&data, cfg.width);
+        assert_eq!(
+            execute(&dp, &dp.netlist, &data),
+            expected,
+            "{binder:?} gate-level"
+        );
+        let mapped = map(&dp.netlist, &MapConfig::new(4, MapObjective::GlitchSa));
+        assert_eq!(
+            execute(&dp, &mapped.netlist, &data),
+            expected,
+            "{binder:?} mapped"
+        );
+    }
+}
+
+/// The shared preparation really is shared: schedule, register binding,
+/// and FU counts agree across binders (the paper's controlled setup).
+#[test]
+fn binders_share_schedule_and_registers() {
+    let p = cdfg::profile("wang").unwrap();
+    let g = cdfg::generate(p, p.seed);
+    let rc = paper_constraint("wang").unwrap();
+    let cfg = small_flow();
+    let a = hlpower::run_benchmark(&g, &rc, Binder::Lopass, &cfg);
+    let b = hlpower::run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &cfg);
+    assert_eq!(a.schedule_steps, b.schedule_steps);
+    assert_eq!(a.registers, b.registers);
+    assert_eq!(a.fus_addsub, b.fus_addsub);
+    assert_eq!(a.fus_mul, b.fus_mul);
+    assert_eq!((a.fus_addsub, a.fus_mul), (rc.addsub, rc.mul));
+}
+
+/// Estimated switching activity ranks bindings consistently with the
+/// simulator on the same mapped netlists (within a generous band — the
+/// estimator ignores data correlations).
+#[test]
+fn estimator_and_simulator_roughly_agree_on_bindings() {
+    let p = cdfg::profile("wang").unwrap();
+    let g = cdfg::generate(p, p.seed);
+    let rc = paper_constraint("wang").unwrap();
+    let cfg = FlowConfig { width: 4, sa_width: 4, sim_cycles: 200, ..FlowConfig::default() };
+    let r = hlpower::run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &cfg);
+    // Per-cycle measured transitions vs estimated SA per cycle.
+    let measured_per_cycle = r.power.total_transitions as f64 / cfg.sim_cycles as f64;
+    let ratio = r.estimated_sa / measured_per_cycle;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "estimate {:.1} vs measured {:.1} per cycle (ratio {ratio:.2})",
+        r.estimated_sa,
+        measured_per_cycle
+    );
+}
+
+/// The whole suite schedules, binds, and meets the paper's Table 2
+/// constraints (Theorem 1 at suite scale).
+#[test]
+fn suite_meets_paper_constraints() {
+    let cfg = small_flow();
+    for p in &cdfg::PROFILES {
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint(p.name).unwrap();
+        let (sched, rb) = prepare(&g, &rc, &cfg);
+        for binder in [Binder::Lopass, Binder::HlPower { alpha: 0.5 }] {
+            let mut table = sa_table_for(&cfg, binder);
+            let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+            fb.validate(&g, &sched).unwrap();
+            assert!(fb.meets(&rc), "{} with {:?}", p.name, binder);
+            assert_eq!(fb.count(FuType::AddSub), sched.min_resources(&g, FuType::AddSub));
+            assert_eq!(fb.count(FuType::Mul), sched.min_resources(&g, FuType::Mul));
+        }
+    }
+}
+
+/// VHDL and BLIF artifacts of a bound datapath are well-formed (BLIF
+/// round-trips through our own parser; VHDL passes structural checks).
+#[test]
+fn artifacts_are_well_formed() {
+    let p = cdfg::profile("pr").unwrap();
+    let g = cdfg::generate(p, p.seed);
+    let rc = paper_constraint("pr").unwrap();
+    let cfg = small_flow();
+    let (sched, rb) = prepare(&g, &rc, &cfg);
+    let binder = Binder::HlPower { alpha: 0.5 };
+    let mut table = sa_table_for(&cfg, binder);
+    let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+    let dp = elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(4));
+
+    let blif = netlist::write_blif(&dp.netlist);
+    let back = netlist::parse_blif(&blif).unwrap().flatten(None, &[]).unwrap();
+    back.check().unwrap();
+    assert_eq!(back.num_latches(), dp.netlist.num_latches());
+    assert_eq!(back.inputs().len(), dp.netlist.inputs().len());
+
+    let vhdl = write_vhdl(&dp);
+    assert!(vhdl.contains("entity pr_dp is"));
+    assert!(vhdl.matches("rising_edge").count() == 1);
+    // Balanced begin/end structure.
+    assert_eq!(vhdl.matches("end architecture;").count(), 1);
+    assert_eq!(vhdl.matches("end entity;").count(), 1);
+}
+
+/// The zero-delay evaluator and the unit-delay event simulator agree on
+/// settled values for an entire bound datapath across many cycles.
+#[test]
+fn simulators_agree_on_datapath() {
+    let p = cdfg::profile("wang").unwrap();
+    let g = cdfg::generate(p, p.seed);
+    let rc = ResourceConstraint::new(2, 2);
+    let cfg = small_flow();
+    let (sched, rb) = prepare(&g, &rc, &cfg);
+    let binder = Binder::HlPower { alpha: 1.0 };
+    let mut table = sa_table_for(&cfg, binder);
+    let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+    let dp = elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(4));
+    let mut ev = Evaluator::new(&dp.netlist);
+    let mut sim = gatesim::CycleSim::new(&dp.netlist);
+    let data: Vec<u64> = (0..g.inputs().len() as u64).collect();
+    for c in 0..(dp.num_steps * 2) {
+        let v = dp.input_vector(c % dp.num_steps, &data);
+        // A clock edge captures pre-edge D values, then the new inputs
+        // apply: step_clock first, then set inputs and settle.
+        ev.step_clock();
+        for (k, &i) in dp.netlist.inputs().iter().enumerate() {
+            ev.set_input(i, v[k]);
+        }
+        ev.settle();
+        sim.step(&v);
+        for (id, _) in dp.netlist.nodes() {
+            assert_eq!(ev.value(id), sim.value(id), "node {id} cycle {c}");
+        }
+    }
+}
