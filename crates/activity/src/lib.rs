@@ -44,10 +44,10 @@ pub mod signal;
 pub mod timed;
 
 pub use signal::{
-    boolean_difference_probability, chou_roy_activity, najm_density,
-    pair_switch_probability, signal_probability, PairDist, SignalStats,
+    boolean_difference_probability, chou_roy_activity, najm_density, pair_switch_probability,
+    signal_probability, PairDist, SignalStats,
 };
 pub use timed::{
-    analyze, analyze_zero_delay, propagate, ActivityConfig, SaReport, TimedSignal,
-    ZeroDelayModel, ZeroDelayReport,
+    analyze, analyze_zero_delay, propagate, ActivityConfig, SaReport, TimedSignal, ZeroDelayModel,
+    ZeroDelayReport,
 };

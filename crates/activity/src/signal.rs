@@ -21,7 +21,10 @@ pub struct SignalStats {
 
 impl SignalStats {
     /// The paper's primary-input assumption: `P = s = 0.5`.
-    pub const PRIMARY_INPUT: SignalStats = SignalStats { prob: 0.5, activity: 0.5 };
+    pub const PRIMARY_INPUT: SignalStats = SignalStats {
+        prob: 0.5,
+        activity: 0.5,
+    };
 
     /// Creates statistics, clamping both values into `[0, 1]` and capping
     /// `activity` at its feasibility bound `2 * min(P, 1 - P)` (a signal
@@ -29,12 +32,18 @@ impl SignalStats {
     pub fn new(prob: f64, activity: f64) -> Self {
         let prob = prob.clamp(0.0, 1.0);
         let bound = 2.0 * prob.min(1.0 - prob);
-        SignalStats { prob, activity: activity.clamp(0.0, 1.0).min(bound) }
+        SignalStats {
+            prob,
+            activity: activity.clamp(0.0, 1.0).min(bound),
+        }
     }
 
     /// Statistics of a constant signal.
     pub fn constant(value: bool) -> Self {
-        SignalStats { prob: if value { 1.0 } else { 0.0 }, activity: 0.0 }
+        SignalStats {
+            prob: if value { 1.0 } else { 0.0 },
+            activity: 0.0,
+        }
     }
 }
 
@@ -76,7 +85,12 @@ impl PairDist {
     /// A frozen signal: the value cannot change between the two frames.
     pub fn frozen(prob: f64) -> Self {
         let p = prob.clamp(0.0, 1.0);
-        PairDist { p00: 1.0 - p, p01: 0.0, p10: 0.0, p11: p }
+        PairDist {
+            p00: 1.0 - p,
+            p01: 0.0,
+            p10: 0.0,
+            p11: p,
+        }
     }
 
     /// Probability of the `(before, after)` value pair.
@@ -167,8 +181,7 @@ pub fn najm_density(table: &TruthTable, fanins: &[SignalStats]) -> f64 {
 pub fn pair_switch_probability(table: &TruthTable, dists: &[PairDist]) -> f64 {
     let n = table.num_inputs();
     assert_eq!(dists.len(), n, "one pair distribution per table input");
-    let switching: Vec<usize> =
-        (0..n).filter(|&i| dists[i].switch_prob() > 0.0).collect();
+    let switching: Vec<usize> = (0..n).filter(|&i| dists[i].switch_prob() > 0.0).collect();
     let mut total = 0.0;
     for before in 0..table.num_rows() {
         // Probability of the `before` frame with every switching fanin's
@@ -304,8 +317,7 @@ mod tests {
         let stats = [SignalStats::PRIMARY_INPUT; 2];
         let s = chou_roy_activity(&and2, &stats);
         assert!((s - 0.375).abs() < EPS, "got {s}");
-        let dists: Vec<PairDist> =
-            stats.iter().map(|&x| PairDist::from_stats(x)).collect();
+        let dists: Vec<PairDist> = stats.iter().map(|&x| PairDist::from_stats(x)).collect();
         let direct = pair_switch_probability(&and2, &dists);
         assert!((direct - 0.375).abs() < EPS);
     }
@@ -334,8 +346,7 @@ mod tests {
         ];
         for t in &tables {
             let via_eq2 = chou_roy_activity(t, &stats);
-            let dists: Vec<PairDist> =
-                stats.iter().map(|&s| PairDist::from_stats(s)).collect();
+            let dists: Vec<PairDist> = stats.iter().map(|&s| PairDist::from_stats(s)).collect();
             let direct = pair_switch_probability(t, &dists);
             assert!(
                 (via_eq2 - direct).abs() < 1e-10,

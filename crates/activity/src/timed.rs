@@ -30,14 +30,23 @@ impl TimedSignal {
     /// A primary-input-like source switching at time 0.
     pub fn source(stats: SignalStats) -> Self {
         let stats = SignalStats::new(stats.prob, stats.activity);
-        let profile =
-            if stats.activity > 0.0 { vec![(0, stats.activity)] } else { Vec::new() };
-        TimedSignal { prob: stats.prob, profile }
+        let profile = if stats.activity > 0.0 {
+            vec![(0, stats.activity)]
+        } else {
+            Vec::new()
+        };
+        TimedSignal {
+            prob: stats.prob,
+            profile,
+        }
     }
 
     /// A constant signal (never switches).
     pub fn constant(value: bool) -> Self {
-        TimedSignal { prob: if value { 1.0 } else { 0.0 }, profile: Vec::new() }
+        TimedSignal {
+            prob: if value { 1.0 } else { 0.0 },
+            profile: Vec::new(),
+        }
     }
 
     /// Latest switching time (the signal's stable arrival); 0 when the
@@ -135,7 +144,10 @@ impl ActivityConfig {
     }
 
     fn stats_for(&self, node: NodeId) -> SignalStats {
-        self.overrides.get(&node).copied().unwrap_or(self.default_source)
+        self.overrides
+            .get(&node)
+            .copied()
+            .unwrap_or(self.default_source)
     }
 }
 
@@ -174,19 +186,15 @@ impl SaReport {
 /// Panics if the netlist has a combinational cycle (validate with
 /// [`Netlist::check`] first).
 pub fn analyze(nl: &Netlist, config: &ActivityConfig) -> SaReport {
-    let mut signals: Vec<TimedSignal> =
-        vec![TimedSignal::constant(false); nl.num_nodes()];
+    let mut signals: Vec<TimedSignal> = vec![TimedSignal::constant(false); nl.num_nodes()];
     let mut total = 0.0;
     let mut functional = 0.0;
     for id in nl.topo_order() {
         let sig = match &nl.node(id).kind {
-            NodeKind::Input | NodeKind::Latch { .. } => {
-                TimedSignal::source(config.stats_for(id))
-            }
+            NodeKind::Input | NodeKind::Latch { .. } => TimedSignal::source(config.stats_for(id)),
             NodeKind::Constant(v) => TimedSignal::constant(*v),
             NodeKind::Logic { fanins, table } => {
-                let refs: Vec<&TimedSignal> =
-                    fanins.iter().map(|f| &signals[f.index()]).collect();
+                let refs: Vec<&TimedSignal> = fanins.iter().map(|f| &signals[f.index()]).collect();
                 let sig = propagate(table, &refs);
                 total += sig.total_activity();
                 functional += sig.functional_activity();
@@ -195,7 +203,12 @@ pub fn analyze(nl: &Netlist, config: &ActivityConfig) -> SaReport {
         };
         signals[id.index()] = sig;
     }
-    SaReport { signals, total_sa: total, functional_sa: functional, glitch_sa: total - functional }
+    SaReport {
+        signals,
+        total_sa: total,
+        functional_sa: functional,
+        glitch_sa: total - functional,
+    }
 }
 
 /// Zero-delay estimator selector for [`analyze_zero_delay`].
@@ -232,15 +245,12 @@ pub fn analyze_zero_delay(
             NodeKind::Input | NodeKind::Latch { .. } => config.stats_for(id),
             NodeKind::Constant(v) => SignalStats::constant(*v),
             NodeKind::Logic { fanins, table } => {
-                let fstats: Vec<SignalStats> =
-                    fanins.iter().map(|f| stats[f.index()]).collect();
+                let fstats: Vec<SignalStats> = fanins.iter().map(|f| stats[f.index()]).collect();
                 let probs: Vec<f64> = fstats.iter().map(|s| s.prob).collect();
                 let prob = signal_probability(table, &probs);
                 let act = match model {
                     ZeroDelayModel::Najm => crate::signal::najm_density(table, &fstats),
-                    ZeroDelayModel::ChouRoy => {
-                        crate::signal::chou_roy_activity(table, &fstats)
-                    }
+                    ZeroDelayModel::ChouRoy => crate::signal::chou_roy_activity(table, &fstats),
                 };
                 total += act;
                 SignalStats::new(prob, act)
@@ -248,7 +258,10 @@ pub fn analyze_zero_delay(
         };
         stats[id.index()] = s;
     }
-    ZeroDelayReport { stats, total_sa: total }
+    ZeroDelayReport {
+        stats,
+        total_sa: total,
+    }
 }
 
 #[cfg(test)]
@@ -307,8 +320,7 @@ mod tests {
         let x1 = propagate(&TruthTable::xor(2), &[&inputs[0], &inputs[1]]);
         let x2 = propagate(&TruthTable::xor(2), &[&x1, &inputs[2]]);
         let x3 = propagate(&TruthTable::xor(2), &[&x2, &inputs[3]]);
-        let chain_sa =
-            x1.total_activity() + x2.total_activity() + x3.total_activity();
+        let chain_sa = x1.total_activity() + x2.total_activity() + x3.total_activity();
         // tree: (a^b)^(c^d)
         let t1 = propagate(&TruthTable::xor(2), &[&inputs[0], &inputs[1]]);
         let t2 = propagate(&TruthTable::xor(2), &[&inputs[2], &inputs[3]]);
@@ -319,7 +331,11 @@ mod tests {
             "chain {chain_sa} should glitch more than tree {tree_sa}"
         );
         assert!(x3.glitch_activity() > 0.0);
-        assert_eq!(t3.glitch_activity(), 0.0, "balanced tree has equal arrivals");
+        assert_eq!(
+            t3.glitch_activity(),
+            0.0,
+            "balanced tree has equal arrivals"
+        );
     }
 
     #[test]
@@ -371,8 +387,7 @@ mod tests {
         let a = nl.add_input("a");
         let g = nl.add_logic("g", vec![a], TruthTable::buffer());
         nl.mark_output("o", g);
-        let cfg = ActivityConfig::uniform()
-            .with_override(a, SignalStats::new(0.5, 0.1));
+        let cfg = ActivityConfig::uniform().with_override(a, SignalStats::new(0.5, 0.1));
         let report = analyze(&nl, &cfg);
         assert!((report.signals[g.index()].total_activity() - 0.1).abs() < EPS);
     }
@@ -385,8 +400,7 @@ mod tests {
         let g = nl.add_logic("g", vec![a, b], TruthTable::xor(2));
         nl.mark_output("o", g);
         let najm = analyze_zero_delay(&nl, &ActivityConfig::uniform(), ZeroDelayModel::Najm);
-        let cr =
-            analyze_zero_delay(&nl, &ActivityConfig::uniform(), ZeroDelayModel::ChouRoy);
+        let cr = analyze_zero_delay(&nl, &ActivityConfig::uniform(), ZeroDelayModel::ChouRoy);
         assert!((najm.total_sa - 1.0).abs() < EPS);
         assert!((cr.total_sa - 0.5).abs() < EPS);
     }

@@ -1,43 +1,62 @@
-//! Criterion benchmarks for the binding algorithms — the runtime the
-//! paper reports in Table 2, plus the precalculated-vs-dynamic SA ablation
-//! of Section 5.2.2 ("the same results ... but with a much shorter run
+//! Benchmarks for the binding algorithms — the runtime the paper reports
+//! in Table 2, plus the precalculated-vs-dynamic SA ablation of
+//! Section 5.2.2 ("the same results ... but with a much shorter run
 //! time").
+//!
+//! Criterion is unavailable offline, so these are plain `harness = false`
+//! timers: each subject runs for a fixed iteration budget and reports
+//! mean wall-clock per iteration.
+//!
+//! ```text
+//! cargo bench -p hlpower-bench --bench binding
+//! ```
 
 use cdfg::ResourceConstraint;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hlpower::flow::{prepare, sa_table_for};
-use hlpower::{
-    bind_hlpower, bind_lopass, Binder, FlowConfig, HlPowerConfig, SaMode, SaTable,
-};
+use hlpower::{bind_hlpower, bind_lopass, Binder, FlowConfig, HlPowerConfig, SaMode, SaTable};
+use std::time::Instant;
 
 fn flow_cfg() -> FlowConfig {
-    FlowConfig { width: 8, sa_width: 6, ..FlowConfig::default() }
+    FlowConfig {
+        width: 8,
+        sa_width: 6,
+        ..FlowConfig::default()
+    }
 }
 
-fn bench_binders(c: &mut Criterion) {
+/// Times `iters` runs of `f` (after one warm-up) and prints mean ms/iter.
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{label:40} {per:10.3} ms/iter  ({iters} iters)");
+}
+
+fn bench_binders() {
     let cfg = flow_cfg();
-    let mut group = c.benchmark_group("binding");
     for name in ["pr", "wang", "honda", "dir"] {
         let p = cdfg::profile(name).unwrap();
         let g = cdfg::generate(p, p.seed);
         let rc = hlpower::paper_constraint(name).unwrap();
         let (sched, rb) = prepare(&g, &rc, &cfg);
 
-        group.bench_with_input(BenchmarkId::new("hlpower_a05", name), &g, |b, g| {
-            // Warm table shared across iterations, mirroring the paper's
-            // precalculated-table methodology.
-            let mut table = sa_table_for(&cfg, Binder::HlPower { alpha: 0.5 });
-            let hl = HlPowerConfig::default();
-            b.iter(|| bind_hlpower(g, &sched, &rb, &rc, &mut table, &hl));
+        // Warm table shared across iterations, mirroring the paper's
+        // precalculated-table methodology.
+        let mut table = sa_table_for(&cfg, Binder::HlPower { alpha: 0.5 });
+        let hl = HlPowerConfig::default();
+        bench(&format!("binding/hlpower_a05/{name}"), 10, || {
+            bind_hlpower(&g, &sched, &rb, &rc, &mut table, &hl);
         });
-        group.bench_with_input(BenchmarkId::new("lopass_greedy", name), &g, |b, g| {
-            b.iter(|| bind_lopass(g, &sched, &rb, &rc));
+        bench(&format!("binding/lopass_greedy/{name}"), 10, || {
+            bind_lopass(&g, &sched, &rb, &rc);
         });
     }
-    group.finish();
 }
 
-fn bench_sa_modes(c: &mut Criterion) {
+fn bench_sa_modes() {
     // The paper's ablation: dynamic SA estimation vs the precalculated
     // hash table, measured on the same binding run.
     let cfg = flow_cfg();
@@ -47,27 +66,17 @@ fn bench_sa_modes(c: &mut Criterion) {
     let (sched, rb) = prepare(&g, &rc, &cfg);
     let hl = HlPowerConfig::default();
 
-    let mut group = c.benchmark_group("sa_mode");
-    group.sample_size(10);
-    group.bench_function("precalculated_warm", |b| {
-        let mut table = SaTable::new(cfg.sa_width, cfg.k);
-        bind_hlpower(&g, &sched, &rb, &rc, &mut table, &hl); // warm the cache
-        b.iter(|| bind_hlpower(&g, &sched, &rb, &rc, &mut table, &hl));
+    let mut pre = sa_table_for(&cfg, Binder::HlPower { alpha: 0.5 });
+    bench("sa_mode/precalculated/pr", 10, || {
+        bind_hlpower(&g, &sched, &rb, &rc, &mut pre, &hl);
     });
-    group.bench_function("precalculated_cold", |b| {
-        b.iter(|| {
-            let mut table = SaTable::new(cfg.sa_width, cfg.k);
-            bind_hlpower(&g, &sched, &rb, &rc, &mut table, &hl)
-        });
+    bench("sa_mode/dynamic/pr", 2, || {
+        let mut dynamic = SaTable::new(cfg.sa_width, cfg.k).with_mode(SaMode::Dynamic);
+        bind_hlpower(&g, &sched, &rb, &rc, &mut dynamic, &hl);
     });
-    group.bench_function("dynamic", |b| {
-        b.iter(|| {
-            let mut table = SaTable::new(cfg.sa_width, cfg.k).with_mode(SaMode::Dynamic);
-            bind_hlpower(&g, &sched, &rb, &rc, &mut table, &hl)
-        });
-    });
-    group.finish();
 }
 
-criterion_group!(benches, bench_binders, bench_sa_modes);
-criterion_main!(benches);
+fn main() {
+    bench_binders();
+    bench_sa_modes();
+}

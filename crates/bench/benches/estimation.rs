@@ -1,12 +1,17 @@
-//! Criterion benchmarks for switching-activity estimation and technology
-//! mapping — the machinery behind every Eq. 4 edge weight.
+//! Benchmarks for switching-activity estimation and technology mapping —
+//! the machinery behind every Eq. 4 edge weight. Plain `harness = false`
+//! timers (criterion is unavailable offline).
+//!
+//! ```text
+//! cargo bench -p hlpower-bench --bench estimation
+//! ```
 
 use activity::{analyze, analyze_zero_delay, ActivityConfig, ZeroDelayModel};
 use cdfg::FuType;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hlpower::partial_datapath;
 use mapper::{enumerate_cuts, map, CutConfig, MapConfig, MapObjective};
 use netlist::{cells, Netlist, NodeId};
+use std::time::Instant;
 
 fn multiplier_netlist(w: usize) -> Netlist {
     let mut nl = Netlist::new("mul");
@@ -19,57 +24,63 @@ fn multiplier_netlist(w: usize) -> Netlist {
     nl
 }
 
-fn bench_estimators(c: &mut Criterion) {
+/// Times `iters` runs of `f` (after one warm-up) and prints mean ms/iter.
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{label:40} {per:10.3} ms/iter  ({iters} iters)");
+}
+
+fn bench_estimators() {
     let nl = multiplier_netlist(8);
     let mapped = map(&nl, &MapConfig::new(4, MapObjective::Depth)).netlist;
     let cfg = ActivityConfig::uniform();
-    let mut group = c.benchmark_group("estimation");
-    group.bench_function("glitch_aware_mult8", |b| b.iter(|| analyze(&mapped, &cfg)));
-    group.bench_function("chou_roy_mult8", |b| {
-        b.iter(|| analyze_zero_delay(&mapped, &cfg, ZeroDelayModel::ChouRoy))
+    bench("estimation/glitch_aware_mult8", 20, || {
+        analyze(&mapped, &cfg);
     });
-    group.bench_function("najm_mult8", |b| {
-        b.iter(|| analyze_zero_delay(&mapped, &cfg, ZeroDelayModel::Najm))
+    bench("estimation/chou_roy_mult8", 20, || {
+        analyze_zero_delay(&mapped, &cfg, ZeroDelayModel::ChouRoy);
     });
-    group.finish();
+    bench("estimation/najm_mult8", 20, || {
+        analyze_zero_delay(&mapped, &cfg, ZeroDelayModel::Najm);
+    });
 }
 
-fn bench_mapping(c: &mut Criterion) {
+fn bench_mapping() {
     let nl = multiplier_netlist(8);
-    let mut group = c.benchmark_group("mapping");
-    group.sample_size(20);
-    group.bench_function("cut_enum_mult8_k4", |b| {
-        b.iter(|| enumerate_cuts(&nl, &CutConfig::default()))
+    bench("mapping/cut_enum_mult8_k4", 20, || {
+        enumerate_cuts(&nl, &CutConfig::default());
     });
-    for obj in [MapObjective::Depth, MapObjective::AreaFlow, MapObjective::GlitchSa] {
-        group.bench_with_input(
-            BenchmarkId::new("map_mult8", format!("{obj:?}")),
-            &obj,
-            |b, &obj| b.iter(|| map(&nl, &MapConfig::new(4, obj))),
-        );
+    for obj in [
+        MapObjective::Depth,
+        MapObjective::AreaFlow,
+        MapObjective::GlitchSa,
+    ] {
+        bench(&format!("mapping/map_mult8/{obj:?}"), 20, || {
+            map(&nl, &MapConfig::new(4, obj));
+        });
     }
-    group.finish();
 }
 
-fn bench_sa_table_entry(c: &mut Criterion) {
+fn bench_sa_table_entry() {
     // Cost of one precalculated-table miss: build the Figure 2 partial
     // datapath, map it, and estimate its SA.
-    let mut group = c.benchmark_group("sa_table_entry");
-    group.sample_size(10);
     for (a, b) in [(2usize, 2usize), (4, 4), (8, 2)] {
-        group.bench_with_input(
-            BenchmarkId::new("mult_w6", format!("{a}x{b}")),
-            &(a, b),
-            |bch, &(a, b)| {
-                bch.iter(|| hlpower::compute_sa(FuType::Mul, a, b, 6, 4, true))
-            },
-        );
+        bench(&format!("sa_table_entry/mult_w6/{a}x{b}"), 5, || {
+            hlpower::compute_sa(FuType::Mul, a, b, 6, 4, true);
+        });
     }
-    group.bench_function("partial_datapath_build_only", |b| {
-        b.iter(|| partial_datapath(FuType::Mul, 4, 4, 6))
+    bench("sa_table_entry/partial_datapath_build", 20, || {
+        partial_datapath(FuType::Mul, 4, 4, 6);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_estimators, bench_mapping, bench_sa_table_entry);
-criterion_main!(benches);
+fn main() {
+    bench_estimators();
+    bench_mapping();
+    bench_sa_table_entry();
+}

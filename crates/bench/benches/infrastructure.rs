@@ -1,23 +1,43 @@
-//! Criterion benchmarks for the substrate: unit-delay simulation
-//! throughput, Hungarian matching scaling, and BLIF I/O.
+//! Benchmarks for the substrate: unit-delay simulation throughput,
+//! Hungarian matching scaling, and BLIF I/O. Plain `harness = false`
+//! timers (criterion is unavailable offline).
+//!
+//! ```text
+//! cargo bench -p hlpower-bench --bench infrastructure
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gatesim::CycleSim;
 use hlpower::flow::{bind, prepare, sa_table_for};
 use hlpower::matching::max_weight_matching;
 use hlpower::{elaborate, Binder, DatapathConfig, FlowConfig};
 use netlist::{parse_blif, write_blif};
+use std::time::Instant;
 
-fn bench_simulation(c: &mut Criterion) {
+/// Times `iters` runs of `f` (after one warm-up) and prints mean ms/iter.
+fn bench(label: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!("{label:40} {per:10.3} ms/iter  ({iters} iters)");
+}
+
+fn bench_simulation() {
     // Simulate the bound `pr` datapath (the Table 3 inner loop).
-    let cfg = FlowConfig { width: 8, sa_width: 6, ..FlowConfig::default() };
+    let cfg = FlowConfig {
+        width: 8,
+        sa_width: 6,
+        ..FlowConfig::default()
+    };
     let p = cdfg::profile("pr").unwrap();
     let g = cdfg::generate(p, p.seed);
     let rc = hlpower::paper_constraint("pr").unwrap();
     let (sched, rb) = prepare(&g, &rc, &cfg);
     let binder = Binder::HlPower { alpha: 0.5 };
     let mut table = sa_table_for(&cfg, binder);
-    let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+    let fb = bind(&g, &sched, &rb, &rc, binder, &mut table).fb;
     let dp = elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(cfg.width));
     let mapped = mapper::map(
         &dp.netlist,
@@ -25,23 +45,18 @@ fn bench_simulation(c: &mut Criterion) {
     )
     .netlist;
 
-    let mut group = c.benchmark_group("simulation");
-    group.bench_function("pr_datapath_100_cycles", |b| {
-        b.iter(|| {
-            let mut sim = CycleSim::new(&mapped);
-            let data: Vec<u64> = (0..dp.data_ports.len() as u64).collect();
-            for cyc in 0..100u64 {
-                let step = (cyc % dp.num_steps as u64) as u32;
-                sim.step(&dp.input_vector(step, &data));
-            }
-            sim.stats().total_transitions
-        })
+    bench("simulation/pr_datapath_100_cycles", 20, || {
+        let mut sim = CycleSim::new(&mapped);
+        let data: Vec<u64> = (0..dp.data_ports.len() as u64).collect();
+        for cyc in 0..100u64 {
+            let step = (cyc % dp.num_steps as u64) as u32;
+            sim.step(&dp.input_vector(step, &data));
+        }
+        let _ = sim.stats().total_transitions;
     });
-    group.finish();
 }
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hungarian");
+fn bench_matching() {
     for n in [8usize, 16, 32, 64] {
         // Deterministic dense weights.
         let w: Vec<Vec<Option<f64>>> = (0..n)
@@ -51,14 +66,13 @@ fn bench_matching(c: &mut Criterion) {
                     .collect()
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
-            b.iter(|| max_weight_matching(w))
+        bench(&format!("hungarian/{n}"), 10, || {
+            max_weight_matching(&w);
         });
     }
-    group.finish();
 }
 
-fn bench_blif(c: &mut Criterion) {
+fn bench_blif() {
     let nl = {
         let mut nl = netlist::Netlist::new("blifbench");
         let a: Vec<_> = (0..12).map(|i| nl.add_input(format!("a{i}"))).collect();
@@ -70,13 +84,16 @@ fn bench_blif(c: &mut Criterion) {
         nl
     };
     let text = write_blif(&nl);
-    let mut group = c.benchmark_group("blif");
-    group.bench_function("write_mult12", |b| b.iter(|| write_blif(&nl)));
-    group.bench_function("parse_mult12", |b| {
-        b.iter(|| parse_blif(&text).unwrap().flatten(None, &[]).unwrap())
+    bench("blif/write_mult12", 20, || {
+        write_blif(&nl);
     });
-    group.finish();
+    bench("blif/parse_mult12", 20, || {
+        parse_blif(&text).unwrap().flatten(None, &[]).unwrap();
+    });
 }
 
-criterion_group!(benches, bench_simulation, bench_matching, bench_blif);
-criterion_main!(benches);
+fn main() {
+    bench_simulation();
+    bench_matching();
+    bench_blif();
+}

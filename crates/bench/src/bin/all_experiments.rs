@@ -1,19 +1,38 @@
 //! Runs the complete experiment suite (Tables 1–4, Figure 3, and the
-//! baseline-strength ablation) in one pass, sharing bindings between
-//! tables, and prints a combined report. This is the binary behind
-//! EXPERIMENTS.md.
+//! baseline-strength ablation) in one pipeline pass and prints a combined
+//! report. This is the binary behind EXPERIMENTS.md.
+//!
+//! Every benchmark × binder job runs through the shared [`hlpower::Pipeline`]:
+//! schedules and register bindings are computed once per benchmark, SA
+//! estimates are pooled across all jobs, and the fan-out width is set
+//! with `--jobs`. Stdout is byte-identical for any `--jobs` value —
+//! wall-clock timing and progress go to stderr.
 //!
 //! ```text
-//! cargo run --release -p hlpower-bench --bin all_experiments [-- --fast]
+//! cargo run --release -p hlpower-bench --bin all_experiments [-- --fast --jobs 4]
 //! ```
 
 use cdfg::FuType;
-use hlpower::flow::{bind, measure, prepare, sa_table_for};
 use hlpower::{Binder, FlowResult};
 use hlpower_bench::{pct_change, render_table, Args, PAPER_TABLE3, PAPER_TABLE4};
 
+/// The five binders of the combined report, in result-column order.
+const BINDERS: [Binder; 5] = [
+    Binder::Lopass,
+    Binder::HlPower { alpha: 1.0 },
+    Binder::HlPower { alpha: 0.5 },
+    Binder::LopassInterconnect,
+    Binder::LopassAnnealed,
+];
+const LOP: usize = 0;
+const A1: usize = 1;
+const A05: usize = 2;
+const IC: usize = 3;
+const SA: usize = 4;
+
 fn main() {
     let args = Args::parse();
+    hlpower_bench::reject_binder_flag(&args, "all_experiments");
     let suite = args.suite();
 
     // ---- Table 1 ----------------------------------------------------------
@@ -35,47 +54,44 @@ fn main() {
         render_table(&["Bench", "PIs", "POs", "Adds", "Mults", "Edges"], &rows)
     );
 
-    // ---- Full flow for the three headline binders ------------------------
-    let binders =
-        [Binder::Lopass, Binder::HlPower { alpha: 1.0 }, Binder::HlPower { alpha: 0.5 }];
-    let mut results: Vec<Vec<FlowResult>> = Vec::new();
-    for (g, rc) in &suite {
-        let (sched, rb) = prepare(g, rc, &args.flow);
-        let mut per_binder = Vec::new();
-        for binder in binders {
-            eprintln!("  flow: {} / {}", g.name(), binder.label());
-            let mut table = sa_table_for(&args.flow, binder);
-            let (fb, t) = bind(g, &sched, &rb, rc, binder, &mut table);
-            per_binder.push(measure(g, &sched, &rb, &fb, rc, binder, &args.flow, t));
-        }
-        results.push(per_binder);
-    }
+    // ---- One pipeline pass for every table --------------------------------
+    let (pipeline, results) = args.run_matrix(&suite, &BINDERS);
 
     // ---- Table 2 ----------------------------------------------------------
+    // The runtime proxy is the SA-query count (deterministic); wall-clock
+    // seconds go to stderr so stdout is reproducible across --jobs.
     let mut rows = Vec::new();
     for ((g, rc), per) in suite.iter().zip(&results) {
-        let hlp = &per[2];
+        let hlp = &per[A05];
+        eprintln!(
+            "  bind wall-clock {}: {:.3}s",
+            g.name(),
+            hlp.bind_time.as_secs_f64()
+        );
         rows.push(vec![
             g.name().to_string(),
             rc.addsub.to_string(),
             rc.mul.to_string(),
             hlp.schedule_steps.to_string(),
             hlp.registers.to_string(),
-            format!("{:.3}", hlp.bind_time.as_secs_f64()),
+            hlp.sa_queries.to_string(),
         ]);
     }
-    println!("\n=== Table 2: Constraints, Schedule, Registers, HLPower Runtime ===");
+    println!("\n=== Table 2: Constraints, Schedule, Registers, HLPower SA queries ===");
     println!(
         "{}",
-        render_table(&["Bench", "Add", "Mult", "Cycle", "Reg", "Runtime(s)"], &rows)
+        render_table(&["Bench", "Add", "Mult", "Cycle", "Reg", "SAq"], &rows)
     );
 
     // ---- Table 3 ----------------------------------------------------------
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 5];
     for ((g, _), per) in suite.iter().zip(&results) {
-        let (lop, hlp) = (&per[0], &per[2]);
-        let paper = PAPER_TABLE3.iter().find(|(n, ..)| *n == g.name()).expect("known");
+        let (lop, hlp) = (&per[LOP], &per[A05]);
+        let paper = PAPER_TABLE3
+            .iter()
+            .find(|(n, ..)| *n == g.name())
+            .expect("known");
         let d_pow = pct_change(lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw);
         let d_clk = pct_change(lop.power.clock_period_ns, hlp.power.clock_period_ns);
         let d_lut = pct_change(lop.luts as f64, hlp.luts as f64);
@@ -89,7 +105,10 @@ fn main() {
         let paper_dpow = pct_change(paper.1 .0, paper.1 .1);
         rows.push(vec![
             g.name().to_string(),
-            format!("{:.1}/{:.1}", lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw),
+            format!(
+                "{:.1}/{:.1}",
+                lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw
+            ),
             format!("{}/{}", lop.luts, hlp.luts),
             format!("{}/{}", lop.mux.largest, hlp.mux.largest),
             format!("{}/{}", lop.mux.length, hlp.mux.length),
@@ -120,8 +139,17 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Bench", "Pow mW L/H", "LUTs L/H", "LrgMUX", "MUXLen", "dPow%",
-                "dPow%(p)", "dClk%", "dLUT%", "dMUX", "dLen%",
+                "Bench",
+                "Pow mW L/H",
+                "LUTs L/H",
+                "LrgMUX",
+                "MUXLen",
+                "dPow%",
+                "dPow%(p)",
+                "dClk%",
+                "dLUT%",
+                "dMUX",
+                "dLen%",
             ],
             &rows
         )
@@ -130,13 +158,23 @@ fn main() {
     // ---- Table 4 ----------------------------------------------------------
     let mut rows = Vec::new();
     for ((g, _), per) in suite.iter().zip(&results) {
-        let paper = PAPER_TABLE4.iter().find(|(n, ..)| *n == g.name()).expect("known");
+        let paper = PAPER_TABLE4
+            .iter()
+            .find(|(n, ..)| *n == g.name())
+            .expect("known");
+        let md = |r: &FlowResult| {
+            format!(
+                "{:.1}/{:.1}",
+                r.mux.muxdiff_mean(),
+                r.mux.muxdiff_variance()
+            )
+        };
         rows.push(vec![
             g.name().to_string(),
-            format!("{:.1}/{:.1}", per[0].mux.muxdiff_mean(), per[0].mux.muxdiff_variance()),
-            format!("{:.1}/{:.1}", per[1].mux.muxdiff_mean(), per[1].mux.muxdiff_variance()),
-            format!("{:.1}/{:.1}", per[2].mux.muxdiff_mean(), per[2].mux.muxdiff_variance()),
-            format!("{}", per[2].mux.num_fu_muxes()),
+            md(&per[LOP]),
+            md(&per[A1]),
+            md(&per[A05]),
+            format!("{}", per[A05].mux.num_fu_muxes()),
             format!(
                 "{:.1}/{:.1} {:.1}/{:.1} {:.1}/{:.1} {}",
                 paper.1 .0, paper.1 .1, paper.2 .0, paper.2 .1, paper.3 .0, paper.3 .1, paper.4
@@ -147,7 +185,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Bench", "LOPASS", "a=1", "a=0.5", "#muxes", "paper (L, a1, a05, #)"],
+            &[
+                "Bench",
+                "LOPASS",
+                "a=1",
+                "a=0.5",
+                "#muxes",
+                "paper (L, a1, a05, #)"
+            ],
             &rows
         )
     );
@@ -160,12 +205,12 @@ fn main() {
         println!(
             "{},{:.2},{:.2},{:.2}",
             g.name(),
-            per[0].power.avg_toggle_rate_mhz,
-            per[1].power.avg_toggle_rate_mhz,
-            per[2].power.avg_toggle_rate_mhz
+            per[LOP].power.avg_toggle_rate_mhz,
+            per[A1].power.avg_toggle_rate_mhz,
+            per[A05].power.avg_toggle_rate_mhz
         );
-        for k in 0..3 {
-            tsum[k] += per[k].power.avg_toggle_rate_mhz;
+        for (sum, idx) in tsum.iter_mut().zip([LOP, A1, A05]) {
+            *sum += per[idx].power.avg_toggle_rate_mhz;
         }
     }
     println!(
@@ -175,27 +220,47 @@ fn main() {
     );
 
     // ---- Baseline-strength ablation (beyond the paper) --------------------
+    // The stronger baselines came out of the same pipeline pass: nothing
+    // is re-prepared or re-bound here.
     println!("\n=== Ablation: stronger interconnect baselines (power mW) ===");
-    let mut rows = Vec::new();
-    for ((g, rc), per) in suite.iter().zip(&results) {
-        let (sched, rb) = prepare(g, rc, &args.flow);
-        let mut cells = vec![g.name().to_string(), format!("{:.1}", per[0].power.dynamic_power_mw)];
-        for binder in [Binder::LopassInterconnect, Binder::LopassAnnealed] {
-            eprintln!("  ablation: {} / {}", g.name(), binder.label());
-            let mut table = sa_table_for(&args.flow, binder);
-            let (fb, t) = bind(g, &sched, &rb, rc, binder, &mut table);
-            let r = measure(g, &sched, &rb, &fb, rc, binder, &args.flow, t);
-            cells.push(format!("{:.1}", r.power.dynamic_power_mw));
-        }
-        cells.push(format!("{:.1}", per[1].power.dynamic_power_mw));
-        cells.push(format!("{:.1}", per[2].power.dynamic_power_mw));
-        rows.push(cells);
-    }
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .zip(&results)
+        .map(|((g, _), per)| {
+            let mw = |i: usize| format!("{:.1}", per[i].power.dynamic_power_mw);
+            vec![
+                g.name().to_string(),
+                mw(LOP),
+                mw(IC),
+                mw(SA),
+                mw(A1),
+                mw(A05),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         render_table(
-            &["Bench", "LOPASS", "LOPASS-ic", "LOPASS-sa", "HLP a=1", "HLP a=0.5"],
+            &[
+                "Bench",
+                "LOPASS",
+                "LOPASS-ic",
+                "LOPASS-sa",
+                "HLP a=1",
+                "HLP a=0.5"
+            ],
             &rows
         )
+    );
+
+    // Sharing evidence (stderr: diagnostics, not part of the report).
+    let c = pipeline.counters();
+    debug_assert_eq!(c.schedules as usize, suite.len());
+    eprintln!(
+        "pipeline: {} schedules / {} fu-binds for {} benchmarks x {} binders",
+        c.schedules,
+        c.fu_bindings,
+        suite.len(),
+        BINDERS.len()
     );
 }

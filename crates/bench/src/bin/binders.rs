@@ -1,23 +1,26 @@
 //! Compares every binder variant side by side on the benchmark suite —
-//! the quick way to explore the binding design space.
+//! the quick way to explore the binding design space. `--binder` narrows
+//! the comparison, e.g. `--binder lopass --binder hlpower:0.25`.
 //!
 //! ```text
-//! cargo run --release -p hlpower-bench --bin binders [-- --fast --bench pr]
+//! cargo run --release -p hlpower-bench --bin binders [-- --fast --bench pr --jobs 4]
 //! ```
 use hlpower::Binder;
-use hlpower_bench::{run_one, Args};
+use hlpower_bench::Args;
 
 fn main() {
     let args = Args::parse();
-    for (g, rc) in args.suite() {
-        for binder in [
-            Binder::Lopass,
-            Binder::LopassInterconnect,
-            Binder::LopassAnnealed,
-            Binder::HlPower { alpha: 1.0 },
-            Binder::HlPower { alpha: 0.5 },
-        ] {
-            let r = run_one(&g, &rc, binder, &args.flow);
+    let suite = args.suite();
+    let binders = args.binders_or(&[
+        Binder::Lopass,
+        Binder::LopassInterconnect,
+        Binder::LopassAnnealed,
+        Binder::HlPower { alpha: 1.0 },
+        Binder::HlPower { alpha: 0.5 },
+    ]);
+    let (_, results) = args.run_matrix(&suite, &binders);
+    for per in &results {
+        for r in per {
             println!(
                 "{:8} {:18} pow={:7.2}mW luts={:5} len={:4} lrg={:2} mdMean={:.2} mdVar={:.2} togg={:.1} glitch={:.2} estSA={:.0}",
                 r.name, r.binder, r.power.dynamic_power_mw, r.luts, r.mux.length,

@@ -3,28 +3,36 @@
 //! as an ASCII bar chart plus a CSV block for replotting.
 //!
 //! ```text
-//! cargo run --release -p hlpower-bench --bin fig3 [-- --fast]
+//! cargo run --release -p hlpower-bench --bin fig3 [-- --fast --jobs 4]
 //! ```
 
 use hlpower::Binder;
-use hlpower_bench::{pct_change, run_one, Args};
+use hlpower_bench::{pct_change, Args};
 
 fn main() {
     let args = Args::parse();
-    let mut series: Vec<(String, [f64; 3])> = Vec::new();
-    for (g, rc) in args.suite() {
-        let lop = run_one(&g, &rc, Binder::Lopass, &args.flow);
-        let a1 = run_one(&g, &rc, Binder::HlPower { alpha: 1.0 }, &args.flow);
-        let a05 = run_one(&g, &rc, Binder::HlPower { alpha: 0.5 }, &args.flow);
-        series.push((
-            g.name().to_string(),
-            [
-                lop.power.avg_toggle_rate_mhz,
-                a1.power.avg_toggle_rate_mhz,
-                a05.power.avg_toggle_rate_mhz,
-            ],
-        ));
-    }
+    hlpower_bench::reject_binder_flag(&args, "fig3");
+    let suite = args.suite();
+    let binders = [
+        Binder::Lopass,
+        Binder::HlPower { alpha: 1.0 },
+        Binder::HlPower { alpha: 0.5 },
+    ];
+    let (_, results) = args.run_matrix(&suite, &binders);
+    let series: Vec<(String, [f64; 3])> = suite
+        .iter()
+        .zip(&results)
+        .map(|((g, _), per)| {
+            (
+                g.name().to_string(),
+                [
+                    per[0].power.avg_toggle_rate_mhz,
+                    per[1].power.avg_toggle_rate_mhz,
+                    per[2].power.avg_toggle_rate_mhz,
+                ],
+            )
+        })
+        .collect();
     let max = series
         .iter()
         .flat_map(|(_, v)| v.iter().copied())

@@ -31,7 +31,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Bench", "PIs", "POs", "Adds", "Mults", "Edges(paper)", "Edges(ours)", "CritPath"],
+            &[
+                "Bench",
+                "PIs",
+                "POs",
+                "Adds",
+                "Mults",
+                "Edges(paper)",
+                "Edges(ours)",
+                "CritPath"
+            ],
             &rows
         )
     );

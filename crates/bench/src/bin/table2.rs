@@ -5,11 +5,10 @@
 //! constraints are identical by construction).
 //!
 //! ```text
-//! cargo run --release -p hlpower-bench --bin table2 [-- --fast]
+//! cargo run --release -p hlpower-bench --bin table2 [-- --fast --jobs 4]
 //! ```
 
-use hlpower::flow::{bind, prepare, sa_table_for};
-use hlpower::{Binder, DatapathConfig};
+use hlpower::Binder;
 use hlpower_bench::{render_table, Args};
 
 /// Paper Table 2: (name, add, mult, cycles, registers, runtime seconds).
@@ -25,37 +24,44 @@ const PAPER: [(&str, usize, usize, u32, u32, f64); 7] = [
 
 fn main() {
     let args = Args::parse();
+    let suite = args.suite();
+    let binders = args.binders_or(&[Binder::HlPower { alpha: 0.5 }]);
+    let (_, results) = args.run_matrix(&suite, &binders);
     let mut rows = Vec::new();
-    for (g, rc) in args.suite() {
-        let paper = PAPER.iter().find(|(n, ..)| *n == g.name()).expect("known benchmark");
-        let (sched, rb) = prepare(&g, &rc, &args.flow);
-        let mut table = sa_table_for(&args.flow, Binder::HlPower { alpha: 0.5 });
-        let (fb, elapsed) =
-            bind(&g, &sched, &rb, &rc, Binder::HlPower { alpha: 0.5 }, &mut table);
-        // Instantiated registers (input registers included, as in the
-        // paper's datapaths) come from the elaborated design.
-        let dp = hlpower::elaborate(
-            &g,
-            &sched,
-            &rb,
-            &fb,
-            &DatapathConfig::with_width(args.flow.width),
-        );
-        rows.push(vec![
-            g.name().to_string(),
-            rc.addsub.to_string(),
-            rc.mul.to_string(),
-            format!("{}/{}", paper.3, sched.num_steps),
-            format!("{}/{}", paper.4, dp.registers),
-            format!("{:.1}/{:.3}", paper.5, elapsed.as_secs_f64()),
-        ]);
+    for ((g, rc), per) in suite.iter().zip(&results) {
+        let paper = PAPER
+            .iter()
+            .find(|(n, ..)| *n == g.name())
+            .expect("known benchmark");
+        for r in per {
+            rows.push(vec![
+                g.name().to_string(),
+                r.binder.clone(),
+                rc.addsub.to_string(),
+                rc.mul.to_string(),
+                format!("{}/{}", paper.3, r.schedule_steps),
+                format!("{}/{}", paper.4, r.registers),
+                format!("{:.1}/{:.3}", paper.5, r.bind_time.as_secs_f64()),
+                r.sa_queries.to_string(),
+            ]);
+        }
     }
-    println!("\nTable 2: Resource Constraints, Scheduling Length, Registers, HLPower Runtime");
-    println!("(x/y cells: paper value / this reproduction)");
+    println!("\nTable 2: Resource Constraints, Scheduling Length, Registers, Binding Runtime");
+    println!("(x/y cells: paper value / this reproduction; the paper's runtime column is");
+    println!(" HLPower's. SAq = SA-table queries, the deterministic work metric behind it)");
     println!(
         "{}",
         render_table(
-            &["Bench", "Add", "Mult", "Cycle(p/ours)", "Reg(p/ours)", "Runtime s (p/ours)"],
+            &[
+                "Bench",
+                "Binder",
+                "Add",
+                "Mult",
+                "Cycle(p/ours)",
+                "Reg(p/ours)",
+                "Runtime s (p/ours)",
+                "SAq"
+            ],
             &rows
         )
     );

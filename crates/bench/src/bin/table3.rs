@@ -3,20 +3,23 @@
 //! percentage changes and the suite averages the paper reports.
 //!
 //! ```text
-//! cargo run --release -p hlpower-bench --bin table3 [-- --fast | --width 16 ...]
+//! cargo run --release -p hlpower-bench --bin table3 [-- --fast --jobs 4 | --width 16 ...]
 //! ```
 
 use hlpower::Binder;
-use hlpower_bench::{pct_change, render_table, run_one, Args};
+use hlpower_bench::{pct_change, render_table, Args};
 
 fn main() {
     let args = Args::parse();
+    hlpower_bench::reject_binder_flag(&args, "table3");
+    let suite = args.suite();
+    let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+    let (_, results) = args.run_matrix(&suite, &binders);
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 5]; // power%, clk%, lut%, largest mux delta, mux len %
     let mut n = 0usize;
-    for (g, rc) in args.suite() {
-        let lop = run_one(&g, &rc, Binder::Lopass, &args.flow);
-        let hlp = run_one(&g, &rc, Binder::HlPower { alpha: 0.5 }, &args.flow);
+    for ((g, _), per) in suite.iter().zip(&results) {
+        let (lop, hlp) = (&per[0], &per[1]);
         let d_pow = pct_change(lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw);
         let d_clk = pct_change(lop.power.clock_period_ns, hlp.power.clock_period_ns);
         let d_lut = pct_change(lop.luts as f64, hlp.luts as f64);
@@ -30,8 +33,14 @@ fn main() {
         n += 1;
         rows.push(vec![
             g.name().to_string(),
-            format!("{:.1}/{:.1}", lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw),
-            format!("{:.1}/{:.1}", lop.power.clock_period_ns, hlp.power.clock_period_ns),
+            format!(
+                "{:.1}/{:.1}",
+                lop.power.dynamic_power_mw, hlp.power.dynamic_power_mw
+            ),
+            format!(
+                "{:.1}/{:.1}",
+                lop.power.clock_period_ns, hlp.power.clock_period_ns
+            ),
             format!("{}/{}", lop.luts, hlp.luts),
             format!("{}/{}", lop.mux.largest, hlp.mux.largest),
             format!("{}/{}", lop.mux.length, hlp.mux.length),
@@ -62,8 +71,17 @@ fn main() {
         "{}",
         render_table(
             &[
-                "Bench", "DynPow(mW)", "ClkPer(ns)", "LUTs", "LrgMUX", "MUXLen",
-                "dPow(%)", "dClk(%)", "dLUT(%)", "dMUX", "dLen(%)",
+                "Bench",
+                "DynPow(mW)",
+                "ClkPer(ns)",
+                "LUTs",
+                "LrgMUX",
+                "MUXLen",
+                "dPow(%)",
+                "dClk(%)",
+                "dLUT(%)",
+                "dMUX",
+                "dLen(%)",
             ],
             &rows
         )

@@ -4,37 +4,33 @@
 //! printed in parentheses.
 //!
 //! ```text
-//! cargo run --release -p hlpower-bench --bin table4 [-- --fast]
+//! cargo run --release -p hlpower-bench --bin table4 [-- --fast --jobs 4]
 //! ```
 
-use hlpower::flow::{bind, prepare, sa_table_for};
-use hlpower::{mux_report, Binder};
+use hlpower::Binder;
 use hlpower_bench::{render_table, Args, PAPER_TABLE4};
 
 fn main() {
     let args = Args::parse();
+    hlpower_bench::reject_binder_flag(&args, "table4");
+    let suite = args.suite();
+    let binders = [
+        Binder::Lopass,
+        Binder::HlPower { alpha: 1.0 },
+        Binder::HlPower { alpha: 0.5 },
+    ];
+    let (_, results) = args.run_matrix(&suite, &binders);
     let mut rows = Vec::new();
     let mut avgs = [[0.0f64; 2]; 3];
     let mut n = 0usize;
-    for (g, rc) in args.suite() {
+    for ((g, _), per) in suite.iter().zip(&results) {
         let paper = PAPER_TABLE4
             .iter()
             .find(|(name, ..)| *name == g.name())
             .expect("known benchmark");
-        let (sched, rb) = prepare(&g, &rc, &args.flow);
         let mut cells = vec![g.name().to_string()];
-        for (k, binder) in [
-            Binder::Lopass,
-            Binder::HlPower { alpha: 1.0 },
-            Binder::HlPower { alpha: 0.5 },
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let mut table = sa_table_for(&args.flow, binder);
-            let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
-            let rep = mux_report(&g, &rb, &fb);
-            let (mean, var) = (rep.muxdiff_mean(), rep.muxdiff_variance());
+        for (k, r) in per.iter().enumerate() {
+            let (mean, var) = (r.mux.muxdiff_mean(), r.mux.muxdiff_variance());
             avgs[k][0] += mean;
             avgs[k][1] += var;
             let paper_ref = match k {
@@ -47,7 +43,7 @@ fn main() {
                 paper_ref.0, paper_ref.1
             ));
             if k == 2 {
-                cells.push(format!("{} (p {})", rep.num_fu_muxes(), paper.4));
+                cells.push(format!("{} (p {})", r.mux.num_fu_muxes(), paper.4));
             }
         }
         rows.push(cells);

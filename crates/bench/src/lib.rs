@@ -1,25 +1,33 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper; this library holds the common pieces: benchmark suite loading,
-//! simple CLI parsing, text-table rendering, and the paper's reference
-//! numbers for side-by-side reporting.
+//! paper on top of the staged [`Pipeline`]: benchmark suite loading,
+//! CLI parsing (including the parallel fan-out flags), text-table
+//! rendering, and the paper's reference numbers for side-by-side
+//! reporting live here.
 
 #![warn(missing_docs)]
 
 use cdfg::{Cdfg, ResourceConstraint};
-use hlpower::{paper_constraint, Binder, FlowConfig, FlowResult};
+use hlpower::{paper_constraint, Binder, FlowConfig, FlowResult, Pipeline};
 
 /// Command-line options shared by the experiment binaries.
 ///
-/// Flags: `--width N`, `--cycles N`, `--sa-width N`, `--bench NAME`
-/// (repeatable), `--fast` (width 8, 300 cycles — for smoke runs).
+/// Flags: `--width N`, `--cycles N`, `--sa-width N`, `--seed N` (sets
+/// both the simulation and the register-port seed), `--bench NAME`
+/// (repeatable), `--binder LABEL` (repeatable, see [`parse_binder`]),
+/// `--jobs N` (parallel fan-out width), `--fast` (width 8, 300 cycles —
+/// for smoke runs).
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Flow configuration assembled from the flags.
     pub flow: FlowConfig,
     /// Benchmark name filter (empty = whole suite).
     pub only: Vec<String>,
+    /// Binder filter (empty = the binary's default set).
+    pub binders: Vec<Binder>,
+    /// Worker threads for the pipeline fan-out.
+    pub jobs: usize,
 }
 
 impl Args {
@@ -27,6 +35,8 @@ impl Args {
     pub fn parse() -> Args {
         let mut flow = FlowConfig::default();
         let mut only = Vec::new();
+        let mut binders = Vec::new();
+        let mut jobs = default_jobs();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -43,7 +53,25 @@ impl Args {
                     flow.sim_cycles = take_value(&mut i).parse().unwrap_or_else(|_| usage())
                 }
                 "--seed" => {
-                    flow.sim_seed = take_value(&mut i).parse().unwrap_or_else(|_| usage())
+                    // One seed flag controls the whole stochastic setup:
+                    // simulation vectors *and* the register binding's
+                    // random port assignment.
+                    let seed = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    flow.sim_seed = seed;
+                    flow.port_seed = seed;
+                }
+                "--jobs" => {
+                    jobs = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    if jobs == 0 {
+                        usage();
+                    }
+                }
+                "--binder" => {
+                    let label = take_value(&mut i);
+                    binders.push(parse_binder(&label).unwrap_or_else(|| {
+                        eprintln!("unknown binder `{label}`");
+                        usage()
+                    }));
                 }
                 "--bench" => only.push(take_value(&mut i)),
                 "--fast" => {
@@ -59,7 +87,12 @@ impl Args {
             }
             i += 1;
         }
-        Args { flow, only }
+        Args {
+            flow,
+            only,
+            binders,
+            jobs,
+        }
     }
 
     /// The benchmark suite (optionally filtered), paired with the paper's
@@ -75,11 +108,96 @@ impl Args {
             })
             .collect()
     }
+
+    /// The `--binder` selection, or `default` when none was given.
+    pub fn binders_or(&self, default: &[Binder]) -> Vec<Binder> {
+        if self.binders.is_empty() {
+            default.to_vec()
+        } else {
+            self.binders.clone()
+        }
+    }
+
+    /// Builds a [`Pipeline`] for these flags and fans the benchmark ×
+    /// binder matrix out over `--jobs` workers, with progress on stderr.
+    /// Returns the pipeline (for stage counters / SA-cache access) and
+    /// `results[bench][binder]`.
+    pub fn run_matrix(
+        &self,
+        suite: &[(Cdfg, ResourceConstraint)],
+        binders: &[Binder],
+    ) -> (Pipeline, Vec<Vec<FlowResult>>) {
+        let pipeline = Pipeline::new(self.flow.clone());
+        let results = run_on(&pipeline, suite, binders, self.jobs);
+        (pipeline, results)
+    }
+}
+
+/// Fans `suite × binders` out on an existing pipeline, with progress on
+/// stderr (stdout stays reserved for deterministic report output).
+pub fn run_on(
+    pipeline: &Pipeline,
+    suite: &[(Cdfg, ResourceConstraint)],
+    binders: &[Binder],
+    jobs: usize,
+) -> Vec<Vec<FlowResult>> {
+    eprintln!(
+        "  fan-out: {} benchmark(s) x {} binder(s) on {} job(s)",
+        suite.len(),
+        binders.len(),
+        jobs
+    );
+    let results = pipeline.run_matrix(suite, binders, jobs);
+    let c = pipeline.counters();
+    eprintln!(
+        "  stages: {} schedules, {} regbinds, {} fu-binds, {} simulations",
+        c.schedules, c.register_bindings, c.fu_bindings, c.simulations
+    );
+    results
+}
+
+/// Exits with an error if `--binder` was passed to a binary whose
+/// binder set is fixed by the table it reproduces (accepting the flag
+/// and silently ignoring it would mislabel the results).
+pub fn reject_binder_flag(args: &Args, binary: &str) {
+    if !args.binders.is_empty() {
+        eprintln!(
+            "{binary}: the binder set is fixed by the paper table this binary reproduces; \
+             --binder is not supported (use `binders` or `table2` for custom binder sets)"
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Parses a binder label: `lopass`, `lopass-ic`, `lopass-sa`, `hlpower`,
+/// or `hlpower-zd`, with an optional `:ALPHA` suffix for the HLPower
+/// variants (default α = 0.5), e.g. `hlpower:1.0`.
+pub fn parse_binder(label: &str) -> Option<Binder> {
+    let (name, alpha) = match label.split_once(':') {
+        Some((name, a)) => (name, a.parse::<f64>().ok()?),
+        None => (label, 0.5),
+    };
+    match name {
+        "lopass" => Some(Binder::Lopass),
+        "lopass-ic" => Some(Binder::LopassInterconnect),
+        "lopass-sa" => Some(Binder::LopassAnnealed),
+        "hlpower" => Some(Binder::HlPower { alpha }),
+        "hlpower-zd" => Some(Binder::HlPowerZeroDelay { alpha }),
+        _ => None,
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] [--bench NAME]... [--fast]"
+        "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] \
+         [--bench NAME]... [--binder LABEL[:ALPHA]]... [--jobs N] [--fast]"
     );
     std::process::exit(2)
 }
@@ -122,12 +240,6 @@ pub fn pct_change(from: f64, to: f64) -> f64 {
     } else {
         (to - from) / from * 100.0
     }
-}
-
-/// Runs one benchmark with one binder, printing progress to stderr.
-pub fn run_one(g: &Cdfg, rc: &ResourceConstraint, binder: Binder, flow: &FlowConfig) -> FlowResult {
-    eprintln!("  running {} / {} ...", g.name(), binder.label());
-    hlpower::run_benchmark(g, rc, binder, flow)
 }
 
 /// One Table 3 reference row: `(benchmark, dynamic power mW
@@ -193,5 +305,26 @@ mod tests {
             assert!(PAPER_TABLE3.iter().any(|(n, ..)| *n == p.name));
             assert!(PAPER_TABLE4.iter().any(|(n, ..)| *n == p.name));
         }
+    }
+
+    #[test]
+    fn binder_labels_parse() {
+        assert_eq!(parse_binder("lopass"), Some(Binder::Lopass));
+        assert_eq!(parse_binder("lopass-ic"), Some(Binder::LopassInterconnect));
+        assert_eq!(parse_binder("lopass-sa"), Some(Binder::LopassAnnealed));
+        assert_eq!(
+            parse_binder("hlpower"),
+            Some(Binder::HlPower { alpha: 0.5 })
+        );
+        assert_eq!(
+            parse_binder("hlpower:1.0"),
+            Some(Binder::HlPower { alpha: 1.0 })
+        );
+        assert_eq!(
+            parse_binder("hlpower-zd:0.25"),
+            Some(Binder::HlPowerZeroDelay { alpha: 0.25 })
+        );
+        assert_eq!(parse_binder("nope"), None);
+        assert_eq!(parse_binder("hlpower:x"), None);
     }
 }

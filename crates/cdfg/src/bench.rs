@@ -40,13 +40,69 @@ pub struct BenchmarkProfile {
 
 /// Table 1 of the paper, plus the fixed seeds of the standard suite.
 pub const PROFILES: [BenchmarkProfile; 7] = [
-    BenchmarkProfile { name: "chem", pis: 20, pos: 10, adds: 171, muls: 176, paper_edges: 731, seed: 0xC4E1 },
-    BenchmarkProfile { name: "dir", pis: 8, pos: 8, adds: 84, muls: 64, paper_edges: 314, seed: 0xD1D1 },
-    BenchmarkProfile { name: "honda", pis: 9, pos: 2, adds: 45, muls: 52, paper_edges: 214, seed: 0x40DA },
-    BenchmarkProfile { name: "mcm", pis: 8, pos: 8, adds: 64, muls: 30, paper_edges: 252, seed: 0x3C3C },
-    BenchmarkProfile { name: "pr", pis: 8, pos: 8, adds: 26, muls: 16, paper_edges: 134, seed: 0x9121 },
-    BenchmarkProfile { name: "steam", pis: 5, pos: 5, adds: 105, muls: 115, paper_edges: 472, seed: 0x57EA },
-    BenchmarkProfile { name: "wang", pis: 8, pos: 8, adds: 26, muls: 22, paper_edges: 134, seed: 0x3A26 },
+    BenchmarkProfile {
+        name: "chem",
+        pis: 20,
+        pos: 10,
+        adds: 171,
+        muls: 176,
+        paper_edges: 731,
+        seed: 0xC4E1,
+    },
+    BenchmarkProfile {
+        name: "dir",
+        pis: 8,
+        pos: 8,
+        adds: 84,
+        muls: 64,
+        paper_edges: 314,
+        seed: 0xD1D1,
+    },
+    BenchmarkProfile {
+        name: "honda",
+        pis: 9,
+        pos: 2,
+        adds: 45,
+        muls: 52,
+        paper_edges: 214,
+        seed: 0x40DA,
+    },
+    BenchmarkProfile {
+        name: "mcm",
+        pis: 8,
+        pos: 8,
+        adds: 64,
+        muls: 30,
+        paper_edges: 252,
+        seed: 0x3C3C,
+    },
+    BenchmarkProfile {
+        name: "pr",
+        pis: 8,
+        pos: 8,
+        adds: 26,
+        muls: 16,
+        paper_edges: 134,
+        seed: 0x9121,
+    },
+    BenchmarkProfile {
+        name: "steam",
+        pis: 5,
+        pos: 5,
+        adds: 105,
+        muls: 115,
+        paper_edges: 472,
+        seed: 0x57EA,
+    },
+    BenchmarkProfile {
+        name: "wang",
+        pis: 8,
+        pos: 8,
+        adds: 26,
+        muls: 22,
+        paper_edges: 134,
+        seed: 0x3A26,
+    },
 ];
 
 /// Looks a profile up by name.
@@ -70,8 +126,9 @@ pub fn profile(name: &str) -> Option<&'static BenchmarkProfile> {
 pub fn generate(profile: &BenchmarkProfile, seed: u64) -> Cdfg {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Cdfg::new(profile.name);
-    let pis: Vec<VarId> =
-        (0..profile.pis).map(|i| g.add_input(format!("in{i}"))).collect();
+    let pis: Vec<VarId> = (0..profile.pis)
+        .map(|i| g.add_input(format!("in{i}")))
+        .collect();
     // A pool of "coefficient" inputs (DSP taps). Real kernels multiply by
     // many *distinct* constants; modeling them through a limited input
     // pool, coefficient reuse is kept moderate (see the `OpKind::Mul` arm
@@ -108,9 +165,7 @@ pub fn generate(profile: &BenchmarkProfile, seed: u64) -> Cdfg {
         // Interleave kinds proportionally to what remains, so products are
         // available for consumption throughout the graph.
         let remaining = adds_left + muls_left;
-        let kind = if muls_left > 0
-            && (adds_left == 0 || rng.gen_range(0..remaining) < muls_left)
-        {
+        let kind = if muls_left > 0 && (adds_left == 0 || rng.gen_range(0..remaining) < muls_left) {
             OpKind::Mul
         } else if rng.gen_bool(0.25) {
             OpKind::Sub

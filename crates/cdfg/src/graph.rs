@@ -233,7 +233,11 @@ impl Cdfg {
             name: format!("t{}", op_id.0),
             source: VarSource::Op(op_id),
         });
-        self.ops.push(Operation { kind, inputs: [a, b], output: out });
+        self.ops.push(Operation {
+            kind,
+            inputs: [a, b],
+            output: out,
+        });
         (op_id, out)
     }
 
@@ -254,7 +258,10 @@ impl Cdfg {
 
     /// Operations in id order.
     pub fn ops(&self) -> impl Iterator<Item = (OpId, &Operation)> {
-        self.ops.iter().enumerate().map(|(i, o)| (OpId(i as u32), o))
+        self.ops
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (OpId(i as u32), o))
     }
 
     /// Access one operation.
@@ -405,9 +412,17 @@ impl Cdfg {
     /// Panics if `inputs.len()` differs from the PI count, `width` is 0 or
     /// exceeds 64, or the graph is cyclic.
     pub fn evaluate(&self, inputs: &[u64], width: usize) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.inputs.len(), "one value per primary input");
+        assert_eq!(
+            inputs.len(),
+            self.inputs.len(),
+            "one value per primary input"
+        );
         assert!((1..=64).contains(&width));
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let mut values = vec![0u64; self.vars.len()];
         for (pos, &v) in self.inputs.iter().enumerate() {
             values[v.index()] = inputs[pos] & mask;
@@ -471,8 +486,7 @@ mod tests {
     fn topo_respects_deps() {
         let g = diamond();
         let order = g.topo_ops();
-        let pos: HashMap<OpId, usize> =
-            order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
         for (id, op) in g.ops() {
             for v in &op.inputs {
                 if let VarSource::Op(src) = g.var(*v).source {

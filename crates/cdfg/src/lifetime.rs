@@ -39,7 +39,10 @@ impl Lifetimes {
     /// The register lower bound: the largest number of variables alive in
     /// any single control step.
     pub fn max_overlap(&self, num_steps: u32) -> usize {
-        (0..=num_steps).map(|s| self.live_at(s).len()).max().unwrap_or(0)
+        (0..=num_steps)
+            .map(|s| self.live_at(s).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Lifetime interval of one variable.
@@ -123,7 +126,10 @@ mod tests {
         assert_eq!(lt.interval(t1), (2, 2), "PO alive to schedule end");
         assert!(lt.overlaps(b, t0));
         assert!(!lt.overlaps(a, t0));
-        assert!(!lt.overlaps(t0, t1), "chained temporaries can share a register");
+        assert!(
+            !lt.overlaps(t0, t1),
+            "chained temporaries can share a register"
+        );
     }
 
     #[test]
@@ -155,9 +161,19 @@ mod tests {
         g.mark_output(v);
         let s = asap(&g, &ResourceLibrary::default());
         let latched = lifetimes(&g, &s, &LifetimeOptions { latch_inputs: true });
-        let wired = lifetimes(&g, &s, &LifetimeOptions { latch_inputs: false });
+        let wired = lifetimes(
+            &g,
+            &s,
+            &LifetimeOptions {
+                latch_inputs: false,
+            },
+        );
         assert_eq!(latched.max_overlap(s.num_steps), 2);
-        assert_eq!(wired.max_overlap(s.num_steps), 2, "a,b zero-length at 0 still counted at step 0");
+        assert_eq!(
+            wired.max_overlap(s.num_steps),
+            2,
+            "a,b zero-length at 0 still counted at step 0"
+        );
         assert_eq!(wired.interval(a), (0, 0));
     }
 

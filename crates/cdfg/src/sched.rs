@@ -51,7 +51,10 @@ pub struct ResourceLibrary {
 impl Default for ResourceLibrary {
     /// The paper's experimental library: all resources single-cycle.
     fn default() -> Self {
-        ResourceLibrary { addsub_latency: 1, mul_latency: 1 }
+        ResourceLibrary {
+            addsub_latency: 1,
+            mul_latency: 1,
+        }
     }
 }
 
@@ -174,13 +177,18 @@ pub fn asap(cdfg: &Cdfg, library: &ResourceLibrary) -> Schedule {
         let mut start = 0;
         for v in &op.inputs {
             if let VarSource::Op(src) = cdfg.var(*v).source {
-                start = start.max(cstep[src.index()] + library.latency(cdfg.op(src).kind.fu_type()));
+                start =
+                    start.max(cstep[src.index()] + library.latency(cdfg.op(src).kind.fu_type()));
             }
         }
         cstep[id.index()] = start;
         num_steps = num_steps.max(start + library.latency(op.kind.fu_type()));
     }
-    Schedule { cstep, library: *library, num_steps }
+    Schedule {
+        cstep,
+        library: *library,
+        num_steps,
+    }
 }
 
 /// As-late-as-possible schedule within `latency_bound` steps.
@@ -209,7 +217,11 @@ pub fn alap(cdfg: &Cdfg, library: &ResourceLibrary, latency_bound: u32) -> Sched
             }
         }
     }
-    Schedule { cstep, library: *library, num_steps: latency_bound }
+    Schedule {
+        cstep,
+        library: *library,
+        num_steps: latency_bound,
+    }
 }
 
 /// Resource-constrained list scheduling with ALAP-slack (least slack
@@ -221,7 +233,10 @@ pub fn list_schedule(
     library: &ResourceLibrary,
     constraint: &ResourceConstraint,
 ) -> Schedule {
-    assert!(constraint.addsub >= 1 && constraint.mul >= 1, "need at least one FU per class");
+    assert!(
+        constraint.addsub >= 1 && constraint.mul >= 1,
+        "need at least one FU per class"
+    );
     let asap_sched = asap(cdfg, library);
     // Generous ALAP horizon for slack computation; tightness only affects
     // priorities, not legality.
@@ -283,7 +298,11 @@ pub fn list_schedule(
         }
         step += 1;
     }
-    Schedule { cstep, library: *library, num_steps }
+    Schedule {
+        cstep,
+        library: *library,
+        num_steps,
+    }
 }
 
 #[cfg(test)]
@@ -344,7 +363,10 @@ mod tests {
         let rc = ResourceConstraint::new(1, 2);
         let s = list_schedule(&g, &lib, &rc);
         s.validate(&g, Some(&rc)).unwrap();
-        assert_eq!(s.num_steps, 4, "7 muls on 2 multipliers need ceil(7/2)=4 steps");
+        assert_eq!(
+            s.num_steps, 4,
+            "7 muls on 2 multipliers need ceil(7/2)=4 steps"
+        );
         assert_eq!(s.min_resources(&g, FuType::Mul), 2);
     }
 
@@ -366,7 +388,10 @@ mod tests {
         let (_, p) = g.add_op(OpKind::Mul, a, b);
         let (add_op, s) = g.add_op(OpKind::Add, p, a);
         g.mark_output(s);
-        let lib = ResourceLibrary { addsub_latency: 1, mul_latency: 2 };
+        let lib = ResourceLibrary {
+            addsub_latency: 1,
+            mul_latency: 2,
+        };
         let sched = list_schedule(&g, &lib, &ResourceConstraint::new(1, 1));
         sched.validate(&g, None).unwrap();
         assert_eq!(sched.start(add_op), 2);
@@ -377,7 +402,10 @@ mod tests {
     fn multicycle_occupancy_blocks_sharing() {
         // Two independent muls on one 2-cycle multiplier: serialized.
         let g = parallel(2);
-        let lib = ResourceLibrary { addsub_latency: 1, mul_latency: 2 };
+        let lib = ResourceLibrary {
+            addsub_latency: 1,
+            mul_latency: 2,
+        };
         let rc = ResourceConstraint::new(1, 1);
         let s = list_schedule(&g, &lib, &rc);
         s.validate(&g, Some(&rc)).unwrap();

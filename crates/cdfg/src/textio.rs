@@ -178,7 +178,11 @@ pub fn parse_cdfg(text: &str) -> Result<(Cdfg, Option<Schedule>), ParseError> {
             .map(|(id, op)| cstep[id.index()] + library.latency(op.kind.fu_type()))
             .max()
             .unwrap_or(0);
-        Some(Schedule { cstep, library, num_steps })
+        Some(Schedule {
+            cstep,
+            library,
+            num_steps,
+        })
     } else {
         None
     };

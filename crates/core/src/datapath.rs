@@ -57,14 +57,20 @@ pub struct DatapathConfig {
 
 impl Default for DatapathConfig {
     fn default() -> Self {
-        DatapathConfig { width: 16, control: ControlStyle::External }
+        DatapathConfig {
+            width: 16,
+            control: ControlStyle::External,
+        }
     }
 }
 
 impl DatapathConfig {
     /// Config with the given width and external control.
     pub fn with_width(width: usize) -> Self {
-        DatapathConfig { width, control: ControlStyle::External }
+        DatapathConfig {
+            width,
+            control: ControlStyle::External,
+        }
     }
 }
 
@@ -175,8 +181,9 @@ pub fn elaborate(
     let mut pi_bus: Vec<Vec<NodeId>> = Vec::new();
     for &v in cdfg.inputs() {
         let name = cdfg.var(v).name.clone();
-        let pins: Vec<NodeId> =
-            (0..w).map(|i| nl.add_input(format!("{name}_{i}"))).collect();
+        let pins: Vec<NodeId> = (0..w)
+            .map(|i| nl.add_input(format!("{name}_{i}")))
+            .collect();
         data_ports.push(DataPort {
             name: name.clone(),
             positions: (input_pos..input_pos + w).collect(),
@@ -219,8 +226,8 @@ pub fn elaborate(
                 row.push(false); // reset low while the schedule runs
             }
             control_idle.push(true); // idle vector asserts reset
-            // Counter initialized to the last step so the very first clock
-            // edge wraps it to step 0.
+                                     // Counter initialized to the last step so the very first clock
+                                     // edge wraps it to step 0.
             let init = (steps - 1) as u64;
             let state = cells::register_word(&mut nl, "fsm_state", bits, init);
             let one = cells::const_word(&mut nl, "fsm", 1, bits);
@@ -288,8 +295,7 @@ pub fn elaborate(
         }
         let mut port_bus: Vec<Vec<NodeId>> = Vec::with_capacity(2);
         for port in 0..2 {
-            let sources: Vec<Source> =
-                port_sources(cdfg, rb, &fu.ops, port).into_iter().collect();
+            let sources: Vec<Source> = port_sources(cdfg, rb, &fu.ops, port).into_iter().collect();
             let buses: Vec<Vec<NodeId>> = sources
                 .iter()
                 .map(|&s| source_bus(&pi_bus, &reg_word, s))
@@ -302,7 +308,10 @@ pub fn elaborate(
             for &slot in active.iter().take(steps) {
                 if let Some(op) = slot {
                     let src = source_of(cdfg, rb, rb.var_on_port(cdfg, op, port));
-                    last = sources.iter().position(|&x| x == src).expect("source listed");
+                    last = sources
+                        .iter()
+                        .position(|&x| x == src)
+                        .expect("source listed");
                 }
                 sel_val.push(last);
             }
@@ -323,7 +332,12 @@ pub fn elaborate(
                     )
                 })
                 .collect();
-            port_bus.push(cells::mux_tree(&mut nl, &format!("fu{fi}_p{port}mx"), &sels, &buses));
+            port_bus.push(cells::mux_tree(
+                &mut nl,
+                &format!("fu{fi}_p{port}mx"),
+                &sels,
+                &buses,
+            ));
         }
         let out = match fu.ty {
             FuType::AddSub => {
@@ -345,14 +359,17 @@ pub fn elaborate(
                     &mut control_values,
                     &mut control_idle,
                 );
-                cells::addsub(&mut nl, &format!("fu{fi}"), &port_bus[0], &port_bus[1], mode)
+                cells::addsub(
+                    &mut nl,
+                    &format!("fu{fi}"),
+                    &port_bus[0],
+                    &port_bus[1],
+                    mode,
+                )
             }
-            FuType::Mul => cells::array_multiplier(
-                &mut nl,
-                &format!("fu{fi}"),
-                &port_bus[0],
-                &port_bus[1],
-            ),
+            FuType::Mul => {
+                cells::array_multiplier(&mut nl, &format!("fu{fi}"), &port_bus[0], &port_bus[1])
+            }
         };
         fu_out.push(out);
     }
@@ -368,7 +385,10 @@ pub fn elaborate(
             if let VarSource::Op(op) = cdfg.var(v).source {
                 let edge_step = sched.end(cdfg, op) - 1;
                 let fi = fb.fu_of[op.index()];
-                let wi = writers.iter().position(|&x| x == fi).expect("writer listed");
+                let wi = writers
+                    .iter()
+                    .position(|&x| x == fi)
+                    .expect("writer listed");
                 assert!(
                     write_at[edge_step as usize].is_none(),
                     "register write conflict on r{r} at step {edge_step}"
@@ -387,8 +407,7 @@ pub fn elaborate(
         }
         let sels: Vec<NodeId> = (0..sel_bits)
             .map(|b| {
-                let per_step: Vec<bool> =
-                    (0..steps).map(|s| (sel_val[s] >> b) & 1 == 1).collect();
+                let per_step: Vec<bool> = (0..steps).map(|s| (sel_val[s] >> b) & 1 == 1).collect();
                 let idle = *per_step.last().unwrap_or(&false);
                 add_control(
                     &mut nl,
@@ -567,7 +586,9 @@ mod tests {
         let dp = elaborate(&g, &sched, &rb, &fb, &DatapathConfig::with_width(4));
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..3 {
-            let data: Vec<u64> = (0..g.inputs().len()).map(|_| rng.gen_range(0..16)).collect();
+            let data: Vec<u64> = (0..g.inputs().len())
+                .map(|_| rng.gen_range(0..16))
+                .collect();
             let expected = g.evaluate(&data, 4);
             let got = execute(&dp, &dp.netlist, &data);
             assert_eq!(got, expected);
@@ -615,7 +636,10 @@ mod tests {
             &sched,
             &rb,
             &fb,
-            &DatapathConfig { width: 8, control: ControlStyle::Fsm },
+            &DatapathConfig {
+                width: 8,
+                control: ControlStyle::Fsm,
+            },
         );
         assert_eq!(dp.control_bits, 1, "FSM exposes only the reset input");
         assert_eq!(dp.control_style, ControlStyle::Fsm);
@@ -637,7 +661,10 @@ mod tests {
             &sched,
             &rb,
             &fb,
-            &DatapathConfig { width: 6, control: ControlStyle::Fsm },
+            &DatapathConfig {
+                width: 6,
+                control: ControlStyle::Fsm,
+            },
         );
         let mapped = mapper::map(
             &fsm.netlist,
@@ -661,7 +688,10 @@ mod tests {
             &sched,
             &rb,
             &fb,
-            &DatapathConfig { width: 8, control: ControlStyle::Fsm },
+            &DatapathConfig {
+                width: 8,
+                control: ControlStyle::Fsm,
+            },
         );
         let d1 = [3u64, 5, 7, 2, 4];
         let d2 = [10u64, 20, 30, 40, 50];
@@ -672,7 +702,10 @@ mod tests {
                 sim.step(&dp.input_vector(s, data));
             }
             sim.step(&dp.input_vector(0, data));
-            dp.output_ports.iter().map(|(_, bus)| sim.word(bus)).collect()
+            dp.output_ports
+                .iter()
+                .map(|(_, bus)| sim.word(bus))
+                .collect()
         };
         assert_eq!(run(&mut sim, &d1), g.evaluate(&d1, 8));
         assert_eq!(run(&mut sim, &d2), g.evaluate(&d2, 8));

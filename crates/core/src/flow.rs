@@ -15,10 +15,9 @@ use crate::lopass::{bind_lopass, bind_lopass_annealed, refine_lopass};
 use crate::mux::{mux_report, MuxReport};
 use crate::power::{PowerModel, PowerReport};
 use crate::regbind::{bind_registers, RegBindConfig, RegisterBinding};
-use crate::satable::{SaMode, SaTable};
+use crate::satable::{SaMode, SaSource, SaTable};
 use cdfg::{
-    list_schedule, Cdfg, FuType, LifetimeOptions, ResourceConstraint, ResourceLibrary,
-    Schedule,
+    list_schedule, Cdfg, FuType, LifetimeOptions, ResourceConstraint, ResourceLibrary, Schedule,
 };
 use gatesim::VectorSource;
 use mapper::{map, MapConfig, MapObjective};
@@ -129,6 +128,21 @@ impl FlowConfig {
     }
 }
 
+/// What one binder run produced: the binding plus its cost accounting.
+#[derive(Clone, Debug)]
+pub struct BindOutcome {
+    /// The functional-unit binding.
+    pub fb: FuBinding,
+    /// Wall-clock time of the binding stage (Table 2 "HLPower Runtime").
+    pub bind_time: Duration,
+    /// SA-table queries issued by this binding run. Deterministic for a
+    /// given benchmark/binder/config — unlike wall-clock time — so
+    /// experiment tables that must be byte-reproducible report this as
+    /// their runtime proxy (each query is one partial-datapath estimate
+    /// in the paper's Section 5.2.2 cost model).
+    pub sa_queries: u64,
+}
+
 /// Everything measured for one benchmark × binder combination.
 #[derive(Clone, Debug)]
 pub struct FlowResult {
@@ -158,6 +172,9 @@ pub struct FlowResult {
     pub power: PowerReport,
     /// Wall-clock time of FU binding (Table 2 "HLPower Runtime").
     pub bind_time: Duration,
+    /// SA-table queries issued while binding (deterministic runtime
+    /// proxy; see [`BindOutcome::sa_queries`]).
+    pub sa_queries: u64,
 }
 
 /// The paper's Table 2 resource constraints for the benchmark suite.
@@ -189,23 +206,46 @@ pub fn prepare(
         cdfg,
         &sched,
         &RegBindConfig {
-            lifetime: LifetimeOptions { latch_inputs: false },
+            lifetime: LifetimeOptions {
+                latch_inputs: false,
+            },
             seed: cfg.port_seed,
         },
     );
     (sched, rb)
 }
 
-/// Runs one binder on an already-prepared benchmark. Returns the binding
-/// and the binding wall-clock time.
-pub fn bind(
+/// Counts the SA queries a binding run issues against any underlying
+/// source — the deterministic runtime proxy in [`BindOutcome`].
+struct CountingSa<'a, S: SaSource + ?Sized> {
+    inner: &'a mut S,
+    queries: u64,
+}
+
+impl<S: SaSource + ?Sized> SaSource for CountingSa<'_, S> {
+    fn sa(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
+        self.queries += 1;
+        self.inner.sa(fu, mux_a, mux_b)
+    }
+}
+
+/// Runs one binder on an already-prepared benchmark.
+///
+/// `table` may be a private [`SaTable`] or a
+/// [`crate::satable::SharedSaRef`] onto the pipeline's cross-job cache;
+/// the binding result is identical either way.
+pub fn bind<S: SaSource + ?Sized>(
     cdfg: &Cdfg,
     sched: &Schedule,
     rb: &RegisterBinding,
     rc: &ResourceConstraint,
     binder: Binder,
-    table: &mut SaTable,
-) -> (FuBinding, Duration) {
+    table: &mut S,
+) -> BindOutcome {
+    let mut table = CountingSa {
+        inner: table,
+        queries: 0,
+    };
     let start = Instant::now();
     let fb = match binder {
         Binder::Lopass => crate::lopass::bind_first_fit(cdfg, sched, rc),
@@ -221,20 +261,28 @@ pub fn bind(
             // datapath). Merged-node SA grows as binding progresses, so
             // the calibration point is the *expected final* mux size:
             // about two thirds of the per-unit operation count.
-            let beta_at = |ty: FuType, table: &mut SaTable| -> f64 {
+            let beta_at = |ty: FuType, table: &mut CountingSa<'_, S>| -> f64 {
                 let ops = cdfg.op_count(ty).max(1);
                 let per_fu = ops.div_ceil(rc.limit(ty).max(1));
                 let s = (per_fu * 2 / 3).clamp(2, 16);
-                table.get(ty, s, s)
+                table.sa(ty, s, s)
             };
-            let beta_addsub = beta_at(FuType::AddSub, table);
-            let beta_mul = beta_at(FuType::Mul, table);
-            let cfg = HlPowerConfig { alpha, beta_addsub, beta_mul };
-            let (fb, _) = bind_hlpower(cdfg, sched, rb, rc, table, &cfg);
+            let beta_addsub = beta_at(FuType::AddSub, &mut table);
+            let beta_mul = beta_at(FuType::Mul, &mut table);
+            let cfg = HlPowerConfig {
+                alpha,
+                beta_addsub,
+                beta_mul,
+            };
+            let (fb, _) = bind_hlpower(cdfg, sched, rb, rc, &mut table, &cfg);
             fb
         }
     };
-    (fb, start.elapsed())
+    BindOutcome {
+        fb,
+        bind_time: start.elapsed(),
+        sa_queries: table.queries,
+    }
 }
 
 /// Builds the SA table a binder needs for a flow configuration.
@@ -248,6 +296,12 @@ pub fn sa_table_for(cfg: &FlowConfig, binder: Binder) -> SaTable {
 
 /// Full flow for one benchmark and binder: bind, elaborate, map,
 /// simulate, evaluate.
+///
+/// This is the one-shot convenience entry point; experiment drivers that
+/// run several binders or α values per benchmark should use
+/// [`crate::pipeline::Pipeline`], which computes the shared
+/// schedule/register-binding artifacts once and pools SA estimates
+/// across jobs.
 pub fn run_benchmark(
     cdfg: &Cdfg,
     rc: &ResourceConstraint,
@@ -256,37 +310,37 @@ pub fn run_benchmark(
 ) -> FlowResult {
     let (sched, rb) = prepare(cdfg, rc, cfg);
     let mut table = sa_table_for(cfg, binder);
-    let (fb, bind_time) = bind(cdfg, &sched, &rb, rc, binder, &mut table);
-    measure(cdfg, &sched, &rb, &fb, rc, binder, cfg, bind_time)
+    let outcome = bind(cdfg, &sched, &rb, rc, binder, &mut table);
+    measure(cdfg, &sched, &rb, &outcome, rc, binder, cfg)
 }
 
 /// Measures an existing binding through the backend (exposed separately
 /// so ablations can reuse one binding under several backends).
-#[allow(clippy::too_many_arguments)]
 pub fn measure(
     cdfg: &Cdfg,
     sched: &Schedule,
     rb: &RegisterBinding,
-    fb: &FuBinding,
+    outcome: &BindOutcome,
     rc: &ResourceConstraint,
     binder: Binder,
     cfg: &FlowConfig,
-    bind_time: Duration,
 ) -> FlowResult {
+    let fb = &outcome.fb;
     let mux = mux_report(cdfg, rb, fb);
     let dp = elaborate(
         cdfg,
         sched,
         rb,
         fb,
-        &DatapathConfig { width: cfg.width, control: cfg.control },
+        &DatapathConfig {
+            width: cfg.width,
+            control: cfg.control,
+        },
     );
     let mapped = map(&dp.netlist, &MapConfig::new(cfg.k, cfg.map_objective));
     let stats = simulate(&dp, &mapped.netlist, cfg);
     // Nets that can toggle: LUTs + registers + input pins.
-    let num_nets = mapped.stats.luts
-        + mapped.netlist.num_latches()
-        + mapped.netlist.inputs().len();
+    let num_nets = mapped.stats.luts + mapped.netlist.num_latches() + mapped.netlist.inputs().len();
     let power = cfg.power.evaluate(&stats, mapped.stats.depth, num_nets);
     FlowResult {
         name: cdfg.name().to_string(),
@@ -301,7 +355,8 @@ pub fn measure(
         estimated_sa: mapped.stats.estimated_sa,
         mux,
         power,
-        bind_time,
+        bind_time: outcome.bind_time,
+        sa_queries: outcome.sa_queries,
     }
 }
 
@@ -314,7 +369,11 @@ pub fn measure(
 pub fn simulate(dp: &Datapath, mapped: &netlist::Netlist, cfg: &FlowConfig) -> gatesim::SimStats {
     let mut sim = gatesim::CycleSim::new(mapped);
     let mut src = VectorSource::new(cfg.sim_seed);
-    let mask = if cfg.width == 64 { u64::MAX } else { (1u64 << cfg.width) - 1 };
+    let mask = if cfg.width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << cfg.width) - 1
+    };
     let mut data: Vec<u64> = vec![0; dp.data_ports.len()];
     for c in 0..cfg.sim_cycles {
         let step = (c % dp.num_steps as u64) as u32;
@@ -389,7 +448,12 @@ mod tests {
         assert!(r.power.dynamic_power_mw > 0.0);
         // The FSM adds its counter/ROM logic on top of the datapath.
         let ext = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &FlowConfig::fast());
-        assert!(r.luts > ext.luts, "FSM controller costs LUTs: {} vs {}", r.luts, ext.luts);
+        assert!(
+            r.luts > ext.luts,
+            "FSM controller costs LUTs: {} vs {}",
+            r.luts,
+            ext.luts
+        );
     }
 
     #[test]
@@ -401,7 +465,10 @@ mod tests {
         let rc = paper_constraint("wang").unwrap();
         let single = FlowConfig::fast();
         let multi = FlowConfig {
-            library: ResourceLibrary { addsub_latency: 1, mul_latency: 2 },
+            library: ResourceLibrary {
+                addsub_latency: 1,
+                mul_latency: 2,
+            },
             ..FlowConfig::fast()
         };
         let r1 = run_benchmark(&g, &rc, Binder::HlPower { alpha: 0.5 }, &single);
@@ -418,12 +485,12 @@ mod tests {
         let (sched, rb) = prepare(&g, &rc, &multi);
         let binder = Binder::HlPower { alpha: 0.5 };
         let mut table = sa_table_for(&multi, binder);
-        let (fb, _) = bind(&g, &sched, &rb, &rc, binder, &mut table);
+        let outcome = bind(&g, &sched, &rb, &rc, binder, &mut table);
         let dp = crate::datapath::elaborate(
             &g,
             &sched,
             &rb,
-            &fb,
+            &outcome.fb,
             &DatapathConfig::with_width(4),
         );
         let data: Vec<u64> = (0..g.inputs().len() as u64).collect();

@@ -46,6 +46,7 @@ pub mod fubind;
 pub mod lopass;
 pub mod matching;
 pub mod mux;
+pub mod pipeline;
 pub mod power;
 pub mod regbind;
 pub mod satable;
@@ -54,13 +55,12 @@ pub mod vhdl;
 pub use datapath::{
     elaborate, execute, ControlProgram, ControlStyle, DataPort, Datapath, DatapathConfig,
 };
-pub use flow::{paper_constraint, run_benchmark, Binder, FlowConfig, FlowResult};
+pub use flow::{paper_constraint, run_benchmark, BindOutcome, Binder, FlowConfig, FlowResult};
 pub use fubind::{bind_hlpower, Fu, FuBinding, HlPowerConfig, IterationTrace, MergeRecord};
 pub use lopass::{bind_lopass, refine_lopass};
 pub use mux::{mux_report, MuxReport};
+pub use pipeline::{Pipeline, Prepared, StageCounts};
 pub use power::{PowerModel, PowerReport};
-pub use regbind::{
-    bind_registers, bind_registers_left_edge, RegBindConfig, RegisterBinding,
-};
-pub use satable::{compute_sa, partial_datapath, SaMode, SaTable};
+pub use regbind::{bind_registers, bind_registers_left_edge, RegBindConfig, RegisterBinding};
+pub use satable::{compute_sa, partial_datapath, SaMode, SaSource, SaTable, SharedSaTable};
 pub use vhdl::write_vhdl;

@@ -87,15 +87,13 @@ pub fn bind_lopass(
                     continue;
                 }
                 let free = starting.iter().all(|&op| {
-                    (sched.start(op)..sched.end(cdfg, op))
-                        .all(|s| !fu_busy[fi].contains(&s))
+                    (sched.start(op)..sched.end(cdfg, op)).all(|s| !fu_busy[fi].contains(&s))
                 });
                 // A unit busy for one op's span may be free for another;
                 // per-pair freedom is checked in the cost matrix. Listing
                 // the unit as a candidate only needs it free for *some* op.
                 let some_free = starting.iter().any(|&op| {
-                    (sched.start(op)..sched.end(cdfg, op))
-                        .all(|s| !fu_busy[fi].contains(&s))
+                    (sched.start(op)..sched.end(cdfg, op)).all(|s| !fu_busy[fi].contains(&s))
                 });
                 let _ = free;
                 if some_free {
@@ -103,9 +101,10 @@ pub fn bind_lopass(
                 }
             }
             let existing = fus.iter().filter(|f| f.ty == ty).count();
-            let headroom = rc.limit(ty).saturating_sub(existing).max(
-                starting.len().saturating_sub(candidates.len()),
-            );
+            let headroom = rc
+                .limit(ty)
+                .saturating_sub(existing)
+                .max(starting.len().saturating_sub(candidates.len()));
             for _ in 0..headroom {
                 candidates.push(None);
             }
@@ -137,14 +136,17 @@ pub fn bind_lopass(
                         .collect()
                 })
                 .collect();
-            let assignment = min_cost_assignment(&costs)
-                .expect("headroom guarantees enough candidate units");
+            let assignment =
+                min_cost_assignment(&costs).expect("headroom guarantees enough candidate units");
             for (oi, &ci) in assignment.iter().enumerate() {
                 let op = starting[oi];
                 let fi = match candidates[ci] {
                     Some(fi) => fi,
                     None => {
-                        fus.push(Fu { ty, ops: Vec::new() });
+                        fus.push(Fu {
+                            ty,
+                            ops: Vec::new(),
+                        });
                         fu_busy.push(BTreeSet::new());
                         fus.len() - 1
                     }
@@ -260,16 +262,18 @@ pub fn bind_first_fit(cdfg: &Cdfg, sched: &Schedule, rc: &ResourceConstraint) ->
         let ty = cdfg.op(op).kind.fu_type();
         let span: Vec<u32> = (sched.start(op)..sched.end(cdfg, op)).collect();
         let existing = fus.iter().filter(|f| f.ty == ty).count();
-        let slot = (0..fus.len()).find(|&fi| {
-            fus[fi].ty == ty && span.iter().all(|s| !fu_busy[fi].contains(s))
-        });
+        let slot = (0..fus.len())
+            .find(|&fi| fus[fi].ty == ty && span.iter().all(|s| !fu_busy[fi].contains(s)));
         let fi = match slot {
             Some(fi) => fi,
             None => {
                 // Allocate a new unit (beyond the constraint only when
                 // multi-cycle fragmentation forces it).
                 debug_assert!(existing < rc.limit(ty) || sched.library.latency(ty) > 1);
-                fus.push(Fu { ty, ops: Vec::new() });
+                fus.push(Fu {
+                    ty,
+                    ops: Vec::new(),
+                });
                 fu_busy.push(BTreeSet::new());
                 fus.len() - 1
             }
@@ -305,8 +309,7 @@ pub fn refine_lopass(
             // Current cost contribution.
             let cur_ops = &fus[cur_fi].ops;
             let cur_cost = interconnect_cost(cdfg, rb, cur_ops);
-            let cur_without: Vec<OpId> =
-                cur_ops.iter().copied().filter(|&o| o != op).collect();
+            let cur_without: Vec<OpId> = cur_ops.iter().copied().filter(|&o| o != op).collect();
             let cur_cost_without = interconnect_cost(cdfg, rb, &cur_without);
             let mut best: Option<(usize, isize)> = None;
             for (fi, fu) in fus.iter().enumerate() {
@@ -367,7 +370,11 @@ mod tests {
     use crate::regbind::{bind_registers, RegBindConfig};
     use cdfg::{list_schedule, ResourceLibrary};
 
-    fn setup(name: &str, add: usize, mul: usize) -> (Cdfg, Schedule, RegisterBinding, ResourceConstraint) {
+    fn setup(
+        name: &str,
+        add: usize,
+        mul: usize,
+    ) -> (Cdfg, Schedule, RegisterBinding, ResourceConstraint) {
         let p = cdfg::profile(name).unwrap();
         let g = cdfg::generate(p, p.seed);
         let rc = ResourceConstraint::new(add, mul);
@@ -393,7 +400,10 @@ mod tests {
         let fb = bind_lopass(&g, &sched, &rb, &rc);
         // list scheduling saturates the constraint, so LOPASS should
         // allocate exactly the limit of each class.
-        assert_eq!(fb.count(FuType::AddSub), sched.min_resources(&g, FuType::AddSub));
+        assert_eq!(
+            fb.count(FuType::AddSub),
+            sched.min_resources(&g, FuType::AddSub)
+        );
         assert_eq!(fb.count(FuType::Mul), sched.min_resources(&g, FuType::Mul));
     }
 
@@ -405,7 +415,10 @@ mod tests {
         let refined = refine_lopass(&g, &sched, &rb, base, 5);
         refined.validate(&g, &sched).unwrap();
         let after = mux_report(&g, &rb, &refined).length;
-        assert!(after <= before, "refinement worsened mux length: {before} -> {after}");
+        assert!(
+            after <= before,
+            "refinement worsened mux length: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn max_weight_matching(weights: &[Vec<Option<f64>>]) -> Vec<Option<usize>> {
     }
     for row in weights {
         for w in row.iter().flatten() {
-            assert!(w.is_finite() && *w > 0.0, "edge weights must be finite and positive");
+            assert!(
+                w.is_finite() && *w > 0.0,
+                "edge weights must be finite and positive"
+            );
         }
     }
     // Square the problem: n = max(rows, cols). Missing rows/cols and
@@ -171,10 +174,7 @@ mod tests {
 
     #[test]
     fn simple_two_by_two() {
-        let w = vec![
-            vec![Some(5.0), Some(4.0)],
-            vec![Some(4.0), Some(1.0)],
-        ];
+        let w = vec![vec![Some(5.0), Some(4.0)], vec![Some(4.0), Some(1.0)]];
         let m = max_weight_matching(&w);
         // 4 + 4 = 8 beats 5 + 1 = 6.
         assert_eq!(m, vec![Some(1), Some(0)]);
@@ -182,10 +182,7 @@ mod tests {
 
     #[test]
     fn forbidden_edges_respected() {
-        let w = vec![
-            vec![None, Some(1.0)],
-            vec![None, Some(10.0)],
-        ];
+        let w = vec![vec![None, Some(1.0)], vec![None, Some(10.0)]];
         let m = max_weight_matching(&w);
         assert_eq!(m[1], Some(1));
         assert_eq!(m[0], None, "only one column is reachable");
@@ -193,14 +190,14 @@ mod tests {
 
     #[test]
     fn rectangular_more_rows() {
-        let w = vec![
-            vec![Some(3.0)],
-            vec![Some(2.0)],
-            vec![Some(9.0)],
-        ];
+        let w = vec![vec![Some(3.0)], vec![Some(2.0)], vec![Some(9.0)]];
         let m = max_weight_matching(&w);
-        let matched: Vec<usize> =
-            m.iter().enumerate().filter(|(_, c)| c.is_some()).map(|(r, _)| r).collect();
+        let matched: Vec<usize> = m
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(r, _)| r)
+            .collect();
         assert_eq!(matched, vec![2], "highest weight row takes the only column");
     }
 
@@ -221,10 +218,7 @@ mod tests {
     fn cardinality_preferred_with_positive_weights() {
         // Row 0 could grab column 0 (weight 10), starving row 1; total
         // weight favors 9 + 8 = 17.
-        let w = vec![
-            vec![Some(10.0), Some(9.0)],
-            vec![Some(8.0), None],
-        ];
+        let w = vec![vec![Some(10.0), Some(9.0)], vec![Some(8.0), None]];
         let m = max_weight_matching(&w);
         assert_eq!(m, vec![Some(1), Some(0)]);
     }
@@ -237,7 +231,9 @@ mod tests {
         let n = 7;
         let mut state = 0x12345678u64;
         let mut rand01 = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let w: Vec<Vec<Option<f64>>> = (0..n)
@@ -291,19 +287,13 @@ mod tests {
 
     #[test]
     fn min_cost_assignment_basic() {
-        let c = vec![
-            vec![Some(4.0), Some(1.0)],
-            vec![Some(2.0), Some(8.0)],
-        ];
+        let c = vec![vec![Some(4.0), Some(1.0)], vec![Some(2.0), Some(8.0)]];
         assert_eq!(min_cost_assignment(&c), Some(vec![1, 0]));
     }
 
     #[test]
     fn min_cost_assignment_infeasible() {
-        let c = vec![
-            vec![Some(1.0), None],
-            vec![Some(1.0), None],
-        ];
+        let c = vec![vec![Some(1.0), None], vec![Some(1.0), None]];
         assert_eq!(min_cost_assignment(&c), None);
     }
 
@@ -311,10 +301,7 @@ mod tests {
     fn min_cost_assignment_prefers_total() {
         // Greedy would give row0 -> col0 (cost 0) forcing row1 -> col1
         // (cost 10); optimal is 1 + 1.
-        let c = vec![
-            vec![Some(0.0), Some(1.0)],
-            vec![Some(1.0), Some(10.0)],
-        ];
+        let c = vec![vec![Some(0.0), Some(1.0)], vec![Some(1.0), Some(10.0)]];
         assert_eq!(min_cost_assignment(&c), Some(vec![1, 0]));
     }
 

@@ -148,7 +148,12 @@ pub fn mux_report(cdfg: &Cdfg, rb: &RegisterBinding, fb: &FuBinding) -> MuxRepor
             length += s;
         }
     }
-    MuxReport { largest, length, fu_mux_diffs, fu_mux_sizes }
+    MuxReport {
+        largest,
+        length,
+        fu_mux_diffs,
+        fu_mux_sizes,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +185,14 @@ mod tests {
         // seeds; o2 is a Sub so only o1 can swap.
         let mut rb = bind_registers(&g, &s, &RegBindConfig::default());
         for seed in 0..64 {
-            rb = bind_registers(&g, &s, &RegBindConfig { seed, ..Default::default() });
+            rb = bind_registers(
+                &g,
+                &s,
+                &RegBindConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             if !rb.swap[o1.index()] {
                 break;
             }
@@ -218,8 +230,14 @@ mod tests {
         // different registers (both alive at the end).
         let fb = FuBinding {
             fus: vec![
-                Fu { ty: FuType::AddSub, ops: vec![o1] },
-                Fu { ty: FuType::AddSub, ops: vec![o2] },
+                Fu {
+                    ty: FuType::AddSub,
+                    ops: vec![o1],
+                },
+                Fu {
+                    ty: FuType::AddSub,
+                    ops: vec![o2],
+                },
             ],
             fu_of: vec![0, 1],
         };
@@ -238,7 +256,10 @@ mod tests {
         let s = asap(&g, &ResourceLibrary::default());
         let rb = bind_registers(&g, &s, &RegBindConfig::default());
         let fb = FuBinding {
-            fus: vec![Fu { ty: FuType::AddSub, ops: vec![o1, o2] }],
+            fus: vec![Fu {
+                ty: FuType::AddSub,
+                ops: vec![o1, o2],
+            }],
             fu_of: vec![0, 0],
         };
         let rep = mux_report(&g, &rb, &fb);

@@ -1,0 +1,471 @@
+//! Staged experiment pipeline with shared artifacts and parallel fan-out.
+//!
+//! The paper's methodology (Section 6.1) runs every benchmark through one
+//! chain — schedule → register-bind → FU-bind → elaborate → 4-LUT map →
+//! simulate → power model — and its runtime claim rests on memoizing the
+//! glitch-aware SA estimates of partial datapaths. [`Pipeline`] makes
+//! that chain an explicit staged computation over named, reusable
+//! artifacts:
+//!
+//! * [`Prepared`] — the per-benchmark front end (schedule + register
+//!   binding), computed **exactly once** per benchmark and shared by
+//!   every binder and α value (the paper shares schedules and register
+//!   bindings between LOPASS and HLPower);
+//! * [`crate::satable::SharedSaTable`] — the paper's precalculated SA
+//!   hash table, here thread-safe and pooled across *all* concurrent
+//!   jobs, so a partial-datapath shape is estimated at most once per run;
+//! * [`FlowResult`] — the fully measured back end per benchmark × binder.
+//!
+//! [`Pipeline::run_matrix`] fans benchmark × binder jobs out over scoped
+//! worker threads. Job order, result order, and every numeric output are
+//! independent of the worker count: workers pull jobs from a shared
+//! queue but deposit results into per-job slots, and all cross-job state
+//! (the SA cache) is value-deterministic. [`StageCounts`] exposes how
+//! often each stage actually ran, which the tests use to prove the
+//! sharing claims.
+//!
+//! # Examples
+//!
+//! Run two binders over one benchmark with all artifacts shared:
+//!
+//! ```
+//! use hlpower::pipeline::Pipeline;
+//! use hlpower::{paper_constraint, Binder, FlowConfig};
+//!
+//! let p = cdfg::profile("pr").unwrap();
+//! let suite = vec![(cdfg::generate(p, p.seed), paper_constraint("pr").unwrap())];
+//! let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+//! let pipeline = Pipeline::new(FlowConfig::fast());
+//! let results = pipeline.run_matrix(&suite, &binders, 2);
+//! assert_eq!(results.len(), 1);
+//! assert_eq!(results[0].len(), 2);
+//! let counts = pipeline.counters();
+//! assert_eq!(counts.schedules, 1, "schedule computed once, not per binder");
+//! ```
+
+use crate::flow::{self, BindOutcome, Binder, FlowConfig, FlowResult};
+use crate::regbind::RegisterBinding;
+use crate::satable::{SaMode, SaTable, SharedSaTable};
+use cdfg::{Cdfg, ResourceConstraint, Schedule};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The shared front-end artifacts of one benchmark: everything upstream
+/// of binder choice.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The benchmark CDFG.
+    pub cdfg: Cdfg,
+    /// Its resource constraint.
+    pub rc: ResourceConstraint,
+    /// The list schedule under `rc`.
+    pub sched: Schedule,
+    /// The register binding shared by all binders.
+    pub rb: RegisterBinding,
+}
+
+/// How often each pipeline stage has actually executed — the observable
+/// evidence for artifact sharing (e.g. `schedules == benchmarks` no
+/// matter how many binders ran).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// List-scheduling runs (one per distinct benchmark).
+    pub schedules: u64,
+    /// Register-binding runs (one per distinct benchmark).
+    pub register_bindings: u64,
+    /// FU-binding runs (one per benchmark × binder job).
+    pub fu_bindings: u64,
+    /// Datapath elaborations.
+    pub elaborations: u64,
+    /// Technology-mapping runs.
+    pub mappings: u64,
+    /// Gate-level simulation runs.
+    pub simulations: u64,
+}
+
+#[derive(Debug, Default)]
+struct StageCounters {
+    schedules: AtomicU64,
+    register_bindings: AtomicU64,
+    fu_bindings: AtomicU64,
+    elaborations: AtomicU64,
+    mappings: AtomicU64,
+    simulations: AtomicU64,
+}
+
+impl StageCounters {
+    fn snapshot(&self) -> StageCounts {
+        StageCounts {
+            schedules: self.schedules.load(Ordering::Relaxed),
+            register_bindings: self.register_bindings.load(Ordering::Relaxed),
+            fu_bindings: self.fu_bindings.load(Ordering::Relaxed),
+            elaborations: self.elaborations.load(Ordering::Relaxed),
+            mappings: self.mappings.load(Ordering::Relaxed),
+            simulations: self.simulations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cache key of a prepared benchmark: name, a structural fingerprint of
+/// the graph (two same-named but different CDFGs — e.g. regenerated with
+/// a different seed — must not share artifacts), and the resource
+/// constraint it was scheduled under.
+type PrepareKey = (String, u64, usize, usize);
+
+/// Order-sensitive structural hash of a CDFG: operations with their
+/// kinds and operands, plus the input/output lists.
+fn cdfg_fingerprint(cdfg: &Cdfg) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cdfg.inputs().hash(&mut h);
+    cdfg.outputs().hash(&mut h);
+    for (id, op) in cdfg.ops() {
+        id.hash(&mut h);
+        op.kind.hash(&mut h);
+        op.inputs.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The staged experiment flow with shared artifacts and a parallel job
+/// runner. See the [module docs](self) for the architecture.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: FlowConfig,
+    counters: StageCounters,
+    prepared: Mutex<HashMap<PrepareKey, Arc<OnceLock<Arc<Prepared>>>>>,
+    sa_glitch: SharedSaTable,
+    sa_zero_delay: SharedSaTable,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for one flow configuration. All artifacts the
+    /// pipeline caches are functions of this configuration, so one
+    /// `Pipeline` must not be reused across different `FlowConfig`s.
+    pub fn new(cfg: FlowConfig) -> Self {
+        let sa_glitch = SharedSaTable::new(cfg.sa_width, cfg.k);
+        let sa_zero_delay =
+            SharedSaTable::new(cfg.sa_width, cfg.k).with_mode(SaMode::ZeroDelayAblation);
+        Pipeline {
+            cfg,
+            counters: StageCounters::default(),
+            prepared: Mutex::new(HashMap::new()),
+            sa_glitch,
+            sa_zero_delay,
+        }
+    }
+
+    /// The flow configuration this pipeline runs.
+    pub fn config(&self) -> &FlowConfig {
+        &self.cfg
+    }
+
+    /// Stage-execution counts so far.
+    pub fn counters(&self) -> StageCounts {
+        self.counters.snapshot()
+    }
+
+    /// The cross-job SA cache a binder draws from (glitch-aware for the
+    /// main algorithm, zero-delay for the glitch-model ablation).
+    pub fn sa_cache(&self, binder: Binder) -> &SharedSaTable {
+        match binder {
+            Binder::HlPowerZeroDelay { .. } => &self.sa_zero_delay,
+            _ => &self.sa_glitch,
+        }
+    }
+
+    /// Pre-seeds the SA cache `binder` draws from, using a persisted
+    /// table (the paper's offline-generated hash table file).
+    ///
+    /// # Errors
+    ///
+    /// Refuses tables whose width, LUT size, or estimation mode do not
+    /// match that cache (see [`SharedSaTable::absorb`]).
+    pub fn seed_sa_cache(
+        &self,
+        binder: Binder,
+        table: &SaTable,
+    ) -> Result<usize, crate::satable::SaTableMismatch> {
+        self.sa_cache(binder).absorb(table)
+    }
+
+    /// A snapshot of the SA cache `binder` draws from, for persistence.
+    pub fn sa_snapshot(&self, binder: Binder) -> SaTable {
+        self.sa_cache(binder).snapshot()
+    }
+
+    /// The shared front end of one benchmark — schedule plus register
+    /// binding, keyed by benchmark name **and** resource constraint, so
+    /// the same benchmark can run under several constraints in one
+    /// pipeline. The first caller computes the artifact (concurrent
+    /// callers block on that computation rather than duplicating it);
+    /// every later caller gets the cached value.
+    pub fn prepare(&self, cdfg: &Cdfg, rc: &ResourceConstraint) -> Arc<Prepared> {
+        let slot = {
+            let mut map = self.prepared.lock().expect("pipeline prepared lock");
+            map.entry((
+                cdfg.name().to_string(),
+                cdfg_fingerprint(cdfg),
+                rc.addsub,
+                rc.mul,
+            ))
+            .or_default()
+            .clone()
+        };
+        slot.get_or_init(|| {
+            self.counters.schedules.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .register_bindings
+                .fetch_add(1, Ordering::Relaxed);
+            let (sched, rb) = flow::prepare(cdfg, rc, &self.cfg);
+            Arc::new(Prepared {
+                cdfg: cdfg.clone(),
+                rc: *rc,
+                sched,
+                rb,
+            })
+        })
+        .clone()
+    }
+
+    /// Runs one binder against prepared artifacts, drawing SA estimates
+    /// from the shared cross-job cache.
+    pub fn bind(&self, prep: &Prepared, binder: Binder) -> BindOutcome {
+        self.counters.fu_bindings.fetch_add(1, Ordering::Relaxed);
+        let mut source = self.sa_cache(binder).handle();
+        flow::bind(
+            &prep.cdfg,
+            &prep.sched,
+            &prep.rb,
+            &prep.rc,
+            binder,
+            &mut source,
+        )
+    }
+
+    /// Measures a binding through the shared backend: elaborate, map,
+    /// simulate, evaluate the power model.
+    pub fn measure(&self, prep: &Prepared, outcome: &BindOutcome, binder: Binder) -> FlowResult {
+        self.counters.elaborations.fetch_add(1, Ordering::Relaxed);
+        self.counters.mappings.fetch_add(1, Ordering::Relaxed);
+        self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+        flow::measure(
+            &prep.cdfg,
+            &prep.sched,
+            &prep.rb,
+            outcome,
+            &prep.rc,
+            binder,
+            &self.cfg,
+        )
+    }
+
+    /// The full staged flow for one benchmark × binder job.
+    pub fn run(&self, cdfg: &Cdfg, rc: &ResourceConstraint, binder: Binder) -> FlowResult {
+        let prep = self.prepare(cdfg, rc);
+        let outcome = self.bind(&prep, binder);
+        self.measure(&prep, &outcome, binder)
+    }
+
+    /// Fans the `suite × binders` job matrix out over up to `jobs` worker
+    /// threads and returns results as `results[bench][binder]`.
+    ///
+    /// Results are **deterministic in value and order** regardless of
+    /// `jobs`: workers pull jobs from a shared queue but write into the
+    /// job's own result slot, shared caches are value-deterministic, and
+    /// per-result runtime accounting uses SA-query counts rather than
+    /// wall-clock interleaving.
+    pub fn run_matrix(
+        &self,
+        suite: &[(Cdfg, ResourceConstraint)],
+        binders: &[Binder],
+        jobs: usize,
+    ) -> Vec<Vec<FlowResult>> {
+        let job_list: Vec<(usize, usize)> = (0..suite.len())
+            .flat_map(|b| (0..binders.len()).map(move |k| (b, k)))
+            .collect();
+        let slots: Vec<OnceLock<FlowResult>> = job_list.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.max(1).min(job_list.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(b, k)) = job_list.get(i) else {
+                        break;
+                    };
+                    let (cdfg, rc) = &suite[b];
+                    let result = self.run(cdfg, rc, binders[k]);
+                    slots[i].set(result).expect("job slot set once");
+                });
+            }
+        });
+        let mut slots = slots.into_iter();
+        (0..suite.len())
+            .map(|_| {
+                (0..binders.len())
+                    .map(|_| {
+                        slots
+                            .next()
+                            .expect("slot per job")
+                            .into_inner()
+                            .expect("all jobs completed")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::paper_constraint;
+
+    fn small_suite(names: &[&str]) -> Vec<(Cdfg, ResourceConstraint)> {
+        names
+            .iter()
+            .map(|n| {
+                let p = cdfg::profile(n).unwrap();
+                (cdfg::generate(p, p.seed), paper_constraint(n).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prepare_runs_once_per_benchmark() {
+        let suite = small_suite(&["pr", "wang"]);
+        let pipeline = Pipeline::new(FlowConfig::fast());
+        let binders = [
+            Binder::Lopass,
+            Binder::HlPower { alpha: 1.0 },
+            Binder::HlPower { alpha: 0.5 },
+        ];
+        let results = pipeline.run_matrix(&suite, &binders, 4);
+        assert_eq!(results.len(), 2);
+        let counts = pipeline.counters();
+        assert_eq!(counts.schedules, 2, "one schedule per benchmark");
+        assert_eq!(
+            counts.register_bindings, 2,
+            "one register binding per benchmark"
+        );
+        assert_eq!(counts.fu_bindings, 6, "one FU binding per job");
+        assert_eq!(counts.simulations, 6);
+    }
+
+    #[test]
+    fn matrix_results_are_independent_of_job_count() {
+        let suite = small_suite(&["pr", "wang"]);
+        let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+        let serial = Pipeline::new(FlowConfig::fast()).run_matrix(&suite, &binders, 1);
+        let parallel = Pipeline::new(FlowConfig::fast()).run_matrix(&suite, &binders, 4);
+        for (row_s, row_p) in serial.iter().zip(&parallel) {
+            for (s, p) in row_s.iter().zip(row_p) {
+                assert_eq!(s.name, p.name);
+                assert_eq!(s.binder, p.binder);
+                assert_eq!(s.luts, p.luts);
+                assert_eq!(s.sa_queries, p.sa_queries);
+                assert_eq!(s.power.total_transitions, p.power.total_transitions);
+                assert_eq!(s.mux, p.mux);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cache_pools_estimates_across_jobs() {
+        let suite = small_suite(&["pr", "wang"]);
+        let binders = [
+            Binder::HlPower { alpha: 1.0 },
+            Binder::HlPower { alpha: 0.5 },
+        ];
+        let pipeline = Pipeline::new(FlowConfig::fast());
+        pipeline.run_matrix(&suite, &binders, 4);
+        let (queries, misses) = pipeline.sa_cache(binders[0]).counters();
+        assert!(
+            misses < queries,
+            "cross-job cache must hit: {misses} misses of {queries} queries"
+        );
+        // A fresh per-job table would have computed every queried shape
+        // per job; pooling stores each distinct shape once. (Concurrent
+        // first misses on the same key may both compute — identical
+        // values, first write wins — so misses can exceed entries.)
+        assert!(pipeline.sa_snapshot(binders[0]).len() as u64 <= misses);
+    }
+
+    #[test]
+    fn same_benchmark_two_constraints_prepares_twice() {
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let pipeline = Pipeline::new(FlowConfig::fast());
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let tight = pipeline.run(&g, &ResourceConstraint::new(2, 2), binder);
+        let loose = pipeline.run(&g, &ResourceConstraint::new(4, 4), binder);
+        let counts = pipeline.counters();
+        assert_eq!(
+            counts.schedules, 2,
+            "distinct constraints must not share a schedule"
+        );
+        assert!(
+            loose.schedule_steps <= tight.schedule_steps,
+            "looser constraint cannot lengthen the schedule: {} vs {}",
+            loose.schedule_steps,
+            tight.schedule_steps
+        );
+        assert!(tight.fus_addsub <= 2 && loose.fus_addsub <= 4);
+    }
+
+    #[test]
+    fn same_name_different_graph_prepares_separately() {
+        // Regenerating a profile with a different seed yields a graph
+        // with the same name but different structure; it must not be
+        // served the other instance's cached artifacts.
+        let p = cdfg::profile("wang").unwrap();
+        let g1 = cdfg::generate(p, p.seed);
+        let g2 = cdfg::generate(p, 12345);
+        let rc = paper_constraint("wang").unwrap();
+        let pipeline = Pipeline::new(FlowConfig::fast());
+        let p1 = pipeline.prepare(&g1, &rc);
+        let p2 = pipeline.prepare(&g2, &rc);
+        assert_eq!(pipeline.counters().schedules, 2);
+        assert_eq!(p1.cdfg.num_ops(), g1.num_ops());
+        assert_eq!(p2.cdfg.num_ops(), g2.num_ops());
+        // And the schedule really belongs to the right graph.
+        p1.sched.validate(&g1, Some(&rc)).unwrap();
+        p2.sched.validate(&g2, Some(&rc)).unwrap();
+    }
+
+    #[test]
+    fn seeding_rejects_incompatible_tables() {
+        let pipeline = Pipeline::new(FlowConfig::fast());
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let mut wrong_width = SaTable::new(pipeline.config().sa_width + 1, 4);
+        wrong_width.get(cdfg::FuType::AddSub, 1, 1);
+        assert!(pipeline.seed_sa_cache(binder, &wrong_width).is_err());
+        // The zero-delay ablation cache refuses glitch-aware tables.
+        let cfg = pipeline.config();
+        let mut glitchy = SaTable::new(cfg.sa_width, cfg.k);
+        glitchy.get(cdfg::FuType::AddSub, 1, 1);
+        let zd = Binder::HlPowerZeroDelay { alpha: 0.5 };
+        assert!(pipeline.seed_sa_cache(zd, &glitchy).is_err());
+        // A matching table seeds cleanly and is served back verbatim.
+        assert_eq!(pipeline.seed_sa_cache(binder, &glitchy), Ok(1));
+        let snap = pipeline.sa_snapshot(binder);
+        assert_eq!(snap.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_matches_run_benchmark() {
+        let suite = small_suite(&["wang"]);
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let cfg = FlowConfig::fast();
+        let via_pipeline = Pipeline::new(cfg.clone()).run(&suite[0].0, &suite[0].1, binder);
+        let direct = flow::run_benchmark(&suite[0].0, &suite[0].1, binder, &cfg);
+        assert_eq!(via_pipeline.luts, direct.luts);
+        assert_eq!(via_pipeline.sa_queries, direct.sa_queries);
+        assert_eq!(
+            via_pipeline.power.total_transitions,
+            direct.power.total_transitions
+        );
+    }
+}

@@ -26,7 +26,10 @@ pub struct RegBindConfig {
 
 impl Default for RegBindConfig {
     fn default() -> Self {
-        RegBindConfig { lifetime: LifetimeOptions::default(), seed: 1 }
+        RegBindConfig {
+            lifetime: LifetimeOptions::default(),
+            seed: 1,
+        }
     }
 }
 
@@ -64,7 +67,11 @@ impl RegisterBinding {
     /// The variable feeding a given FU *port* (inverse of
     /// [`RegisterBinding::port_of`]).
     pub fn var_on_port(&self, cdfg: &Cdfg, op: OpId, port: usize) -> VarId {
-        let slot = if self.swap[op.index()] { 1 - port } else { port };
+        let slot = if self.swap[op.index()] {
+            1 - port
+        } else {
+            port
+        };
         cdfg.op(op).inputs[slot]
     }
 
@@ -186,9 +193,8 @@ pub fn bind_registers(cdfg: &Cdfg, sched: &Schedule, cfg: &RegBindConfig) -> Reg
             .collect();
         let matching = max_weight_matching(&weights);
         for (i, &v) in cluster.iter().enumerate() {
-            let r = matching[i].unwrap_or_else(|| {
-                panic!("register allocation too small for {v} born at {b}")
-            });
+            let r = matching[i]
+                .unwrap_or_else(|| panic!("register allocation too small for {v} born at {b}"));
             reg_of[v.index()] = r;
             reg_vars[r].push(v);
             let d = lt.death[v.index()];
@@ -198,7 +204,12 @@ pub fn bind_registers(cdfg: &Cdfg, sched: &Schedule, cfg: &RegBindConfig) -> Reg
 
     // Random operator-port binding (paper Section 5.1).
     let swap = random_ports(cdfg, cfg.seed);
-    RegisterBinding { num_regs, reg_of, swap, lifetimes: lt }
+    RegisterBinding {
+        num_regs,
+        reg_of,
+        swap,
+        lifetimes: lt,
+    }
 }
 
 fn random_ports(cdfg: &Cdfg, seed: u64) -> Vec<bool> {
@@ -235,7 +246,12 @@ pub fn bind_registers_left_edge(
         reg_max_death[r] = Some(reg_max_death[r].map_or(d, |m| m.max(d)));
     }
     let swap = random_ports(cdfg, cfg.seed);
-    RegisterBinding { num_regs, reg_of, swap, lifetimes: lt }
+    RegisterBinding {
+        num_regs,
+        reg_of,
+        swap,
+        lifetimes: lt,
+    }
 }
 
 #[cfg(test)]
@@ -322,9 +338,30 @@ mod tests {
             g.mark_output(v);
         }
         let s = asap(&g, &ResourceLibrary::default());
-        let rb1 = bind_registers(&g, &s, &RegBindConfig { seed: 7, ..Default::default() });
-        let rb2 = bind_registers(&g, &s, &RegBindConfig { seed: 7, ..Default::default() });
-        let rb3 = bind_registers(&g, &s, &RegBindConfig { seed: 8, ..Default::default() });
+        let rb1 = bind_registers(
+            &g,
+            &s,
+            &RegBindConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let rb2 = bind_registers(
+            &g,
+            &s,
+            &RegBindConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        );
+        let rb3 = bind_registers(
+            &g,
+            &s,
+            &RegBindConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(rb1.swap, rb2.swap, "same seed, same ports");
         assert_ne!(rb1.swap, rb3.swap, "different seed should differ");
         for op in subs {
@@ -344,7 +381,14 @@ mod tests {
         g.mark_output(v);
         let s = asap(&g, &ResourceLibrary::default());
         for seed in 0..6 {
-            let rb = bind_registers(&g, &s, &RegBindConfig { seed, ..Default::default() });
+            let rb = bind_registers(
+                &g,
+                &s,
+                &RegBindConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             for slot in 0..2 {
                 let port = rb.port_of(op, slot);
                 assert_eq!(rb.var_on_port(&g, op, port), g.op(op).inputs[slot]);
@@ -386,10 +430,10 @@ mod tests {
         let score = |rb: &RegisterBinding| -> usize {
             g.ops()
                 .filter(|(_, op)| {
-                    op.inputs
-                        .iter()
-                        .any(|&v| rb.reg_of[v.index()] != usize::MAX
-                            && rb.reg_of[v.index()] == rb.reg_of[op.output.index()])
+                    op.inputs.iter().any(|&v| {
+                        rb.reg_of[v.index()] != usize::MAX
+                            && rb.reg_of[v.index()] == rb.reg_of[op.output.index()]
+                    })
                 })
                 .count()
         };

@@ -17,6 +17,8 @@ use mapper::{map, MapConfig, MapObjective};
 use netlist::{cells, Netlist};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Builds the gate-level partial datapath of Figure 2: an `mux_a`-input
 /// word multiplexer into port A, an `mux_b`-input word multiplexer into
@@ -100,6 +102,24 @@ pub enum SaMode {
     ZeroDelayAblation,
 }
 
+/// A source of partial-datapath SA estimates for Eq. 4 edge weights.
+///
+/// Implemented by the single-threaded [`SaTable`], by
+/// [`SharedSaRef`] (a handle onto the cross-job [`SharedSaTable`]
+/// cache), and by counting adapters inside the flow. Binders take
+/// `&mut impl SaSource`, so the same algorithm runs against a private
+/// memo or a cache pooled across concurrent pipeline jobs.
+pub trait SaSource {
+    /// The estimated SA of the `(fu, mux_a, mux_b)` partial datapath.
+    fn sa(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64;
+}
+
+impl SaSource for SaTable {
+    fn sa(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
+        self.get(fu, mux_a, mux_b)
+    }
+}
+
 /// Memoized switching-activity table.
 ///
 /// # Examples
@@ -166,7 +186,7 @@ impl SaTable {
     /// The estimated SA of the `(fu, mux_a, mux_b)` partial datapath.
     pub fn get(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
         self.queries += 1;
-        let key = (fu, mux_a.min(u16::MAX as usize) as u16, mux_b.min(u16::MAX as usize) as u16);
+        let key = key(fu, mux_a, mux_b);
         match self.mode {
             SaMode::Dynamic => {
                 self.misses += 1;
@@ -184,6 +204,25 @@ impl SaTable {
         }
     }
 
+    /// The memoized value for `(fu, mux_a, mux_b)`, if present. Does not
+    /// compute on miss and does not touch the query counters.
+    pub fn lookup(&self, fu: FuType, mux_a: usize, mux_b: usize) -> Option<f64> {
+        self.entries.get(&key(fu, mux_a, mux_b)).copied()
+    }
+
+    /// Stores a value for `(fu, mux_a, mux_b)`, replacing any previous
+    /// entry. Used to seed a table from persisted or shared caches.
+    pub fn insert(&mut self, fu: FuType, mux_a: usize, mux_b: usize, sa: f64) {
+        self.entries.insert(key(fu, mux_a, mux_b), sa);
+    }
+
+    /// Iterates over all memoized entries as `(fu, mux_a, mux_b, sa)`.
+    pub fn entries(&self) -> impl Iterator<Item = (FuType, usize, usize, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|(&(fu, a, b), &sa)| (fu, a as usize, b as usize, sa))
+    }
+
     /// Precomputes all entries with mux sizes up to `max_size` (the
     /// paper's offline generation pass).
     pub fn precompute(&mut self, max_size: usize) {
@@ -196,7 +235,14 @@ impl SaTable {
         }
     }
 
+    /// The estimation mode the entries were computed under.
+    pub fn mode(&self) -> SaMode {
+        self.mode
+    }
+
     /// Serializes the table to the text format the paper stores on disk.
+    /// The header records width, LUT size, and estimation mode so loads
+    /// can refuse incompatible tables.
     pub fn to_text(&self) -> String {
         let mut lines: Vec<String> = self
             .entries
@@ -205,9 +251,10 @@ impl SaTable {
             .collect();
         lines.sort();
         format!(
-            "# hlpower SA table width={} k={}\n{}\n",
+            "# hlpower SA table width={} k={} mode={}\n{}\n",
             self.width,
             self.k,
+            mode_name(self.mode),
             lines.join("\n")
         )
     }
@@ -220,6 +267,7 @@ impl SaTable {
     pub fn from_text(text: &str) -> Result<Self, SaTableParseError> {
         let mut width = 16;
         let mut k = 4;
+        let mut mode = SaMode::Precalculated;
         let mut entries = HashMap::new();
         for (ln0, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -233,6 +281,9 @@ impl SaTable {
                     }
                     if let Some(kk) = tok.strip_prefix("k=") {
                         k = kk.parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+                    }
+                    if let Some(m) = tok.strip_prefix("mode=") {
+                        mode = mode_from_name(m).ok_or(SaTableParseError(ln0 + 1))?;
                     }
                 }
                 continue;
@@ -254,13 +305,243 @@ impl SaTable {
         Ok(SaTable {
             width,
             k,
-            mode: SaMode::Precalculated,
+            mode,
             entries,
             queries: 0,
             misses: 0,
         })
     }
 }
+
+fn mode_name(mode: SaMode) -> &'static str {
+    match mode {
+        SaMode::Precalculated => "precalculated",
+        SaMode::Dynamic => "dynamic",
+        SaMode::ZeroDelayAblation => "zero-delay",
+    }
+}
+
+fn mode_from_name(name: &str) -> Option<SaMode> {
+    match name {
+        "precalculated" => Some(SaMode::Precalculated),
+        "dynamic" => Some(SaMode::Dynamic),
+        "zero-delay" => Some(SaMode::ZeroDelayAblation),
+        _ => None,
+    }
+}
+
+fn key(fu: FuType, mux_a: usize, mux_b: usize) -> (FuType, u16, u16) {
+    (
+        fu,
+        mux_a.min(u16::MAX as usize) as u16,
+        mux_b.min(u16::MAX as usize) as u16,
+    )
+}
+
+/// Thread-safe SA memo shared by concurrent pipeline jobs.
+///
+/// The paper precomputes its SA hash table once and reuses it for every
+/// benchmark; this is the concurrent analogue — all HLPower jobs running
+/// under one [`crate::pipeline::Pipeline`] pool their partial-datapath
+/// estimates, so a `(fu, mux_a, mux_b)` shape is mapped, simulated, and
+/// estimated at most once per run no matter how many benchmark × binder
+/// jobs query it.
+///
+/// Lookups take a read lock; a miss computes **outside** any lock (the
+/// expensive map-and-estimate step runs concurrently) and then inserts
+/// under a short write lock. [`compute_sa`] is deterministic, so racing
+/// computations of the same key insert identical values and results never
+/// depend on job interleaving.
+///
+/// # Examples
+///
+/// ```
+/// use cdfg::FuType;
+/// use hlpower::satable::SharedSaTable;
+/// let t = SharedSaTable::new(4, 4);
+/// let a = t.get(FuType::AddSub, 2, 2);
+/// let b = t.get(FuType::AddSub, 2, 2);
+/// assert_eq!(a, b);
+/// assert_eq!(t.counters(), (2, 1), "second query hits the cache");
+/// ```
+#[derive(Debug)]
+pub struct SharedSaTable {
+    width: usize,
+    k: usize,
+    mode: SaMode,
+    entries: RwLock<HashMap<(FuType, u16, u16), f64>>,
+    queries: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedSaTable {
+    /// Creates an empty shared table for a datapath `width` and LUT size
+    /// `k`.
+    pub fn new(width: usize, k: usize) -> Self {
+        SharedSaTable {
+            width,
+            k,
+            mode: SaMode::Precalculated,
+            entries: RwLock::new(HashMap::new()),
+            queries: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the estimation mode (see [`SaMode`]).
+    pub fn with_mode(mut self, mode: SaMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Wraps the contents of a single-threaded table (e.g. one loaded
+    /// from disk with [`SaTable::from_text`]).
+    pub fn from_table(table: &SaTable) -> Self {
+        let shared = SharedSaTable::new(table.width, table.k).with_mode(table.mode);
+        shared
+            .absorb(table)
+            .expect("same width/k/mode by construction");
+        shared
+    }
+
+    /// Datapath width of the modeled partial datapaths.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The estimation mode of this cache.
+    pub fn mode(&self) -> SaMode {
+        self.mode
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("sa table lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(queries, cache misses)` counters across all jobs.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.queries.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The estimated SA of the `(fu, mux_a, mux_b)` partial datapath.
+    pub fn get(&self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key = key(fu, mux_a, mux_b);
+        if self.mode == SaMode::Dynamic {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compute_sa(fu, mux_a, mux_b, self.width, self.k, true);
+        }
+        if let Some(&sa) = self.entries.read().expect("sa table lock").get(&key) {
+            return sa;
+        }
+        // Compute outside the lock; a concurrent miss on the same key
+        // computes the identical value, so first-write-wins is fine.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let glitch = self.mode == SaMode::Precalculated;
+        let sa = compute_sa(fu, mux_a, mux_b, self.width, self.k, glitch);
+        *self
+            .entries
+            .write()
+            .expect("sa table lock")
+            .entry(key)
+            .or_insert(sa)
+    }
+
+    /// Copies all entries from a single-threaded table into the cache
+    /// (pre-seeding from a persisted table). Existing entries win.
+    /// Returns the number of entries actually inserted (entries the
+    /// cache already held are not counted).
+    ///
+    /// # Errors
+    ///
+    /// Refuses tables whose width, LUT size, or estimation mode differ
+    /// from this cache's — mixing estimates from incompatible models
+    /// would silently change Eq. 4 edge weights and break run-to-run
+    /// reproducibility.
+    pub fn absorb(&self, table: &SaTable) -> Result<usize, SaTableMismatch> {
+        if table.width != self.width || table.k != self.k || table.mode != self.mode {
+            return Err(SaTableMismatch {
+                expected: (self.width, self.k, self.mode),
+                found: (table.width, table.k, table.mode),
+            });
+        }
+        let mut entries = self.entries.write().expect("sa table lock");
+        let mut absorbed = 0;
+        for (&k, &sa) in &table.entries {
+            if let std::collections::hash_map::Entry::Vacant(slot) = entries.entry(k) {
+                slot.insert(sa);
+                absorbed += 1;
+            }
+        }
+        Ok(absorbed)
+    }
+
+    /// A point-in-time copy as a single-threaded [`SaTable`] — the bridge
+    /// to [`SaTable::to_text`] persistence.
+    pub fn snapshot(&self) -> SaTable {
+        let (queries, misses) = self.counters();
+        SaTable {
+            width: self.width,
+            k: self.k,
+            mode: self.mode,
+            entries: self.entries.read().expect("sa table lock").clone(),
+            queries,
+            misses,
+        }
+    }
+
+    /// A [`SaSource`] handle usable wherever a binder wants `&mut impl
+    /// SaSource`.
+    pub fn handle(&self) -> SharedSaRef<'_> {
+        SharedSaRef(self)
+    }
+}
+
+/// Borrowed [`SaSource`] view of a [`SharedSaTable`].
+#[derive(Clone, Copy, Debug)]
+pub struct SharedSaRef<'a>(pub &'a SharedSaTable);
+
+impl SaSource for SharedSaRef<'_> {
+    fn sa(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
+        self.0.get(fu, mux_a, mux_b)
+    }
+}
+
+/// Rejection of an incompatible table in [`SharedSaTable::absorb`]:
+/// `(width, k, mode)` expected by the cache vs found in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaTableMismatch {
+    /// The cache's `(width, k, mode)`.
+    pub expected: (usize, usize, SaMode),
+    /// The offered table's `(width, k, mode)`.
+    pub found: (usize, usize, SaMode),
+}
+
+impl fmt::Display for SaTableMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible SA table: cache is width={} k={} mode={}, table is width={} k={} mode={}",
+            self.expected.0,
+            self.expected.1,
+            mode_name(self.expected.2),
+            self.found.0,
+            self.found.1,
+            mode_name(self.found.2),
+        )
+    }
+}
+
+impl std::error::Error for SaTableMismatch {}
 
 /// Parse error for [`SaTable::from_text`] (1-based line number).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -424,9 +705,93 @@ mod tests {
     }
 
     #[test]
+    fn shared_table_pools_across_threads() {
+        let t = SharedSaTable::new(4, 4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (a, b) in [(1, 1), (2, 1), (2, 2)] {
+                        t.get(FuType::AddSub, a, b);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 3, "three distinct shapes memoized");
+        let (queries, _) = t.counters();
+        assert_eq!(queries, 12, "every thread's queries are counted");
+        // Values agree with a private table.
+        let mut local = SaTable::new(4, 4);
+        assert_eq!(t.get(FuType::AddSub, 2, 2), local.get(FuType::AddSub, 2, 2));
+    }
+
+    #[test]
+    fn shared_table_snapshot_and_absorb_roundtrip() {
+        let shared = SharedSaTable::new(4, 4);
+        shared.get(FuType::AddSub, 2, 2);
+        shared.get(FuType::Mul, 1, 2);
+        let snap = shared.snapshot();
+        assert_eq!(snap.len(), 2);
+        // Through the text format and back into a fresh shared cache.
+        let restored = SaTable::from_text(&snap.to_text()).unwrap();
+        let back = SharedSaTable::from_table(&restored);
+        assert_eq!(back.len(), 2);
+        let v = back.get(FuType::AddSub, 2, 2);
+        assert!((v - shared.get(FuType::AddSub, 2, 2)).abs() < 1e-5);
+        let (_, misses) = back.counters();
+        assert_eq!(misses, 0, "absorbed entries must not recompute");
+    }
+
+    #[test]
+    fn shared_ref_is_a_sa_source() {
+        fn takes_source(src: &mut impl SaSource) -> f64 {
+            src.sa(FuType::AddSub, 2, 2)
+        }
+        let shared = SharedSaTable::new(4, 4);
+        let mut handle = shared.handle();
+        let a = takes_source(&mut handle);
+        let mut local = SaTable::new(4, 4);
+        assert_eq!(a, takes_source(&mut local));
+    }
+
+    #[test]
     fn from_text_rejects_garbage() {
         assert!(SaTable::from_text("addsub 1 1\n").is_err());
         assert!(SaTable::from_text("div 1 1 3.0\n").is_err());
         assert!(SaTable::from_text("addsub x 1 3.0\n").is_err());
+        assert!(SaTable::from_text("# mode=sideways\n").is_err());
+    }
+
+    #[test]
+    fn mode_roundtrips_through_text() {
+        let mut zd = SaTable::new(4, 4).with_mode(SaMode::ZeroDelayAblation);
+        zd.get(FuType::AddSub, 2, 2);
+        let text = zd.to_text();
+        assert!(text.contains("mode=zero-delay"));
+        let back = SaTable::from_text(&text).unwrap();
+        assert_eq!(back.mode(), SaMode::ZeroDelayAblation);
+        // Legacy headers without a mode token default to precalculated.
+        let legacy = SaTable::from_text("# hlpower SA table width=4 k=4\naddsub 1 1 2.0\n");
+        assert_eq!(legacy.unwrap().mode(), SaMode::Precalculated);
+    }
+
+    #[test]
+    fn absorb_refuses_mismatched_tables() {
+        let cache = SharedSaTable::new(4, 4);
+        let mut narrow = SaTable::new(4, 4);
+        narrow.get(FuType::AddSub, 1, 1);
+        assert_eq!(cache.absorb(&narrow), Ok(1));
+        assert_eq!(
+            cache.absorb(&narrow),
+            Ok(0),
+            "already-present entries are not counted as absorbed"
+        );
+        let mut wide = SaTable::new(8, 4);
+        wide.get(FuType::AddSub, 1, 1);
+        let err = cache.absorb(&wide).unwrap_err();
+        assert_eq!(err.expected.0, 4);
+        assert_eq!(err.found.0, 8);
+        let zd = SaTable::new(4, 4).with_mode(SaMode::ZeroDelayAblation);
+        assert!(cache.absorb(&zd).is_err(), "mode mismatch must be refused");
+        assert_eq!(cache.len(), 1, "failed absorbs must not modify the cache");
     }
 }

@@ -22,9 +22,15 @@ pub fn write_vhdl(dp: &Datapath) -> String {
     let nl = &dp.netlist;
     let mut out = String::new();
     out.push_str("library ieee;\nuse ieee.std_logic_1164.all;\n\n");
-    out.push_str(&format!("entity {} is\n  port (\n    clk : in std_logic", sanitize(nl.name())));
+    out.push_str(&format!(
+        "entity {} is\n  port (\n    clk : in std_logic",
+        sanitize(nl.name())
+    ));
     for &i in nl.inputs() {
-        out.push_str(&format!(";\n    {} : in std_logic", sanitize(&nl.node(i).name)));
+        out.push_str(&format!(
+            ";\n    {} : in std_logic",
+            sanitize(&nl.node(i).name)
+        ));
     }
     for (port, _) in nl.outputs() {
         out.push_str(&format!(";\n    {} : out std_logic", sanitize(port)));
@@ -32,7 +38,10 @@ pub fn write_vhdl(dp: &Datapath) -> String {
     out.push_str("\n  );\nend entity;\n\n");
     out.push_str(&format!("architecture rtl of {} is\n", sanitize(nl.name())));
     for (id, node) in nl.nodes() {
-        if matches!(node.kind, NodeKind::Logic { .. } | NodeKind::Latch { .. } | NodeKind::Constant(_)) {
+        if matches!(
+            node.kind,
+            NodeKind::Logic { .. } | NodeKind::Latch { .. } | NodeKind::Constant(_)
+        ) {
             out.push_str(&format!("  signal {} : std_logic;\n", net(nl, id)));
         }
     }
@@ -41,10 +50,18 @@ pub fn write_vhdl(dp: &Datapath) -> String {
     for (id, node) in nl.nodes() {
         match &node.kind {
             NodeKind::Constant(v) => {
-                out.push_str(&format!("  {} <= '{}';\n", net(nl, id), if *v { 1 } else { 0 }));
+                out.push_str(&format!(
+                    "  {} <= '{}';\n",
+                    net(nl, id),
+                    if *v { 1 } else { 0 }
+                ));
             }
             NodeKind::Logic { fanins, table } => {
-                out.push_str(&format!("  {} <= {};\n", net(nl, id), sop(nl, fanins, table)));
+                out.push_str(&format!(
+                    "  {} <= {};\n",
+                    net(nl, id),
+                    sop(nl, fanins, table)
+                ));
             }
             _ => {}
         }
@@ -54,11 +71,7 @@ pub fn write_vhdl(dp: &Datapath) -> String {
         out.push_str("  regs : process (clk)\n  begin\n    if rising_edge(clk) then\n");
         for &l in nl.latches() {
             if let NodeKind::Latch { data, .. } = &nl.node(l).kind {
-                out.push_str(&format!(
-                    "      {} <= {};\n",
-                    net(nl, l),
-                    net(nl, *data)
-                ));
+                out.push_str(&format!("      {} <= {};\n", net(nl, l), net(nl, *data)));
             }
         }
         out.push_str("    end if;\n  end process;\n");
@@ -159,7 +172,10 @@ mod tests {
     fn vhdl_signal_count_matches_netlist() {
         let dp = small_datapath();
         let v = write_vhdl(&dp);
-        let signal_lines = v.lines().filter(|l| l.trim_start().starts_with("signal ")).count();
+        let signal_lines = v
+            .lines()
+            .filter(|l| l.trim_start().starts_with("signal "))
+            .count();
         let expected = dp
             .netlist
             .nodes()

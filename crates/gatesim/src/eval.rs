@@ -45,7 +45,11 @@ impl<'a> Evaluator<'a> {
     pub fn new(nl: &'a Netlist) -> Self {
         nl.check().expect("evaluator input must be a valid netlist");
         let order = nl.topo_order();
-        let mut ev = Evaluator { nl, order, values: vec![false; nl.num_nodes()] };
+        let mut ev = Evaluator {
+            nl,
+            order,
+            values: vec![false; nl.num_nodes()],
+        };
         ev.reset();
         ev
     }
@@ -122,9 +126,9 @@ impl<'a> Evaluator<'a> {
 
     /// Reads a little-endian word of node values.
     pub fn word(&self, bits: &[NodeId]) -> u64 {
-        bits.iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &b)| acc | ((self.values[b.index()] as u64) << i))
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| {
+            acc | ((self.values[b.index()] as u64) << i)
+        })
     }
 
     /// Snapshot of all node values (indexed by node id).

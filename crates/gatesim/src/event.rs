@@ -100,7 +100,10 @@ impl<'a> CycleSim<'a> {
             fanouts: nl.fanouts(),
             cycle_start: values.clone(),
             values,
-            stats: SimStats { per_node: vec![0; nl.num_nodes()], ..SimStats::default() },
+            stats: SimStats {
+                per_node: vec![0; nl.num_nodes()],
+                ..SimStats::default()
+            },
             wheel: vec![Vec::new(); depth + 2],
             scheduled_at: vec![u32::MAX; nl.num_nodes()],
             touched: Vec::new(),
@@ -120,9 +123,9 @@ impl<'a> CycleSim<'a> {
 
     /// Reads a little-endian word of node values.
     pub fn word(&self, bits: &[NodeId]) -> u64 {
-        bits.iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &b)| acc | ((self.values[b.index()] as u64) << i))
+        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| {
+            acc | ((self.values[b.index()] as u64) << i)
+        })
     }
 
     /// Runs one clock cycle with the given primary-input vector (one bool
@@ -362,7 +365,9 @@ mod tests {
         let mut sim = CycleSim::new(&nl);
         let mut rng_state = 12345u64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng_state >> 33
         };
         for _ in 0..50 {
@@ -375,10 +380,7 @@ mod tests {
             stats.total_transitions,
             stats.functional_transitions + stats.glitch_transitions
         );
-        assert_eq!(
-            stats.per_node.iter().sum::<u64>(),
-            stats.total_transitions
-        );
+        assert_eq!(stats.per_node.iter().sum::<u64>(), stats.total_transitions);
         assert_eq!(stats.cycles, 50);
         assert!(stats.mean_activity() > 0.0);
     }

@@ -140,11 +140,16 @@ mod tests {
         let vcd = dump_vcd(&nl, &vectors, Some(&state.q));
         assert!(vcd.contains("$var reg 1 ! q_q0 $end"));
         // q0 toggles every cycle: one change line per timestep.
-        let q0_changes = vcd.lines().filter(|l| l.ends_with('!') && l.len() <= 2).count();
+        let q0_changes = vcd
+            .lines()
+            .filter(|l| l.ends_with('!') && l.len() <= 2)
+            .count();
         assert_eq!(q0_changes, 6, "{vcd}");
         // q1 toggles every other cycle.
-        let q1_changes =
-            vcd.lines().filter(|l| l.ends_with('"') && l.len() <= 2).count();
+        let q1_changes = vcd
+            .lines()
+            .filter(|l| l.ends_with('"') && l.len() <= 2)
+            .count();
         assert_eq!(q1_changes, 3);
     }
 

@@ -20,7 +20,9 @@ pub struct VectorSource {
 impl VectorSource {
     /// Creates a source from a seed.
     pub fn new(seed: u64) -> Self {
-        VectorSource { rng: StdRng::seed_from_u64(seed) }
+        VectorSource {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws a vector of `n` uniform random bits.
@@ -66,11 +68,7 @@ pub fn run_random(nl: &Netlist, cycles: u64, seed: u64) -> SimStats {
 /// Simulates `cycles` clock cycles, asking `drive` to fill each cycle's
 /// primary-input vector (`drive(cycle_index, &mut vector)`), and returns
 /// the cumulative statistics.
-pub fn run_with(
-    nl: &Netlist,
-    cycles: u64,
-    mut drive: impl FnMut(u64, &mut [bool]),
-) -> SimStats {
+pub fn run_with(nl: &Netlist, cycles: u64, mut drive: impl FnMut(u64, &mut [bool])) -> SimStats {
     let mut sim = CycleSim::new(nl);
     let mut vector = vec![false; nl.inputs().len()];
     for c in 0..cycles {
@@ -107,8 +105,7 @@ mod tests {
         assert_eq!(stats.cycles, 200);
         assert!(stats.total_transitions > 0);
         // PI switching should be close to 0.5 per input per cycle.
-        let pi_toggles: u64 =
-            nl.inputs().iter().map(|i| stats.per_node[i.index()]).sum();
+        let pi_toggles: u64 = nl.inputs().iter().map(|i| stats.per_node[i.index()]).sum();
         let rate = pi_toggles as f64 / (200.0 * 8.0);
         assert!((rate - 0.5).abs() < 0.1, "PI toggle rate {rate}");
     }

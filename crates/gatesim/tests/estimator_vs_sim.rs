@@ -99,8 +99,9 @@ fn mux_balance_ranking_agrees_with_simulation() {
         let inputs: Vec<netlist::Bus> = (0..6)
             .map(|k| (0..w).map(|i| nl.add_input(format!("in{k}_{i}"))).collect())
             .collect();
-        let sels: Vec<NodeId> =
-            (0..cells::mux_select_bits(6)).map(|i| nl.add_input(format!("s{i}"))).collect();
+        let sels: Vec<NodeId> = (0..cells::mux_select_bits(6))
+            .map(|i| nl.add_input(format!("s{i}")))
+            .collect();
         let out = if chain {
             cells::mux_chain(&mut nl, "m", &sels, &inputs)
         } else {

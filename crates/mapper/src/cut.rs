@@ -22,12 +22,18 @@ pub struct Cut {
 impl Cut {
     /// The trivial cut `{n}`.
     pub fn trivial(n: NodeId) -> Self {
-        Cut { leaves: vec![n], sig: 1u64 << (n.0 % 64) }
+        Cut {
+            leaves: vec![n],
+            sig: 1u64 << (n.0 % 64),
+        }
     }
 
     /// The empty cut (used for constant nodes).
     pub fn empty() -> Self {
-        Cut { leaves: Vec::new(), sig: 0 }
+        Cut {
+            leaves: Vec::new(),
+            sig: 0,
+        }
     }
 
     /// Sorted leaves.
@@ -76,7 +82,10 @@ impl Cut {
             return None;
         }
         let sig = self.sig | other.sig;
-        Some(Cut { leaves: merged, sig })
+        Some(Cut {
+            leaves: merged,
+            sig,
+        })
     }
 
     /// True if `self`'s leaves are a subset of `other`'s (so `self`
@@ -189,7 +198,11 @@ pub fn enumerate_cuts(nl: &Netlist, cfg: &CutConfig) -> CutSets {
 }
 
 fn sort_cuts(cuts: &mut [Cut]) {
-    cuts.sort_by(|a, b| a.size().cmp(&b.size()).then_with(|| a.leaves.cmp(&b.leaves)));
+    cuts.sort_by(|a, b| {
+        a.size()
+            .cmp(&b.size())
+            .then_with(|| a.leaves.cmp(&b.leaves))
+    });
 }
 
 fn insert_pruned(set: &mut Vec<Cut>, cut: Cut) {
@@ -344,11 +357,17 @@ mod tests {
 
     #[test]
     fn merge_respects_k() {
-        let a: Cut = Cut::trivial(NodeId(1)).merge(&Cut::trivial(NodeId(2)), 4).unwrap();
-        let b: Cut = Cut::trivial(NodeId(3)).merge(&Cut::trivial(NodeId(4)), 4).unwrap();
+        let a: Cut = Cut::trivial(NodeId(1))
+            .merge(&Cut::trivial(NodeId(2)), 4)
+            .unwrap();
+        let b: Cut = Cut::trivial(NodeId(3))
+            .merge(&Cut::trivial(NodeId(4)), 4)
+            .unwrap();
         assert!(a.merge(&b, 4).is_some());
         assert!(a.merge(&b, 3).is_none());
-        let shared = Cut::trivial(NodeId(1)).merge(&Cut::trivial(NodeId(3)), 4).unwrap();
+        let shared = Cut::trivial(NodeId(1))
+            .merge(&Cut::trivial(NodeId(3)), 4)
+            .unwrap();
         // {1,2} U {1,3} = {1,2,3}
         let m = a.merge(&shared, 3).unwrap();
         assert_eq!(m.size(), 3);
@@ -366,8 +385,7 @@ mod tests {
         let table = cut_function(&nl, f, global);
         // leaves sorted = [a, b, c, d]
         for row in 0..16u32 {
-            let (a, b, c, d) =
-                (row & 1 != 0, row & 2 != 0, row & 4 != 0, row & 8 != 0);
+            let (a, b, c, d) = (row & 1 != 0, row & 2 != 0, row & 4 != 0, row & 8 != 0);
             assert_eq!(table.get(row), (a && b) != (c || d), "row {row}");
         }
     }

@@ -57,7 +57,10 @@ impl MapConfig {
     /// Convenience constructor for a given LUT size and objective.
     pub fn new(k: usize, objective: MapObjective) -> Self {
         MapConfig {
-            cuts: CutConfig { k, ..CutConfig::default() },
+            cuts: CutConfig {
+                k,
+                ..CutConfig::default()
+            },
             objective,
             source_stats: SignalStats::PRIMARY_INPUT,
         }
@@ -164,7 +167,12 @@ fn choose_cuts(nl: &Netlist, cuts: &CutSets, cfg: &MapConfig) -> Choice {
 }
 
 fn cut_depth(cut: &Cut, depth: &[u32]) -> u32 {
-    1 + cut.leaves().iter().map(|l| depth[l.index()]).max().unwrap_or(0)
+    1 + cut
+        .leaves()
+        .iter()
+        .map(|l| depth[l.index()])
+        .max()
+        .unwrap_or(0)
 }
 
 fn cut_area_flow(cut: &Cut, area_flow: &[f64], fanouts: &[f64]) -> f64 {
@@ -186,8 +194,7 @@ fn cut_sa(
     fanouts: &[f64],
 ) -> (TimedSignal, f64) {
     let table = cut_function(nl, root, cut);
-    let leaf_sigs: Vec<&TimedSignal> =
-        cut.leaves().iter().map(|l| &signals[l.index()]).collect();
+    let leaf_sigs: Vec<&TimedSignal> = cut.leaves().iter().map(|l| &signals[l.index()]).collect();
     let sig = propagate(&table, &leaf_sigs);
     let own = sig.total_activity();
     let flow = own
@@ -199,12 +206,7 @@ fn cut_sa(
     (sig, flow)
 }
 
-fn build_cover(
-    nl: &Netlist,
-    cuts: &CutSets,
-    choice: &Choice,
-    cfg: &MapConfig,
-) -> MappedNetlist {
+fn build_cover(nl: &Netlist, cuts: &CutSets, choice: &Choice, cfg: &MapConfig) -> MappedNetlist {
     // Roots: primary outputs and latch data drivers.
     let mut required = vec![false; nl.num_nodes()];
     let mut stack: Vec<NodeId> = Vec::new();
@@ -286,7 +288,10 @@ fn build_cover(
 
     let report = activity::analyze(
         &out,
-        &ActivityConfig { default_source: cfg.source_stats, overrides: HashMap::new() },
+        &ActivityConfig {
+            default_source: cfg.source_stats,
+            overrides: HashMap::new(),
+        },
     );
     let stats = MapStats {
         luts,
@@ -295,7 +300,10 @@ fn build_cover(
         estimated_glitch_sa: report.glitch_sa,
         registers: out.num_latches(),
     };
-    MappedNetlist { netlist: out, stats }
+    MappedNetlist {
+        netlist: out,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +350,11 @@ mod tests {
     fn mapping_preserves_function() {
         let w = 5;
         let (nl, a, b, _) = adder_netlist(w);
-        for obj in [MapObjective::Depth, MapObjective::AreaFlow, MapObjective::GlitchSa] {
+        for obj in [
+            MapObjective::Depth,
+            MapObjective::AreaFlow,
+            MapObjective::GlitchSa,
+        ] {
             let mapped = map(&nl, &MapConfig::new(4, obj));
             let m = &mapped.netlist;
             for (x, y) in [(0u64, 0u64), (3, 7), (31, 31), (21, 13), (30, 1)] {

@@ -118,7 +118,10 @@ impl Cover {
     pub fn to_table(&self) -> Result<TruthTable, BlifError> {
         let n = self.inputs.len();
         if n > crate::truth::MAX_INPUTS {
-            return Err(BlifError::TooManyInputs { net: self.output.clone(), inputs: n });
+            return Err(BlifError::TooManyInputs {
+                net: self.output.clone(),
+                inputs: n,
+            });
         }
         let cubes: Vec<(u32, u32)> = self
             .cubes
@@ -244,7 +247,10 @@ pub fn parse_blif(text: &str) -> Result<BlifFile, BlifError> {
         lines.push((ln, s));
     }
 
-    let mut file = BlifFile { models: Vec::new(), searches: Vec::new() };
+    let mut file = BlifFile {
+        models: Vec::new(),
+        searches: Vec::new(),
+    };
     let mut current: Option<BlifModel> = None;
     let mut open_cover: Option<Cover> = None;
 
@@ -304,10 +310,16 @@ pub fn parse_blif(text: &str) -> Result<BlifFile, BlifError> {
                         });
                     }
                     let output = rest[rest.len() - 1].to_string();
-                    let inputs =
-                        rest[..rest.len() - 1].iter().map(|s| s.to_string()).collect();
-                    open_cover =
-                        Some(Cover { inputs, output, cubes: Vec::new(), on_set: true });
+                    let inputs = rest[..rest.len() - 1]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect();
+                    open_cover = Some(Cover {
+                        inputs,
+                        output,
+                        cubes: Vec::new(),
+                        on_set: true,
+                    });
                 }
                 "latch" => {
                     let m = current.as_mut().ok_or(BlifError::Syntax {
@@ -348,7 +360,10 @@ pub fn parse_blif(text: &str) -> Result<BlifFile, BlifError> {
                         })?;
                         bindings.push((f.to_string(), a.to_string()));
                     }
-                    m.subckts.push(SubcktRef { model: rest[0].to_string(), bindings });
+                    m.subckts.push(SubcktRef {
+                        model: rest[0].to_string(),
+                        bindings,
+                    });
                 }
                 "search" => {
                     file.searches.extend(rest.iter().map(|s| s.to_string()));
@@ -422,8 +437,14 @@ pub fn parse_blif(text: &str) -> Result<BlifFile, BlifError> {
 /// How a net is produced, gathered during flattening.
 enum NetDef {
     Input,
-    Cover { fanins: Vec<String>, table: TruthTable },
-    LatchOut { data: String, init: bool },
+    Cover {
+        fanins: Vec<String>,
+        table: TruthTable,
+    },
+    LatchOut {
+        data: String,
+        init: bool,
+    },
 }
 
 impl BlifFile {
@@ -440,19 +461,16 @@ impl BlifFile {
     ///
     /// Reports unknown models, undefined or redefined nets, bad pins, and
     /// combinational loops.
-    pub fn flatten(
-        &self,
-        top: Option<&str>,
-        extra: &[BlifModel],
-    ) -> Result<Netlist, BlifError> {
+    pub fn flatten(&self, top: Option<&str>, extra: &[BlifModel]) -> Result<Netlist, BlifError> {
         let top_model = match top {
             Some(name) => self
                 .model(name)
                 .or_else(|| extra.iter().find(|m| m.name == name))
                 .ok_or_else(|| BlifError::UnknownModel(name.to_string()))?,
-            None => self.models.first().ok_or_else(|| {
-                BlifError::UnknownModel("<empty file>".to_string())
-            })?,
+            None => self
+                .models
+                .first()
+                .ok_or_else(|| BlifError::UnknownModel("<empty file>".to_string()))?,
         };
         let lookup = |name: &str| -> Option<&BlifModel> {
             self.models
@@ -535,7 +553,10 @@ fn collect_model<'a>(
             .insert(out.clone(), NetDef::Cover { fanins, table })
             .is_some()
         {
-            return Err(BlifError::Redefined { model: model.name.clone(), net: out });
+            return Err(BlifError::Redefined {
+                model: model.name.clone(),
+                net: out,
+            });
         }
     }
     for latch in &model.latches {
@@ -543,16 +564,21 @@ fn collect_model<'a>(
         if defs
             .insert(
                 out.clone(),
-                NetDef::LatchOut { data: qualify(&latch.input), init: latch.init },
+                NetDef::LatchOut {
+                    data: qualify(&latch.input),
+                    init: latch.init,
+                },
             )
             .is_some()
         {
-            return Err(BlifError::Redefined { model: model.name.clone(), net: out });
+            return Err(BlifError::Redefined {
+                model: model.name.clone(),
+                net: out,
+            });
         }
     }
     for sub in &model.subckts {
-        let child = lookup(&sub.model)
-            .ok_or_else(|| BlifError::UnknownModel(sub.model.clone()))?;
+        let child = lookup(&sub.model).ok_or_else(|| BlifError::UnknownModel(sub.model.clone()))?;
         *instance_counter += 1;
         let child_prefix = format!("{prefix}u{instance_counter}.");
         // Formal->actual bindings become buffer covers on the boundary:
@@ -637,19 +663,16 @@ fn build_net(
                 });
             }
             NetDef::Cover { fanins, table } => {
-                if child_idx == 0
-                    && visiting.insert(cur.clone(), true) == Some(true) {
-                        return Err(BlifError::CombinationalLoop { net: cur });
-                    }
+                if child_idx == 0 && visiting.insert(cur.clone(), true) == Some(true) {
+                    return Err(BlifError::CombinationalLoop { net: cur });
+                }
                 if let Some(next) = fanins.get(child_idx) {
                     stack.push((cur.clone(), child_idx + 1));
                     if !ids.contains_key(next) {
                         match defs.get(next) {
                             Some(NetDef::Cover { .. }) => {
                                 if visiting.get(next) == Some(&true) {
-                                    return Err(BlifError::CombinationalLoop {
-                                        net: next.clone(),
-                                    });
+                                    return Err(BlifError::CombinationalLoop { net: next.clone() });
                                 }
                                 stack.push((next.clone(), 0));
                             }
@@ -938,7 +961,10 @@ mod tests {
     #[test]
     fn mixed_cover_rejected() {
         let text = ".model t\n.inputs a b\n.outputs o\n.names a b o\n11 1\n00 0\n.end\n";
-        assert!(matches!(parse_blif(text), Err(BlifError::MixedCover { .. })));
+        assert!(matches!(
+            parse_blif(text),
+            Err(BlifError::MixedCover { .. })
+        ));
     }
 
     #[test]

@@ -89,7 +89,10 @@ fn reduce_tree(
     inputs: &[NodeId],
     mut gate: impl FnMut(&mut Netlist, &str, &[NodeId]) -> NodeId,
 ) -> NodeId {
-    assert!(!inputs.is_empty(), "reduction tree needs at least one input");
+    assert!(
+        !inputs.is_empty(),
+        "reduction tree needs at least one input"
+    );
     let mut layer: Vec<NodeId> = inputs.to_vec();
     while layer.len() > 1 {
         let mut next = Vec::with_capacity(layer.len().div_ceil(3));
@@ -288,8 +291,11 @@ pub fn array_multiplier(nl: &mut Netlist, prefix: &str, a: &Bus, b: &Bus) -> Bus
     // Partial products needed for the low W bits: pp[i][j] with i+j < W.
     let mut pp: Vec<Vec<NodeId>> = Vec::with_capacity(w);
     for (i, &bi) in b.iter().enumerate() {
-        let row: Vec<NodeId> =
-            a[..w - i].to_vec().iter().map(|&aj| and2(nl, prefix, aj, bi)).collect();
+        let row: Vec<NodeId> = a[..w - i]
+            .to_vec()
+            .iter()
+            .map(|&aj| and2(nl, prefix, aj, bi))
+            .collect();
         pp.push(row);
     }
     // Carry-save accumulation. sums[j]/carries[j] are the bit of weight j.
@@ -322,8 +328,7 @@ pub fn array_multiplier(nl: &mut Netlist, prefix: &str, a: &Bus, b: &Bus) -> Bus
                 _ => {
                     new_sums[j] = Some(xor3(nl, prefix, bits[0], bits[1], bits[2]));
                     if j + 1 < w {
-                        new_carries[j + 1] =
-                            Some(maj3(nl, prefix, bits[0], bits[1], bits[2]));
+                        new_carries[j + 1] = Some(maj3(nl, prefix, bits[0], bits[1], bits[2]));
                     }
                 }
             }
@@ -382,7 +387,10 @@ pub fn register_word(nl: &mut Netlist, prefix: &str, width: usize, init: u64) ->
             nl.add_latch(name, (init >> i) & 1 == 1)
         })
         .collect();
-    RegisterWord { q: latches.clone(), latches }
+    RegisterWord {
+        q: latches.clone(),
+        latches,
+    }
 }
 
 /// Connects a register's data inputs through a write-enable: when `en` is
@@ -443,7 +451,9 @@ mod tests {
     }
 
     fn input_word(nl: &mut Netlist, name: &str, width: usize) -> Bus {
-        (0..width).map(|i| nl.add_input(format!("{name}{i}"))).collect()
+        (0..width)
+            .map(|i| nl.add_input(format!("{name}{i}")))
+            .collect()
     }
 
     fn bind_word(bus: &Bus, value: u64) -> Vec<(NodeId, bool)> {
@@ -550,11 +560,13 @@ mod tests {
         for n in [1usize, 2, 3, 5, 8, 11] {
             let w = 4;
             let mut nl = Netlist::new("m");
-            let inputs: Vec<Bus> =
-                (0..n).map(|k| input_word(&mut nl, &format!("in{k}_"), w)).collect();
+            let inputs: Vec<Bus> = (0..n)
+                .map(|k| input_word(&mut nl, &format!("in{k}_"), w))
+                .collect();
             let sel_bits = mux_select_bits(n);
-            let sels: Vec<NodeId> =
-                (0..sel_bits.max(1)).map(|i| nl.add_input(format!("s{i}"))).collect();
+            let sels: Vec<NodeId> = (0..sel_bits.max(1))
+                .map(|i| nl.add_input(format!("s{i}")))
+                .collect();
             let out = mux_tree(&mut nl, "mx", &sels, &inputs);
             nl.check().unwrap();
             for k in 0..n {
@@ -576,10 +588,12 @@ mod tests {
         let n = 5;
         let w = 3;
         let mut nl = Netlist::new("mc");
-        let inputs: Vec<Bus> =
-            (0..n).map(|k| input_word(&mut nl, &format!("in{k}_"), w)).collect();
-        let sels: Vec<NodeId> =
-            (0..mux_select_bits(n)).map(|i| nl.add_input(format!("s{i}"))).collect();
+        let inputs: Vec<Bus> = (0..n)
+            .map(|k| input_word(&mut nl, &format!("in{k}_"), w))
+            .collect();
+        let sels: Vec<NodeId> = (0..mux_select_bits(n))
+            .map(|i| nl.add_input(format!("s{i}")))
+            .collect();
         let out = mux_chain(&mut nl, "mx", &sels, &inputs);
         nl.check().unwrap();
         for k in 0..n {

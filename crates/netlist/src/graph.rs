@@ -105,7 +105,11 @@ impl fmt::Display for NetlistError {
             NetlistError::DanglingFanin { node, fanin } => {
                 write!(f, "node `{node}` has dangling fanin id {fanin}")
             }
-            NetlistError::ArityMismatch { node, fanins, table_inputs } => write!(
+            NetlistError::ArityMismatch {
+                node,
+                fanins,
+                table_inputs,
+            } => write!(
                 f,
                 "node `{node}` has {fanins} fanins but a {table_inputs}-input table"
             ),
@@ -220,7 +224,13 @@ impl Netlist {
     /// [`Netlist::set_latch_data`] (needed for feedback paths such as
     /// enable-registers).
     pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> NodeId {
-        let id = self.push(name.into(), NodeKind::Latch { data: UNCONNECTED, init });
+        let id = self.push(
+            name.into(),
+            NodeKind::Latch {
+                data: UNCONNECTED,
+                init,
+            },
+        );
         self.latches.push(id);
         id
     }
@@ -254,7 +264,10 @@ impl Netlist {
 
     /// All nodes in id order.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Primary inputs in declaration order.
@@ -282,9 +295,7 @@ impl Netlist {
     pub fn fanins(&self, id: NodeId) -> &[NodeId] {
         match &self.nodes[id.index()].kind {
             NodeKind::Logic { fanins, .. } => fanins,
-            NodeKind::Latch { data, .. } if *data != UNCONNECTED => {
-                std::slice::from_ref(data)
-            }
+            NodeKind::Latch { data, .. } if *data != UNCONNECTED => std::slice::from_ref(data),
             _ => &[],
         }
     }
@@ -437,8 +448,7 @@ impl Netlist {
         let mut level = vec![0u32; self.nodes.len()];
         for id in self.topo_order() {
             if let NodeKind::Logic { fanins, .. } = &self.nodes[id.index()].kind {
-                level[id.index()] =
-                    1 + fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0);
+                level[id.index()] = 1 + fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0);
             }
         }
         level
@@ -532,10 +542,9 @@ impl Netlist {
                         *f = remap[f.index()];
                     }
                 }
-                NodeKind::Latch { data, .. }
-                    if *data != UNCONNECTED => {
-                        *data = remap[data.index()];
-                    }
+                NodeKind::Latch { data, .. } if *data != UNCONNECTED => {
+                    *data = remap[data.index()];
+                }
                 _ => {}
             }
         }

@@ -52,7 +52,10 @@ impl TruthTable {
     ///
     /// Panics if `n > MAX_INPUTS`.
     pub fn from_fn<F: FnMut(u32) -> bool>(n: usize, mut f: F) -> Self {
-        assert!(n <= MAX_INPUTS, "truth table limited to {MAX_INPUTS} inputs, got {n}");
+        assert!(
+            n <= MAX_INPUTS,
+            "truth table limited to {MAX_INPUTS} inputs, got {n}"
+        );
         let mut words = vec![0u64; words_for(n)];
         for row in 0..(1u32 << n) {
             if f(row) {
@@ -80,7 +83,10 @@ impl TruthTable {
 
     /// The constant function with zero inputs.
     pub fn constant(value: bool) -> Self {
-        TruthTable { n: 0, words: vec![if value { 1 } else { 0 }] }
+        TruthTable {
+            n: 0,
+            words: vec![if value { 1 } else { 0 }],
+        }
     }
 
     /// Single-input buffer.
@@ -218,9 +224,7 @@ impl TruthTable {
         let n = self.num_inputs() - 1;
         let low_mask = (1u32 << var) - 1;
         TruthTable::from_fn(n, |r| {
-            let full = (r & low_mask)
-                | (if value { 1 } else { 0 } << var)
-                | ((r & !low_mask) << 1);
+            let full = (r & low_mask) | (if value { 1 } else { 0 } << var) | ((r & !low_mask) << 1);
             self.eval(full)
         })
     }
@@ -366,7 +370,7 @@ mod tests {
         assert!(c1.get(1) && !c1.get(0)); // = b
         let diff = and2.boolean_difference(0);
         assert!(diff.get(1) && !diff.get(0)); // = b
-        // f = a XOR b; df/da = 1
+                                              // f = a XOR b; df/da = 1
         let xor2 = TruthTable::xor(2);
         assert_eq!(xor2.boolean_difference(0).as_constant(), Some(true));
         assert_eq!(xor2.boolean_difference(1).as_constant(), Some(true));

@@ -19,8 +19,8 @@
 
 use cdfg::{list_schedule, parse_cdfg, ResourceConstraint, ResourceLibrary};
 use hlpower::{
-    bind_hlpower, bind_registers, elaborate, execute, write_vhdl, DatapathConfig,
-    HlPowerConfig, RegBindConfig, SaTable,
+    bind_hlpower, bind_registers, elaborate, execute, write_vhdl, DatapathConfig, HlPowerConfig,
+    RegBindConfig, SaTable,
 };
 
 const BUILTIN: &str = "\
@@ -59,8 +59,8 @@ fn main() {
     println!("{}", g.profile_line());
 
     let rc = ResourceConstraint::new(1, 2);
-    let sched = embedded_sched
-        .unwrap_or_else(|| list_schedule(&g, &ResourceLibrary::default(), &rc));
+    let sched =
+        embedded_sched.unwrap_or_else(|| list_schedule(&g, &ResourceLibrary::default(), &rc));
     println!("schedule: {} steps", sched.num_steps);
     println!("{}", cdfg::write_cdfg(&g, Some(&sched)));
 

@@ -54,11 +54,13 @@ fn main() {
     let rc = ResourceConstraint::new(2, 1);
     let rb = bind_registers(&g, &sched, &RegBindConfig::default());
     let mut table = SaTable::new(8, 4);
-    let (fb, trace) =
-        bind_hlpower(&g, &sched, &rb, &rc, &mut table, &HlPowerConfig::default());
+    let (fb, trace) = bind_hlpower(&g, &sched, &rb, &rc, &mut table, &HlPowerConfig::default());
 
     for it in &trace {
-        println!("\niteration {} ({} compatible edges):", it.iteration, it.num_edges);
+        println!(
+            "\niteration {} ({} compatible edges):",
+            it.iteration, it.num_edges
+        );
         for m in &it.merges {
             let u: Vec<u32> = m.u_ops.iter().map(|o| o.0 + 1).collect();
             let v: Vec<u32> = m.v_ops.iter().map(|o| o.0 + 1).collect();

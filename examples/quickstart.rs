@@ -7,8 +7,8 @@
 
 use cdfg::{list_schedule, Cdfg, OpKind, ResourceConstraint, ResourceLibrary};
 use hlpower::{
-    bind_hlpower, bind_registers, elaborate, execute, mux_report, DatapathConfig,
-    HlPowerConfig, RegBindConfig, SaTable,
+    bind_hlpower, bind_registers, elaborate, execute, mux_report, DatapathConfig, HlPowerConfig,
+    RegBindConfig, SaTable,
 };
 use mapper::{map, MapConfig, MapObjective};
 
@@ -35,8 +35,14 @@ fn main() {
     //    HLPower's glitch-aware algorithm.
     let rb = bind_registers(&g, &sched, &RegBindConfig::default());
     let mut sa_table = SaTable::new(8, 4);
-    let (fb, trace) =
-        bind_hlpower(&g, &sched, &rb, &rc, &mut sa_table, &HlPowerConfig::default());
+    let (fb, trace) = bind_hlpower(
+        &g,
+        &sched,
+        &rb,
+        &rc,
+        &mut sa_table,
+        &HlPowerConfig::default(),
+    );
     println!(
         "binding: {} FUs after {} iterations; SA table holds {} entries",
         fb.fus.len(),
@@ -57,7 +63,11 @@ fn main() {
     let expected = g.evaluate(&data, 8);
     let got = execute(&dp, &dp.netlist, &data);
     assert_eq!(got, expected);
-    println!("datapath: {} => {:?} (reference model agrees)", dp.netlist.stats(), got);
+    println!(
+        "datapath: {} => {:?} (reference model agrees)",
+        dp.netlist.stats(),
+        got
+    );
 
     // 5. Map to 4-LUTs (the virtual Cyclone II) and report.
     let mapped = map(&dp.netlist, &MapConfig::new(4, MapObjective::GlitchSa));

@@ -19,10 +19,14 @@
 //!   --dot PATH       write the scheduled CDFG as Graphviz
 //!   --sa-table PATH  load/store the SA precalculation table
 //! ```
+//!
+//! Every command drives the staged [`Pipeline`]: the schedule/register
+//! binding are named artifacts, the binder draws SA estimates from the
+//! pipeline's shared cache, and `--sa-table` persists that cache across
+//! invocations (the paper's offline hash-table file).
 
 use cdfg::ResourceConstraint;
-use hlpower::flow::{bind, measure, prepare};
-use hlpower::{Binder, ControlStyle, FlowConfig, SaTable};
+use hlpower::{Binder, ControlStyle, FlowConfig, Pipeline, SaTable};
 use std::process::exit;
 
 struct Options {
@@ -102,28 +106,47 @@ fn flow_config(o: &Options) -> FlowConfig {
         width: o.width,
         sa_width: o.width.min(8),
         sim_cycles: o.cycles,
-        control: if o.fsm { ControlStyle::Fsm } else { ControlStyle::External },
+        control: if o.fsm {
+            ControlStyle::Fsm
+        } else {
+            ControlStyle::External
+        },
         ..FlowConfig::default()
     }
 }
 
-fn load_table(o: &Options, cfg: &FlowConfig, binder: Binder) -> SaTable {
+/// Seeds the SA cache the selected binder draws from using `--sa-table`,
+/// if given. Tables with a mismatched width/LUT size/estimation mode are
+/// refused (they would silently change Eq. 4 edge weights). Returns
+/// whether writing back to the path is safe — a refused table belongs to
+/// a different configuration and must not be clobbered.
+fn load_table(o: &Options, pipeline: &Pipeline) -> bool {
     if let Some(path) = &o.sa_table {
         if let Ok(text) = std::fs::read_to_string(path) {
             match SaTable::from_text(&text) {
-                Ok(t) => {
-                    eprintln!("loaded SA table `{path}` ({} entries)", t.len());
-                    return t;
+                Ok(t) => match pipeline.seed_sa_cache(o.binder, &t) {
+                    Ok(n) => eprintln!("loaded SA table `{path}` ({n} entries)"),
+                    Err(e) => {
+                        eprintln!("ignoring SA table `{path}` and leaving it untouched: {e}");
+                        return false;
+                    }
+                },
+                Err(e) => {
+                    // A corrupt file may still be mostly recoverable
+                    // precomputed data — never overwrite it.
+                    eprintln!("ignoring malformed SA table `{path}` and leaving it untouched: {e}");
+                    return false;
                 }
-                Err(e) => eprintln!("ignoring malformed SA table `{path}`: {e}"),
             }
         }
     }
-    hlpower::flow::sa_table_for(cfg, binder)
+    true
 }
 
-fn store_table(o: &Options, table: &SaTable) {
+/// Persists the selected binder's SA cache back to `--sa-table`.
+fn store_table(o: &Options, pipeline: &Pipeline) {
     if let Some(path) = &o.sa_table {
+        let table = pipeline.sa_snapshot(o.binder);
         if let Err(e) = std::fs::write(path, table.to_text()) {
             eprintln!("cannot write SA table `{path}`: {e}");
         } else {
@@ -138,27 +161,38 @@ fn run_flow(g: &cdfg::Cdfg, o: &Options) {
         exit(1);
     });
     println!("{}", g.profile_line());
-    let cfg = flow_config(o);
-    let (sched, rb) = prepare(g, &o.rc, &cfg);
+    let pipeline = Pipeline::new(flow_config(o));
+    let storable = load_table(o, &pipeline);
+    let prep = pipeline.prepare(g, &o.rc);
     println!(
         "schedule: {} steps under (add={}, mult={})",
-        sched.num_steps, o.rc.addsub, o.rc.mul
+        prep.sched.num_steps, o.rc.addsub, o.rc.mul
     );
-    let mut table = load_table(o, &cfg, o.binder);
-    let (fb, elapsed) = bind(g, &sched, &rb, &o.rc, o.binder, &mut table);
-    store_table(o, &table);
+    let outcome = pipeline.bind(&prep, o.binder);
+    if storable {
+        store_table(o, &pipeline);
+    }
     println!(
-        "binding ({}): {} FUs in {:.3}s{}",
+        "binding ({}): {} FUs in {:.3}s, {} SA queries{}",
         o.binder.label(),
-        fb.fus.len(),
-        elapsed.as_secs_f64(),
-        if fb.meets(&o.rc) { "" } else { "  [constraint NOT met]" }
+        outcome.fb.fus.len(),
+        outcome.bind_time.as_secs_f64(),
+        outcome.sa_queries,
+        if outcome.fb.meets(&o.rc) {
+            ""
+        } else {
+            "  [constraint NOT met]"
+        }
     );
-    for (i, fu) in fb.fus.iter().enumerate() {
+    for (i, fu) in outcome.fb.fus.iter().enumerate() {
         println!("  fu{i} ({}): {} ops", fu.ty, fu.ops.len());
     }
-    let result = measure(g, &sched, &rb, &fb, &o.rc, o.binder, &cfg, elapsed);
-    println!("datapath: {} registers ({:?} control)", result.registers, cfg.control);
+    let result = pipeline.measure(&prep, &outcome, o.binder);
+    println!(
+        "datapath: {} registers ({:?} control)",
+        result.registers,
+        pipeline.config().control
+    );
     println!(
         "mapped:   {} LUTs, depth {}, estimated SA {:.1}",
         result.luts, result.depth, result.estimated_sa
@@ -182,12 +216,16 @@ fn run_flow(g: &cdfg::Cdfg, o: &Options) {
     if o.vhdl.is_some() || o.blif.is_some() || o.dot.is_some() {
         let dp = hlpower::elaborate(
             g,
-            &sched,
-            &rb,
-            &fb,
+            &prep.sched,
+            &prep.rb,
+            &outcome.fb,
             &hlpower::DatapathConfig {
                 width: o.width,
-                control: if o.fsm { ControlStyle::Fsm } else { ControlStyle::External },
+                control: if o.fsm {
+                    ControlStyle::Fsm
+                } else {
+                    ControlStyle::External
+                },
             },
         );
         if let Some(path) = &o.vhdl {
@@ -197,7 +235,7 @@ fn run_flow(g: &cdfg::Cdfg, o: &Options) {
             write_or_die(path, &netlist::write_blif(&dp.netlist));
         }
         if let Some(path) = &o.dot {
-            write_or_die(path, &cdfg::to_dot(g, Some(&sched)));
+            write_or_die(path, &cdfg::to_dot(g, Some(&prep.sched)));
         }
     }
 }
@@ -246,7 +284,10 @@ fn main() {
             let Some(out) = argv.get(1) else { usage() };
             let o = parse_options(&argv[2..]);
             let mut table = SaTable::new(o.width.min(8), 4);
-            eprintln!("precomputing SA table up to 8x8 muxes (width {})...", table.width());
+            eprintln!(
+                "precomputing SA table up to 8x8 muxes (width {})...",
+                table.width()
+            );
             table.precompute(8);
             write_or_die(out, &table.to_text());
         }

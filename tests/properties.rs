@@ -1,38 +1,48 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: truth tables, netlists, BLIF round-trips, switching
-//! activity bounds, bipartite matching optimality, scheduling and binding
-//! legality on random CDFGs (paper Theorem 1).
+//! Property-based tests over the core data structures and invariants:
+//! truth tables, netlists, BLIF round-trips, switching activity bounds,
+//! bipartite matching optimality, scheduling and binding legality on
+//! random CDFGs (paper Theorem 1).
+//!
+//! The build environment is offline, so instead of `proptest` these use
+//! a small deterministic case generator: every test enumerates seeded
+//! random instances, so failures reproduce exactly and CI needs no
+//! shrinking. Each case seed prints in the assertion message.
 
 use activity::{analyze, ActivityConfig, PairDist, SignalStats};
 use cdfg::{
-    list_schedule, lifetimes, Cdfg, LifetimeOptions, OpKind, ResourceConstraint,
-    ResourceLibrary,
+    lifetimes, list_schedule, Cdfg, LifetimeOptions, OpKind, ResourceConstraint, ResourceLibrary,
 };
 use hlpower::matching::max_weight_matching;
 use hlpower::{bind_hlpower, bind_registers, HlPowerConfig, RegBindConfig, SaTable};
 use netlist::{parse_blif, write_blif, Netlist, NodeId, TruthTable};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-case RNG: the same in-tree `rand` stand-in the
+/// rest of the workspace uses, seeded by the case index so failures
+/// reproduce exactly without shrinking.
+fn case_rng(case: u64) -> StdRng {
+    StdRng::seed_from_u64(case)
+}
+
+/// Random truth table with 1..=`max_inputs` inputs.
+fn arb_table(g: &mut StdRng, max_inputs: usize) -> TruthTable {
+    let n = g.gen_range(1..max_inputs + 1);
+    let needed = if n >= 6 { 1 << (n - 6) } else { 1 };
+    let words: Vec<u64> = (0..needed).map(|_| g.gen::<u64>()).collect();
+    TruthTable::from_words(n, words)
+}
 
 // ---------- truth tables -------------------------------------------------
 
-fn arb_table(max_inputs: usize) -> impl Strategy<Value = TruthTable> {
-    (1..=max_inputs).prop_flat_map(|n| {
-        proptest::collection::vec(any::<u64>(), 1 << n.saturating_sub(6))
-            .prop_map(move |words| {
-                let needed = if n >= 6 { 1 << (n - 6) } else { 1 };
-                let mut w = words;
-                w.resize(needed, 0);
-                TruthTable::from_words(n, w)
-            })
-    })
-}
-
-proptest! {
-    /// Shannon expansion: f = (¬x ∧ f|x=0) ∨ (x ∧ f|x=1).
-    #[test]
-    fn shannon_expansion_holds(t in arb_table(6), var_seed in any::<u32>()) {
+/// Shannon expansion: f = (¬x ∧ f|x=0) ∨ (x ∧ f|x=1).
+#[test]
+fn shannon_expansion_holds() {
+    for case in 0..128u64 {
+        let mut g = case_rng(case);
+        let t = arb_table(&mut g, 6);
         let n = t.num_inputs();
-        let var = (var_seed as usize) % n;
+        let var = g.gen_range(0..n);
         let c0 = t.cofactor(var, false);
         let c1 = t.cofactor(var, true);
         for row in 0..t.num_rows() {
@@ -41,50 +51,71 @@ proptest! {
                 let high = (row >> (var + 1)) << var;
                 low | high
             };
-            let expect = if row & (1 << var) != 0 { c1.eval(reduced) } else { c0.eval(reduced) };
-            prop_assert_eq!(t.eval(row), expect);
+            let expect = if row & (1 << var) != 0 {
+                c1.eval(reduced)
+            } else {
+                c0.eval(reduced)
+            };
+            assert_eq!(t.eval(row), expect, "case {case} var {var} row {row}");
         }
     }
+}
 
-    /// The Boolean difference is independent of the differentiating input
-    /// and detects exactly the rows where flipping it changes f.
-    #[test]
-    fn boolean_difference_definition(t in arb_table(5), var_seed in any::<u32>()) {
+/// The Boolean difference is independent of the differentiating input
+/// and detects exactly the rows where flipping it changes f.
+#[test]
+fn boolean_difference_definition() {
+    for case in 0..128u64 {
+        let mut g = case_rng(case);
+        let t = arb_table(&mut g, 5);
         let n = t.num_inputs();
-        let var = (var_seed as usize) % n;
+        let var = g.gen_range(0..n);
         let diff = t.boolean_difference(var);
         for row in 0..t.num_rows() {
-            if row & (1 << var) != 0 { continue; }
+            if row & (1 << var) != 0 {
+                continue;
+            }
             let reduced = {
                 let low = row & ((1u32 << var) - 1);
                 let high = (row >> (var + 1)) << var;
                 low | high
             };
-            prop_assert_eq!(
+            assert_eq!(
                 diff.eval(reduced),
-                t.eval(row) != t.eval(row | (1 << var))
+                t.eval(row) != t.eval(row | (1 << var)),
+                "case {case} var {var} row {row}"
             );
         }
     }
+}
 
-    /// Double complement is the identity; complement flips every row.
-    #[test]
-    fn complement_involution(t in arb_table(6)) {
-        prop_assert_eq!(t.complement().complement(), t.clone());
-        prop_assert_eq!(t.complement().count_ones(), t.num_rows() - t.count_ones());
+/// Double complement is the identity; complement flips every row.
+#[test]
+fn complement_involution() {
+    for case in 0..128u64 {
+        let mut g = case_rng(case);
+        let t = arb_table(&mut g, 6);
+        assert_eq!(t.complement().complement(), t.clone(), "case {case}");
+        assert_eq!(
+            t.complement().count_ones(),
+            t.num_rows() - t.count_ones(),
+            "case {case}"
+        );
     }
+}
 
-    /// Permutation by the identity is the identity; applying a permutation
-    /// twice with its inverse restores the table.
-    #[test]
-    fn permutation_roundtrip(t in arb_table(5), seed in any::<u64>()) {
+/// Permutation by the identity is the identity; applying a permutation
+/// twice with its inverse restores the table.
+#[test]
+fn permutation_roundtrip() {
+    for case in 0..128u64 {
+        let mut g = case_rng(case);
+        let t = arb_table(&mut g, 5);
         let n = t.num_inputs();
         let mut perm: Vec<usize> = (0..n).collect();
-        // Fisher-Yates with a tiny deterministic LCG.
-        let mut state = seed | 1;
+        // Fisher-Yates.
         for i in (1..n).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
+            let j = g.gen_range(0..i + 1);
             perm.swap(i, j);
         }
         let permuted = t.permute(&perm);
@@ -92,87 +123,99 @@ proptest! {
         for (i, &p) in perm.iter().enumerate() {
             inverse[p] = i;
         }
-        prop_assert_eq!(permuted.permute(&inverse), t);
+        assert_eq!(permuted.permute(&inverse), t, "case {case} perm {perm:?}");
     }
 }
 
 // ---------- probability bounds ------------------------------------------
 
-proptest! {
-    /// Pair distributions are proper distributions and signal stats stay
-    /// within the feasibility bound s <= 2·min(P, 1-P).
-    #[test]
-    fn pair_dist_is_distribution(p in 0.0f64..1.0, s in 0.0f64..1.0) {
+/// Pair distributions are proper distributions and signal stats stay
+/// within the feasibility bound s <= 2·min(P, 1-P).
+#[test]
+fn pair_dist_is_distribution() {
+    for case in 0..256u64 {
+        let mut g = case_rng(case);
+        let (p, s) = (g.gen::<f64>(), g.gen::<f64>());
         let stats = SignalStats::new(p, s);
-        prop_assert!(stats.activity <= 2.0 * stats.prob.min(1.0 - stats.prob) + 1e-12);
+        assert!(
+            stats.activity <= 2.0 * stats.prob.min(1.0 - stats.prob) + 1e-12,
+            "case {case}"
+        );
         let d = PairDist::from_stats(stats);
         let total = d.p00 + d.p01 + d.p10 + d.p11;
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(d.p00 >= 0.0 && d.p01 >= 0.0 && d.p10 >= 0.0 && d.p11 >= 0.0);
+        assert!((total - 1.0).abs() < 1e-9, "case {case}: total {total}");
+        assert!(
+            d.p00 >= 0.0 && d.p01 >= 0.0 && d.p10 >= 0.0 && d.p11 >= 0.0,
+            "case {case}"
+        );
     }
+}
 
-    /// For any 2-level netlist with random tables, the glitch-aware SA is
-    /// at least the functional SA and both are non-negative and bounded by
-    /// the node count times the max per-step activity.
-    #[test]
-    fn sa_estimates_are_bounded(t1 in arb_table(3), t2 in arb_table(3)) {
+/// For any 2-level netlist with random tables, the glitch-aware SA is
+/// at least the functional SA and both are non-negative and bounded by
+/// the node count times the max per-step activity.
+#[test]
+fn sa_estimates_are_bounded() {
+    for case in 0..96u64 {
+        let mut g = case_rng(case);
+        let t1 = arb_table(&mut g, 3);
+        let t2 = arb_table(&mut g, 3);
         let n1 = t1.num_inputs();
         let n2 = t2.num_inputs();
         let mut nl = Netlist::new("p");
-        let inputs: Vec<NodeId> =
-            (0..(n1.max(n2 - 1) + 1)).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let inputs: Vec<NodeId> = (0..(n1.max(n2 - 1) + 1))
+            .map(|i| nl.add_input(format!("i{i}")))
+            .collect();
         let g1 = nl.add_logic("g1", inputs[..n1].to_vec(), t1);
         let mut fan2 = vec![g1];
         fan2.extend(inputs[..n2 - 1].iter().copied());
         let g2 = nl.add_logic("g2", fan2[..n2].to_vec(), t2);
         nl.mark_output("o", g2);
         let rep = analyze(&nl, &ActivityConfig::uniform());
-        prop_assert!(rep.total_sa >= rep.functional_sa - 1e-12);
-        prop_assert!(rep.glitch_sa >= -1e-12);
+        assert!(rep.total_sa >= rep.functional_sa - 1e-12, "case {case}");
+        assert!(rep.glitch_sa >= -1e-12, "case {case}");
         // Each node switches at most once per time step; two nodes with
         // depth <= 2 switch at most 3 distinct events total per cycle.
-        prop_assert!(rep.total_sa <= 3.0 + 1e-9);
+        assert!(rep.total_sa <= 3.0 + 1e-9, "case {case}: {}", rep.total_sa);
     }
 }
 
 // ---------- netlists and BLIF -------------------------------------------
 
 /// Random small combinational netlist.
-fn arb_netlist() -> impl Strategy<Value = Netlist> {
-    (2usize..6, 1usize..12, any::<u64>()).prop_map(|(num_inputs, num_gates, seed)| {
-        let mut nl = Netlist::new("rand");
-        let mut pool: Vec<NodeId> =
-            (0..num_inputs).map(|i| nl.add_input(format!("i{i}"))).collect();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        for k in 0..num_gates {
-            let arity = 1 + next() % 3;
-            let fanins: Vec<NodeId> =
-                (0..arity).map(|_| pool[next() % pool.len()]).collect();
-            let table = TruthTable::from_fn(arity, |row| {
-                (next() + row as usize).is_multiple_of(2)
-            });
-            let g = nl.add_logic(format!("g{k}"), fanins, table);
-            pool.push(g);
-        }
-        let out = *pool.last().unwrap();
-        nl.mark_output("o", out);
-        nl
-    })
+fn arb_netlist(g: &mut StdRng) -> Netlist {
+    let num_inputs = g.gen_range(2..6);
+    let num_gates = g.gen_range(1..12);
+    let mut nl = Netlist::new("rand");
+    let mut pool: Vec<NodeId> = (0..num_inputs)
+        .map(|i| nl.add_input(format!("i{i}")))
+        .collect();
+    for k in 0..num_gates {
+        let arity = 1 + g.gen_range(0..3);
+        let fanins: Vec<NodeId> = (0..arity)
+            .map(|_| pool[g.gen_range(0..pool.len())])
+            .collect();
+        let bits = g.gen::<u64>();
+        let table = TruthTable::from_fn(arity, |row| bits >> (row % 64) & 1 == 1);
+        let gate = nl.add_logic(format!("g{k}"), fanins, table);
+        pool.push(gate);
+    }
+    let out = *pool.last().unwrap();
+    nl.mark_output("o", out);
+    nl
 }
 
-proptest! {
-    /// BLIF round-trip preserves structure and function.
-    #[test]
-    fn blif_roundtrip_preserves_function(nl in arb_netlist()) {
+/// BLIF round-trip preserves structure and function.
+#[test]
+fn blif_roundtrip_preserves_function() {
+    for case in 0..48u64 {
+        let mut g = case_rng(case);
+        let nl = arb_netlist(&mut g);
         nl.check().unwrap();
         let text = write_blif(&nl);
         let back = parse_blif(&text).unwrap().flatten(None, &[]).unwrap();
         back.check().unwrap();
-        prop_assert_eq!(back.inputs().len(), nl.inputs().len());
+        assert_eq!(back.inputs().len(), nl.inputs().len(), "case {case}");
         // Compare the output function over all input assignments.
         let n = nl.inputs().len();
         let mut ev1 = gatesim::Evaluator::new(&nl);
@@ -186,17 +229,21 @@ proptest! {
             }
             ev1.settle();
             ev2.settle();
-            prop_assert_eq!(ev1.value(*o1), ev2.value(*o2), "row {}", row);
+            assert_eq!(ev1.value(*o1), ev2.value(*o2), "case {case} row {row}");
         }
     }
+}
 
-    /// Sweeping twice removes nothing new, and mapping preserves function.
-    #[test]
-    fn sweep_is_idempotent_and_map_preserves(nl in arb_netlist()) {
+/// Sweeping twice removes nothing new, and mapping preserves function.
+#[test]
+fn sweep_is_idempotent_and_map_preserves() {
+    for case in 0..48u64 {
+        let mut g = case_rng(case);
+        let nl = arb_netlist(&mut g);
         let mut swept = nl.clone();
         swept.sweep();
         let mut again = swept.clone();
-        prop_assert_eq!(again.sweep(), 0);
+        assert_eq!(again.sweep(), 0, "case {case}");
         let mapped = mapper::map(&swept, &mapper::MapConfig::default());
         let n = swept.inputs().len();
         let mut ev1 = gatesim::Evaluator::new(&swept);
@@ -204,30 +251,44 @@ proptest! {
         let (_, o1) = &swept.outputs()[0];
         let (_, o2) = &mapped.netlist.outputs()[0];
         for row in 0..(1u32 << n) {
-            for (k, (&a, &b)) in swept.inputs().iter().zip(mapped.netlist.inputs()).enumerate() {
+            for (k, (&a, &b)) in swept
+                .inputs()
+                .iter()
+                .zip(mapped.netlist.inputs())
+                .enumerate()
+            {
                 ev1.set_input(a, row & (1 << k) != 0);
                 ev2.set_input(b, row & (1 << k) != 0);
             }
             ev1.settle();
             ev2.settle();
-            prop_assert_eq!(ev1.value(*o1), ev2.value(*o2), "row {}", row);
+            assert_eq!(ev1.value(*o1), ev2.value(*o2), "case {case} row {row}");
         }
     }
 }
 
 // ---------- matching ------------------------------------------------------
 
-proptest! {
-    /// Hungarian matching is optimal against brute force on small dense
-    /// instances.
-    #[test]
-    fn matching_is_optimal(
-        rows in 1usize..5,
-        cols in 1usize..5,
-        cells in proptest::collection::vec(proptest::option::of(1u32..100), 25)
-    ) {
+/// Hungarian matching is optimal against brute force on small dense
+/// instances.
+#[test]
+fn matching_is_optimal() {
+    for case in 0..256u64 {
+        let mut g = case_rng(case);
+        let rows = g.gen_range(1..5);
+        let cols = g.gen_range(1..5);
         let w: Vec<Vec<Option<f64>>> = (0..rows)
-            .map(|r| (0..cols).map(|c| cells[r * 5 + c].map(|x| x as f64)).collect())
+            .map(|_| {
+                (0..cols)
+                    .map(|_| {
+                        if g.gen_range(0..4) == 0 {
+                            None
+                        } else {
+                            Some(g.gen_range(1..100) as f64)
+                        }
+                    })
+                    .collect()
+            })
             .collect();
         let m = max_weight_matching(&w);
         // validity
@@ -235,14 +296,16 @@ proptest! {
         let mut total = 0.0;
         for (r, c) in m.iter().enumerate() {
             if let Some(c) = *c {
-                prop_assert!(!used[c]);
+                assert!(!used[c], "case {case}: column {c} used twice");
                 used[c] = true;
                 total += w[r][c].unwrap();
             }
         }
         // brute force
         fn brute(w: &[Vec<Option<f64>>], used: &mut Vec<bool>, row: usize) -> f64 {
-            if row == w.len() { return 0.0; }
+            if row == w.len() {
+                return 0.0;
+            }
             let mut best = brute(w, used, row + 1);
             for c in 0..w[row].len() {
                 if !used[c] {
@@ -256,47 +319,48 @@ proptest! {
             best
         }
         let best = brute(&w, &mut vec![false; cols], 0);
-        prop_assert!((total - best).abs() < 1e-9, "got {} optimal {}", total, best);
+        assert!(
+            (total - best).abs() < 1e-9,
+            "case {case}: got {total} optimal {best}"
+        );
     }
 }
 
 // ---------- scheduling and binding (Theorem 1) ----------------------------
 
 /// Random DAG-shaped CDFG.
-fn arb_cdfg() -> impl Strategy<Value = Cdfg> {
-    (2usize..5, 3usize..25, any::<u64>()).prop_map(|(inputs, ops, seed)| {
-        let mut g = Cdfg::new("rand");
-        let mut pool: Vec<cdfg::VarId> =
-            (0..inputs).map(|i| g.add_input(format!("i{i}"))).collect();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
+fn arb_cdfg(g: &mut StdRng) -> Cdfg {
+    let inputs = g.gen_range(2..5);
+    let ops = g.gen_range(3..25);
+    let mut cdfg = Cdfg::new("rand");
+    let mut pool: Vec<cdfg::VarId> = (0..inputs)
+        .map(|i| cdfg.add_input(format!("i{i}")))
+        .collect();
+    for _ in 0..ops {
+        let kind = match g.gen_range(0..3) {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            _ => OpKind::Mul,
         };
-        for _ in 0..ops {
-            let kind = match next() % 3 {
-                0 => OpKind::Add,
-                1 => OpKind::Sub,
-                _ => OpKind::Mul,
-            };
-            let a = pool[next() % pool.len()];
-            let b = pool[next() % pool.len()];
-            let (_, v) = g.add_op(kind, a, b);
-            pool.push(v);
-        }
-        g.mark_output(*pool.last().unwrap());
-        g
-    })
+        let a = pool[g.gen_range(0..pool.len())];
+        let b = pool[g.gen_range(0..pool.len())];
+        let (_, v) = cdfg.add_op(kind, a, b);
+        pool.push(v);
+    }
+    cdfg.mark_output(*pool.last().unwrap());
+    cdfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Theorem 1: for single-cycle libraries, HLPower always reaches the
-    /// minimum resource allocation of the schedule; and every produced
-    /// binding/schedule/register assignment is internally consistent.
-    #[test]
-    fn theorem1_minimum_constraint_reachable(g in arb_cdfg(), add in 1usize..4, mul in 1usize..4) {
+/// Theorem 1: for single-cycle libraries, HLPower always reaches the
+/// minimum resource allocation of the schedule; and every produced
+/// binding/schedule/register assignment is internally consistent.
+#[test]
+fn theorem1_minimum_constraint_reachable() {
+    for case in 0..48u64 {
+        let mut gen = case_rng(case);
+        let g = arb_cdfg(&mut gen);
+        let add = gen.gen_range(1..4);
+        let mul = gen.gen_range(1..4);
         g.check().unwrap();
         let lib = ResourceLibrary::default();
         let rc = ResourceConstraint::new(add, mul);
@@ -307,23 +371,33 @@ proptest! {
         let mut table = SaTable::new(4, 4);
         let (fb, _) = bind_hlpower(&g, &sched, &rb, &rc, &mut table, &HlPowerConfig::default());
         fb.validate(&g, &sched).unwrap();
-        prop_assert!(fb.meets(&rc), "constraint must be reachable (Theorem 1)");
+        assert!(
+            fb.meets(&rc),
+            "case {case}: constraint must be reachable (Theorem 1)"
+        );
         // The binder never allocates below the schedule's lower bound, and
         // stops merging once the constraint is satisfied.
         for ty in cdfg::FuType::ALL {
             let count = fb.count(ty);
             let lower = sched.min_resources(&g, ty);
-            prop_assert!(count >= lower, "{count} below lower bound {lower}");
+            assert!(
+                count >= lower,
+                "case {case}: {count} below lower bound {lower}"
+            );
             if g.op_count(ty) > 0 {
-                prop_assert!(count <= rc.limit(ty).max(lower));
+                assert!(count <= rc.limit(ty).max(lower), "case {case}");
             }
         }
     }
+}
 
-    /// Lifetime analysis is consistent: variables sharing a register never
-    /// overlap, and the allocation equals the maximum live set.
-    #[test]
-    fn register_binding_invariants(g in arb_cdfg()) {
+/// Lifetime analysis is consistent: variables sharing a register never
+/// overlap, and the allocation equals the maximum live set.
+#[test]
+fn register_binding_invariants() {
+    for case in 0..48u64 {
+        let mut gen = case_rng(case);
+        let g = arb_cdfg(&mut gen);
         let lib = ResourceLibrary::default();
         let rc = ResourceConstraint::new(2, 2);
         let sched = list_schedule(&g, &lib, &rc);
@@ -331,6 +405,6 @@ proptest! {
         let lt = lifetimes(&g, &sched, &opts);
         let rb = bind_registers(&g, &sched, &RegBindConfig::default());
         rb.validate(&g).unwrap();
-        prop_assert_eq!(rb.num_regs, lt.max_overlap(sched.num_steps));
+        assert_eq!(rb.num_regs, lt.max_overlap(sched.num_steps), "case {case}");
     }
 }
