@@ -8,6 +8,7 @@
 
 use activity::{analyze, analyze_zero_delay, ActivityConfig, ZeroDelayModel};
 use cdfg::FuType;
+use gatesim::{run_random, run_random_word};
 use hlpower::partial_datapath;
 use mapper::{enumerate_cuts, map, CutConfig, MapConfig, MapObjective};
 use netlist::{cells, Netlist, NodeId};
@@ -79,8 +80,48 @@ fn bench_sa_table_entry() {
     });
 }
 
+/// Scalar vs word-parallel unit-delay simulation throughput on the
+/// mapped array-multiplier benchmark — the bit-slicing payoff, reported
+/// as simulated transitions per second. The word engine advances 64
+/// vector lanes per event-wheel pass, so its per-lane cost collapses.
+fn bench_simulators() {
+    let nl = multiplier_netlist(8);
+    let mapped = map(&nl, &MapConfig::new(4, MapObjective::GlitchSa)).netlist;
+    let steps = 2000u64;
+    let seed = 42u64;
+    // Median of three timed repetitions (after one warm-up) so a single
+    // scheduler hiccup cannot fail the floor assert below.
+    let rate = |label: &str, f: &dyn Fn() -> u64| -> f64 {
+        f(); // warm-up
+        let mut rates = [0.0f64; 3];
+        let mut transitions = 0;
+        for r in &mut rates {
+            let start = Instant::now();
+            transitions = f();
+            *r = transitions as f64 / start.elapsed().as_secs_f64();
+        }
+        rates.sort_by(|a, b| a.total_cmp(b));
+        let per_s = rates[1];
+        println!("{label:40} {per_s:14.0} transitions/s  ({transitions} transitions)");
+        per_s
+    };
+    let scalar = rate("simulation/scalar_mult8", &|| {
+        run_random(&mapped, steps, seed).total_transitions
+    });
+    let word = rate("simulation/word64_mult8", &|| {
+        run_random_word(&mapped, steps, seed, 64).total_transitions
+    });
+    let speedup = word / scalar;
+    println!("simulation/word64_vs_scalar_speedup      {speedup:13.1}x  (acceptance floor: 8x)");
+    assert!(
+        speedup >= 8.0,
+        "word-parallel simulation regressed below the 8x acceptance floor: {speedup:.1}x"
+    );
+}
+
 fn main() {
     bench_estimators();
     bench_mapping();
     bench_sa_table_entry();
+    bench_simulators();
 }

@@ -14,10 +14,12 @@ use hlpower::{paper_constraint, Binder, FlowConfig, FlowResult, Pipeline};
 /// Command-line options shared by the experiment binaries.
 ///
 /// Flags: `--width N`, `--cycles N`, `--sa-width N`, `--seed N` (sets
-/// both the simulation and the register-port seed), `--bench NAME`
-/// (repeatable), `--binder LABEL` (repeatable, see [`parse_binder`]),
-/// `--jobs N` (parallel fan-out width), `--fast` (width 8, 300 cycles —
-/// for smoke runs).
+/// both the simulation and the register-port seed), `--lanes N`
+/// (word-parallel simulation lanes, 1..=64; `0` selects the scalar
+/// reference engine; default 1, which is byte-identical to scalar),
+/// `--bench NAME` (repeatable), `--binder LABEL` (repeatable, see
+/// [`parse_binder`]), `--jobs N` (parallel fan-out width), `--fast`
+/// (width 8, 300 cycles — for smoke runs).
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Flow configuration assembled from the flags.
@@ -45,12 +47,26 @@ impl Args {
                 argv.get(*i).unwrap_or_else(|| usage()).clone()
             };
             match argv[i].as_str() {
-                "--width" => flow.width = take_value(&mut i).parse().unwrap_or_else(|_| usage()),
+                "--width" => {
+                    flow.width = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    if flow.width == 0 || flow.width > 64 {
+                        eprintln!("--width must be in 1..=64 (word-level buses are u64)");
+                        usage();
+                    }
+                }
                 "--sa-width" => {
                     flow.sa_width = take_value(&mut i).parse().unwrap_or_else(|_| usage())
                 }
                 "--cycles" => {
                     flow.sim_cycles = take_value(&mut i).parse().unwrap_or_else(|_| usage())
+                }
+                "--lanes" => {
+                    // 0 = scalar reference engine, 1..=64 = word engine.
+                    flow.lanes = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    if flow.lanes > gatesim::MAX_LANES {
+                        eprintln!("--lanes is limited to {} lanes", gatesim::MAX_LANES);
+                        usage();
+                    }
                 }
                 "--seed" => {
                     // One seed flag controls the whole stochastic setup:
@@ -196,7 +212,7 @@ fn default_jobs() -> usize {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] \
+        "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] [--lanes N] \
          [--bench NAME]... [--binder LABEL[:ALPHA]]... [--jobs N] [--fast]"
     );
     std::process::exit(2)

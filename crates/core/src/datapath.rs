@@ -125,13 +125,26 @@ impl Datapath {
     /// Panics if `step >= num_steps` or `data.len()` differs from the data
     /// port count.
     pub fn input_vector(&self, step: u32, data: &[u64]) -> Vec<bool> {
-        assert!(step < self.num_steps);
         let mut v = vec![false; self.netlist.inputs().len()];
-        self.fill_data(&mut v, data);
+        self.fill_input_vector(step, data, &mut v);
+        v
+    }
+
+    /// Allocation-free form of [`Datapath::input_vector`]: writes the
+    /// vector into `v` (which must span every primary input). Simulation
+    /// hot loops reuse one buffer across cycles and lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= num_steps`, `data.len()` differs from the data
+    /// port count, or `v` is shorter than the primary-input count.
+    pub fn fill_input_vector(&self, step: u32, data: &[u64], v: &mut [bool]) {
+        assert!(step < self.num_steps);
+        v[..self.netlist.inputs().len()].fill(false);
+        self.fill_data(v, data);
         for (k, &pos) in self.control.positions.iter().enumerate() {
             v[pos] = self.control.values[step as usize][k];
         }
-        v
     }
 
     /// The idle vector (enables off) holding the given data values.

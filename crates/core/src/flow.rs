@@ -79,12 +79,27 @@ pub struct FlowConfig {
     /// the table cheap; relative SA ordering across mux sizes is
     /// preserved).
     pub sa_width: usize,
+    /// How SA-table entries are obtained for the main (glitch-aware)
+    /// binders: [`SaMode::Precalculated`] (the paper's estimator, the
+    /// default), [`SaMode::Dynamic`] (uncached estimator), or
+    /// [`SaMode::Simulated`] (entries measured by the word-parallel
+    /// simulator). The zero-delay ablation binder always uses its own
+    /// [`SaMode::ZeroDelayAblation`] cache regardless of this setting.
+    pub sa_mode: SaMode,
     /// LUT size of the target FPGA (Cyclone II: 4).
     pub k: usize,
     /// Simulated clock cycles (the paper's 1000 random vectors).
     pub sim_cycles: u64,
     /// Seed for simulation vectors.
     pub sim_seed: u64,
+    /// Word-parallel simulation lanes. `0` selects the scalar reference
+    /// engine ([`gatesim::CycleSim`]); `N >= 1` selects the bit-sliced
+    /// [`gatesim::WordSim`] with `N` independent vector lanes, each
+    /// seeded via [`gatesim::lane_seed`]`(sim_seed, lane)`. Lane 0
+    /// replays the scalar stream, so `lanes == 1` is byte-identical to
+    /// `lanes == 0` while `lanes == 64` simulates a 64× vector budget at
+    /// roughly one event-wheel pass per cycle.
+    pub lanes: usize,
     /// Seed for the register binding's random port assignment (shared by
     /// all binders).
     pub port_seed: u64,
@@ -104,9 +119,11 @@ impl Default for FlowConfig {
         FlowConfig {
             width: 16,
             sa_width: 8,
+            sa_mode: SaMode::Precalculated,
             k: 4,
             sim_cycles: 1000,
             sim_seed: 42,
+            lanes: 1,
             port_seed: 1,
             power: PowerModel::default(),
             map_objective: MapObjective::GlitchSa,
@@ -285,11 +302,14 @@ pub fn bind<S: SaSource + ?Sized>(
     }
 }
 
-/// Builds the SA table a binder needs for a flow configuration.
+/// Builds the SA table a binder needs for a flow configuration: the
+/// zero-delay ablation binder gets its dedicated glitch-blind mode,
+/// every other binder gets `cfg.sa_mode` (estimator or word-parallel
+/// simulation).
 pub fn sa_table_for(cfg: &FlowConfig, binder: Binder) -> SaTable {
     let mode = match binder {
         Binder::HlPowerZeroDelay { .. } => SaMode::ZeroDelayAblation,
-        _ => SaMode::Precalculated,
+        _ => cfg.sa_mode,
     };
     SaTable::new(cfg.sa_width, cfg.k).with_mode(mode)
 }
@@ -366,26 +386,107 @@ pub fn measure(
 /// schedule. The registered inputs turn the pin noise into an identical
 /// background for every binding, so differences reflect the bound
 /// datapath's structure.
+///
+/// Dispatches on `cfg.lanes`: `0` runs the scalar reference engine
+/// ([`simulate_scalar`]); `N >= 1` runs the word-parallel engine
+/// ([`simulate_word`]) with `N` lanes. Because lane 0 replays the scalar
+/// vector stream, `lanes == 1` produces statistics byte-identical to the
+/// scalar engine's.
 pub fn simulate(dp: &Datapath, mapped: &netlist::Netlist, cfg: &FlowConfig) -> gatesim::SimStats {
-    let mut sim = gatesim::CycleSim::new(mapped);
-    let mut src = VectorSource::new(cfg.sim_seed);
-    let mask = if cfg.width == 64 {
+    if cfg.lanes == 0 {
+        simulate_scalar(dp, mapped, cfg)
+    } else {
+        simulate_word(dp, mapped, cfg, cfg.lanes)
+    }
+}
+
+fn width_mask(width: usize) -> u64 {
+    // Same bug class as the gatesim word helpers: a datapath wider than
+    // 64 bits would shift-overflow in `pack_bits` (and in every
+    // `word`/`set_word` bus access downstream), so refuse it loudly.
+    assert!(
+        width <= 64,
+        "datapath width limited to 64 bits, got {width}"
+    );
+    if width == 64 {
         u64::MAX
     } else {
-        (1u64 << cfg.width) - 1
-    };
+        (1u64 << width) - 1
+    }
+}
+
+fn pack_bits(bits: &[bool], mask: u64) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+        & mask
+}
+
+/// The scalar reference implementation of [`simulate`] on
+/// [`gatesim::CycleSim`] — one vector stream, one bool per node.
+pub fn simulate_scalar(
+    dp: &Datapath,
+    mapped: &netlist::Netlist,
+    cfg: &FlowConfig,
+) -> gatesim::SimStats {
+    let mut sim = gatesim::CycleSim::new(mapped);
+    let mut src = VectorSource::new(cfg.sim_seed);
+    let mask = width_mask(cfg.width);
     let mut data: Vec<u64> = vec![0; dp.data_ports.len()];
     for c in 0..cfg.sim_cycles {
         let step = (c % dp.num_steps as u64) as u32;
         for d in &mut data {
-            let bits = src.next_vector(cfg.width);
-            *d = bits
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
-                & mask;
+            *d = pack_bits(&src.next_vector(cfg.width), mask);
         }
         sim.step(&dp.input_vector(step, &data));
+    }
+    sim.stats().clone()
+}
+
+/// The word-parallel implementation of [`simulate`] on
+/// [`gatesim::WordSim`]: `lanes` independent vector streams advance in
+/// one event-wheel pass per clock cycle. Lane `L` draws its data-pin
+/// noise from [`gatesim::lane_seed`]`(cfg.sim_seed, L)` in the exact
+/// per-cycle order of the scalar engine, and the schedule-driven control
+/// pins are identical across lanes — so every lane is a faithful replay
+/// of a scalar run, and the cumulative statistics cover
+/// `cfg.sim_cycles × lanes` lane-cycles.
+pub fn simulate_word(
+    dp: &Datapath,
+    mapped: &netlist::Netlist,
+    cfg: &FlowConfig,
+    lanes: usize,
+) -> gatesim::SimStats {
+    let mut sim = gatesim::WordSim::new(mapped, lanes);
+    // One stream per lane, seeded by the WordVectorSource contract (lane
+    // 0 == the scalar stream). Data-port values are drawn per lane in
+    // the scalar engine's per-cycle order, then the resulting scalar PI
+    // vectors are packed one bit per lane.
+    let mut src = gatesim::WordVectorSource::new(cfg.sim_seed, lanes);
+    let mask = width_mask(cfg.width);
+    let mut data: Vec<u64> = vec![0; dp.data_ports.len()];
+    let mut words: Vec<u64> = vec![0; mapped.inputs().len()];
+    // Reused scratch: drawing 64 lanes x data_ports vectors per cycle
+    // must not allocate, or PI generation would dominate the event-wheel
+    // savings.
+    let mut bits = vec![false; cfg.width];
+    let mut pi = vec![false; mapped.inputs().len()];
+    for c in 0..cfg.sim_cycles {
+        let step = (c % dp.num_steps as u64) as u32;
+        words.fill(0);
+        for lane in 0..lanes {
+            for d in &mut data {
+                // Same per-port draw order as the scalar engine (`fill`
+                // and `next_vector` consume the stream identically).
+                src.lane(lane).fill(&mut bits);
+                *d = pack_bits(&bits, mask);
+            }
+            dp.fill_input_vector(step, &data, &mut pi);
+            for (w, &b) in words.iter_mut().zip(&pi) {
+                *w |= (b as u64) << lane;
+            }
+        }
+        sim.step(&words);
     }
     sim.stats().clone()
 }
@@ -498,6 +599,78 @@ mod tests {
             crate::datapath::execute(&dp, &dp.netlist, &data),
             g.evaluate(&data, 4)
         );
+    }
+
+    #[test]
+    fn word_engine_at_one_lane_matches_scalar_engine() {
+        // The paper tables all run at the default `lanes = 1`; this is
+        // the guarantee that moving them onto the word engine changed
+        // nothing: full-flow results must be identical to the scalar
+        // reference engine (`lanes = 0`).
+        let p = cdfg::profile("pr").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("pr").unwrap();
+        let scalar_cfg = FlowConfig {
+            lanes: 0,
+            ..FlowConfig::fast()
+        };
+        let word_cfg = FlowConfig {
+            lanes: 1,
+            ..FlowConfig::fast()
+        };
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let s = run_benchmark(&g, &rc, binder, &scalar_cfg);
+        let w = run_benchmark(&g, &rc, binder, &word_cfg);
+        assert_eq!(s.power.total_transitions, w.power.total_transitions);
+        assert_eq!(s.power.glitch_fraction, w.power.glitch_fraction);
+        assert_eq!(s.power.dynamic_power_mw, w.power.dynamic_power_mw);
+        assert_eq!(s.luts, w.luts);
+    }
+
+    #[test]
+    fn multi_lane_simulation_scales_the_vector_budget() {
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg1 = FlowConfig::fast();
+        let cfg8 = FlowConfig {
+            lanes: 8,
+            ..FlowConfig::fast()
+        };
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let r1 = run_benchmark(&g, &rc, binder, &cfg1);
+        let r8a = run_benchmark(&g, &rc, binder, &cfg8);
+        let r8b = run_benchmark(&g, &rc, binder, &cfg8);
+        // 8 lanes simulate 8x the lane-cycles of one lane...
+        assert!(r8a.power.total_transitions > 4 * r1.power.total_transitions);
+        // ...deterministically for a fixed seed...
+        assert_eq!(r8a.power.total_transitions, r8b.power.total_transitions);
+        assert_eq!(r8a.power.glitch_fraction, r8b.power.glitch_fraction);
+        // ...and the per-cycle-normalized power stays in the same regime
+        // (more vectors tighten the estimate, they don't rescale it).
+        let ratio = r8a.power.dynamic_power_mw / r1.power.dynamic_power_mw;
+        assert!((0.5..2.0).contains(&ratio), "power ratio {ratio}");
+    }
+
+    #[test]
+    fn simulated_sa_mode_binds_end_to_end() {
+        // Edge weights measured by the word-parallel simulator instead
+        // of the analytic estimator must drive the full flow.
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig {
+            sa_mode: SaMode::Simulated,
+            ..FlowConfig::fast()
+        };
+        let binder = Binder::HlPower { alpha: 0.5 };
+        assert_eq!(sa_table_for(&cfg, binder).mode(), SaMode::Simulated);
+        let r = run_benchmark(&g, &rc, binder, &cfg);
+        assert!(r.meets_constraint);
+        assert!(r.sa_queries > 0, "binding must query the simulated table");
+        // The zero-delay ablation keeps its dedicated mode regardless.
+        let zd = Binder::HlPowerZeroDelay { alpha: 0.5 };
+        assert_eq!(sa_table_for(&cfg, zd).mode(), SaMode::ZeroDelayAblation);
     }
 
     #[test]

@@ -62,5 +62,7 @@ pub use mux::{mux_report, MuxReport};
 pub use pipeline::{Pipeline, Prepared, StageCounts};
 pub use power::{PowerModel, PowerReport};
 pub use regbind::{bind_registers, bind_registers_left_edge, RegBindConfig, RegisterBinding};
-pub use satable::{compute_sa, partial_datapath, SaMode, SaSource, SaTable, SharedSaTable};
+pub use satable::{
+    compute_sa, partial_datapath, simulate_sa, SaMode, SaSource, SaTable, SharedSaTable,
+};
 pub use vhdl::write_vhdl;

@@ -144,7 +144,7 @@ impl Pipeline {
     /// pipeline caches are functions of this configuration, so one
     /// `Pipeline` must not be reused across different `FlowConfig`s.
     pub fn new(cfg: FlowConfig) -> Self {
-        let sa_glitch = SharedSaTable::new(cfg.sa_width, cfg.k);
+        let sa_glitch = SharedSaTable::new(cfg.sa_width, cfg.k).with_mode(cfg.sa_mode);
         let sa_zero_delay =
             SharedSaTable::new(cfg.sa_width, cfg.k).with_mode(SaMode::ZeroDelayAblation);
         Pipeline {
@@ -436,6 +436,47 @@ mod tests {
     }
 
     #[test]
+    fn word_sim_lanes_are_deterministic_across_job_counts() {
+        // The word-parallel engine must not disturb the pipeline's
+        // jobs-independence guarantee, and one lane must reproduce the
+        // scalar engine bit for bit through the whole staged flow.
+        let suite = small_suite(&["wang"]);
+        let binders = [Binder::HlPower { alpha: 0.5 }];
+        let scalar_cfg = FlowConfig {
+            lanes: 0,
+            ..FlowConfig::fast()
+        };
+        let word_cfg = FlowConfig {
+            lanes: 1,
+            ..FlowConfig::fast()
+        };
+        let wide_cfg = FlowConfig {
+            lanes: 64,
+            ..FlowConfig::fast()
+        };
+        let scalar = Pipeline::new(scalar_cfg).run_matrix(&suite, &binders, 1);
+        let one_lane = Pipeline::new(word_cfg).run_matrix(&suite, &binders, 2);
+        assert_eq!(
+            scalar[0][0].power.total_transitions,
+            one_lane[0][0].power.total_transitions
+        );
+        assert_eq!(
+            scalar[0][0].power.glitch_fraction,
+            one_lane[0][0].power.glitch_fraction
+        );
+        let wide_serial = Pipeline::new(wide_cfg.clone()).run_matrix(&suite, &binders, 1);
+        let wide_parallel = Pipeline::new(wide_cfg).run_matrix(&suite, &binders, 4);
+        assert_eq!(
+            wide_serial[0][0].power.total_transitions,
+            wide_parallel[0][0].power.total_transitions
+        );
+        assert!(
+            wide_serial[0][0].power.total_transitions > scalar[0][0].power.total_transitions,
+            "64 lanes cover a 64x vector budget"
+        );
+    }
+
+    #[test]
     fn seeding_rejects_incompatible_tables() {
         let pipeline = Pipeline::new(FlowConfig::fast());
         let binder = Binder::HlPower { alpha: 0.5 };
@@ -452,6 +493,25 @@ mod tests {
         assert_eq!(pipeline.seed_sa_cache(binder, &glitchy), Ok(1));
         let snap = pipeline.sa_snapshot(binder);
         assert_eq!(snap.len(), 1);
+        // A pipeline configured for simulated SA training refuses
+        // estimator tables but accepts simulated ones — so tables written
+        // by `hlp table --sa-mode simulated` are actually loadable.
+        let sim_pipeline = Pipeline::new(FlowConfig {
+            sa_mode: SaMode::Simulated,
+            ..FlowConfig::fast()
+        });
+        assert!(sim_pipeline.seed_sa_cache(binder, &glitchy).is_err());
+        let sim_cfg = sim_pipeline.config();
+        let mut sim_table = SaTable::new(sim_cfg.sa_width, sim_cfg.k).with_mode(SaMode::Simulated);
+        sim_table.insert(cdfg::FuType::AddSub, 2, 2, 12.5);
+        assert_eq!(sim_pipeline.seed_sa_cache(binder, &sim_table), Ok(1));
+        assert_eq!(
+            sim_pipeline
+                .sa_cache(binder)
+                .get(cdfg::FuType::AddSub, 2, 2),
+            12.5,
+            "seeded simulated entry must be served back without recomputing"
+        );
     }
 
     #[test]

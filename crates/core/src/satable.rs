@@ -10,6 +10,12 @@
 //! table, including its text-file persistence format. Dynamic (uncached)
 //! estimation is kept for the equivalence/runtime ablation the paper
 //! reports ("the same results ... but with a much shorter run time").
+//!
+//! Beyond the paper's estimator, [`SaMode::Simulated`] trains table
+//! entries by *measuring* each partial datapath with the word-parallel
+//! unit-delay simulator ([`gatesim::WordSim`]): 64 independent vector
+//! lanes per event-wheel pass make simulation cheap enough to use as a
+//! ground-truth training source ([`simulate_sa`]).
 
 use activity::{analyze_zero_delay, ActivityConfig, ZeroDelayModel};
 use cdfg::FuType;
@@ -89,6 +95,55 @@ pub fn compute_sa(
     }
 }
 
+/// Clock cycles per lane in one [`SaMode::Simulated`] training run.
+pub const SIM_TRAIN_STEPS: u64 = 64;
+/// Word-parallel lanes per training run: `SIM_TRAIN_STEPS × SIM_TRAIN_LANES`
+/// random vectors are simulated per table entry at roughly the event-wheel
+/// cost of a single scalar stream.
+pub const SIM_TRAIN_LANES: usize = gatesim::MAX_LANES;
+/// Fixed vector seed of the training runs — part of the table's identity
+/// (two tables trained with the same constants are bit-identical).
+pub const SIM_TRAIN_SEED: u64 = 0x5A7AB1E;
+
+/// The *simulated* switching activity of one partial datapath: map to
+/// K-LUTs, then measure mean transitions per node-cycle with the
+/// word-parallel unit-delay simulator ([`gatesim::WordSim`]) under
+/// uniform random stimulus — the measurement the paper's estimator
+/// approximates, made affordable as a training source by bit-slicing
+/// ([`SIM_TRAIN_LANES`] vector streams per event-wheel pass).
+///
+/// The returned value is on the same scale as [`compute_sa`]: total SA,
+/// i.e. transitions per clock cycle summed over all nets.
+pub fn simulate_sa(fu: FuType, mux_a: usize, mux_b: usize, width: usize, k: usize) -> f64 {
+    let nl = partial_datapath(fu, mux_a, mux_b, width);
+    let mapped = map(&nl, &MapConfig::new(k, MapObjective::GlitchSa));
+    let stats = gatesim::run_random_word(
+        &mapped.netlist,
+        SIM_TRAIN_STEPS,
+        SIM_TRAIN_SEED,
+        SIM_TRAIN_LANES,
+    );
+    stats.total_transitions as f64 / stats.cycles as f64
+}
+
+/// One table entry for `mode`: the estimator for the analytic modes, the
+/// word-parallel simulator for [`SaMode::Simulated`]. [`SaMode::Dynamic`]
+/// recomputes the same glitch-aware estimate as [`SaMode::Precalculated`].
+fn compute_for_mode(
+    mode: SaMode,
+    fu: FuType,
+    mux_a: usize,
+    mux_b: usize,
+    width: usize,
+    k: usize,
+) -> f64 {
+    match mode {
+        SaMode::Precalculated | SaMode::Dynamic => compute_sa(fu, mux_a, mux_b, width, k, true),
+        SaMode::ZeroDelayAblation => compute_sa(fu, mux_a, mux_b, width, k, false),
+        SaMode::Simulated => simulate_sa(fu, mux_a, mux_b, width, k),
+    }
+}
+
 /// How edge-weight SA values are obtained during binding.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SaMode {
@@ -100,6 +155,10 @@ pub enum SaMode {
     Dynamic,
     /// Zero-delay (glitch-blind) estimates — ablation of the glitch model.
     ZeroDelayAblation,
+    /// Entries *measured* by word-parallel unit-delay simulation of the
+    /// partial datapath ([`simulate_sa`]) instead of the analytic
+    /// estimator — ground-truth training made affordable by bit-slicing.
+    Simulated,
 }
 
 /// A source of partial-datapath SA estimates for Eq. 4 edge weights.
@@ -138,7 +197,7 @@ pub struct SaTable {
     width: usize,
     k: usize,
     mode: SaMode,
-    entries: HashMap<(FuType, u16, u16), f64>,
+    entries: HashMap<(FuType, u32, u32), f64>,
     queries: u64,
     misses: u64,
 }
@@ -192,13 +251,12 @@ impl SaTable {
                 self.misses += 1;
                 compute_sa(fu, mux_a, mux_b, self.width, self.k, true)
             }
-            SaMode::Precalculated | SaMode::ZeroDelayAblation => {
-                let glitch = self.mode == SaMode::Precalculated;
+            mode => {
                 let (width, k) = (self.width, self.k);
                 let misses = &mut self.misses;
                 *self.entries.entry(key).or_insert_with(|| {
                     *misses += 1;
-                    compute_sa(fu, mux_a, mux_b, width, k, glitch)
+                    compute_for_mode(mode, fu, mux_a, mux_b, width, k)
                 })
             }
         }
@@ -297,8 +355,8 @@ impl SaTable {
                 "mult" => FuType::Mul,
                 _ => return Err(SaTableParseError(ln0 + 1)),
             };
-            let a: u16 = toks[1].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
-            let b: u16 = toks[2].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+            let a: u32 = toks[1].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
+            let b: u32 = toks[2].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
             let sa: f64 = toks[3].parse().map_err(|_| SaTableParseError(ln0 + 1))?;
             entries.insert((fu, a, b), sa);
         }
@@ -318,6 +376,7 @@ fn mode_name(mode: SaMode) -> &'static str {
         SaMode::Precalculated => "precalculated",
         SaMode::Dynamic => "dynamic",
         SaMode::ZeroDelayAblation => "zero-delay",
+        SaMode::Simulated => "simulated",
     }
 }
 
@@ -326,16 +385,31 @@ fn mode_from_name(name: &str) -> Option<SaMode> {
         "precalculated" => Some(SaMode::Precalculated),
         "dynamic" => Some(SaMode::Dynamic),
         "zero-delay" => Some(SaMode::ZeroDelayAblation),
+        "simulated" => Some(SaMode::Simulated),
         _ => None,
     }
 }
 
-fn key(fu: FuType, mux_a: usize, mux_b: usize) -> (FuType, u16, u16) {
-    (
-        fu,
-        mux_a.min(u16::MAX as usize) as u16,
-        mux_b.min(u16::MAX as usize) as u16,
-    )
+impl SaMode {
+    /// Parses the persistence-format name of a mode (`precalculated`,
+    /// `dynamic`, `zero-delay`, or `simulated`).
+    pub fn parse(name: &str) -> Option<SaMode> {
+        mode_from_name(name)
+    }
+
+    /// The persistence-format name of this mode.
+    pub fn name(&self) -> &'static str {
+        mode_name(*self)
+    }
+}
+
+fn key(fu: FuType, mux_a: usize, mux_b: usize) -> (FuType, u32, u32) {
+    // Regression: this used to clamp with `.min(u16::MAX as usize) as
+    // u16`, silently aliasing every mux wider than 65535 pins onto the
+    // 65535 entry (and its SA estimate). Widened to u32 and made loud.
+    let a = u32::try_from(mux_a).expect("mux pin count exceeds u32 SA key range");
+    let b = u32::try_from(mux_b).expect("mux pin count exceeds u32 SA key range");
+    (fu, a, b)
 }
 
 /// Thread-safe SA memo shared by concurrent pipeline jobs.
@@ -369,7 +443,7 @@ pub struct SharedSaTable {
     width: usize,
     k: usize,
     mode: SaMode,
-    entries: RwLock<HashMap<(FuType, u16, u16), f64>>,
+    entries: RwLock<HashMap<(FuType, u32, u32), f64>>,
     queries: AtomicU64,
     misses: AtomicU64,
 }
@@ -444,10 +518,11 @@ impl SharedSaTable {
             return sa;
         }
         // Compute outside the lock; a concurrent miss on the same key
-        // computes the identical value, so first-write-wins is fine.
+        // computes the identical value (both the estimator and the
+        // fixed-seed simulated trainer are deterministic), so
+        // first-write-wins is fine.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let glitch = self.mode == SaMode::Precalculated;
-        let sa = compute_sa(fu, mux_a, mux_b, self.width, self.k, glitch);
+        let sa = compute_for_mode(self.mode, fu, mux_a, mux_b, self.width, self.k);
         *self
             .entries
             .write()
@@ -642,6 +717,77 @@ mod tests {
             m11 > 2.0 * a11,
             "multiplier should dominate adder: {a11} vs {m11}"
         );
+    }
+
+    #[test]
+    fn key_is_exact_beyond_u16() {
+        // Regression: keys used to clamp to u16::MAX, silently aliasing
+        // every mux wider than 65535 pins (65536, 65537, ...) onto the
+        // 65535 entry. The boundary values must stay distinct.
+        let mut t = SaTable::new(4, 4);
+        let big = u16::MAX as usize; // 65535
+        t.insert(FuType::AddSub, big, 1, 1.0);
+        t.insert(FuType::AddSub, big + 1, 1, 2.0);
+        t.insert(FuType::AddSub, big + 2, 1, 3.0);
+        assert_eq!(t.len(), 3, "boundary keys must not alias");
+        assert_eq!(t.lookup(FuType::AddSub, big, 1), Some(1.0));
+        assert_eq!(t.lookup(FuType::AddSub, big + 1, 1), Some(2.0));
+        assert_eq!(t.lookup(FuType::AddSub, big + 2, 1), Some(3.0));
+        // And the u32 keys survive the text round-trip.
+        let back = SaTable::from_text(&t.to_text()).unwrap();
+        assert_eq!(back.lookup(FuType::AddSub, big + 1, 1), Some(2.0));
+    }
+
+    #[test]
+    fn simulated_mode_measures_with_the_word_simulator() {
+        let mut t = SaTable::new(4, 4).with_mode(SaMode::Simulated);
+        let s11 = t.get(FuType::AddSub, 1, 1);
+        let s33 = t.get(FuType::AddSub, 3, 3);
+        assert!(s11 > 0.0);
+        assert!(s33 > s11, "bigger muxes toggle more: {s11} vs {s33}");
+        // Memoized like the precalculated mode.
+        t.get(FuType::AddSub, 1, 1);
+        let (q, m) = t.counters();
+        assert_eq!((q, m), (3, 2));
+        // Deterministic: the trainer's seed and lane count are fixed.
+        let mut u = SaTable::new(4, 4).with_mode(SaMode::Simulated);
+        assert_eq!(u.get(FuType::AddSub, 1, 1), s11);
+        // Matches the free function on the same scale.
+        assert_eq!(s11, simulate_sa(FuType::AddSub, 1, 1, 4, 4));
+    }
+
+    #[test]
+    fn simulated_mode_roundtrips_and_refuses_mixing() {
+        let mut t = SaTable::new(4, 4).with_mode(SaMode::Simulated);
+        t.get(FuType::Mul, 2, 1);
+        let text = t.to_text();
+        assert!(text.contains("mode=simulated"));
+        let back = SaTable::from_text(&text).unwrap();
+        assert_eq!(back.mode(), SaMode::Simulated);
+        // The shared cache refuses to absorb simulated entries into an
+        // estimator-trained cache (they are different models).
+        let cache = SharedSaTable::new(4, 4);
+        assert!(cache.absorb(&back).is_err());
+        let sim_cache = SharedSaTable::new(4, 4).with_mode(SaMode::Simulated);
+        assert_eq!(sim_cache.absorb(&back), Ok(1));
+        // Values agree within the 1e-6 text precision and do not recompute.
+        let diff = (sim_cache.get(FuType::Mul, 2, 1) - t.get(FuType::Mul, 2, 1)).abs();
+        assert!(diff < 1e-5, "round-tripped entry drifted by {diff}");
+        let (_, misses) = sim_cache.counters();
+        assert_eq!(misses, 0, "absorbed simulated entries must not recompute");
+    }
+
+    #[test]
+    fn sa_mode_names_roundtrip() {
+        for mode in [
+            SaMode::Precalculated,
+            SaMode::Dynamic,
+            SaMode::ZeroDelayAblation,
+            SaMode::Simulated,
+        ] {
+            assert_eq!(SaMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(SaMode::parse("sideways"), None);
     }
 
     #[test]

@@ -81,7 +81,18 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Sets a little-endian input word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is wider than 64 — a `>> i` past bit 63 would
+    /// panic in debug builds but silently wrap in release, replaying
+    /// `value`'s low bits into the high bus bits.
     pub fn set_word(&mut self, bits: &[NodeId], value: u64) {
+        assert!(
+            bits.len() <= 64,
+            "word write limited to 64 bits, bus has {}",
+            bits.len()
+        );
         for (i, &b) in bits.iter().enumerate() {
             self.set_input(b, (value >> i) & 1 == 1);
         }
@@ -125,7 +136,18 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Reads a little-endian word of node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is wider than 64 — a `<< i` past bit 63 would
+    /// panic in debug builds but silently wrap in release, folding bit
+    /// `i` onto bit `i - 64`.
     pub fn word(&self, bits: &[NodeId]) -> u64 {
+        assert!(
+            bits.len() <= 64,
+            "word read limited to 64 bits, bus has {}",
+            bits.len()
+        );
         bits.iter().enumerate().fold(0u64, |acc, (i, &b)| {
             acc | ((self.values[b.index()] as u64) << i)
         })
@@ -228,6 +250,28 @@ mod tests {
         ev.settle();
         ev.step_clock();
         assert_eq!(ev.word(&reg.q), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "word read limited to 64 bits")]
+    fn word_rejects_buses_wider_than_64() {
+        let mut nl = Netlist::new("wide");
+        let bus: Vec<NodeId> = (0..70).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let g = nl.add_logic("g", vec![bus[0]], TruthTable::buffer());
+        nl.mark_output("o", g);
+        let ev = Evaluator::new(&nl);
+        ev.word(&bus);
+    }
+
+    #[test]
+    #[should_panic(expected = "word write limited to 64 bits")]
+    fn set_word_rejects_buses_wider_than_64() {
+        let mut nl = Netlist::new("wide");
+        let bus: Vec<NodeId> = (0..70).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let g = nl.add_logic("g", vec![bus[0]], TruthTable::buffer());
+        nl.mark_output("o", g);
+        let mut ev = Evaluator::new(&nl);
+        ev.set_word(&bus, 1);
     }
 
     #[test]

@@ -122,7 +122,18 @@ impl<'a> CycleSim<'a> {
     }
 
     /// Reads a little-endian word of node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is wider than 64 — a `<< i` past bit 63 would
+    /// panic in debug builds but silently wrap in release, folding bit
+    /// `i` onto bit `i - 64`.
     pub fn word(&self, bits: &[NodeId]) -> u64 {
+        assert!(
+            bits.len() <= 64,
+            "word read limited to 64 bits, bus has {}",
+            bits.len()
+        );
         bits.iter().enumerate().fold(0u64, |acc, (i, &b)| {
             acc | ((self.values[b.index()] as u64) << i)
         })
@@ -383,6 +394,19 @@ mod tests {
         assert_eq!(stats.per_node.iter().sum::<u64>(), stats.total_transitions);
         assert_eq!(stats.cycles, 50);
         assert!(stats.mean_activity() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "word read limited to 64 bits")]
+    fn word_rejects_buses_wider_than_64() {
+        // Regression: `<< i` over a 65+-bit bus used to panic in debug
+        // builds and silently wrap (bit 64 folded onto bit 0) in release.
+        let mut nl = Netlist::new("wide");
+        let bus: Vec<NodeId> = (0..65).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let g = nl.add_logic("g", vec![bus[0]], TruthTable::buffer());
+        nl.mark_output("o", g);
+        let sim = CycleSim::new(&nl);
+        sim.word(&bus);
     }
 
     #[test]

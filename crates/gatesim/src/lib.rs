@@ -1,12 +1,15 @@
 //! Gate-level simulation for the HLPower reproduction.
 //!
-//! Two simulators over the shared [`netlist::Netlist`] IR:
+//! Three simulators over the shared [`netlist::Netlist`] IR:
 //!
 //! * [`Evaluator`] — zero-delay functional evaluation (the verification
 //!   oracle for mapping and datapath elaboration);
 //! * [`CycleSim`] — event-driven **unit-delay** simulation that counts
 //!   every output transition per node per clock cycle, split into
-//!   functional transitions and glitches.
+//!   functional transitions and glitches;
+//! * [`WordSim`] — the **word-parallel (bit-sliced)** unit-delay
+//!   simulator: up to 64 independent lanes per `u64` node word, each lane
+//!   bit-exact with a [`CycleSim`] run seeded via [`lane_seed`].
 //!
 //! Together with the seeded vector drivers ([`run_random`], [`run_with`])
 //! this substitutes for the paper's Quartus II simulation + PowerPlay
@@ -38,8 +41,10 @@ pub mod eval;
 pub mod event;
 pub mod vcd;
 pub mod vectors;
+pub mod wordsim;
 
 pub use eval::Evaluator;
 pub use event::{CycleReport, CycleSim, SimStats};
 pub use vcd::dump_vcd;
-pub use vectors::{run_random, run_with, VectorSource};
+pub use vectors::{lane_seed, run_random, run_with, VectorSource, WordVectorSource};
+pub use wordsim::{run_random_word, WordSim, MAX_LANES};

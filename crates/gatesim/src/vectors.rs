@@ -38,6 +38,88 @@ impl VectorSource {
     }
 }
 
+/// Derives the vector-stream seed of one simulation lane.
+///
+/// Lane 0 keeps the caller's seed **unchanged** — so a single-lane
+/// word-parallel run replays the scalar stream byte for byte — and every
+/// other lane XORs in the SplitMix64 finalizer of its lane index (the
+/// finalizer maps 0 to 0, which is what makes lane 0 the identity).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gatesim::lane_seed(42, 0), 42, "lane 0 is the scalar stream");
+/// assert_ne!(gatesim::lane_seed(42, 1), gatesim::lane_seed(42, 2));
+/// ```
+pub fn lane_seed(seed: u64, lane: usize) -> u64 {
+    // SplitMix64 finalizer: a bijective mixer with finalize(0) == 0.
+    let mut z = lane as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    seed ^ (z ^ (z >> 31))
+}
+
+/// Deterministic random vector source for word-parallel simulation: one
+/// independent [`VectorSource`] per lane, each seeded via [`lane_seed`].
+///
+/// Lane `L` draws exactly the bit stream `VectorSource::new(lane_seed(
+/// seed, L))` would, in the same per-cycle order, so word-parallel runs
+/// decompose lane-by-lane into scalar runs.
+#[derive(Debug)]
+pub struct WordVectorSource {
+    sources: Vec<VectorSource>,
+    scratch: Vec<bool>,
+}
+
+impl WordVectorSource {
+    /// Creates one stream per lane from a base seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 64.
+    pub fn new(seed: u64, lanes: usize) -> Self {
+        assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+        WordVectorSource {
+            sources: (0..lanes)
+                .map(|l| VectorSource::new(lane_seed(seed, l)))
+                .collect(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// The per-lane scalar stream (lane `L` of every word drawn so far
+    /// came from this source). Exposed so drivers can interleave word
+    /// draws with per-lane scalar draws without desynchronizing.
+    pub fn lane(&mut self, lane: usize) -> &mut VectorSource {
+        &mut self.sources[lane]
+    }
+
+    /// Fills `words` with one `u64` per primary input: bit `L` of
+    /// `words[i]` is lane `L`'s fresh random value for input `i`.
+    pub fn fill_words(&mut self, words: &mut [u64]) {
+        words.fill(0);
+        self.scratch.resize(words.len(), false);
+        for (lane, src) in self.sources.iter_mut().enumerate() {
+            src.fill(&mut self.scratch);
+            for (w, &b) in words.iter_mut().zip(&self.scratch) {
+                *w |= (b as u64) << lane;
+            }
+        }
+    }
+
+    /// Draws `n` fresh input words (see [`WordVectorSource::fill_words`]).
+    pub fn next_words(&mut self, n: usize) -> Vec<u64> {
+        let mut words = vec![0u64; n];
+        self.fill_words(&mut words);
+        words
+    }
+}
+
 /// Simulates `cycles` clock cycles with uniform random primary-input
 /// vectors (the paper's 1000-random-vector methodology) and returns the
 /// cumulative statistics.
@@ -82,6 +164,45 @@ pub fn run_with(nl: &Netlist, cycles: u64, mut drive: impl FnMut(u64, &mut [bool
 mod tests {
     use super::*;
     use netlist::{cells, NodeId};
+
+    #[test]
+    fn lane_zero_replays_the_scalar_stream() {
+        assert_eq!(lane_seed(1234, 0), 1234);
+        let mut word = WordVectorSource::new(1234, 4);
+        let mut scalar = VectorSource::new(1234);
+        for _ in 0..5 {
+            let words = word.next_words(8);
+            let bits = scalar.next_vector(8);
+            for (w, b) in words.iter().zip(&bits) {
+                assert_eq!(w & 1 == 1, *b, "lane 0 must equal the scalar draw");
+            }
+        }
+    }
+
+    #[test]
+    fn word_lanes_decompose_into_scalar_sources() {
+        let seed = 77;
+        let lanes = 6;
+        let mut word = WordVectorSource::new(seed, lanes);
+        let mut scalars: Vec<VectorSource> = (0..lanes)
+            .map(|l| VectorSource::new(lane_seed(seed, l)))
+            .collect();
+        for _ in 0..4 {
+            let words = word.next_words(5);
+            for (l, s) in scalars.iter_mut().enumerate() {
+                let bits = s.next_vector(5);
+                for (w, b) in words.iter().zip(&bits) {
+                    assert_eq!((w >> l) & 1 == 1, *b, "lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..64).map(|l| lane_seed(42, l)).collect();
+        assert_eq!(seeds.len(), 64, "64 lanes need 64 distinct streams");
+    }
 
     #[test]
     fn vectors_are_deterministic() {

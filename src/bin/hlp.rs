@@ -13,6 +13,20 @@
 //!   --alpha A        Eq. 4 weighting coefficient   (default 0.5)
 //!   --binder NAME    lopass | lopass-ic | lopass-sa | hlpower  (default hlpower)
 //!   --cycles N       simulation cycles             (default 1000)
+//!   --lanes N        word-parallel simulation lanes, 1..=64
+//!                    (default 1 — byte-identical to the scalar engine,
+//!                    which `--lanes 0` selects explicitly); lane L's
+//!                    vector stream is seeded with lane_seed(seed, L)
+//!   --sa-mode M      SA-table training: precalculated | zero-delay |
+//!                    simulated | dynamic  (default precalculated;
+//!                    `simulated` measures each entry with the
+//!                    word-parallel simulator instead of the estimator,
+//!                    `dynamic` is the paper's uncached-estimation
+//!                    runtime ablation and is refused by `table` since
+//!                    it never memoizes). Applies to `table` output and
+//!                    to the binder's edge weights in `run`/`bench` —
+//!                    pair it with `--sa-table` to persist/reload
+//!                    matching tables
 //!   --fsm            elaborate the on-chip FSM controller
 //!   --vhdl PATH      write structural VHDL
 //!   --blif PATH      write the gate-level netlist as BLIF
@@ -26,7 +40,7 @@
 //! invocations (the paper's offline hash-table file).
 
 use cdfg::ResourceConstraint;
-use hlpower::{Binder, ControlStyle, FlowConfig, Pipeline, SaTable};
+use hlpower::{Binder, ControlStyle, FlowConfig, Pipeline, SaMode, SaTable};
 use std::process::exit;
 
 struct Options {
@@ -35,6 +49,8 @@ struct Options {
     alpha: f64,
     binder: Binder,
     cycles: u64,
+    lanes: usize,
+    sa_mode: SaMode,
     fsm: bool,
     vhdl: Option<String>,
     blif: Option<String>,
@@ -46,7 +62,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: hlp <run FILE | bench NAME | table OUT | suite> \
          [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
-         [--cycles N] [--fsm] [--vhdl P] [--blif P] [--dot P] [--sa-table P]"
+         [--cycles N] [--lanes N] [--sa-mode M] [--fsm] \
+         [--vhdl P] [--blif P] [--dot P] [--sa-table P]"
     );
     exit(2)
 }
@@ -58,6 +75,8 @@ fn parse_options(args: &[String]) -> Options {
         alpha: 0.5,
         binder: Binder::HlPower { alpha: 0.5 },
         cycles: 1000,
+        lanes: 1,
+        sa_mode: SaMode::Precalculated,
         fsm: false,
         vhdl: None,
         blif: None,
@@ -72,12 +91,32 @@ fn parse_options(args: &[String]) -> Options {
             args.get(*i).cloned().unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
-            "--width" => o.width = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--width" => {
+                o.width = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if o.width == 0 || o.width > 64 {
+                    eprintln!("--width must be in 1..=64 (word-level buses are u64)");
+                    usage();
+                }
+            }
             "--adders" => o.rc.addsub = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--mults" => o.rc.mul = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--alpha" => o.alpha = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--binder" => binder_name = value(&mut i),
             "--cycles" => o.cycles = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lanes" => {
+                o.lanes = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if o.lanes > gatesim::MAX_LANES {
+                    eprintln!("--lanes is limited to {} lanes", gatesim::MAX_LANES);
+                    usage();
+                }
+            }
+            "--sa-mode" => {
+                let name = value(&mut i);
+                o.sa_mode = SaMode::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown SA mode `{name}`");
+                    usage()
+                });
+            }
             "--fsm" => o.fsm = true,
             "--vhdl" => o.vhdl = Some(value(&mut i)),
             "--blif" => o.blif = Some(value(&mut i)),
@@ -106,6 +145,8 @@ fn flow_config(o: &Options) -> FlowConfig {
         width: o.width,
         sa_width: o.width.min(8),
         sim_cycles: o.cycles,
+        sa_mode: o.sa_mode,
+        lanes: o.lanes,
         control: if o.fsm {
             ControlStyle::Fsm
         } else {
@@ -283,10 +324,18 @@ fn main() {
         "table" => {
             let Some(out) = argv.get(1) else { usage() };
             let o = parse_options(&argv[2..]);
-            let mut table = SaTable::new(o.width.min(8), 4);
+            if o.sa_mode == SaMode::Dynamic {
+                // Dynamic mode is a run/bench ablation (uncached
+                // estimation); it never memoizes, so there is nothing to
+                // precompute into a file.
+                eprintln!("--sa-mode dynamic never memoizes, so there is no table to store");
+                usage();
+            }
+            let mut table = SaTable::new(o.width.min(8), 4).with_mode(o.sa_mode);
             eprintln!(
-                "precomputing SA table up to 8x8 muxes (width {})...",
-                table.width()
+                "precomputing SA table up to 8x8 muxes (width {}, mode {})...",
+                table.width(),
+                o.sa_mode.name()
             );
             table.precompute(8);
             write_or_die(out, &table.to_text());

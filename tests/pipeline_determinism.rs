@@ -72,6 +72,48 @@ fn tables_identical_for_one_and_many_jobs() {
 }
 
 #[test]
+fn word_engine_single_lane_fingerprint_matches_scalar_engine() {
+    // Every paper table runs at the default `--lanes 1` (word engine);
+    // its full deterministic fingerprint must equal the scalar reference
+    // engine's (`--lanes 0`) — the end-to-end form of the gatesim
+    // differential tests.
+    let suite = suite(&["pr", "wang"]);
+    let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+    let scalar_cfg = FlowConfig {
+        lanes: 0,
+        ..FlowConfig::fast()
+    };
+    let word_cfg = FlowConfig {
+        lanes: 1,
+        ..FlowConfig::fast()
+    };
+    let scalar = Pipeline::new(scalar_cfg).run_matrix(&suite, &binders, 2);
+    let word = Pipeline::new(word_cfg).run_matrix(&suite, &binders, 2);
+    assert_eq!(
+        fingerprint(&scalar),
+        fingerprint(&word),
+        "one word-parallel lane must replay the scalar engine byte for byte"
+    );
+}
+
+#[test]
+fn word_engine_many_lanes_fingerprint_is_reproducible() {
+    let suite = suite(&["wang"]);
+    let binders = [Binder::HlPower { alpha: 0.5 }];
+    let cfg = FlowConfig {
+        lanes: 64,
+        ..FlowConfig::fast()
+    };
+    let a = Pipeline::new(cfg.clone()).run_matrix(&suite, &binders, 1);
+    let b = Pipeline::new(cfg).run_matrix(&suite, &binders, 4);
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "fixed-seed 64-lane runs must be byte-identical across job counts"
+    );
+}
+
+#[test]
 fn front_end_artifacts_computed_once_per_benchmark() {
     let suite = suite(&["pr", "wang"]);
     let binders = [
