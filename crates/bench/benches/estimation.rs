@@ -119,9 +119,73 @@ fn bench_simulators() {
     );
 }
 
+/// Cold-vs-warm artifact store on one full benchmark × binder job: the
+/// cold run computes schedule → bind → elaborate → map → simulate and
+/// persists every artifact; warm runs rebuild the same `FlowResult`
+/// from the store (binding still executes — it is cheap once the SA
+/// shard is loaded). The payoff the store exists for, reported as a
+/// speedup with an asserted floor.
+fn bench_store() {
+    use hlpower::{ArtifactStore, Binder, FlowConfig, Pipeline};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("hlpower-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let p = cdfg::profile("wang").unwrap();
+    let suite = vec![(
+        cdfg::generate(p, p.seed),
+        hlpower::paper_constraint("wang").unwrap(),
+    )];
+    let binders = [Binder::HlPower { alpha: 0.5 }];
+    let cfg = FlowConfig {
+        width: 8,
+        sa_width: 6,
+        sim_cycles: 300,
+        lanes: 64,
+        ..FlowConfig::default()
+    };
+
+    let cold_start = Instant::now();
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    Pipeline::with_store(cfg.clone(), store).run_matrix(&suite, &binders, 1);
+    let cold = cold_start.elapsed().as_secs_f64();
+
+    // Median of three warm runs, each through a fresh pipeline + store
+    // handle (as a new process would be).
+    let mut warms = [0.0f64; 3];
+    for w in &mut warms {
+        let start = Instant::now();
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let pipeline = Pipeline::with_store(cfg.clone(), store);
+        pipeline.run_matrix(&suite, &binders, 1);
+        let stats = pipeline.stats();
+        assert_eq!(stats.stages.mappings, 0, "warm run must not map");
+        assert_eq!(stats.stages.simulations, 0, "warm run must not simulate");
+        *w = start.elapsed().as_secs_f64();
+    }
+    warms.sort_by(|a, b| a.total_cmp(b));
+    let warm = warms[1];
+    let speedup = cold / warm;
+    println!(
+        "store/cold_wang_full_job                 {:10.3} ms",
+        cold * 1e3
+    );
+    println!(
+        "store/warm_wang_full_job                 {:10.3} ms",
+        warm * 1e3
+    );
+    println!("store/warm_vs_cold_speedup               {speedup:13.1}x  (acceptance floor: 2x)");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        speedup >= 2.0,
+        "warm artifact-store rerun regressed below the 2x acceptance floor: {speedup:.1}x"
+    );
+}
+
 fn main() {
     bench_estimators();
     bench_mapping();
     bench_sa_table_entry();
     bench_simulators();
+    bench_store();
 }

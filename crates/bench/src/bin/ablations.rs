@@ -19,7 +19,7 @@
 use cdfg::ResourceLibrary;
 use hlpower::{
     bind_registers_left_edge, elaborate, mux_report, Binder, ControlStyle, DatapathConfig,
-    FlowConfig, Pipeline, Prepared, RegBindConfig,
+    FlowConfig, Prepared, RegBindConfig,
 };
 use hlpower_bench::{pct_change, render_table, run_on, Args};
 use mapper::{map, MapConfig};
@@ -27,16 +27,19 @@ use mapper::{map, MapConfig};
 fn main() {
     let args = Args::parse();
     hlpower_bench::reject_binder_flag(&args, "ablations");
+    hlpower_bench::reject_shard_flag(&args, "ablations");
     let suite = args.suite();
     let take = suite.len().min(3);
     let small = &suite[suite.len() - take..]; // the smaller benchmarks
     let binder = Binder::HlPower { alpha: 0.5 };
 
-    // One pipeline per flow configuration. The α=0.5 binding feeding
-    // ablations 1–3 is bound exactly once per benchmark here: the K
-    // sweep keeps the elaborated datapath, and the measured FlowResult
-    // is reused as the glitch-aware / external-control reference below.
-    let pipeline = Pipeline::new(args.flow.clone());
+    // One pipeline per flow configuration (each attached to --store when
+    // given; the per-configuration fingerprints keep their artifacts
+    // apart). The α=0.5 binding feeding ablations 1–3 is bound exactly
+    // once per benchmark here: the K sweep keeps the elaborated datapath,
+    // and the measured FlowResult is reused as the glitch-aware /
+    // external-control reference below.
+    let pipeline = args.pipeline();
     let zd_results = run_on(
         &pipeline,
         small,
@@ -95,7 +98,7 @@ fn main() {
     // The FSM flow is a different configuration, hence its own pipeline;
     // the external-control numbers reuse the shared results above.
     println!("=== Ablation 3: on-chip FSM controller vs external control ===");
-    let fsm_pipeline = Pipeline::new(FlowConfig {
+    let fsm_pipeline = args.pipeline_for(FlowConfig {
         control: ControlStyle::Fsm,
         ..args.flow.clone()
     });
@@ -172,7 +175,7 @@ fn main() {
 
     // ---- 5. Multi-cycle multipliers ----------------------------------------
     println!("=== Ablation 5: 2-cycle multipliers (paper future work) ===");
-    let multi_pipeline = Pipeline::new(FlowConfig {
+    let multi_pipeline = args.pipeline_for(FlowConfig {
         library: ResourceLibrary {
             addsub_latency: 1,
             mul_latency: 2,
@@ -199,4 +202,8 @@ fn main() {
         "{}",
         render_table(&["Bench", "steps", "mults", "meets rc", "mW"], &rows)
     );
+
+    // The manual prepare/bind/measure loops above ran outside run_matrix,
+    // so merge their SA entries into the store explicitly.
+    pipeline.flush_store();
 }

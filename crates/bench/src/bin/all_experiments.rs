@@ -254,12 +254,17 @@ fn main() {
     );
 
     // Sharing evidence (stderr: diagnostics, not part of the report).
-    let c = pipeline.counters();
-    debug_assert_eq!(c.schedules as usize, suite.len());
+    // Every benchmark's front end was either computed once or served
+    // from the artifact store — never recomputed per binder.
+    let s = pipeline.stats();
+    debug_assert_eq!(
+        (s.stages.schedules + s.store.prepared_hits) as usize,
+        suite.len()
+    );
     eprintln!(
         "pipeline: {} schedules / {} fu-binds for {} benchmarks x {} binders",
-        c.schedules,
-        c.fu_bindings,
+        s.stages.schedules,
+        s.stages.fu_bindings,
         suite.len(),
         BINDERS.len()
     );

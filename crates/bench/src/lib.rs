@@ -9,17 +9,29 @@
 #![warn(missing_docs)]
 
 use cdfg::{Cdfg, ResourceConstraint};
-use hlpower::{paper_constraint, Binder, FlowConfig, FlowResult, Pipeline};
+use hlpower::{paper_constraint, ArtifactStore, Binder, FlowConfig, FlowResult, Pipeline, Shard};
+use std::sync::Arc;
+
+/// Default word-parallel lane count of the experiment binaries. The
+/// bit-sliced engine makes a 64× vector budget nearly free, so the
+/// binaries simulate at full width unless `--paper-exact` restores the
+/// paper's single-stream tables.
+pub const DEFAULT_LANES: usize = 64;
 
 /// Command-line options shared by the experiment binaries.
 ///
 /// Flags: `--width N`, `--cycles N`, `--sa-width N`, `--seed N` (sets
 /// both the simulation and the register-port seed), `--lanes N`
 /// (word-parallel simulation lanes, 1..=64; `0` selects the scalar
-/// reference engine; default 1, which is byte-identical to scalar),
+/// reference engine; default [`DEFAULT_LANES`]), `--paper-exact`
+/// (restore the paper's `--lanes 1` single-stream tables),
 /// `--bench NAME` (repeatable), `--binder LABEL` (repeatable, see
 /// [`parse_binder`]), `--jobs N` (parallel fan-out width), `--fast`
-/// (width 8, 300 cycles — for smoke runs).
+/// (width 8, 300 cycles — for smoke runs), `--store DIR` (persistent
+/// artifact store: prepared schedules, mapped netlists, simulation
+/// summaries, and the SA table are cached across runs), `--shard i/N`
+/// (run only this worker's slice of the benchmark × binder matrix into
+/// the store; requires `--store`, combine stores with `hlp merge`).
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Flow configuration assembled from the flags.
@@ -30,15 +42,24 @@ pub struct Args {
     pub binders: Vec<Binder>,
     /// Worker threads for the pipeline fan-out.
     pub jobs: usize,
+    /// Artifact-store directory (`--store`).
+    pub store: Option<String>,
+    /// This worker's slice of the job matrix (`--shard`).
+    pub shard: Shard,
 }
 
 impl Args {
     /// Parses `std::env::args`, exiting with a usage message on error.
     pub fn parse() -> Args {
-        let mut flow = FlowConfig::default();
+        let mut flow = FlowConfig {
+            lanes: DEFAULT_LANES,
+            ..FlowConfig::default()
+        };
         let mut only = Vec::new();
         let mut binders = Vec::new();
         let mut jobs = default_jobs();
+        let mut store = None;
+        let mut shard = Shard::full();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
@@ -68,6 +89,12 @@ impl Args {
                         usage();
                     }
                 }
+                "--paper-exact" => {
+                    // The paper's tables: one vector stream, byte-identical
+                    // to the scalar reference engine. (Position-sensitive
+                    // with --lanes: the later flag wins.)
+                    flow.lanes = 1;
+                }
                 "--seed" => {
                     // One seed flag controls the whole stochastic setup:
                     // simulation vectors *and* the register binding's
@@ -90,6 +117,14 @@ impl Args {
                     }));
                 }
                 "--bench" => only.push(take_value(&mut i)),
+                "--store" => store = Some(take_value(&mut i)),
+                "--shard" => {
+                    let spec = take_value(&mut i);
+                    shard = Shard::parse(&spec).unwrap_or_else(|| {
+                        eprintln!("--shard wants i/N with i < N, got `{spec}`");
+                        usage()
+                    });
+                }
                 "--fast" => {
                     flow.width = 8;
                     flow.sa_width = 6;
@@ -103,11 +138,17 @@ impl Args {
             }
             i += 1;
         }
+        if !shard.is_full() && store.is_none() {
+            eprintln!("--shard produces no report; it needs --store DIR to warm");
+            usage();
+        }
         Args {
             flow,
             only,
             binders,
             jobs,
+            store,
+            shard,
         }
     }
 
@@ -134,18 +175,79 @@ impl Args {
         }
     }
 
-    /// Builds a [`Pipeline`] for these flags and fans the benchmark ×
+    /// Builds a [`Pipeline`] for these flags — attached to the `--store`
+    /// artifact store when one was given — and fans the benchmark ×
     /// binder matrix out over `--jobs` workers, with progress on stderr.
     /// Returns the pipeline (for stage counters / SA-cache access) and
     /// `results[bench][binder]`.
+    ///
+    /// **Sharded invocations terminate here.** With `--shard i/N` (N > 1)
+    /// the run is a store-warming worker: it executes only its slice of
+    /// the matrix into the store, prints a summary to stderr, and exits
+    /// the process — no report is rendered, because the matrix is
+    /// partial. Combine the shard stores with `hlp merge` and rerun
+    /// unsharded against the merged store for the full (all-hits) report.
     pub fn run_matrix(
         &self,
         suite: &[(Cdfg, ResourceConstraint)],
         binders: &[Binder],
     ) -> (Pipeline, Vec<Vec<FlowResult>>) {
-        let pipeline = Pipeline::new(self.flow.clone());
+        let pipeline = self.pipeline();
+        if !self.shard.is_full() {
+            let results = pipeline.run_matrix_sharded(suite, binders, self.jobs, self.shard);
+            let ran: usize = results.iter().flatten().filter(|r| r.is_some()).count();
+            let total = suite.len() * binders.len();
+            report_stats(&pipeline);
+            eprintln!(
+                "  shard {}: warmed {ran} of {total} job(s) into `{}`; no report (merge \
+                 shard stores with `hlp merge`, then rerun unsharded)",
+                self.shard,
+                self.store.as_deref().unwrap_or("?"),
+            );
+            std::process::exit(0);
+        }
         let results = run_on(&pipeline, suite, binders, self.jobs);
         (pipeline, results)
+    }
+
+    /// Builds the pipeline for these flags, opening the `--store`
+    /// artifact store when one was given (exiting with a message if the
+    /// directory cannot be created).
+    pub fn pipeline(&self) -> Pipeline {
+        self.pipeline_for(self.flow.clone())
+    }
+
+    /// Like [`Args::pipeline`] but for a derived flow configuration —
+    /// the ablation binaries run several configurations against the same
+    /// `--store` directory (artifacts of different configurations can
+    /// never collide: every configuration knob that shapes an artifact
+    /// is a fingerprint ingredient).
+    pub fn pipeline_for(&self, flow: FlowConfig) -> Pipeline {
+        match &self.store {
+            Some(dir) => {
+                let store = ArtifactStore::open(dir).unwrap_or_else(|e| {
+                    eprintln!("cannot open artifact store `{dir}`: {e}");
+                    std::process::exit(1);
+                });
+                Pipeline::with_store(flow, Arc::new(store))
+            }
+            None => Pipeline::new(flow),
+        }
+    }
+}
+
+/// Prints the pipeline's stage-execution and store hit/miss counters to
+/// stderr (the observable caching evidence; stdout stays reserved for
+/// deterministic report output).
+fn report_stats(pipeline: &Pipeline) {
+    let s = pipeline.stats();
+    let c = s.stages;
+    eprintln!(
+        "  stages: {} schedules, {} regbinds, {} fu-binds, {} mappings, {} simulations",
+        c.schedules, c.register_bindings, c.fu_bindings, c.mappings, c.simulations
+    );
+    if pipeline.store().is_some() {
+        eprintln!("  store: {}", s.store);
     }
 }
 
@@ -164,12 +266,22 @@ pub fn run_on(
         jobs
     );
     let results = pipeline.run_matrix(suite, binders, jobs);
-    let c = pipeline.counters();
-    eprintln!(
-        "  stages: {} schedules, {} regbinds, {} fu-binds, {} simulations",
-        c.schedules, c.register_bindings, c.fu_bindings, c.simulations
-    );
+    report_stats(pipeline);
     results
+}
+
+/// Exits with an error if `--shard` was passed to a binary that drives
+/// pipelines by hand instead of through [`Args::run_matrix`] (accepting
+/// the flag and silently running the whole matrix would defeat the
+/// point of sharding).
+pub fn reject_shard_flag(args: &Args, binary: &str) {
+    if !args.shard.is_full() {
+        eprintln!(
+            "{binary}: this binary drives several flow configurations by hand and does not \
+             support --shard (shard the matrix binaries, e.g. all_experiments, instead)"
+        );
+        std::process::exit(2);
+    }
 }
 
 /// Exits with an error if `--binder` was passed to a binary whose
@@ -213,7 +325,8 @@ fn default_jobs() -> usize {
 fn usage() -> ! {
     eprintln!(
         "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] [--lanes N] \
-         [--bench NAME]... [--binder LABEL[:ALPHA]]... [--jobs N] [--fast]"
+         [--paper-exact] [--bench NAME]... [--binder LABEL[:ALPHA]]... [--jobs N] [--fast] \
+         [--store DIR] [--shard i/N]"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,111 @@
+//! Acceptance tests for the artifact store at the binary level:
+//!
+//! * a warm `all_experiments --store` rerun produces **byte-identical**
+//!   stdout to the cold run while executing **zero** schedule / map /
+//!   simulate stages (everything is served from the store);
+//! * `--shard 0/2` + `--shard 1/2` + a store merge reproduce the
+//!   unsharded run byte for byte, again with zero warm-stage executions.
+
+use hlpower::ArtifactStore;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hlpower-bench-store-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `all_experiments` with the common fast subset plus `extra`.
+fn all_experiments(extra: &[&str]) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_all_experiments"))
+        .args(["--fast", "--bench", "pr", "--bench", "wang", "--jobs", "2"])
+        .args(extra)
+        .output()
+        .expect("spawn all_experiments");
+    assert!(
+        out.status.success(),
+        "all_experiments {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn warm_store_rerun_is_byte_identical_with_zero_stage_executions() {
+    let store = temp_dir("warm");
+    let store_arg = store.to_str().unwrap();
+    let cold = all_experiments(&["--store", store_arg]);
+    let warm = all_experiments(&["--store", store_arg]);
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "cold and warm store runs must print byte-identical reports"
+    );
+    let cold_err = stderr_of(&cold);
+    assert!(
+        cold_err.contains("stages: 2 schedules"),
+        "cold run computes the front end once per benchmark:\n{cold_err}"
+    );
+    let warm_err = stderr_of(&warm);
+    assert!(
+        warm_err
+            .contains("stages: 0 schedules, 0 regbinds, 10 fu-binds, 0 mappings, 0 simulations"),
+        "warm run must execute zero schedule/map/simulate stages:\n{warm_err}"
+    );
+    assert!(
+        warm_err.contains("store: prepared 2/2, netlists 10/10, sims 10/10"),
+        "warm run must serve every lookup from the store:\n{warm_err}"
+    );
+}
+
+#[test]
+fn sharded_stores_merge_to_the_unsharded_report() {
+    let unsharded = all_experiments(&[]);
+
+    let (dir0, dir1, merged_dir) = (temp_dir("shard0"), temp_dir("shard1"), temp_dir("merged"));
+    let shard0 = all_experiments(&["--store", dir0.to_str().unwrap(), "--shard", "0/2"]);
+    let shard1 = all_experiments(&["--store", dir1.to_str().unwrap(), "--shard", "1/2"]);
+    for (out, which) in [(&shard0, "0/2"), (&shard1, "1/2")] {
+        let err = stderr_of(out);
+        assert!(
+            err.contains(&format!("shard {which}: warmed 5 of 10 job(s)")),
+            "shard {which} must own exactly half of the 2x5 matrix:\n{err}"
+        );
+    }
+
+    // The fan-in step (what `hlp merge` runs): union the shard stores.
+    let merged = ArtifactStore::open(&merged_dir).unwrap();
+    let r0 = merged
+        .merge_from(&ArtifactStore::open(&dir0).unwrap())
+        .unwrap();
+    let r1 = merged
+        .merge_from(&ArtifactStore::open(&dir1).unwrap())
+        .unwrap();
+    assert_eq!(r0.conflicting + r1.conflicting, 0, "shards cannot conflict");
+    assert_eq!(
+        r0.sa.conflicting + r1.sa.conflicting,
+        0,
+        "deterministic SA training cannot conflict across shards"
+    );
+
+    let combined = all_experiments(&["--store", merged_dir.to_str().unwrap()]);
+    assert_eq!(
+        unsharded.stdout, combined.stdout,
+        "shard 0/2 + shard 1/2 + merge must reproduce the unsharded report byte for byte"
+    );
+    let err = stderr_of(&combined);
+    assert!(
+        err.contains("0 mappings, 0 simulations"),
+        "the merged store must cover every job:\n{err}"
+    );
+}

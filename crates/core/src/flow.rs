@@ -334,19 +334,17 @@ pub fn run_benchmark(
     measure(cdfg, &sched, &rb, &outcome, rc, binder, cfg)
 }
 
-/// Measures an existing binding through the backend (exposed separately
-/// so ablations can reuse one binding under several backends).
-pub fn measure(
+/// Elaborates a bound datapath and technology-maps it — the expensive
+/// backend stages ahead of simulation, exposed as one unit so the
+/// pipeline's artifact store can cache the mapped netlist keyed by
+/// binding fingerprint (see [`crate::store`]).
+pub fn elaborate_map(
     cdfg: &Cdfg,
     sched: &Schedule,
     rb: &RegisterBinding,
-    outcome: &BindOutcome,
-    rc: &ResourceConstraint,
-    binder: Binder,
+    fb: &crate::fubind::FuBinding,
     cfg: &FlowConfig,
-) -> FlowResult {
-    let fb = &outcome.fb;
-    let mux = mux_report(cdfg, rb, fb);
+) -> (Datapath, mapper::MappedNetlist) {
     let dp = elaborate(
         cdfg,
         sched,
@@ -358,26 +356,67 @@ pub fn measure(
         },
     );
     let mapped = map(&dp.netlist, &MapConfig::new(cfg.k, cfg.map_objective));
-    let stats = simulate(&dp, &mapped.netlist, cfg);
-    // Nets that can toggle: LUTs + registers + input pins.
-    let num_nets = mapped.stats.luts + mapped.netlist.num_latches() + mapped.netlist.inputs().len();
-    let power = cfg.power.evaluate(&stats, mapped.stats.depth, num_nets);
+    (dp, mapped)
+}
+
+/// Number of toggling-capable nets of a mapped netlist (LUT outputs,
+/// registers, input pins) — the denominator of the Figure 3 toggle rate.
+pub fn num_nets(luts: usize, mapped: &netlist::Netlist) -> usize {
+    luts + mapped.num_latches() + mapped.inputs().len()
+}
+
+/// Assembles a [`FlowResult`] from the measured backend pieces. Shared
+/// by [`measure`] and the store-backed pipeline path so cached and
+/// freshly computed artifacts produce bit-identical result rows.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_result(
+    cdfg: &Cdfg,
+    sched: &Schedule,
+    outcome: &BindOutcome,
+    rc: &ResourceConstraint,
+    binder: Binder,
+    mux: MuxReport,
+    backend: &crate::store::MappedArtifact,
+    stats: &gatesim::SimStats,
+    cfg: &FlowConfig,
+) -> FlowResult {
+    let fb = &outcome.fb;
+    let nets = num_nets(backend.luts, &backend.netlist);
+    let power = cfg.power.evaluate(stats, backend.depth, nets);
     FlowResult {
         name: cdfg.name().to_string(),
         binder: binder.label(),
         schedule_steps: sched.num_steps,
-        registers: dp.registers,
+        registers: backend.registers,
         fus_addsub: fb.count(FuType::AddSub),
         fus_mul: fb.count(FuType::Mul),
         meets_constraint: fb.meets(rc),
-        luts: mapped.stats.luts,
-        depth: mapped.stats.depth,
-        estimated_sa: mapped.stats.estimated_sa,
+        luts: backend.luts,
+        depth: backend.depth,
+        estimated_sa: backend.estimated_sa,
         mux,
         power,
         bind_time: outcome.bind_time,
         sa_queries: outcome.sa_queries,
     }
+}
+
+/// Measures an existing binding through the backend (exposed separately
+/// so ablations can reuse one binding under several backends).
+pub fn measure(
+    cdfg: &Cdfg,
+    sched: &Schedule,
+    rb: &RegisterBinding,
+    outcome: &BindOutcome,
+    rc: &ResourceConstraint,
+    binder: Binder,
+    cfg: &FlowConfig,
+) -> FlowResult {
+    let mux = mux_report(cdfg, rb, &outcome.fb);
+    let (dp, mapped) = elaborate_map(cdfg, sched, rb, &outcome.fb, cfg);
+    let stats = simulate(&dp, &mapped.netlist, cfg);
+    let backend = crate::store::MappedArtifact::from_mapped(mapped, dp.registers);
+    assemble_result(cdfg, sched, outcome, rc, binder, mux, &backend, &stats, cfg)
 }
 
 /// Simulates `cfg.sim_cycles` cycles of the mapped datapath: a fresh

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod datapath;
+pub mod fingerprint;
 pub mod flow;
 pub mod fubind;
 pub mod lopass;
@@ -50,19 +51,23 @@ pub mod pipeline;
 pub mod power;
 pub mod regbind;
 pub mod satable;
+pub mod store;
 pub mod vhdl;
 
 pub use datapath::{
     elaborate, execute, ControlProgram, ControlStyle, DataPort, Datapath, DatapathConfig,
 };
+pub use fingerprint::Fingerprint;
 pub use flow::{paper_constraint, run_benchmark, BindOutcome, Binder, FlowConfig, FlowResult};
 pub use fubind::{bind_hlpower, Fu, FuBinding, HlPowerConfig, IterationTrace, MergeRecord};
 pub use lopass::{bind_lopass, refine_lopass};
 pub use mux::{mux_report, MuxReport};
-pub use pipeline::{Pipeline, Prepared, StageCounts};
+pub use pipeline::{Pipeline, PipelineStats, Prepared, Shard, StageCounts};
 pub use power::{PowerModel, PowerReport};
 pub use regbind::{bind_registers, bind_registers_left_edge, RegBindConfig, RegisterBinding};
 pub use satable::{
-    compute_sa, partial_datapath, simulate_sa, SaMode, SaSource, SaTable, SharedSaTable,
+    compute_sa, partial_datapath, simulate_sa, AbsorbStats, SaMode, SaSource, SaTable,
+    SharedSaTable,
 };
+pub use store::{ArtifactStore, MappedArtifact, MergeReport, StoreCounts};
 pub use vhdl::write_vhdl;

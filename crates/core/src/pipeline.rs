@@ -1,4 +1,5 @@
-//! Staged experiment pipeline with shared artifacts and parallel fan-out.
+//! Staged experiment pipeline with shared artifacts, an optional
+//! persistent artifact store, and parallel fan-out.
 //!
 //! The paper's methodology (Section 6.1) runs every benchmark through one
 //! chain — schedule → register-bind → FU-bind → elaborate → 4-LUT map →
@@ -16,13 +17,22 @@
 //!   jobs, so a partial-datapath shape is estimated at most once per run;
 //! * [`FlowResult`] — the fully measured back end per benchmark × binder.
 //!
+//! With [`Pipeline::with_store`], every expensive stage output is also
+//! content-addressed into an on-disk [`ArtifactStore`]: prepared
+//! artifacts, elaborated+mapped netlists, simulation summaries, and the
+//! SA table (persisted by default, merged on absorb). A warm rerun
+//! serves all of them from disk — zero schedule/map/simulate executions,
+//! byte-identical results — and `--shard i/N` workers can each warm a
+//! store that `hlp merge` later combines.
+//!
 //! [`Pipeline::run_matrix`] fans benchmark × binder jobs out over scoped
 //! worker threads. Job order, result order, and every numeric output are
-//! independent of the worker count: workers pull jobs from a shared
-//! queue but deposit results into per-job slots, and all cross-job state
-//! (the SA cache) is value-deterministic. [`StageCounts`] exposes how
-//! often each stage actually ran, which the tests use to prove the
-//! sharing claims.
+//! independent of the worker count *and* of the store state: workers pull
+//! jobs from a shared queue but deposit results into per-job slots, all
+//! cross-job state (the SA cache) is value-deterministic, and cached
+//! artifacts reload bit-exactly. [`PipelineStats`] exposes how often each
+//! stage actually ran and the store's hit/miss counters, which the tests
+//! use to prove the sharing and caching claims.
 //!
 //! # Examples
 //!
@@ -43,11 +53,15 @@
 //! assert_eq!(counts.schedules, 1, "schedule computed once, not per binder");
 //! ```
 
+use crate::fingerprint::{self, Fingerprint};
 use crate::flow::{self, BindOutcome, Binder, FlowConfig, FlowResult};
+use crate::mux::mux_report;
 use crate::regbind::RegisterBinding;
 use crate::satable::{SaMode, SaTable, SharedSaTable};
+use crate::store::{ArtifactStore, MappedArtifact, StoreCounts};
 use cdfg::{Cdfg, ResourceConstraint, Schedule};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -63,11 +77,19 @@ pub struct Prepared {
     pub sched: Schedule,
     /// The register binding shared by all binders.
     pub rb: RegisterBinding,
+    /// Content fingerprint of the inputs this artifact is a function of
+    /// (the store key; see [`fingerprint::prepared_fingerprint`]).
+    /// Callers that hand-construct a `Prepared` with substituted fields
+    /// (e.g. the register-binding ablation) must not pass it to a
+    /// store-backed [`Pipeline::measure`] — the stale fingerprint would
+    /// file the result under the original artifact's key.
+    pub fingerprint: Fingerprint,
 }
 
 /// How often each pipeline stage has actually executed — the observable
 /// evidence for artifact sharing (e.g. `schedules == benchmarks` no
-/// matter how many binders ran).
+/// matter how many binders ran) and for store caching (`mappings == 0`
+/// on a warm rerun).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageCounts {
     /// List-scheduling runs (one per distinct benchmark).
@@ -82,6 +104,16 @@ pub struct StageCounts {
     pub mappings: u64,
     /// Gate-level simulation runs.
     pub simulations: u64,
+}
+
+/// One pipeline's combined accounting: stage executions plus artifact
+/// store hit/miss counters (all zeros when no store is attached).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Stage execution counts.
+    pub stages: StageCounts,
+    /// Artifact-store hit/miss counters.
+    pub store: StoreCounts,
 }
 
 #[derive(Debug, Default)]
@@ -107,36 +139,74 @@ impl StageCounters {
     }
 }
 
-/// Cache key of a prepared benchmark: name, a structural fingerprint of
-/// the graph (two same-named but different CDFGs — e.g. regenerated with
-/// a different seed — must not share artifacts), and the resource
-/// constraint it was scheduled under.
-type PrepareKey = (String, u64, usize, usize);
-
-/// Order-sensitive structural hash of a CDFG: operations with their
-/// kinds and operands, plus the input/output lists.
-fn cdfg_fingerprint(cdfg: &Cdfg) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    cdfg.inputs().hash(&mut h);
-    cdfg.outputs().hash(&mut h);
-    for (id, op) in cdfg.ops() {
-        id.hash(&mut h);
-        op.kind.hash(&mut h);
-        op.inputs.hash(&mut h);
-    }
-    h.finish()
+/// One worker's slice of the benchmark × binder job matrix: shard
+/// `index` of `total` owns the jobs whose global index is congruent to
+/// `index` modulo `total`. The job order is the deterministic
+/// row-major `(benchmark, binder)` enumeration, so the partition is
+/// identical on every host.
+///
+/// # Examples
+///
+/// ```
+/// use hlpower::pipeline::Shard;
+/// let s = Shard::parse("1/4").unwrap();
+/// assert!(!s.owns(0) && s.owns(1) && !s.owns(2));
+/// assert!(Shard::parse("4/4").is_none(), "index must be < total");
+/// assert_eq!(Shard::full(), Shard::parse("0/1").unwrap());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This worker's index, `0 <= index < total`.
+    pub index: usize,
+    /// Total number of workers.
+    pub total: usize,
 }
 
-/// The staged experiment flow with shared artifacts and a parallel job
-/// runner. See the [module docs](self) for the architecture.
+impl Shard {
+    /// The trivial shard owning every job.
+    pub fn full() -> Shard {
+        Shard { index: 0, total: 1 }
+    }
+
+    /// Parses the CLI form `i/N`. Returns `None` unless `i < N` and
+    /// `N >= 1`.
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (i, n) = s.split_once('/')?;
+        let shard = Shard {
+            index: i.parse().ok()?,
+            total: n.parse().ok()?,
+        };
+        (shard.index < shard.total).then_some(shard)
+    }
+
+    /// Whether this shard owns global job index `job`.
+    pub fn owns(&self, job: usize) -> bool {
+        job % self.total == self.index
+    }
+
+    /// Whether this is the trivial full shard.
+    pub fn is_full(&self) -> bool {
+        self.total == 1
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// The staged experiment flow with shared artifacts, an optional
+/// persistent store, and a parallel job runner. See the [module
+/// docs](self) for the architecture.
 #[derive(Debug)]
 pub struct Pipeline {
     cfg: FlowConfig,
     counters: StageCounters,
-    prepared: Mutex<HashMap<PrepareKey, Arc<OnceLock<Arc<Prepared>>>>>,
+    prepared: Mutex<HashMap<Fingerprint, Arc<OnceLock<Arc<Prepared>>>>>,
     sa_glitch: SharedSaTable,
     sa_zero_delay: SharedSaTable,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl Pipeline {
@@ -144,15 +214,44 @@ impl Pipeline {
     /// pipeline caches are functions of this configuration, so one
     /// `Pipeline` must not be reused across different `FlowConfig`s.
     pub fn new(cfg: FlowConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Creates a pipeline backed by a persistent [`ArtifactStore`]:
+    /// prepared artifacts, mapped netlists, and simulation summaries are
+    /// served from (and saved to) the store, and the SA table is loaded
+    /// from its on-disk shard now and merged back by
+    /// [`Pipeline::flush_store`] (which [`Pipeline::run_matrix`] calls
+    /// automatically) — persistent by default, no separate flag.
+    pub fn with_store(cfg: FlowConfig, store: Arc<ArtifactStore>) -> Self {
+        Self::build(cfg, Some(store))
+    }
+
+    fn build(cfg: FlowConfig, store: Option<Arc<ArtifactStore>>) -> Self {
         let sa_glitch = SharedSaTable::new(cfg.sa_width, cfg.k).with_mode(cfg.sa_mode);
         let sa_zero_delay =
             SharedSaTable::new(cfg.sa_width, cfg.k).with_mode(SaMode::ZeroDelayAblation);
+        if let Some(store) = &store {
+            for cache in [&sa_glitch, &sa_zero_delay] {
+                if let Some(table) = store.load_sa_table(cache.mode(), cfg.sa_width, cfg.k) {
+                    // Absorbing into a freshly built empty cache can
+                    // neither conflict nor mismatch (load_sa_table only
+                    // returns tables matching this cache's mode/width/k);
+                    // conflicts with the disk shard surface at
+                    // flush_store, where both sides hold entries.
+                    cache
+                        .absorb(&table)
+                        .expect("shard compatible by construction");
+                }
+            }
+        }
         Pipeline {
             cfg,
             counters: StageCounters::default(),
             prepared: Mutex::new(HashMap::new()),
             sa_glitch,
             sa_zero_delay,
+            store,
         }
     }
 
@@ -161,9 +260,50 @@ impl Pipeline {
         &self.cfg
     }
 
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
     /// Stage-execution counts so far.
     pub fn counters(&self) -> StageCounts {
         self.counters.snapshot()
+    }
+
+    /// Combined stage and store accounting.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            stages: self.counters.snapshot(),
+            store: self
+                .store
+                .as_ref()
+                .map(|s| s.counters())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Merges the in-memory SA caches back into the store's on-disk
+    /// shards (merge-on-absorb: entries already on disk win; conflicts
+    /// are warned about). No-op without a store. Called automatically at
+    /// the end of every [`Pipeline::run_matrix`]; call it directly after
+    /// driving [`Pipeline::measure`] by hand.
+    pub fn flush_store(&self) {
+        let Some(store) = &self.store else { return };
+        for cache in [&self.sa_glitch, &self.sa_zero_delay] {
+            let snapshot = cache.snapshot();
+            if snapshot.is_empty() {
+                continue;
+            }
+            let stats = store.merge_sa_table(&snapshot);
+            if stats.conflicting > 0 {
+                eprintln!(
+                    "warning: merging SA cache `{}` into the store hit {} conflicting entries \
+                     (disk values kept)",
+                    cache.mode().name(),
+                    stats.conflicting
+                );
+            }
+        }
     }
 
     /// The cross-job SA cache a binder draws from (glitch-aware for the
@@ -176,7 +316,9 @@ impl Pipeline {
     }
 
     /// Pre-seeds the SA cache `binder` draws from, using a persisted
-    /// table (the paper's offline-generated hash table file).
+    /// table (the paper's offline-generated hash table file). The
+    /// returned [`crate::satable::AbsorbStats`] reports inserted vs
+    /// already-matching vs conflicting entries.
     ///
     /// # Errors
     ///
@@ -186,7 +328,7 @@ impl Pipeline {
         &self,
         binder: Binder,
         table: &SaTable,
-    ) -> Result<usize, crate::satable::SaTableMismatch> {
+    ) -> Result<crate::satable::AbsorbStats, crate::satable::SaTableMismatch> {
         self.sa_cache(binder).absorb(table)
     }
 
@@ -196,34 +338,65 @@ impl Pipeline {
     }
 
     /// The shared front end of one benchmark — schedule plus register
-    /// binding, keyed by benchmark name **and** resource constraint, so
-    /// the same benchmark can run under several constraints in one
-    /// pipeline. The first caller computes the artifact (concurrent
-    /// callers block on that computation rather than duplicating it);
-    /// every later caller gets the cached value.
+    /// binding, keyed by a content fingerprint of the CDFG, the resource
+    /// constraint, and the front-end configuration knobs, so the same
+    /// benchmark can run under several constraints in one pipeline (and
+    /// two same-named but different CDFGs never share artifacts). The
+    /// first caller computes the artifact — or loads it from the attached
+    /// store — while concurrent callers block on that computation rather
+    /// than duplicating it; every later caller gets the cached value.
     pub fn prepare(&self, cdfg: &Cdfg, rc: &ResourceConstraint) -> Arc<Prepared> {
+        let fp = fingerprint::prepared_fingerprint(cdfg, rc, &self.cfg);
         let slot = {
             let mut map = self.prepared.lock().expect("pipeline prepared lock");
-            map.entry((
-                cdfg.name().to_string(),
-                cdfg_fingerprint(cdfg),
-                rc.addsub,
-                rc.mul,
-            ))
-            .or_default()
-            .clone()
+            map.entry(fp).or_default().clone()
         };
         slot.get_or_init(|| {
-            self.counters.schedules.fetch_add(1, Ordering::Relaxed);
-            self.counters
-                .register_bindings
-                .fetch_add(1, Ordering::Relaxed);
-            let (sched, rb) = flow::prepare(cdfg, rc, &self.cfg);
+            // A store hit is trusted only after validating against *this*
+            // CDFG: a hand-edited, mis-copied, or fingerprint-colliding
+            // file that parses but does not fit the graph must read as a
+            // miss (and be recomputed), not panic downstream in bind.
+            let from_store = self.store.as_ref().and_then(|s| {
+                s.load_prepared(fp, |sched, rb| {
+                    // Length checks first: the validators index by op/var
+                    // id and would themselves panic on truncated vectors.
+                    let fits = sched.cstep.len() == cdfg.num_ops()
+                        && rb.swap.len() == cdfg.num_ops()
+                        && rb.reg_of.len() == cdfg.num_vars()
+                        && rb.lifetimes.birth.len() == cdfg.num_vars()
+                        && rb.lifetimes.death.len() == cdfg.num_vars();
+                    let ok =
+                        fits && sched.validate(cdfg, Some(rc)).is_ok() && rb.validate(cdfg).is_ok();
+                    if !ok {
+                        eprintln!(
+                            "warning: cached prepared artifact {fp} does not fit benchmark \
+                             `{}`; recomputing",
+                            cdfg.name()
+                        );
+                    }
+                    ok
+                })
+            });
+            let (sched, rb) = match from_store {
+                Some(loaded) => loaded,
+                None => {
+                    self.counters.schedules.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .register_bindings
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (sched, rb) = flow::prepare(cdfg, rc, &self.cfg);
+                    if let Some(store) = &self.store {
+                        store.save_prepared(fp, &sched, &rb);
+                    }
+                    (sched, rb)
+                }
+            };
             Arc::new(Prepared {
                 cdfg: cdfg.clone(),
                 rc: *rc,
                 sched,
                 rb,
+                fingerprint: fp,
             })
         })
         .clone()
@@ -245,18 +418,102 @@ impl Pipeline {
     }
 
     /// Measures a binding through the shared backend: elaborate, map,
-    /// simulate, evaluate the power model.
+    /// simulate, evaluate the power model. With a store attached, the
+    /// mapped netlist and the simulation summary are content-addressed
+    /// artifacts: a warm run re-executes **neither** stage, and a run
+    /// with a new vector budget reuses the cached netlist and re-runs
+    /// only the simulation.
     pub fn measure(&self, prep: &Prepared, outcome: &BindOutcome, binder: Binder) -> FlowResult {
-        self.counters.elaborations.fetch_add(1, Ordering::Relaxed);
-        self.counters.mappings.fetch_add(1, Ordering::Relaxed);
-        self.counters.simulations.fetch_add(1, Ordering::Relaxed);
-        flow::measure(
+        let Some(store) = &self.store else {
+            self.counters.elaborations.fetch_add(1, Ordering::Relaxed);
+            self.counters.mappings.fetch_add(1, Ordering::Relaxed);
+            self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+            return flow::measure(
+                &prep.cdfg,
+                &prep.sched,
+                &prep.rb,
+                outcome,
+                &prep.rc,
+                binder,
+                &self.cfg,
+            );
+        };
+        let mux = mux_report(&prep.cdfg, &prep.rb, &outcome.fb);
+        let net_fp = fingerprint::netlist_fingerprint(prep.fingerprint, &outcome.fb, &self.cfg);
+        // `dp` is needed only when something downstream actually runs:
+        // it carries the control program driving the simulation.
+        let mut dp = None;
+        let mut backend = match store.load_mapped(net_fp) {
+            Some(artifact) => artifact,
+            None => {
+                self.counters.elaborations.fetch_add(1, Ordering::Relaxed);
+                self.counters.mappings.fetch_add(1, Ordering::Relaxed);
+                let (d, mapped) =
+                    flow::elaborate_map(&prep.cdfg, &prep.sched, &prep.rb, &outcome.fb, &self.cfg);
+                let artifact = MappedArtifact::from_mapped(mapped, d.registers);
+                store.save_mapped(net_fp, &artifact);
+                dp = Some(d);
+                artifact
+            }
+        };
+        let sim_fp = fingerprint::sim_fingerprint(net_fp, &self.cfg);
+        let stats = match store.load_sim(sim_fp) {
+            Some(stats) => stats,
+            None => {
+                let dp = dp.get_or_insert_with(|| {
+                    // Cached netlist but no cached simulation (e.g. a new
+                    // seed/lane budget): re-elaborate for the control
+                    // program only — the expensive mapping stays skipped
+                    // (the cached mapped netlist is what gets simulated).
+                    self.counters.elaborations.fetch_add(1, Ordering::Relaxed);
+                    crate::datapath::elaborate(
+                        &prep.cdfg,
+                        &prep.sched,
+                        &prep.rb,
+                        &outcome.fb,
+                        &crate::datapath::DatapathConfig {
+                            width: self.cfg.width,
+                            control: self.cfg.control,
+                        },
+                    )
+                });
+                // With the datapath in hand, a cached netlist that does
+                // not fit it (mis-copied or fingerprint-colliding file —
+                // wrong pin or latch count) is remapped rather than fed
+                // to the simulator, mirroring the prepared-artifact
+                // validation. A full warm hit never reaches this check,
+                // but there the netlist is only read for net counts.
+                if backend.netlist.inputs().len() != dp.netlist.inputs().len()
+                    || backend.netlist.num_latches() != dp.netlist.num_latches()
+                {
+                    eprintln!(
+                        "warning: cached mapped netlist {net_fp} does not fit benchmark \
+                         `{}`; remapping",
+                        prep.cdfg.name()
+                    );
+                    self.counters.mappings.fetch_add(1, Ordering::Relaxed);
+                    let mapped = mapper::map(
+                        &dp.netlist,
+                        &mapper::MapConfig::new(self.cfg.k, self.cfg.map_objective),
+                    );
+                    backend = MappedArtifact::from_mapped(mapped, dp.registers);
+                    store.save_mapped(net_fp, &backend);
+                }
+                self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+                let stats = flow::simulate(dp, &backend.netlist, &self.cfg);
+                store.save_sim(sim_fp, &stats);
+                stats
+            }
+        };
+        flow::assemble_result(
             &prep.cdfg,
             &prep.sched,
-            &prep.rb,
             outcome,
             &prep.rc,
             binder,
+            mux,
+            &backend,
+            &stats,
             &self.cfg,
         )
     }
@@ -282,8 +539,37 @@ impl Pipeline {
         binders: &[Binder],
         jobs: usize,
     ) -> Vec<Vec<FlowResult>> {
+        let results = self.run_matrix_sharded(suite, binders, jobs, Shard::full());
+        results
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|r| r.expect("full shard runs every job"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Like [`Pipeline::run_matrix`], but executes only the jobs owned by
+    /// `shard` (global job index ≡ `shard.index` mod `shard.total`, in
+    /// the deterministic row-major job order); the other slots come back
+    /// `None`. With an attached store this is the multi-process scale-out
+    /// primitive: each worker runs its shard against its own store, and
+    /// `hlp merge` combines the stores so a final full run is all cache
+    /// hits — byte-identical to an unsharded run. The SA caches are
+    /// flushed to the store before returning.
+    pub fn run_matrix_sharded(
+        &self,
+        suite: &[(Cdfg, ResourceConstraint)],
+        binders: &[Binder],
+        jobs: usize,
+        shard: Shard,
+    ) -> Vec<Vec<Option<FlowResult>>> {
         let job_list: Vec<(usize, usize)> = (0..suite.len())
             .flat_map(|b| (0..binders.len()).map(move |k| (b, k)))
+            .enumerate()
+            .filter(|(i, _)| shard.owns(*i))
+            .map(|(_, job)| job)
             .collect();
         let slots: Vec<OnceLock<FlowResult>> = job_list.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
@@ -301,16 +587,21 @@ impl Pipeline {
                 });
             }
         });
-        let mut slots = slots.into_iter();
+        self.flush_store();
+        let mut owned = job_list.iter().zip(slots).collect::<Vec<_>>().into_iter();
+        let mut next_owned = owned.next();
         (0..suite.len())
-            .map(|_| {
+            .map(|b| {
                 (0..binders.len())
-                    .map(|_| {
-                        slots
-                            .next()
-                            .expect("slot per job")
-                            .into_inner()
-                            .expect("all jobs completed")
+                    .map(|k| match next_owned.take() {
+                        Some((&(jb, jk), slot)) if (jb, jk) == (b, k) => {
+                            next_owned = owned.next();
+                            Some(slot.into_inner().expect("owned jobs completed"))
+                        }
+                        other => {
+                            next_owned = other;
+                            None
+                        }
                     })
                     .collect()
             })
@@ -331,6 +622,10 @@ mod tests {
                 (cdfg::generate(p, p.seed), paper_constraint(n).unwrap())
             })
             .collect()
+    }
+
+    fn temp_store(tag: &str) -> Arc<ArtifactStore> {
+        Arc::new(crate::store::testutil::temp_store(tag))
     }
 
     #[test]
@@ -428,6 +723,7 @@ mod tests {
         let p1 = pipeline.prepare(&g1, &rc);
         let p2 = pipeline.prepare(&g2, &rc);
         assert_eq!(pipeline.counters().schedules, 2);
+        assert_ne!(p1.fingerprint, p2.fingerprint);
         assert_eq!(p1.cdfg.num_ops(), g1.num_ops());
         assert_eq!(p2.cdfg.num_ops(), g2.num_ops());
         // And the schedule really belongs to the right graph.
@@ -490,7 +786,10 @@ mod tests {
         let zd = Binder::HlPowerZeroDelay { alpha: 0.5 };
         assert!(pipeline.seed_sa_cache(zd, &glitchy).is_err());
         // A matching table seeds cleanly and is served back verbatim.
-        assert_eq!(pipeline.seed_sa_cache(binder, &glitchy), Ok(1));
+        assert_eq!(
+            pipeline.seed_sa_cache(binder, &glitchy).unwrap().inserted,
+            1
+        );
         let snap = pipeline.sa_snapshot(binder);
         assert_eq!(snap.len(), 1);
         // A pipeline configured for simulated SA training refuses
@@ -504,7 +803,13 @@ mod tests {
         let sim_cfg = sim_pipeline.config();
         let mut sim_table = SaTable::new(sim_cfg.sa_width, sim_cfg.k).with_mode(SaMode::Simulated);
         sim_table.insert(cdfg::FuType::AddSub, 2, 2, 12.5);
-        assert_eq!(sim_pipeline.seed_sa_cache(binder, &sim_table), Ok(1));
+        assert_eq!(
+            sim_pipeline
+                .seed_sa_cache(binder, &sim_table)
+                .unwrap()
+                .inserted,
+            1
+        );
         assert_eq!(
             sim_pipeline
                 .sa_cache(binder)
@@ -527,5 +832,183 @@ mod tests {
             via_pipeline.power.total_transitions,
             direct.power.total_transitions
         );
+    }
+
+    fn result_key(r: &FlowResult) -> (String, String, usize, u32, u64, u64, u64) {
+        (
+            r.name.clone(),
+            r.binder.clone(),
+            r.luts,
+            r.depth,
+            r.power.total_transitions,
+            r.power.glitch_fraction.to_bits(),
+            r.sa_queries,
+        )
+    }
+
+    #[test]
+    fn store_backed_run_matches_storeless_run_and_warms_to_zero_stages() {
+        let suite = small_suite(&["wang"]);
+        let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+        let cfg = FlowConfig::fast();
+        let plain = Pipeline::new(cfg.clone()).run_matrix(&suite, &binders, 2);
+
+        let store = temp_store("warm");
+        let cold_pipeline = Pipeline::with_store(cfg.clone(), store.clone());
+        let cold = cold_pipeline.run_matrix(&suite, &binders, 2);
+        let cold_stats = cold_pipeline.stats();
+        assert_eq!(cold_stats.stages.mappings, 2, "cold store still maps");
+        assert_eq!(cold_stats.store.hits(), 0, "fresh store cannot hit");
+
+        // A fresh handle on the same directory, as a second process would
+        // open (hit/miss counters are per handle).
+        let store = Arc::new(ArtifactStore::open(store.root()).unwrap());
+        let warm_pipeline = Pipeline::with_store(cfg, store);
+        let warm = warm_pipeline.run_matrix(&suite, &binders, 2);
+        let warm_stats = warm_pipeline.stats();
+        assert_eq!(warm_stats.stages.schedules, 0, "prepared served from store");
+        assert_eq!(warm_stats.stages.mappings, 0, "netlists served from store");
+        assert_eq!(warm_stats.stages.simulations, 0, "sims served from store");
+        assert_eq!(warm_stats.stages.elaborations, 0);
+        // 1 prepared + 2 netlists + 2 sims for one benchmark x two binders.
+        assert_eq!(warm_stats.store.hits(), 5, "{:?}", warm_stats.store);
+        assert_eq!(warm_stats.store.misses(), 0, "{:?}", warm_stats.store);
+
+        for ((p, c), w) in plain
+            .iter()
+            .flatten()
+            .zip(cold.iter().flatten())
+            .zip(warm.iter().flatten())
+        {
+            assert_eq!(
+                result_key(p),
+                result_key(c),
+                "store must not change results"
+            );
+            assert_eq!(result_key(c), result_key(w), "warm must equal cold");
+            assert_eq!(
+                c.power.dynamic_power_mw.to_bits(),
+                w.power.dynamic_power_mw.to_bits()
+            );
+            assert_eq!(c.estimated_sa.to_bits(), w.estimated_sa.to_bits());
+            assert_eq!(c.mux, w.mux);
+            assert_eq!(c.registers, w.registers);
+        }
+    }
+
+    #[test]
+    fn cached_netlist_serves_new_vector_budgets_without_remapping() {
+        let suite = small_suite(&["wang"]);
+        let binders = [Binder::HlPower { alpha: 0.5 }];
+        let store = temp_store("budget");
+        let cfg = FlowConfig::fast();
+        Pipeline::with_store(cfg.clone(), store.clone()).run_matrix(&suite, &binders, 1);
+        // Same binding, different simulation seed: netlist hit, sim miss.
+        // Fresh store handles per pipeline keep the hit/miss counters
+        // attributable, as separate processes would have them.
+        let reseeded = FlowConfig {
+            sim_seed: 999,
+            ..cfg
+        };
+        let store = Arc::new(ArtifactStore::open(store.root()).unwrap());
+        let p = Pipeline::with_store(reseeded.clone(), store.clone());
+        p.run_matrix(&suite, &binders, 1);
+        let stats = p.stats();
+        assert_eq!(stats.stages.mappings, 0, "mapped netlist must be reused");
+        assert_eq!(stats.stages.simulations, 1, "new seed must re-simulate");
+        assert_eq!(
+            stats.stages.elaborations, 1,
+            "re-elaborates only for the control program"
+        );
+        assert_eq!(stats.store.netlist_hits, 1);
+        assert_eq!(stats.store.sim_misses, 1);
+        // And the reseeded result matches a storeless reseeded run.
+        let direct = Pipeline::new(reseeded).run_matrix(&suite, &binders, 1);
+        let via_store = Pipeline::with_store(
+            FlowConfig {
+                sim_seed: 999,
+                ..FlowConfig::fast()
+            },
+            store,
+        )
+        .run_matrix(&suite, &binders, 1);
+        assert_eq!(result_key(&direct[0][0]), result_key(&via_store[0][0]));
+    }
+
+    #[test]
+    fn sharded_runs_merge_to_the_unsharded_result() {
+        let suite = small_suite(&["pr", "wang"]);
+        let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+        let cfg = FlowConfig::fast();
+        let unsharded = Pipeline::new(cfg.clone()).run_matrix(&suite, &binders, 2);
+
+        let store0 = temp_store("shard0");
+        let store1 = temp_store("shard1");
+        let shard0 = Pipeline::with_store(cfg.clone(), store0.clone()).run_matrix_sharded(
+            &suite,
+            &binders,
+            2,
+            Shard::parse("0/2").unwrap(),
+        );
+        let shard1 = Pipeline::with_store(cfg.clone(), store1.clone()).run_matrix_sharded(
+            &suite,
+            &binders,
+            2,
+            Shard::parse("1/2").unwrap(),
+        );
+        // The two shards partition the matrix exactly.
+        let mut owned = 0;
+        for (row0, row1) in shard0.iter().zip(&shard1) {
+            for (a, b) in row0.iter().zip(row1) {
+                assert!(
+                    a.is_some() != b.is_some(),
+                    "each job runs in exactly one shard"
+                );
+                owned += 1;
+            }
+        }
+        assert_eq!(owned, 4);
+
+        // Merge shard stores and run the full matrix warm.
+        let merged = temp_store("shard-merged");
+        merged.merge_from(&store0).unwrap();
+        merged.merge_from(&store1).unwrap();
+        let warm = Pipeline::with_store(cfg, merged);
+        let combined = warm.run_matrix(&suite, &binders, 2);
+        let stats = warm.stats();
+        assert_eq!(stats.stages.mappings, 0, "merged store covers every job");
+        assert_eq!(stats.stages.simulations, 0);
+        for (u_row, c_row) in unsharded.iter().zip(&combined) {
+            for (u, c) in u_row.iter().zip(c_row) {
+                assert_eq!(result_key(u), result_key(c));
+                assert_eq!(
+                    u.power.dynamic_power_mw.to_bits(),
+                    c.power.dynamic_power_mw.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sa_table_persists_by_default_with_a_store() {
+        let suite = small_suite(&["wang"]);
+        let binders = [Binder::HlPower { alpha: 0.5 }];
+        let store = temp_store("sa-default");
+        let cfg = FlowConfig::fast();
+        let p = Pipeline::with_store(cfg.clone(), store.clone());
+        p.run_matrix(&suite, &binders, 1);
+        let (_, cold_misses) = p.sa_cache(binders[0]).counters();
+        assert!(cold_misses > 0, "cold run computes SA entries");
+        let shard = store
+            .load_sa_table(SaMode::Precalculated, cfg.sa_width, cfg.k)
+            .expect("run_matrix flushes the SA cache to the store");
+        assert!(!shard.is_empty());
+        // A fresh pipeline on the same store binds without a single SA
+        // computation.
+        let warm = Pipeline::with_store(cfg, store);
+        warm.run_matrix(&suite, &binders, 1);
+        let (queries, misses) = warm.sa_cache(binders[0]).counters();
+        assert!(queries > 0);
+        assert_eq!(misses, 0, "every SA query served from the persisted shard");
     }
 }

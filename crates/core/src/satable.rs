@@ -226,6 +226,11 @@ impl SaTable {
         self.width
     }
 
+    /// LUT size the partial datapaths were mapped to.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
     /// Number of memoized entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -300,12 +305,16 @@ impl SaTable {
 
     /// Serializes the table to the text format the paper stores on disk.
     /// The header records width, LUT size, and estimation mode so loads
-    /// can refuse incompatible tables.
+    /// can refuse incompatible tables. Values use Rust's shortest
+    /// round-trip `f64` formatting, so a persisted table reloads
+    /// **bit-exactly** — a binder seeded from disk makes the same merge
+    /// decisions as the run that wrote the file (the artifact store's
+    /// cold-vs-warm byte-identity depends on this).
     pub fn to_text(&self) -> String {
         let mut lines: Vec<String> = self
             .entries
             .iter()
-            .map(|(&(fu, a, b), &sa)| format!("{fu} {a} {b} {sa:.6}"))
+            .map(|(&(fu, a, b), &sa)| format!("{fu} {a} {b} {sa}"))
             .collect();
         lines.sort();
         format!(
@@ -532,9 +541,14 @@ impl SharedSaTable {
     }
 
     /// Copies all entries from a single-threaded table into the cache
-    /// (pre-seeding from a persisted table). Existing entries win.
-    /// Returns the number of entries actually inserted (entries the
-    /// cache already held are not counted).
+    /// (pre-seeding from a persisted table). Existing entries win, and
+    /// the returned [`AbsorbStats`] reports exactly what happened:
+    /// how many entries were newly inserted, how many already matched
+    /// (within the text persistence precision), and how many
+    /// **conflicted** — same key, materially different estimate. A
+    /// conflict means two tables claim different SA values for the same
+    /// partial-datapath shape; callers should surface the count as a
+    /// warning rather than let one side win silently.
     ///
     /// # Errors
     ///
@@ -542,7 +556,7 @@ impl SharedSaTable {
     /// from this cache's — mixing estimates from incompatible models
     /// would silently change Eq. 4 edge weights and break run-to-run
     /// reproducibility.
-    pub fn absorb(&self, table: &SaTable) -> Result<usize, SaTableMismatch> {
+    pub fn absorb(&self, table: &SaTable) -> Result<AbsorbStats, SaTableMismatch> {
         if table.width != self.width || table.k != self.k || table.mode != self.mode {
             return Err(SaTableMismatch {
                 expected: (self.width, self.k, self.mode),
@@ -550,14 +564,23 @@ impl SharedSaTable {
             });
         }
         let mut entries = self.entries.write().expect("sa table lock");
-        let mut absorbed = 0;
+        let mut stats = AbsorbStats::default();
         for (&k, &sa) in &table.entries {
-            if let std::collections::hash_map::Entry::Vacant(slot) = entries.entry(k) {
-                slot.insert(sa);
-                absorbed += 1;
+            match entries.entry(k) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(sa);
+                    stats.inserted += 1;
+                }
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    if (slot.get() - sa).abs() <= ABSORB_TOLERANCE {
+                        stats.matched += 1;
+                    } else {
+                        stats.conflicting += 1;
+                    }
+                }
             }
         }
-        Ok(absorbed)
+        Ok(stats)
     }
 
     /// A point-in-time copy as a single-threaded [`SaTable`] — the bridge
@@ -588,6 +611,44 @@ pub struct SharedSaRef<'a>(pub &'a SharedSaTable);
 impl SaSource for SharedSaRef<'_> {
     fn sa(&mut self, fu: FuType, mux_a: usize, mux_b: usize) -> f64 {
         self.0.get(fu, mux_a, mux_b)
+    }
+}
+
+/// Agreement tolerance for [`SharedSaTable::absorb`]. Tables written by
+/// the current [`SaTable::to_text`] reload bit-exactly (shortest
+/// round-trip formatting), but tables persisted by earlier releases were
+/// rounded to six decimal places, so entries re-loaded from such legacy
+/// files may differ from freshly computed values by up to half an ulp of
+/// that rounding. Anything larger than this margin is a genuine conflict
+/// between two estimate sources, not persistence noise.
+pub const ABSORB_TOLERANCE: f64 = 5e-6;
+
+/// What [`SharedSaTable::absorb`] did with each offered entry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsorbStats {
+    /// Entries newly inserted into the cache.
+    pub inserted: usize,
+    /// Entries the cache already held with an agreeing value.
+    pub matched: usize,
+    /// Entries the cache already held with a **different** value (the
+    /// cache's value was kept; callers should warn).
+    pub conflicting: usize,
+}
+
+impl AbsorbStats {
+    /// Total entries offered.
+    pub fn total(&self) -> usize {
+        self.inserted + self.matched + self.conflicting
+    }
+}
+
+impl fmt::Display for AbsorbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inserted, {} matched, {} conflicting",
+            self.inserted, self.matched, self.conflicting
+        )
     }
 }
 
@@ -769,7 +830,7 @@ mod tests {
         let cache = SharedSaTable::new(4, 4);
         assert!(cache.absorb(&back).is_err());
         let sim_cache = SharedSaTable::new(4, 4).with_mode(SaMode::Simulated);
-        assert_eq!(sim_cache.absorb(&back), Ok(1));
+        assert_eq!(sim_cache.absorb(&back).unwrap().inserted, 1);
         // Values agree within the 1e-6 text precision and do not recompute.
         let diff = (sim_cache.get(FuType::Mul, 2, 1) - t.get(FuType::Mul, 2, 1)).abs();
         assert!(diff < 1e-5, "round-tripped entry drifted by {diff}");
@@ -925,11 +986,16 @@ mod tests {
         let cache = SharedSaTable::new(4, 4);
         let mut narrow = SaTable::new(4, 4);
         narrow.get(FuType::AddSub, 1, 1);
-        assert_eq!(cache.absorb(&narrow), Ok(1));
+        let first = cache.absorb(&narrow).unwrap();
         assert_eq!(
-            cache.absorb(&narrow),
-            Ok(0),
-            "already-present entries are not counted as absorbed"
+            (first.inserted, first.matched, first.conflicting),
+            (1, 0, 0)
+        );
+        let again = cache.absorb(&narrow).unwrap();
+        assert_eq!(
+            (again.inserted, again.matched, again.conflicting),
+            (0, 1, 0),
+            "already-present agreeing entries count as matched, not inserted"
         );
         let mut wide = SaTable::new(8, 4);
         wide.get(FuType::AddSub, 1, 1);
@@ -939,5 +1005,30 @@ mod tests {
         let zd = SaTable::new(4, 4).with_mode(SaMode::ZeroDelayAblation);
         assert!(cache.absorb(&zd).is_err(), "mode mismatch must be refused");
         assert_eq!(cache.len(), 1, "failed absorbs must not modify the cache");
+    }
+
+    #[test]
+    fn absorb_reports_conflicts_and_keeps_existing_values() {
+        // Two tables disagreeing on the same key is a real data problem —
+        // absorb must count it instead of silently preferring one side.
+        let cache = SharedSaTable::new(4, 4);
+        let mut ours = SaTable::new(4, 4);
+        ours.insert(FuType::AddSub, 2, 2, 10.0);
+        ours.insert(FuType::Mul, 1, 1, 3.0);
+        cache.absorb(&ours).unwrap();
+        let mut theirs = SaTable::new(4, 4);
+        theirs.insert(FuType::AddSub, 2, 2, 11.0); // conflicts
+        theirs.insert(FuType::Mul, 1, 1, 3.0 + 1e-7); // within text precision
+        theirs.insert(FuType::Mul, 3, 3, 7.0); // new
+        let stats = cache.absorb(&theirs).unwrap();
+        assert_eq!(
+            (stats.inserted, stats.matched, stats.conflicting),
+            (1, 1, 1)
+        );
+        assert_eq!(stats.total(), 3);
+        // Deterministic resolution: the cache's value wins.
+        assert_eq!(cache.get(FuType::AddSub, 2, 2), 10.0);
+        assert_eq!(cache.get(FuType::Mul, 3, 3), 7.0);
+        assert!(stats.to_string().contains("1 conflicting"));
     }
 }

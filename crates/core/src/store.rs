@@ -1,0 +1,874 @@
+//! Content-addressed artifact store for the experiment flow.
+//!
+//! The paper's binder is driven by repeated glitch/power estimates over
+//! partial datapaths, and the experiment matrix recomputes the same
+//! elaborate→map→simulate work across binders, seeds, and sweeps. The
+//! [`ArtifactStore`] makes every expensive stage output a named,
+//! persistent, content-addressed artifact so warm reruns are near-free
+//! and shard workers can pool their work:
+//!
+//! * **prepared** — schedule + register binding per
+//!   [`crate::fingerprint::prepared_fingerprint`];
+//! * **netlists** — elaborated + technology-mapped netlists (exact
+//!   [`netlist::textio`] codec, so a cached netlist simulates
+//!   bit-identically to the original) per
+//!   [`crate::fingerprint::netlist_fingerprint`];
+//! * **sims** — simulation summaries per
+//!   [`crate::fingerprint::sim_fingerprint`] (one mapped netlist serves any
+//!   number of seed/lane/cycle budgets);
+//! * **satables** — the SA precalculation table, sharded by
+//!   `(mode, width, k)` in the existing [`SaTable`] text format and
+//!   **merged on absorb** (existing entries win; conflicts are counted
+//!   and surfaced, never silently dropped).
+//!
+//! All writes are atomic (temp file + rename into place), so concurrent
+//! shard workers and interrupted runs can never leave a torn artifact.
+//! Loads of corrupt or version-mismatched files are treated as misses.
+//! Hit/miss counters are kept per artifact kind and surfaced through
+//! [`crate::pipeline::PipelineStats`].
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! STORE/
+//!   prepared/<fp>.txt     fp = prepared_fingerprint(cdfg, rc, cfg)
+//!   netlists/<fp>.txt     fp = netlist_fingerprint(prepared, fb, cfg)
+//!   sims/<fp>.txt         fp = sim_fingerprint(netlist, cfg)
+//!   satables/<mode>-w<W>-k<K>.txt
+//! ```
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hlpower::store::ArtifactStore;
+//! use hlpower::{FlowConfig, Pipeline};
+//! use std::sync::Arc;
+//!
+//! let store = Arc::new(ArtifactStore::open("/tmp/hlpower-store").unwrap());
+//! let pipeline = Pipeline::with_store(FlowConfig::fast(), store);
+//! // ... run_matrix as usual; a second process pointed at the same
+//! // directory skips every map/simulate stage it finds cached.
+//! ```
+
+use crate::fingerprint::Fingerprint;
+use crate::regbind::RegisterBinding;
+use crate::satable::{AbsorbStats, SaMode, SaTable, SharedSaTable};
+use cdfg::{Lifetimes, ResourceLibrary, Schedule};
+use gatesim::SimStats;
+use netlist::{parse_netlist_text, write_netlist_text, Netlist};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hit/miss counters per artifact kind — the observable evidence that a
+/// warm rerun really skipped its map/simulate stages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounts {
+    /// Prepared-artifact lookups served from disk.
+    pub prepared_hits: u64,
+    /// Prepared-artifact lookups that missed.
+    pub prepared_misses: u64,
+    /// Mapped-netlist lookups served from disk.
+    pub netlist_hits: u64,
+    /// Mapped-netlist lookups that missed.
+    pub netlist_misses: u64,
+    /// Simulation-summary lookups served from disk.
+    pub sim_hits: u64,
+    /// Simulation-summary lookups that missed.
+    pub sim_misses: u64,
+}
+
+impl StoreCounts {
+    /// Total lookups served from disk across all artifact kinds.
+    pub fn hits(&self) -> u64 {
+        self.prepared_hits + self.netlist_hits + self.sim_hits
+    }
+
+    /// Total lookups that missed across all artifact kinds.
+    pub fn misses(&self) -> u64 {
+        self.prepared_misses + self.netlist_misses + self.sim_misses
+    }
+}
+
+impl fmt::Display for StoreCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prepared {}/{}, netlists {}/{}, sims {}/{} (hits/lookups)",
+            self.prepared_hits,
+            self.prepared_hits + self.prepared_misses,
+            self.netlist_hits,
+            self.netlist_hits + self.netlist_misses,
+            self.sim_hits,
+            self.sim_hits + self.sim_misses,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreCounters {
+    prepared_hits: AtomicU64,
+    prepared_misses: AtomicU64,
+    netlist_hits: AtomicU64,
+    netlist_misses: AtomicU64,
+    sim_hits: AtomicU64,
+    sim_misses: AtomicU64,
+}
+
+/// A technology-mapped netlist plus the backend metrics a warm run needs
+/// to rebuild a [`crate::FlowResult`] without re-elaborating.
+#[derive(Clone, Debug)]
+pub struct MappedArtifact {
+    /// The mapped netlist (exact — simulating it is bit-identical to
+    /// simulating the netlist that was cached).
+    pub netlist: Netlist,
+    /// 4-LUT count after mapping.
+    pub luts: usize,
+    /// Mapped depth in LUT levels.
+    pub depth: u32,
+    /// Glitch-aware estimated switching activity of the mapped netlist.
+    pub estimated_sa: f64,
+    /// Register words the elaborated datapath instantiated.
+    pub registers: usize,
+}
+
+impl MappedArtifact {
+    /// Assembles the artifact from a mapper result plus the elaborated
+    /// datapath's register count — the one place the field mapping
+    /// lives, shared by the flow and both pipeline store paths.
+    pub fn from_mapped(mapped: mapper::MappedNetlist, registers: usize) -> MappedArtifact {
+        MappedArtifact {
+            netlist: mapped.netlist,
+            luts: mapped.stats.luts,
+            depth: mapped.stats.depth,
+            estimated_sa: mapped.stats.estimated_sa,
+            registers,
+        }
+    }
+}
+
+/// What [`ArtifactStore::merge_from`] did, per artifact kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Content-addressed files copied into the destination.
+    pub copied: usize,
+    /// Files already present with identical bytes.
+    pub identical: usize,
+    /// Files present in both stores with **different** bytes — a key
+    /// collision or version skew; the destination's copy is kept.
+    pub conflicting: usize,
+    /// SA-table entries merged across all shards.
+    pub sa: AbsorbStats,
+}
+
+impl fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} artifacts copied, {} identical, {} conflicting; SA entries: {}",
+            self.copied, self.identical, self.conflicting, self.sa
+        )
+    }
+}
+
+/// The content-addressed, on-disk artifact store. See the [module
+/// docs](self) for the layout and guarantees.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    root: PathBuf,
+    counters: StoreCounters,
+}
+
+const SUBDIRS: [&str; 4] = ["prepared", "netlists", "sims", "satables"];
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the layout.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        let root = dir.as_ref().to_path_buf();
+        for sub in SUBDIRS {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(ArtifactStore {
+            root,
+            counters: StoreCounters::default(),
+        })
+    }
+
+    /// Opens an **existing** store without creating anything — the
+    /// read-only handle for merge sources, which must not be silently
+    /// materialized (or half-planted inside a mistyped directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns `NotFound` unless `dir` already has the store layout.
+    pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        let root = dir.as_ref().to_path_buf();
+        for sub in SUBDIRS {
+            if !root.join(sub).is_dir() {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "`{}` is not an artifact store (missing {sub}/)",
+                        root.display()
+                    ),
+                ));
+            }
+        }
+        Ok(ArtifactStore {
+            root,
+            counters: StoreCounters::default(),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Hit/miss counters since this handle was opened.
+    pub fn counters(&self) -> StoreCounts {
+        let c = &self.counters;
+        StoreCounts {
+            prepared_hits: c.prepared_hits.load(Ordering::Relaxed),
+            prepared_misses: c.prepared_misses.load(Ordering::Relaxed),
+            netlist_hits: c.netlist_hits.load(Ordering::Relaxed),
+            netlist_misses: c.netlist_misses.load(Ordering::Relaxed),
+            sim_hits: c.sim_hits.load(Ordering::Relaxed),
+            sim_misses: c.sim_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn path(&self, kind: &str, fp: Fingerprint) -> PathBuf {
+        self.root.join(kind).join(format!("{fp}.txt"))
+    }
+
+    fn tally(hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
+        if hit {
+            hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    // ---- prepared artifacts ------------------------------------------------
+
+    /// Loads a cached schedule + register binding, or `None` on miss.
+    /// The store cannot judge whether a parsed artifact actually fits the
+    /// caller's CDFG, so the caller supplies `valid`; a file that parses
+    /// but fails it counts as a **miss** (absent, corrupt,
+    /// version-mismatched, and ill-fitting files are all the same event
+    /// in the hit/miss accounting).
+    pub fn load_prepared(
+        &self,
+        fp: Fingerprint,
+        valid: impl FnOnce(&Schedule, &RegisterBinding) -> bool,
+    ) -> Option<(Schedule, RegisterBinding)> {
+        let loaded = fs::read_to_string(self.path("prepared", fp))
+            .ok()
+            .and_then(|text| parse_prepared(&text))
+            .filter(|(sched, rb)| valid(sched, rb));
+        Self::tally(
+            loaded.is_some(),
+            &self.counters.prepared_hits,
+            &self.counters.prepared_misses,
+        );
+        loaded
+    }
+
+    /// Persists a schedule + register binding under its fingerprint.
+    pub fn save_prepared(&self, fp: Fingerprint, sched: &Schedule, rb: &RegisterBinding) {
+        self.write_atomic(&self.path("prepared", fp), &prepared_text(sched, rb));
+    }
+
+    // ---- mapped netlists ---------------------------------------------------
+
+    /// Loads a cached elaborated+mapped netlist, or `None` on miss.
+    pub fn load_mapped(&self, fp: Fingerprint) -> Option<MappedArtifact> {
+        let loaded = fs::read_to_string(self.path("netlists", fp))
+            .ok()
+            .and_then(|text| parse_mapped(&text));
+        Self::tally(
+            loaded.is_some(),
+            &self.counters.netlist_hits,
+            &self.counters.netlist_misses,
+        );
+        loaded
+    }
+
+    /// Persists a mapped netlist and its backend metrics.
+    pub fn save_mapped(&self, fp: Fingerprint, artifact: &MappedArtifact) {
+        self.write_atomic(&self.path("netlists", fp), &mapped_text(artifact));
+    }
+
+    // ---- simulation summaries ----------------------------------------------
+
+    /// Loads a cached simulation summary, or `None` on miss.
+    pub fn load_sim(&self, fp: Fingerprint) -> Option<SimStats> {
+        let loaded = fs::read_to_string(self.path("sims", fp))
+            .ok()
+            .and_then(|text| SimStats::from_summary_text(&text).ok());
+        Self::tally(
+            loaded.is_some(),
+            &self.counters.sim_hits,
+            &self.counters.sim_misses,
+        );
+        loaded
+    }
+
+    /// Persists a simulation summary.
+    pub fn save_sim(&self, fp: Fingerprint, stats: &SimStats) {
+        self.write_atomic(&self.path("sims", fp), &stats.to_summary_text());
+    }
+
+    // ---- SA-table shards ---------------------------------------------------
+
+    fn sa_path(&self, mode: SaMode, width: usize, k: usize) -> PathBuf {
+        self.root
+            .join("satables")
+            .join(format!("{}-w{width}-k{k}.txt", mode.name()))
+    }
+
+    /// Loads the SA shard for `(mode, width, k)`, if present and valid.
+    /// A shard whose header disagrees with its file name (mis-copied or
+    /// hand-renamed) reads as a miss, like any other corrupt artifact.
+    pub fn load_sa_table(&self, mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
+        let text = fs::read_to_string(self.sa_path(mode, width, k)).ok()?;
+        let table = SaTable::from_text(&text).ok()?;
+        (table.mode() == mode && table.width() == width && table.k() == k).then_some(table)
+    }
+
+    /// Merges a table into the on-disk shard for its `(mode, width, k)`:
+    /// reads the current shard, absorbs it into the offered entries
+    /// (existing disk entries win, matching the in-memory absorb
+    /// semantics), and writes the union back atomically. The
+    /// read-merge-write runs under an advisory file lock
+    /// (`satables/.lock`), so concurrent processes flushing into one
+    /// store directory serialize instead of losing each other's entries.
+    /// Returns what the merge did, including the conflict count the
+    /// caller should warn about.
+    pub fn merge_sa_table(&self, table: &SaTable) -> AbsorbStats {
+        let mode = table.mode();
+        let width = table.width();
+        let k = table.k();
+        // Best-effort advisory lock: if the lock file cannot be created
+        // or locked, fall through unlocked — a lost update degrades the
+        // cache (entries recompute later), never its correctness.
+        let lock = fs::File::create(self.root.join("satables").join(".lock"))
+            .and_then(|f| f.lock().map(|()| f))
+            .ok();
+        let merged = SharedSaTable::new(width, k).with_mode(mode);
+        if let Some(existing) = self.load_sa_table(mode, width, k) {
+            merged
+                .absorb(&existing)
+                .expect("shard compatible by construction");
+        }
+        let stats = merged
+            .absorb(table)
+            .expect("shard compatible by construction");
+        self.write_atomic(&self.sa_path(mode, width, k), &merged.snapshot().to_text());
+        drop(lock);
+        stats
+    }
+
+    // ---- store-level operations --------------------------------------------
+
+    /// Merges every artifact of `other` into this store: the shard-merge
+    /// step of a `--shard i/N` fan-out (`hlp merge`). Content-addressed
+    /// artifacts are copied when absent and byte-compared when present;
+    /// SA shards are merged entry-wise with conflict accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a partial merge leaves only whole
+    /// (atomically written) artifacts behind.
+    pub fn merge_from(&self, other: &ArtifactStore) -> io::Result<MergeReport> {
+        // Only finished artifacts carry the `.txt` suffix; leftover
+        // `*.tmp.*` files from interrupted writes are not artifacts and
+        // must not be copied or parsed.
+        fn txt_files(dir: &Path) -> io::Result<Vec<String>> {
+            let mut names = Vec::new();
+            for entry in fs::read_dir(dir)? {
+                let name = entry?.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".txt") {
+                    names.push(name);
+                }
+            }
+            names.sort();
+            Ok(names)
+        }
+        let mut report = MergeReport::default();
+        for kind in ["prepared", "netlists", "sims"] {
+            let dir = other.root.join(kind);
+            for name in txt_files(&dir)? {
+                let src = dir.join(&name);
+                let dst = self.root.join(kind).join(&name);
+                let content = fs::read_to_string(&src)?;
+                match fs::read_to_string(&dst) {
+                    Ok(existing) if existing == content => report.identical += 1,
+                    Ok(_) => report.conflicting += 1,
+                    Err(_) => {
+                        self.write_atomic(&dst, &content);
+                        report.copied += 1;
+                    }
+                }
+            }
+        }
+        let sa_dir = other.root.join("satables");
+        for name in txt_files(&sa_dir)? {
+            let text = fs::read_to_string(sa_dir.join(&name))?;
+            if let Ok(table) = SaTable::from_text(&text) {
+                let s = self.merge_sa_table(&table);
+                report.sa.inserted += s.inserted;
+                report.sa.matched += s.matched;
+                report.sa.conflicting += s.conflicting;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Atomically replaces `path` with `content` (write to a unique temp
+    /// file in the same directory, then rename). Failures are reported to
+    /// stderr and swallowed: the store is a cache, and a failed save must
+    /// never fail the experiment producing the artifact.
+    fn write_atomic(&self, path: &Path, content: &str) {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{n}", std::process::id()));
+        let result = fs::write(&tmp, content).and_then(|()| fs::rename(&tmp, path));
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            eprintln!(
+                "warning: artifact store write `{}` failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+// ---- text formats ----------------------------------------------------------
+
+const PREPARED_HEADER: &str = "# hlpower prepared v1";
+const MAPPED_HEADER: &str = "# hlpower mapped v1";
+
+fn write_u32s(out: &mut String, key: &str, vals: impl Iterator<Item = u32>) {
+    out.push_str(key);
+    for v in vals {
+        out.push(' ');
+        out.push_str(&v.to_string());
+    }
+    out.push('\n');
+}
+
+fn prepared_text(sched: &Schedule, rb: &RegisterBinding) -> String {
+    let mut out = String::new();
+    out.push_str(PREPARED_HEADER);
+    out.push('\n');
+    out.push_str(&format!(
+        "num_steps {}\nlibrary {} {}\n",
+        sched.num_steps, sched.library.addsub_latency, sched.library.mul_latency
+    ));
+    write_u32s(&mut out, "cstep", sched.cstep.iter().copied());
+    out.push_str(&format!("num_regs {}\n", rb.num_regs));
+    write_u32s(&mut out, "reg_of", rb.reg_of.iter().map(|&r| r as u32));
+    out.push_str("swap ");
+    out.extend(rb.swap.iter().map(|&s| if s { '1' } else { '0' }));
+    out.push('\n');
+    write_u32s(&mut out, "birth", rb.lifetimes.birth.iter().copied());
+    write_u32s(&mut out, "death", rb.lifetimes.death.iter().copied());
+    out.push_str("end\n");
+    out
+}
+
+fn parse_prepared(text: &str) -> Option<(Schedule, RegisterBinding)> {
+    let mut lines = text.lines();
+    if lines.next()? != PREPARED_HEADER {
+        return None;
+    }
+    let mut num_steps = None;
+    let mut library = None;
+    let mut cstep = None;
+    let mut num_regs = None;
+    let mut reg_of: Option<Vec<usize>> = None;
+    let mut swap = None;
+    let mut birth = None;
+    let mut death = None;
+    let mut seen_end = false;
+    for line in lines {
+        let mut toks = line.split_whitespace();
+        let key = toks.next()?;
+        let rest: Vec<&str> = toks.collect();
+        let u32s =
+            |rest: &[&str]| -> Option<Vec<u32>> { rest.iter().map(|t| t.parse().ok()).collect() };
+        match key {
+            "num_steps" => num_steps = Some(rest.first()?.parse().ok()?),
+            "library" => {
+                library = Some(ResourceLibrary {
+                    addsub_latency: rest.first()?.parse().ok()?,
+                    mul_latency: rest.get(1)?.parse().ok()?,
+                })
+            }
+            "cstep" => cstep = Some(u32s(&rest)?),
+            "num_regs" => num_regs = Some(rest.first()?.parse().ok()?),
+            "reg_of" => reg_of = Some(u32s(&rest)?.into_iter().map(|v| v as usize).collect()),
+            "swap" => {
+                swap = Some(
+                    rest.first()
+                        .copied()
+                        .unwrap_or("")
+                        .chars()
+                        .map(|c| c == '1')
+                        .collect::<Vec<bool>>(),
+                )
+            }
+            "birth" => birth = Some(u32s(&rest)?),
+            "death" => death = Some(u32s(&rest)?),
+            "end" => {
+                seen_end = true;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    if !seen_end {
+        return None;
+    }
+    let sched = Schedule {
+        cstep: cstep?,
+        library: library?,
+        num_steps: num_steps?,
+    };
+    let rb = RegisterBinding {
+        num_regs: num_regs?,
+        reg_of: reg_of?,
+        swap: swap?,
+        lifetimes: Lifetimes {
+            birth: birth?,
+            death: death?,
+        },
+    };
+    Some((sched, rb))
+}
+
+fn mapped_text(artifact: &MappedArtifact) -> String {
+    format!(
+        "{MAPPED_HEADER}\nluts {}\ndepth {}\nestimated_sa {:016x} {:.3}\nregisters {}\nnetlist\n{}",
+        artifact.luts,
+        artifact.depth,
+        // Bit-exact f64 first (the value warm runs reload), then a
+        // human-readable approximation for anyone reading the file.
+        artifact.estimated_sa.to_bits(),
+        artifact.estimated_sa,
+        artifact.registers,
+        write_netlist_text(&artifact.netlist),
+    )
+}
+
+fn parse_mapped(text: &str) -> Option<MappedArtifact> {
+    let mut lines = text.lines();
+    if lines.next()? != MAPPED_HEADER {
+        return None;
+    }
+    let mut luts = None;
+    let mut depth = None;
+    let mut estimated_sa = None;
+    let mut registers = None;
+    let mut consumed = text.lines().next()?.len() + 1;
+    for line in lines {
+        consumed += line.len() + 1;
+        let mut toks = line.split_whitespace();
+        match toks.next()? {
+            "luts" => luts = Some(toks.next()?.parse().ok()?),
+            "depth" => depth = Some(toks.next()?.parse().ok()?),
+            "estimated_sa" => {
+                estimated_sa = Some(f64::from_bits(u64::from_str_radix(toks.next()?, 16).ok()?))
+            }
+            "registers" => registers = Some(toks.next()?.parse().ok()?),
+            "netlist" => {
+                let netlist = parse_netlist_text(text.get(consumed..)?).ok()?;
+                // A parseable but structurally broken netlist (dangling
+                // fanin, cycle, unconnected latch) reads as a miss rather
+                // than panicking the simulator downstream.
+                netlist.check().ok()?;
+                return Some(MappedArtifact {
+                    netlist,
+                    luts: luts?,
+                    depth: depth?,
+                    estimated_sa: estimated_sa?,
+                    registers: registers?,
+                });
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Test-only helper shared by this crate's store-backed test modules:
+/// a fresh, uniquely named store under the system temp directory.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::ArtifactStore;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    pub(crate) fn temp_store(tag: &str) -> ArtifactStore {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "hlpower-store-test-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(&dir).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::{netlist_fingerprint, prepared_fingerprint};
+    use crate::flow::{self, paper_constraint, FlowConfig};
+    use cdfg::FuType;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        super::testutil::temp_store(tag)
+    }
+
+    #[test]
+    fn prepared_roundtrips_exactly() {
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig::fast();
+        let (sched, rb) = flow::prepare(&g, &rc, &cfg);
+        let store = temp_store("prep");
+        let fp = prepared_fingerprint(&g, &rc, &cfg);
+        assert!(
+            store.load_prepared(fp, |_, _| true).is_none(),
+            "cold store misses"
+        );
+        store.save_prepared(fp, &sched, &rb);
+        let (s2, r2) = store
+            .load_prepared(fp, |_, _| true)
+            .expect("warm store hits");
+        assert_eq!(s2, sched);
+        assert_eq!(r2.num_regs, rb.num_regs);
+        assert_eq!(r2.reg_of, rb.reg_of);
+        assert_eq!(r2.swap, rb.swap);
+        assert_eq!(r2.lifetimes.birth, rb.lifetimes.birth);
+        assert_eq!(r2.lifetimes.death, rb.lifetimes.death);
+        r2.validate(&g).unwrap();
+        let c = store.counters();
+        assert_eq!((c.prepared_hits, c.prepared_misses), (1, 1));
+    }
+
+    #[test]
+    fn mapped_artifact_roundtrips_exactly() {
+        // A real mapped datapath netlist (latches, escaped-free names,
+        // LUT tables) must survive the store byte for byte.
+        let p = cdfg::profile("pr").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("pr").unwrap();
+        let cfg = FlowConfig::fast();
+        let (sched, rb) = flow::prepare(&g, &rc, &cfg);
+        let binder = crate::Binder::HlPower { alpha: 0.5 };
+        let mut table = flow::sa_table_for(&cfg, binder);
+        let outcome = flow::bind(&g, &sched, &rb, &rc, binder, &mut table);
+        let (dp, mapped) = flow::elaborate_map(&g, &sched, &rb, &outcome.fb, &cfg);
+        let artifact = MappedArtifact {
+            netlist: mapped.netlist.clone(),
+            luts: mapped.stats.luts,
+            depth: mapped.stats.depth,
+            estimated_sa: mapped.stats.estimated_sa,
+            registers: dp.registers,
+        };
+        let store = temp_store("mapped");
+        let fp = netlist_fingerprint(prepared_fingerprint(&g, &rc, &cfg), &outcome.fb, &cfg);
+        assert!(store.load_mapped(fp).is_none());
+        store.save_mapped(fp, &artifact);
+        let back = store.load_mapped(fp).expect("warm hit");
+        assert_eq!(back.luts, artifact.luts);
+        assert_eq!(back.depth, artifact.depth);
+        assert_eq!(back.estimated_sa.to_bits(), artifact.estimated_sa.to_bits());
+        assert_eq!(back.registers, artifact.registers);
+        assert_eq!(
+            write_netlist_text(&back.netlist),
+            write_netlist_text(&artifact.netlist),
+            "cached netlist must be the exact netlist"
+        );
+        // And it simulates identically, transition counts included.
+        let a = flow::simulate(&dp, &artifact.netlist, &cfg);
+        let b = flow::simulate(&dp, &back.netlist, &cfg);
+        assert_eq!(a.total_transitions, b.total_transitions);
+        assert_eq!(a.glitch_transitions, b.glitch_transitions);
+    }
+
+    #[test]
+    fn sim_summary_roundtrips() {
+        let store = temp_store("sim");
+        let fp = Fingerprint(7);
+        assert!(store.load_sim(fp).is_none());
+        let stats = SimStats {
+            cycles: 100,
+            total_transitions: 5000,
+            functional_transitions: 4000,
+            glitch_transitions: 1000,
+            per_node: vec![0; 12],
+        };
+        store.save_sim(fp, &stats);
+        let back = store.load_sim(fp).unwrap();
+        assert_eq!(back.total_transitions, 5000);
+        assert_eq!(back.per_node.len(), 12);
+        let c = store.counters();
+        assert_eq!((c.sim_hits, c.sim_misses), (1, 1));
+    }
+
+    #[test]
+    fn sa_shard_merges_on_absorb() {
+        let store = temp_store("sa");
+        assert!(store.load_sa_table(SaMode::Precalculated, 4, 4).is_none());
+        let mut a = SaTable::new(4, 4);
+        a.insert(FuType::AddSub, 1, 1, 2.0);
+        let s = store.merge_sa_table(&a);
+        assert_eq!((s.inserted, s.conflicting), (1, 0));
+        // A second shard with one overlapping (conflicting) and one new
+        // entry merges without losing the existing value.
+        let mut b = SaTable::new(4, 4);
+        b.insert(FuType::AddSub, 1, 1, 9.0);
+        b.insert(FuType::Mul, 2, 2, 5.0);
+        let s = store.merge_sa_table(&b);
+        assert_eq!((s.inserted, s.matched, s.conflicting), (1, 0, 1));
+        let merged = store.load_sa_table(SaMode::Precalculated, 4, 4).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.lookup(FuType::AddSub, 1, 1), Some(2.0));
+        // Shards are per (mode, width, k): a zero-delay table lands in
+        // its own file.
+        let mut zd = SaTable::new(4, 4).with_mode(SaMode::ZeroDelayAblation);
+        zd.insert(FuType::AddSub, 1, 1, 1.0);
+        store.merge_sa_table(&zd);
+        assert_eq!(
+            store
+                .load_sa_table(SaMode::ZeroDelayAblation, 4, 4)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            store
+                .load_sa_table(SaMode::Precalculated, 4, 4)
+                .unwrap()
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn merge_from_unions_two_stores() {
+        let a = temp_store("merge-a");
+        let b = temp_store("merge-b");
+        let stats = SimStats {
+            cycles: 10,
+            total_transitions: 100,
+            functional_transitions: 90,
+            glitch_transitions: 10,
+            per_node: vec![],
+        };
+        a.save_sim(Fingerprint(1), &stats);
+        b.save_sim(Fingerprint(1), &stats); // identical in both
+        b.save_sim(Fingerprint(2), &stats); // only in b
+        let mut t = SaTable::new(4, 4);
+        t.insert(FuType::AddSub, 1, 1, 2.0);
+        b.merge_sa_table(&t);
+        let report = a.merge_from(&b).unwrap();
+        assert_eq!(report.copied, 1);
+        assert_eq!(report.identical, 1);
+        assert_eq!(report.conflicting, 0);
+        assert_eq!(report.sa.inserted, 1);
+        assert!(a.load_sim(Fingerprint(2)).is_some());
+        assert_eq!(
+            a.load_sa_table(SaMode::Precalculated, 4, 4).unwrap().len(),
+            1
+        );
+        assert!(report.to_string().contains("1 artifacts copied"));
+    }
+
+    #[test]
+    fn merge_from_skips_interrupted_write_leftovers() {
+        // A worker killed between fs::write and fs::rename leaves
+        // `*.tmp.<pid>.<n>` files behind; merging must neither copy them
+        // (they are not artifacts) nor panic parsing them.
+        let src = temp_store("tmp-src");
+        let dst = temp_store("tmp-dst");
+        let mut t = SaTable::new(6, 6);
+        t.insert(FuType::AddSub, 1, 1, 2.0);
+        src.merge_sa_table(&t);
+        fs::write(
+            src.root()
+                .join("satables")
+                .join("precalculated-w6-k6.tmp.99.0"),
+            t.to_text(),
+        )
+        .unwrap();
+        fs::write(src.root().join("sims").join("deadbeef.tmp.99.1"), "junk").unwrap();
+        let report = dst.merge_from(&src).unwrap();
+        assert_eq!(report.copied, 0, "tmp leftovers are not artifacts");
+        assert_eq!(report.sa.inserted, 1, "only the real shard merges");
+        assert!(!dst.root().join("sims").join("deadbeef.tmp.99.1").exists());
+    }
+
+    #[test]
+    fn k_skewed_shard_file_reads_as_a_miss() {
+        // A shard whose header disagrees with its file name (e.g. a k=6
+        // table mis-copied over the k=4 slot) must be a miss, not a
+        // panic further down in merge-on-absorb.
+        let store = temp_store("k-skew");
+        let mut t = SaTable::new(4, 6);
+        t.insert(FuType::AddSub, 1, 1, 2.0);
+        fs::write(
+            store
+                .root()
+                .join("satables")
+                .join("precalculated-w4-k4.txt"),
+            t.to_text(),
+        )
+        .unwrap();
+        assert!(store.load_sa_table(SaMode::Precalculated, 4, 4).is_none());
+        // Merging a genuine k=4 table over the skewed file replaces it
+        // (the skewed content reads as absent) without panicking.
+        let mut ok = SaTable::new(4, 4);
+        ok.insert(FuType::Mul, 2, 2, 5.0);
+        let stats = store.merge_sa_table(&ok);
+        assert_eq!(stats.inserted, 1);
+        let back = store.load_sa_table(SaMode::Precalculated, 4, 4).unwrap();
+        assert_eq!(back.k(), 4);
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_files_count_as_misses() {
+        let store = temp_store("corrupt");
+        let fp = Fingerprint(3);
+        fs::write(store.root().join("sims").join(format!("{fp}.txt")), "junk").unwrap();
+        assert!(store.load_sim(fp).is_none());
+        fs::write(
+            store.root().join("prepared").join(format!("{fp}.txt")),
+            "# hlpower prepared v0\nend\n",
+        )
+        .unwrap();
+        assert!(store.load_prepared(fp, |_, _| true).is_none());
+        fs::write(
+            store.root().join("netlists").join(format!("{fp}.txt")),
+            "# hlpower mapped v1\nluts x\n",
+        )
+        .unwrap();
+        assert!(store.load_mapped(fp).is_none());
+        let c = store.counters();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 3);
+    }
+}

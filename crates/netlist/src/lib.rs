@@ -9,6 +9,9 @@
 //!   nets and primary outputs;
 //! * [`blif`] — BLIF parsing (including `.subckt` flattening, as used for
 //!   the paper's Figure 2 partial-datapath netlists) and writing;
+//! * [`textio`] — the **exact** netlist text codec used by the artifact
+//!   store (structure-preserving, byte-stable — unlike the normalizing
+//!   BLIF round trip);
 //! * [`cells`] — word-level generators for the paper's resource library:
 //!   balanced mux trees, adder/subtractors, carry-save array multipliers,
 //!   and registers with write enables.
@@ -36,9 +39,11 @@
 pub mod blif;
 pub mod cells;
 pub mod graph;
+pub mod textio;
 pub mod truth;
 
 pub use blif::{parse_blif, write_blif, BlifError, BlifFile, BlifModel};
 pub use cells::Bus;
 pub use graph::{Netlist, NetlistError, NetlistStats, Node, NodeId, NodeKind};
+pub use textio::{parse_netlist_text, write_netlist_text, NetlistTextError};
 pub use truth::{TruthTable, MAX_INPUTS};

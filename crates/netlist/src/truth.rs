@@ -81,6 +81,12 @@ impl TruthTable {
         tt
     }
 
+    /// The raw little-endian row words (row 0 = bit 0 of word 0) — the
+    /// inverse of [`TruthTable::from_words`], for exact serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// The constant function with zero inputs.
     pub fn constant(value: bool) -> Self {
         TruthTable {

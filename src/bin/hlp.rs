@@ -4,6 +4,7 @@
 //! hlp run <file.cdfg> [options]     bind a CDFG file and report
 //! hlp bench <name> [options]        run one suite benchmark end to end
 //! hlp table <out.txt> [options]     precompute an SA table to a file
+//! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
 //! hlp suite                         list the built-in benchmarks
 //!
 //! options:
@@ -32,16 +33,25 @@
 //!   --blif PATH      write the gate-level netlist as BLIF
 //!   --dot PATH       write the scheduled CDFG as Graphviz
 //!   --sa-table PATH  load/store the SA precalculation table
+//!   --store DIR      content-addressed artifact store: prepared
+//!                    schedules, mapped netlists, simulation summaries,
+//!                    and the SA table persist across invocations (the
+//!                    SA table needs no separate --sa-table flag here —
+//!                    the store shards it by mode/width/k automatically)
 //! ```
 //!
 //! Every command drives the staged [`Pipeline`]: the schedule/register
 //! binding are named artifacts, the binder draws SA estimates from the
 //! pipeline's shared cache, and `--sa-table` persists that cache across
-//! invocations (the paper's offline hash-table file).
+//! invocations (the paper's offline hash-table file). `hlp merge` is the
+//! fan-in step of a sharded experiment run: it unions the artifact
+//! stores that `--shard i/N` workers warmed, so one final unsharded run
+//! against the merged store reproduces the full report from cache alone.
 
 use cdfg::ResourceConstraint;
-use hlpower::{Binder, ControlStyle, FlowConfig, Pipeline, SaMode, SaTable};
+use hlpower::{ArtifactStore, Binder, ControlStyle, FlowConfig, Pipeline, SaMode, SaTable};
 use std::process::exit;
+use std::sync::Arc;
 
 struct Options {
     width: usize,
@@ -56,14 +66,15 @@ struct Options {
     blif: Option<String>,
     dot: Option<String>,
     sa_table: Option<String>,
+    store: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hlp <run FILE | bench NAME | table OUT | suite> \
+        "usage: hlp <run FILE | bench NAME | table OUT | merge DST SRC... | suite> \
          [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
          [--cycles N] [--lanes N] [--sa-mode M] [--fsm] \
-         [--vhdl P] [--blif P] [--dot P] [--sa-table P]"
+         [--vhdl P] [--blif P] [--dot P] [--sa-table P] [--store DIR]"
     );
     exit(2)
 }
@@ -82,6 +93,7 @@ fn parse_options(args: &[String]) -> Options {
         blif: None,
         dot: None,
         sa_table: None,
+        store: None,
     };
     let mut binder_name = "hlpower".to_string();
     let mut i = 0;
@@ -122,6 +134,7 @@ fn parse_options(args: &[String]) -> Options {
             "--blif" => o.blif = Some(value(&mut i)),
             "--dot" => o.dot = Some(value(&mut i)),
             "--sa-table" => o.sa_table = Some(value(&mut i)),
+            "--store" => o.store = Some(value(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -166,7 +179,16 @@ fn load_table(o: &Options, pipeline: &Pipeline) -> bool {
         if let Ok(text) = std::fs::read_to_string(path) {
             match SaTable::from_text(&text) {
                 Ok(t) => match pipeline.seed_sa_cache(o.binder, &t) {
-                    Ok(n) => eprintln!("loaded SA table `{path}` ({n} entries)"),
+                    Ok(stats) => {
+                        eprintln!("loaded SA table `{path}`: {stats}");
+                        if stats.conflicting > 0 {
+                            eprintln!(
+                                "warning: `{path}` disagrees with the current cache on \
+                                 {} entries (cache values kept)",
+                                stats.conflicting
+                            );
+                        }
+                    }
                     Err(e) => {
                         eprintln!("ignoring SA table `{path}` and leaving it untouched: {e}");
                         return false;
@@ -196,13 +218,28 @@ fn store_table(o: &Options, pipeline: &Pipeline) {
     }
 }
 
+/// Opens (creating if needed) the artifact store at `dir`, exiting with
+/// a message on failure. `role` names the store in the error.
+fn open_store_or_die(dir: &str, role: &str) -> ArtifactStore {
+    ArtifactStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open {role} `{dir}`: {e}");
+        exit(1);
+    })
+}
+
 fn run_flow(g: &cdfg::Cdfg, o: &Options) {
     g.check().unwrap_or_else(|e| {
         eprintln!("invalid CDFG: {e}");
         exit(1);
     });
     println!("{}", g.profile_line());
-    let pipeline = Pipeline::new(flow_config(o));
+    let pipeline = match &o.store {
+        Some(dir) => Pipeline::with_store(
+            flow_config(o),
+            Arc::new(open_store_or_die(dir, "artifact store")),
+        ),
+        None => Pipeline::new(flow_config(o)),
+    };
     let storable = load_table(o, &pipeline);
     let prep = pipeline.prepare(g, &o.rc);
     println!(
@@ -229,6 +266,11 @@ fn run_flow(g: &cdfg::Cdfg, o: &Options) {
         println!("  fu{i} ({}): {} ops", fu.ty, fu.ops.len());
     }
     let result = pipeline.measure(&prep, &outcome, o.binder);
+    pipeline.flush_store();
+    if pipeline.store().is_some() {
+        let stats = pipeline.stats();
+        eprintln!("store: {}", stats.store);
+    }
     println!(
         "datapath: {} registers ({:?} control)",
         result.registers,
@@ -339,6 +381,54 @@ fn main() {
             );
             table.precompute(8);
             write_or_die(out, &table.to_text());
+            // With --store, the precomputed entries also land in the
+            // store's SA shard, so later --store runs start warm.
+            if let Some(dir) = &o.store {
+                let store = open_store_or_die(dir, "artifact store");
+                let stats = store.merge_sa_table(&table);
+                eprintln!("merged into store `{dir}`: {stats}");
+            }
+        }
+        "merge" => {
+            // Fan-in of a sharded run: union every source store into the
+            // destination. Content-addressed artifacts copy over (byte
+            // conflicts are reported, destination wins); SA shards merge
+            // entry-wise with conflict accounting.
+            let Some(dst) = argv.get(1) else { usage() };
+            if argv.len() < 3 {
+                eprintln!("merge needs at least one source store");
+                usage();
+            }
+            let dst_store = open_store_or_die(dst, "destination store");
+            let mut failed = false;
+            for src in &argv[2..] {
+                // Sources are read-only inputs: a mistyped path must fail
+                // loudly, never be created (or half-planted inside some
+                // existing directory) as an empty store.
+                let src_store = ArtifactStore::open_existing(src).unwrap_or_else(|e| {
+                    eprintln!("cannot open source store: {e}");
+                    exit(1);
+                });
+                match dst_store.merge_from(&src_store) {
+                    Ok(report) => {
+                        println!("merged `{src}` into `{dst}`: {report}");
+                        if report.conflicting > 0 || report.sa.conflicting > 0 {
+                            eprintln!(
+                                "warning: `{src}` conflicts with `{dst}` \
+                                 ({} artifact(s), {} SA entries) — destination values kept",
+                                report.conflicting, report.sa.conflicting
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("merging `{src}` into `{dst}` failed: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                exit(1);
+            }
         }
         "suite" => {
             println!("built-in benchmarks (paper Table 1):");
