@@ -33,13 +33,15 @@ fn main() {
     let small = &suite[suite.len() - take..]; // the smaller benchmarks
     let binder = Binder::HlPower { alpha: 0.5 };
 
-    // One pipeline per flow configuration (each attached to --store when
-    // given; the per-configuration fingerprints keep their artifacts
-    // apart). The α=0.5 binding feeding ablations 1–3 is bound exactly
-    // once per benchmark here: the K sweep keeps the elaborated datapath,
-    // and the measured FlowResult is reused as the glitch-aware /
-    // external-control reference below.
-    let pipeline = args.pipeline();
+    // One service owns the --store hot store; each flow configuration
+    // gets its own pipeline behind it (the per-configuration
+    // fingerprints keep their artifacts apart). The α=0.5 binding
+    // feeding ablations 1–3 is bound exactly once per benchmark here:
+    // the K sweep keeps the elaborated datapath, and the measured
+    // FlowResult is reused as the glitch-aware / external-control
+    // reference below.
+    let service = args.service();
+    let pipeline = service.pipeline_for(&args.flow);
     let zd_results = run_on(
         &pipeline,
         small,
@@ -98,7 +100,7 @@ fn main() {
     // The FSM flow is a different configuration, hence its own pipeline;
     // the external-control numbers reuse the shared results above.
     println!("=== Ablation 3: on-chip FSM controller vs external control ===");
-    let fsm_pipeline = args.pipeline_for(FlowConfig {
+    let fsm_pipeline = service.pipeline_for(&FlowConfig {
         control: ControlStyle::Fsm,
         ..args.flow.clone()
     });
@@ -175,7 +177,7 @@ fn main() {
 
     // ---- 5. Multi-cycle multipliers ----------------------------------------
     println!("=== Ablation 5: 2-cycle multipliers (paper future work) ===");
-    let multi_pipeline = args.pipeline_for(FlowConfig {
+    let multi_pipeline = service.pipeline_for(&FlowConfig {
         library: ResourceLibrary {
             addsub_latency: 1,
             mul_latency: 2,
@@ -204,6 +206,6 @@ fn main() {
     );
 
     // The manual prepare/bind/measure loops above ran outside run_matrix,
-    // so merge their SA entries into the store explicitly.
-    pipeline.flush_store();
+    // so merge every pipeline's SA entries into the store explicitly.
+    service.flush();
 }

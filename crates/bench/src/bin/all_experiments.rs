@@ -54,8 +54,8 @@ fn main() {
         render_table(&["Bench", "PIs", "POs", "Adds", "Mults", "Edges"], &rows)
     );
 
-    // ---- One pipeline pass for every table --------------------------------
-    let (pipeline, results) = args.run_matrix(&suite, &BINDERS);
+    // ---- One service pass for every table ---------------------------------
+    let (service, results) = args.run_matrix(&suite, &BINDERS);
 
     // ---- Table 2 ----------------------------------------------------------
     // The runtime proxy is the SA-query count (deterministic); wall-clock
@@ -256,7 +256,7 @@ fn main() {
     // Sharing evidence (stderr: diagnostics, not part of the report).
     // Every benchmark's front end was either computed once or served
     // from the artifact store — never recomputed per binder.
-    let s = pipeline.stats();
+    let s = service.stats();
     debug_assert_eq!(
         (s.stages.schedules + s.store.prepared_hits) as usize,
         suite.len()

@@ -1,14 +1,20 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the
-//! paper on top of the staged [`Pipeline`]: benchmark suite loading,
-//! CLI parsing (including the parallel fan-out flags), text-table
-//! rendering, and the paper's reference numbers for side-by-side
-//! reporting live here.
+//! paper on top of the typed service API ([`hlpower::api`]): the shared
+//! [`Args`] parser turns the command line into [`JobRequest`] values,
+//! [`Args::run_matrix`] executes the benchmark × binder request matrix
+//! through one [`Service`] (which owns the `--store` hot artifact store
+//! and a pipeline per flow configuration), and the text-table rendering
+//! plus the paper's reference numbers for side-by-side reporting live
+//! here. Binaries that need pipeline-level access for hand-driven
+//! ablations reach it through [`Service::pipeline_for`], so every
+//! execution path shares the same store and accounting.
 
 #![warn(missing_docs)]
 
 use cdfg::{Cdfg, ResourceConstraint};
+use hlpower::api::{JobRequest, Service};
 use hlpower::{paper_constraint, ArtifactStore, Binder, FlowConfig, FlowResult, Pipeline, Shard};
 use std::sync::Arc;
 
@@ -25,13 +31,16 @@ pub const DEFAULT_LANES: usize = 64;
 /// (word-parallel simulation lanes, 1..=64; `0` selects the scalar
 /// reference engine; default [`DEFAULT_LANES`]), `--paper-exact`
 /// (restore the paper's `--lanes 1` single-stream tables),
-/// `--bench NAME` (repeatable), `--binder LABEL` (repeatable, see
-/// [`parse_binder`]), `--jobs N` (parallel fan-out width), `--fast`
+/// `--bench NAME` (repeatable), `--binder SPEC` (repeatable, see
+/// [`Binder::parse`]), `--jobs N` (parallel fan-out width), `--fast`
 /// (width 8, 300 cycles — for smoke runs), `--store DIR` (persistent
 /// artifact store: prepared schedules, mapped netlists, simulation
 /// summaries, and the SA table are cached across runs), `--shard i/N`
 /// (run only this worker's slice of the benchmark × binder matrix into
 /// the store; requires `--store`, combine stores with `hlp merge`).
+///
+/// Malformed values report the offending flag and value on stderr and
+/// exit 2 (the usage exit code); runtime failures exit 1.
 #[derive(Clone, Debug)]
 pub struct Args {
     /// Flow configuration assembled from the flags.
@@ -40,12 +49,25 @@ pub struct Args {
     pub only: Vec<String>,
     /// Binder filter (empty = the binary's default set).
     pub binders: Vec<Binder>,
-    /// Worker threads for the pipeline fan-out.
+    /// Worker threads for the request fan-out.
     pub jobs: usize,
     /// Artifact-store directory (`--store`).
     pub store: Option<String>,
     /// This worker's slice of the job matrix (`--shard`).
     pub shard: Shard,
+}
+
+/// Reports a malformed option value with the flag name and offending
+/// value, then exits with the usage code (2).
+fn bad_value(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("invalid value `{value}` for {flag}: expected {expected}");
+    usage()
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| bad_value(flag, value, expected))
 }
 
 impl Args {
@@ -63,30 +85,33 @@ impl Args {
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < argv.len() {
+            let flag = argv[i].clone();
             let take_value = |i: &mut usize| -> String {
                 *i += 1;
-                argv.get(*i).unwrap_or_else(|| usage()).clone()
+                argv.get(*i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {flag}");
+                        usage()
+                    })
+                    .clone()
             };
-            match argv[i].as_str() {
+            match flag.as_str() {
                 "--width" => {
-                    flow.width = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    let v = take_value(&mut i);
+                    flow.width = parsed(&flag, &v, "an integer in 1..=64");
                     if flow.width == 0 || flow.width > 64 {
-                        eprintln!("--width must be in 1..=64 (word-level buses are u64)");
-                        usage();
+                        // Word-level buses are u64.
+                        bad_value(&flag, &v, "an integer in 1..=64");
                     }
                 }
-                "--sa-width" => {
-                    flow.sa_width = take_value(&mut i).parse().unwrap_or_else(|_| usage())
-                }
-                "--cycles" => {
-                    flow.sim_cycles = take_value(&mut i).parse().unwrap_or_else(|_| usage())
-                }
+                "--sa-width" => flow.sa_width = parsed(&flag, &take_value(&mut i), "an integer"),
+                "--cycles" => flow.sim_cycles = parsed(&flag, &take_value(&mut i), "an integer"),
                 "--lanes" => {
                     // 0 = scalar reference engine, 1..=64 = word engine.
-                    flow.lanes = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    let v = take_value(&mut i);
+                    flow.lanes = parsed(&flag, &v, "a lane count in 0..=64");
                     if flow.lanes > gatesim::MAX_LANES {
-                        eprintln!("--lanes is limited to {} lanes", gatesim::MAX_LANES);
-                        usage();
+                        bad_value(&flag, &v, "a lane count in 0..=64");
                     }
                 }
                 "--paper-exact" => {
@@ -99,31 +124,33 @@ impl Args {
                     // One seed flag controls the whole stochastic setup:
                     // simulation vectors *and* the register binding's
                     // random port assignment.
-                    let seed = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    let seed = parsed(&flag, &take_value(&mut i), "an integer");
                     flow.sim_seed = seed;
                     flow.port_seed = seed;
                 }
                 "--jobs" => {
-                    jobs = take_value(&mut i).parse().unwrap_or_else(|_| usage());
+                    let v = take_value(&mut i);
+                    jobs = parsed(&flag, &v, "a positive integer");
                     if jobs == 0 {
-                        usage();
+                        bad_value(&flag, &v, "a positive integer");
                     }
                 }
                 "--binder" => {
-                    let label = take_value(&mut i);
-                    binders.push(parse_binder(&label).unwrap_or_else(|| {
-                        eprintln!("unknown binder `{label}`");
-                        usage()
+                    let spec = take_value(&mut i);
+                    binders.push(Binder::parse(&spec).unwrap_or_else(|| {
+                        bad_value(
+                            &flag,
+                            &spec,
+                            "lopass | lopass-ic | lopass-sa | hlpower[:ALPHA] | hlpower-zd[:ALPHA]",
+                        )
                     }));
                 }
                 "--bench" => only.push(take_value(&mut i)),
                 "--store" => store = Some(take_value(&mut i)),
                 "--shard" => {
                     let spec = take_value(&mut i);
-                    shard = Shard::parse(&spec).unwrap_or_else(|| {
-                        eprintln!("--shard wants i/N with i < N, got `{spec}`");
-                        usage()
-                    });
+                    shard = Shard::parse(&spec)
+                        .unwrap_or_else(|| bad_value(&flag, &spec, "i/N with i < N"));
                 }
                 "--fast" => {
                     flow.width = 8;
@@ -175,84 +202,144 @@ impl Args {
         }
     }
 
-    /// Builds a [`Pipeline`] for these flags — attached to the `--store`
-    /// artifact store when one was given — and fans the benchmark ×
-    /// binder matrix out over `--jobs` workers, with progress on stderr.
-    /// Returns the pipeline (for stage counters / SA-cache access) and
-    /// `results[bench][binder]`.
-    ///
-    /// **Sharded invocations terminate here.** With `--shard i/N` (N > 1)
-    /// the run is a store-warming worker: it executes only its slice of
-    /// the matrix into the store, prints a summary to stderr, and exits
-    /// the process — no report is rendered, because the matrix is
-    /// partial. Combine the shard stores with `hlp merge` and rerun
-    /// unsharded against the merged store for the full (all-hits) report.
-    pub fn run_matrix(
+    /// The [`JobRequest`] for one suite benchmark under these flags.
+    pub fn request_for(&self, bench: &str, rc: &ResourceConstraint, binder: Binder) -> JobRequest {
+        let mut req = JobRequest::suite(bench)
+            .width(self.flow.width)
+            .sa_width(self.flow.sa_width)
+            .constraint(rc.addsub, rc.mul)
+            .binder(binder)
+            .cycles(self.flow.sim_cycles)
+            .lanes(self.flow.lanes)
+            .sa_mode(self.flow.sa_mode)
+            .fsm(matches!(self.flow.control, hlpower::ControlStyle::Fsm));
+        req.sim_seed = self.flow.sim_seed;
+        req.port_seed = self.flow.port_seed;
+        req
+    }
+
+    /// The row-major `suite × binders` request matrix — what
+    /// [`Args::run_matrix`] executes, and the job order `--shard`
+    /// slices.
+    pub fn requests(
         &self,
         suite: &[(Cdfg, ResourceConstraint)],
         binders: &[Binder],
-    ) -> (Pipeline, Vec<Vec<FlowResult>>) {
-        let pipeline = self.pipeline();
-        if !self.shard.is_full() {
-            let results = pipeline.run_matrix_sharded(suite, binders, self.jobs, self.shard);
-            let ran: usize = results.iter().flatten().filter(|r| r.is_some()).count();
-            let total = suite.len() * binders.len();
-            report_stats(&pipeline);
-            eprintln!(
-                "  shard {}: warmed {ran} of {total} job(s) into `{}`; no report (merge \
-                 shard stores with `hlp merge`, then rerun unsharded)",
-                self.shard,
-                self.store.as_deref().unwrap_or("?"),
-            );
-            std::process::exit(0);
-        }
-        let results = run_on(&pipeline, suite, binders, self.jobs);
-        (pipeline, results)
+    ) -> Vec<JobRequest> {
+        suite
+            .iter()
+            .flat_map(|(g, rc)| {
+                binders
+                    .iter()
+                    .map(move |binder| self.request_for(g.name(), rc, *binder))
+            })
+            .collect()
     }
 
-    /// Builds the pipeline for these flags, opening the `--store`
-    /// artifact store when one was given (exiting with a message if the
-    /// directory cannot be created).
-    pub fn pipeline(&self) -> Pipeline {
-        self.pipeline_for(self.flow.clone())
-    }
-
-    /// Like [`Args::pipeline`] but for a derived flow configuration —
-    /// the ablation binaries run several configurations against the same
-    /// `--store` directory (artifacts of different configurations can
-    /// never collide: every configuration knob that shapes an artifact
-    /// is a fingerprint ingredient).
-    pub fn pipeline_for(&self, flow: FlowConfig) -> Pipeline {
+    /// Builds the [`Service`] for these flags: the flag-derived flow
+    /// configuration as the template, attached to the `--store` artifact
+    /// store when one was given (exiting with a message if the directory
+    /// cannot be created).
+    pub fn service(&self) -> Service {
+        let service = Service::new().with_template(self.flow.clone());
         match &self.store {
             Some(dir) => {
                 let store = ArtifactStore::open(dir).unwrap_or_else(|e| {
                     eprintln!("cannot open artifact store `{dir}`: {e}");
                     std::process::exit(1);
                 });
-                Pipeline::with_store(flow, Arc::new(store))
+                service.with_store(Arc::new(store))
             }
-            None => Pipeline::new(flow),
+            None => service,
         }
+    }
+
+    /// Builds the [`Service`] for these flags and executes the benchmark
+    /// × binder request matrix through it over `--jobs` workers, with
+    /// progress on stderr. Returns the service (for stage counters /
+    /// pipeline access) and `results[bench][binder]`.
+    ///
+    /// **Sharded invocations terminate here.** With `--shard i/N` (N > 1)
+    /// the run is a store-warming worker: it executes only its slice of
+    /// the request matrix into the store, prints a summary to stderr, and
+    /// exits the process — no report is rendered, because the matrix is
+    /// partial. Combine the shard stores with `hlp merge` and rerun
+    /// unsharded against the merged store for the full (all-hits) report.
+    pub fn run_matrix(
+        &self,
+        suite: &[(Cdfg, ResourceConstraint)],
+        binders: &[Binder],
+    ) -> (Service, Vec<Vec<FlowResult>>) {
+        let service = self.service();
+        let requests = self.requests(suite, binders);
+        if !self.shard.is_full() {
+            let owned: Vec<JobRequest> = requests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.shard.owns(*i))
+                .map(|(_, r)| r.clone())
+                .collect();
+            let reports = service.execute_all(&owned, self.jobs);
+            let ran = reports.iter().filter(|r| r.is_ok()).count();
+            for report in &reports {
+                if let Err(e) = report {
+                    eprintln!("  job failed: {e}");
+                }
+            }
+            report_service_stats(&service);
+            eprintln!(
+                "  shard {}: warmed {ran} of {} job(s) into `{}`; no report (merge \
+                 shard stores with `hlp merge`, then rerun unsharded)",
+                self.shard,
+                requests.len(),
+                self.store.as_deref().unwrap_or("?"),
+            );
+            std::process::exit(0);
+        }
+        eprintln!(
+            "  fan-out: {} benchmark(s) x {} binder(s) on {} job(s)",
+            suite.len(),
+            binders.len(),
+            self.jobs
+        );
+        let mut reports = service.execute_all(&requests, self.jobs).into_iter();
+        let results = suite
+            .iter()
+            .map(|_| {
+                binders
+                    .iter()
+                    .map(|_| {
+                        let report = reports.next().expect("one report per request");
+                        report
+                            .unwrap_or_else(|e| {
+                                eprintln!("job failed: {e}");
+                                std::process::exit(1);
+                            })
+                            .result
+                    })
+                    .collect()
+            })
+            .collect();
+        report_service_stats(&service);
+        (service, results)
     }
 }
 
-/// Prints the pipeline's stage-execution and store hit/miss counters to
+/// Prints a service's stage-execution and store hit/miss counters to
 /// stderr (the observable caching evidence; stdout stays reserved for
 /// deterministic report output).
-fn report_stats(pipeline: &Pipeline) {
-    let s = pipeline.stats();
-    let c = s.stages;
-    eprintln!(
-        "  stages: {} schedules, {} regbinds, {} fu-binds, {} mappings, {} simulations",
-        c.schedules, c.register_bindings, c.fu_bindings, c.mappings, c.simulations
-    );
-    if pipeline.store().is_some() {
+fn report_service_stats(service: &Service) {
+    let s = service.stats();
+    eprintln!("  stages: {}", s.stages);
+    if service.store().is_some() {
         eprintln!("  store: {}", s.store);
     }
 }
 
-/// Fans `suite × binders` out on an existing pipeline, with progress on
-/// stderr (stdout stays reserved for deterministic report output).
+/// Fans `suite × binders` out on an explicit pipeline (obtained from
+/// [`Service::pipeline_for`] for configurations beyond the request
+/// vocabulary — custom resource libraries, controller styles), with
+/// progress on stderr.
 pub fn run_on(
     pipeline: &Pipeline,
     suite: &[(Cdfg, ResourceConstraint)],
@@ -266,7 +353,11 @@ pub fn run_on(
         jobs
     );
     let results = pipeline.run_matrix(suite, binders, jobs);
-    report_stats(pipeline);
+    let s = pipeline.stats();
+    eprintln!("  stages: {}", s.stages);
+    if pipeline.store().is_some() {
+        eprintln!("  store: {}", s.store);
+    }
     results
 }
 
@@ -297,24 +388,6 @@ pub fn reject_binder_flag(args: &Args, binary: &str) {
     }
 }
 
-/// Parses a binder label: `lopass`, `lopass-ic`, `lopass-sa`, `hlpower`,
-/// or `hlpower-zd`, with an optional `:ALPHA` suffix for the HLPower
-/// variants (default α = 0.5), e.g. `hlpower:1.0`.
-pub fn parse_binder(label: &str) -> Option<Binder> {
-    let (name, alpha) = match label.split_once(':') {
-        Some((name, a)) => (name, a.parse::<f64>().ok()?),
-        None => (label, 0.5),
-    };
-    match name {
-        "lopass" => Some(Binder::Lopass),
-        "lopass-ic" => Some(Binder::LopassInterconnect),
-        "lopass-sa" => Some(Binder::LopassAnnealed),
-        "hlpower" => Some(Binder::HlPower { alpha }),
-        "hlpower-zd" => Some(Binder::HlPowerZeroDelay { alpha }),
-        _ => None,
-    }
-}
-
 fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -325,7 +398,7 @@ fn default_jobs() -> usize {
 fn usage() -> ! {
     eprintln!(
         "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] [--lanes N] \
-         [--paper-exact] [--bench NAME]... [--binder LABEL[:ALPHA]]... [--jobs N] [--fast] \
+         [--paper-exact] [--bench NAME]... [--binder SPEC[:ALPHA]]... [--jobs N] [--fast] \
          [--store DIR] [--shard i/N]"
     );
     std::process::exit(2)
@@ -437,23 +510,82 @@ mod tests {
     }
 
     #[test]
-    fn binder_labels_parse() {
-        assert_eq!(parse_binder("lopass"), Some(Binder::Lopass));
-        assert_eq!(parse_binder("lopass-ic"), Some(Binder::LopassInterconnect));
-        assert_eq!(parse_binder("lopass-sa"), Some(Binder::LopassAnnealed));
+    fn binder_specs_parse() {
+        assert_eq!(Binder::parse("lopass"), Some(Binder::Lopass));
+        assert_eq!(Binder::parse("lopass-ic"), Some(Binder::LopassInterconnect));
+        assert_eq!(Binder::parse("lopass-sa"), Some(Binder::LopassAnnealed));
         assert_eq!(
-            parse_binder("hlpower"),
+            Binder::parse("hlpower"),
             Some(Binder::HlPower { alpha: 0.5 })
         );
         assert_eq!(
-            parse_binder("hlpower:1.0"),
+            Binder::parse("hlpower:1.0"),
             Some(Binder::HlPower { alpha: 1.0 })
         );
         assert_eq!(
-            parse_binder("hlpower-zd:0.25"),
+            Binder::parse("hlpower-zd:0.25"),
             Some(Binder::HlPowerZeroDelay { alpha: 0.25 })
         );
-        assert_eq!(parse_binder("nope"), None);
-        assert_eq!(parse_binder("hlpower:x"), None);
+        assert_eq!(Binder::parse("nope"), None);
+        assert_eq!(Binder::parse("hlpower:x"), None);
+        // The LOPASS variants take no alpha; rejecting the suffix beats
+        // silently ignoring it.
+        assert_eq!(Binder::parse("lopass:0.5"), None);
+        // spec() is the exact inverse (the request-codec contract).
+        for b in [
+            Binder::Lopass,
+            Binder::LopassInterconnect,
+            Binder::LopassAnnealed,
+            Binder::HlPower { alpha: 0.3 },
+            Binder::HlPowerZeroDelay { alpha: 1.0 },
+        ] {
+            assert_eq!(Binder::parse(&b.spec()), Some(b));
+        }
+    }
+
+    #[test]
+    fn request_matrix_is_row_major_and_flag_faithful() {
+        let args = Args {
+            flow: FlowConfig {
+                width: 8,
+                sa_width: 6,
+                sim_cycles: 300,
+                lanes: 16,
+                sim_seed: 7,
+                port_seed: 7,
+                ..FlowConfig::default()
+            },
+            only: vec![],
+            binders: vec![],
+            jobs: 1,
+            store: None,
+            shard: Shard::full(),
+        };
+        let suite: Vec<(Cdfg, ResourceConstraint)> = ["pr", "wang"]
+            .iter()
+            .map(|n| {
+                let p = cdfg::profile(n).unwrap();
+                (cdfg::generate(p, p.seed), paper_constraint(n).unwrap())
+            })
+            .collect();
+        let binders = [Binder::Lopass, Binder::HlPower { alpha: 0.5 }];
+        let reqs = args.requests(&suite, &binders);
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].source, hlpower::JobSource::Suite("pr".to_string()));
+        assert_eq!(reqs[1].binder, Binder::HlPower { alpha: 0.5 });
+        assert_eq!(
+            reqs[2].source,
+            hlpower::JobSource::Suite("wang".to_string())
+        );
+        for r in &reqs {
+            assert_eq!(r.width, 8);
+            assert_eq!(r.cycles, 300);
+            assert_eq!(r.lanes, 16);
+            assert_eq!(r.sim_seed, 7);
+            assert_eq!(r.constraint, Some((2, 2)), "paper constraint captured");
+            // Every request survives the wire byte-exactly, so a script
+            // can replay the exact matrix against `hlp serve`.
+            assert_eq!(JobRequest::parse_line(&r.to_line()).unwrap(), *r);
+        }
     }
 }

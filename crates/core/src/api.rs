@@ -1,0 +1,1417 @@
+//! Typed request/report service API and wire protocol.
+//!
+//! Everything the CLI and the experiment binaries ask of the flow is
+//! expressible as one value: a [`JobRequest`] — *what* to run (a suite
+//! benchmark or inline CDFG text) and *how* (width, constraint, binder,
+//! vector budget, SA mode, seeds, controller style), all defaulted so a
+//! bare `JobRequest::suite("pr")` reproduces the paper's configuration.
+//! Executing a request yields a [`JobReport`]: the measured
+//! [`FlowResult`] plus the [`PipelineStats`] delta attributable to the
+//! request (the observable caching evidence — a warm request reports
+//! zero schedule/map/simulate executions).
+//!
+//! Both directions have an **exact line-oriented text codec** in the
+//! style of [`netlist::textio`] and `SimStats::to_summary_text`:
+//! a request serializes to one line ([`JobRequest::to_line`] /
+//! [`JobRequest::parse_line`], serialize→parse→serialize is
+//! byte-identical), a report to a small `end`-terminated block
+//! ([`JobReport::to_text`] / [`JobReport::from_text`]). The codec *is*
+//! the wire protocol: `hlp serve` reads request lines from a socket and
+//! answers with report blocks, so shell scripts, shard workers, and the
+//! [`request`] client function all speak the same format.
+//!
+//! [`Service`] is the execution facade: it owns one optional hot
+//! [`ArtifactStore`] and a [`Pipeline`] per distinct flow configuration,
+//! executes requests concurrently ([`Service::execute_all`] fans a
+//! request list over worker threads with deterministic result order),
+//! and is what the `hlp` CLI, the experiment binaries' shared `Args`
+//! layer, and the daemon all drive. Future backends (remote stores,
+//! bin-packed shard scheduling) plug in behind this facade.
+//!
+//! # Examples
+//!
+//! Execute a request in process:
+//!
+//! ```
+//! use hlpower::api::{JobRequest, Service};
+//!
+//! let req = JobRequest::suite("pr").width(4).sa_width(4).cycles(100);
+//! let service = Service::new();
+//! let report = service.execute(&req).unwrap();
+//! assert!(report.result.luts > 0);
+//! assert_eq!(report.stats.stages.schedules, 1);
+//! // The same line a remote client would send:
+//! let line = req.to_line();
+//! assert_eq!(JobRequest::parse_line(&line).unwrap(), req);
+//! ```
+
+use crate::fingerprint::{Fingerprint, Hasher128};
+use crate::flow::{Binder, FlowConfig, FlowResult};
+use crate::mux::MuxReport;
+use crate::pipeline::{Pipeline, PipelineStats, StageCounts};
+use crate::power::PowerReport;
+use crate::satable::SaMode;
+use crate::store::{ArtifactStore, StoreCounts};
+use cdfg::{Cdfg, ResourceConstraint};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---- escaping --------------------------------------------------------------
+
+/// Escapes a value so it survives the whitespace-tokenized request
+/// line: backslash, newline, carriage return, tab, and space become
+/// two-byte `\\`-sequences, and **every other Unicode whitespace**
+/// character (the tokenizer splits on all of them — vertical tab, form
+/// feed, NBSP, U+2028, …) becomes `\u{HEX}`. The inverse is
+/// [`unescape`]; serialize→parse→serialize stays byte-identical for any
+/// input string.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ' ' => out.push_str("\\s"),
+            c if c.is_whitespace() => out.push_str(&format!("\\u{{{:x}}}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`escape`]. Rejects dangling or unknown escape sequences (a
+/// truncated line must not silently decode to a different value).
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('s') => out.push(' '),
+            Some('u') => {
+                if chars.next() != Some('{') {
+                    return Err("malformed `\\u` escape (expected `{`)".to_string());
+                }
+                let mut hex = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(h) => hex.push(h),
+                        None => return Err("unterminated `\\u{` escape".to_string()),
+                    }
+                }
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad `\\u{{{hex}}}` escape"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad `\\u{{{hex}}}` escape"))?);
+            }
+            Some(other) => return Err(format!("unknown escape `\\{other}`")),
+            None => return Err("dangling `\\` at end of value".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+// ---- JobRequest ------------------------------------------------------------
+
+/// What a job runs on: a built-in suite benchmark (regenerated
+/// deterministically from its profile seed on the executing side) or
+/// inline CDFG text in the `cdfg::textio` format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobSource {
+    /// A built-in benchmark by name (see `cdfg::PROFILES`).
+    Suite(String),
+    /// Inline CDFG source text (`cdfg::parse_cdfg` format).
+    CdfgText(String),
+}
+
+/// A complete, serializable job description — the one public currency
+/// for "run the flow". Construct with [`JobRequest::suite`] or
+/// [`JobRequest::from_cdfg_text`] and the builder methods; every knob
+/// defaults to the paper-scale configuration ([`FlowConfig::default`]).
+///
+/// The `constraint` is optional: `None` resolves to the paper's Table 2
+/// constraint for suite benchmarks and to `(2, 2)` for inline CDFGs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// What to run.
+    pub source: JobSource,
+    /// Datapath word width in bits (1..=64).
+    pub width: usize,
+    /// SA precalculation-table width.
+    pub sa_width: usize,
+    /// Resource constraint `(adders, mults)`; `None` = source default.
+    pub constraint: Option<(usize, usize)>,
+    /// The binding algorithm (α folded into the HLPower variants).
+    pub binder: Binder,
+    /// Simulated clock cycles.
+    pub cycles: u64,
+    /// Word-parallel simulation lanes (0 = scalar reference engine).
+    pub lanes: usize,
+    /// SA-table training mode.
+    pub sa_mode: SaMode,
+    /// Simulation vector seed.
+    pub sim_seed: u64,
+    /// Register-binding port-assignment seed.
+    pub port_seed: u64,
+    /// Elaborate the on-chip FSM controller instead of external control.
+    pub fsm: bool,
+}
+
+impl JobRequest {
+    fn with_source(source: JobSource) -> JobRequest {
+        let d = FlowConfig::default();
+        JobRequest {
+            source,
+            width: d.width,
+            sa_width: d.sa_width,
+            constraint: None,
+            binder: Binder::HlPower { alpha: 0.5 },
+            cycles: d.sim_cycles,
+            lanes: d.lanes,
+            sa_mode: d.sa_mode,
+            sim_seed: d.sim_seed,
+            port_seed: d.port_seed,
+            fsm: false,
+        }
+    }
+
+    /// A request for a built-in suite benchmark, all knobs defaulted.
+    pub fn suite(name: impl Into<String>) -> JobRequest {
+        Self::with_source(JobSource::Suite(name.into()))
+    }
+
+    /// A request carrying inline CDFG text, all knobs defaulted.
+    pub fn from_cdfg_text(text: impl Into<String>) -> JobRequest {
+        Self::with_source(JobSource::CdfgText(text.into()))
+    }
+
+    /// Sets the datapath width.
+    pub fn width(mut self, width: usize) -> JobRequest {
+        self.width = width;
+        self
+    }
+
+    /// Sets the SA-table width.
+    pub fn sa_width(mut self, sa_width: usize) -> JobRequest {
+        self.sa_width = sa_width;
+        self
+    }
+
+    /// Sets an explicit `(adders, mults)` resource constraint.
+    pub fn constraint(mut self, adders: usize, mults: usize) -> JobRequest {
+        self.constraint = Some((adders, mults));
+        self
+    }
+
+    /// Sets the binder.
+    pub fn binder(mut self, binder: Binder) -> JobRequest {
+        self.binder = binder;
+        self
+    }
+
+    /// Sets the simulated cycle count.
+    pub fn cycles(mut self, cycles: u64) -> JobRequest {
+        self.cycles = cycles;
+        self
+    }
+
+    /// Sets the word-parallel lane count.
+    pub fn lanes(mut self, lanes: usize) -> JobRequest {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Sets the SA-table training mode.
+    pub fn sa_mode(mut self, sa_mode: SaMode) -> JobRequest {
+        self.sa_mode = sa_mode;
+        self
+    }
+
+    /// Sets both stochastic seeds — the CLI's `--seed` semantics (one
+    /// flag controls the simulation vectors *and* the register binding's
+    /// random port assignment).
+    pub fn seed(mut self, seed: u64) -> JobRequest {
+        self.sim_seed = seed;
+        self.port_seed = seed;
+        self
+    }
+
+    /// Selects the on-chip FSM controller.
+    pub fn fsm(mut self, fsm: bool) -> JobRequest {
+        self.fsm = fsm;
+        self
+    }
+
+    /// The [`FlowConfig`] this request selects, on top of `template` for
+    /// the knobs a request does not carry (LUT size, mapping objective,
+    /// resource library, power-model constants).
+    pub fn flow_config(&self, template: &FlowConfig) -> FlowConfig {
+        FlowConfig {
+            width: self.width,
+            sa_width: self.sa_width,
+            sa_mode: self.sa_mode,
+            sim_cycles: self.cycles,
+            sim_seed: self.sim_seed,
+            lanes: self.lanes,
+            port_seed: self.port_seed,
+            control: if self.fsm {
+                crate::datapath::ControlStyle::Fsm
+            } else {
+                crate::datapath::ControlStyle::External
+            },
+            ..template.clone()
+        }
+    }
+
+    /// Resolves the source into a checked CDFG plus the effective
+    /// resource constraint (explicit, else the paper's Table 2 value for
+    /// suite benchmarks, else `(2, 2)` for inline CDFGs).
+    ///
+    /// # Errors
+    ///
+    /// Unknown benchmark names and unparseable or structurally invalid
+    /// CDFG text.
+    pub fn resolve(&self) -> Result<(Cdfg, ResourceConstraint), ServiceError> {
+        match &self.source {
+            JobSource::Suite(name) => {
+                let p = cdfg::profile(name)
+                    .ok_or_else(|| ServiceError::UnknownBenchmark(name.clone()))?;
+                let rc = match self.constraint {
+                    Some((a, m)) => ResourceConstraint::new(a, m),
+                    None => crate::flow::paper_constraint(name).expect("known profile"),
+                };
+                Ok((cdfg::generate(p, p.seed), rc))
+            }
+            JobSource::CdfgText(text) => {
+                let (g, _) =
+                    cdfg::parse_cdfg(text).map_err(|e| ServiceError::InvalidCdfg(e.to_string()))?;
+                g.check()
+                    .map_err(|e| ServiceError::InvalidCdfg(e.to_string()))?;
+                let rc = match self.constraint {
+                    Some((a, m)) => ResourceConstraint::new(a, m),
+                    None => ResourceConstraint::new(2, 2),
+                };
+                Ok((g, rc))
+            }
+        }
+    }
+
+    /// Serializes the request to its canonical one-line wire form.
+    /// Canonical means every field is present in fixed order, so
+    /// `to_line(parse_line(l)) == to_line(r)` for any request `r` —
+    /// serialize→parse→serialize is byte-identical.
+    pub fn to_line(&self) -> String {
+        let source = match &self.source {
+            JobSource::Suite(name) => format!("bench:{}", escape(name)),
+            JobSource::CdfgText(text) => format!("cdfg:{}", escape(text)),
+        };
+        let constraint = match self.constraint {
+            Some((a, m)) => format!("{a}/{m}"),
+            None => "default".to_string(),
+        };
+        format!(
+            "hlpower-job v1 source={source} width={} sa-width={} constraint={constraint} \
+             binder={} cycles={} lanes={} sa-mode={} sim-seed={} port-seed={} control={}",
+            self.width,
+            self.sa_width,
+            self.binder.spec(),
+            self.cycles,
+            self.lanes,
+            self.sa_mode.name(),
+            self.sim_seed,
+            self.port_seed,
+            if self.fsm { "fsm" } else { "external" },
+        )
+    }
+
+    /// Parses a request line written by [`JobRequest::to_line`].
+    /// `source=` is required; every other field may be omitted and
+    /// defaults as the builder does. Unknown keys, duplicate keys, and
+    /// out-of-range values are rejected with the offending key and value
+    /// named in the error.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn parse_line(line: &str) -> Result<JobRequest, String> {
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("hlpower-job") {
+            return Err("not a request line (missing `hlpower-job` magic)".to_string());
+        }
+        match toks.next() {
+            Some("v1") => {}
+            other => return Err(format!("unsupported request version {other:?}")),
+        }
+        let mut source = None;
+        let mut req = Self::with_source(JobSource::Suite(String::new()));
+        let mut seen: Vec<&str> = Vec::new();
+        for tok in toks {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token `{tok}` (expected key=value)"))?;
+            if seen.contains(&key) {
+                return Err(format!("duplicate key `{key}`"));
+            }
+            seen.push(key);
+            let bad = |what: &str| format!("invalid value `{value}` for `{key}`: expected {what}");
+            match key {
+                "source" => {
+                    source = Some(if let Some(name) = value.strip_prefix("bench:") {
+                        JobSource::Suite(unescape(name)?)
+                    } else if let Some(text) = value.strip_prefix("cdfg:") {
+                        JobSource::CdfgText(unescape(text)?)
+                    } else {
+                        return Err(bad("`bench:NAME` or `cdfg:TEXT`"));
+                    });
+                }
+                "width" => {
+                    req.width = value.parse().map_err(|_| bad("an integer"))?;
+                    if req.width == 0 || req.width > 64 {
+                        return Err(bad("a width in 1..=64"));
+                    }
+                }
+                "sa-width" => {
+                    req.sa_width = value.parse().map_err(|_| bad("an integer"))?;
+                    if req.sa_width == 0 || req.sa_width > 64 {
+                        return Err(bad("a width in 1..=64"));
+                    }
+                }
+                "constraint" => {
+                    req.constraint = if value == "default" {
+                        None
+                    } else {
+                        let (a, m) = value
+                            .split_once('/')
+                            .ok_or_else(|| bad("`ADDERS/MULTS` or `default`"))?;
+                        Some((
+                            a.parse().map_err(|_| bad("`ADDERS/MULTS` or `default`"))?,
+                            m.parse().map_err(|_| bad("`ADDERS/MULTS` or `default`"))?,
+                        ))
+                    };
+                }
+                "binder" => {
+                    req.binder = Binder::parse(value).ok_or_else(|| {
+                        bad("lopass | lopass-ic | lopass-sa | hlpower[:A] | hlpower-zd[:A]")
+                    })?;
+                }
+                "cycles" => req.cycles = value.parse().map_err(|_| bad("an integer"))?,
+                "lanes" => {
+                    req.lanes = value.parse().map_err(|_| bad("an integer"))?;
+                    if req.lanes > gatesim::MAX_LANES {
+                        return Err(bad("a lane count in 0..=64"));
+                    }
+                }
+                "sa-mode" => {
+                    req.sa_mode = SaMode::parse(value)
+                        .ok_or_else(|| bad("precalculated | dynamic | zero-delay | simulated"))?;
+                }
+                "sim-seed" => req.sim_seed = value.parse().map_err(|_| bad("an integer"))?,
+                "port-seed" => req.port_seed = value.parse().map_err(|_| bad("an integer"))?,
+                "control" => {
+                    req.fsm = match value {
+                        "fsm" => true,
+                        "external" => false,
+                        _ => return Err(bad("`external` or `fsm`")),
+                    };
+                }
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        req.source = source.ok_or("missing required key `source`")?;
+        Ok(req)
+    }
+}
+
+// ---- JobReport -------------------------------------------------------------
+
+/// What executing one [`JobRequest`] produced: the measured result plus
+/// the pipeline-stats delta attributable to this request (stage
+/// executions and store hits/misses; under concurrent execution the
+/// attribution is approximate — concurrent requests may observe each
+/// other's executions — but a fully warm request always reports zeros).
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The measured flow result.
+    pub result: FlowResult,
+    /// Stage/store accounting delta for this request.
+    pub stats: PipelineStats,
+}
+
+fn push_f64(out: &mut String, key: &str, v: f64) {
+    // Bit-exact hex first (what the parser reads back), then the human
+    // approximation; both derive from the same bits, so re-serializing a
+    // parsed report is byte-identical.
+    out.push_str(&format!("{key} {:016x} {v}\n", v.to_bits()));
+}
+
+impl JobReport {
+    /// Serializes the report to its exact multi-line text form (the wire
+    /// reply format, terminated by an `end` line). Floats are encoded
+    /// bit-exactly; `bind_time` is wall clock and deliberately **not**
+    /// serialized ([`JobReport::from_text`] restores it as zero) — the
+    /// deterministic runtime proxy on the wire is `sa_queries`.
+    pub fn to_text(&self) -> String {
+        let r = &self.result;
+        let mut out = String::new();
+        out.push_str("# hlpower report v1\n");
+        out.push_str(&format!("name {}\n", r.name));
+        out.push_str(&format!("binder {}\n", r.binder));
+        out.push_str(&format!("schedule_steps {}\n", r.schedule_steps));
+        out.push_str(&format!("registers {}\n", r.registers));
+        out.push_str(&format!("fus {} {}\n", r.fus_addsub, r.fus_mul));
+        out.push_str(&format!(
+            "meets_constraint {}\n",
+            if r.meets_constraint { 1 } else { 0 }
+        ));
+        out.push_str(&format!("luts {}\n", r.luts));
+        out.push_str(&format!("depth {}\n", r.depth));
+        push_f64(&mut out, "estimated_sa", r.estimated_sa);
+        out.push_str(&format!("mux_largest {}\n", r.mux.largest));
+        out.push_str(&format!("mux_length {}\n", r.mux.length));
+        out.push_str("mux_fu_diffs");
+        for d in &r.mux.fu_mux_diffs {
+            out.push_str(&format!(" {d}"));
+        }
+        out.push('\n');
+        out.push_str("mux_fu_sizes");
+        for (a, b) in &r.mux.fu_mux_sizes {
+            out.push_str(&format!(" {a}/{b}"));
+        }
+        out.push('\n');
+        push_f64(&mut out, "power_mw", r.power.dynamic_power_mw);
+        push_f64(&mut out, "clock_ns", r.power.clock_period_ns);
+        push_f64(&mut out, "toggle_mhz", r.power.avg_toggle_rate_mhz);
+        out.push_str(&format!(
+            "total_transitions {}\n",
+            r.power.total_transitions
+        ));
+        push_f64(&mut out, "glitch_fraction", r.power.glitch_fraction);
+        out.push_str(&format!("sa_queries {}\n", r.sa_queries));
+        let st = &self.stats.stages;
+        out.push_str(&format!(
+            "stages {} {} {} {} {} {}\n",
+            st.schedules,
+            st.register_bindings,
+            st.fu_bindings,
+            st.elaborations,
+            st.mappings,
+            st.simulations
+        ));
+        let sc = &self.stats.store;
+        out.push_str(&format!(
+            "store {} {} {} {} {} {}\n",
+            sc.prepared_hits,
+            sc.prepared_misses,
+            sc.netlist_hits,
+            sc.netlist_misses,
+            sc.sim_hits,
+            sc.sim_misses
+        ));
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a report written by [`JobReport::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<JobReport, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("# hlpower report v1") => {}
+            other => return Err(format!("bad report header {other:?}")),
+        }
+        // Fixed line order: each helper consumes exactly one line and
+        // insists on its key, so any drift is a loud error, never a
+        // silently misread field.
+        let mut rest = |key: &'static str| -> Result<String, String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("missing `{key}` line"))?;
+            line.strip_prefix(key)
+                .map(|r| r.strip_prefix(' ').unwrap_or(r).to_string())
+                .ok_or_else(|| format!("expected `{key}` line, got `{line}`"))
+        };
+        fn int<T: std::str::FromStr>(key: &str, s: &str) -> Result<T, String> {
+            s.parse().map_err(|_| format!("bad `{key}` value `{s}`"))
+        }
+        fn f64_of(key: &str, s: &str) -> Result<f64, String> {
+            let hex = s.split_whitespace().next().unwrap_or("");
+            u64::from_str_radix(hex, 16)
+                .map(f64::from_bits)
+                .map_err(|_| format!("bad `{key}` value `{s}`"))
+        }
+        let name = rest("name")?;
+        let binder = rest("binder")?;
+        let schedule_steps = int("schedule_steps", &rest("schedule_steps")?)?;
+        let registers = int("registers", &rest("registers")?)?;
+        let fus = rest("fus")?;
+        let mut fu_toks = fus.split_whitespace();
+        let fus_addsub = int("fus", fu_toks.next().unwrap_or(""))?;
+        let fus_mul = int("fus", fu_toks.next().unwrap_or(""))?;
+        let meets_constraint = rest("meets_constraint")? == "1";
+        let luts = int("luts", &rest("luts")?)?;
+        let depth = int("depth", &rest("depth")?)?;
+        let estimated_sa = f64_of("estimated_sa", &rest("estimated_sa")?)?;
+        let largest = int("mux_largest", &rest("mux_largest")?)?;
+        let length = int("mux_length", &rest("mux_length")?)?;
+        let fu_mux_diffs = rest("mux_fu_diffs")?
+            .split_whitespace()
+            .map(|t| int("mux_fu_diffs", t))
+            .collect::<Result<Vec<usize>, _>>()?;
+        let fu_mux_sizes = rest("mux_fu_sizes")?
+            .split_whitespace()
+            .map(|t| {
+                let (a, b) = t
+                    .split_once('/')
+                    .ok_or_else(|| format!("bad `mux_fu_sizes` pair `{t}`"))?;
+                Ok((int("mux_fu_sizes", a)?, int("mux_fu_sizes", b)?))
+            })
+            .collect::<Result<Vec<(usize, usize)>, String>>()?;
+        let dynamic_power_mw = f64_of("power_mw", &rest("power_mw")?)?;
+        let clock_period_ns = f64_of("clock_ns", &rest("clock_ns")?)?;
+        let avg_toggle_rate_mhz = f64_of("toggle_mhz", &rest("toggle_mhz")?)?;
+        let total_transitions = int("total_transitions", &rest("total_transitions")?)?;
+        let glitch_fraction = f64_of("glitch_fraction", &rest("glitch_fraction")?)?;
+        let sa_queries = int("sa_queries", &rest("sa_queries")?)?;
+        let stages_line = rest("stages")?;
+        let s: Vec<u64> = stages_line
+            .split_whitespace()
+            .map(|t| int("stages", t))
+            .collect::<Result<_, _>>()?;
+        if s.len() != 6 {
+            return Err(format!("bad `stages` line `{stages_line}`"));
+        }
+        let store_line = rest("store")?;
+        let c: Vec<u64> = store_line
+            .split_whitespace()
+            .map(|t| int("store", t))
+            .collect::<Result<_, _>>()?;
+        if c.len() != 6 {
+            return Err(format!("bad `store` line `{store_line}`"));
+        }
+        match lines.next() {
+            Some("end") => {}
+            other => return Err(format!("expected `end`, got {other:?}")),
+        }
+        Ok(JobReport {
+            result: FlowResult {
+                name,
+                binder,
+                schedule_steps,
+                registers,
+                fus_addsub,
+                fus_mul,
+                meets_constraint,
+                luts,
+                depth,
+                estimated_sa,
+                mux: MuxReport {
+                    largest,
+                    length,
+                    fu_mux_diffs,
+                    fu_mux_sizes,
+                },
+                power: PowerReport {
+                    dynamic_power_mw,
+                    clock_period_ns,
+                    avg_toggle_rate_mhz,
+                    total_transitions,
+                    glitch_fraction,
+                },
+                bind_time: Duration::ZERO,
+                sa_queries,
+            },
+            stats: PipelineStats {
+                stages: StageCounts {
+                    schedules: s[0],
+                    register_bindings: s[1],
+                    fu_bindings: s[2],
+                    elaborations: s[3],
+                    mappings: s[4],
+                    simulations: s[5],
+                },
+                store: StoreCounts {
+                    prepared_hits: c[0],
+                    prepared_misses: c[1],
+                    netlist_hits: c[2],
+                    netlist_misses: c[3],
+                    sim_hits: c[4],
+                    sim_misses: c[5],
+                },
+            },
+        })
+    }
+}
+
+// ---- Service ---------------------------------------------------------------
+
+/// Why a request could not be executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request named a benchmark outside the built-in suite.
+    UnknownBenchmark(String),
+    /// Inline CDFG text failed to parse or validate.
+    InvalidCdfg(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark `{name}` (see `hlp suite`)")
+            }
+            ServiceError::InvalidCdfg(e) => write!(f, "invalid CDFG source: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Hashes every [`FlowConfig`] knob into the key the service's pipeline
+/// map is sharded by — two requests whose configurations agree share one
+/// [`Pipeline`] (and therefore its prepared artifacts and SA caches).
+fn config_fingerprint(cfg: &FlowConfig) -> Fingerprint {
+    let mut h = Hasher128::new("hlpower/service-config/v1");
+    h.write_usize(cfg.width);
+    h.write_usize(cfg.sa_width);
+    h.write_str(cfg.sa_mode.name());
+    h.write_usize(cfg.k);
+    h.write_u64(cfg.sim_cycles);
+    h.write_u64(cfg.sim_seed);
+    h.write_usize(cfg.lanes);
+    h.write_u64(cfg.port_seed);
+    h.write_f64(cfg.power.c_eff);
+    h.write_f64(cfg.power.vdd);
+    h.write_f64(cfg.power.lut_level_delay_ns);
+    h.write_f64(cfg.power.clock_overhead_ns);
+    h.write_u64(match cfg.map_objective {
+        mapper::MapObjective::Depth => 0,
+        mapper::MapObjective::AreaFlow => 1,
+        mapper::MapObjective::GlitchSa => 2,
+    });
+    h.write_u64(cfg.library.addsub_latency as u64);
+    h.write_u64(cfg.library.mul_latency as u64);
+    h.write_u64(match cfg.control {
+        crate::datapath::ControlStyle::External => 0,
+        crate::datapath::ControlStyle::Fsm => 1,
+    });
+    h.finish()
+}
+
+/// The request-execution facade: one optional hot [`ArtifactStore`]
+/// shared by a [`Pipeline`] per distinct flow configuration. All entry
+/// points are `&self` and thread-safe — a daemon serves many concurrent
+/// clients from one `Service`, and [`Service::execute_all`] fans a
+/// request list over worker threads with deterministic result order.
+#[derive(Debug, Default)]
+pub struct Service {
+    template: FlowConfig,
+    store: Option<Arc<ArtifactStore>>,
+    pipelines: Mutex<HashMap<Fingerprint, Arc<Pipeline>>>,
+}
+
+impl Service {
+    /// A storeless service with the default configuration template.
+    pub fn new() -> Service {
+        Service::default()
+    }
+
+    /// Replaces the configuration template — the [`FlowConfig`] supplying
+    /// the knobs a [`JobRequest`] does not carry (LUT size, mapping
+    /// objective, resource library, power model).
+    pub fn with_template(mut self, template: FlowConfig) -> Service {
+        self.template = template;
+        self
+    }
+
+    /// Attaches the hot artifact store every pipeline will share.
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> Service {
+        self.store = Some(store);
+        self
+    }
+
+    /// The configuration template.
+    pub fn template(&self) -> &FlowConfig {
+        &self.template
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    /// The pipeline a request executes on (creating it on first use).
+    /// Exposed so callers that need pipeline-level access — seeding the
+    /// SA cache from a legacy `--sa-table` file, exporting artifacts —
+    /// act on exactly the pipeline the request will use.
+    pub fn pipeline(&self, req: &JobRequest) -> Arc<Pipeline> {
+        self.pipeline_for(&req.flow_config(&self.template))
+    }
+
+    /// The pipeline for an explicit flow configuration (creating it on
+    /// first use). Configurations beyond the request vocabulary — custom
+    /// resource libraries, mapping objectives — get their own pipeline
+    /// here while still sharing the service's store.
+    pub fn pipeline_for(&self, cfg: &FlowConfig) -> Arc<Pipeline> {
+        let key = config_fingerprint(cfg);
+        let mut map = self.pipelines.lock().expect("service pipeline lock");
+        map.entry(key)
+            .or_insert_with(|| {
+                Arc::new(match &self.store {
+                    Some(store) => Pipeline::with_store(cfg.clone(), store.clone()),
+                    None => Pipeline::new(cfg.clone()),
+                })
+            })
+            .clone()
+    }
+
+    fn execute_unflushed(&self, req: &JobRequest) -> Result<JobReport, ServiceError> {
+        let (cdfg, rc) = req.resolve()?;
+        let pipeline = self.pipeline(req);
+        let before = pipeline.stats();
+        let result = pipeline.run(&cdfg, &rc, req.binder);
+        let stats = pipeline.stats().since(&before);
+        Ok(JobReport { result, stats })
+    }
+
+    /// Executes one request, flushing its pipeline's SA cache to the
+    /// store afterwards (only that pipeline — a daemon must not touch
+    /// every configuration's shard per request — and the flush itself
+    /// skips when nothing new was learned).
+    ///
+    /// # Errors
+    ///
+    /// Source-resolution failures (see [`JobRequest::resolve`]).
+    pub fn execute(&self, req: &JobRequest) -> Result<JobReport, ServiceError> {
+        let report = self.execute_unflushed(req);
+        if report.is_ok() {
+            self.pipeline(req).flush_store();
+        }
+        report
+    }
+
+    /// Executes a request list over up to `jobs` worker threads.
+    /// Results come back in request order regardless of the worker
+    /// count, and (as with [`Pipeline::run_matrix`]) every value is
+    /// deterministic in the request list alone. SA caches are flushed to
+    /// the store once at the end.
+    pub fn execute_all(
+        &self,
+        reqs: &[JobRequest],
+        jobs: usize,
+    ) -> Vec<Result<JobReport, ServiceError>> {
+        let slots: Vec<OnceLock<Result<JobReport, ServiceError>>> =
+            reqs.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.max(1).min(reqs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = reqs.get(i) else { break };
+                    let report = self.execute_unflushed(req);
+                    assert!(slots[i].set(report).is_ok(), "request slot set once");
+                });
+            }
+        });
+        self.flush();
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all requests executed"))
+            .collect()
+    }
+
+    /// Merges every pipeline's in-memory SA cache into the store's
+    /// on-disk shards (no-op without a store).
+    pub fn flush(&self) {
+        let pipelines: Vec<Arc<Pipeline>> = {
+            let map = self.pipelines.lock().expect("service pipeline lock");
+            map.values().cloned().collect()
+        };
+        for p in pipelines {
+            p.flush_store();
+        }
+    }
+
+    /// Combined accounting: stage executions summed over every pipeline,
+    /// store hit/miss counters read once from the shared store handle.
+    pub fn stats(&self) -> PipelineStats {
+        let map = self.pipelines.lock().expect("service pipeline lock");
+        let mut stages = StageCounts::default();
+        for p in map.values() {
+            let s = p.counters();
+            stages.schedules += s.schedules;
+            stages.register_bindings += s.register_bindings;
+            stages.fu_bindings += s.fu_bindings;
+            stages.elaborations += s.elaborations;
+            stages.mappings += s.mappings;
+            stages.simulations += s.simulations;
+        }
+        PipelineStats {
+            stages,
+            store: self
+                .store
+                .as_ref()
+                .map(|s| s.counters())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+// ---- transport -------------------------------------------------------------
+
+/// A daemon address: a unix-domain socket path or a TCP `host:port`.
+/// [`Endpoint::parse`] classifies a CLI string: anything containing `/`
+/// is a socket path; otherwise a `:` makes it TCP; otherwise it is a
+/// bare socket filename.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// TCP address in `host:port` form.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Classifies a CLI address string (see the type docs).
+    pub fn parse(s: &str) -> Endpoint {
+        if !s.contains('/') && s.contains(':') {
+            Endpoint::Tcp(s.to_string())
+        } else {
+            Endpoint::Unix(PathBuf::from(s))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// A bound daemon listener. [`Server::bind`] claims the endpoint (so a
+/// caller can report readiness before blocking), [`Server::serve`] then
+/// accepts connections forever, one thread per client, all sharing one
+/// [`Service`] — the "one hot store, many clients" deployment.
+pub struct Server {
+    listener: ListenerKind,
+    endpoint: Endpoint,
+}
+
+impl Server {
+    /// Binds the endpoint. A pre-existing unix socket file is removed
+    /// first (the conventional stale-socket handling).
+    ///
+    /// # Errors
+    ///
+    /// Socket creation/bind failures; `Unsupported` for unix endpoints
+    /// on non-unix hosts.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Server> {
+        let listener = match endpoint {
+            Endpoint::Tcp(addr) => ListenerKind::Tcp(TcpListener::bind(addr)?),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                ListenerKind::Unix(UnixListener::bind(path)?)
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix-domain sockets are not available on this host",
+                ))
+            }
+        };
+        Ok(Server {
+            listener,
+            endpoint: endpoint.clone(),
+        })
+    }
+
+    /// The bound endpoint (for TCP with port 0, the OS-assigned address).
+    pub fn endpoint(&self) -> io::Result<Endpoint> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => Ok(Endpoint::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            ListenerKind::Unix(_) => Ok(self.endpoint.clone()),
+        }
+    }
+
+    /// Accepts and serves clients forever (one thread per connection).
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept errors; per-connection I/O errors only end that
+    /// connection.
+    pub fn serve(&self, service: Arc<Service>) -> io::Result<()> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => loop {
+                let (stream, _) = l.accept()?;
+                let service = service.clone();
+                std::thread::spawn(move || handle_client(&stream, &service));
+            },
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => loop {
+                let (stream, _) = l.accept()?;
+                let service = service.clone();
+                std::thread::spawn(move || handle_client(&stream, &service));
+            },
+        }
+    }
+}
+
+/// Serves one client connection: request lines in, report blocks (or
+/// `error` lines) out, until EOF. Works on any stream whose shared
+/// reference reads and writes (TCP and unix streams both do).
+fn handle_client<S>(stream: &S, service: &Service)
+where
+    for<'a> &'a S: Read + Write,
+{
+    let mut reader = BufReader::new(stream);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match JobRequest::parse_line(trimmed) {
+            Ok(req) => match service.execute(&req) {
+                Ok(report) => report.to_text(),
+                Err(e) => format!("error {}\n", escape(&e.to_string())),
+            },
+            Err(e) => format!("error {}\n", escape(&e)),
+        };
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Why a remote request failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Connecting or talking to the daemon failed.
+    Io(io::Error),
+    /// The daemon rejected the request (its error message).
+    Remote(String),
+    /// The reply did not parse as a report.
+    Protocol(String),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Io(e) => write!(f, "daemon connection failed: {e}"),
+            RequestError::Remote(msg) => write!(f, "daemon refused the request: {msg}"),
+            RequestError::Protocol(msg) => write!(f, "malformed daemon reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+fn exchange<S>(stream: &S, req: &JobRequest) -> Result<JobReport, RequestError>
+where
+    for<'a> &'a S: Read + Write,
+{
+    let mut writer = stream;
+    writer.write_all(req.to_line().as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut text = String::new();
+    for line in BufReader::new(stream).lines() {
+        let line = line?;
+        if text.is_empty() {
+            if let Some(msg) = line.strip_prefix("error ") {
+                return Err(RequestError::Remote(
+                    unescape(msg).unwrap_or_else(|_| msg.to_string()),
+                ));
+            }
+        }
+        text.push_str(&line);
+        text.push('\n');
+        if line == "end" {
+            return JobReport::from_text(&text).map_err(RequestError::Protocol);
+        }
+    }
+    Err(RequestError::Protocol(
+        "connection closed before `end`".to_string(),
+    ))
+}
+
+/// Sends one request to a daemon and returns its report — the client
+/// half of the wire protocol (`hlp run/bench --remote`).
+///
+/// # Errors
+///
+/// Connection failures, daemon-side rejections, and malformed replies.
+pub fn request(endpoint: &Endpoint, req: &JobRequest) -> Result<JobReport, RequestError> {
+    match endpoint {
+        Endpoint::Tcp(addr) => exchange(&TcpStream::connect(addr)?, req),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => exchange(&UnixStream::connect(path)?, req),
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(RequestError::Io(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix-domain sockets are not available on this host",
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow;
+
+    #[test]
+    fn request_defaults_match_flow_defaults() {
+        let req = JobRequest::suite("pr");
+        let cfg = req.flow_config(&FlowConfig::default());
+        let d = FlowConfig::default();
+        assert_eq!(cfg.width, d.width);
+        assert_eq!(cfg.sa_width, d.sa_width);
+        assert_eq!(cfg.sim_cycles, d.sim_cycles);
+        assert_eq!(cfg.sim_seed, d.sim_seed);
+        assert_eq!(cfg.port_seed, d.port_seed);
+        assert_eq!(cfg.lanes, d.lanes);
+        let (_, rc) = req.resolve().unwrap();
+        assert_eq!(rc, flow::paper_constraint("pr").unwrap());
+    }
+
+    #[test]
+    fn escape_roundtrips_awkward_strings() {
+        for s in [
+            "",
+            "plain",
+            "with space",
+            "line\nbreaks\r\nand\ttabs",
+            "back\\slash \\n literal",
+            "trailing \\",
+            "literal \\u{b} text",
+            // Non-ASCII whitespace also splits the tokenizer and must be
+            // escaped: vertical tab, form feed, NBSP, line separator.
+            "odd\u{b}white\u{c}space\u{a0}every\u{2028}where",
+        ] {
+            let e = escape(s);
+            assert!(
+                !e.chars().any(char::is_whitespace),
+                "escaped form must survive tokenization: {e:?}"
+            );
+            assert_eq!(unescape(&e).unwrap(), s);
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+        assert!(unescape("bad\\u").is_err());
+        assert!(unescape("bad\\u{12").is_err());
+        assert!(unescape("bad\\u{zz}").is_err());
+        assert!(unescape("bad\\u{d800}").is_err(), "surrogates rejected");
+    }
+
+    /// Minimal deterministic generator (xorshift64*) so the fuzz cases
+    /// need no external crates — the same in-file idiom as the netlist
+    /// codec fuzzer.
+    struct Gen(u64);
+    impl Gen {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    fn arb_request(seed: u64) -> JobRequest {
+        let mut g = Gen(seed.wrapping_add(0x9E3779B97F4A7C15));
+        let source = match g.below(3) {
+            0 => JobSource::Suite(["pr", "wang", "chem", "we ird\nname"][g.below(4)].to_string()),
+            1 => JobSource::CdfgText("cdfg demo\nin a b\nop add t0 = a + b\nout t0\n".to_string()),
+            _ => JobSource::CdfgText(format!(
+                "junk {} \\ \t \u{b}\u{c}\u{a0}\u{2028} text",
+                g.next()
+            )),
+        };
+        let binder = match g.below(5) {
+            0 => Binder::Lopass,
+            1 => Binder::LopassInterconnect,
+            2 => Binder::LopassAnnealed,
+            3 => Binder::HlPower {
+                alpha: g.below(1000) as f64 / 999.0,
+            },
+            _ => Binder::HlPowerZeroDelay {
+                alpha: 0.1 + g.below(7) as f64 / 3.0,
+            },
+        };
+        let mut req = JobRequest::with_source(source)
+            .width(1 + g.below(64))
+            .sa_width(1 + g.below(16))
+            .binder(binder)
+            .cycles(g.next() % 100_000)
+            .lanes(g.below(65))
+            .sa_mode(
+                [
+                    SaMode::Precalculated,
+                    SaMode::Dynamic,
+                    SaMode::ZeroDelayAblation,
+                    SaMode::Simulated,
+                ][g.below(4)],
+            )
+            .fsm(g.below(2) == 1);
+        req.sim_seed = g.next();
+        req.port_seed = g.next();
+        if g.below(2) == 0 {
+            req = req.constraint(1 + g.below(9), 1 + g.below(9));
+        }
+        req
+    }
+
+    #[test]
+    fn request_line_roundtrip_is_exact_and_byte_stable() {
+        for seed in 0..256u64 {
+            let req = arb_request(seed);
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one line: {line:?}");
+            let back = JobRequest::parse_line(&line)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{line}"));
+            assert_eq!(back, req, "seed {seed}");
+            assert_eq!(
+                back.to_line(),
+                line,
+                "seed {seed}: reserialization must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn request_parse_defaults_omitted_fields() {
+        let req = JobRequest::parse_line("hlpower-job v1 source=bench:pr").unwrap();
+        assert_eq!(req, JobRequest::suite("pr"));
+        let custom =
+            JobRequest::parse_line("hlpower-job v1 source=bench:pr width=8 constraint=3/1")
+                .unwrap();
+        assert_eq!(custom.width, 8);
+        assert_eq!(custom.constraint, Some((3, 1)));
+        assert_eq!(custom.cycles, 1000, "omitted fields keep their defaults");
+    }
+
+    #[test]
+    fn request_parse_rejects_bad_lines_with_the_offending_key() {
+        let err = |line: &str| JobRequest::parse_line(line).unwrap_err();
+        assert!(err("nonsense").contains("magic"));
+        assert!(err("hlpower-job v2 source=bench:pr").contains("version"));
+        assert!(err("hlpower-job v1").contains("source"));
+        assert!(err("hlpower-job v1 source=bench:pr width=0").contains("width"));
+        assert!(err("hlpower-job v1 source=bench:pr width=x").contains("`x`"));
+        assert!(err("hlpower-job v1 source=bench:pr lanes=65").contains("lanes"));
+        assert!(err("hlpower-job v1 source=bench:pr binder=foo").contains("binder"));
+        assert!(err("hlpower-job v1 source=bench:pr width=4 width=5").contains("duplicate"));
+        assert!(err("hlpower-job v1 source=bench:pr nope=1").contains("unknown key"));
+        assert!(err("hlpower-job v1 source=weird:pr").contains("source"));
+    }
+
+    #[test]
+    fn report_roundtrip_is_exact_and_byte_stable() {
+        let service = Service::new();
+        let req = JobRequest::suite("wang").width(4).sa_width(4).cycles(100);
+        let report = service.execute(&req).unwrap();
+        let text = report.to_text();
+        let back = JobReport::from_text(&text).unwrap();
+        assert_eq!(
+            back.to_text(),
+            text,
+            "reserialization must be byte-identical"
+        );
+        let (a, b) = (&report.result, &back.result);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.binder, b.binder);
+        assert_eq!(a.luts, b.luts);
+        assert_eq!(a.mux, b.mux);
+        assert_eq!(a.estimated_sa.to_bits(), b.estimated_sa.to_bits());
+        assert_eq!(
+            a.power.dynamic_power_mw.to_bits(),
+            b.power.dynamic_power_mw.to_bits()
+        );
+        assert_eq!(a.power.total_transitions, b.power.total_transitions);
+        assert_eq!(a.sa_queries, b.sa_queries);
+        assert_eq!(back.stats, report.stats);
+        assert_eq!(b.bind_time, Duration::ZERO, "wall clock is not wire data");
+    }
+
+    #[test]
+    fn report_parser_rejects_malformed_blocks() {
+        assert!(JobReport::from_text("").is_err());
+        assert!(JobReport::from_text("# hlpower report v2\n").is_err());
+        let service = Service::new();
+        let req = JobRequest::suite("wang").width(4).sa_width(4).cycles(100);
+        let good = service.execute(&req).unwrap().to_text();
+        // Dropping any single line must fail loudly, never misparse.
+        let lines: Vec<&str> = good.lines().collect();
+        for skip in 1..lines.len() {
+            let mutilated: String = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            assert!(
+                JobReport::from_text(&mutilated).is_err(),
+                "dropping line {skip} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn service_shares_pipelines_per_configuration() {
+        let service = Service::new();
+        let a = JobRequest::suite("pr").width(4).sa_width(4).cycles(100);
+        let b = a.clone().binder(Binder::Lopass);
+        let c = a.clone().width(8);
+        assert!(Arc::ptr_eq(&service.pipeline(&a), &service.pipeline(&b)));
+        assert!(!Arc::ptr_eq(&service.pipeline(&a), &service.pipeline(&c)));
+        // Binder choice does not re-key the pipeline; width does.
+        service.execute(&a).unwrap();
+        service.execute(&b).unwrap();
+        assert_eq!(
+            service.stats().stages.schedules,
+            1,
+            "two binders share one prepared artifact"
+        );
+    }
+
+    #[test]
+    fn execute_all_is_deterministic_across_worker_counts() {
+        let reqs: Vec<JobRequest> = ["pr", "wang"]
+            .iter()
+            .flat_map(|n| {
+                [Binder::Lopass, Binder::HlPower { alpha: 0.5 }]
+                    .into_iter()
+                    .map(|b| {
+                        JobRequest::suite(*n)
+                            .width(4)
+                            .sa_width(4)
+                            .cycles(100)
+                            .binder(b)
+                    })
+            })
+            .collect();
+        let serial = Service::new().execute_all(&reqs, 1);
+        let parallel = Service::new().execute_all(&reqs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.result.name, p.result.name);
+            assert_eq!(s.result.binder, p.result.binder);
+            assert_eq!(s.result.luts, p.result.luts);
+            assert_eq!(
+                s.result.power.total_transitions,
+                p.result.power.total_transitions
+            );
+            assert_eq!(s.result.sa_queries, p.result.sa_queries);
+        }
+    }
+
+    #[test]
+    fn execute_reports_errors_not_panics() {
+        let service = Service::new();
+        let unknown = JobRequest::suite("nope");
+        assert_eq!(
+            service.execute(&unknown).unwrap_err(),
+            ServiceError::UnknownBenchmark("nope".to_string())
+        );
+        let garbage = JobRequest::from_cdfg_text("this is not a cdfg");
+        assert!(matches!(
+            service.execute(&garbage).unwrap_err(),
+            ServiceError::InvalidCdfg(_)
+        ));
+    }
+
+    #[test]
+    fn endpoint_classification() {
+        assert_eq!(
+            Endpoint::parse("/tmp/hlp.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/hlp.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("localhost:7070"),
+            Endpoint::Tcp("localhost:7070".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("hlp.sock"),
+            Endpoint::Unix(PathBuf::from("hlp.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("./dir:with/colon:path"),
+            Endpoint::Unix(PathBuf::from("./dir:with/colon:path"))
+        );
+    }
+
+    #[test]
+    fn tcp_daemon_round_trips_a_request() {
+        // TCP on an OS-assigned port keeps this test portable (the unix
+        // socket path is exercised by the root integration tests).
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string())).unwrap();
+        let endpoint = server.endpoint().unwrap();
+        let service = Arc::new(Service::new());
+        std::thread::spawn(move || {
+            let _ = server.serve(service);
+        });
+        let req = JobRequest::suite("wang").width(4).sa_width(4).cycles(100);
+        let remote = request(&endpoint, &req).unwrap();
+        let local = Service::new().execute(&req).unwrap();
+        assert_eq!(remote.result.luts, local.result.luts);
+        assert_eq!(
+            remote.result.power.total_transitions,
+            local.result.power.total_transitions
+        );
+        // Errors come back as protocol errors, not hung connections.
+        let err = request(&endpoint, &JobRequest::suite("nope")).unwrap_err();
+        assert!(matches!(err, RequestError::Remote(_)), "{err}");
+    }
+}

@@ -68,6 +68,44 @@ impl Binder {
             Binder::HlPowerZeroDelay { alpha } => format!("HLPower-zd(a={alpha})"),
         }
     }
+
+    /// The canonical machine-readable spec, the inverse of
+    /// [`Binder::parse`]: `lopass`, `lopass-ic`, `lopass-sa`,
+    /// `hlpower:A`, or `hlpower-zd:A`. α is printed with Rust's
+    /// shortest-round-trip `f64` formatting, so `parse(spec())` is exact
+    /// and re-serialization is byte-stable (the request-codec contract).
+    pub fn spec(&self) -> String {
+        match self {
+            Binder::Lopass => "lopass".to_string(),
+            Binder::LopassInterconnect => "lopass-ic".to_string(),
+            Binder::LopassAnnealed => "lopass-sa".to_string(),
+            Binder::HlPower { alpha } => format!("hlpower:{alpha}"),
+            Binder::HlPowerZeroDelay { alpha } => format!("hlpower-zd:{alpha}"),
+        }
+    }
+
+    /// Parses a binder spec: a name, optionally suffixed `:ALPHA` for
+    /// the HLPower variants (default α = 0.5), e.g. `hlpower:1.0`. The
+    /// LOPASS variants take no α and reject one — a silently ignored
+    /// suffix would mislabel an experiment.
+    pub fn parse(spec: &str) -> Option<Binder> {
+        let (name, alpha) = match spec.split_once(':') {
+            Some((name, a)) => (name, Some(a.parse::<f64>().ok()?)),
+            None => (spec, None),
+        };
+        match name {
+            "lopass" if alpha.is_none() => Some(Binder::Lopass),
+            "lopass-ic" if alpha.is_none() => Some(Binder::LopassInterconnect),
+            "lopass-sa" if alpha.is_none() => Some(Binder::LopassAnnealed),
+            "hlpower" => Some(Binder::HlPower {
+                alpha: alpha.unwrap_or(0.5),
+            }),
+            "hlpower-zd" => Some(Binder::HlPowerZeroDelay {
+                alpha: alpha.unwrap_or(0.5),
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// Flow parameters.

@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod datapath;
 pub mod fingerprint;
 pub mod flow;
@@ -54,6 +55,7 @@ pub mod satable;
 pub mod store;
 pub mod vhdl;
 
+pub use api::{Endpoint, JobReport, JobRequest, JobSource, Server, Service, ServiceError};
 pub use datapath::{
     elaborate, execute, ControlProgram, ControlStyle, DataPort, Datapath, DatapathConfig,
 };
@@ -69,5 +71,7 @@ pub use satable::{
     compute_sa, partial_datapath, simulate_sa, AbsorbStats, SaMode, SaSource, SaTable,
     SharedSaTable,
 };
-pub use store::{ArtifactStore, MappedArtifact, MergeReport, StoreCounts};
+pub use store::{
+    ArtifactStore, GcPolicy, GcReport, MappedArtifact, MergeReport, StoreCounts, StoreUsage,
+};
 pub use vhdl::write_vhdl;

@@ -106,6 +106,40 @@ pub struct StageCounts {
     pub simulations: u64,
 }
 
+impl StageCounts {
+    /// The executions that happened after `before` was snapshotted
+    /// (saturating, so racing counters never underflow).
+    pub fn since(&self, before: &StageCounts) -> StageCounts {
+        StageCounts {
+            schedules: self.schedules.saturating_sub(before.schedules),
+            register_bindings: self
+                .register_bindings
+                .saturating_sub(before.register_bindings),
+            fu_bindings: self.fu_bindings.saturating_sub(before.fu_bindings),
+            elaborations: self.elaborations.saturating_sub(before.elaborations),
+            mappings: self.mappings.saturating_sub(before.mappings),
+            simulations: self.simulations.saturating_sub(before.simulations),
+        }
+    }
+}
+
+impl fmt::Display for StageCounts {
+    /// The diagnostic line format the experiment binaries and the CI
+    /// smokes grep for (elaborations are an implementation detail of the
+    /// store paths and stay out of it).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedules, {} regbinds, {} fu-binds, {} mappings, {} simulations",
+            self.schedules,
+            self.register_bindings,
+            self.fu_bindings,
+            self.mappings,
+            self.simulations
+        )
+    }
+}
+
 /// One pipeline's combined accounting: stage executions plus artifact
 /// store hit/miss counters (all zeros when no store is attached).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -114,6 +148,17 @@ pub struct PipelineStats {
     pub stages: StageCounts,
     /// Artifact-store hit/miss counters.
     pub store: StoreCounts,
+}
+
+impl PipelineStats {
+    /// The activity after `before` was snapshotted — how the service API
+    /// attributes stage executions and store traffic to one request.
+    pub fn since(&self, before: &PipelineStats) -> PipelineStats {
+        PipelineStats {
+            stages: self.stages.since(&before.stages),
+            store: self.store.since(&before.store),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -206,6 +251,11 @@ pub struct Pipeline {
     prepared: Mutex<HashMap<Fingerprint, Arc<OnceLock<Arc<Prepared>>>>>,
     sa_glitch: SharedSaTable,
     sa_zero_delay: SharedSaTable,
+    /// Entry counts of the two SA caches at their last flush. SA caches
+    /// are insert-only (absorb keeps existing values), so an unchanged
+    /// count means nothing new to merge — a long-lived service flushing
+    /// after every request must not rewrite the on-disk shard each time.
+    sa_flushed: [AtomicUsize; 2],
     store: Option<Arc<ArtifactStore>>,
 }
 
@@ -245,12 +295,19 @@ impl Pipeline {
                 }
             }
         }
+        // Entries loaded from the store's shard are already on disk:
+        // they never need flushing back.
+        let sa_flushed = [
+            AtomicUsize::new(sa_glitch.snapshot().len()),
+            AtomicUsize::new(sa_zero_delay.snapshot().len()),
+        ];
         Pipeline {
             cfg,
             counters: StageCounters::default(),
             prepared: Mutex::new(HashMap::new()),
             sa_glitch,
             sa_zero_delay,
+            sa_flushed,
             store,
         }
     }
@@ -289,11 +346,18 @@ impl Pipeline {
     /// driving [`Pipeline::measure`] by hand.
     pub fn flush_store(&self) {
         let Some(store) = &self.store else { return };
-        for cache in [&self.sa_glitch, &self.sa_zero_delay] {
+        for (cache, flushed) in [&self.sa_glitch, &self.sa_zero_delay]
+            .into_iter()
+            .zip(&self.sa_flushed)
+        {
             let snapshot = cache.snapshot();
-            if snapshot.is_empty() {
+            // Insert-only cache: an unchanged entry count since the last
+            // flush means the shard on disk already covers it. (Racing
+            // flushes may both merge — merge-on-absorb makes that safe.)
+            if snapshot.is_empty() || snapshot.len() == flushed.load(Ordering::Relaxed) {
                 continue;
             }
+            flushed.store(snapshot.len(), Ordering::Relaxed);
             let stats = store.merge_sa_table(&snapshot);
             if stats.conflicting > 0 {
                 eprintln!(
@@ -626,6 +690,48 @@ mod tests {
 
     fn temp_store(tag: &str) -> Arc<ArtifactStore> {
         Arc::new(crate::store::testutil::temp_store(tag))
+    }
+
+    #[test]
+    fn shard_parse_accepts_only_well_formed_slices() {
+        // The good cases.
+        assert_eq!(Shard::parse("0/1"), Some(Shard { index: 0, total: 1 }));
+        assert_eq!(Shard::parse("3/8"), Some(Shard { index: 3, total: 8 }));
+        assert!(Shard::parse("0/1").unwrap().is_full());
+        assert!(!Shard::parse("0/2").unwrap().is_full());
+        // Degenerate totals: no shard can own anything out of 0 workers.
+        assert_eq!(Shard::parse("0/0"), None);
+        assert_eq!(Shard::parse("1/0"), None);
+        // Index out of range (i >= N).
+        assert_eq!(Shard::parse("1/1"), None);
+        assert_eq!(Shard::parse("4/4"), None);
+        assert_eq!(Shard::parse("9/4"), None);
+        // Garbage shapes.
+        for bad in [
+            "", "/", "1", "1/", "/2", "a/b", "1/b", "a/2", "1/2/3", "-1/2", "1/-2", "1.0/2",
+            "0x1/2",
+        ] {
+            assert_eq!(Shard::parse(bad), None, "`{bad}` must not parse");
+        }
+        // Whitespace is not trimmed anywhere: a padded spec is rejected
+        // rather than silently accepted with surprising semantics.
+        for bad in [" 0/1", "0/1 ", "0 /1", "0/ 1", "0\t/1", "0/1\n"] {
+            assert_eq!(Shard::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn shard_partition_is_exact_and_total() {
+        // Every job index is owned by exactly one of the N shards.
+        for total in 1..=5usize {
+            let shards: Vec<Shard> = (0..total)
+                .map(|i| Shard::parse(&format!("{i}/{total}")).unwrap())
+                .collect();
+            for job in 0..37 {
+                let owners = shards.iter().filter(|s| s.owns(job)).count();
+                assert_eq!(owners, 1, "job {job} of {total} shards");
+            }
+        }
     }
 
     #[test]

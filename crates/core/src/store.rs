@@ -90,6 +90,19 @@ impl StoreCounts {
     pub fn misses(&self) -> u64 {
         self.prepared_misses + self.netlist_misses + self.sim_misses
     }
+
+    /// The lookups that happened after `before` was snapshotted
+    /// (saturating, so racing counters never underflow).
+    pub fn since(&self, before: &StoreCounts) -> StoreCounts {
+        StoreCounts {
+            prepared_hits: self.prepared_hits.saturating_sub(before.prepared_hits),
+            prepared_misses: self.prepared_misses.saturating_sub(before.prepared_misses),
+            netlist_hits: self.netlist_hits.saturating_sub(before.netlist_hits),
+            netlist_misses: self.netlist_misses.saturating_sub(before.netlist_misses),
+            sim_hits: self.sim_hits.saturating_sub(before.sim_hits),
+            sim_misses: self.sim_misses.saturating_sub(before.sim_misses),
+        }
+    }
 }
 
 impl fmt::Display for StoreCounts {
@@ -169,6 +182,95 @@ impl fmt::Display for MergeReport {
             f,
             "{} artifacts copied, {} identical, {} conflicting; SA entries: {}",
             self.copied, self.identical, self.conflicting, self.sa
+        )
+    }
+}
+
+/// Size accounting for one artifact kind (`hlp gc` reporting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindUsage {
+    /// Finished artifact files of this kind.
+    pub files: usize,
+    /// Their total size in bytes.
+    pub bytes: u64,
+}
+
+/// Per-kind size accounting of a whole store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreUsage {
+    /// `prepared/` — schedules + register bindings.
+    pub prepared: KindUsage,
+    /// `netlists/` — elaborated + mapped netlists.
+    pub netlists: KindUsage,
+    /// `sims/` — simulation summaries.
+    pub sims: KindUsage,
+    /// `satables/` — SA-table shards.
+    pub satables: KindUsage,
+}
+
+impl StoreUsage {
+    /// Total across every artifact kind.
+    pub fn total(&self) -> KindUsage {
+        let kinds = [self.prepared, self.netlists, self.sims, self.satables];
+        KindUsage {
+            files: kinds.iter().map(|k| k.files).sum(),
+            bytes: kinds.iter().map(|k| k.bytes).sum(),
+        }
+    }
+}
+
+impl fmt::Display for StoreUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let row = |f: &mut fmt::Formatter<'_>, name: &str, k: &KindUsage| {
+            writeln!(f, "{name:9} {:6} file(s) {:12} bytes", k.files, k.bytes)
+        };
+        row(f, "prepared", &self.prepared)?;
+        row(f, "netlists", &self.netlists)?;
+        row(f, "sims", &self.sims)?;
+        row(f, "satables", &self.satables)?;
+        let total = self.total();
+        write!(
+            f,
+            "{:9} {:6} file(s) {:12} bytes",
+            "total", total.files, total.bytes
+        )
+    }
+}
+
+/// What [`ArtifactStore::gc`] may prune. With both limits `None`, gc
+/// only removes leftover temp files from interrupted writes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GcPolicy {
+    /// Remove artifacts whose file is older than this.
+    pub max_age: Option<std::time::Duration>,
+    /// After the age pass, remove oldest-first until the store's total
+    /// artifact size is at most this many bytes.
+    pub max_bytes: Option<u64>,
+}
+
+/// What one [`ArtifactStore::gc`] pass did. Pruning only ever deletes
+/// cache entries: every pruned artifact is recomputed (and re-persisted)
+/// by the next run that needs it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Artifact files removed.
+    pub removed: usize,
+    /// Bytes those files held.
+    pub removed_bytes: u64,
+    /// Leftover `*.tmp.*` files from interrupted writes swept away.
+    pub swept_tmp: usize,
+    /// Artifact files kept.
+    pub kept: usize,
+    /// Bytes the kept files hold.
+    pub kept_bytes: u64,
+}
+
+impl fmt::Display for GcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "removed {} artifact(s) ({} bytes), swept {} temp file(s); kept {} ({} bytes)",
+            self.removed, self.removed_bytes, self.swept_tmp, self.kept, self.kept_bytes
         )
     }
 }
@@ -429,6 +531,109 @@ impl ArtifactStore {
                 report.sa.conflicting += s.conflicting;
             }
         }
+        Ok(report)
+    }
+
+    /// Per-kind size accounting (finished `.txt` artifacts only; temp
+    /// leftovers are not artifacts and are not counted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk failures.
+    pub fn usage(&self) -> io::Result<StoreUsage> {
+        let kind = |sub: &str| -> io::Result<KindUsage> {
+            let mut usage = KindUsage::default();
+            for entry in fs::read_dir(self.root.join(sub))? {
+                let entry = entry?;
+                if entry.file_name().to_string_lossy().ends_with(".txt") {
+                    usage.files += 1;
+                    usage.bytes += entry.metadata()?.len();
+                }
+            }
+            Ok(usage)
+        };
+        Ok(StoreUsage {
+            prepared: kind("prepared")?,
+            netlists: kind("netlists")?,
+            sims: kind("sims")?,
+            satables: kind("satables")?,
+        })
+    }
+
+    /// Prunes the store: leftover `*.tmp.*` files from interrupted
+    /// writes always go; artifacts older than `policy.max_age` go; then,
+    /// if the remaining artifacts exceed `policy.max_bytes`, the oldest
+    /// are removed (ties broken by path, so a pass is deterministic for
+    /// a given set of file mtimes) until the store fits. Every artifact
+    /// is a cache entry — a later run recomputes and re-persists
+    /// anything pruned, with identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk failures; files already gone (e.g. a
+    /// concurrent gc) are skipped, not errors.
+    pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
+        use std::time::SystemTime;
+        let mut report = GcReport::default();
+        // (modified, path, bytes) for every finished artifact.
+        let mut files: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        for sub in SUBDIRS {
+            for entry in fs::read_dir(self.root.join(sub))? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let path = entry.path();
+                if name.contains(".tmp.") {
+                    if fs::remove_file(&path).is_ok() {
+                        report.swept_tmp += 1;
+                    }
+                    continue;
+                }
+                if !name.ends_with(".txt") {
+                    continue;
+                }
+                let meta = entry.metadata()?;
+                let modified = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                files.push((modified, path, meta.len()));
+            }
+        }
+        // Oldest first; path tie-break keeps same-mtime batches stable.
+        files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let now = SystemTime::now();
+        let mut kept: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        for (modified, path, bytes) in files {
+            let expired = policy.max_age.is_some_and(|limit| {
+                now.duration_since(modified)
+                    .map(|age| age > limit)
+                    .unwrap_or(false)
+            });
+            if expired {
+                if fs::remove_file(&path).is_ok() {
+                    report.removed += 1;
+                    report.removed_bytes += bytes;
+                }
+            } else {
+                kept.push((modified, path, bytes));
+            }
+        }
+        if let Some(max_bytes) = policy.max_bytes {
+            let mut total: u64 = kept.iter().map(|(_, _, b)| *b).sum();
+            let mut survivors = Vec::with_capacity(kept.len());
+            let mut doomed = kept.into_iter();
+            for (modified, path, bytes) in doomed.by_ref() {
+                if total <= max_bytes {
+                    survivors.push((modified, path, bytes));
+                    continue;
+                }
+                if fs::remove_file(&path).is_ok() {
+                    report.removed += 1;
+                    report.removed_bytes += bytes;
+                }
+                total -= bytes;
+            }
+            kept = survivors;
+        }
+        report.kept = kept.len();
+        report.kept_bytes = kept.iter().map(|(_, _, b)| *b).sum();
         Ok(report)
     }
 
@@ -847,6 +1052,97 @@ mod tests {
         let back = store.load_sa_table(SaMode::Precalculated, 4, 4).unwrap();
         assert_eq!(back.k(), 4);
         assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn gc_accounts_prunes_and_pruned_artifacts_recompute_correctly() {
+        use crate::pipeline::Pipeline;
+        use crate::Binder;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let store = Arc::new(temp_store("gc"));
+        let suite = {
+            let p = cdfg::profile("wang").unwrap();
+            vec![(cdfg::generate(p, p.seed), paper_constraint("wang").unwrap())]
+        };
+        let binders = [Binder::HlPower { alpha: 0.5 }];
+        let cfg = FlowConfig::fast();
+        let first =
+            Pipeline::with_store(cfg.clone(), store.clone()).run_matrix(&suite, &binders, 1);
+
+        // Accounting sees every artifact kind the run produced.
+        let usage = store.usage().unwrap();
+        assert_eq!(usage.prepared.files, 1);
+        assert_eq!(usage.netlists.files, 1);
+        assert_eq!(usage.sims.files, 1);
+        assert_eq!(usage.satables.files, 1);
+        assert!(usage.total().bytes > 0);
+        assert!(usage.total().files == 4);
+        assert!(usage.to_string().contains("total"));
+
+        // A generous policy prunes nothing.
+        let keep_all = store
+            .gc(&GcPolicy {
+                max_age: Some(Duration::from_secs(3600)),
+                max_bytes: Some(u64::MAX),
+            })
+            .unwrap();
+        assert_eq!(keep_all.removed, 0);
+        assert_eq!(keep_all.kept, 4);
+        assert_eq!(keep_all.kept_bytes, usage.total().bytes);
+
+        // max_bytes 0 evicts everything, oldest first until empty.
+        let wipe = store.gc(&GcPolicy {
+            max_age: None,
+            max_bytes: Some(0),
+        });
+        let wipe = wipe.unwrap();
+        assert_eq!(wipe.removed, 4);
+        assert_eq!(wipe.removed_bytes, usage.total().bytes);
+        assert_eq!(wipe.kept, 0);
+        assert_eq!(store.usage().unwrap().total().files, 0);
+
+        // A gc'd store is only a cold cache: the next run recomputes
+        // every pruned artifact, produces identical results, and leaves
+        // the store warm again.
+        let fresh = Arc::new(ArtifactStore::open(store.root()).unwrap());
+        let pipeline = Pipeline::with_store(cfg, fresh.clone());
+        let second = pipeline.run_matrix(&suite, &binders, 1);
+        let stats = pipeline.stats();
+        assert_eq!(stats.stages.mappings, 1, "pruned netlist recomputes");
+        assert_eq!(stats.stages.simulations, 1, "pruned sim recomputes");
+        assert_eq!(stats.store.hits(), 0);
+        let (a, b) = (&first[0][0], &second[0][0]);
+        assert_eq!(a.luts, b.luts);
+        assert_eq!(a.power.total_transitions, b.power.total_transitions);
+        assert_eq!(
+            a.power.dynamic_power_mw.to_bits(),
+            b.power.dynamic_power_mw.to_bits()
+        );
+        assert_eq!(a.mux, b.mux);
+        assert_eq!(fresh.usage().unwrap().total().files, 4, "warm again");
+    }
+
+    #[test]
+    fn gc_sweeps_interrupted_write_leftovers() {
+        let store = temp_store("gc-tmp");
+        let stats = SimStats {
+            cycles: 10,
+            total_transitions: 100,
+            functional_transitions: 90,
+            glitch_transitions: 10,
+            per_node: vec![],
+        };
+        store.save_sim(Fingerprint(1), &stats);
+        fs::write(store.root().join("sims").join("dead.tmp.99.0"), "junk").unwrap();
+        // No limits: artifacts stay, temp leftovers go.
+        let report = store.gc(&GcPolicy::default()).unwrap();
+        assert_eq!(report.swept_tmp, 1);
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.kept, 1);
+        assert!(!store.root().join("sims").join("dead.tmp.99.0").exists());
+        assert!(store.load_sim(Fingerprint(1)).is_some());
     }
 
     #[test]

@@ -3,65 +3,72 @@
 //! ```text
 //! hlp run <file.cdfg> [options]     bind a CDFG file and report
 //! hlp bench <name> [options]        run one suite benchmark end to end
+//! hlp serve (--socket P | --port N) [--store DIR]
+//!                                   daemon: one hot store, many clients
 //! hlp table <out.txt> [options]     precompute an SA table to a file
 //! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
-//! hlp suite                         list the built-in benchmarks
+//! hlp gc --store DIR [--max-age-days D] [--max-bytes B]
+//!                                   store size accounting and pruning
+//! hlp suite [--requests]            list the built-in benchmarks
 //!
 //! options:
 //!   --width N        datapath width in bits        (default 16)
-//!   --adders N       adder/subtractor constraint   (default 2)
-//!   --mults N        multiplier constraint         (default 2)
+//!   --adders N       adder/subtractor constraint   (default: the
+//!                    paper's Table 2 value for suite benchmarks,
+//!                    2 for CDFG files)
+//!   --mults N        multiplier constraint         (same default)
 //!   --alpha A        Eq. 4 weighting coefficient   (default 0.5)
-//!   --binder NAME    lopass | lopass-ic | lopass-sa | hlpower  (default hlpower)
+//!   --binder SPEC    lopass | lopass-ic | lopass-sa | hlpower[:A] |
+//!                    hlpower-zd[:A]  (default hlpower; a `:A` suffix
+//!                    overrides --alpha)
 //!   --cycles N       simulation cycles             (default 1000)
 //!   --lanes N        word-parallel simulation lanes, 1..=64
 //!                    (default 1 — byte-identical to the scalar engine,
-//!                    which `--lanes 0` selects explicitly); lane L's
-//!                    vector stream is seeded with lane_seed(seed, L)
+//!                    which `--lanes 0` selects explicitly)
 //!   --sa-mode M      SA-table training: precalculated | zero-delay |
-//!                    simulated | dynamic  (default precalculated;
-//!                    `simulated` measures each entry with the
-//!                    word-parallel simulator instead of the estimator,
-//!                    `dynamic` is the paper's uncached-estimation
-//!                    runtime ablation and is refused by `table` since
-//!                    it never memoizes). Applies to `table` output and
-//!                    to the binder's edge weights in `run`/`bench` —
-//!                    pair it with `--sa-table` to persist/reload
-//!                    matching tables
+//!                    simulated | dynamic  (see README)
+//!   --seed N         simulation + register-port seed
 //!   --fsm            elaborate the on-chip FSM controller
-//!   --vhdl PATH      write structural VHDL
-//!   --blif PATH      write the gate-level netlist as BLIF
-//!   --dot PATH       write the scheduled CDFG as Graphviz
-//!   --sa-table PATH  load/store the SA precalculation table
-//!   --store DIR      content-addressed artifact store: prepared
-//!                    schedules, mapped netlists, simulation summaries,
-//!                    and the SA table persist across invocations (the
-//!                    SA table needs no separate --sa-table flag here —
-//!                    the store shards it by mode/width/k automatically)
+//!   --remote ADDR    execute on an `hlp serve` daemon instead of in
+//!                    process (ADDR = socket path or host:port); the
+//!                    report is byte-identical to a local run
+//!   --vhdl PATH      write structural VHDL          (local only)
+//!   --blif PATH      write the gate-level netlist   (local only)
+//!   --dot PATH       write the scheduled CDFG       (local only)
+//!   --sa-table PATH  load/store the SA table        (local only)
+//!   --store DIR      content-addressed artifact store (local only;
+//!                    the daemon holds its own hot store)
 //! ```
 //!
-//! Every command drives the staged [`Pipeline`]: the schedule/register
-//! binding are named artifacts, the binder draws SA estimates from the
-//! pipeline's shared cache, and `--sa-table` persists that cache across
-//! invocations (the paper's offline hash-table file). `hlp merge` is the
-//! fan-in step of a sharded experiment run: it unions the artifact
-//! stores that `--shard i/N` workers warmed, so one final unsharded run
-//! against the merged store reproduces the full report from cache alone.
+//! Every command speaks the typed service API (`hlpower::api`): `run`
+//! and `bench` build a [`JobRequest`], execute it on a [`Service`]
+//! (local) or ship the same request line to a daemon (`--remote`), and
+//! render the returned [`JobReport`] — so a remote report is
+//! byte-identical to a local one, and a warm daemon answers with zero
+//! schedule/map/simulate executions (printed on stderr). `hlp suite
+//! --requests` emits the suite as request lines for scripted fan-out.
+//!
+//! Exit codes: 2 for command-line (usage) errors — with the offending
+//! flag and value named on stderr — and 1 for runtime failures.
 
 use cdfg::ResourceConstraint;
-use hlpower::{ArtifactStore, Binder, ControlStyle, FlowConfig, Pipeline, SaMode, SaTable};
+use hlpower::api::{self, Endpoint, JobReport, JobRequest, Server, Service};
+use hlpower::{ArtifactStore, Binder, ControlStyle, GcPolicy, SaMode, SaTable};
 use std::process::exit;
 use std::sync::Arc;
 
 struct Options {
     width: usize,
-    rc: ResourceConstraint,
+    adders: Option<usize>,
+    mults: Option<usize>,
     alpha: f64,
-    binder: Binder,
+    binder_spec: Option<String>,
     cycles: u64,
     lanes: usize,
     sa_mode: SaMode,
+    seed: Option<u64>,
     fsm: bool,
+    remote: Option<String>,
     vhdl: Option<String>,
     blif: Option<String>,
     dot: Option<String>,
@@ -71,102 +78,227 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hlp <run FILE | bench NAME | table OUT | merge DST SRC... | suite> \
-         [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
-         [--cycles N] [--lanes N] [--sa-mode M] [--fsm] \
+        "usage: hlp <run FILE | bench NAME | serve | table OUT | merge DST SRC... | \
+         gc | suite> [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
+         [--cycles N] [--lanes N] [--sa-mode M] [--seed N] [--fsm] [--remote ADDR] \
          [--vhdl P] [--blif P] [--dot P] [--sa-table P] [--store DIR]"
     );
     exit(2)
 }
 
+/// Command-line (usage) error: name the flag and the offending value,
+/// exit 2.
+fn bad_value(flag: &str, value: &str, expected: &str) -> ! {
+    eprintln!("hlp: invalid value `{value}` for {flag}: expected {expected}");
+    usage()
+}
+
+/// Runtime failure: exit 1.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("hlp: {msg}");
+    exit(1)
+}
+
+fn parsed<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| bad_value(flag, value, expected))
+}
+
+/// Consumes the value operand of `flag` from the argument list, with
+/// the one missing-value diagnostic every subcommand parser shares.
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| {
+        eprintln!("hlp: missing value for {flag}");
+        usage()
+    })
+}
+
 fn parse_options(args: &[String]) -> Options {
     let mut o = Options {
         width: 16,
-        rc: ResourceConstraint::new(2, 2),
+        adders: None,
+        mults: None,
         alpha: 0.5,
-        binder: Binder::HlPower { alpha: 0.5 },
+        binder_spec: None,
         cycles: 1000,
         lanes: 1,
         sa_mode: SaMode::Precalculated,
+        seed: None,
         fsm: false,
+        remote: None,
         vhdl: None,
         blif: None,
         dot: None,
         sa_table: None,
         store: None,
     };
-    let mut binder_name = "hlpower".to_string();
     let mut i = 0;
     while i < args.len() {
-        let value = |i: &mut usize| -> String {
-            *i += 1;
-            args.get(*i).cloned().unwrap_or_else(|| usage())
-        };
-        match args[i].as_str() {
+        let flag = args[i].clone();
+        let value = |i: &mut usize| take_value(args, i, &flag);
+        match flag.as_str() {
             "--width" => {
-                o.width = value(&mut i).parse().unwrap_or_else(|_| usage());
+                let v = value(&mut i);
+                o.width = parsed(&flag, &v, "an integer in 1..=64");
                 if o.width == 0 || o.width > 64 {
-                    eprintln!("--width must be in 1..=64 (word-level buses are u64)");
-                    usage();
+                    // Word-level buses are u64.
+                    bad_value(&flag, &v, "an integer in 1..=64");
                 }
             }
-            "--adders" => o.rc.addsub = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--mults" => o.rc.mul = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--alpha" => o.alpha = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--binder" => binder_name = value(&mut i),
-            "--cycles" => o.cycles = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--adders" => o.adders = Some(parsed(&flag, &value(&mut i), "an integer")),
+            "--mults" => o.mults = Some(parsed(&flag, &value(&mut i), "an integer")),
+            "--alpha" => o.alpha = parsed(&flag, &value(&mut i), "a number"),
+            "--binder" => o.binder_spec = Some(value(&mut i)),
+            "--cycles" => o.cycles = parsed(&flag, &value(&mut i), "an integer"),
             "--lanes" => {
-                o.lanes = value(&mut i).parse().unwrap_or_else(|_| usage());
+                let v = value(&mut i);
+                o.lanes = parsed(&flag, &v, "a lane count in 0..=64");
                 if o.lanes > gatesim::MAX_LANES {
-                    eprintln!("--lanes is limited to {} lanes", gatesim::MAX_LANES);
-                    usage();
+                    bad_value(&flag, &v, "a lane count in 0..=64");
                 }
             }
             "--sa-mode" => {
-                let name = value(&mut i);
-                o.sa_mode = SaMode::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown SA mode `{name}`");
-                    usage()
+                let v = value(&mut i);
+                o.sa_mode = SaMode::parse(&v).unwrap_or_else(|| {
+                    bad_value(
+                        &flag,
+                        &v,
+                        "precalculated | dynamic | zero-delay | simulated",
+                    )
                 });
             }
+            "--seed" => o.seed = Some(parsed(&flag, &value(&mut i), "an integer")),
             "--fsm" => o.fsm = true,
+            "--remote" => o.remote = Some(value(&mut i)),
             "--vhdl" => o.vhdl = Some(value(&mut i)),
             "--blif" => o.blif = Some(value(&mut i)),
             "--dot" => o.dot = Some(value(&mut i)),
             "--sa-table" => o.sa_table = Some(value(&mut i)),
             "--store" => o.store = Some(value(&mut i)),
-            _ => usage(),
+            other => {
+                eprintln!("hlp: unknown flag `{other}`");
+                usage()
+            }
         }
         i += 1;
     }
-    o.binder = match binder_name.as_str() {
-        "lopass" => Binder::Lopass,
-        "lopass-ic" => Binder::LopassInterconnect,
-        "lopass-sa" => Binder::LopassAnnealed,
-        "hlpower" => Binder::HlPower { alpha: o.alpha },
-        "hlpower-zd" => Binder::HlPowerZeroDelay { alpha: o.alpha },
-        other => {
-            eprintln!("unknown binder `{other}`");
-            usage()
-        }
-    };
     o
 }
 
-fn flow_config(o: &Options) -> FlowConfig {
-    FlowConfig {
-        width: o.width,
-        sa_width: o.width.min(8),
-        sim_cycles: o.cycles,
-        sa_mode: o.sa_mode,
-        lanes: o.lanes,
-        control: if o.fsm {
-            ControlStyle::Fsm
-        } else {
-            ControlStyle::External
-        },
-        ..FlowConfig::default()
+/// The binder these options select: an explicit `--binder` spec (whose
+/// `:ALPHA` suffix wins), else HLPower at `--alpha`.
+fn binder_of(o: &Options) -> Binder {
+    match &o.binder_spec {
+        None => Binder::HlPower { alpha: o.alpha },
+        Some(spec) => {
+            let binder = Binder::parse(spec).unwrap_or_else(|| {
+                bad_value(
+                    "--binder",
+                    spec,
+                    "lopass | lopass-ic | lopass-sa | hlpower[:ALPHA] | hlpower-zd[:ALPHA]",
+                )
+            });
+            // --alpha applies to the HLPower variants unless the spec
+            // carried its own `:ALPHA`.
+            if spec.contains(':') {
+                binder
+            } else {
+                match binder {
+                    Binder::HlPower { .. } => Binder::HlPower { alpha: o.alpha },
+                    Binder::HlPowerZeroDelay { .. } => Binder::HlPowerZeroDelay { alpha: o.alpha },
+                    other => other,
+                }
+            }
+        }
     }
+}
+
+/// Builds the request the options describe around `source`.
+fn request_of(o: &Options, source: hlpower::JobSource) -> JobRequest {
+    let mut req = match source {
+        hlpower::JobSource::Suite(name) => JobRequest::suite(name),
+        hlpower::JobSource::CdfgText(text) => JobRequest::from_cdfg_text(text),
+    };
+    req = req
+        .width(o.width)
+        .sa_width(o.width.min(8))
+        .binder(binder_of(o))
+        .cycles(o.cycles)
+        .lanes(o.lanes)
+        .sa_mode(o.sa_mode)
+        .fsm(o.fsm);
+    if let Some(seed) = o.seed {
+        req = req.seed(seed);
+    }
+    match (o.adders, o.mults) {
+        (None, None) => {}
+        (a, m) => {
+            // A partially explicit constraint completes from the default
+            // the source would resolve to.
+            let d = req
+                .clone()
+                .resolve()
+                .map(|(_, rc)| rc)
+                .unwrap_or_else(|_| ResourceConstraint::new(2, 2));
+            req = req.constraint(a.unwrap_or(d.addsub), m.unwrap_or(d.mul));
+        }
+    }
+    req
+}
+
+/// Renders a report to the deterministic stdout block — identical bytes
+/// whether the report came from a local [`Service`] or over the wire.
+fn render_report(req: &JobRequest, rep: &JobReport) -> String {
+    let r = &rep.result;
+    let rc = req
+        .clone()
+        .resolve()
+        .map(|(_, rc)| rc)
+        .unwrap_or_else(|_| ResourceConstraint::new(0, 0));
+    format!(
+        "job:      {} via {}\n\
+         schedule: {} steps under (add={}, mult={})\n\
+         binding:  {} add/sub + {} mult FUs, {} SA queries{}\n\
+         datapath: {} registers ({} control)\n\
+         mapped:   {} LUTs, depth {}, estimated SA {:.1}\n\
+         muxes:    largest {}, length {}, muxDiff mean {:.2} var {:.2}\n\
+         measured: {:.2} mW dynamic, {:.1} ns clock, {:.1} M toggles/s/net, {:.0}% glitches\n",
+        r.name,
+        r.binder,
+        r.schedule_steps,
+        rc.addsub,
+        rc.mul,
+        r.fus_addsub,
+        r.fus_mul,
+        r.sa_queries,
+        if r.meets_constraint {
+            ""
+        } else {
+            "  [constraint NOT met]"
+        },
+        r.registers,
+        if req.fsm { "fsm" } else { "external" },
+        r.luts,
+        r.depth,
+        r.estimated_sa,
+        r.mux.largest,
+        r.mux.length,
+        r.mux.muxdiff_mean(),
+        r.mux.muxdiff_variance(),
+        r.power.dynamic_power_mw,
+        r.power.clock_period_ns,
+        r.power.avg_toggle_rate_mhz,
+        r.power.glitch_fraction * 100.0,
+    )
+}
+
+/// Prints the per-request stage/store accounting to stderr — the
+/// observable evidence that a warm daemon or store executed nothing.
+fn report_stats(rep: &JobReport) {
+    eprintln!("stages: {}", rep.stats.stages);
+    eprintln!("store: {}", rep.stats.store);
 }
 
 /// Seeds the SA cache the selected binder draws from using `--sa-table`,
@@ -174,11 +306,11 @@ fn flow_config(o: &Options) -> FlowConfig {
 /// refused (they would silently change Eq. 4 edge weights). Returns
 /// whether writing back to the path is safe — a refused table belongs to
 /// a different configuration and must not be clobbered.
-fn load_table(o: &Options, pipeline: &Pipeline) -> bool {
+fn load_table(o: &Options, pipeline: &hlpower::Pipeline, binder: Binder) -> bool {
     if let Some(path) = &o.sa_table {
         if let Ok(text) = std::fs::read_to_string(path) {
             match SaTable::from_text(&text) {
-                Ok(t) => match pipeline.seed_sa_cache(o.binder, &t) {
+                Ok(t) => match pipeline.seed_sa_cache(binder, &t) {
                     Ok(stats) => {
                         eprintln!("loaded SA table `{path}`: {stats}");
                         if stats.conflicting > 0 {
@@ -207,9 +339,9 @@ fn load_table(o: &Options, pipeline: &Pipeline) -> bool {
 }
 
 /// Persists the selected binder's SA cache back to `--sa-table`.
-fn store_table(o: &Options, pipeline: &Pipeline) {
+fn store_table(o: &Options, pipeline: &hlpower::Pipeline, binder: Binder) {
     if let Some(path) = &o.sa_table {
-        let table = pipeline.sa_snapshot(o.binder);
+        let table = pipeline.sa_snapshot(binder);
         if let Err(e) = std::fs::write(path, table.to_text()) {
             eprintln!("cannot write SA table `{path}`: {e}");
         } else {
@@ -221,84 +353,59 @@ fn store_table(o: &Options, pipeline: &Pipeline) {
 /// Opens (creating if needed) the artifact store at `dir`, exiting with
 /// a message on failure. `role` names the store in the error.
 fn open_store_or_die(dir: &str, role: &str) -> ArtifactStore {
-    ArtifactStore::open(dir).unwrap_or_else(|e| {
-        eprintln!("cannot open {role} `{dir}`: {e}");
-        exit(1);
-    })
+    ArtifactStore::open(dir).unwrap_or_else(|e| die(format!("cannot open {role} `{dir}`: {e}")))
 }
 
-fn run_flow(g: &cdfg::Cdfg, o: &Options) {
-    g.check().unwrap_or_else(|e| {
-        eprintln!("invalid CDFG: {e}");
-        exit(1);
-    });
-    println!("{}", g.profile_line());
-    let pipeline = match &o.store {
-        Some(dir) => Pipeline::with_store(
-            flow_config(o),
-            Arc::new(open_store_or_die(dir, "artifact store")),
-        ),
-        None => Pipeline::new(flow_config(o)),
-    };
-    let storable = load_table(o, &pipeline);
-    let prep = pipeline.prepare(g, &o.rc);
-    println!(
-        "schedule: {} steps under (add={}, mult={})",
-        prep.sched.num_steps, o.rc.addsub, o.rc.mul
-    );
-    let outcome = pipeline.bind(&prep, o.binder);
-    if storable {
-        store_table(o, &pipeline);
-    }
-    println!(
-        "binding ({}): {} FUs in {:.3}s, {} SA queries{}",
-        o.binder.label(),
-        outcome.fb.fus.len(),
-        outcome.bind_time.as_secs_f64(),
-        outcome.sa_queries,
-        if outcome.fb.meets(&o.rc) {
-            ""
-        } else {
-            "  [constraint NOT met]"
+/// Executes a `run`/`bench` request — remotely over `--remote`, else on
+/// a local service — and renders the one true report block.
+fn run_job(o: &Options, source: hlpower::JobSource) {
+    let req = request_of(o, source);
+    if let Some(addr) = &o.remote {
+        for (flag, given) in [
+            ("--vhdl", o.vhdl.is_some()),
+            ("--blif", o.blif.is_some()),
+            ("--dot", o.dot.is_some()),
+            ("--sa-table", o.sa_table.is_some()),
+            ("--store", o.store.is_some()),
+        ] {
+            if given {
+                eprintln!(
+                    "hlp: {flag} is local-only and cannot combine with --remote \
+                     (the daemon holds its own store and artifacts stay server-side)"
+                );
+                usage();
+            }
         }
-    );
-    for (i, fu) in outcome.fb.fus.iter().enumerate() {
-        println!("  fu{i} ({}): {} ops", fu.ty, fu.ops.len());
+        let endpoint = Endpoint::parse(addr);
+        let rep = api::request(&endpoint, &req).unwrap_or_else(|e| die(e));
+        print!("{}", render_report(&req, &rep));
+        report_stats(&rep);
+        return;
     }
-    let result = pipeline.measure(&prep, &outcome, o.binder);
-    pipeline.flush_store();
-    if pipeline.store().is_some() {
-        let stats = pipeline.stats();
-        eprintln!("store: {}", stats.store);
-    }
-    println!(
-        "datapath: {} registers ({:?} control)",
-        result.registers,
-        pipeline.config().control
-    );
-    println!(
-        "mapped:   {} LUTs, depth {}, estimated SA {:.1}",
-        result.luts, result.depth, result.estimated_sa
-    );
-    println!(
-        "muxes:    largest {}, length {}, muxDiff mean {:.2} var {:.2}",
-        result.mux.largest,
-        result.mux.length,
-        result.mux.muxdiff_mean(),
-        result.mux.muxdiff_variance()
-    );
-    println!(
-        "measured: {:.2} mW dynamic, {:.1} ns clock, {:.1} M toggles/s/net, {:.0}% glitches",
-        result.power.dynamic_power_mw,
-        result.power.clock_period_ns,
-        result.power.avg_toggle_rate_mhz,
-        result.power.glitch_fraction * 100.0
-    );
-
-    // Optional artifacts (re-elaborate so artifacts match the options).
-    if o.vhdl.is_some() || o.blif.is_some() || o.dot.is_some() {
+    let service = match &o.store {
+        Some(dir) => Service::new().with_store(Arc::new(open_store_or_die(dir, "artifact store"))),
+        None => Service::new(),
+    };
+    let binder = req.binder;
+    let pipeline = service.pipeline(&req);
+    let storable = load_table(o, &pipeline, binder);
+    let wants_artifacts = o.vhdl.is_some() || o.blif.is_some() || o.dot.is_some();
+    let mut artifacts: Vec<(String, String)> = Vec::new();
+    let rep = if wants_artifacts {
+        // Drive the pipeline directly so **one** binding run serves both
+        // the report and the exported artifacts (`Service::execute`
+        // hides the binding outcome and would force a second, equally
+        // expensive bind). Same stage sequence and stats attribution as
+        // the service path.
+        let (g, rc) = req.resolve().unwrap_or_else(|e| die(e));
+        let before = pipeline.stats();
+        let prep = pipeline.prepare(&g, &rc);
+        let outcome = pipeline.bind(&prep, binder);
+        let result = pipeline.measure(&prep, &outcome, binder);
+        pipeline.flush_store();
+        let stats = pipeline.stats().since(&before);
         let dp = hlpower::elaborate(
-            g,
+            &g,
             &prep.sched,
             &prep.rb,
             &outcome.fb,
@@ -312,25 +419,133 @@ fn run_flow(g: &cdfg::Cdfg, o: &Options) {
             },
         );
         if let Some(path) = &o.vhdl {
-            write_or_die(path, &hlpower::write_vhdl(&dp));
+            artifacts.push((path.clone(), hlpower::write_vhdl(&dp)));
         }
         if let Some(path) = &o.blif {
-            write_or_die(path, &netlist::write_blif(&dp.netlist));
+            artifacts.push((path.clone(), netlist::write_blif(&dp.netlist)));
         }
         if let Some(path) = &o.dot {
-            write_or_die(path, &cdfg::to_dot(g, Some(&prep.sched)));
+            artifacts.push((path.clone(), cdfg::to_dot(&g, Some(&prep.sched))));
         }
+        JobReport { result, stats }
+    } else {
+        service.execute(&req).unwrap_or_else(|e| die(e))
+    };
+    if storable {
+        store_table(o, &pipeline, binder);
+    }
+    print!("{}", render_report(&req, &rep));
+    report_stats(&rep);
+    for (path, content) in &artifacts {
+        write_or_die(path, content);
     }
 }
 
 fn write_or_die(path: &str, content: &str) {
     match std::fs::write(path, content) {
         Ok(()) => println!("wrote {path}"),
-        Err(e) => {
-            eprintln!("cannot write `{path}`: {e}");
-            exit(1);
-        }
+        Err(e) => die(format!("cannot write `{path}`: {e}")),
     }
+}
+
+/// `hlp serve`: bind the endpoint, then answer request lines forever.
+fn serve(args: &[String]) -> ! {
+    let mut socket: Option<String> = None;
+    let mut port: Option<u16> = None;
+    let mut store: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let value = |i: &mut usize| take_value(args, i, &flag);
+        match flag.as_str() {
+            "--socket" => socket = Some(value(&mut i)),
+            "--port" => port = Some(parsed(&flag, &value(&mut i), "a port number")),
+            "--store" => store = Some(value(&mut i)),
+            other => {
+                eprintln!("hlp serve: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let endpoint = match (socket, port) {
+        (Some(path), None) => Endpoint::Unix(path.into()),
+        (None, Some(port)) => Endpoint::Tcp(format!("127.0.0.1:{port}")),
+        _ => {
+            eprintln!("hlp serve: exactly one of --socket PATH or --port N is required");
+            usage()
+        }
+    };
+    let service = match &store {
+        Some(dir) => Service::new().with_store(Arc::new(open_store_or_die(dir, "artifact store"))),
+        None => Service::new(),
+    };
+    let server =
+        Server::bind(&endpoint).unwrap_or_else(|e| die(format!("cannot bind `{endpoint}`: {e}")));
+    eprintln!(
+        "hlp serve: listening on {endpoint}{}",
+        match &store {
+            Some(dir) => format!(" (hot store `{dir}`)"),
+            None => " (no store: every request recomputes)".to_string(),
+        }
+    );
+    match server.serve(Arc::new(service)) {
+        Ok(()) => exit(0),
+        Err(e) => die(format!("serve failed: {e}")),
+    }
+}
+
+/// `hlp gc`: per-kind size accounting, optional age/size pruning.
+fn gc(args: &[String]) {
+    let mut store: Option<String> = None;
+    let mut policy = GcPolicy::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let value = |i: &mut usize| take_value(args, i, &flag);
+        match flag.as_str() {
+            "--store" => store = Some(value(&mut i)),
+            "--max-age-days" => {
+                let v = value(&mut i);
+                let days: f64 = parsed(&flag, &v, "a number of days");
+                // try_from_secs_f64 rejects NaN, negatives, infinities,
+                // and out-of-range magnitudes in one place — a huge value
+                // must be a flag diagnostic (exit 2), never a panic.
+                policy.max_age = Some(
+                    std::time::Duration::try_from_secs_f64(days * 86_400.0).unwrap_or_else(|_| {
+                        bad_value(&flag, &v, "a finite, non-negative number of days")
+                    }),
+                );
+            }
+            "--max-bytes" => {
+                policy.max_bytes = Some(parsed(&flag, &value(&mut i), "a byte count"));
+            }
+            other => {
+                eprintln!("hlp gc: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(dir) = store else {
+        eprintln!("hlp gc: --store DIR is required");
+        usage()
+    };
+    // gc must never silently materialize an empty store at a mistyped
+    // path, so it opens strictly.
+    let store = ArtifactStore::open_existing(&dir)
+        .unwrap_or_else(|e| die(format!("cannot open artifact store: {e}")));
+    let usage_before = store
+        .usage()
+        .unwrap_or_else(|e| die(format!("cannot size `{dir}`: {e}")));
+    println!("{usage_before}");
+    if policy.max_age.is_none() && policy.max_bytes.is_none() {
+        return;
+    }
+    let report = store
+        .gc(&policy)
+        .unwrap_or_else(|e| die(format!("gc of `{dir}` failed: {e}")));
+    println!("gc: {report}");
 }
 
 fn main() {
@@ -338,33 +553,40 @@ fn main() {
     let Some(command) = argv.first() else { usage() };
     match command.as_str() {
         "run" => {
-            let Some(path) = argv.get(1) else { usage() };
+            let Some(path) = argv.get(1) else {
+                eprintln!("hlp run: missing CDFG file argument");
+                usage()
+            };
             let o = parse_options(&argv[2..]);
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read `{path}`: {e}");
-                exit(1);
-            });
-            let (g, _) = cdfg::parse_cdfg(&text).unwrap_or_else(|e| {
-                eprintln!("parse error in `{path}`: {e}");
-                exit(1);
-            });
-            run_flow(&g, &o);
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(format!("cannot read `{path}`: {e}")));
+            // Parse locally even for --remote so syntax errors name the
+            // file instead of surfacing as daemon rejections.
+            cdfg::parse_cdfg(&text)
+                .unwrap_or_else(|e| die(format!("parse error in `{path}`: {e}")));
+            run_job(&o, hlpower::JobSource::CdfgText(text));
         }
         "bench" => {
-            let Some(name) = argv.get(1) else { usage() };
-            let mut o = parse_options(&argv[2..]);
-            let Some(p) = cdfg::profile(name) else {
-                eprintln!("unknown benchmark `{name}`; try `hlp suite`");
-                exit(1);
+            let Some(name) = argv.get(1) else {
+                eprintln!("hlp bench: missing benchmark name (try `hlp suite`)");
+                usage()
             };
-            if let Some(rc) = hlpower::paper_constraint(name) {
-                o.rc = rc;
+            if cdfg::profile(name).is_none() {
+                eprintln!(
+                    "hlp: invalid value `{name}` for bench: expected a benchmark from `hlp suite`"
+                );
+                usage();
             }
-            let g = cdfg::generate(p, p.seed);
-            run_flow(&g, &o);
+            let o = parse_options(&argv[2..]);
+            run_job(&o, hlpower::JobSource::Suite(name.clone()));
         }
+        "serve" => serve(&argv[1..]),
+        "gc" => gc(&argv[1..]),
         "table" => {
-            let Some(out) = argv.get(1) else { usage() };
+            let Some(out) = argv.get(1) else {
+                eprintln!("hlp table: missing output path argument");
+                usage()
+            };
             let o = parse_options(&argv[2..]);
             if o.sa_mode == SaMode::Dynamic {
                 // Dynamic mode is a run/bench ablation (uncached
@@ -394,7 +616,10 @@ fn main() {
             // destination. Content-addressed artifacts copy over (byte
             // conflicts are reported, destination wins); SA shards merge
             // entry-wise with conflict accounting.
-            let Some(dst) = argv.get(1) else { usage() };
+            let Some(dst) = argv.get(1) else {
+                eprintln!("hlp merge: missing destination store argument");
+                usage()
+            };
             if argv.len() < 3 {
                 eprintln!("merge needs at least one source store");
                 usage();
@@ -405,10 +630,8 @@ fn main() {
                 // Sources are read-only inputs: a mistyped path must fail
                 // loudly, never be created (or half-planted inside some
                 // existing directory) as an empty store.
-                let src_store = ArtifactStore::open_existing(src).unwrap_or_else(|e| {
-                    eprintln!("cannot open source store: {e}");
-                    exit(1);
-                });
+                let src_store = ArtifactStore::open_existing(src)
+                    .unwrap_or_else(|e| die(format!("cannot open source store: {e}")));
                 match dst_store.merge_from(&src_store) {
                     Ok(report) => {
                         println!("merged `{src}` into `{dst}`: {report}");
@@ -431,6 +654,26 @@ fn main() {
             }
         }
         "suite" => {
+            if argv.get(1).map(String::as_str) == Some("--requests") {
+                // Machine-readable: one canonical request line per
+                // benchmark, with the paper constraint made explicit, so
+                // scripts can edit knobs and pipe lines straight to a
+                // daemon socket without scraping the human table.
+                for p in &cdfg::PROFILES {
+                    let rc = hlpower::paper_constraint(p.name).expect("suite constraint");
+                    println!(
+                        "{}",
+                        JobRequest::suite(p.name)
+                            .constraint(rc.addsub, rc.mul)
+                            .to_line()
+                    );
+                }
+                return;
+            }
+            if let Some(flag) = argv.get(1) {
+                eprintln!("hlp suite: unknown flag `{flag}` (did you mean --requests?)");
+                usage();
+            }
             println!("built-in benchmarks (paper Table 1):");
             for p in &cdfg::PROFILES {
                 let rc = hlpower::paper_constraint(p.name).expect("suite constraint");
