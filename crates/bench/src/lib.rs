@@ -33,11 +33,14 @@ pub const DEFAULT_LANES: usize = 64;
 /// (restore the paper's `--lanes 1` single-stream tables),
 /// `--bench NAME` (repeatable), `--binder SPEC` (repeatable, see
 /// [`Binder::parse`]), `--jobs N` (parallel fan-out width), `--fast`
-/// (width 8, 300 cycles — for smoke runs), `--store DIR` (persistent
+/// (width 8, 300 cycles — for smoke runs), `--store SPEC` (persistent
 /// artifact store: prepared schedules, mapped netlists, simulation
-/// summaries, and the SA table are cached across runs), `--shard i/N`
-/// (run only this worker's slice of the benchmark × binder matrix into
-/// the store; requires `--store`, combine stores with `hlp merge`).
+/// summaries, and the SA table are cached across runs; a directory, or
+/// `remote:ADDR` for the shared hot store of an `hlp serve` daemon),
+/// `--shard i/N` (run only this worker's slice of the benchmark ×
+/// binder matrix into the store; requires `--store`, combine local
+/// shard stores with `hlp merge` — sharding straight into one
+/// `remote:` store needs no merge step).
 ///
 /// Malformed values report the offending flag and value on stderr and
 /// exit 2 (the usage exit code); runtime failures exit 1.
@@ -238,14 +241,15 @@ impl Args {
 
     /// Builds the [`Service`] for these flags: the flag-derived flow
     /// configuration as the template, attached to the `--store` artifact
-    /// store when one was given (exiting with a message if the directory
-    /// cannot be created).
+    /// store when one was given — a directory, or `remote:ADDR` for the
+    /// hot store of an `hlp serve` daemon (exiting with a message if the
+    /// directory cannot be created or no daemon answers).
     pub fn service(&self) -> Service {
         let service = Service::new().with_template(self.flow.clone());
         match &self.store {
-            Some(dir) => {
-                let store = ArtifactStore::open(dir).unwrap_or_else(|e| {
-                    eprintln!("cannot open artifact store `{dir}`: {e}");
+            Some(spec) => {
+                let store = ArtifactStore::open_spec(spec).unwrap_or_else(|e| {
+                    eprintln!("cannot open artifact store `{spec}`: {e}");
                     std::process::exit(1);
                 });
                 service.with_store(Arc::new(store))

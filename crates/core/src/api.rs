@@ -50,7 +50,7 @@ use crate::flow::{Binder, FlowConfig, FlowResult};
 use crate::mux::MuxReport;
 use crate::pipeline::{Pipeline, PipelineStats, StageCounts};
 use crate::power::PowerReport;
-use crate::satable::SaMode;
+use crate::satable::{SaMode, SaTable};
 use crate::store::{ArtifactStore, StoreCounts};
 use cdfg::{Cdfg, ResourceConstraint};
 use std::collections::HashMap;
@@ -60,9 +60,9 @@ use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // ---- escaping --------------------------------------------------------------
 
@@ -917,29 +917,195 @@ enum ListenerKind {
     Unix(UnixListener),
 }
 
+/// Daemon operability knobs for [`Server::serve_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// Maximum concurrent client connections. Connections beyond the
+    /// limit are answered with a protocol-clean `error` line and closed
+    /// instead of queuing unboundedly.
+    pub max_clients: usize,
+    /// Log one stderr line per request (and per rejected connection).
+    pub log: bool,
+    /// Install SIGINT/SIGTERM handlers that trigger the same graceful
+    /// shutdown as `control stop` (drain in-flight clients, join
+    /// threads, flush SA shards once, unlink the socket). Off by
+    /// default so embedding a server in tests never rewires the host
+    /// process's signal disposition.
+    pub handle_signals: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_clients: 64,
+            log: false,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Request lines larger than this are drained and answered with an
+/// `error` line instead of being buffered: a garbage (or malicious)
+/// client must not grow daemon memory without bound. Inline-CDFG
+/// requests for the paper suite are a few kilobytes.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Set by the SIGINT/SIGTERM handlers [`ServeOptions::handle_signals`]
+/// installs; every serving loop in the process drains and exits when it
+/// goes up (signal dispositions are process-wide anyway).
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_signals() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        extern "C" fn flag_shutdown(_sig: i32) {
+            // Only an atomic flag: the accept loop polls it, so nothing
+            // async-signal-unsafe happens here.
+            SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(2, flag_shutdown as *const () as usize); // SIGINT
+            signal(15, flag_shutdown as *const () as usize); // SIGTERM
+        }
+    });
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals() {}
+
+/// Shared state of one serving loop: the service, the operability
+/// options, and the counters/flags the accept loop and the client
+/// threads coordinate through.
+struct ServeState {
+    service: Arc<Service>,
+    opts: ServeOptions,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    next_client: AtomicU64,
+}
+
+impl ServeState {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+            || (self.opts.handle_signals && SIGNAL_SHUTDOWN.load(Ordering::SeqCst))
+    }
+
+    fn log(&self, id: u64, what: &str, started: Instant) {
+        if self.opts.log {
+            eprintln!(
+                "hlp serve: [c{id}] {what} ({} ms)",
+                started.elapsed().as_millis()
+            );
+        }
+    }
+}
+
+/// Decrements the active-connection count when a client thread ends,
+/// however it ends.
+struct ActiveSlot<'a>(&'a ServeState);
+
+impl Drop for ActiveSlot<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The stream capabilities a client handler needs beyond by-reference
+/// `Read + Write`: a read timeout, so handlers wake periodically to
+/// notice a shutdown instead of blocking in `read` forever, and an
+/// explicit blocking-mode reset (BSD-derived kernels let accepted
+/// sockets inherit the listener's `O_NONBLOCK`, which would turn the
+/// timeout ticks into a busy spin).
+trait ClientStream: Send + Sync {
+    fn set_client_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    fn set_client_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
+}
+
+impl ClientStream for TcpStream {
+    fn set_client_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn set_client_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+}
+
+#[cfg(unix)]
+impl ClientStream for UnixStream {
+    fn set_client_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn set_client_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.set_nonblocking(nonblocking)
+    }
+}
+
 /// A bound daemon listener. [`Server::bind`] claims the endpoint (so a
 /// caller can report readiness before blocking), [`Server::serve`] then
-/// accepts connections forever, one thread per client, all sharing one
-/// [`Service`] — the "one hot store, many clients" deployment.
+/// accepts connections, one thread per client, all sharing one
+/// [`Service`] — the "one hot store, many clients" deployment — until a
+/// `control stop` request (or a signal, when enabled) triggers the
+/// graceful shutdown: stop accepting, drain in-flight clients, join
+/// every client thread, flush SA shards once, unlink the socket file.
 pub struct Server {
     listener: ListenerKind,
     endpoint: Endpoint,
 }
 
 impl Server {
-    /// Binds the endpoint. A pre-existing unix socket file is removed
-    /// first (the conventional stale-socket handling).
+    /// Binds the endpoint.
+    ///
+    /// A pre-existing unix socket file is probed first: if a live
+    /// daemon answers it, binding fails with `AddrInUse` — silently
+    /// unlinking it would orphan that daemon (still running, no longer
+    /// reachable) and strand its clients. Only a dead socket (nothing
+    /// accepting) is cleaned up as stale.
     ///
     /// # Errors
     ///
-    /// Socket creation/bind failures; `Unsupported` for unix endpoints
-    /// on non-unix hosts.
+    /// Socket creation/bind failures; `AddrInUse` when a live daemon
+    /// already serves the socket; `Unsupported` for unix endpoints on
+    /// non-unix hosts.
     pub fn bind(endpoint: &Endpoint) -> io::Result<Server> {
         let listener = match endpoint {
             Endpoint::Tcp(addr) => ListenerKind::Tcp(TcpListener::bind(addr)?),
             #[cfg(unix)]
             Endpoint::Unix(path) => {
                 if path.exists() {
+                    use std::os::unix::fs::FileTypeExt;
+                    let is_socket = std::fs::metadata(path)
+                        .map(|m| m.file_type().is_socket())
+                        .unwrap_or(false);
+                    if !is_socket {
+                        // A mistyped --socket must never delete the
+                        // user's regular file (or directory).
+                        return Err(io::Error::new(
+                            io::ErrorKind::AlreadyExists,
+                            format!(
+                                "`{}` exists and is not a socket; refusing to replace it",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!(
+                                "a live daemon is already serving `{}` (stop it with \
+                                 `hlp serve --stop --socket {0}` first)",
+                                path.display()
+                            ),
+                        ));
+                    }
+                    // A socket nothing accepts on: a stale leftover from
+                    // a killed daemon, safe to clean up.
                     std::fs::remove_file(path)?;
                 }
                 ListenerKind::Unix(UnixListener::bind(path)?)
@@ -967,55 +1133,548 @@ impl Server {
         }
     }
 
-    /// Accepts and serves clients forever (one thread per connection).
+    /// [`Server::serve_with`] under default [`ServeOptions`].
     ///
     /// # Errors
     ///
     /// Fatal accept errors; per-connection I/O errors only end that
     /// connection.
     pub fn serve(&self, service: Arc<Service>) -> io::Result<()> {
-        match &self.listener {
-            ListenerKind::Tcp(l) => loop {
-                let (stream, _) = l.accept()?;
-                let service = service.clone();
-                std::thread::spawn(move || handle_client(&stream, &service));
-            },
+        self.serve_with(service, ServeOptions::default())
+    }
+
+    /// Accepts and serves clients (one thread per connection, at most
+    /// `opts.max_clients` at once) until `control stop` arrives on a
+    /// connection — or, with `opts.handle_signals`, SIGINT/SIGTERM.
+    /// Shutdown is graceful: in-flight requests finish, client threads
+    /// are joined, SA caches are flushed to the store once, and a unix
+    /// socket file is unlinked. Returns `Ok(())` after a graceful stop.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept errors; per-connection I/O errors only end that
+    /// connection.
+    pub fn serve_with(&self, service: Arc<Service>, opts: ServeOptions) -> io::Result<()> {
+        if opts.handle_signals {
+            install_shutdown_signals();
+        }
+        let state = Arc::new(ServeState {
+            service,
+            opts,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_client: AtomicU64::new(0),
+        });
+        let result = match &self.listener {
+            ListenerKind::Tcp(l) => {
+                l.set_nonblocking(true)?;
+                accept_loop(&state, || l.accept().map(|(s, _)| s))
+            }
             #[cfg(unix)]
-            ListenerKind::Unix(l) => loop {
-                let (stream, _) = l.accept()?;
-                let service = service.clone();
-                std::thread::spawn(move || handle_client(&stream, &service));
-            },
+            ListenerKind::Unix(l) => {
+                l.set_nonblocking(true)?;
+                accept_loop(&state, || l.accept().map(|(s, _)| s))
+            }
+        };
+        // One flush for the whole serving session: clients drained, so
+        // nothing new can race into the caches behind it.
+        state.service.flush();
+        #[cfg(unix)]
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+/// The accept loop shared by both listener kinds: poll (the listener is
+/// nonblocking, so shutdown flags are noticed within one poll interval),
+/// enforce the connection cap, spawn a handler thread per client, and
+/// join every handler before returning.
+fn accept_loop<S>(state: &Arc<ServeState>, accept: impl Fn() -> io::Result<S>) -> io::Result<()>
+where
+    S: ClientStream + 'static,
+    for<'a> &'a S: Read + Write,
+{
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let result = loop {
+        if state.stopping() {
+            break Ok(());
+        }
+        match accept() {
+            Ok(stream) => {
+                handles.retain(|h| !h.is_finished());
+                let id = state.next_client.fetch_add(1, Ordering::Relaxed);
+                // The listener is nonblocking for the shutdown poll; the
+                // accepted socket must not inherit that (BSD kernels
+                // propagate it), or the handler's timeout ticks become a
+                // busy spin.
+                let _ = stream.set_client_nonblocking(false);
+                if state.active.load(Ordering::SeqCst) >= state.opts.max_clients {
+                    // Over the cap: no job/store work, but a deadline-
+                    // bounded one-line read still runs so `control stop`
+                    // can always reach a saturated daemon.
+                    let st = state.clone();
+                    handles.push(std::thread::spawn(move || {
+                        handle_overflow_client(&stream, id, &st);
+                    }));
+                    continue;
+                }
+                state.active.fetch_add(1, Ordering::SeqCst);
+                let st = state.clone();
+                handles.push(std::thread::spawn(move || {
+                    let _slot = ActiveSlot(&st);
+                    handle_client(&stream, id, &st);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => break Err(e),
+        }
+    };
+    // Drain: in-flight requests finish (handlers notice the shutdown
+    // flag at their next read-timeout tick and hang up).
+    state.shutdown.store(true, Ordering::SeqCst);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    result
+}
+
+/// What one capped, shutdown-aware line read produced.
+enum LineRead {
+    /// A complete request line (without its terminator).
+    Line(String),
+    /// The line exceeded [`MAX_REQUEST_LINE`]; its bytes were drained
+    /// (never buffered) up to and including the terminator, so the
+    /// connection is still protocol-aligned.
+    Oversize,
+    /// Clean end of stream.
+    Eof,
+    /// The server is shutting down.
+    Shutdown,
+    /// The caller's deadline passed before a full line arrived.
+    Deadline,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `cap` bytes. Read
+/// timeouts are idle ticks used to poll `shutdown` (and the optional
+/// `deadline`); oversize input is consumed and discarded so the next
+/// line starts aligned.
+fn read_request_line<R: BufRead>(
+    reader: &mut R,
+    cap: usize,
+    shutdown: &AtomicBool,
+    deadline: Option<Instant>,
+) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut over = false;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(LineRead::Shutdown);
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Ok(LineRead::Deadline);
+        }
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(LineRead::Eof);
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !over && buf.len() + pos <= cap {
+                    buf.extend_from_slice(&available[..pos]);
+                } else {
+                    over = true;
+                }
+                reader.consume(pos + 1);
+                return Ok(if over {
+                    LineRead::Oversize
+                } else {
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                });
+            }
+            None => {
+                let n = available.len();
+                if !over {
+                    if buf.len() + n > cap {
+                        over = true;
+                        buf.clear();
+                    } else {
+                        buf.extend_from_slice(available);
+                    }
+                }
+                reader.consume(n);
+            }
         }
     }
 }
 
-/// Serves one client connection: request lines in, report blocks (or
-/// `error` lines) out, until EOF. Works on any stream whose shared
-/// reference reads and writes (TCP and unix streams both do).
-fn handle_client<S>(stream: &S, service: &Service)
+/// Reads exactly `len` body bytes, treating read timeouts as idle ticks
+/// (a slow client mid-body is not an error) unless the server is
+/// shutting down. When `keep` is `None` the bytes are discarded — the
+/// drain path for refused bodies, which keeps the connection aligned
+/// without buffering. The buffer grows with the bytes actually
+/// received, never from the declared length alone, so a garbage header
+/// cannot make the daemon allocate ahead of data.
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    len: usize,
+    shutdown: &AtomicBool,
+    keep: Option<&mut Vec<u8>>,
+) -> io::Result<()> {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut remaining = len;
+    let mut keep = keep;
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => {
+                if let Some(body) = keep.as_deref_mut() {
+                    body.extend_from_slice(&chunk[..n]);
+                }
+                remaining -= n;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(io::Error::other("daemon shutting down"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Serves one `store ...` wire request against the daemon's store. The
+/// protocol is documented in [`crate::store`]; access goes through the
+/// store's **raw** (uncounted) hooks so client traffic never pollutes
+/// the daemon handle's own hit/miss attribution. Replies a
+/// protocol-clean `error` line for every malformed request; the
+/// returned string is the log summary.
+///
+/// # Errors
+///
+/// Connection-level I/O failures only (they end the connection).
+fn serve_store_line<R: BufRead, W: Write>(
+    store: Option<&ArtifactStore>,
+    line: &str,
+    reader: &mut R,
+    writer: &mut W,
+    shutdown: &AtomicBool,
+) -> io::Result<String> {
+    let mut fail = |msg: String| -> io::Result<String> {
+        writer.write_all(format!("error {}\n", escape(&msg)).as_bytes())?;
+        writer.flush()?;
+        Ok(format!("store request refused: {msg}"))
+    };
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    let Some(store) = store else {
+        return fail("this daemon has no store attached (start it with --store DIR)".to_string());
+    };
+    // A declared length over the cap is refused, but its body is still
+    // drained (discarded chunk-wise, never buffered) so the refusal
+    // leaves the connection protocol-aligned. An unparseable length
+    // leaves nothing to drain — alignment is unknowable there.
+    enum BodyLen {
+        Ok(usize),
+        TooBig(usize),
+        Bad(String),
+    }
+    let body_len = |tok: &str| -> BodyLen {
+        match tok.parse::<usize>() {
+            Ok(len) if len <= crate::store::MAX_WIRE_BODY => BodyLen::Ok(len),
+            Ok(len) => BodyLen::TooBig(len),
+            Err(_) => BodyLen::Bad(format!("invalid body length `{tok}`")),
+        }
+    };
+    let check = |kind: &str, name: &str| -> Result<(), String> {
+        if !crate::store::valid_kind(kind) {
+            return Err(format!("unknown artifact kind `{kind}`"));
+        }
+        if !crate::store::valid_name(name) {
+            return Err(format!("invalid artifact name `{name}`"));
+        }
+        Ok(())
+    };
+    match toks.as_slice() {
+        ["store", "get", kind, name] => {
+            if let Err(e) = check(kind, name) {
+                return fail(e);
+            }
+            match store.raw_get(kind, name) {
+                Some(content) => {
+                    writer.write_all(format!("data {}\n", content.len()).as_bytes())?;
+                    writer.write_all(content.as_bytes())?;
+                    writer.flush()?;
+                    Ok(format!("get {kind}/{name} hit ({} bytes)", content.len()))
+                }
+                None => {
+                    writer.write_all(b"absent\n")?;
+                    writer.flush()?;
+                    Ok(format!("get {kind}/{name} miss"))
+                }
+            }
+        }
+        ["store", "stat", kind, name] => {
+            if let Err(e) = check(kind, name) {
+                return fail(e);
+            }
+            let present = store.raw_stat(kind, name);
+            writer.write_all(if present { b"present\n" } else { b"absent\n" })?;
+            writer.flush()?;
+            Ok(format!(
+                "stat {kind}/{name} {}",
+                if present { "present" } else { "absent" }
+            ))
+        }
+        ["store", "list", kind] => {
+            if !crate::store::valid_kind(kind) {
+                return fail(format!("unknown artifact kind `{kind}`"));
+            }
+            match store.raw_list(kind) {
+                Ok(names) => {
+                    let mut reply = format!("names {}\n", names.len());
+                    for name in &names {
+                        reply.push_str(name);
+                        reply.push('\n');
+                    }
+                    writer.write_all(reply.as_bytes())?;
+                    writer.flush()?;
+                    Ok(format!("list {kind} ({} names)", names.len()))
+                }
+                Err(e) => fail(format!("cannot list {kind}: {e}")),
+            }
+        }
+        ["store", "put", kind, name, len] => {
+            let len = match body_len(len) {
+                BodyLen::Ok(len) => len,
+                BodyLen::TooBig(len) => {
+                    read_body(reader, len, shutdown, None)?;
+                    return fail(format!("body of {len} bytes exceeds the 64 MiB cap"));
+                }
+                BodyLen::Bad(e) => return fail(e),
+            };
+            // The body is read (and discarded on a bad kind/name) before
+            // replying, so the connection stays aligned either way.
+            let mut body = Vec::new();
+            read_body(reader, len, shutdown, Some(&mut body))?;
+            if let Err(e) = check(kind, name) {
+                return fail(e);
+            }
+            let Ok(content) = String::from_utf8(body) else {
+                return fail("artifact body is not UTF-8 text".to_string());
+            };
+            store.raw_put(kind, name, &content);
+            writer.write_all(b"ok\n")?;
+            writer.flush()?;
+            Ok(format!("put {kind}/{name} ({len} bytes)"))
+        }
+        ["store", "put-sa", len] => {
+            let len = match body_len(len) {
+                BodyLen::Ok(len) => len,
+                BodyLen::TooBig(len) => {
+                    read_body(reader, len, shutdown, None)?;
+                    return fail(format!("body of {len} bytes exceeds the 64 MiB cap"));
+                }
+                BodyLen::Bad(e) => return fail(e),
+            };
+            let mut body = Vec::new();
+            read_body(reader, len, shutdown, Some(&mut body))?;
+            let Ok(text) = String::from_utf8(body) else {
+                return fail("SA table body is not UTF-8 text".to_string());
+            };
+            let table = match SaTable::from_text(&text) {
+                Ok(table) => table,
+                Err(e) => return fail(format!("unparseable SA table: {e}")),
+            };
+            let stats = store.merge_sa_table(&table);
+            writer.write_all(
+                format!(
+                    "ok {} {} {}\n",
+                    stats.inserted, stats.matched, stats.conflicting
+                )
+                .as_bytes(),
+            )?;
+            writer.flush()?;
+            Ok(format!("put-sa {len} bytes: {stats}"))
+        }
+        _ => fail(format!(
+            "unknown store request `{}` (expected get/put/stat/list/put-sa)",
+            line.split_whitespace()
+                .take(2)
+                .collect::<Vec<_>>()
+                .join(" ")
+        )),
+    }
+}
+
+/// Handles a connection accepted while the daemon is at its connection
+/// limit. No job or store work runs here — but one line is still read
+/// (small cap, hard deadline, so overflow connections cannot pile up as
+/// parked threads) so that `control stop` can always reach a saturated
+/// daemon; anything else is answered with the limit error and closed.
+fn handle_overflow_client<S>(stream: &S, id: u64, state: &ServeState)
 where
+    S: ClientStream,
     for<'a> &'a S: Read + Write,
 {
+    let started = Instant::now();
+    let _ = stream.set_client_read_timeout(Some(Duration::from_millis(100)));
     let mut reader = BufReader::new(stream);
     let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
+    let deadline = Instant::now() + Duration::from_secs(2);
+    if let Ok(LineRead::Line(line)) =
+        read_request_line(&mut reader, 4096, &state.shutdown, Some(deadline))
+    {
+        if line.trim_end_matches('\r') == "control stop" {
+            let _ = writer
+                .write_all(b"ok stopping\n")
+                .and_then(|()| writer.flush());
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.log(
+                id,
+                "stop requested (over connection limit); draining",
+                started,
+            );
+            return;
         }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
+    }
+    let _ = writer
+        .write_all(
+            format!(
+                "error {}\n",
+                escape(&format!(
+                    "daemon at its connection limit ({}); retry shortly",
+                    state.opts.max_clients
+                ))
+            )
+            .as_bytes(),
+        )
+        .and_then(|()| writer.flush());
+    state.log(id, "connection rejected: at connection limit", started);
+}
+
+/// Serves one client connection: job request lines, `store` artifact
+/// verbs, and `control` requests in; report blocks, framed bodies, or
+/// `error` lines out, until EOF or shutdown. Works on any stream whose
+/// shared reference reads and writes (TCP and unix streams both do).
+fn handle_client<S>(stream: &S, id: u64, state: &ServeState)
+where
+    S: ClientStream,
+    for<'a> &'a S: Read + Write,
+{
+    // The timeout is the shutdown poll interval: handlers blocked in
+    // read wake this often to notice a drain request.
+    let _ = stream.set_client_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = BufReader::new(stream);
+    let mut writer = stream;
+    loop {
+        let line = match read_request_line(&mut reader, MAX_REQUEST_LINE, &state.shutdown, None) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversize) => {
+                let started = Instant::now();
+                let reply = format!(
+                    "error {}\n",
+                    escape(&format!(
+                        "request line exceeds {MAX_REQUEST_LINE} bytes and was discarded"
+                    ))
+                );
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                state.log(id, "oversize request line discarded", started);
+                continue;
+            }
+            Ok(LineRead::Eof | LineRead::Shutdown | LineRead::Deadline) | Err(_) => return,
+        };
+        let trimmed = line.trim_end_matches('\r');
         if trimmed.is_empty() {
             continue;
         }
-        let reply = match JobRequest::parse_line(trimmed) {
-            Ok(req) => match service.execute(&req) {
-                Ok(report) => report.to_text(),
-                Err(e) => format!("error {}\n", escape(&e.to_string())),
-            },
-            Err(e) => format!("error {}\n", escape(&e)),
+        let started = Instant::now();
+        let first = trimmed.split_whitespace().next().unwrap_or("");
+        if first == "store" {
+            let store = state.service.store().map(|s| s.as_ref());
+            match serve_store_line(store, trimmed, &mut reader, &mut writer, &state.shutdown) {
+                Ok(summary) => state.log(id, &summary, started),
+                Err(_) => return,
+            }
+            continue;
+        }
+        if first == "control" {
+            if trimmed == "control stop" {
+                let _ = writer
+                    .write_all(b"ok stopping\n")
+                    .and_then(|()| writer.flush());
+                state.log(id, "stop requested; draining", started);
+                state.shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            let reply = format!(
+                "error {}\n",
+                escape(&format!("unknown control request `{trimmed}`"))
+            );
+            if writer
+                .write_all(reply.as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return;
+            }
+            state.log(id, "unknown control request refused", started);
+            continue;
+        }
+        let (reply, summary) = match JobRequest::parse_line(trimmed) {
+            Ok(req) => {
+                let label = match &req.source {
+                    JobSource::Suite(name) => format!("bench:{name}"),
+                    JobSource::CdfgText(_) => "cdfg:<inline>".to_string(),
+                };
+                match state.service.execute(&req) {
+                    Ok(report) => (report.to_text(), format!("job {label} ok")),
+                    Err(e) => (
+                        format!("error {}\n", escape(&e.to_string())),
+                        format!("job {label} refused: {e}"),
+                    ),
+                }
+            }
+            Err(e) => (
+                format!("error {}\n", escape(&e)),
+                format!("bad request line: {e}"),
+            ),
         };
         if writer
             .write_all(reply.as_bytes())
@@ -1024,6 +1683,50 @@ where
         {
             return;
         }
+        state.log(id, &summary, started);
+    }
+}
+
+/// Asks the daemon at `endpoint` to shut down gracefully (drain
+/// in-flight clients, flush SA shards, unlink its socket) — the client
+/// half of `hlp serve --stop`.
+///
+/// # Errors
+///
+/// Connection failures (no daemon at the address), daemon-side
+/// refusals, and malformed replies.
+pub fn stop_daemon(endpoint: &Endpoint) -> Result<(), RequestError> {
+    fn go<S>(stream: &S) -> Result<(), RequestError>
+    where
+        for<'a> &'a S: Read + Write,
+    {
+        let mut writer = stream;
+        writer.write_all(b"control stop\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.starts_with("ok") {
+            Ok(())
+        } else if let Some(msg) = trimmed.strip_prefix("error ") {
+            Err(RequestError::Remote(
+                unescape(msg).unwrap_or_else(|_| msg.to_string()),
+            ))
+        } else {
+            Err(RequestError::Protocol(format!(
+                "unexpected stop reply `{trimmed}`"
+            )))
+        }
+    }
+    match endpoint {
+        Endpoint::Tcp(addr) => go(&TcpStream::connect(addr)?),
+        #[cfg(unix)]
+        Endpoint::Unix(path) => go(&UnixStream::connect(path)?),
+        #[cfg(not(unix))]
+        Endpoint::Unix(_) => Err(RequestError::Io(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "unix-domain sockets are not available on this host",
+        ))),
     }
 }
 

@@ -8,6 +8,13 @@
 //! technology-map it to 4-LUTs, simulate 1000 random vectors while the
 //! control program walks the schedule, and evaluate the virtual
 //! Cyclone II power model.
+//!
+//! This module is the *uncached* reference chain. Production entry
+//! points go through [`crate::Pipeline`] (staged artifacts, shared SA
+//! cache) and [`crate::Service`] (request/report API), optionally on top
+//! of a local or remote [`crate::ArtifactStore`]; the byte-identity
+//! guarantees of those layers are all defined as "equal to what this
+//! module computes".
 
 use crate::datapath::{elaborate, Datapath, DatapathConfig};
 use crate::fubind::{bind_hlpower, FuBinding, HlPowerConfig};

@@ -55,7 +55,9 @@ pub mod satable;
 pub mod store;
 pub mod vhdl;
 
-pub use api::{Endpoint, JobReport, JobRequest, JobSource, Server, Service, ServiceError};
+pub use api::{
+    Endpoint, JobReport, JobRequest, JobSource, ServeOptions, Server, Service, ServiceError,
+};
 pub use datapath::{
     elaborate, execute, ControlProgram, ControlStyle, DataPort, Datapath, DatapathConfig,
 };
@@ -72,6 +74,7 @@ pub use satable::{
     SharedSaTable,
 };
 pub use store::{
-    ArtifactStore, GcPolicy, GcReport, MappedArtifact, MergeReport, StoreCounts, StoreUsage,
+    ArtifactStore, GcPolicy, GcReport, LocalStore, MappedArtifact, MergeReport, RemoteStore,
+    StoreBackend, StoreCounts, StoreUsage,
 };
 pub use vhdl::write_vhdl;

@@ -18,12 +18,16 @@
 //! * [`FlowResult`] — the fully measured back end per benchmark × binder.
 //!
 //! With [`Pipeline::with_store`], every expensive stage output is also
-//! content-addressed into an on-disk [`ArtifactStore`]: prepared
-//! artifacts, elaborated+mapped netlists, simulation summaries, and the
-//! SA table (persisted by default, merged on absorb). A warm rerun
-//! serves all of them from disk — zero schedule/map/simulate executions,
+//! content-addressed into an [`ArtifactStore`]: prepared artifacts,
+//! elaborated+mapped netlists, simulation summaries, and the SA table
+//! (persisted by default, merged on absorb). A warm rerun serves all of
+//! them from the store — zero schedule/map/simulate executions,
 //! byte-identical results — and `--shard i/N` workers can each warm a
-//! store that `hlp merge` later combines.
+//! store that `hlp merge` later combines. The store's bytes may live on
+//! disk (`--store DIR`) or behind an `hlp serve` daemon
+//! (`--store remote:ADDR`, see [`crate::store::RemoteStore`]); the
+//! pipeline is backend-agnostic, so shard workers pointed at one remote
+//! store pool their work with no merge step at all.
 //!
 //! [`Pipeline::run_matrix`] fans benchmark × binder jobs out over scoped
 //! worker threads. Job order, result order, and every numeric output are
@@ -267,10 +271,11 @@ impl Pipeline {
         Self::build(cfg, None)
     }
 
-    /// Creates a pipeline backed by a persistent [`ArtifactStore`]:
+    /// Creates a pipeline backed by a persistent [`ArtifactStore`]
+    /// (local directory or remote daemon — the pipeline never cares):
     /// prepared artifacts, mapped netlists, and simulation summaries are
     /// served from (and saved to) the store, and the SA table is loaded
-    /// from its on-disk shard now and merged back by
+    /// from its shard now and merged back by
     /// [`Pipeline::flush_store`] (which [`Pipeline::run_matrix`] calls
     /// automatically) — persistent by default, no separate flag.
     pub fn with_store(cfg: FlowConfig, store: Arc<ArtifactStore>) -> Self {

@@ -27,6 +27,34 @@
 //! Hit/miss counters are kept per artifact kind and surfaced through
 //! [`crate::pipeline::PipelineStats`].
 //!
+//! # Backends
+//!
+//! Where the bytes live is a [`StoreBackend`]:
+//!
+//! * [`LocalStore`] — the on-disk layout below (the default;
+//!   `--store DIR`);
+//! * [`RemoteStore`] — a client of the `hlp serve` daemon's artifact
+//!   verbs (`--store remote:ADDR`), so any number of workers share one
+//!   hot store over a unix socket or TCP without a shared filesystem.
+//!
+//! The remote wire protocol rides the same socket as job requests and is
+//! line-oriented with length-prefixed bodies (artifact text travels
+//! verbatim, byte for byte):
+//!
+//! ```text
+//! store get KIND NAME        →  data LEN\n<LEN bytes>  |  absent
+//! store put KIND NAME LEN\n<LEN bytes>                 →  ok
+//! store stat KIND NAME       →  present  |  absent
+//! store list KIND            →  names N\n<N name lines>
+//! store put-sa LEN\n<LEN bytes of SaTable text>        →  ok I M C
+//! ```
+//!
+//! (`put-sa` merges server-side under the daemon's shard lock and
+//! reports inserted/matched/conflicting counts; failures are `error
+//! MSG` lines.) A warm run against a remote store is byte-identical to
+//! the same run against the daemon's directory mounted locally: the
+//! backend only moves bytes, every format decision stays in this module.
+//!
 //! # On-disk layout
 //!
 //! ```text
@@ -47,9 +75,11 @@
 //! let store = Arc::new(ArtifactStore::open("/tmp/hlpower-store").unwrap());
 //! let pipeline = Pipeline::with_store(FlowConfig::fast(), store);
 //! // ... run_matrix as usual; a second process pointed at the same
-//! // directory skips every map/simulate stage it finds cached.
+//! // directory — or at `remote:ADDR` of a daemon serving it — skips
+//! // every map/simulate stage it finds cached.
 //! ```
 
+use crate::api::{unescape, Endpoint};
 use crate::fingerprint::Fingerprint;
 use crate::regbind::RegisterBinding;
 use crate::satable::{AbsorbStats, SaMode, SaTable, SharedSaTable};
@@ -58,30 +88,61 @@ use gatesim::SimStats;
 use netlist::{parse_netlist_text, write_netlist_text, Netlist};
 use std::fmt;
 use std::fs;
-use std::io;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The artifact kinds (and local subdirectories) of a store.
+pub const KINDS: [&str; 4] = ["prepared", "netlists", "sims", "satables"];
+
+/// Largest artifact body the wire protocol will frame or accept. Mapped
+/// netlists of the paper suite are well under a megabyte; the cap only
+/// exists so a garbage length prefix cannot make either side allocate
+/// unboundedly.
+pub(crate) const MAX_WIRE_BODY: usize = 64 << 20;
+
+/// Whether `kind` names one of the four artifact kinds.
+pub(crate) fn valid_kind(kind: &str) -> bool {
+    KINDS.contains(&kind)
+}
+
+/// Whether `name` is a safe artifact file stem: fingerprints and SA
+/// shard names only ever need `[A-Za-z0-9._-]`, and rejecting everything
+/// else keeps wire-supplied names from escaping the store directory.
+pub(crate) fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 160
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
 
 /// Hit/miss counters per artifact kind — the observable evidence that a
 /// warm rerun really skipped its map/simulate stages.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreCounts {
-    /// Prepared-artifact lookups served from disk.
+    /// Prepared-artifact lookups served from the store.
     pub prepared_hits: u64,
     /// Prepared-artifact lookups that missed.
     pub prepared_misses: u64,
-    /// Mapped-netlist lookups served from disk.
+    /// Mapped-netlist lookups served from the store.
     pub netlist_hits: u64,
     /// Mapped-netlist lookups that missed.
     pub netlist_misses: u64,
-    /// Simulation-summary lookups served from disk.
+    /// Simulation-summary lookups served from the store.
     pub sim_hits: u64,
     /// Simulation-summary lookups that missed.
     pub sim_misses: u64,
 }
 
 impl StoreCounts {
-    /// Total lookups served from disk across all artifact kinds.
+    /// Total lookups served from the store across all artifact kinds.
     pub fn hits(&self) -> u64 {
         self.prepared_hits + self.netlist_hits + self.sim_hits
     }
@@ -239,13 +300,29 @@ impl fmt::Display for StoreUsage {
 
 /// What [`ArtifactStore::gc`] may prune. With both limits `None`, gc
 /// only removes leftover temp files from interrupted writes.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct GcPolicy {
     /// Remove artifacts whose file is older than this.
-    pub max_age: Option<std::time::Duration>,
+    pub max_age: Option<Duration>,
     /// After the age pass, remove oldest-first until the store's total
     /// artifact size is at most this many bytes.
     pub max_bytes: Option<u64>,
+    /// Temp files younger than this survive the leftover sweep. A
+    /// `*.tmp.*` file may be a concurrent worker's in-flight
+    /// `write_atomic` — deleting it between its write and rename would
+    /// lose that artifact — so only leftovers that have outlived any
+    /// plausible in-flight write are swept.
+    pub tmp_grace: Duration,
+}
+
+impl Default for GcPolicy {
+    fn default() -> GcPolicy {
+        GcPolicy {
+            max_age: None,
+            max_bytes: None,
+            tmp_grace: Duration::from_secs(15 * 60),
+        }
+    }
 }
 
 /// What one [`ArtifactStore::gc`] pass did. Pruning only ever deletes
@@ -275,43 +352,103 @@ impl fmt::Display for GcReport {
     }
 }
 
-/// The content-addressed, on-disk artifact store. See the [module
-/// docs](self) for the layout and guarantees.
-#[derive(Debug)]
-pub struct ArtifactStore {
-    root: PathBuf,
-    counters: StoreCounters,
+// ---- backends --------------------------------------------------------------
+
+/// Where an [`ArtifactStore`]'s bytes actually live.
+///
+/// The store's typed API (prepared artifacts, mapped netlists,
+/// simulation summaries, SA shards) is backend-agnostic: it serializes
+/// to the same exact text formats either way and goes through this trait
+/// for raw `(kind, name)` → text access, so two backends holding the
+/// same artifacts serve byte-identical warm runs. [`LocalStore`] is the
+/// on-disk layout in the [module docs](self); [`RemoteStore`] speaks the
+/// `store get/put/stat/list` verbs of the `hlp serve` wire protocol.
+pub trait StoreBackend: Send + Sync + fmt::Debug {
+    /// Raw artifact text for `(kind, name)`, or `None` when absent.
+    /// Backends treat every failure (unreadable file, dead connection)
+    /// as a cache miss — the store never fails the run it serves.
+    fn get(&self, kind: &str, name: &str) -> Option<String>;
+
+    /// Persists raw artifact text under `(kind, name)`. Failures are
+    /// reported to stderr and swallowed: the store is a cache, and a
+    /// failed save must never fail the experiment that produced the
+    /// artifact.
+    fn put(&self, kind: &str, name: &str, content: &str);
+
+    /// Whether `(kind, name)` exists, without transferring the body.
+    fn stat(&self, kind: &str, name: &str) -> bool;
+
+    /// The names (file stems) of every finished artifact of `kind`,
+    /// sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures (unlike single-artifact lookups,
+    /// a failed listing would silently truncate a merge).
+    fn list(&self, kind: &str) -> io::Result<Vec<String>>;
+
+    /// Merges a table into the shard for its `(mode, width, k)` —
+    /// existing entries win, conflicts are counted — and reports what
+    /// the merge did.
+    fn merge_sa(&self, table: &SaTable) -> AbsorbStats;
+
+    /// The store's root directory, when the bytes live on this host
+    /// (local maintenance — `gc`, `usage` — needs it).
+    fn root(&self) -> Option<&Path> {
+        None
+    }
+
+    /// Human-readable address for logs and error messages.
+    fn describe(&self) -> String;
 }
 
-const SUBDIRS: [&str; 4] = ["prepared", "netlists", "sims", "satables"];
+/// The SA shard stem for `(mode, width, k)` — shared by both backends
+/// and the daemon, so every side addresses the same shard.
+fn sa_shard_name(mode: SaMode, width: usize, k: usize) -> String {
+    format!("{}-w{width}-k{k}", mode.name())
+}
 
-impl ArtifactStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+/// Parses shard text and validates it against the `(mode, width, k)` it
+/// was addressed by. A shard whose header disagrees with its name
+/// (mis-copied or hand-renamed) reads as a miss, like any other corrupt
+/// artifact.
+fn shard_from_text(text: &str, mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
+    let table = SaTable::from_text(text).ok()?;
+    (table.mode() == mode && table.width() == width && table.k() == k).then_some(table)
+}
+
+// ---- LocalStore ------------------------------------------------------------
+
+/// The on-disk backend: the layout in the [module docs](self), atomic
+/// temp+rename writes, and an advisory file lock serializing SA-shard
+/// read-merge-write cycles across processes.
+#[derive(Debug)]
+pub struct LocalStore {
+    root: PathBuf,
+}
+
+impl LocalStore {
+    /// Opens (creating if needed) the layout rooted at `dir`.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors creating the layout.
-    pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<LocalStore> {
         let root = dir.as_ref().to_path_buf();
-        for sub in SUBDIRS {
+        for sub in KINDS {
             fs::create_dir_all(root.join(sub))?;
         }
-        Ok(ArtifactStore {
-            root,
-            counters: StoreCounters::default(),
-        })
+        Ok(LocalStore { root })
     }
 
-    /// Opens an **existing** store without creating anything — the
-    /// read-only handle for merge sources, which must not be silently
-    /// materialized (or half-planted inside a mistyped directory).
+    /// Opens an **existing** store without creating anything.
     ///
     /// # Errors
     ///
     /// Returns `NotFound` unless `dir` already has the store layout.
-    pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+    pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<LocalStore> {
         let root = dir.as_ref().to_path_buf();
-        for sub in SUBDIRS {
+        for sub in KINDS {
             if !root.join(sub).is_dir() {
                 return Err(io::Error::new(
                     io::ErrorKind::NotFound,
@@ -322,15 +459,480 @@ impl ArtifactStore {
                 ));
             }
         }
-        Ok(ArtifactStore {
-            root,
-            counters: StoreCounters::default(),
+        Ok(LocalStore { root })
+    }
+
+    fn path(&self, kind: &str, name: &str) -> PathBuf {
+        self.root.join(kind).join(format!("{name}.txt"))
+    }
+
+    /// Atomically replaces `path` with `content` (write to a unique temp
+    /// file in the same directory, then rename). Failures are reported to
+    /// stderr and swallowed: the store is a cache, and a failed save must
+    /// never fail the experiment producing the artifact.
+    fn write_atomic(&self, path: &Path, content: &str) {
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{n}", std::process::id()));
+        let result = fs::write(&tmp, content).and_then(|()| fs::rename(&tmp, path));
+        if let Err(e) = result {
+            let _ = fs::remove_file(&tmp);
+            eprintln!(
+                "warning: artifact store write `{}` failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+impl StoreBackend for LocalStore {
+    fn get(&self, kind: &str, name: &str) -> Option<String> {
+        fs::read_to_string(self.path(kind, name)).ok()
+    }
+
+    fn put(&self, kind: &str, name: &str, content: &str) {
+        self.write_atomic(&self.path(kind, name), content);
+    }
+
+    fn stat(&self, kind: &str, name: &str) -> bool {
+        self.path(kind, name).is_file()
+    }
+
+    fn list(&self, kind: &str) -> io::Result<Vec<String>> {
+        // Only finished artifacts carry the `.txt` suffix; leftover
+        // `*.tmp.*` files from interrupted writes are not artifacts and
+        // must not be listed (or later copied and parsed by a merge).
+        let mut names = Vec::new();
+        for entry in fs::read_dir(self.root.join(kind))? {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if let Some(stem) = name.strip_suffix(".txt") {
+                names.push(stem.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn merge_sa(&self, table: &SaTable) -> AbsorbStats {
+        let mode = table.mode();
+        let width = table.width();
+        let k = table.k();
+        let name = sa_shard_name(mode, width, k);
+        // Read-merge-write under an advisory file lock
+        // (`satables/.lock`), so concurrent processes flushing into one
+        // store directory serialize instead of losing each other's
+        // entries. Best-effort: if the lock file cannot be created or
+        // locked, fall through unlocked — a lost update degrades the
+        // cache (entries recompute later), never its correctness.
+        let lock = fs::File::create(self.root.join("satables").join(".lock"))
+            .and_then(|f| f.lock().map(|()| f))
+            .ok();
+        let merged = SharedSaTable::new(width, k).with_mode(mode);
+        if let Some(existing) = self
+            .get("satables", &name)
+            .and_then(|text| shard_from_text(&text, mode, width, k))
+        {
+            merged
+                .absorb(&existing)
+                .expect("shard compatible by construction");
+        }
+        let stats = merged
+            .absorb(table)
+            .expect("shard compatible by construction");
+        self.put("satables", &name, &merged.snapshot().to_text());
+        drop(lock);
+        stats
+    }
+
+    fn root(&self) -> Option<&Path> {
+        Some(&self.root)
+    }
+
+    fn describe(&self) -> String {
+        self.root.display().to_string()
+    }
+}
+
+// ---- RemoteStore -----------------------------------------------------------
+
+#[derive(Debug)]
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn dial(endpoint: &Endpoint) -> io::Result<Conn> {
+        match endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            #[cfg(not(unix))]
+            Endpoint::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix-domain sockets are not available on this host",
+            )),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The wire backend: artifact `get`/`put`/`stat`/`list` and SA-shard
+/// merges against an `hlp serve` daemon, over the same socket the job
+/// protocol uses (`--store remote:ADDR`). Connections are pooled and
+/// re-dialed transparently, so a daemon restart mid-run costs at most
+/// one retried operation — workers resume from the persisted store.
+#[derive(Debug)]
+pub struct RemoteStore {
+    endpoint: Endpoint,
+    pool: Mutex<Vec<BufReader<Conn>>>,
+}
+
+impl RemoteStore {
+    /// Connects to the daemon at `endpoint` and protocol-pings it.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast when no daemon answers, or when the daemon has no
+    /// store attached — otherwise every later lookup would quietly miss
+    /// and the run would silently go cold.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<RemoteStore> {
+        let store = RemoteStore {
+            endpoint: endpoint.clone(),
+            pool: Mutex::new(Vec::new()),
+        };
+        store.try_stat("prepared", "0")?;
+        Ok(store)
+    }
+
+    /// The daemon address this backend talks to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Runs one request/reply exchange on a pooled connection. A pooled
+    /// connection may have died with a daemon restart, so a failure
+    /// there falls through to one fresh dial; errors on the fresh
+    /// connection are real and propagate.
+    fn op<T>(&self, f: &mut dyn FnMut(&mut BufReader<Conn>) -> io::Result<T>) -> io::Result<T> {
+        let pooled = self.pool.lock().expect("remote store pool").pop();
+        if let Some(mut conn) = pooled {
+            if let Ok(v) = f(&mut conn) {
+                self.pool.lock().expect("remote store pool").push(conn);
+                return Ok(v);
+            }
+        }
+        let mut conn = BufReader::new(Conn::dial(&self.endpoint)?);
+        let v = f(&mut conn)?;
+        self.pool.lock().expect("remote store pool").push(conn);
+        Ok(v)
+    }
+
+    fn reply_line(conn: &mut BufReader<Conn>) -> io::Result<String> {
+        let mut line = String::new();
+        if conn.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-reply",
+            ));
+        }
+        Ok(line.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    /// Maps an unexpected reply line to the error the caller reports:
+    /// the daemon's own `error` message when it sent one, a protocol
+    /// diagnosis otherwise.
+    fn unexpected(line: &str, expected: &str) -> io::Error {
+        if let Some(msg) = line.strip_prefix("error ") {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "daemon: {}",
+                    unescape(msg).unwrap_or_else(|_| msg.to_string())
+                ),
+            )
+        } else {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed daemon reply `{line}` (expected {expected})"),
+            )
+        }
+    }
+
+    fn try_get(&self, kind: &str, name: &str) -> io::Result<Option<String>> {
+        self.op(&mut |conn| {
+            writeln!(conn.get_mut(), "store get {kind} {name}")?;
+            conn.get_mut().flush()?;
+            let line = Self::reply_line(conn)?;
+            if line == "absent" {
+                return Ok(None);
+            }
+            let len: usize = line
+                .strip_prefix("data ")
+                .and_then(|l| l.parse().ok())
+                .filter(|&l| l <= MAX_WIRE_BODY)
+                .ok_or_else(|| Self::unexpected(&line, "`data LEN` or `absent`"))?;
+            let mut body = vec![0u8; len];
+            conn.read_exact(&mut body)?;
+            String::from_utf8(body)
+                .map(Some)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 artifact body"))
         })
     }
 
+    fn try_put(&self, kind: &str, name: &str, content: &str) -> io::Result<()> {
+        self.op(&mut |conn| {
+            let w = conn.get_mut();
+            writeln!(w, "store put {kind} {name} {}", content.len())?;
+            w.write_all(content.as_bytes())?;
+            w.flush()?;
+            let line = Self::reply_line(conn)?;
+            if line == "ok" {
+                Ok(())
+            } else {
+                Err(Self::unexpected(&line, "`ok`"))
+            }
+        })
+    }
+
+    fn try_stat(&self, kind: &str, name: &str) -> io::Result<bool> {
+        self.op(&mut |conn| {
+            writeln!(conn.get_mut(), "store stat {kind} {name}")?;
+            conn.get_mut().flush()?;
+            match Self::reply_line(conn)?.as_str() {
+                "present" => Ok(true),
+                "absent" => Ok(false),
+                other => Err(Self::unexpected(other, "`present` or `absent`")),
+            }
+        })
+    }
+
+    fn try_list(&self, kind: &str) -> io::Result<Vec<String>> {
+        self.op(&mut |conn| {
+            writeln!(conn.get_mut(), "store list {kind}")?;
+            conn.get_mut().flush()?;
+            let line = Self::reply_line(conn)?;
+            let count: usize = line
+                .strip_prefix("names ")
+                .and_then(|l| l.parse().ok())
+                .filter(|&n| n <= 1_000_000)
+                .ok_or_else(|| Self::unexpected(&line, "`names N`"))?;
+            (0..count).map(|_| Self::reply_line(conn)).collect()
+        })
+    }
+
+    fn try_merge_sa(&self, table: &SaTable) -> io::Result<AbsorbStats> {
+        let text = table.to_text();
+        self.op(&mut |conn| {
+            let w = conn.get_mut();
+            writeln!(w, "store put-sa {}", text.len())?;
+            w.write_all(text.as_bytes())?;
+            w.flush()?;
+            let line = Self::reply_line(conn)?;
+            let rest = line
+                .strip_prefix("ok ")
+                .ok_or_else(|| Self::unexpected(&line, "`ok INSERTED MATCHED CONFLICTING`"))?;
+            let nums: Vec<usize> = rest
+                .split_whitespace()
+                .map(|t| t.parse())
+                .collect::<Result<_, _>>()
+                .map_err(|_| Self::unexpected(&line, "`ok INSERTED MATCHED CONFLICTING`"))?;
+            if nums.len() != 3 {
+                return Err(Self::unexpected(&line, "`ok INSERTED MATCHED CONFLICTING`"));
+            }
+            Ok(AbsorbStats {
+                inserted: nums[0],
+                matched: nums[1],
+                conflicting: nums[2],
+            })
+        })
+    }
+
+    fn warn(&self, what: &str, e: &io::Error) {
+        eprintln!("warning: remote store {}: {what}: {e}", self.endpoint);
+    }
+}
+
+impl StoreBackend for RemoteStore {
+    fn get(&self, kind: &str, name: &str) -> Option<String> {
+        match self.try_get(kind, name) {
+            Ok(v) => v,
+            Err(e) => {
+                self.warn(&format!("get {kind}/{name}"), &e);
+                None
+            }
+        }
+    }
+
+    fn put(&self, kind: &str, name: &str, content: &str) {
+        if let Err(e) = self.try_put(kind, name, content) {
+            self.warn(&format!("put {kind}/{name}"), &e);
+        }
+    }
+
+    fn stat(&self, kind: &str, name: &str) -> bool {
+        match self.try_stat(kind, name) {
+            Ok(v) => v,
+            Err(e) => {
+                self.warn(&format!("stat {kind}/{name}"), &e);
+                false
+            }
+        }
+    }
+
+    fn list(&self, kind: &str) -> io::Result<Vec<String>> {
+        self.try_list(kind)
+    }
+
+    fn merge_sa(&self, table: &SaTable) -> AbsorbStats {
+        match self.try_merge_sa(table) {
+            Ok(stats) => stats,
+            Err(e) => {
+                self.warn("SA shard merge", &e);
+                AbsorbStats::default()
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("remote:{}", self.endpoint)
+    }
+}
+
+// ---- ArtifactStore ---------------------------------------------------------
+
+/// The content-addressed artifact store. See the [module docs](self)
+/// for the formats and guarantees; see [`StoreBackend`] for where the
+/// bytes live.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    backend: Box<dyn StoreBackend>,
+    counters: StoreCounters,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a local store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating the layout.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        Ok(Self::with_backend(Box::new(LocalStore::open(dir)?)))
+    }
+
+    /// Opens an **existing** local store without creating anything — the
+    /// read-only handle for merge sources, which must not be silently
+    /// materialized (or half-planted inside a mistyped directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns `NotFound` unless `dir` already has the store layout.
+    pub fn open_existing(dir: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        Ok(Self::with_backend(Box::new(LocalStore::open_existing(
+            dir,
+        )?)))
+    }
+
+    /// Connects to the hot store of an `hlp serve` daemon.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast when no daemon answers at `endpoint` or the daemon has
+    /// no store attached (see [`RemoteStore::connect`]).
+    pub fn connect(endpoint: &Endpoint) -> io::Result<ArtifactStore> {
+        Ok(Self::with_backend(Box::new(RemoteStore::connect(
+            endpoint,
+        )?)))
+    }
+
+    /// Opens the store a CLI `--store` spec names: `remote:ADDR` connects
+    /// to a daemon (ADDR = socket path or `host:port`), anything else is
+    /// a local directory.
+    ///
+    /// # Errors
+    ///
+    /// Local open or remote connect failures; `remote:` with no address.
+    pub fn open_spec(spec: &str) -> io::Result<ArtifactStore> {
+        match spec.strip_prefix("remote:") {
+            Some("") => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "`remote:` needs an address (socket path or host:port)",
+            )),
+            Some(addr) => Self::connect(&Endpoint::parse(addr)),
+            None => Self::open(spec),
+        }
+    }
+
+    /// Wraps an explicit backend (how custom backends plug in; the
+    /// constructors above cover the built-in two).
+    pub fn with_backend(backend: Box<dyn StoreBackend>) -> ArtifactStore {
+        ArtifactStore {
+            backend,
+            counters: StoreCounters::default(),
+        }
+    }
+
+    /// The backend holding this store's bytes.
+    pub fn backend(&self) -> &dyn StoreBackend {
+        self.backend.as_ref()
+    }
+
+    /// Human-readable store address (a directory, or `remote:ADDR`).
+    pub fn describe(&self) -> String {
+        self.backend.describe()
+    }
+
     /// The store's root directory.
+    ///
+    /// # Panics
+    ///
+    /// Remote stores have no local root; callers that can face one
+    /// should use the backend's [`StoreBackend::root`] instead.
     pub fn root(&self) -> &Path {
-        &self.root
+        self.backend
+            .root()
+            .expect("artifact store has no local root (remote backend)")
+    }
+
+    fn local_root(&self) -> io::Result<&Path> {
+        self.backend.root().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!(
+                    "`{}` is remote: store maintenance runs where the bytes live \
+                     (on the daemon host)",
+                    self.describe()
+                ),
+            )
+        })
     }
 
     /// Hit/miss counters since this handle was opened.
@@ -346,16 +948,42 @@ impl ArtifactStore {
         }
     }
 
-    fn path(&self, kind: &str, fp: Fingerprint) -> PathBuf {
-        self.root.join(kind).join(format!("{fp}.txt"))
-    }
-
     fn tally(hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
         if hit {
             hits.fetch_add(1, Ordering::Relaxed);
         } else {
             misses.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    // ---- raw access --------------------------------------------------------
+
+    /// Raw artifact text by `(kind, name)`, bypassing the hit/miss
+    /// accounting — the daemon's serving hook (client traffic must not
+    /// pollute the daemon handle's own counters) and the merge
+    /// primitive.
+    pub fn raw_get(&self, kind: &str, name: &str) -> Option<String> {
+        self.backend.get(kind, name)
+    }
+
+    /// Raw artifact write by `(kind, name)` (uncounted; see
+    /// [`ArtifactStore::raw_get`]).
+    pub fn raw_put(&self, kind: &str, name: &str, content: &str) {
+        self.backend.put(kind, name, content);
+    }
+
+    /// Raw existence check (uncounted; see [`ArtifactStore::raw_get`]).
+    pub fn raw_stat(&self, kind: &str, name: &str) -> bool {
+        self.backend.stat(kind, name)
+    }
+
+    /// The names of every finished artifact of `kind`, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures.
+    pub fn raw_list(&self, kind: &str) -> io::Result<Vec<String>> {
+        self.backend.list(kind)
     }
 
     // ---- prepared artifacts ------------------------------------------------
@@ -371,8 +999,9 @@ impl ArtifactStore {
         fp: Fingerprint,
         valid: impl FnOnce(&Schedule, &RegisterBinding) -> bool,
     ) -> Option<(Schedule, RegisterBinding)> {
-        let loaded = fs::read_to_string(self.path("prepared", fp))
-            .ok()
+        let loaded = self
+            .backend
+            .get("prepared", &fp.to_string())
             .and_then(|text| parse_prepared(&text))
             .filter(|(sched, rb)| valid(sched, rb));
         Self::tally(
@@ -385,15 +1014,17 @@ impl ArtifactStore {
 
     /// Persists a schedule + register binding under its fingerprint.
     pub fn save_prepared(&self, fp: Fingerprint, sched: &Schedule, rb: &RegisterBinding) {
-        self.write_atomic(&self.path("prepared", fp), &prepared_text(sched, rb));
+        self.backend
+            .put("prepared", &fp.to_string(), &prepared_text(sched, rb));
     }
 
     // ---- mapped netlists ---------------------------------------------------
 
     /// Loads a cached elaborated+mapped netlist, or `None` on miss.
     pub fn load_mapped(&self, fp: Fingerprint) -> Option<MappedArtifact> {
-        let loaded = fs::read_to_string(self.path("netlists", fp))
-            .ok()
+        let loaded = self
+            .backend
+            .get("netlists", &fp.to_string())
             .and_then(|text| parse_mapped(&text));
         Self::tally(
             loaded.is_some(),
@@ -405,15 +1036,17 @@ impl ArtifactStore {
 
     /// Persists a mapped netlist and its backend metrics.
     pub fn save_mapped(&self, fp: Fingerprint, artifact: &MappedArtifact) {
-        self.write_atomic(&self.path("netlists", fp), &mapped_text(artifact));
+        self.backend
+            .put("netlists", &fp.to_string(), &mapped_text(artifact));
     }
 
     // ---- simulation summaries ----------------------------------------------
 
     /// Loads a cached simulation summary, or `None` on miss.
     pub fn load_sim(&self, fp: Fingerprint) -> Option<SimStats> {
-        let loaded = fs::read_to_string(self.path("sims", fp))
-            .ok()
+        let loaded = self
+            .backend
+            .get("sims", &fp.to_string())
             .and_then(|text| SimStats::from_summary_text(&text).ok());
         Self::tally(
             loaded.is_some(),
@@ -425,57 +1058,29 @@ impl ArtifactStore {
 
     /// Persists a simulation summary.
     pub fn save_sim(&self, fp: Fingerprint, stats: &SimStats) {
-        self.write_atomic(&self.path("sims", fp), &stats.to_summary_text());
+        self.backend
+            .put("sims", &fp.to_string(), &stats.to_summary_text());
     }
 
     // ---- SA-table shards ---------------------------------------------------
-
-    fn sa_path(&self, mode: SaMode, width: usize, k: usize) -> PathBuf {
-        self.root
-            .join("satables")
-            .join(format!("{}-w{width}-k{k}.txt", mode.name()))
-    }
 
     /// Loads the SA shard for `(mode, width, k)`, if present and valid.
     /// A shard whose header disagrees with its file name (mis-copied or
     /// hand-renamed) reads as a miss, like any other corrupt artifact.
     pub fn load_sa_table(&self, mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
-        let text = fs::read_to_string(self.sa_path(mode, width, k)).ok()?;
-        let table = SaTable::from_text(&text).ok()?;
-        (table.mode() == mode && table.width() == width && table.k() == k).then_some(table)
+        self.backend
+            .get("satables", &sa_shard_name(mode, width, k))
+            .and_then(|text| shard_from_text(&text, mode, width, k))
     }
 
-    /// Merges a table into the on-disk shard for its `(mode, width, k)`:
-    /// reads the current shard, absorbs it into the offered entries
-    /// (existing disk entries win, matching the in-memory absorb
-    /// semantics), and writes the union back atomically. The
-    /// read-merge-write runs under an advisory file lock
-    /// (`satables/.lock`), so concurrent processes flushing into one
-    /// store directory serialize instead of losing each other's entries.
+    /// Merges a table into the shard for its `(mode, width, k)`:
+    /// existing entries win, matching the in-memory absorb semantics
+    /// (local backends serialize the read-merge-write under an advisory
+    /// lock; the daemon does the same on its own store for remote ones).
     /// Returns what the merge did, including the conflict count the
     /// caller should warn about.
     pub fn merge_sa_table(&self, table: &SaTable) -> AbsorbStats {
-        let mode = table.mode();
-        let width = table.width();
-        let k = table.k();
-        // Best-effort advisory lock: if the lock file cannot be created
-        // or locked, fall through unlocked — a lost update degrades the
-        // cache (entries recompute later), never its correctness.
-        let lock = fs::File::create(self.root.join("satables").join(".lock"))
-            .and_then(|f| f.lock().map(|()| f))
-            .ok();
-        let merged = SharedSaTable::new(width, k).with_mode(mode);
-        if let Some(existing) = self.load_sa_table(mode, width, k) {
-            merged
-                .absorb(&existing)
-                .expect("shard compatible by construction");
-        }
-        let stats = merged
-            .absorb(table)
-            .expect("shard compatible by construction");
-        self.write_atomic(&self.sa_path(mode, width, k), &merged.snapshot().to_text());
-        drop(lock);
-        stats
+        self.backend.merge_sa(table)
     }
 
     // ---- store-level operations --------------------------------------------
@@ -483,47 +1088,46 @@ impl ArtifactStore {
     /// Merges every artifact of `other` into this store: the shard-merge
     /// step of a `--shard i/N` fan-out (`hlp merge`). Content-addressed
     /// artifacts are copied when absent and byte-compared when present;
-    /// SA shards are merged entry-wise with conflict accounting.
+    /// SA shards are merged entry-wise with conflict accounting. Works
+    /// across backends — `hlp merge remote:ADDR SHARD...` pushes local
+    /// shard stores into a live daemon.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors; a partial merge leaves only whole
-    /// (atomically written) artifacts behind.
+    /// Propagates enumeration failures; a partial merge leaves only
+    /// whole (atomically written) artifacts behind.
     pub fn merge_from(&self, other: &ArtifactStore) -> io::Result<MergeReport> {
-        // Only finished artifacts carry the `.txt` suffix; leftover
-        // `*.tmp.*` files from interrupted writes are not artifacts and
-        // must not be copied or parsed.
-        fn txt_files(dir: &Path) -> io::Result<Vec<String>> {
-            let mut names = Vec::new();
-            for entry in fs::read_dir(dir)? {
-                let name = entry?.file_name().to_string_lossy().into_owned();
-                if name.ends_with(".txt") {
-                    names.push(name);
-                }
-            }
-            names.sort();
-            Ok(names)
-        }
         let mut report = MergeReport::default();
+        let both_local = self.backend.root().is_some() && other.backend.root().is_some();
         for kind in ["prepared", "netlists", "sims"] {
-            let dir = other.root.join(kind);
-            for name in txt_files(&dir)? {
-                let src = dir.join(&name);
-                let dst = self.root.join(kind).join(&name);
-                let content = fs::read_to_string(&src)?;
-                match fs::read_to_string(&dst) {
-                    Ok(existing) if existing == content => report.identical += 1,
-                    Ok(_) => report.conflicting += 1,
-                    Err(_) => {
-                        self.write_atomic(&dst, &content);
+            for name in other.raw_list(kind)? {
+                if !self.raw_stat(kind, &name) {
+                    if let Some(content) = other.raw_get(kind, &name) {
+                        self.raw_put(kind, &name, &content);
                         report.copied += 1;
                     }
+                    continue;
+                }
+                // Present on both sides. Artifacts are content-addressed
+                // (the name is the fingerprint), so matching names mean
+                // matching bytes barring version skew; the byte-level
+                // integrity compare is kept where reads are free-ish
+                // (both stores local) and skipped where it would double
+                // the wire traffic of a warm remote merge.
+                if both_local {
+                    match (other.raw_get(kind, &name), self.raw_get(kind, &name)) {
+                        (Some(src), Some(dst)) if src != dst => report.conflicting += 1,
+                        _ => report.identical += 1,
+                    }
+                } else {
+                    report.identical += 1;
                 }
             }
         }
-        let sa_dir = other.root.join("satables");
-        for name in txt_files(&sa_dir)? {
-            let text = fs::read_to_string(sa_dir.join(&name))?;
+        for name in other.raw_list("satables")? {
+            let Some(text) = other.raw_get("satables", &name) else {
+                continue;
+            };
             if let Ok(table) = SaTable::from_text(&text) {
                 let s = self.merge_sa_table(&table);
                 report.sa.inserted += s.inserted;
@@ -535,15 +1139,18 @@ impl ArtifactStore {
     }
 
     /// Per-kind size accounting (finished `.txt` artifacts only; temp
-    /// leftovers are not artifacts and are not counted).
+    /// leftovers are not artifacts and are not counted). Local stores
+    /// only.
     ///
     /// # Errors
     ///
-    /// Propagates directory-walk failures.
+    /// Propagates directory-walk failures; `Unsupported` for remote
+    /// stores (run it on the daemon host).
     pub fn usage(&self) -> io::Result<StoreUsage> {
+        let root = self.local_root()?;
         let kind = |sub: &str| -> io::Result<KindUsage> {
             let mut usage = KindUsage::default();
-            for entry in fs::read_dir(self.root.join(sub))? {
+            for entry in fs::read_dir(root.join(sub))? {
                 let entry = entry?;
                 if entry.file_name().to_string_lossy().ends_with(".txt") {
                     usage.files += 1;
@@ -560,30 +1167,44 @@ impl ArtifactStore {
         })
     }
 
-    /// Prunes the store: leftover `*.tmp.*` files from interrupted
-    /// writes always go; artifacts older than `policy.max_age` go; then,
-    /// if the remaining artifacts exceed `policy.max_bytes`, the oldest
-    /// are removed (ties broken by path, so a pass is deterministic for
-    /// a given set of file mtimes) until the store fits. Every artifact
-    /// is a cache entry — a later run recomputes and re-persists
-    /// anything pruned, with identical bytes.
+    /// Prunes the store (local stores only): leftover `*.tmp.*` files
+    /// from interrupted writes go once they are older than
+    /// `policy.tmp_grace` (younger ones may be a concurrent worker's
+    /// in-flight atomic write and are left alone); artifacts older than
+    /// `policy.max_age` go; then, if the remaining artifacts exceed
+    /// `policy.max_bytes`, the oldest are removed (ties broken by path,
+    /// so a pass is deterministic for a given set of file mtimes) until
+    /// the store fits. Every artifact is a cache entry — a later run
+    /// recomputes and re-persists anything pruned, with identical bytes.
     ///
     /// # Errors
     ///
     /// Propagates directory-walk failures; files already gone (e.g. a
-    /// concurrent gc) are skipped, not errors.
+    /// concurrent gc) are skipped, not errors. `Unsupported` for remote
+    /// stores.
     pub fn gc(&self, policy: &GcPolicy) -> io::Result<GcReport> {
         use std::time::SystemTime;
+        let root = self.local_root()?;
+        let now = SystemTime::now();
         let mut report = GcReport::default();
         // (modified, path, bytes) for every finished artifact.
         let mut files: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
-        for sub in SUBDIRS {
-            for entry in fs::read_dir(self.root.join(sub))? {
+        for sub in KINDS {
+            for entry in fs::read_dir(root.join(sub))? {
                 let entry = entry?;
                 let name = entry.file_name().to_string_lossy().into_owned();
                 let path = entry.path();
                 if name.contains(".tmp.") {
-                    if fs::remove_file(&path).is_ok() {
+                    // Only sweep leftovers that have outlived any
+                    // plausible in-flight write; unknown or future
+                    // mtimes are treated as fresh (never delete what a
+                    // live worker may be about to rename).
+                    let age = entry
+                        .metadata()
+                        .ok()
+                        .and_then(|m| m.modified().ok())
+                        .and_then(|m| now.duration_since(m).ok());
+                    if age.is_some_and(|a| a > policy.tmp_grace) && fs::remove_file(&path).is_ok() {
                         report.swept_tmp += 1;
                     }
                     continue;
@@ -598,7 +1219,6 @@ impl ArtifactStore {
         }
         // Oldest first; path tie-break keeps same-mtime batches stable.
         files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
-        let now = SystemTime::now();
         let mut kept: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
         for (modified, path, bytes) in files {
             let expired = policy.max_age.is_some_and(|limit| {
@@ -635,24 +1255,6 @@ impl ArtifactStore {
         report.kept = kept.len();
         report.kept_bytes = kept.iter().map(|(_, _, b)| *b).sum();
         Ok(report)
-    }
-
-    /// Atomically replaces `path` with `content` (write to a unique temp
-    /// file in the same directory, then rename). Failures are reported to
-    /// stderr and swallowed: the store is a cache, and a failed save must
-    /// never fail the experiment producing the artifact.
-    fn write_atomic(&self, path: &Path, content: &str) {
-        static UNIQUE: AtomicU64 = AtomicU64::new(0);
-        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
-        let tmp = path.with_extension(format!("tmp.{}.{n}", std::process::id()));
-        let result = fs::write(&tmp, content).and_then(|()| fs::rename(&tmp, path));
-        if let Err(e) = result {
-            let _ = fs::remove_file(&tmp);
-            eprintln!(
-                "warning: artifact store write `{}` failed: {e}",
-                path.display()
-            );
-        }
     }
 }
 
@@ -1059,7 +1661,6 @@ mod tests {
         use crate::pipeline::Pipeline;
         use crate::Binder;
         use std::sync::Arc;
-        use std::time::Duration;
 
         let store = Arc::new(temp_store("gc"));
         let suite = {
@@ -1086,6 +1687,7 @@ mod tests {
             .gc(&GcPolicy {
                 max_age: Some(Duration::from_secs(3600)),
                 max_bytes: Some(u64::MAX),
+                ..GcPolicy::default()
             })
             .unwrap();
         assert_eq!(keep_all.removed, 0);
@@ -1096,6 +1698,7 @@ mod tests {
         let wipe = store.gc(&GcPolicy {
             max_age: None,
             max_bytes: Some(0),
+            ..GcPolicy::default()
         });
         let wipe = wipe.unwrap();
         assert_eq!(wipe.removed, 4);
@@ -1125,7 +1728,7 @@ mod tests {
     }
 
     #[test]
-    fn gc_sweeps_interrupted_write_leftovers() {
+    fn gc_sweeps_only_aged_interrupted_write_leftovers() {
         let store = temp_store("gc-tmp");
         let stats = SimStats {
             cycles: 10,
@@ -1136,8 +1739,22 @@ mod tests {
         };
         store.save_sim(Fingerprint(1), &stats);
         fs::write(store.root().join("sims").join("dead.tmp.99.0"), "junk").unwrap();
-        // No limits: artifacts stay, temp leftovers go.
+        // The default grace window spares a just-written temp file: it
+        // may be a concurrent worker's in-flight write_atomic, and
+        // sweeping it would race the rename (the PR-5 regression).
         let report = store.gc(&GcPolicy::default()).unwrap();
+        assert_eq!(report.swept_tmp, 0, "fresh temp files must survive gc");
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.kept, 1);
+        assert!(store.root().join("sims").join("dead.tmp.99.0").exists());
+        // With the grace window elapsed (zero here), the leftover goes;
+        // finished artifacts stay either way.
+        let report = store
+            .gc(&GcPolicy {
+                tmp_grace: Duration::ZERO,
+                ..GcPolicy::default()
+            })
+            .unwrap();
         assert_eq!(report.swept_tmp, 1);
         assert_eq!(report.removed, 0);
         assert_eq!(report.kept, 1);
@@ -1166,5 +1783,61 @@ mod tests {
         let c = store.counters();
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 3);
+    }
+
+    #[test]
+    fn backend_raw_access_and_listing() {
+        let store = temp_store("raw");
+        assert!(!store.raw_stat("sims", "aa"));
+        store.raw_put("sims", "aa", "body-a");
+        store.raw_put("sims", "bb", "body-b");
+        assert!(store.raw_stat("sims", "aa"));
+        assert_eq!(store.raw_get("sims", "aa").as_deref(), Some("body-a"));
+        assert_eq!(store.raw_get("sims", "zz"), None);
+        assert_eq!(store.raw_list("sims").unwrap(), vec!["aa", "bb"]);
+        assert_eq!(store.raw_list("netlists").unwrap(), Vec::<String>::new());
+        // Raw access is uncounted: it serves the daemon's wire verbs and
+        // must not pollute the handle's hit/miss attribution.
+        assert_eq!(store.counters(), StoreCounts::default());
+        assert_eq!(store.describe(), store.root().display().to_string());
+        assert!(store.backend().root().is_some());
+    }
+
+    #[test]
+    fn open_spec_classifies_local_and_remote() {
+        let dir = std::env::temp_dir().join(format!("hlpower-spec-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let local = ArtifactStore::open_spec(dir.to_str().unwrap()).unwrap();
+        assert!(local.backend().root().is_some());
+        // `remote:` without an address is a usage error, not a dial.
+        assert!(ArtifactStore::open_spec("remote:").is_err());
+        // A remote spec with no daemon behind it fails fast (connection
+        // refused), instead of producing a store that silently misses.
+        assert!(ArtifactStore::open_spec("remote:127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn wire_names_and_kinds_are_validated() {
+        for good in ["0", "deadbeef01", "precalculated-w8-k4", "a_b.c-d"] {
+            assert!(valid_name(good), "{good}");
+        }
+        for bad in [
+            "",
+            ".",
+            ".hidden",
+            "a/b",
+            "../escape",
+            "a b",
+            "a\nb",
+            "名前",
+            &"x".repeat(161),
+        ] {
+            assert!(!valid_name(bad), "{bad:?}");
+        }
+        for kind in KINDS {
+            assert!(valid_kind(kind));
+        }
+        assert!(!valid_kind("locks"));
+        assert!(!valid_kind(""));
     }
 }

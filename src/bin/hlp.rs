@@ -3,8 +3,14 @@
 //! ```text
 //! hlp run <file.cdfg> [options]     bind a CDFG file and report
 //! hlp bench <name> [options]        run one suite benchmark end to end
-//! hlp serve (--socket P | --port N) [--store DIR]
+//! hlp serve (--socket P | --port N) [--store DIR] [--max-clients N]
 //!                                   daemon: one hot store, many clients
+//!                                   (jobs + artifact get/put/stat on one
+//!                                   socket; per-request log on stderr)
+//! hlp serve --stop (--socket P | --port N)
+//!                                   gracefully stop a running daemon
+//!                                   (drain clients, flush SA shards,
+//!                                   unlink the socket)
 //! hlp table <out.txt> [options]     precompute an SA table to a file
 //! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
 //! hlp gc --store DIR [--max-age-days D] [--max-bytes B]
@@ -36,8 +42,10 @@
 //!   --blif PATH      write the gate-level netlist   (local only)
 //!   --dot PATH       write the scheduled CDFG       (local only)
 //!   --sa-table PATH  load/store the SA table        (local only)
-//!   --store DIR      content-addressed artifact store (local only;
-//!                    the daemon holds its own hot store)
+//!   --store SPEC     content-addressed artifact store: a directory, or
+//!                    `remote:ADDR` for the hot store of an `hlp serve`
+//!                    daemon (not combinable with --remote, which ships
+//!                    the whole job to the daemon instead)
 //! ```
 //!
 //! Every command speaks the typed service API (`hlpower::api`): `run`
@@ -53,7 +61,7 @@
 
 use cdfg::ResourceConstraint;
 use hlpower::api::{self, Endpoint, JobReport, JobRequest, Server, Service};
-use hlpower::{ArtifactStore, Binder, ControlStyle, GcPolicy, SaMode, SaTable};
+use hlpower::{ArtifactStore, Binder, ControlStyle, GcPolicy, SaMode, SaTable, ServeOptions};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -81,7 +89,8 @@ fn usage() -> ! {
         "usage: hlp <run FILE | bench NAME | serve | table OUT | merge DST SRC... | \
          gc | suite> [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
          [--cycles N] [--lanes N] [--sa-mode M] [--seed N] [--fsm] [--remote ADDR] \
-         [--vhdl P] [--blif P] [--dot P] [--sa-table P] [--store DIR]"
+         [--vhdl P] [--blif P] [--dot P] [--sa-table P] [--store DIR|remote:ADDR]\n\
+         hlp serve (--socket P | --port N) [--store DIR] [--max-clients N] | --stop"
     );
     exit(2)
 }
@@ -350,10 +359,12 @@ fn store_table(o: &Options, pipeline: &hlpower::Pipeline, binder: Binder) {
     }
 }
 
-/// Opens (creating if needed) the artifact store at `dir`, exiting with
-/// a message on failure. `role` names the store in the error.
-fn open_store_or_die(dir: &str, role: &str) -> ArtifactStore {
-    ArtifactStore::open(dir).unwrap_or_else(|e| die(format!("cannot open {role} `{dir}`: {e}")))
+/// Opens the artifact store a `--store` spec names (a directory, or
+/// `remote:ADDR` for a daemon's hot store), exiting with a message on
+/// failure. `role` names the store in the error.
+fn open_store_or_die(spec: &str, role: &str) -> ArtifactStore {
+    ArtifactStore::open_spec(spec)
+        .unwrap_or_else(|e| die(format!("cannot open {role} `{spec}`: {e}")))
 }
 
 /// Executes a `run`/`bench` request — remotely over `--remote`, else on
@@ -448,11 +459,19 @@ fn write_or_die(path: &str, content: &str) {
     }
 }
 
-/// `hlp serve`: bind the endpoint, then answer request lines forever.
+/// `hlp serve`: bind the endpoint, then answer request lines (jobs and
+/// artifact `store` verbs) until a graceful stop; `hlp serve --stop`
+/// asks a running daemon to shut down.
 fn serve(args: &[String]) -> ! {
     let mut socket: Option<String> = None;
     let mut port: Option<u16> = None;
     let mut store: Option<String> = None;
+    let mut stop = false;
+    let mut opts = ServeOptions {
+        log: true,
+        handle_signals: true,
+        ..ServeOptions::default()
+    };
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
@@ -461,6 +480,14 @@ fn serve(args: &[String]) -> ! {
             "--socket" => socket = Some(value(&mut i)),
             "--port" => port = Some(parsed(&flag, &value(&mut i), "a port number")),
             "--store" => store = Some(value(&mut i)),
+            "--stop" => stop = true,
+            "--max-clients" => {
+                let v = value(&mut i);
+                opts.max_clients = parsed(&flag, &v, "a positive integer");
+                if opts.max_clients == 0 {
+                    bad_value(&flag, &v, "a positive integer");
+                }
+            }
             other => {
                 eprintln!("hlp serve: unknown flag `{other}`");
                 usage()
@@ -476,21 +503,40 @@ fn serve(args: &[String]) -> ! {
             usage()
         }
     };
+    if stop {
+        if store.is_some() {
+            eprintln!("hlp serve: --stop takes only the endpoint to stop");
+            usage();
+        }
+        match api::stop_daemon(&endpoint) {
+            Ok(()) => {
+                eprintln!("hlp serve: daemon at `{endpoint}` is stopping");
+                exit(0)
+            }
+            Err(e) => die(format!("cannot stop daemon at `{endpoint}`: {e}")),
+        }
+    }
     let service = match &store {
-        Some(dir) => Service::new().with_store(Arc::new(open_store_or_die(dir, "artifact store"))),
+        Some(spec) => {
+            Service::new().with_store(Arc::new(open_store_or_die(spec, "artifact store")))
+        }
         None => Service::new(),
     };
     let server =
         Server::bind(&endpoint).unwrap_or_else(|e| die(format!("cannot bind `{endpoint}`: {e}")));
     eprintln!(
-        "hlp serve: listening on {endpoint}{}",
+        "hlp serve: listening on {endpoint}{} (at most {} client(s))",
         match &store {
-            Some(dir) => format!(" (hot store `{dir}`)"),
+            Some(spec) => format!(" (hot store `{spec}`)"),
             None => " (no store: every request recomputes)".to_string(),
-        }
+        },
+        opts.max_clients,
     );
-    match server.serve(Arc::new(service)) {
-        Ok(()) => exit(0),
+    match server.serve_with(Arc::new(service), opts) {
+        Ok(()) => {
+            eprintln!("hlp serve: stopped");
+            exit(0)
+        }
         Err(e) => die(format!("serve failed: {e}")),
     }
 }
@@ -531,6 +577,14 @@ fn gc(args: &[String]) {
         eprintln!("hlp gc: --store DIR is required");
         usage()
     };
+    if dir.starts_with("remote:") {
+        // Size accounting and pruning walk the filesystem holding the
+        // bytes; a remote handle cannot (and must not) do either.
+        eprintln!(
+            "hlp gc: gc is local-only; run it on the daemon host against its store directory"
+        );
+        usage()
+    }
     // gc must never silently materialize an empty store at a mistyped
     // path, so it opens strictly.
     let store = ArtifactStore::open_existing(&dir)

@@ -1,0 +1,457 @@
+//! Acceptance tests for the remote artifact-store backend and the
+//! daemon's operability hardening:
+//!
+//! * artifact `get`/`put`/`stat` verbs round-trip through a daemon and
+//!   land in its local store directory, byte for byte;
+//! * a warm run against `--store remote:ADDR` executes **zero**
+//!   schedule/map/simulate stages and reproduces a local `--store` run
+//!   byte-identically;
+//! * two concurrent clients share one daemon's hot store;
+//! * a daemon stopped and restarted mid-matrix resumes from the
+//!   persisted store (clients re-dial transparently);
+//! * oversize request lines are answered with an `error` line and the
+//!   connection stays protocol-aligned (no unbounded buffering);
+//! * connections beyond `--max-clients` are rejected politely;
+//! * binding over a live daemon's socket is refused; stale socket
+//!   files are cleaned up.
+
+#![cfg(unix)]
+
+use hlpower::api::{self, Endpoint, JobReport, JobRequest, Server, Service};
+use hlpower::{
+    paper_constraint, ArtifactStore, Binder, FlowConfig, Pipeline, SaMode, SaTable, ServeOptions,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "hlpower-remote-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A daemon under test: serving thread + the endpoint to reach it.
+struct Daemon {
+    endpoint: Endpoint,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Daemon {
+    fn start(socket: &std::path::Path, store_dir: &std::path::Path, opts: ServeOptions) -> Daemon {
+        let service =
+            Arc::new(Service::new().with_store(Arc::new(ArtifactStore::open(store_dir).unwrap())));
+        let server = Server::bind(&Endpoint::Unix(socket.to_path_buf())).unwrap();
+        let handle = std::thread::spawn(move || server.serve_with(service, opts));
+        Daemon {
+            endpoint: Endpoint::Unix(socket.to_path_buf()),
+            handle,
+        }
+    }
+
+    /// Graceful stop: `control stop`, then join the serving thread and
+    /// assert it exited cleanly and unlinked its socket.
+    fn stop(self) {
+        api::stop_daemon(&self.endpoint).unwrap();
+        self.handle
+            .join()
+            .expect("serve thread must not panic")
+            .expect("graceful stop exits Ok");
+        if let Endpoint::Unix(path) = &self.endpoint {
+            assert!(!path.exists(), "graceful stop unlinks the socket file");
+        }
+    }
+}
+
+fn fast_suite(names: &[&str]) -> Vec<(cdfg::Cdfg, cdfg::ResourceConstraint)> {
+    names
+        .iter()
+        .map(|n| {
+            let p = cdfg::profile(n).unwrap();
+            (cdfg::generate(p, p.seed), paper_constraint(n).unwrap())
+        })
+        .collect()
+}
+
+fn fast_request(name: &str) -> JobRequest {
+    JobRequest::suite(name).width(4).sa_width(4).cycles(100)
+}
+
+/// The deterministic payload of a report — everything except the
+/// per-request stats attribution.
+fn result_text(report: &JobReport) -> String {
+    JobReport {
+        result: report.result.clone(),
+        stats: Default::default(),
+    }
+    .to_text()
+}
+
+#[test]
+fn remote_backend_round_trips_artifacts_through_the_daemon() {
+    let store_dir = temp_path("rt-store");
+    let socket = temp_path("rt-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+
+    let remote = ArtifactStore::connect(&daemon.endpoint).unwrap();
+    assert_eq!(remote.describe(), format!("remote:{}", socket.display()));
+
+    // Content-addressed artifacts: put remotely, visible locally (and
+    // back), byte for byte — the backend only moves bytes.
+    assert!(!remote.raw_stat("sims", "feedc0de"));
+    remote.raw_put("sims", "feedc0de", "summary body\nwith lines\n");
+    assert!(remote.raw_stat("sims", "feedc0de"));
+    assert_eq!(
+        remote.raw_get("sims", "feedc0de").as_deref(),
+        Some("summary body\nwith lines\n")
+    );
+    let local = ArtifactStore::open(&store_dir).unwrap();
+    assert_eq!(
+        local.raw_get("sims", "feedc0de"),
+        remote.raw_get("sims", "feedc0de"),
+        "remote put lands in the daemon's local store"
+    );
+    assert_eq!(remote.raw_list("sims").unwrap(), vec!["feedc0de"]);
+
+    // SA shards merge server-side with absorb semantics: existing
+    // entries win and conflicts are reported over the wire.
+    let mut a = SaTable::new(4, 4);
+    a.insert(cdfg::FuType::AddSub, 1, 1, 2.0);
+    let s = remote.merge_sa_table(&a);
+    assert_eq!((s.inserted, s.conflicting), (1, 0));
+    let mut b = SaTable::new(4, 4);
+    b.insert(cdfg::FuType::AddSub, 1, 1, 9.0); // conflicts
+    b.insert(cdfg::FuType::Mul, 2, 2, 5.0); // new
+    let s = remote.merge_sa_table(&b);
+    assert_eq!((s.inserted, s.matched, s.conflicting), (1, 0, 1));
+    let shard = remote.load_sa_table(SaMode::Precalculated, 4, 4).unwrap();
+    assert_eq!(shard.len(), 2);
+    assert_eq!(shard.lookup(cdfg::FuType::AddSub, 1, 1), Some(2.0));
+
+    // Wire-invalid names are refused server-side, read as misses.
+    assert!(remote.raw_get("sims", "../escape").is_none());
+    assert!(!remote.raw_stat("nope-kind", "feedc0de"));
+
+    daemon.stop();
+}
+
+#[test]
+fn warm_remote_run_is_byte_identical_to_local_with_zero_executions() {
+    let store_dir = temp_path("warm-store");
+    let socket = temp_path("warm-sock");
+    let reqs: Vec<JobRequest> = ["wang", "pr"].iter().map(|n| fast_request(n)).collect();
+
+    // Reference: a local --store run that warms the directory.
+    let local_service =
+        Service::new().with_store(Arc::new(ArtifactStore::open(&store_dir).unwrap()));
+    let local: Vec<JobReport> = reqs
+        .iter()
+        .map(|r| local_service.execute(r).unwrap())
+        .collect();
+
+    // The same requests against `remote:` of a daemon serving that
+    // directory: everything is served over the wire, nothing recomputes.
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let remote_store = Arc::new(ArtifactStore::connect(&daemon.endpoint).unwrap());
+    let remote_service = Service::new().with_store(remote_store.clone());
+    for (req, reference) in reqs.iter().zip(&local) {
+        let report = remote_service.execute(req).unwrap();
+        assert_eq!(
+            result_text(&report),
+            result_text(reference),
+            "remote-store report must be byte-identical to the local-store report"
+        );
+        assert_eq!(report.stats.stages.schedules, 0);
+        assert_eq!(report.stats.stages.register_bindings, 0);
+        assert_eq!(report.stats.stages.elaborations, 0);
+        assert_eq!(report.stats.stages.mappings, 0);
+        assert_eq!(report.stats.stages.simulations, 0);
+    }
+    let counts = remote_store.counters();
+    assert!(counts.hits() > 0, "warm artifacts served over the wire");
+    assert_eq!(counts.misses(), 0, "{counts:?}");
+    daemon.stop();
+}
+
+#[test]
+fn two_concurrent_clients_share_one_daemon_store() {
+    let store_dir = temp_path("conc-store");
+    let socket = temp_path("conc-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let endpoint = daemon.endpoint.clone();
+
+    let cfg = FlowConfig::fast();
+    let binders = [Binder::HlPower { alpha: 0.5 }];
+    let reference =
+        Pipeline::new(cfg.clone()).run_matrix(&fast_suite(&["wang", "pr"]), &binders, 2);
+
+    // Two workers, each its own connection pool, hammering one daemon.
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let endpoint = endpoint.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let store = Arc::new(ArtifactStore::connect(&endpoint).unwrap());
+                Pipeline::with_store(cfg, store).run_matrix(
+                    &fast_suite(&["wang", "pr"]),
+                    &binders,
+                    2,
+                )
+            })
+        })
+        .collect();
+    for worker in workers {
+        let results = worker.join().unwrap();
+        for (rows, ref_rows) in results.iter().zip(&reference) {
+            for (r, reference) in rows.iter().zip(ref_rows) {
+                assert_eq!(r.luts, reference.luts);
+                assert_eq!(r.power.total_transitions, reference.power.total_transitions);
+                assert_eq!(
+                    r.power.dynamic_power_mw.to_bits(),
+                    reference.power.dynamic_power_mw.to_bits()
+                );
+            }
+        }
+    }
+
+    // The daemon's store is now warm for any later client.
+    let late = Pipeline::with_store(cfg, Arc::new(ArtifactStore::connect(&endpoint).unwrap()));
+    late.run_matrix(&fast_suite(&["wang", "pr"]), &binders, 1);
+    let stats = late.stats();
+    assert_eq!(stats.stages.mappings, 0, "warmed by the concurrent clients");
+    assert_eq!(stats.stages.simulations, 0);
+    daemon.stop();
+}
+
+#[test]
+fn daemon_restart_mid_matrix_resumes_from_the_persisted_store() {
+    let store_dir = temp_path("restart-store");
+    let socket = temp_path("restart-sock");
+    let cfg = FlowConfig::fast();
+    let binder = Binder::HlPower { alpha: 0.5 };
+    let suite = fast_suite(&["wang", "pr"]);
+    let reference = Pipeline::new(cfg.clone()).run_matrix(&suite, &[binder], 1);
+
+    // Phase 1: a worker completes half the matrix, then the daemon goes
+    // away (gracefully here; the store is written atomically either way).
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let endpoint = daemon.endpoint.clone();
+    let survivor = Arc::new(ArtifactStore::connect(&endpoint).unwrap());
+    Pipeline::with_store(cfg.clone(), survivor.clone()).run(&suite[0].0, &suite[0].1, binder);
+    daemon.stop();
+
+    // Phase 2: restart on the same socket and store; a fresh worker runs
+    // the whole matrix and recomputes only the second half.
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let resumed = Pipeline::with_store(cfg, Arc::new(ArtifactStore::connect(&endpoint).unwrap()));
+    let results = resumed.run_matrix(&suite, &[binder], 1);
+    let stats = resumed.stats();
+    assert_eq!(stats.stages.mappings, 1, "only the unfinished job maps");
+    assert_eq!(stats.stages.simulations, 1);
+    assert_eq!(stats.store.netlist_hits, 1, "first job served from disk");
+    for (rows, ref_rows) in results.iter().zip(&reference) {
+        for (r, reference) in rows.iter().zip(ref_rows) {
+            assert_eq!(r.luts, reference.luts);
+            assert_eq!(
+                r.power.dynamic_power_mw.to_bits(),
+                reference.power.dynamic_power_mw.to_bits()
+            );
+        }
+    }
+
+    // The phase-1 handle's pooled connection died with the old daemon;
+    // its next operation re-dials transparently.
+    assert!(survivor.raw_stat("prepared", &resumed_prepared_name(&suite[0], &resumed)));
+    daemon.stop();
+}
+
+/// The prepared-artifact name of a suite entry, via the pipeline's own
+/// fingerprinting (so the restart test asserts against the real key).
+fn resumed_prepared_name(
+    entry: &(cdfg::Cdfg, cdfg::ResourceConstraint),
+    pipeline: &Pipeline,
+) -> String {
+    pipeline.prepare(&entry.0, &entry.1).fingerprint.to_string()
+}
+
+#[test]
+fn oversize_request_lines_get_an_error_and_the_connection_survives() {
+    let store_dir = temp_path("cap-store");
+    let socket = temp_path("cap-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+
+    let stream = UnixStream::connect(&socket).unwrap();
+    let mut writer = &stream;
+    // 2 MiB of garbage on one line: twice the cap. The daemon must
+    // answer with an error line without buffering the payload, and the
+    // connection must stay protocol-aligned for the next request.
+    let garbage = vec![b'x'; 2 << 20];
+    writer.write_all(&garbage).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("error ") && line.contains("exceeds"),
+        "oversize line must be refused, got `{line}`"
+    );
+
+    // Same connection, a well-formed store request: still served.
+    writer.write_all(b"store stat prepared 0\n").unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "absent");
+
+    // And a well-formed job request after that: a full report block.
+    writer
+        .write_all(format!("{}\n", fast_request("wang").to_line()).as_bytes())
+        .unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "# hlpower report v1");
+    daemon.stop();
+}
+
+#[test]
+fn connections_beyond_the_limit_are_rejected_politely() {
+    let store_dir = temp_path("limit-store");
+    let socket = temp_path("limit-sock");
+    let daemon = Daemon::start(
+        &socket,
+        &store_dir,
+        ServeOptions {
+            max_clients: 1,
+            ..ServeOptions::default()
+        },
+    );
+
+    // First client occupies the one slot (a completed exchange proves
+    // its handler is registered).
+    let first = UnixStream::connect(&socket).unwrap();
+    {
+        let mut writer = &first;
+        writer.write_all(b"store stat prepared 0\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&first).read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "absent");
+    }
+
+    // Second client is turned away with a protocol-clean error line
+    // (it sends a normal request; only `control stop` gets through at
+    // the cap).
+    let second = UnixStream::connect(&socket).unwrap();
+    {
+        let mut writer = &second;
+        writer.write_all(b"store stat prepared 0\n").unwrap();
+        writer.flush().unwrap();
+    }
+    let mut line = String::new();
+    BufReader::new(&second).read_line(&mut line).unwrap();
+    // The message is wire-escaped (`\s` for spaces), so match a word.
+    assert!(
+        line.starts_with("error ") && line.contains("limit"),
+        "got `{line}`"
+    );
+
+    // Once the first client hangs up, the slot frees and service resumes.
+    drop(first);
+    let mut holder = None;
+    for _ in 0..100 {
+        let retry = UnixStream::connect(&socket).unwrap();
+        let mut writer = &retry;
+        writer.write_all(b"store stat prepared 0\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&retry).read_line(&mut line).unwrap();
+        if line.trim_end() == "absent" {
+            holder = Some(retry);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let _holder = holder.expect("slot must free after the first client disconnects");
+
+    // And a saturated daemon can still be stopped gracefully: the
+    // `control stop` connection is over the limit but gets through.
+    daemon.stop();
+}
+
+#[test]
+fn binding_over_a_live_daemon_is_refused_and_stale_sockets_are_cleaned() {
+    let store_dir = temp_path("bind-store");
+    let socket = temp_path("bind-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+
+    // A second daemon on the same socket must refuse to start: silently
+    // unlinking the live socket would orphan the first daemon.
+    let err = match Server::bind(&Endpoint::Unix(socket.clone())) {
+        Ok(_) => panic!("binding over a live daemon must fail"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    assert!(err.to_string().contains("live daemon"), "{err}");
+    // ... and the refusal must not have stolen the socket file.
+    assert!(socket.exists());
+    daemon.stop();
+
+    // A stale socket file (nothing accepting behind it) is cleaned up.
+    {
+        let _leftover = std::os::unix::net::UnixListener::bind(&socket).unwrap();
+        // Listener dropped here; the file stays behind, dead.
+    }
+    assert!(socket.exists(), "dropping a listener leaves the file");
+    let server = Server::bind(&Endpoint::Unix(socket.clone())).unwrap();
+    drop(server);
+    let _ = std::fs::remove_file(&socket);
+
+    // A regular file at the socket path is never deleted: a mistyped
+    // `--socket` must not destroy user data.
+    let not_a_socket = temp_path("not-a-socket");
+    std::fs::write(&not_a_socket, "precious bytes").unwrap();
+    let err = match Server::bind(&Endpoint::Unix(not_a_socket.clone())) {
+        Ok(_) => panic!("binding over a regular file must fail"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("not a socket"), "{err}");
+    assert_eq!(
+        std::fs::read_to_string(&not_a_socket).unwrap(),
+        "precious bytes",
+        "the file must survive untouched"
+    );
+    let _ = std::fs::remove_file(&not_a_socket);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn remote_spec_without_a_daemon_fails_fast() {
+    let socket = temp_path("dead-sock");
+    let spec = format!("remote:{}", socket.display());
+    let err = ArtifactStore::open_spec(&spec).unwrap_err();
+    // Must be a connect error, not a silently-cold store.
+    assert!(
+        err.kind() == std::io::ErrorKind::NotFound
+            || err.kind() == std::io::ErrorKind::ConnectionRefused,
+        "{err}"
+    );
+
+    // A daemon without a store refuses the protocol ping, so `--store
+    // remote:` against it fails fast too instead of quietly missing on
+    // every lookup.
+    let bare_socket = temp_path("bare-sock");
+    let server = Server::bind(&Endpoint::Unix(bare_socket.clone())).unwrap();
+    let service = Arc::new(Service::new()); // no store attached
+    let handle = std::thread::spawn(move || server.serve_with(service, ServeOptions::default()));
+    let err = ArtifactStore::connect(&Endpoint::Unix(bare_socket.clone())).unwrap_err();
+    assert!(err.to_string().contains("no store"), "{err}");
+    api::stop_daemon(&Endpoint::Unix(bare_socket)).unwrap();
+    handle.join().unwrap().unwrap();
+}
