@@ -15,7 +15,9 @@
 
 use cdfg::{Cdfg, ResourceConstraint};
 use hlpower::api::{JobRequest, Service};
-use hlpower::{paper_constraint, ArtifactStore, Binder, FlowConfig, FlowResult, Pipeline, Shard};
+use hlpower::{
+    paper_constraint, ArtifactStore, Binder, FlowConfig, FlowResult, Pipeline, Shard, StoreFormat,
+};
 use std::sync::Arc;
 
 /// Default word-parallel lane count of the experiment binaries. The
@@ -37,6 +39,8 @@ pub const DEFAULT_LANES: usize = 64;
 /// artifact store: prepared schedules, mapped netlists, simulation
 /// summaries, and the SA table are cached across runs; a directory, or
 /// `remote:ADDR` for the shared hot store of an `hlp serve` daemon),
+/// `--store-format binary|text` (encoding for new store writes;
+/// binary `hlpbin` is the default, readers sniff either),
 /// `--shard i/N` (run only this worker's slice of the benchmark ×
 /// binder matrix into the store; requires `--store`, combine local
 /// shard stores with `hlp merge` — sharding straight into one
@@ -56,6 +60,8 @@ pub struct Args {
     pub jobs: usize,
     /// Artifact-store directory (`--store`).
     pub store: Option<String>,
+    /// Encoding for new store writes (`--store-format`).
+    pub store_format: StoreFormat,
     /// This worker's slice of the job matrix (`--shard`).
     pub shard: Shard,
 }
@@ -84,6 +90,7 @@ impl Args {
         let mut binders = Vec::new();
         let mut jobs = default_jobs();
         let mut store = None;
+        let mut store_format = StoreFormat::default();
         let mut shard = Shard::full();
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -150,6 +157,11 @@ impl Args {
                 }
                 "--bench" => only.push(take_value(&mut i)),
                 "--store" => store = Some(take_value(&mut i)),
+                "--store-format" => {
+                    let v = take_value(&mut i);
+                    store_format = StoreFormat::parse(&v)
+                        .unwrap_or_else(|| bad_value(&flag, &v, "binary | text"));
+                }
                 "--shard" => {
                     let spec = take_value(&mut i);
                     shard = Shard::parse(&spec)
@@ -178,6 +190,7 @@ impl Args {
             binders,
             jobs,
             store,
+            store_format,
             shard,
         }
     }
@@ -248,10 +261,11 @@ impl Args {
         let service = Service::new().with_template(self.flow.clone());
         match &self.store {
             Some(spec) => {
-                let store = ArtifactStore::open_spec(spec).unwrap_or_else(|e| {
-                    eprintln!("cannot open artifact store `{spec}`: {e}");
-                    std::process::exit(1);
-                });
+                let store =
+                    ArtifactStore::open_spec_with(spec, self.store_format).unwrap_or_else(|e| {
+                        eprintln!("cannot open artifact store `{spec}`: {e}");
+                        std::process::exit(1);
+                    });
                 service.with_store(Arc::new(store))
             }
             None => service,
@@ -338,6 +352,9 @@ fn report_service_stats(service: &Service) {
     if service.store().is_some() {
         eprintln!("  store: {}", s.store);
     }
+    if s.codec.total_ns() > 0 {
+        eprintln!("  codec: {}", s.codec);
+    }
 }
 
 /// Fans `suite × binders` out on an explicit pipeline (obtained from
@@ -361,6 +378,9 @@ pub fn run_on(
     eprintln!("  stages: {}", s.stages);
     if pipeline.store().is_some() {
         eprintln!("  store: {}", s.store);
+    }
+    if s.codec.total_ns() > 0 {
+        eprintln!("  codec: {}", s.codec);
     }
     results
 }
@@ -403,7 +423,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: <bin> [--width N] [--sa-width N] [--cycles N] [--seed N] [--lanes N] \
          [--paper-exact] [--bench NAME]... [--binder SPEC[:ALPHA]]... [--jobs N] [--fast] \
-         [--store DIR] [--shard i/N]"
+         [--store DIR] [--store-format binary|text] [--shard i/N]"
     );
     std::process::exit(2)
 }
@@ -563,6 +583,7 @@ mod tests {
             binders: vec![],
             jobs: 1,
             store: None,
+            store_format: StoreFormat::default(),
             shard: Shard::full(),
         };
         let suite: Vec<(Cdfg, ResourceConstraint)> = ["pr", "wang"]

@@ -657,6 +657,10 @@ impl JobReport {
                     sim_hits: c[4],
                     sim_misses: c[5],
                 },
+                // Codec timings are a local diagnostic, not a wire field:
+                // they describe *this process's* parse cost, which is
+                // meaningless to relay.
+                codec: Default::default(),
             },
         })
     }
@@ -873,6 +877,7 @@ impl Service {
                 .as_ref()
                 .map(|s| s.counters())
                 .unwrap_or_default(),
+            codec: self.store.as_ref().map(|s| s.codec()).unwrap_or_default(),
         }
     }
 }
@@ -1433,7 +1438,7 @@ fn serve_store_line<R: BufRead, W: Write>(
             match store.raw_get(kind, name) {
                 Some(content) => {
                     writer.write_all(format!("data {}\n", content.len()).as_bytes())?;
-                    writer.write_all(content.as_bytes())?;
+                    writer.write_all(&content)?;
                     writer.flush()?;
                     Ok(format!("get {kind}/{name} hit ({} bytes)", content.len()))
                 }
@@ -1490,10 +1495,10 @@ fn serve_store_line<R: BufRead, W: Write>(
             if let Err(e) = check(kind, name) {
                 return fail(e);
             }
-            let Ok(content) = String::from_utf8(body) else {
-                return fail("artifact body is not UTF-8 text".to_string());
-            };
-            store.raw_put(kind, name, &content);
+            // The body is opaque on this side: binary and text artifacts
+            // are stored verbatim, no transcode (the extension is picked
+            // by sniffing the magic, in the store).
+            store.raw_put(kind, name, &body);
             writer.write_all(b"ok\n")?;
             writer.flush()?;
             Ok(format!("put {kind}/{name} ({len} bytes)"))
@@ -1509,12 +1514,21 @@ fn serve_store_line<R: BufRead, W: Write>(
             };
             let mut body = Vec::new();
             read_body(reader, len, shutdown, Some(&mut body))?;
-            let Ok(text) = String::from_utf8(body) else {
-                return fail("SA table body is not UTF-8 text".to_string());
-            };
-            let table = match SaTable::from_text(&text) {
-                Ok(table) => table,
-                Err(e) => return fail(format!("unparseable SA table: {e}")),
+            // Clients send whichever encoding is cheapest for them
+            // (binary over the wire by default); both are accepted.
+            let table = if netlist::binio::is_binary(&body) {
+                match SaTable::from_bin(&body) {
+                    Ok(table) => table,
+                    Err(e) => return fail(format!("unparseable SA table: {e}")),
+                }
+            } else {
+                let Ok(text) = String::from_utf8(body) else {
+                    return fail("SA table body is neither hlpbin nor UTF-8 text".to_string());
+                };
+                match SaTable::from_text(&text) {
+                    Ok(table) => table,
+                    Err(e) => return fail(format!("unparseable SA table: {e}")),
+                }
             };
             let stats = store.merge_sa_table(&table);
             writer.write_all(

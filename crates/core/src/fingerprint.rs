@@ -16,6 +16,13 @@
 //! binders, seeds, and sweeps; the fingerprint is what lets the store
 //! recognize that two runs are asking for the same elaborate→map or
 //! simulate work and serve the cached artifact instead.
+//!
+//! Fingerprints address *content*, never encoding: they are computed
+//! from the in-memory artifact's ingredients, not from its serialized
+//! bytes, so a store slot keeps its name whether the artifact is
+//! written as text or binary (`hlpbin`) — which is what lets
+//! `hlp store convert` migrate a store in place without invalidating
+//! a single key.
 
 use crate::flow::FlowConfig;
 use crate::fubind::FuBinding;

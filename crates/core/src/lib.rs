@@ -74,7 +74,7 @@ pub use satable::{
     SharedSaTable,
 };
 pub use store::{
-    ArtifactStore, GcPolicy, GcReport, LocalStore, MappedArtifact, MergeReport, RemoteStore,
-    StoreBackend, StoreCounts, StoreUsage,
+    ArtifactBytes, ArtifactStore, CodecNanos, ConvertReport, GcPolicy, GcReport, LocalStore,
+    MappedArtifact, MergeReport, RemoteStore, StoreBackend, StoreCounts, StoreFormat, StoreUsage,
 };
 pub use vhdl::write_vhdl;

@@ -62,7 +62,7 @@ use crate::flow::{self, BindOutcome, Binder, FlowConfig, FlowResult};
 use crate::mux::mux_report;
 use crate::regbind::RegisterBinding;
 use crate::satable::{SaMode, SaTable, SharedSaTable};
-use crate::store::{ArtifactStore, MappedArtifact, StoreCounts};
+use crate::store::{ArtifactStore, CodecNanos, MappedArtifact, StoreCounts};
 use cdfg::{Cdfg, ResourceConstraint, Schedule};
 use std::collections::HashMap;
 use std::fmt;
@@ -152,6 +152,8 @@ pub struct PipelineStats {
     pub stages: StageCounts,
     /// Artifact-store hit/miss counters.
     pub store: StoreCounts,
+    /// Wall-clock nanoseconds spent encoding/decoding store artifacts.
+    pub codec: CodecNanos,
 }
 
 impl PipelineStats {
@@ -161,6 +163,7 @@ impl PipelineStats {
         PipelineStats {
             stages: self.stages.since(&before.stages),
             store: self.store.since(&before.store),
+            codec: self.codec.since(&before.codec),
         }
     }
 }
@@ -341,6 +344,7 @@ impl Pipeline {
                 .as_ref()
                 .map(|s| s.counters())
                 .unwrap_or_default(),
+            codec: self.store.as_ref().map(|s| s.codec()).unwrap_or_default(),
         }
     }
 

@@ -20,7 +20,7 @@
 use activity::{analyze_zero_delay, ActivityConfig, ZeroDelayModel};
 use cdfg::FuType;
 use mapper::{map, MapConfig, MapObjective};
-use netlist::{cells, Netlist};
+use netlist::{binio, cells, Netlist};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -377,6 +377,109 @@ impl SaTable {
             queries: 0,
             misses: 0,
         })
+    }
+
+    /// Serializes the table as an `hlpbin v1` `"satb"` container — the
+    /// store's hot-path shard format. Entries are sorted by key, so like
+    /// [`SaTable::to_text`] the output is a pure function of the table's
+    /// contents, and values are stored as raw `f64` bits, so a persisted
+    /// table reloads **bit-exactly** (the cold-vs-warm byte-identity of
+    /// the artifact store depends on this).
+    pub fn to_bin(&self) -> Vec<u8> {
+        let mut w = binio::BinWriter::new(binio::KIND_SA_TABLE, SA_TABLE_VERSION);
+
+        let mut header = Vec::new();
+        header.extend_from_slice(&(self.width as u64).to_le_bytes());
+        header.extend_from_slice(&(self.k as u64).to_le_bytes());
+        binio::put_str(&mut header, mode_name(self.mode));
+        header.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        w.section(&header);
+
+        let mut sorted: Vec<(u32, u32, u32, u64)> = self
+            .entries
+            .iter()
+            .map(|(&(fu, a, b), &sa)| (fu_tag(fu), a, b, sa.to_bits()))
+            .collect();
+        sorted.sort_unstable();
+        let mut body = Vec::with_capacity(sorted.len() * 20);
+        for (tag, a, b, bits) in sorted {
+            body.extend_from_slice(&tag.to_le_bytes());
+            body.extend_from_slice(&a.to_le_bytes());
+            body.extend_from_slice(&b.to_le_bytes());
+            body.extend_from_slice(&bits.to_le_bytes());
+        }
+        w.section(&body);
+
+        w.finish()
+    }
+
+    /// Parses a table saved with [`SaTable::to_bin`].
+    ///
+    /// # Errors
+    ///
+    /// Any container or payload defect is a [`netlist::BinError`]; the
+    /// artifact store treats them all as cache misses.
+    pub fn from_bin(data: &[u8]) -> Result<Self, netlist::BinError> {
+        use netlist::BinError;
+        let r = binio::BinReader::open(data, binio::KIND_SA_TABLE, SA_TABLE_VERSION)?;
+
+        let mut header = binio::Cursor::new(r.section(0)?);
+        let width = header.read_len()?;
+        let k = header.read_len()?;
+        let mode = mode_from_name(&header.str()?)
+            .ok_or_else(|| BinError::Malformed("unknown SA mode".to_string()))?;
+        let count = header.read_len()?;
+        if !header.done() {
+            return Err(BinError::Malformed(
+                "trailing bytes after SA table header".to_string(),
+            ));
+        }
+
+        let mut entries = HashMap::with_capacity(count);
+        let mut body = binio::Cursor::new(r.section(1)?);
+        for _ in 0..count {
+            let fu = fu_from_tag(body.u32()?)
+                .ok_or_else(|| BinError::Malformed("unknown FU tag".to_string()))?;
+            let a = body.u32()?;
+            let b = body.u32()?;
+            let sa = f64::from_bits(body.u64()?);
+            entries.insert((fu, a, b), sa);
+        }
+        if !body.done() {
+            return Err(BinError::Malformed(
+                "trailing bytes after SA entries".to_string(),
+            ));
+        }
+        if entries.len() != count {
+            return Err(BinError::Malformed("duplicate SA entry key".to_string()));
+        }
+        Ok(SaTable {
+            width,
+            k,
+            mode,
+            entries,
+            queries: 0,
+            misses: 0,
+        })
+    }
+}
+
+/// Version of the binary SA shard encoding (the `"satb"` payload).
+pub const SA_TABLE_VERSION: u32 = 1;
+
+/// Wire tag of an FU type inside a `"satb"` container.
+fn fu_tag(fu: FuType) -> u32 {
+    match fu {
+        FuType::AddSub => 0,
+        FuType::Mul => 1,
+    }
+}
+
+fn fu_from_tag(tag: u32) -> Option<FuType> {
+    match tag {
+        0 => Some(FuType::AddSub),
+        1 => Some(FuType::Mul),
+        _ => None,
     }
 }
 
@@ -909,6 +1012,63 @@ mod tests {
         assert!((orig - load).abs() < 1e-5);
         let (_, misses) = back.counters();
         assert_eq!(misses, 0, "loaded entry must not recompute");
+    }
+
+    #[test]
+    fn bin_roundtrip_is_bit_exact_and_byte_stable() {
+        let mut t = SaTable::new(6, 4).with_mode(SaMode::ZeroDelayAblation);
+        t.get(FuType::AddSub, 1, 2);
+        t.get(FuType::Mul, 2, 1);
+        t.insert(FuType::AddSub, u16::MAX as usize + 1, 1, 0.1 + 0.2); // non-representable decimal
+        let bin = t.to_bin();
+        let mut back = SaTable::from_bin(&bin).unwrap();
+        assert_eq!(back.width(), 6);
+        assert_eq!(back.k(), 4);
+        assert_eq!(back.mode(), SaMode::ZeroDelayAblation);
+        assert_eq!(back.len(), 3);
+        // Raw f64 bits: *exact*, not 1e-6-close like the text format.
+        assert_eq!(
+            back.lookup(FuType::AddSub, u16::MAX as usize + 1, 1),
+            Some(0.1 + 0.2)
+        );
+        assert_eq!(back.get(FuType::AddSub, 1, 2), t.get(FuType::AddSub, 1, 2));
+        let (_, misses) = back.counters();
+        assert_eq!(misses, 0, "loaded entry must not recompute");
+        // Serialization is a pure function of contents (sorted entries).
+        assert_eq!(back.to_bin(), bin);
+    }
+
+    #[test]
+    fn bin_rejects_corruption() {
+        let mut t = SaTable::new(4, 4);
+        t.insert(FuType::AddSub, 1, 1, 2.0);
+        let good = t.to_bin();
+        for cut in 0..good.len() {
+            assert!(SaTable::from_bin(&good[..cut]).is_err());
+        }
+        assert!(SaTable::from_bin(b"# hlpower SA table width=4 k=4\n").is_err());
+        let mut flip = good.clone();
+        let n = flip.len();
+        flip[n - 1] ^= 0xff;
+        assert!(
+            SaTable::from_bin(&flip).is_err(),
+            "checksum must catch flips"
+        );
+        // Unknown FU tag behind a valid checksum.
+        let mut w = binio::BinWriter::new(binio::KIND_SA_TABLE, SA_TABLE_VERSION);
+        let mut header = Vec::new();
+        header.extend_from_slice(&4u64.to_le_bytes());
+        header.extend_from_slice(&4u64.to_le_bytes());
+        binio::put_str(&mut header, "precalculated");
+        header.extend_from_slice(&1u64.to_le_bytes());
+        w.section(&header);
+        let mut body = Vec::new();
+        body.extend_from_slice(&7u32.to_le_bytes()); // no such FU
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&2.0f64.to_bits().to_le_bytes());
+        w.section(&body);
+        assert!(SaTable::from_bin(&w.finish()).is_err());
     }
 
     #[test]

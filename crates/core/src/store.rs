@@ -17,15 +17,35 @@
 //!   [`crate::fingerprint::sim_fingerprint`] (one mapped netlist serves any
 //!   number of seed/lane/cycle budgets);
 //! * **satables** — the SA precalculation table, sharded by
-//!   `(mode, width, k)` in the existing [`SaTable`] text format and
-//!   **merged on absorb** (existing entries win; conflicts are counted
-//!   and surfaced, never silently dropped).
+//!   `(mode, width, k)` and **merged on absorb** (existing entries win;
+//!   conflicts are counted and surfaced, never silently dropped).
+//!
+//! # Formats
+//!
+//! Every artifact kind has two interchangeable encodings, sniffed by
+//! their first bytes on load:
+//!
+//! * **binary** (`hlpbin v1`, [`netlist::binio`]) — the default write
+//!   format ([`StoreFormat::Binary`]) and the hot path: fixed-width
+//!   little-endian fields behind a checksum, decoded straight out of an
+//!   mmap'd file with no per-node text parsing, so a warm `get` is
+//!   bounded by the wire (or the page cache), not the parser;
+//! * **text** (`# hlpower ...` headers) — the debug/interchange format
+//!   ([`StoreFormat::Text`], `--store-format text`), kept bit-exact so
+//!   either encoding of an artifact serves byte-identical warm runs.
+//!
+//! `hlp store convert DIR` re-encodes a store in place; mixed-format
+//! stores are fully supported (reads sniff per file, `usage`/`gc`
+//! account both). Per-kind decode/encode nanosecond counters are kept on
+//! every handle ([`ArtifactStore::codec`]) and surfaced through
+//! [`crate::pipeline::PipelineStats`], so the text-vs-binary win is
+//! measurable in-band.
 //!
 //! All writes are atomic (temp file + rename into place), so concurrent
 //! shard workers and interrupted runs can never leave a torn artifact.
-//! Loads of corrupt or version-mismatched files are treated as misses.
-//! Hit/miss counters are kept per artifact kind and surfaced through
-//! [`crate::pipeline::PipelineStats`].
+//! Loads of corrupt or version-mismatched files — either format — are
+//! treated as misses. Hit/miss counters are kept per artifact kind and
+//! surfaced through [`crate::pipeline::PipelineStats`].
 //!
 //! # Backends
 //!
@@ -38,15 +58,15 @@
 //!   hot store over a unix socket or TCP without a shared filesystem.
 //!
 //! The remote wire protocol rides the same socket as job requests and is
-//! line-oriented with length-prefixed bodies (artifact text travels
-//! verbatim, byte for byte):
+//! line-oriented with length-prefixed bodies (artifact bytes — binary or
+//! text — travel verbatim, with **no transcode on either end**):
 //!
 //! ```text
 //! store get KIND NAME        →  data LEN\n<LEN bytes>  |  absent
 //! store put KIND NAME LEN\n<LEN bytes>                 →  ok
 //! store stat KIND NAME       →  present  |  absent
 //! store list KIND            →  names N\n<N name lines>
-//! store put-sa LEN\n<LEN bytes of SaTable text>        →  ok I M C
+//! store put-sa LEN\n<LEN bytes of SaTable, either format>  →  ok I M C
 //! ```
 //!
 //! (`put-sa` merges server-side under the daemon's shard lock and
@@ -59,11 +79,14 @@
 //!
 //! ```text
 //! STORE/
-//!   prepared/<fp>.txt     fp = prepared_fingerprint(cdfg, rc, cfg)
-//!   netlists/<fp>.txt     fp = netlist_fingerprint(prepared, fb, cfg)
-//!   sims/<fp>.txt         fp = sim_fingerprint(netlist, cfg)
-//!   satables/<mode>-w<W>-k<K>.txt
+//!   prepared/<fp>.bin     fp = prepared_fingerprint(cdfg, rc, cfg)
+//!   netlists/<fp>.bin     fp = netlist_fingerprint(prepared, fb, cfg)
+//!   sims/<fp>.bin         fp = sim_fingerprint(netlist, cfg)
+//!   satables/<mode>-w<W>-k<K>.bin
 //! ```
+//!
+//! (`.txt` for text-format artifacts; a name may exist in either
+//! extension, never both — writes remove the stale twin.)
 //!
 //! # Examples
 //!
@@ -85,17 +108,18 @@ use crate::regbind::RegisterBinding;
 use crate::satable::{AbsorbStats, SaMode, SaTable, SharedSaTable};
 use cdfg::{Lifetimes, ResourceLibrary, Schedule};
 use gatesim::SimStats;
-use netlist::{parse_netlist_text, write_netlist_text, Netlist};
+use netlist::{binio, parse_netlist_text, write_netlist_text, Netlist};
 use std::fmt;
 use std::fs;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::ops::Deref;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The artifact kinds (and local subdirectories) of a store.
 pub const KINDS: [&str; 4] = ["prepared", "netlists", "sims", "satables"];
@@ -121,6 +145,13 @@ pub(crate) fn valid_name(name: &str) -> bool {
         && name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Whether a directory entry is a finished artifact of either format
+/// (`usage`/`gc` accounting must be format-agnostic: a mixed-format
+/// store counts, and prunes oldest-first across, both).
+fn is_artifact_file(name: &str) -> bool {
+    name.ends_with(".txt") || name.ends_with(".bin")
 }
 
 /// Hit/miss counters per artifact kind — the observable evidence that a
@@ -352,28 +383,320 @@ impl fmt::Display for GcReport {
     }
 }
 
+// ---- artifact bytes --------------------------------------------------------
+
+/// Minimal read-only `mmap(2)` binding, `std`-only. The store's write
+/// discipline makes mapping safe in practice: artifacts are only ever
+/// replaced by `rename` or removed by `unlink`, both of which leave a
+/// mapped inode's pages intact — no code path truncates or rewrites an
+/// artifact file in place.
+#[cfg(unix)]
+mod mm {
+    use core::ffi::{c_int, c_void};
+    use std::fs::File;
+    use std::os::fd::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    #[derive(Debug)]
+    pub(super) struct Mmap {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // A private read-only mapping is plain memory to every thread.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `file` read-only, or `None` when mapping is unavailable
+        /// (empty file, exotic filesystem) — callers fall back to a
+        /// plain read.
+        pub(super) fn map(file: &File) -> Option<Mmap> {
+            let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
+            if len == 0 {
+                return None; // zero-length mmap is EINVAL
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return None;
+            }
+            Some(Mmap {
+                ptr: ptr.cast_const().cast(),
+                len,
+            })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            unsafe { munmap(self.ptr.cast_mut().cast(), self.len) };
+        }
+    }
+}
+
+#[derive(Debug)]
+enum BytesRepr {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(mm::Mmap),
+}
+
+/// The raw bytes of one artifact, as served by a [`StoreBackend`].
+///
+/// A local warm `get` is an mmap'd view of the artifact file — the bytes
+/// are never copied into the process before decoding, which (with the
+/// binary codec's zero-copy section views) is what makes a warm open
+/// cost page faults instead of parsing. Remote and fallback reads own a
+/// `Vec<u8>`. Either way it derefs to `&[u8]`.
+#[derive(Debug)]
+pub struct ArtifactBytes(BytesRepr);
+
+impl ArtifactBytes {
+    /// Wraps owned bytes (the remote backend and tests).
+    pub fn owned(bytes: Vec<u8>) -> ArtifactBytes {
+        ArtifactBytes(BytesRepr::Owned(bytes))
+    }
+
+    /// The bytes as UTF-8 text, if they are (text-format artifacts).
+    pub fn as_text(&self) -> Option<&str> {
+        std::str::from_utf8(self).ok()
+    }
+}
+
+impl Deref for ArtifactBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.0 {
+            BytesRepr::Owned(v) => v,
+            #[cfg(unix)]
+            BytesRepr::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl AsRef<[u8]> for ArtifactBytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for ArtifactBytes {
+    fn from(bytes: Vec<u8>) -> ArtifactBytes {
+        ArtifactBytes::owned(bytes)
+    }
+}
+
+// ---- formats ---------------------------------------------------------------
+
+/// Which encoding the store writes artifacts in. Reads always sniff, so
+/// the format only governs new writes (and `hlp store convert`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreFormat {
+    /// `hlpbin v1` containers — the default and the hot path.
+    #[default]
+    Binary,
+    /// The `# hlpower ...` text codecs — debug/interchange
+    /// (`--store-format text`).
+    Text,
+}
+
+impl StoreFormat {
+    /// Parses a `--store-format` value (`binary` or `text`).
+    pub fn parse(name: &str) -> Option<StoreFormat> {
+        match name {
+            "binary" => Some(StoreFormat::Binary),
+            "text" => Some(StoreFormat::Text),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StoreFormat::Binary => "binary",
+            StoreFormat::Text => "text",
+        }
+    }
+}
+
+/// Per-kind decode/encode wall time, in nanoseconds — the in-band
+/// evidence of what artifact (de)serialization costs, and of the
+/// text-vs-binary difference. Counts codec work only (the time inside
+/// parse/serialize), not backend I/O.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodecNanos {
+    /// Decoding prepared artifacts.
+    pub prepared_decode_ns: u64,
+    /// Encoding prepared artifacts.
+    pub prepared_encode_ns: u64,
+    /// Decoding mapped netlists.
+    pub netlist_decode_ns: u64,
+    /// Encoding mapped netlists.
+    pub netlist_encode_ns: u64,
+    /// Decoding simulation summaries.
+    pub sim_decode_ns: u64,
+    /// Encoding simulation summaries.
+    pub sim_encode_ns: u64,
+    /// Decoding SA-table shards.
+    pub satable_decode_ns: u64,
+    /// Encoding SA-table shards.
+    pub satable_encode_ns: u64,
+}
+
+impl CodecNanos {
+    /// The codec time spent after `before` was snapshotted (saturating,
+    /// so racing counters never underflow).
+    pub fn since(&self, before: &CodecNanos) -> CodecNanos {
+        CodecNanos {
+            prepared_decode_ns: self
+                .prepared_decode_ns
+                .saturating_sub(before.prepared_decode_ns),
+            prepared_encode_ns: self
+                .prepared_encode_ns
+                .saturating_sub(before.prepared_encode_ns),
+            netlist_decode_ns: self
+                .netlist_decode_ns
+                .saturating_sub(before.netlist_decode_ns),
+            netlist_encode_ns: self
+                .netlist_encode_ns
+                .saturating_sub(before.netlist_encode_ns),
+            sim_decode_ns: self.sim_decode_ns.saturating_sub(before.sim_decode_ns),
+            sim_encode_ns: self.sim_encode_ns.saturating_sub(before.sim_encode_ns),
+            satable_decode_ns: self
+                .satable_decode_ns
+                .saturating_sub(before.satable_decode_ns),
+            satable_encode_ns: self
+                .satable_encode_ns
+                .saturating_sub(before.satable_encode_ns),
+        }
+    }
+
+    /// Total codec time (decode + encode, all kinds).
+    pub fn total_ns(&self) -> u64 {
+        self.prepared_decode_ns
+            + self.prepared_encode_ns
+            + self.netlist_decode_ns
+            + self.netlist_encode_ns
+            + self.sim_decode_ns
+            + self.sim_encode_ns
+            + self.satable_decode_ns
+            + self.satable_encode_ns
+    }
+}
+
+/// Renders nanoseconds at a human scale (`870ns`, `12.3us`, `4.6ms`).
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+impl fmt::Display for CodecNanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "prepared {}/{}, netlists {}/{}, sims {}/{}, satables {}/{} (decode/encode)",
+            fmt_ns(self.prepared_decode_ns),
+            fmt_ns(self.prepared_encode_ns),
+            fmt_ns(self.netlist_decode_ns),
+            fmt_ns(self.netlist_encode_ns),
+            fmt_ns(self.sim_decode_ns),
+            fmt_ns(self.sim_encode_ns),
+            fmt_ns(self.satable_decode_ns),
+            fmt_ns(self.satable_encode_ns),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct CodecCounters {
+    prepared_decode_ns: AtomicU64,
+    prepared_encode_ns: AtomicU64,
+    netlist_decode_ns: AtomicU64,
+    netlist_encode_ns: AtomicU64,
+    sim_decode_ns: AtomicU64,
+    sim_encode_ns: AtomicU64,
+    satable_decode_ns: AtomicU64,
+    satable_encode_ns: AtomicU64,
+}
+
+/// What [`ArtifactStore::convert`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConvertReport {
+    /// Artifacts re-encoded into the target format.
+    pub converted: usize,
+    /// Artifacts already in the target format, left untouched.
+    pub unchanged: usize,
+    /// Artifacts that would not decode (corrupt or future-format); left
+    /// in place — they already read as misses.
+    pub failed: usize,
+}
+
+impl fmt::Display for ConvertReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} converted, {} already in target format, {} unreadable (left in place)",
+            self.converted, self.unchanged, self.failed
+        )
+    }
+}
+
 // ---- backends --------------------------------------------------------------
 
 /// Where an [`ArtifactStore`]'s bytes actually live.
 ///
 /// The store's typed API (prepared artifacts, mapped netlists,
 /// simulation summaries, SA shards) is backend-agnostic: it serializes
-/// to the same exact text formats either way and goes through this trait
-/// for raw `(kind, name)` → text access, so two backends holding the
-/// same artifacts serve byte-identical warm runs. [`LocalStore`] is the
-/// on-disk layout in the [module docs](self); [`RemoteStore`] speaks the
-/// `store get/put/stat/list` verbs of the `hlp serve` wire protocol.
+/// to the same exact formats either way and goes through this trait for
+/// raw `(kind, name)` → bytes access, so two backends holding the same
+/// artifacts serve byte-identical warm runs. Backends move bytes
+/// verbatim and never transcode. [`LocalStore`] is the on-disk layout in
+/// the [module docs](self); [`RemoteStore`] speaks the `store
+/// get/put/stat/list` verbs of the `hlp serve` wire protocol.
 pub trait StoreBackend: Send + Sync + fmt::Debug {
-    /// Raw artifact text for `(kind, name)`, or `None` when absent.
+    /// Raw artifact bytes for `(kind, name)`, or `None` when absent.
     /// Backends treat every failure (unreadable file, dead connection)
     /// as a cache miss — the store never fails the run it serves.
-    fn get(&self, kind: &str, name: &str) -> Option<String>;
+    fn get(&self, kind: &str, name: &str) -> Option<ArtifactBytes>;
 
-    /// Persists raw artifact text under `(kind, name)`. Failures are
+    /// Persists raw artifact bytes under `(kind, name)`. Failures are
     /// reported to stderr and swallowed: the store is a cache, and a
     /// failed save must never fail the experiment that produced the
     /// artifact.
-    fn put(&self, kind: &str, name: &str, content: &str);
+    fn put(&self, kind: &str, name: &str, content: &[u8]);
 
     /// Whether `(kind, name)` exists, without transferring the body.
     fn stat(&self, kind: &str, name: &str) -> bool;
@@ -389,8 +712,10 @@ pub trait StoreBackend: Send + Sync + fmt::Debug {
 
     /// Merges a table into the shard for its `(mode, width, k)` —
     /// existing entries win, conflicts are counted — and reports what
-    /// the merge did.
-    fn merge_sa(&self, table: &SaTable) -> AbsorbStats;
+    /// the merge did. `format` is the encoding a rewritten local shard
+    /// should use; a remote backend ignores it (the daemon re-encodes
+    /// per its own format).
+    fn merge_sa(&self, table: &SaTable, format: StoreFormat) -> AbsorbStats;
 
     /// The store's root directory, when the bytes live on this host
     /// (local maintenance — `gc`, `usage` — needs it).
@@ -408,12 +733,29 @@ fn sa_shard_name(mode: SaMode, width: usize, k: usize) -> String {
     format!("{}-w{width}-k{k}", mode.name())
 }
 
-/// Parses shard text and validates it against the `(mode, width, k)` it
-/// was addressed by. A shard whose header disagrees with its name
+/// Parses an SA table from raw bytes, either format (sniffed).
+fn sa_from_bytes(data: &[u8]) -> Option<SaTable> {
+    if binio::is_binary(data) {
+        SaTable::from_bin(data).ok()
+    } else {
+        SaTable::from_text(std::str::from_utf8(data).ok()?).ok()
+    }
+}
+
+/// Serializes an SA table in `format`.
+fn encode_sa_table(table: &SaTable, format: StoreFormat) -> Vec<u8> {
+    match format {
+        StoreFormat::Binary => table.to_bin(),
+        StoreFormat::Text => table.to_text().into_bytes(),
+    }
+}
+
+/// Parses shard bytes and validates them against the `(mode, width, k)`
+/// they were addressed by. A shard whose header disagrees with its name
 /// (mis-copied or hand-renamed) reads as a miss, like any other corrupt
 /// artifact.
-fn shard_from_text(text: &str, mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
-    let table = SaTable::from_text(text).ok()?;
+fn shard_from_bytes(data: &[u8], mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
+    let table = sa_from_bytes(data)?;
     (table.mode() == mode && table.width() == width && table.k() == k).then_some(table)
 }
 
@@ -421,7 +763,9 @@ fn shard_from_text(text: &str, mode: SaMode, width: usize, k: usize) -> Option<S
 
 /// The on-disk backend: the layout in the [module docs](self), atomic
 /// temp+rename writes, and an advisory file lock serializing SA-shard
-/// read-merge-write cycles across processes.
+/// read-merge-write cycles across processes. Warm reads are mmap'd
+/// (falling back to a plain read where mapping is unavailable), so a
+/// `get` transfers no bytes the decoder does not touch.
 #[derive(Debug)]
 pub struct LocalStore {
     root: PathBuf,
@@ -462,15 +806,38 @@ impl LocalStore {
         Ok(LocalStore { root })
     }
 
-    fn path(&self, kind: &str, name: &str) -> PathBuf {
-        self.root.join(kind).join(format!("{name}.txt"))
+    fn path_ext(&self, kind: &str, name: &str, ext: &str) -> PathBuf {
+        self.root.join(kind).join(format!("{name}.{ext}"))
+    }
+
+    /// Below this size a buffered read beats the mmap/munmap round trip
+    /// (two extra syscalls plus a page fault per page touched), so small
+    /// artifacts take the plain-read path and only large ones get mapped.
+    const MMAP_MIN_BYTES: u64 = 64 * 1024;
+
+    /// Opens `path` as an [`ArtifactBytes`] — mmap'd when large enough
+    /// for mapping to pay off, read otherwise — or `None` when
+    /// absent/unreadable.
+    fn read_file(path: &Path) -> Option<ArtifactBytes> {
+        let file = fs::File::open(path).ok()?;
+        let len = file.metadata().ok()?.len();
+        #[cfg(unix)]
+        if len >= Self::MMAP_MIN_BYTES {
+            if let Some(map) = mm::Mmap::map(&file) {
+                return Some(ArtifactBytes(BytesRepr::Mapped(map)));
+            }
+        }
+        let mut buf = Vec::with_capacity(len as usize);
+        let mut file = file;
+        file.read_to_end(&mut buf).ok()?;
+        Some(ArtifactBytes::owned(buf))
     }
 
     /// Atomically replaces `path` with `content` (write to a unique temp
     /// file in the same directory, then rename). Failures are reported to
     /// stderr and swallowed: the store is a cache, and a failed save must
     /// never fail the experiment producing the artifact.
-    fn write_atomic(&self, path: &Path, content: &str) {
+    fn write_atomic(&self, path: &Path, content: &[u8]) -> bool {
         static UNIQUE: AtomicU64 = AtomicU64::new(0);
         let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}.{n}", std::process::id()));
@@ -481,39 +848,59 @@ impl LocalStore {
                 "warning: artifact store write `{}` failed: {e}",
                 path.display()
             );
+            return false;
         }
+        true
     }
 }
 
 impl StoreBackend for LocalStore {
-    fn get(&self, kind: &str, name: &str) -> Option<String> {
-        fs::read_to_string(self.path(kind, name)).ok()
+    fn get(&self, kind: &str, name: &str) -> Option<ArtifactBytes> {
+        Self::read_file(&self.path_ext(kind, name, "bin"))
+            .or_else(|| Self::read_file(&self.path_ext(kind, name, "txt")))
     }
 
-    fn put(&self, kind: &str, name: &str, content: &str) {
-        self.write_atomic(&self.path(kind, name), content);
+    fn put(&self, kind: &str, name: &str, content: &[u8]) {
+        // The extension records the content's own format (sniffed, not
+        // trusted from any caller flag), so a directory listing tells
+        // the truth and `list` never double-counts a name.
+        let (ext, stale) = if binio::is_binary(content) {
+            ("bin", "txt")
+        } else {
+            ("txt", "bin")
+        };
+        if self.write_atomic(&self.path_ext(kind, name, ext), content) {
+            // A name exists in one extension, never both: drop the
+            // other-format twin a convert (or format switch) replaced.
+            let _ = fs::remove_file(self.path_ext(kind, name, stale));
+        }
     }
 
     fn stat(&self, kind: &str, name: &str) -> bool {
-        self.path(kind, name).is_file()
+        self.path_ext(kind, name, "bin").is_file() || self.path_ext(kind, name, "txt").is_file()
     }
 
     fn list(&self, kind: &str) -> io::Result<Vec<String>> {
-        // Only finished artifacts carry the `.txt` suffix; leftover
-        // `*.tmp.*` files from interrupted writes are not artifacts and
-        // must not be listed (or later copied and parsed by a merge).
+        // Only finished artifacts carry the `.bin`/`.txt` suffix;
+        // leftover `*.tmp.*` files from interrupted writes are not
+        // artifacts and must not be listed (or later copied and parsed
+        // by a merge).
         let mut names = Vec::new();
         for entry in fs::read_dir(self.root.join(kind))? {
             let name = entry?.file_name().to_string_lossy().into_owned();
-            if let Some(stem) = name.strip_suffix(".txt") {
+            if let Some(stem) = name
+                .strip_suffix(".txt")
+                .or_else(|| name.strip_suffix(".bin"))
+            {
                 names.push(stem.to_string());
             }
         }
         names.sort();
+        names.dedup();
         Ok(names)
     }
 
-    fn merge_sa(&self, table: &SaTable) -> AbsorbStats {
+    fn merge_sa(&self, table: &SaTable, format: StoreFormat) -> AbsorbStats {
         let mode = table.mode();
         let width = table.width();
         let k = table.k();
@@ -530,7 +917,7 @@ impl StoreBackend for LocalStore {
         let merged = SharedSaTable::new(width, k).with_mode(mode);
         if let Some(existing) = self
             .get("satables", &name)
-            .and_then(|text| shard_from_text(&text, mode, width, k))
+            .and_then(|data| shard_from_bytes(&data, mode, width, k))
         {
             merged
                 .absorb(&existing)
@@ -539,7 +926,11 @@ impl StoreBackend for LocalStore {
         let stats = merged
             .absorb(table)
             .expect("shard compatible by construction");
-        self.put("satables", &name, &merged.snapshot().to_text());
+        self.put(
+            "satables",
+            &name,
+            &encode_sa_table(&merged.snapshot(), format),
+        );
         drop(lock);
         stats
     }
@@ -687,7 +1078,7 @@ impl RemoteStore {
         }
     }
 
-    fn try_get(&self, kind: &str, name: &str) -> io::Result<Option<String>> {
+    fn try_get(&self, kind: &str, name: &str) -> io::Result<Option<Vec<u8>>> {
         self.op(&mut |conn| {
             writeln!(conn.get_mut(), "store get {kind} {name}")?;
             conn.get_mut().flush()?;
@@ -702,17 +1093,15 @@ impl RemoteStore {
                 .ok_or_else(|| Self::unexpected(&line, "`data LEN` or `absent`"))?;
             let mut body = vec![0u8; len];
             conn.read_exact(&mut body)?;
-            String::from_utf8(body)
-                .map(Some)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 artifact body"))
+            Ok(Some(body))
         })
     }
 
-    fn try_put(&self, kind: &str, name: &str, content: &str) -> io::Result<()> {
+    fn try_put(&self, kind: &str, name: &str, content: &[u8]) -> io::Result<()> {
         self.op(&mut |conn| {
             let w = conn.get_mut();
             writeln!(w, "store put {kind} {name} {}", content.len())?;
-            w.write_all(content.as_bytes())?;
+            w.write_all(content)?;
             w.flush()?;
             let line = Self::reply_line(conn)?;
             if line == "ok" {
@@ -750,11 +1139,15 @@ impl RemoteStore {
     }
 
     fn try_merge_sa(&self, table: &SaTable) -> io::Result<AbsorbStats> {
-        let text = table.to_text();
+        // The wire body is a transport encoding only — the daemon
+        // decodes it (sniffing the format), merges in memory, and writes
+        // its own store's format. Binary is smaller and cheaper to parse
+        // on the daemon side.
+        let body = table.to_bin();
         self.op(&mut |conn| {
             let w = conn.get_mut();
-            writeln!(w, "store put-sa {}", text.len())?;
-            w.write_all(text.as_bytes())?;
+            writeln!(w, "store put-sa {}", body.len())?;
+            w.write_all(&body)?;
             w.flush()?;
             let line = Self::reply_line(conn)?;
             let rest = line
@@ -782,9 +1175,9 @@ impl RemoteStore {
 }
 
 impl StoreBackend for RemoteStore {
-    fn get(&self, kind: &str, name: &str) -> Option<String> {
+    fn get(&self, kind: &str, name: &str) -> Option<ArtifactBytes> {
         match self.try_get(kind, name) {
-            Ok(v) => v,
+            Ok(v) => v.map(ArtifactBytes::owned),
             Err(e) => {
                 self.warn(&format!("get {kind}/{name}"), &e);
                 None
@@ -792,7 +1185,7 @@ impl StoreBackend for RemoteStore {
         }
     }
 
-    fn put(&self, kind: &str, name: &str, content: &str) {
+    fn put(&self, kind: &str, name: &str, content: &[u8]) {
         if let Err(e) = self.try_put(kind, name, content) {
             self.warn(&format!("put {kind}/{name}"), &e);
         }
@@ -812,7 +1205,7 @@ impl StoreBackend for RemoteStore {
         self.try_list(kind)
     }
 
-    fn merge_sa(&self, table: &SaTable) -> AbsorbStats {
+    fn merge_sa(&self, table: &SaTable, _format: StoreFormat) -> AbsorbStats {
         match self.try_merge_sa(table) {
             Ok(stats) => stats,
             Err(e) => {
@@ -835,7 +1228,9 @@ impl StoreBackend for RemoteStore {
 #[derive(Debug)]
 pub struct ArtifactStore {
     backend: Box<dyn StoreBackend>,
+    format: StoreFormat,
     counters: StoreCounters,
+    codec: CodecCounters,
 }
 
 impl ArtifactStore {
@@ -875,20 +1270,37 @@ impl ArtifactStore {
 
     /// Opens the store a CLI `--store` spec names: `remote:ADDR` connects
     /// to a daemon (ADDR = socket path or `host:port`), anything else is
-    /// a local directory.
+    /// a local directory. Writes use the default [`StoreFormat`]; see
+    /// [`ArtifactStore::open_spec_with`].
     ///
     /// # Errors
     ///
     /// Local open or remote connect failures; `remote:` with no address.
     pub fn open_spec(spec: &str) -> io::Result<ArtifactStore> {
-        match spec.strip_prefix("remote:") {
-            Some("") => Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "`remote:` needs an address (socket path or host:port)",
-            )),
-            Some(addr) => Self::connect(&Endpoint::parse(addr)),
-            None => Self::open(spec),
-        }
+        Self::open_spec_with(spec, StoreFormat::default())
+    }
+
+    /// [`ArtifactStore::open_spec`] with an explicit write format
+    /// (`--store-format`). For a remote spec the format still applies:
+    /// artifacts are encoded client-side and the daemon stores the bytes
+    /// verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Local open or remote connect failures; `remote:` with no address.
+    pub fn open_spec_with(spec: &str, format: StoreFormat) -> io::Result<ArtifactStore> {
+        let mut store = match spec.strip_prefix("remote:") {
+            Some("") => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "`remote:` needs an address (socket path or host:port)",
+                ))
+            }
+            Some(addr) => Self::connect(&Endpoint::parse(addr))?,
+            None => Self::with_backend(Box::new(LocalStore::open(spec)?)),
+        };
+        store.format = format;
+        Ok(store)
     }
 
     /// Wraps an explicit backend (how custom backends plug in; the
@@ -896,8 +1308,22 @@ impl ArtifactStore {
     pub fn with_backend(backend: Box<dyn StoreBackend>) -> ArtifactStore {
         ArtifactStore {
             backend,
+            format: StoreFormat::default(),
             counters: StoreCounters::default(),
+            codec: CodecCounters::default(),
         }
+    }
+
+    /// Sets the format typed saves encode artifacts in. Reads always
+    /// sniff; this only governs new writes.
+    pub fn with_format(mut self, format: StoreFormat) -> ArtifactStore {
+        self.format = format;
+        self
+    }
+
+    /// The format typed saves encode artifacts in.
+    pub fn format(&self) -> StoreFormat {
+        self.format
     }
 
     /// The backend holding this store's bytes.
@@ -956,19 +1382,43 @@ impl ArtifactStore {
         }
     }
 
+    /// Per-kind decode/encode time since this handle was opened.
+    pub fn codec(&self) -> CodecNanos {
+        let c = &self.codec;
+        CodecNanos {
+            prepared_decode_ns: c.prepared_decode_ns.load(Ordering::Relaxed),
+            prepared_encode_ns: c.prepared_encode_ns.load(Ordering::Relaxed),
+            netlist_decode_ns: c.netlist_decode_ns.load(Ordering::Relaxed),
+            netlist_encode_ns: c.netlist_encode_ns.load(Ordering::Relaxed),
+            sim_decode_ns: c.sim_decode_ns.load(Ordering::Relaxed),
+            sim_encode_ns: c.sim_encode_ns.load(Ordering::Relaxed),
+            satable_decode_ns: c.satable_decode_ns.load(Ordering::Relaxed),
+            satable_encode_ns: c.satable_encode_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f` and charges its wall time to `ns` — the codec
+    /// accounting. Wraps parse/serialize calls only, never backend I/O.
+    fn timed<T>(ns: &AtomicU64, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let v = f();
+        ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        v
+    }
+
     // ---- raw access --------------------------------------------------------
 
-    /// Raw artifact text by `(kind, name)`, bypassing the hit/miss
+    /// Raw artifact bytes by `(kind, name)`, bypassing the hit/miss
     /// accounting — the daemon's serving hook (client traffic must not
     /// pollute the daemon handle's own counters) and the merge
     /// primitive.
-    pub fn raw_get(&self, kind: &str, name: &str) -> Option<String> {
+    pub fn raw_get(&self, kind: &str, name: &str) -> Option<ArtifactBytes> {
         self.backend.get(kind, name)
     }
 
     /// Raw artifact write by `(kind, name)` (uncounted; see
     /// [`ArtifactStore::raw_get`]).
-    pub fn raw_put(&self, kind: &str, name: &str, content: &str) {
+    pub fn raw_put(&self, kind: &str, name: &str, content: &[u8]) {
         self.backend.put(kind, name, content);
     }
 
@@ -1002,7 +1452,7 @@ impl ArtifactStore {
         let loaded = self
             .backend
             .get("prepared", &fp.to_string())
-            .and_then(|text| parse_prepared(&text))
+            .and_then(|data| Self::timed(&self.codec.prepared_decode_ns, || decode_prepared(&data)))
             .filter(|(sched, rb)| valid(sched, rb));
         Self::tally(
             loaded.is_some(),
@@ -1014,8 +1464,10 @@ impl ArtifactStore {
 
     /// Persists a schedule + register binding under its fingerprint.
     pub fn save_prepared(&self, fp: Fingerprint, sched: &Schedule, rb: &RegisterBinding) {
-        self.backend
-            .put("prepared", &fp.to_string(), &prepared_text(sched, rb));
+        let bytes = Self::timed(&self.codec.prepared_encode_ns, || {
+            encode_prepared(sched, rb, self.format)
+        });
+        self.backend.put("prepared", &fp.to_string(), &bytes);
     }
 
     // ---- mapped netlists ---------------------------------------------------
@@ -1025,7 +1477,7 @@ impl ArtifactStore {
         let loaded = self
             .backend
             .get("netlists", &fp.to_string())
-            .and_then(|text| parse_mapped(&text));
+            .and_then(|data| Self::timed(&self.codec.netlist_decode_ns, || decode_mapped(&data)));
         Self::tally(
             loaded.is_some(),
             &self.counters.netlist_hits,
@@ -1036,8 +1488,10 @@ impl ArtifactStore {
 
     /// Persists a mapped netlist and its backend metrics.
     pub fn save_mapped(&self, fp: Fingerprint, artifact: &MappedArtifact) {
-        self.backend
-            .put("netlists", &fp.to_string(), &mapped_text(artifact));
+        let bytes = Self::timed(&self.codec.netlist_encode_ns, || {
+            encode_mapped(artifact, self.format)
+        });
+        self.backend.put("netlists", &fp.to_string(), &bytes);
     }
 
     // ---- simulation summaries ----------------------------------------------
@@ -1047,7 +1501,7 @@ impl ArtifactStore {
         let loaded = self
             .backend
             .get("sims", &fp.to_string())
-            .and_then(|text| SimStats::from_summary_text(&text).ok());
+            .and_then(|data| Self::timed(&self.codec.sim_decode_ns, || decode_sim(&data)));
         Self::tally(
             loaded.is_some(),
             &self.counters.sim_hits,
@@ -1058,8 +1512,8 @@ impl ArtifactStore {
 
     /// Persists a simulation summary.
     pub fn save_sim(&self, fp: Fingerprint, stats: &SimStats) {
-        self.backend
-            .put("sims", &fp.to_string(), &stats.to_summary_text());
+        let bytes = Self::timed(&self.codec.sim_encode_ns, || encode_sim(stats, self.format));
+        self.backend.put("sims", &fp.to_string(), &bytes);
     }
 
     // ---- SA-table shards ---------------------------------------------------
@@ -1070,7 +1524,11 @@ impl ArtifactStore {
     pub fn load_sa_table(&self, mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
         self.backend
             .get("satables", &sa_shard_name(mode, width, k))
-            .and_then(|text| shard_from_text(&text, mode, width, k))
+            .and_then(|data| {
+                Self::timed(&self.codec.satable_decode_ns, || {
+                    shard_from_bytes(&data, mode, width, k)
+                })
+            })
     }
 
     /// Merges a table into the shard for its `(mode, width, k)`:
@@ -1080,7 +1538,7 @@ impl ArtifactStore {
     /// Returns what the merge did, including the conflict count the
     /// caller should warn about.
     pub fn merge_sa_table(&self, table: &SaTable) -> AbsorbStats {
-        self.backend.merge_sa(table)
+        self.backend.merge_sa(table, self.format)
     }
 
     // ---- store-level operations --------------------------------------------
@@ -1116,7 +1574,9 @@ impl ArtifactStore {
                 // the wire traffic of a warm remote merge.
                 if both_local {
                     match (other.raw_get(kind, &name), self.raw_get(kind, &name)) {
-                        (Some(src), Some(dst)) if src != dst => report.conflicting += 1,
+                        (Some(src), Some(dst)) if src.as_ref() != dst.as_ref() => {
+                            report.conflicting += 1
+                        }
                         _ => report.identical += 1,
                     }
                 } else {
@@ -1125,10 +1585,10 @@ impl ArtifactStore {
             }
         }
         for name in other.raw_list("satables")? {
-            let Some(text) = other.raw_get("satables", &name) else {
+            let Some(data) = other.raw_get("satables", &name) else {
                 continue;
             };
-            if let Ok(table) = SaTable::from_text(&text) {
+            if let Some(table) = sa_from_bytes(&data) {
                 let s = self.merge_sa_table(&table);
                 report.sa.inserted += s.inserted;
                 report.sa.matched += s.matched;
@@ -1138,9 +1598,56 @@ impl ArtifactStore {
         Ok(report)
     }
 
-    /// Per-kind size accounting (finished `.txt` artifacts only; temp
-    /// leftovers are not artifacts and are not counted). Local stores
-    /// only.
+    /// Re-encodes every artifact of this store into `format`, in place
+    /// (`hlp store convert`). Artifacts already in the target format are
+    /// left untouched; unreadable ones are counted and left in place
+    /// (they already read as misses). Works through the raw verbs, so a
+    /// `remote:` store converts over the wire too.
+    ///
+    /// Conversion changes an artifact's bytes but not its content: a
+    /// warm run from a converted store is byte-identical on stdout to
+    /// one from the original (the codecs are exact, and SA values are
+    /// carried bit-for-bit in both directions — the text format prints
+    /// `f64` bits, the binary format stores them raw).
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures.
+    pub fn convert(&self, format: StoreFormat) -> io::Result<ConvertReport> {
+        let mut report = ConvertReport::default();
+        for kind in KINDS {
+            for name in self.raw_list(kind)? {
+                let Some(data) = self.raw_get(kind, &name) else {
+                    report.failed += 1;
+                    continue;
+                };
+                if binio::is_binary(&data) == (format == StoreFormat::Binary) {
+                    report.unchanged += 1;
+                    continue;
+                }
+                let encoded = match kind {
+                    "prepared" => {
+                        decode_prepared(&data).map(|(s, rb)| encode_prepared(&s, &rb, format))
+                    }
+                    "netlists" => decode_mapped(&data).map(|a| encode_mapped(&a, format)),
+                    "sims" => decode_sim(&data).map(|s| encode_sim(&s, format)),
+                    _ => sa_from_bytes(&data).map(|t| encode_sa_table(&t, format)),
+                };
+                match encoded {
+                    Some(bytes) => {
+                        self.raw_put(kind, &name, &bytes);
+                        report.converted += 1;
+                    }
+                    None => report.failed += 1,
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Per-kind size accounting (finished artifacts of **both** formats
+    /// — `.bin` and `.txt`; temp leftovers are not artifacts and are not
+    /// counted). Local stores only.
     ///
     /// # Errors
     ///
@@ -1152,7 +1659,7 @@ impl ArtifactStore {
             let mut usage = KindUsage::default();
             for entry in fs::read_dir(root.join(sub))? {
                 let entry = entry?;
-                if entry.file_name().to_string_lossy().ends_with(".txt") {
+                if is_artifact_file(&entry.file_name().to_string_lossy()) {
                     usage.files += 1;
                     usage.bytes += entry.metadata()?.len();
                 }
@@ -1209,7 +1716,7 @@ impl ArtifactStore {
                     }
                     continue;
                 }
-                if !name.ends_with(".txt") {
+                if !is_artifact_file(&name) {
                     continue;
                 }
                 let meta = entry.metadata()?;
@@ -1256,6 +1763,191 @@ impl ArtifactStore {
         report.kept_bytes = kept.iter().map(|(_, _, b)| *b).sum();
         Ok(report)
     }
+}
+
+// ---- codecs ----------------------------------------------------------------
+
+/// Version of the binary prepared-artifact encoding (`"prep"` payload).
+const PREPARED_BIN_VERSION: u32 = 1;
+/// Version of the binary mapped-artifact encoding (`"mapd"` payload).
+const MAPPED_BIN_VERSION: u32 = 1;
+
+/// Decodes a prepared artifact from raw bytes, either format (sniffed).
+fn decode_prepared(data: &[u8]) -> Option<(Schedule, RegisterBinding)> {
+    if binio::is_binary(data) {
+        parse_prepared_bin(data)
+    } else {
+        parse_prepared(std::str::from_utf8(data).ok()?)
+    }
+}
+
+/// Serializes a prepared artifact in `format`.
+fn encode_prepared(sched: &Schedule, rb: &RegisterBinding, format: StoreFormat) -> Vec<u8> {
+    match format {
+        StoreFormat::Binary => prepared_bin(sched, rb),
+        StoreFormat::Text => prepared_text(sched, rb).into_bytes(),
+    }
+}
+
+/// Decodes a mapped artifact from raw bytes, either format (sniffed).
+fn decode_mapped(data: &[u8]) -> Option<MappedArtifact> {
+    if binio::is_binary(data) {
+        parse_mapped_bin(data)
+    } else {
+        parse_mapped(std::str::from_utf8(data).ok()?)
+    }
+}
+
+/// Serializes a mapped artifact in `format`.
+fn encode_mapped(artifact: &MappedArtifact, format: StoreFormat) -> Vec<u8> {
+    match format {
+        StoreFormat::Binary => mapped_bin(artifact),
+        StoreFormat::Text => mapped_text(artifact).into_bytes(),
+    }
+}
+
+/// Decodes a simulation summary from raw bytes, either format (sniffed).
+fn decode_sim(data: &[u8]) -> Option<SimStats> {
+    if binio::is_binary(data) {
+        SimStats::from_summary_bin(data).ok()
+    } else {
+        SimStats::from_summary_text(std::str::from_utf8(data).ok()?).ok()
+    }
+}
+
+/// Serializes a simulation summary in `format`.
+fn encode_sim(stats: &SimStats, format: StoreFormat) -> Vec<u8> {
+    match format {
+        StoreFormat::Binary => stats.to_summary_bin(),
+        StoreFormat::Text => stats.to_summary_text().into_bytes(),
+    }
+}
+
+// ---- binary formats --------------------------------------------------------
+
+/// Appends `vals` as little-endian `u32`s.
+fn u32s_bytes(vals: impl Iterator<Item = u32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Reads a whole section back as `u32`s.
+fn u32s_from(data: &[u8]) -> Option<Vec<u32>> {
+    if !data.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
+/// The `hlpbin` `"prep"` encoding: one scalar section (`num_steps`,
+/// the two library latencies, `num_regs`, as `u64`s), then one section
+/// per array — `cstep`, `reg_of`, `swap` (one byte per bool), `birth`,
+/// `death`.
+fn prepared_bin(sched: &Schedule, rb: &RegisterBinding) -> Vec<u8> {
+    let mut w = binio::BinWriter::new(binio::KIND_PREPARED, PREPARED_BIN_VERSION);
+    let mut scalars = Vec::with_capacity(32);
+    scalars.extend_from_slice(&u64::from(sched.num_steps).to_le_bytes());
+    scalars.extend_from_slice(&u64::from(sched.library.addsub_latency).to_le_bytes());
+    scalars.extend_from_slice(&u64::from(sched.library.mul_latency).to_le_bytes());
+    scalars.extend_from_slice(&(rb.num_regs as u64).to_le_bytes());
+    w.section(&scalars);
+    w.section(&u32s_bytes(sched.cstep.iter().copied()));
+    w.section(&u32s_bytes(rb.reg_of.iter().map(|&r| r as u32)));
+    let swap: Vec<u8> = rb.swap.iter().map(|&s| u8::from(s)).collect();
+    w.section(&swap);
+    w.section(&u32s_bytes(rb.lifetimes.birth.iter().copied()));
+    w.section(&u32s_bytes(rb.lifetimes.death.iter().copied()));
+    w.finish()
+}
+
+fn parse_prepared_bin(data: &[u8]) -> Option<(Schedule, RegisterBinding)> {
+    let r = binio::BinReader::open(data, binio::KIND_PREPARED, PREPARED_BIN_VERSION).ok()?;
+    let mut scalars = binio::Cursor::new(r.section(0).ok()?);
+    let num_steps = u32::try_from(scalars.u64().ok()?).ok()?;
+    let addsub_latency = u32::try_from(scalars.u64().ok()?).ok()?;
+    let mul_latency = u32::try_from(scalars.u64().ok()?).ok()?;
+    let num_regs = scalars.read_len().ok()?;
+    if !scalars.done() {
+        return None;
+    }
+    let sched = Schedule {
+        cstep: u32s_from(r.section(1).ok()?)?,
+        library: ResourceLibrary {
+            addsub_latency,
+            mul_latency,
+        },
+        num_steps,
+    };
+    let rb = RegisterBinding {
+        num_regs,
+        reg_of: u32s_from(r.section(2).ok()?)?
+            .into_iter()
+            .map(|v| v as usize)
+            .collect(),
+        swap: r.section(3).ok()?.iter().map(|&b| b != 0).collect(),
+        lifetimes: Lifetimes {
+            birth: u32s_from(r.section(4).ok()?)?,
+            death: u32s_from(r.section(5).ok()?)?,
+        },
+    };
+    Some((sched, rb))
+}
+
+/// The `hlpbin` `"mapd"` encoding: one metrics section (`luts` and
+/// `registers` as `u64`s, `depth` as `u32` + padding, the `f64` bits of
+/// `estimated_sa`), then the nested exact binary netlist
+/// ([`netlist::write_netlist_bin`]) as its own section.
+fn mapped_bin(artifact: &MappedArtifact) -> Vec<u8> {
+    let mut w = binio::BinWriter::new(binio::KIND_MAPPED, MAPPED_BIN_VERSION);
+    let mut meta = Vec::with_capacity(32);
+    meta.extend_from_slice(&(artifact.luts as u64).to_le_bytes());
+    meta.extend_from_slice(&(artifact.registers as u64).to_le_bytes());
+    meta.extend_from_slice(&artifact.depth.to_le_bytes());
+    meta.extend_from_slice(&0u32.to_le_bytes()); // pad: keeps the f64 aligned
+    meta.extend_from_slice(&artifact.estimated_sa.to_bits().to_le_bytes());
+    w.section(&meta);
+    w.section(&netlist::write_netlist_bin(&artifact.netlist));
+    w.finish()
+}
+
+fn parse_mapped_bin(data: &[u8]) -> Option<MappedArtifact> {
+    let r = binio::BinReader::open(data, binio::KIND_MAPPED, MAPPED_BIN_VERSION).ok()?;
+    let mut meta = binio::Cursor::new(r.section(0).ok()?);
+    let luts = meta.read_len().ok()?;
+    let registers = meta.read_len().ok()?;
+    let depth = meta.u32().ok()?;
+    meta.u32().ok()?; // pad
+    let estimated_sa = f64::from_bits(meta.u64().ok()?);
+    if !meta.done() {
+        return None;
+    }
+    let netlist = netlist::parse_netlist_bin(r.section(1).ok()?).ok()?;
+    // The binary codec enforces the structural invariants during the
+    // parse itself (id-ordered fanins — hence acyclic — matching
+    // arities, in-range ids), so unlike the text path no full
+    // `Netlist::check` walk is needed on every warm open. The one
+    // defect it admits is an unconnected latch; scan for that directly.
+    if netlist
+        .latches()
+        .iter()
+        .any(|&l| netlist.fanins(l).is_empty())
+    {
+        return None;
+    }
+    Some(MappedArtifact {
+        netlist,
+        luts,
+        depth,
+        estimated_sa,
+        registers,
+    })
 }
 
 // ---- text formats ----------------------------------------------------------
@@ -1786,14 +2478,230 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_binary_files_read_as_misses_then_rewrite() {
+        let store = temp_store("bin-corrupt");
+        let fp = Fingerprint(9);
+        let stats = SimStats {
+            cycles: 10,
+            total_transitions: 100,
+            functional_transitions: 90,
+            glitch_transitions: 10,
+            per_node: vec![0; 3],
+        };
+        store.save_sim(fp, &stats);
+        let path = store.root().join("sims").join(format!("{fp}.bin"));
+        let good = fs::read(&path).unwrap();
+        assert!(binio::is_binary(&good), "default format is binary");
+
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(store.load_sim(fp).is_none(), "truncation is a miss");
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        fs::write(&path, &bad).unwrap();
+        assert!(store.load_sim(fp).is_none(), "bad magic is a miss");
+
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xff;
+        fs::write(&path, &bad).unwrap();
+        assert!(store.load_sim(fp).is_none(), "bad checksum is a miss");
+
+        // A well-formed container whose schema version we don't speak
+        // yet: written by a newer build, read as a miss, never an error.
+        let mut w = binio::BinWriter::new(binio::KIND_SIM, u32::MAX);
+        w.section(&[0u8; 40]);
+        fs::write(&path, w.finish()).unwrap();
+        assert!(store.load_sim(fp).is_none(), "future version is a miss");
+
+        // A valid container of the wrong kind in the slot.
+        let mut w = binio::BinWriter::new(binio::KIND_SA_TABLE, 1);
+        w.section(&[0u8; 8]);
+        fs::write(&path, w.finish()).unwrap();
+        assert!(store.load_sim(fp).is_none(), "wrong kind is a miss");
+
+        let c = store.counters();
+        assert_eq!((c.hits(), c.misses()), (0, 5));
+        // The pipeline reacts to a miss by recomputing and rewriting;
+        // the slot heals once rewritten.
+        store.save_sim(fp, &stats);
+        assert_eq!(store.load_sim(fp).unwrap().total_transitions, 100);
+    }
+
+    #[test]
+    fn mixed_format_store_usage_and_gc_cover_both_extensions() {
+        let store = temp_store("mixed");
+        let stats = SimStats {
+            cycles: 1,
+            total_transitions: 10,
+            functional_transitions: 10,
+            glitch_transitions: 0,
+            per_node: vec![],
+        };
+        store.save_sim(Fingerprint(1), &stats); // .bin (the default)
+        let text = ArtifactStore::open(store.root())
+            .unwrap()
+            .with_format(StoreFormat::Text);
+        text.save_sim(Fingerprint(2), &stats); // .txt
+        let sims = store.root().join("sims");
+        assert!(sims.join(format!("{}.bin", Fingerprint(1))).exists());
+        assert!(sims.join(format!("{}.txt", Fingerprint(2))).exists());
+        // One handle reads both encodings (sniffed per file, never
+        // negotiated), and accounting sees both.
+        assert!(store.load_sim(Fingerprint(1)).is_some());
+        assert!(store.load_sim(Fingerprint(2)).is_some());
+        assert_eq!(store.usage().unwrap().sims.files, 2);
+        // Listing dedups the stems regardless of extension.
+        assert_eq!(store.raw_list("sims").unwrap().len(), 2);
+        // gc prunes across encodings.
+        let wipe = store
+            .gc(&GcPolicy {
+                max_age: None,
+                max_bytes: Some(0),
+                ..GcPolicy::default()
+            })
+            .unwrap();
+        assert_eq!(wipe.removed, 2);
+        assert_eq!(store.usage().unwrap().total().files, 0);
+    }
+
+    #[test]
+    fn rewriting_a_slot_in_the_other_format_removes_the_stale_twin() {
+        let store = temp_store("twin");
+        let stats = SimStats {
+            cycles: 2,
+            total_transitions: 8,
+            functional_transitions: 8,
+            glitch_transitions: 0,
+            per_node: vec![],
+        };
+        let fp = Fingerprint(4);
+        store.save_sim(fp, &stats);
+        let sims = store.root().join("sims");
+        assert!(sims.join(format!("{fp}.bin")).exists());
+        let text = ArtifactStore::open(store.root())
+            .unwrap()
+            .with_format(StoreFormat::Text);
+        text.save_sim(fp, &stats);
+        // A name lives in exactly one extension: the rewrite removed
+        // the binary twin, so a later gc or convert can't resurrect a
+        // stale version of the artifact.
+        assert!(sims.join(format!("{fp}.txt")).exists());
+        assert!(!sims.join(format!("{fp}.bin")).exists());
+        assert_eq!(store.usage().unwrap().sims.files, 1);
+    }
+
+    #[test]
+    fn convert_migrates_between_formats_in_place() {
+        use netlist::cells;
+
+        // A store fully written in the text format...
+        let store = temp_store("convert").with_format(StoreFormat::Text);
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig::fast();
+        let (sched, rb) = flow::prepare(&g, &rc, &cfg);
+        let pfp = Fingerprint(11);
+        store.save_prepared(pfp, &sched, &rb);
+
+        let mut nl = Netlist::new("conv");
+        let a: Vec<_> = (0..3).map(|i| nl.add_input(format!("a{i}"))).collect();
+        let b: Vec<_> = (0..3).map(|i| nl.add_input(format!("b{i}"))).collect();
+        let prod = cells::array_multiplier(&mut nl, "m", &a, &b);
+        for (i, s) in prod.iter().enumerate() {
+            nl.mark_output(format!("p{i}"), *s);
+        }
+        let artifact = MappedArtifact {
+            netlist: nl,
+            luts: 17,
+            depth: 5,
+            estimated_sa: 2.625,
+            registers: 3,
+        };
+        let nfp = Fingerprint(12);
+        store.save_mapped(nfp, &artifact);
+
+        let stats = SimStats {
+            cycles: 64,
+            total_transitions: 640,
+            functional_transitions: 600,
+            glitch_transitions: 40,
+            per_node: vec![0; 9],
+        };
+        let sfp = Fingerprint(13);
+        store.save_sim(sfp, &stats);
+
+        let mut table = SaTable::new(4, 4);
+        table.insert(FuType::Mul, 3, 5, 1.5);
+        store.merge_sa_table(&table);
+
+        for kind in ["prepared", "netlists", "sims", "satables"] {
+            let names = store.raw_list(kind).unwrap();
+            assert_eq!(names.len(), 1, "{kind} populated");
+            assert!(
+                store
+                    .root()
+                    .join(kind)
+                    .join(format!("{}.txt", names[0]))
+                    .exists(),
+                "{kind} starts out as text"
+            );
+        }
+
+        // ...migrates in place to binary...
+        let report = store.convert(StoreFormat::Binary).unwrap();
+        assert_eq!(
+            (report.converted, report.unchanged, report.failed),
+            (4, 0, 0),
+            "{report}"
+        );
+        for kind in ["prepared", "netlists", "sims", "satables"] {
+            let name = &store.raw_list(kind).unwrap()[0];
+            assert!(store.root().join(kind).join(format!("{name}.bin")).exists());
+            assert!(!store.root().join(kind).join(format!("{name}.txt")).exists());
+        }
+        // ...idempotently...
+        let again = store.convert(StoreFormat::Binary).unwrap();
+        assert_eq!((again.converted, again.unchanged, again.failed), (0, 4, 0));
+
+        // ...and every artifact reloads exactly.
+        let (s2, r2) = store.load_prepared(pfp, |_, _| true).unwrap();
+        assert_eq!(s2, sched);
+        assert_eq!(r2.reg_of, rb.reg_of);
+        assert_eq!(r2.swap, rb.swap);
+        let m2 = store.load_mapped(nfp).unwrap();
+        assert_eq!(m2.luts, 17);
+        assert_eq!(m2.estimated_sa.to_bits(), 2.625f64.to_bits());
+        assert_eq!(
+            write_netlist_text(&m2.netlist),
+            write_netlist_text(&artifact.netlist)
+        );
+        let sim2 = store.load_sim(sfp).unwrap();
+        assert_eq!(sim2.total_transitions, 640);
+        assert_eq!(sim2.per_node.len(), 9);
+        let t2 = store
+            .load_sa_table(SaMode::Precalculated, 4, 4)
+            .expect("sa shard survives conversion");
+        assert_eq!(t2.lookup(FuType::Mul, 3, 5), Some(1.5));
+
+        // The round trip back to text converts everything again.
+        let back = store.convert(StoreFormat::Text).unwrap();
+        assert_eq!((back.converted, back.unchanged, back.failed), (4, 0, 0));
+        assert!(store.load_sim(sfp).is_some());
+    }
+
+    #[test]
     fn backend_raw_access_and_listing() {
         let store = temp_store("raw");
         assert!(!store.raw_stat("sims", "aa"));
-        store.raw_put("sims", "aa", "body-a");
-        store.raw_put("sims", "bb", "body-b");
+        store.raw_put("sims", "aa", b"body-a");
+        store.raw_put("sims", "bb", b"body-b");
         assert!(store.raw_stat("sims", "aa"));
-        assert_eq!(store.raw_get("sims", "aa").as_deref(), Some("body-a"));
-        assert_eq!(store.raw_get("sims", "zz"), None);
+        assert_eq!(
+            store.raw_get("sims", "aa").as_deref(),
+            Some(b"body-a".as_ref())
+        );
+        assert!(store.raw_get("sims", "zz").is_none());
         assert_eq!(store.raw_list("sims").unwrap(), vec!["aa", "bb"]);
         assert_eq!(store.raw_list("netlists").unwrap(), Vec::<String>::new());
         // Raw access is uncounted: it serves the daemon's wire verbs and

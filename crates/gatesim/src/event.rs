@@ -13,7 +13,11 @@
 //! transitions are glitches.
 
 use crate::eval::Evaluator;
+use netlist::binio::{self, BinError};
 use netlist::{Netlist, NodeId, NodeKind};
+
+/// Version of the binary sim-summary encoding (the `"simu"` payload).
+pub const SIM_SUMMARY_VERSION: u32 = 1;
 
 /// Cumulative simulation statistics.
 #[derive(Clone, Debug, Default)]
@@ -100,6 +104,57 @@ impl SimStats {
         // not overflow-panic in debug builds (loads treat Err as a miss).
         if functional_transitions.checked_add(glitch_transitions) != Some(total_transitions) {
             return Err(format!("inconsistent transition split in `{line}`"));
+        }
+        Ok(SimStats {
+            cycles,
+            total_transitions,
+            functional_transitions,
+            glitch_transitions,
+            per_node: vec![0; nodes],
+        })
+    }
+
+    /// Serializes the summary as an `hlpbin v1` `"simu"` container — the
+    /// store's hot-path format. Carries exactly the fields of
+    /// [`SimStats::to_summary_text`] (per-node counters are dropped the
+    /// same way), as one section of five little-endian `u64`s.
+    pub fn to_summary_bin(&self) -> Vec<u8> {
+        let mut w = binio::BinWriter::new(binio::KIND_SIM, SIM_SUMMARY_VERSION);
+        let mut body = Vec::with_capacity(40);
+        body.extend_from_slice(&self.cycles.to_le_bytes());
+        body.extend_from_slice(&self.total_transitions.to_le_bytes());
+        body.extend_from_slice(&self.functional_transitions.to_le_bytes());
+        body.extend_from_slice(&self.glitch_transitions.to_le_bytes());
+        body.extend_from_slice(&(self.per_node.len() as u64).to_le_bytes());
+        w.section(&body);
+        w.finish()
+    }
+
+    /// Parses a summary written by [`SimStats::to_summary_bin`],
+    /// enforcing the same transition-split consistency check as the text
+    /// parser.
+    ///
+    /// # Errors
+    ///
+    /// Any container or payload defect is a [`BinError`]; the artifact
+    /// store treats them all as cache misses.
+    pub fn from_summary_bin(data: &[u8]) -> Result<SimStats, BinError> {
+        let r = binio::BinReader::open(data, binio::KIND_SIM, SIM_SUMMARY_VERSION)?;
+        let mut c = binio::Cursor::new(r.section(0)?);
+        let cycles = c.u64()?;
+        let total_transitions = c.u64()?;
+        let functional_transitions = c.u64()?;
+        let glitch_transitions = c.u64()?;
+        let nodes = c.read_len()?;
+        if !c.done() {
+            return Err(BinError::Malformed(
+                "trailing bytes after sim summary".to_string(),
+            ));
+        }
+        if functional_transitions.checked_add(glitch_transitions) != Some(total_transitions) {
+            return Err(BinError::Malformed(
+                "inconsistent transition split".to_string(),
+            ));
         }
         Ok(SimStats {
             cycles,
@@ -512,5 +567,56 @@ mod tests {
         let s = SimStats::from_summary_text(ok).unwrap();
         assert_eq!(s.total_transitions, 5);
         assert_eq!(s.per_node, vec![0; 4]);
+    }
+
+    #[test]
+    fn summary_bin_roundtrips_and_agrees_with_text() {
+        let mut nl = Netlist::new("sum");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_logic("g", vec![a, b], TruthTable::and(2));
+        nl.mark_output("o", g);
+        let stats = crate::run_random(&nl, 150, 3);
+        let bin = stats.to_summary_bin();
+        let back = SimStats::from_summary_bin(&bin).unwrap();
+        assert_eq!(back.cycles, stats.cycles);
+        assert_eq!(back.total_transitions, stats.total_transitions);
+        assert_eq!(back.functional_transitions, stats.functional_transitions);
+        assert_eq!(back.glitch_transitions, stats.glitch_transitions);
+        assert_eq!(back.per_node.len(), stats.per_node.len());
+        // Binary and text carry the same summary.
+        let via_text = SimStats::from_summary_text(&stats.to_summary_text()).unwrap();
+        assert_eq!(back.total_transitions, via_text.total_transitions);
+        // Re-encoding is byte-stable.
+        assert_eq!(back.to_summary_bin(), bin);
+    }
+
+    #[test]
+    fn summary_bin_rejects_corruption_and_inconsistency() {
+        let stats = SimStats {
+            cycles: 1,
+            total_transitions: 5,
+            functional_transitions: 3,
+            glitch_transitions: 2,
+            per_node: vec![0; 4],
+        };
+        let good = stats.to_summary_bin();
+        for cut in 0..good.len() {
+            assert!(SimStats::from_summary_bin(&good[..cut]).is_err());
+        }
+        assert!(SimStats::from_summary_bin(b"# hlpower sim v1\n").is_err());
+        // A split where functional + glitch != total fails even inside a
+        // well-formed container.
+        let bad = SimStats {
+            functional_transitions: 4,
+            ..stats
+        };
+        let mut bytes = bad.to_summary_bin();
+        assert!(SimStats::from_summary_bin(&bytes).is_err());
+        // ...and a checksum flip is caught.
+        bytes = good.clone();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(SimStats::from_summary_bin(&bytes).is_err());
     }
 }

@@ -11,6 +11,7 @@
 use crate::truth::TruthTable;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Index of a node inside a [`Netlist`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -148,7 +149,11 @@ pub struct Netlist {
     inputs: Vec<NodeId>,
     outputs: Vec<(String, NodeId)>,
     latches: Vec<NodeId>,
-    names: HashMap<String, NodeId>,
+    /// Name → id index. Lazily (re)built from `nodes` on the first
+    /// [`Netlist::find`]: bulk deserialization (the binary codec) skips
+    /// the per-node hashing entirely, while incremental construction
+    /// keeps it materialized for its duplicate-name assert.
+    names: OnceLock<HashMap<String, NodeId>>,
 }
 
 impl Netlist {
@@ -160,8 +165,42 @@ impl Netlist {
             inputs: Vec::new(),
             outputs: Vec::new(),
             latches: Vec::new(),
-            names: HashMap::new(),
+            names: OnceLock::from(HashMap::new()),
         }
+    }
+
+    /// Assembles a netlist directly from its parts, without building the
+    /// name index (it materializes on the first [`Netlist::find`]). The
+    /// caller guarantees the structural invariants the incremental
+    /// builders enforce: unique node names and in-range ids.
+    pub(crate) fn from_parts_unindexed(
+        name: String,
+        nodes: Vec<Node>,
+        inputs: Vec<NodeId>,
+        outputs: Vec<(String, NodeId)>,
+        latches: Vec<NodeId>,
+    ) -> Self {
+        Netlist {
+            name,
+            nodes,
+            inputs,
+            outputs,
+            latches,
+            names: OnceLock::new(),
+        }
+    }
+
+    fn build_index(nodes: &[Node]) -> HashMap<String, NodeId> {
+        let index: HashMap<String, NodeId> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), NodeId(i as u32)))
+            .collect();
+        // Duplicate names would have collapsed into one entry; decoders
+        // that defer indexing trust their input's uniqueness, so only
+        // debug builds pay for the audit.
+        debug_assert_eq!(index.len(), nodes.len(), "duplicate node names");
+        index
     }
 
     /// Model name.
@@ -176,8 +215,12 @@ impl Netlist {
 
     fn push(&mut self, name: String, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        if self.names.get().is_none() {
+            let _ = self.names.set(Self::build_index(&self.nodes));
+        }
+        let names = self.names.get_mut().expect("index just materialized");
         assert!(
-            self.names.insert(name.clone(), id).is_none(),
+            names.insert(name.clone(), id).is_none(),
             "duplicate node name `{name}`"
         );
         self.nodes.push(Node { name, kind });
@@ -287,7 +330,10 @@ impl Netlist {
 
     /// Looks a node up by name.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.names.get(name).copied()
+        self.names
+            .get_or_init(|| Self::build_index(&self.nodes))
+            .get(name)
+            .copied()
     }
 
     /// Fanins of a node (empty for inputs/constants; the data input for a
@@ -554,12 +600,8 @@ impl Netlist {
         for (_, id) in &mut self.outputs {
             *id = remap[id.index()];
         }
-        self.names = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (n.name.clone(), NodeId(i as u32)))
-            .collect();
+        // Ids moved: drop the index and let the next `find` rebuild it.
+        self.names = OnceLock::new();
         removed
     }
 

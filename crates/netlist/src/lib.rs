@@ -12,6 +12,9 @@
 //! * [`textio`] — the **exact** netlist text codec used by the artifact
 //!   store (structure-preserving, byte-stable — unlike the normalizing
 //!   BLIF round trip);
+//! * [`binio`] — the `hlpbin v1` binary container and the exact binary
+//!   netlist codec: the store's hot-path format, decodable from an
+//!   mmap'd file with no per-node text parsing;
 //! * [`cells`] — word-level generators for the paper's resource library:
 //!   balanced mux trees, adder/subtractors, carry-save array multipliers,
 //!   and registers with write enables.
@@ -36,12 +39,16 @@
 
 #![warn(missing_docs)]
 
+pub mod binio;
 pub mod blif;
 pub mod cells;
 pub mod graph;
+#[cfg(test)]
+pub(crate) mod testgen;
 pub mod textio;
 pub mod truth;
 
+pub use binio::{parse_netlist_bin, write_netlist_bin, BinError};
 pub use blif::{parse_blif, write_blif, BlifError, BlifFile, BlifModel};
 pub use cells::Bus;
 pub use graph::{Netlist, NetlistError, NetlistStats, Node, NodeId, NodeKind};

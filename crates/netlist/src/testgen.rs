@@ -1,0 +1,81 @@
+//! Shared test-only netlist generators for the exact codecs.
+//!
+//! The text ([`crate::textio`]) and binary ([`crate::binio`]) codecs make
+//! the same promise — `parse(write(nl))` reconstructs `nl` field for
+//! field — so they fuzz over the same random LUT soups and share the
+//! exactness assertion.
+
+use crate::graph::{Netlist, NodeId};
+use crate::truth::TruthTable;
+
+/// Minimal deterministic generator (xorshift64*) so the fuzz cases need
+/// no dependencies and reproduce exactly by seed.
+pub(crate) struct Lcg(pub u64);
+
+impl Lcg {
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Random LUT soup: inputs, constants, logic with random tables, and
+/// (sometimes) latches with feedback — every node kind the codecs must
+/// carry, including names that need escaping.
+pub(crate) fn arb_netlist(seed: u64) -> Netlist {
+    let mut g = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+    let mut nl = Netlist::new(format!("soup {seed}"));
+    let num_inputs = 2 + g.below(4);
+    let mut pool: Vec<NodeId> = (0..num_inputs)
+        .map(|i| nl.add_input(format!("in {i}")))
+        .collect();
+    if g.below(2) == 0 {
+        pool.push(nl.add_constant("k%1", g.below(2) == 1));
+    }
+    let mut latches = Vec::new();
+    for k in 0..g.below(3) {
+        let l = nl.add_latch(format!("q{k}"), g.below(2) == 1);
+        latches.push(l);
+        pool.push(l);
+    }
+    for k in 0..1 + g.below(12) {
+        let arity = 1 + g.below(4);
+        let fanins: Vec<NodeId> = (0..arity).map(|_| pool[g.below(pool.len())]).collect();
+        let bits = g.next();
+        let table = TruthTable::from_fn(arity, |row| bits >> (row % 64) & 1 == 1);
+        pool.push(nl.add_logic(format!("g\t{k}"), fanins, table));
+    }
+    for l in latches {
+        let data = pool[g.below(pool.len())];
+        nl.set_latch_data(l, data);
+    }
+    let out = *pool.last().unwrap();
+    nl.mark_output("o ut", out);
+    if g.below(2) == 0 {
+        nl.mark_output("o2", pool[g.below(pool.len())]);
+    }
+    nl
+}
+
+/// Asserts two netlists are structurally identical: same ids, same
+/// order, same names, same node kinds — the artifact-store guarantee.
+pub(crate) fn assert_exact_match(a: &Netlist, b: &Netlist) {
+    assert_eq!(a.name(), b.name());
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    assert_eq!(a.inputs(), b.inputs());
+    assert_eq!(a.latches(), b.latches());
+    assert_eq!(a.outputs(), b.outputs());
+    for ((ia, na), (ib, nb)) in a.nodes().zip(b.nodes()) {
+        assert_eq!(ia, ib);
+        assert_eq!(na.name, nb.name);
+        assert_eq!(na.kind, nb.kind);
+    }
+}

@@ -15,6 +15,8 @@
 //! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
 //! hlp gc --store DIR [--max-age-days D] [--max-bytes B]
 //!                                   store size accounting and pruning
+//! hlp store convert DIR [--store-format binary|text]
+//!                                   re-encode every artifact in place
 //! hlp suite [--requests]            list the built-in benchmarks
 //!
 //! options:
@@ -46,6 +48,9 @@
 //!                    `remote:ADDR` for the hot store of an `hlp serve`
 //!                    daemon (not combinable with --remote, which ships
 //!                    the whole job to the daemon instead)
+//!   --store-format F `binary` (default: mmap-able, checksummed) or
+//!                    `text` (debug/interchange) for new store writes;
+//!                    reads always sniff per file, so the formats mix
 //! ```
 //!
 //! Every command speaks the typed service API (`hlpower::api`): `run`
@@ -61,7 +66,9 @@
 
 use cdfg::ResourceConstraint;
 use hlpower::api::{self, Endpoint, JobReport, JobRequest, Server, Service};
-use hlpower::{ArtifactStore, Binder, ControlStyle, GcPolicy, SaMode, SaTable, ServeOptions};
+use hlpower::{
+    ArtifactStore, Binder, ControlStyle, GcPolicy, SaMode, SaTable, ServeOptions, StoreFormat,
+};
 use std::process::exit;
 use std::sync::Arc;
 
@@ -82,15 +89,18 @@ struct Options {
     dot: Option<String>,
     sa_table: Option<String>,
     store: Option<String>,
+    store_format: StoreFormat,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: hlp <run FILE | bench NAME | serve | table OUT | merge DST SRC... | \
-         gc | suite> [--width N] [--adders N] [--mults N] [--alpha A] [--binder B] \
-         [--cycles N] [--lanes N] [--sa-mode M] [--seed N] [--fsm] [--remote ADDR] \
-         [--vhdl P] [--blif P] [--dot P] [--sa-table P] [--store DIR|remote:ADDR]\n\
-         hlp serve (--socket P | --port N) [--store DIR] [--max-clients N] | --stop"
+         gc | store convert DIR | suite> [--width N] [--adders N] [--mults N] [--alpha A] \
+         [--binder B] [--cycles N] [--lanes N] [--sa-mode M] [--seed N] [--fsm] \
+         [--remote ADDR] [--vhdl P] [--blif P] [--dot P] [--sa-table P] \
+         [--store DIR|remote:ADDR] [--store-format binary|text]\n\
+         hlp serve (--socket P | --port N) [--store DIR] [--store-format F] \
+         [--max-clients N] | --stop"
     );
     exit(2)
 }
@@ -142,6 +152,7 @@ fn parse_options(args: &[String]) -> Options {
         dot: None,
         sa_table: None,
         store: None,
+        store_format: StoreFormat::default(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -186,6 +197,11 @@ fn parse_options(args: &[String]) -> Options {
             "--dot" => o.dot = Some(value(&mut i)),
             "--sa-table" => o.sa_table = Some(value(&mut i)),
             "--store" => o.store = Some(value(&mut i)),
+            "--store-format" => {
+                let v = value(&mut i);
+                o.store_format =
+                    StoreFormat::parse(&v).unwrap_or_else(|| bad_value(&flag, &v, "binary | text"));
+            }
             other => {
                 eprintln!("hlp: unknown flag `{other}`");
                 usage()
@@ -308,6 +324,11 @@ fn render_report(req: &JobRequest, rep: &JobReport) -> String {
 fn report_stats(rep: &JobReport) {
     eprintln!("stages: {}", rep.stats.stages);
     eprintln!("store: {}", rep.stats.store);
+    // Only meaningful locally: a remote report carries no codec timings
+    // (they describe the daemon's parse cost, which it keeps).
+    if rep.stats.codec.total_ns() > 0 {
+        eprintln!("codec: {}", rep.stats.codec);
+    }
 }
 
 /// Seeds the SA cache the selected binder draws from using `--sa-table`,
@@ -362,8 +383,8 @@ fn store_table(o: &Options, pipeline: &hlpower::Pipeline, binder: Binder) {
 /// Opens the artifact store a `--store` spec names (a directory, or
 /// `remote:ADDR` for a daemon's hot store), exiting with a message on
 /// failure. `role` names the store in the error.
-fn open_store_or_die(spec: &str, role: &str) -> ArtifactStore {
-    ArtifactStore::open_spec(spec)
+fn open_store_or_die(spec: &str, format: StoreFormat, role: &str) -> ArtifactStore {
+    ArtifactStore::open_spec_with(spec, format)
         .unwrap_or_else(|e| die(format!("cannot open {role} `{spec}`: {e}")))
 }
 
@@ -394,7 +415,11 @@ fn run_job(o: &Options, source: hlpower::JobSource) {
         return;
     }
     let service = match &o.store {
-        Some(dir) => Service::new().with_store(Arc::new(open_store_or_die(dir, "artifact store"))),
+        Some(dir) => Service::new().with_store(Arc::new(open_store_or_die(
+            dir,
+            o.store_format,
+            "artifact store",
+        ))),
         None => Service::new(),
     };
     let binder = req.binder;
@@ -466,6 +491,7 @@ fn serve(args: &[String]) -> ! {
     let mut socket: Option<String> = None;
     let mut port: Option<u16> = None;
     let mut store: Option<String> = None;
+    let mut store_format = StoreFormat::default();
     let mut stop = false;
     let mut opts = ServeOptions {
         log: true,
@@ -480,6 +506,11 @@ fn serve(args: &[String]) -> ! {
             "--socket" => socket = Some(value(&mut i)),
             "--port" => port = Some(parsed(&flag, &value(&mut i), "a port number")),
             "--store" => store = Some(value(&mut i)),
+            "--store-format" => {
+                let v = value(&mut i);
+                store_format =
+                    StoreFormat::parse(&v).unwrap_or_else(|| bad_value(&flag, &v, "binary | text"));
+            }
             "--stop" => stop = true,
             "--max-clients" => {
                 let v = value(&mut i);
@@ -517,9 +548,11 @@ fn serve(args: &[String]) -> ! {
         }
     }
     let service = match &store {
-        Some(spec) => {
-            Service::new().with_store(Arc::new(open_store_or_die(spec, "artifact store")))
-        }
+        Some(spec) => Service::new().with_store(Arc::new(open_store_or_die(
+            spec,
+            store_format,
+            "artifact store",
+        ))),
         None => Service::new(),
     };
     let server =
@@ -602,6 +635,59 @@ fn gc(args: &[String]) {
     println!("gc: {report}");
 }
 
+/// `hlp store convert DIR`: re-encode every artifact in place into the
+/// target format (binary unless `--store-format text`). Unreadable
+/// files are left untouched and counted, never deleted.
+fn store_command(args: &[String]) {
+    let Some(verb) = args.first() else {
+        eprintln!("hlp store: missing verb (expected `convert`)");
+        usage()
+    };
+    if verb != "convert" {
+        eprintln!("hlp store: unknown verb `{verb}` (expected `convert`)");
+        usage()
+    }
+    let Some(dir) = args.get(1) else {
+        eprintln!("hlp store convert: missing store directory argument");
+        usage()
+    };
+    if dir.starts_with("remote:") {
+        eprintln!(
+            "hlp store convert: conversion is local-only; run it on the daemon host \
+             against its store directory"
+        );
+        usage()
+    }
+    let mut format = StoreFormat::default();
+    let mut i = 2;
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--store-format" => {
+                let v = take_value(args, &mut i, &flag);
+                format =
+                    StoreFormat::parse(&v).unwrap_or_else(|| bad_value(&flag, &v, "binary | text"));
+            }
+            other => {
+                eprintln!("hlp store convert: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    // Strict open: convert must not materialize an empty store at a
+    // mistyped path.
+    let store = ArtifactStore::open_existing(dir)
+        .unwrap_or_else(|e| die(format!("cannot open artifact store: {e}")));
+    let report = store
+        .convert(format)
+        .unwrap_or_else(|e| die(format!("conversion of `{dir}` failed: {e}")));
+    println!("converted `{dir}` to {}: {report}", format.name());
+    if report.failed > 0 {
+        exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else { usage() };
@@ -636,6 +722,7 @@ fn main() {
         }
         "serve" => serve(&argv[1..]),
         "gc" => gc(&argv[1..]),
+        "store" => store_command(&argv[1..]),
         "table" => {
             let Some(out) = argv.get(1) else {
                 eprintln!("hlp table: missing output path argument");
@@ -660,7 +747,7 @@ fn main() {
             // With --store, the precomputed entries also land in the
             // store's SA shard, so later --store runs start warm.
             if let Some(dir) = &o.store {
-                let store = open_store_or_die(dir, "artifact store");
+                let store = open_store_or_die(dir, o.store_format, "artifact store");
                 let stats = store.merge_sa_table(&table);
                 eprintln!("merged into store `{dir}`: {stats}");
             }
@@ -678,7 +765,7 @@ fn main() {
                 eprintln!("merge needs at least one source store");
                 usage();
             }
-            let dst_store = open_store_or_die(dst, "destination store");
+            let dst_store = open_store_or_die(dst, StoreFormat::default(), "destination store");
             let mut failed = false;
             for src in &argv[2..] {
                 // Sources are read-only inputs: a mistyped path must fail

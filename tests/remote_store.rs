@@ -104,16 +104,16 @@ fn remote_backend_round_trips_artifacts_through_the_daemon() {
     // Content-addressed artifacts: put remotely, visible locally (and
     // back), byte for byte — the backend only moves bytes.
     assert!(!remote.raw_stat("sims", "feedc0de"));
-    remote.raw_put("sims", "feedc0de", "summary body\nwith lines\n");
+    remote.raw_put("sims", "feedc0de", b"summary body\nwith lines\n");
     assert!(remote.raw_stat("sims", "feedc0de"));
     assert_eq!(
         remote.raw_get("sims", "feedc0de").as_deref(),
-        Some("summary body\nwith lines\n")
+        Some(b"summary body\nwith lines\n".as_ref())
     );
     let local = ArtifactStore::open(&store_dir).unwrap();
     assert_eq!(
-        local.raw_get("sims", "feedc0de"),
-        remote.raw_get("sims", "feedc0de"),
+        local.raw_get("sims", "feedc0de").as_deref(),
+        remote.raw_get("sims", "feedc0de").as_deref(),
         "remote put lands in the daemon's local store"
     );
     assert_eq!(remote.raw_list("sims").unwrap(), vec!["feedc0de"]);
