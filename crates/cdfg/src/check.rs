@@ -1,0 +1,299 @@
+//! Exhaustive semantic checking of a [`Cdfg`].
+//!
+//! [`Cdfg::check`] stops at the first defect — the right contract for
+//! constructors. The auditor behind `hlp check` needs every problem in
+//! one pass, typed, with no panics on hostile graphs: all ids are
+//! range-checked before indexing and the cycle sweep is an iterative
+//! Kahn peel. This is the CDFG-side twin of `netlist::check`.
+
+use crate::graph::{Cdfg, OpId, VarId, VarSource};
+use std::fmt;
+
+/// One semantic problem found by [`check_cdfg`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CdfgViolation {
+    /// An operation input or output names a variable id out of range.
+    DanglingVar {
+        /// The referencing operation.
+        op: OpId,
+        /// The out-of-range variable id.
+        var: u32,
+    },
+    /// A primary output names a variable that does not exist.
+    UnknownOutput {
+        /// The out-of-range variable id.
+        var: u32,
+    },
+    /// Two variables share one name.
+    DuplicateName {
+        /// The contested name.
+        name: String,
+    },
+    /// The data-flow graph has a cycle through this operation.
+    Cycle {
+        /// An operation on the cycle.
+        op: OpId,
+    },
+    /// An operation whose result reaches no primary output (dead code;
+    /// a hygiene finding, not corruption).
+    OrphanOp {
+        /// The unreachable operation.
+        op: OpId,
+    },
+}
+
+impl CdfgViolation {
+    /// Whether this finding blocks the flow (orphans are hygiene only).
+    pub fn is_error(&self) -> bool {
+        !matches!(self, CdfgViolation::OrphanOp { .. })
+    }
+}
+
+impl fmt::Display for CdfgViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdfgViolation::DanglingVar { op, var } => {
+                write!(f, "{op} references missing variable v{var}")
+            }
+            CdfgViolation::UnknownOutput { var } => {
+                write!(f, "primary output v{var} does not exist")
+            }
+            CdfgViolation::DuplicateName { name } => {
+                write!(f, "duplicate variable name `{name}`")
+            }
+            CdfgViolation::Cycle { op } => write!(f, "data-flow cycle through {op}"),
+            CdfgViolation::OrphanOp { op } => {
+                write!(f, "{op} reaches no primary output")
+            }
+        }
+    }
+}
+
+/// Everything [`check_cdfg`] found, in deterministic (id) order.
+#[derive(Clone, Debug, Default)]
+pub struct CdfgCheckReport {
+    /// All findings in discovery order.
+    pub violations: Vec<CdfgViolation>,
+    /// Number of operations examined.
+    pub checked_ops: usize,
+}
+
+impl CdfgCheckReport {
+    /// Count of error-grade findings.
+    pub fn errors(&self) -> usize {
+        self.violations.iter().filter(|v| v.is_error()).count()
+    }
+
+    /// True when no error-grade violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+impl fmt::Display for CdfgCheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "ok: {} ops checked", self.checked_ops);
+        }
+        for v in &self.violations {
+            writeln!(f, "{}: {v}", if v.is_error() { "error" } else { "warning" })?;
+        }
+        write!(
+            f,
+            "{} ops checked: {} errors",
+            self.checked_ops,
+            self.errors()
+        )
+    }
+}
+
+/// Runs every semantic check over `g` and reports **all** findings.
+///
+/// # Examples
+///
+/// ```
+/// use cdfg::{check_cdfg, Cdfg, OpKind};
+/// let mut g = Cdfg::new("mac");
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let (_, p) = g.add_op(OpKind::Mul, a, b);
+/// g.mark_output(p);
+/// assert!(check_cdfg(&g).is_clean());
+/// ```
+pub fn check_cdfg(g: &Cdfg) -> CdfgCheckReport {
+    let mut report = CdfgCheckReport {
+        violations: Vec::new(),
+        checked_ops: g.num_ops(),
+    };
+    let nv = g.num_vars() as u32;
+
+    // Duplicate names, sort-based for deterministic reporting.
+    let mut names: Vec<&str> = (0..g.num_vars())
+        .map(|i| g.var(VarId(i as u32)).name.as_str())
+        .collect();
+    names.sort_unstable();
+    for pair in names.windows(2) {
+        if pair[0] == pair[1] {
+            report.violations.push(CdfgViolation::DuplicateName {
+                name: pair[0].to_string(),
+            });
+        }
+    }
+
+    for (id, op) in g.ops() {
+        for v in op.inputs.iter().chain([&op.output]) {
+            if v.0 >= nv {
+                report
+                    .violations
+                    .push(CdfgViolation::DanglingVar { op: id, var: v.0 });
+            }
+        }
+    }
+    for v in g.outputs() {
+        if v.0 >= nv {
+            report
+                .violations
+                .push(CdfgViolation::UnknownOutput { var: v.0 });
+        }
+    }
+
+    // Cycle sweep: iterative Kahn peel over op→op dependency edges,
+    // following only in-range variable references.
+    let nops = g.num_ops();
+    let mut indeg = vec![0usize; nops];
+    let mut consumers: Vec<Vec<OpId>> = vec![Vec::new(); nops];
+    for (id, op) in g.ops() {
+        for v in &op.inputs {
+            if v.0 < nv {
+                if let VarSource::Op(src) = g.var(*v).source {
+                    if src.index() < nops {
+                        indeg[id.index()] += 1;
+                        consumers[src.index()].push(id);
+                    }
+                }
+            }
+        }
+    }
+    let mut queue: Vec<OpId> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| OpId(i as u32))
+        .collect();
+    let mut peeled = vec![false; nops];
+    while let Some(id) = queue.pop() {
+        if peeled[id.index()] {
+            continue;
+        }
+        peeled[id.index()] = true;
+        for &c in &consumers[id.index()] {
+            if peeled[c.index()] {
+                continue;
+            }
+            indeg[c.index()] -= 1;
+            if indeg[c.index()] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+    for (i, done) in peeled.iter().enumerate() {
+        if !done {
+            report
+                .violations
+                .push(CdfgViolation::Cycle { op: OpId(i as u32) });
+        }
+    }
+
+    // Orphan ops: iterative backwards reachability from the primary
+    // outputs over in-range references.
+    let mut live = vec![false; nops];
+    let mut stack: Vec<OpId> = Vec::new();
+    for v in g.outputs() {
+        if v.0 < nv {
+            if let VarSource::Op(src) = g.var(*v).source {
+                if src.index() < nops {
+                    stack.push(src);
+                }
+            }
+        }
+    }
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        for v in &g.op(id).inputs {
+            if v.0 < nv {
+                if let VarSource::Op(src) = g.var(*v).source {
+                    if src.index() < nops {
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+    }
+    for (i, l) in live.iter().enumerate() {
+        if !l {
+            report
+                .violations
+                .push(CdfgViolation::OrphanOp { op: OpId(i as u32) });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Cdfg, OpKind, VarId};
+
+    fn diamond() -> Cdfg {
+        let mut g = Cdfg::new("d");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let (_, s) = g.add_op(OpKind::Add, a, b);
+        let (_, d) = g.add_op(OpKind::Sub, a, b);
+        let (_, p) = g.add_op(OpKind::Mul, s, d);
+        g.mark_output(p);
+        g
+    }
+
+    #[test]
+    fn clean_graph_reports_nothing() {
+        let r = check_cdfg(&diamond());
+        assert!(r.violations.is_empty(), "{r}");
+        assert!(r.is_clean());
+        assert_eq!(r.checked_ops, 3);
+    }
+
+    #[test]
+    fn unknown_output_reported_without_panic() {
+        let mut g = Cdfg::new("bad");
+        g.add_input("a");
+        g.mark_output(VarId(99));
+        let r = check_cdfg(&g);
+        assert_eq!(r.violations, vec![CdfgViolation::UnknownOutput { var: 99 }]);
+    }
+
+    #[test]
+    fn orphan_op_is_a_warning() {
+        let mut g = Cdfg::new("dead");
+        let a = g.add_input("a");
+        let (_, s) = g.add_op(OpKind::Add, a, a);
+        let (_, _dead) = g.add_op(OpKind::Mul, a, a);
+        g.mark_output(s);
+        let r = check_cdfg(&g);
+        assert_eq!(r.violations, vec![CdfgViolation::OrphanOp { op: OpId(1) }]);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn benchmark_suite_checks_clean() {
+        for profile in &crate::PROFILES {
+            let g = crate::generate(profile, profile.seed);
+            let r = check_cdfg(&g);
+            assert!(r.is_clean(), "{}: {r}", profile.name);
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //!   multi-cycle latencies);
 //! * [`lifetime`] — variable lifetime intervals and the register lower
 //!   bound (paper Section 5.1);
+//! * [`check`] — the exhaustive semantic checker (`hlp check`'s CDFG
+//!   side): every violation in one pass, panic-free on hostile graphs;
 //! * `bench` — the seven-benchmark suite of the paper's Table 1,
 //!   regenerated synthetically with exactly the published profiles;
 //! * [`textio`] — a human-readable text format plus Graphviz export.
@@ -41,12 +43,14 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod check;
 pub mod graph;
 pub mod lifetime;
 pub mod sched;
 pub mod textio;
 
 pub use bench::{generate, profile, standard_suite, BenchmarkProfile, PROFILES};
+pub use check::{check_cdfg, CdfgCheckReport, CdfgViolation};
 pub use graph::{Cdfg, CdfgError, FuType, OpId, OpKind, Operation, VarId, VarSource, Variable};
 pub use lifetime::{lifetimes, LifetimeOptions, Lifetimes};
 pub use sched::{alap, asap, list_schedule, ResourceConstraint, ResourceLibrary, Schedule};

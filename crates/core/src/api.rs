@@ -849,6 +849,7 @@ impl Service {
     pub fn flush(&self) {
         let pipelines: Vec<Arc<Pipeline>> = {
             let map = self.pipelines.lock().expect("service pipeline lock");
+            // lint:allow(map-iter): every pipeline gets flushed; order is irrelevant.
             map.values().cloned().collect()
         };
         for p in pipelines {
@@ -861,6 +862,7 @@ impl Service {
     pub fn stats(&self) -> PipelineStats {
         let map = self.pipelines.lock().expect("service pipeline lock");
         let mut stages = StageCounts::default();
+        // lint:allow(map-iter): commutative sum over counters; order is irrelevant.
         for p in map.values() {
             let s = p.counters();
             stages.schedules += s.schedules;
@@ -1495,9 +1497,14 @@ fn serve_store_line<R: BufRead, W: Write>(
             if let Err(e) = check(kind, name) {
                 return fail(e);
             }
-            // The body is opaque on this side: binary and text artifacts
-            // are stored verbatim, no transcode (the extension is picked
-            // by sniffing the magic, in the store).
+            // The body is stored verbatim (no transcode; the extension
+            // is picked by sniffing the magic, in the store) — but not
+            // blindly: it must pass the same static audit `hlp fsck`
+            // applies, so one misbehaving client cannot seed the shared
+            // store with bytes every other client would then trip over.
+            if let Err(e) = crate::store::audit_artifact_bytes(kind, name, &body) {
+                return fail(format!("artifact rejected: {e}"));
+            }
             store.raw_put(kind, name, &body);
             writer.write_all(b"ok\n")?;
             writer.flush()?;

@@ -74,7 +74,8 @@ pub use satable::{
     SharedSaTable,
 };
 pub use store::{
-    ArtifactBytes, ArtifactStore, CodecNanos, ConvertReport, GcPolicy, GcReport, LocalStore,
+    audit_artifact_auto, audit_artifact_bytes, ArtifactBytes, ArtifactStore, CodecNanos,
+    ConvertReport, FsckIssue, FsckReport, GcPolicy, GcReport, KindUsage, LocalStore,
     MappedArtifact, MergeReport, RemoteStore, StoreBackend, StoreCounts, StoreFormat, StoreUsage,
 };
 pub use vhdl::write_vhdl;

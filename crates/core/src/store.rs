@@ -154,6 +154,13 @@ fn is_artifact_file(name: &str) -> bool {
     name.ends_with(".txt") || name.ends_with(".bin")
 }
 
+/// Whether a directory entry is a quarantined artifact (`fsck --repair`
+/// renames defective files to `*.bad`; they stop serving lookups but
+/// `usage`/`gc` still report them so the disk they hold stays visible).
+fn is_quarantine_file(name: &str) -> bool {
+    name.ends_with(".bad")
+}
+
 /// Hit/miss counters per artifact kind — the observable evidence that a
 /// warm rerun really skipped its map/simulate stages.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -285,6 +292,12 @@ pub struct KindUsage {
     pub files: usize,
     /// Their total size in bytes.
     pub bytes: u64,
+    /// Quarantined `*.bad` files `hlp fsck --repair` set aside. They no
+    /// longer serve lookups but still occupy disk, so usage accounting
+    /// must show them.
+    pub quarantined: usize,
+    /// Total size of the quarantined files in bytes.
+    pub quarantined_bytes: u64,
 }
 
 /// Per-kind size accounting of a whole store.
@@ -307,6 +320,8 @@ impl StoreUsage {
         KindUsage {
             files: kinds.iter().map(|k| k.files).sum(),
             bytes: kinds.iter().map(|k| k.bytes).sum(),
+            quarantined: kinds.iter().map(|k| k.quarantined).sum(),
+            quarantined_bytes: kinds.iter().map(|k| k.quarantined_bytes).sum(),
         }
     }
 }
@@ -314,7 +329,15 @@ impl StoreUsage {
 impl fmt::Display for StoreUsage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let row = |f: &mut fmt::Formatter<'_>, name: &str, k: &KindUsage| {
-            writeln!(f, "{name:9} {:6} file(s) {:12} bytes", k.files, k.bytes)
+            write!(f, "{name:9} {:6} file(s) {:12} bytes", k.files, k.bytes)?;
+            if k.quarantined > 0 {
+                write!(
+                    f,
+                    "  [{} quarantined, {} bytes]",
+                    k.quarantined, k.quarantined_bytes
+                )?;
+            }
+            writeln!(f)
         };
         row(f, "prepared", &self.prepared)?;
         row(f, "netlists", &self.netlists)?;
@@ -325,7 +348,15 @@ impl fmt::Display for StoreUsage {
             f,
             "{:9} {:6} file(s) {:12} bytes",
             "total", total.files, total.bytes
-        )
+        )?;
+        if total.quarantined > 0 {
+            write!(
+                f,
+                "  [{} quarantined, {} bytes]",
+                total.quarantined, total.quarantined_bytes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -371,6 +402,10 @@ pub struct GcReport {
     pub kept: usize,
     /// Bytes the kept files hold.
     pub kept_bytes: u64,
+    /// Quarantined `*.bad` files encountered. gc counts them so they
+    /// stay visible, but never prunes them — discarding the evidence a
+    /// repair set aside is `fsck`'s call, not a cache policy's.
+    pub quarantined: usize,
 }
 
 impl fmt::Display for GcReport {
@@ -379,6 +414,75 @@ impl fmt::Display for GcReport {
             f,
             "removed {} artifact(s) ({} bytes), swept {} temp file(s); kept {} ({} bytes)",
             self.removed, self.removed_bytes, self.swept_tmp, self.kept, self.kept_bytes
+        )?;
+        if self.quarantined > 0 {
+            write!(
+                f,
+                "; {} quarantined file(s) left in place",
+                self.quarantined
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One defective artifact found by [`ArtifactStore::fsck`].
+#[derive(Clone, Debug)]
+pub struct FsckIssue {
+    /// The artifact kind (one of [`KINDS`]).
+    pub kind: &'static str,
+    /// The artifact's name (file stem).
+    pub name: String,
+    /// What the audit found wrong, human-readable.
+    pub problem: String,
+    /// Whether the file was renamed aside to `*.bad` (`--repair` on a
+    /// local store).
+    pub quarantined: bool,
+}
+
+impl fmt::Display for FsckIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: {}", self.kind, self.name, self.problem)?;
+        if self.quarantined {
+            write!(f, " [quarantined]")?;
+        }
+        Ok(())
+    }
+}
+
+/// What one [`ArtifactStore::fsck`] walk found.
+#[derive(Clone, Debug, Default)]
+pub struct FsckReport {
+    /// Artifacts examined (every listed name of every kind).
+    pub scanned: usize,
+    /// Every artifact that failed its audit, in walk order
+    /// (kind-by-kind, names sorted).
+    pub issues: Vec<FsckIssue>,
+    /// How many of the issues were renamed aside to `*.bad`.
+    pub quarantined: usize,
+}
+
+impl FsckReport {
+    /// True when every scanned artifact passed.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.issues.is_empty() {
+            return write!(f, "ok: {} artifact(s) scanned, no defects", self.scanned);
+        }
+        for issue in &self.issues {
+            writeln!(f, "bad: {issue}")?;
+        }
+        write!(
+            f,
+            "{} artifact(s) scanned: {} defective, {} quarantined",
+            self.scanned,
+            self.issues.len(),
+            self.quarantined
         )
     }
 }
@@ -757,6 +861,207 @@ fn encode_sa_table(table: &SaTable, format: StoreFormat) -> Vec<u8> {
 fn shard_from_bytes(data: &[u8], mode: SaMode, width: usize, k: usize) -> Option<SaTable> {
     let table = sa_from_bytes(data)?;
     (table.mode() == mode && table.width() == width && table.k() == k).then_some(table)
+}
+
+/// Inverse of [`sa_shard_name`]: `(mode, width, k)` from a shard stem.
+/// `rsplit` keeps mode names containing `-` (`zero-delay`) intact.
+fn parse_sa_shard_name(name: &str) -> Option<(SaMode, usize, usize)> {
+    let (rest, k) = name.rsplit_once("-k")?;
+    let (mode, width) = rest.rsplit_once("-w")?;
+    Some((SaMode::parse(mode)?, width.parse().ok()?, k.parse().ok()?))
+}
+
+// ---- static artifact audit -------------------------------------------------
+
+/// Statically validates `data` as an artifact of `kind` stored under
+/// `name`, without trusting any of it. This is the shared gate behind
+/// `hlp check`, `hlp fsck`, and the daemon's `store put` validation:
+///
+/// 1. `kind` must be one of [`KINDS`] and `name` a safe file stem;
+/// 2. the name must honor the kind's addressing discipline — a
+///    32-hex-digit fingerprint for the content-addressed kinds, a
+///    `<mode>-w<W>-k<K>` shard stem for `satables`;
+/// 3. a binary body must pass the `hlpbin` deep container proof
+///    ([`netlist::validate_deep`]: checksum, in-bounds sections,
+///    in-range indices) **and** carry the payload kind its store kind
+///    promises;
+/// 4. the body must decode under the kind's codec, and a decoded mapped
+///    netlist must additionally pass the full semantic checker
+///    ([`netlist::check_netlist`]) with no error-grade violations — an
+///    SA shard's header must agree with the name it is filed under.
+///
+/// The fingerprint itself hashes the *ingredients* that produced an
+/// artifact, not its bytes, so it cannot be recomputed from the file
+/// alone; the checksum + name-parse + decode trio is the strongest
+/// byte-level re-derivation available.
+///
+/// # Errors
+///
+/// A single-line, human-readable description of the first defect (also
+/// safe to embed in a daemon `error` reply).
+pub fn audit_artifact_bytes(kind: &str, name: &str, data: &[u8]) -> Result<(), String> {
+    if !valid_kind(kind) {
+        return Err(format!("unknown artifact kind `{kind}`"));
+    }
+    if !valid_name(name) {
+        return Err(format!("invalid artifact name `{name}`"));
+    }
+    match kind {
+        "satables" => {
+            if parse_sa_shard_name(name).is_none() {
+                return Err(format!(
+                    "name `{name}` is not a `<mode>-w<W>-k<K>` shard stem"
+                ));
+            }
+        }
+        _ => {
+            if Fingerprint::parse(name).is_none() {
+                return Err(format!(
+                    "name `{name}` is not a 32-hex-digit content fingerprint"
+                ));
+            }
+        }
+    }
+    if binio::is_binary(data) {
+        let report = netlist::validate_deep(data).map_err(|e| format!("binary container: {e}"))?;
+        let expected = match kind {
+            "prepared" => binio::KIND_PREPARED,
+            "netlists" => binio::KIND_MAPPED,
+            "sims" => binio::KIND_SIM,
+            _ => binio::KIND_SA_TABLE,
+        };
+        if report.kind != expected {
+            return Err(format!(
+                "payload kind `{}` does not match store kind `{kind}`",
+                String::from_utf8_lossy(&report.kind)
+            ));
+        }
+    }
+    match kind {
+        "prepared" => {
+            decode_prepared(data).ok_or("does not decode as a prepared artifact")?;
+        }
+        "netlists" => {
+            let artifact =
+                decode_mapped_unchecked(data).ok_or("does not decode as a mapped artifact")?;
+            // One line on failure: the daemon embeds it in a protocol
+            // reply.
+            checked_netlist(&artifact.netlist, "mapped netlist")?;
+        }
+        "sims" => {
+            decode_sim(data).ok_or("does not decode as a simulation summary")?;
+        }
+        _ => {
+            let table = sa_from_bytes(data).ok_or("does not decode as an SA table")?;
+            let (mode, width, k) = parse_sa_shard_name(name).expect("shard name checked above");
+            if table.mode() != mode || table.width() != width || table.k() != k {
+                return Err(format!(
+                    "shard header ({}-w{}-k{}) disagrees with its name `{name}`",
+                    table.mode().name(),
+                    table.width(),
+                    table.k()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full semantic checker over `nl`, summarizing a clean pass
+/// in one line and the first error-grade violation (plus the error
+/// count) in another — the shared verdict shape of both audit entry
+/// points.
+fn checked_netlist(nl: &Netlist, what: &str) -> Result<String, String> {
+    let report = netlist::check_netlist(nl);
+    if report.is_clean() {
+        Ok(format!(
+            "{what}: {} node(s) checked, {} warning(s)",
+            report.checked_nodes,
+            report.warnings()
+        ))
+    } else {
+        let first = report
+            .violations
+            .iter()
+            .find(|v| v.severity() == netlist::Severity::Error)
+            .expect("unclean report has an error");
+        Err(format!(
+            "{what} fails semantic check ({} error(s); first: {first})",
+            report.errors()
+        ))
+    }
+}
+
+/// Sniffs the format of a standalone file's bytes and audits them —
+/// the engine of `hlp check FILE` for anything that is not BLIF or
+/// CDFG text. Binary payloads get the deep `hlpbin` container proof
+/// and are then decoded under the codec their kind tag names; text
+/// payloads dispatch on their version header. Anything holding a
+/// netlist additionally runs the full semantic checker.
+///
+/// Unlike [`audit_artifact_bytes`] there is no store name to validate
+/// against, so name discipline and shard-header agreement are not
+/// checked here.
+///
+/// # Errors
+///
+/// A single-line description of the first defect.
+pub fn audit_artifact_auto(data: &[u8]) -> Result<String, String> {
+    if binio::is_binary(data) {
+        let deep = netlist::validate_deep(data).map_err(|e| format!("binary container: {e}"))?;
+        match deep.kind {
+            binio::KIND_NETLIST => {
+                let nl = netlist::parse_netlist_bin(data)
+                    .map_err(|e| format!("netlist payload: {e}"))?;
+                checked_netlist(&nl, "binary netlist")
+            }
+            binio::KIND_MAPPED => {
+                let artifact = parse_mapped_bin_unchecked(data)
+                    .ok_or("does not decode as a mapped artifact")?;
+                checked_netlist(&artifact.netlist, "mapped artifact")
+            }
+            binio::KIND_PREPARED => {
+                decode_prepared(data).ok_or("does not decode as a prepared artifact")?;
+                Ok(format!("prepared artifact: {deep}"))
+            }
+            binio::KIND_SIM => {
+                decode_sim(data).ok_or("does not decode as a simulation summary")?;
+                Ok(format!("simulation summary: {deep}"))
+            }
+            binio::KIND_SA_TABLE => {
+                let table = sa_from_bytes(data).ok_or("does not decode as an SA table")?;
+                Ok(format!("SA table shard ({} entries): {deep}", table.len()))
+            }
+            other => Err(format!(
+                "unknown hlpbin payload kind `{}`",
+                String::from_utf8_lossy(&other)
+            )),
+        }
+    } else {
+        let Ok(text) = std::str::from_utf8(data) else {
+            return Err("neither an hlpbin container nor UTF-8 text".to_string());
+        };
+        let header = text.lines().next().unwrap_or("");
+        if header == "# hlpower netlist v1" {
+            let nl = parse_netlist_text(text).map_err(|e| e.to_string())?;
+            checked_netlist(&nl, "netlist")
+        } else if header == MAPPED_HEADER {
+            let artifact =
+                parse_mapped_unchecked(text).ok_or("does not decode as a mapped artifact")?;
+            checked_netlist(&artifact.netlist, "mapped artifact")
+        } else if header == PREPARED_HEADER {
+            decode_prepared(data).ok_or("does not decode as a prepared artifact")?;
+            Ok("prepared artifact (text)".to_string())
+        } else if header.starts_with("# hlpower sim ") {
+            decode_sim(data).ok_or("does not decode as a simulation summary")?;
+            Ok("simulation summary (text)".to_string())
+        } else if header.starts_with("# hlpower SA table") {
+            let table = sa_from_bytes(data).ok_or("does not decode as an SA table")?;
+            Ok(format!("SA table shard ({} entries, text)", table.len()))
+        } else {
+            Err(format!("unrecognized header `{header}`"))
+        }
+    }
 }
 
 // ---- LocalStore ------------------------------------------------------------
@@ -1659,9 +1964,13 @@ impl ArtifactStore {
             let mut usage = KindUsage::default();
             for entry in fs::read_dir(root.join(sub))? {
                 let entry = entry?;
-                if is_artifact_file(&entry.file_name().to_string_lossy()) {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if is_artifact_file(&name) {
                     usage.files += 1;
                     usage.bytes += entry.metadata()?.len();
+                } else if is_quarantine_file(&name) {
+                    usage.quarantined += 1;
+                    usage.quarantined_bytes += entry.metadata()?.len();
                 }
             }
             Ok(usage)
@@ -1716,6 +2025,12 @@ impl ArtifactStore {
                     }
                     continue;
                 }
+                if is_quarantine_file(&name) {
+                    // Quarantined files are evidence, not cache entries:
+                    // gc reports them but never prunes them.
+                    report.quarantined += 1;
+                    continue;
+                }
                 if !is_artifact_file(&name) {
                     continue;
                 }
@@ -1763,6 +2078,66 @@ impl ArtifactStore {
         report.kept_bytes = kept.iter().map(|(_, _, b)| *b).sum();
         Ok(report)
     }
+
+    /// Audits every artifact in the store ([`audit_artifact_bytes`] per
+    /// `(kind, name)`) and reports each defect. Works against both
+    /// backends — the walk goes through `raw_list`/`raw_get`, so a
+    /// remote store is audited over the wire.
+    ///
+    /// With `repair` set, each defective file is renamed aside to
+    /// `<file>.bad` (local stores only; a remote audit reports but
+    /// cannot rename). Quarantined files stop serving lookups — the
+    /// next run recomputes the artifact — but stay on disk as evidence,
+    /// counted by [`ArtifactStore::usage`] and [`ArtifactStore::gc`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates enumeration failures (a walk that silently skipped a
+    /// kind would report a clean store it never examined).
+    pub fn fsck(&self, repair: bool) -> io::Result<FsckReport> {
+        let mut report = FsckReport::default();
+        for kind in KINDS {
+            for name in self.raw_list(kind)? {
+                report.scanned += 1;
+                let problem = match self.raw_get(kind, &name) {
+                    None => "listed but unreadable".to_string(),
+                    Some(data) => match audit_artifact_bytes(kind, &name, &data) {
+                        Ok(()) => continue,
+                        Err(problem) => problem,
+                    },
+                };
+                let quarantined = repair && self.quarantine(kind, &name);
+                if quarantined {
+                    report.quarantined += 1;
+                }
+                report.issues.push(FsckIssue {
+                    kind,
+                    name,
+                    problem,
+                    quarantined,
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Renames a defective artifact's file(s) aside to `*.bad` so they
+    /// stop serving lookups. Local stores only; returns whether any
+    /// file was actually moved.
+    fn quarantine(&self, kind: &str, name: &str) -> bool {
+        let Ok(root) = self.local_root() else {
+            return false;
+        };
+        let dir = root.join(kind);
+        let mut moved = false;
+        for ext in ["bin", "txt"] {
+            let path = dir.join(format!("{name}.{ext}"));
+            if path.is_file() && fs::rename(&path, dir.join(format!("{name}.{ext}.bad"))).is_ok() {
+                moved = true;
+            }
+        }
+        moved
+    }
 }
 
 // ---- codecs ----------------------------------------------------------------
@@ -1795,6 +2170,18 @@ fn decode_mapped(data: &[u8]) -> Option<MappedArtifact> {
         parse_mapped_bin(data)
     } else {
         parse_mapped(std::str::from_utf8(data).ok()?)
+    }
+}
+
+/// [`decode_mapped`] without the all-or-nothing structural gate: the
+/// auditor wants the decoded netlist even when it is semantically
+/// broken, so it can report *which* violations it carries instead of a
+/// bare "does not decode".
+fn decode_mapped_unchecked(data: &[u8]) -> Option<MappedArtifact> {
+    if binio::is_binary(data) {
+        parse_mapped_bin_unchecked(data)
+    } else {
+        parse_mapped_unchecked(std::str::from_utf8(data).ok()?)
     }
 }
 
@@ -1841,7 +2228,7 @@ fn u32s_from(data: &[u8]) -> Option<Vec<u32>> {
     }
     Some(
         data.chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect(),
     )
 }
@@ -1918,6 +2305,24 @@ fn mapped_bin(artifact: &MappedArtifact) -> Vec<u8> {
 }
 
 fn parse_mapped_bin(data: &[u8]) -> Option<MappedArtifact> {
+    let artifact = parse_mapped_bin_unchecked(data)?;
+    // The binary codec enforces the structural invariants during the
+    // parse itself (id-ordered fanins — hence acyclic — matching
+    // arities, in-range ids), so unlike the text path no full
+    // `Netlist::check` walk is needed on every warm open. The one
+    // defect it admits is an unconnected latch; scan for that directly.
+    if artifact
+        .netlist
+        .latches()
+        .iter()
+        .any(|&l| artifact.netlist.fanins(l).is_empty())
+    {
+        return None;
+    }
+    Some(artifact)
+}
+
+fn parse_mapped_bin_unchecked(data: &[u8]) -> Option<MappedArtifact> {
     let r = binio::BinReader::open(data, binio::KIND_MAPPED, MAPPED_BIN_VERSION).ok()?;
     let mut meta = binio::Cursor::new(r.section(0).ok()?);
     let luts = meta.read_len().ok()?;
@@ -1929,18 +2334,6 @@ fn parse_mapped_bin(data: &[u8]) -> Option<MappedArtifact> {
         return None;
     }
     let netlist = netlist::parse_netlist_bin(r.section(1).ok()?).ok()?;
-    // The binary codec enforces the structural invariants during the
-    // parse itself (id-ordered fanins — hence acyclic — matching
-    // arities, in-range ids), so unlike the text path no full
-    // `Netlist::check` walk is needed on every warm open. The one
-    // defect it admits is an unconnected latch; scan for that directly.
-    if netlist
-        .latches()
-        .iter()
-        .any(|&l| netlist.fanins(l).is_empty())
-    {
-        return None;
-    }
     Some(MappedArtifact {
         netlist,
         luts,
@@ -2069,6 +2462,15 @@ fn mapped_text(artifact: &MappedArtifact) -> String {
 }
 
 fn parse_mapped(text: &str) -> Option<MappedArtifact> {
+    let artifact = parse_mapped_unchecked(text)?;
+    // A parseable but structurally broken netlist (dangling fanin,
+    // unconnected latch) reads as a miss rather than panicking the
+    // simulator downstream.
+    artifact.netlist.check().ok()?;
+    Some(artifact)
+}
+
+fn parse_mapped_unchecked(text: &str) -> Option<MappedArtifact> {
     let mut lines = text.lines();
     if lines.next()? != MAPPED_HEADER {
         return None;
@@ -2089,13 +2491,8 @@ fn parse_mapped(text: &str) -> Option<MappedArtifact> {
             }
             "registers" => registers = Some(toks.next()?.parse().ok()?),
             "netlist" => {
-                let netlist = parse_netlist_text(text.get(consumed..)?).ok()?;
-                // A parseable but structurally broken netlist (dangling
-                // fanin, cycle, unconnected latch) reads as a miss rather
-                // than panicking the simulator downstream.
-                netlist.check().ok()?;
                 return Some(MappedArtifact {
-                    netlist,
+                    netlist: parse_netlist_text(text.get(consumed..)?).ok()?,
                     luts: luts?,
                     depth: depth?,
                     estimated_sa: estimated_sa?,
@@ -2747,5 +3144,209 @@ mod tests {
         }
         assert!(!valid_kind("locks"));
         assert!(!valid_kind(""));
+    }
+
+    /// A store holding one real artifact of every kind, produced by the
+    /// same save paths the flow uses.
+    fn populated_store(tag: &str) -> ArtifactStore {
+        let store = temp_store(tag);
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig::fast();
+        let (sched, rb) = flow::prepare(&g, &rc, &cfg);
+        store.save_prepared(prepared_fingerprint(&g, &rc, &cfg), &sched, &rb);
+        let binder = crate::Binder::HlPower { alpha: 0.5 };
+        let mut table = flow::sa_table_for(&cfg, binder);
+        let outcome = flow::bind(&g, &sched, &rb, &rc, binder, &mut table);
+        let (dp, mapped) = flow::elaborate_map(&g, &sched, &rb, &outcome.fb, &cfg);
+        let artifact = MappedArtifact {
+            netlist: mapped.netlist.clone(),
+            luts: mapped.stats.luts,
+            depth: mapped.stats.depth,
+            estimated_sa: mapped.stats.estimated_sa,
+            registers: dp.registers,
+        };
+        let nfp = netlist_fingerprint(prepared_fingerprint(&g, &rc, &cfg), &outcome.fb, &cfg);
+        store.save_mapped(nfp, &artifact);
+        store.save_sim(nfp, &flow::simulate(&dp, &artifact.netlist, &cfg));
+        let mut sa = SaTable::new(4, 4);
+        sa.insert(FuType::AddSub, 1, 2, 1.5);
+        store.merge_sa_table(&sa);
+        store
+    }
+
+    #[test]
+    fn fsck_passes_a_store_the_flow_itself_populated() {
+        let store = populated_store("fsck-clean");
+        let report = store.fsck(false).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.scanned, 4, "one artifact of every kind walked");
+        assert_eq!(format!("{report}"), "ok: 4 artifact(s) scanned, no defects");
+    }
+
+    #[test]
+    fn fsck_flags_corruption_and_repair_quarantines() {
+        let store = populated_store("fsck-bad");
+        let sims_dir = store.root().join("sims");
+        let sim_file = fs::read_dir(&sims_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "bin"))
+            .expect("populated store has a binary sim summary");
+        // Bit-flip the summary mid-file: the container checksum breaks.
+        let mut bytes = fs::read(&sim_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&sim_file, &bytes).unwrap();
+        // Inject a text mapped artifact whose netlist parses but is
+        // semantically broken (undriven latch) — the defect the decode
+        // codecs alone cannot name.
+        let mut nl = Netlist::new("hostile");
+        nl.add_latch("q", false);
+        let broken = MappedArtifact {
+            netlist: nl,
+            luts: 0,
+            depth: 0,
+            estimated_sa: 0.0,
+            registers: 1,
+        };
+        let bad_fp = Fingerprint(0xbad).to_string();
+        store.raw_put("netlists", &bad_fp, mapped_text(&broken).as_bytes());
+        // And one artifact filed under a name that is no fingerprint.
+        store.raw_put("sims", "not-a-fingerprint", b"# hlpower sim v1\n");
+
+        let report = store.fsck(false).unwrap();
+        assert_eq!(report.issues.len(), 3, "{report}");
+        assert_eq!(report.quarantined, 0, "report-only walk renames nothing");
+        let problem_of = |kind: &str, name: &str| -> &str {
+            &report
+                .issues
+                .iter()
+                .find(|i| i.kind == kind && i.name == name)
+                .unwrap_or_else(|| panic!("no issue for {kind}/{name} in {report}"))
+                .problem
+        };
+        let sim_name = sim_file.file_stem().unwrap().to_str().unwrap().to_string();
+        assert!(
+            problem_of("sims", &sim_name).contains("binary container"),
+            "{report}"
+        );
+        assert!(
+            problem_of("netlists", &bad_fp).contains("no data driver"),
+            "{report}"
+        );
+        assert!(
+            problem_of("sims", "not-a-fingerprint").contains("fingerprint"),
+            "{report}"
+        );
+
+        // --repair renames the defective files aside ...
+        let repaired = store.fsck(true).unwrap();
+        assert_eq!(repaired.issues.len(), 3);
+        assert_eq!(repaired.quarantined, 3);
+        assert!(repaired.issues.iter().all(|i| i.quarantined), "{repaired}");
+        // ... after which they stop serving lookups and listings ...
+        assert!(store.raw_get("netlists", &bad_fp).is_none());
+        assert!(store.raw_get("sims", &sim_name).is_none());
+        assert!(store.fsck(false).unwrap().is_clean());
+        // ... but stay visible to usage and gc accounting.
+        let usage = store.usage().unwrap();
+        assert_eq!(usage.total().quarantined, 3);
+        assert!(usage.total().quarantined_bytes > 0);
+        assert_eq!(usage.sims.quarantined, 2);
+        assert_eq!(usage.netlists.quarantined, 1);
+        assert!(format!("{usage}").contains("quarantined"));
+        let gc = store.gc(&GcPolicy::default()).unwrap();
+        assert_eq!(gc.quarantined, 3, "gc counts quarantined files");
+        assert!(format!("{gc}").contains("3 quarantined file(s)"));
+        let after = store.usage().unwrap();
+        assert_eq!(
+            after.total().quarantined,
+            3,
+            "gc must never delete quarantine evidence"
+        );
+    }
+
+    #[test]
+    fn audit_rejects_kind_confusion_and_skewed_shard_headers() {
+        // A valid artifact of one kind filed under another: the deep
+        // container proof passes, but the payload kind gives it away.
+        let stats = SimStats {
+            cycles: 4,
+            total_transitions: 10,
+            functional_transitions: 8,
+            glitch_transitions: 2,
+            per_node: vec![1, 2, 3, 4],
+        };
+        let sim = stats.to_summary_bin();
+        let fp = Fingerprint(1).to_string();
+        assert!(audit_artifact_bytes("sims", &fp, &sim).is_ok());
+        let err = audit_artifact_bytes("prepared", &fp, &sim).unwrap_err();
+        assert!(err.contains("does not match store kind"), "{err}");
+        // An SA shard whose header disagrees with the name it is filed
+        // under (hand-renamed or mis-copied).
+        let mut sa = SaTable::new(4, 4);
+        sa.insert(FuType::Mul, 1, 1, 2.0);
+        let shard = sa.to_bin();
+        assert!(audit_artifact_bytes("satables", "precalculated-w4-k4", &shard).is_ok());
+        let err = audit_artifact_bytes("satables", "precalculated-w8-k4", &shard).unwrap_err();
+        assert!(err.contains("disagrees with its name"), "{err}");
+        let err = audit_artifact_bytes("satables", "oddly-named", &shard).unwrap_err();
+        assert!(err.contains("shard stem"), "{err}");
+        // Unknown kinds and unsafe names are refused outright.
+        assert!(audit_artifact_bytes("locks", &fp, &sim).is_err());
+        assert!(audit_artifact_bytes("sims", "../escape", &sim).is_err());
+    }
+
+    #[test]
+    fn bit_flips_and_truncations_audit_as_errors_never_panic() {
+        // Fuzz the decode surface of every artifact kind the flow
+        // actually writes: single-bit flips at strided positions and
+        // strided truncations. Each mutation must come back as a clean
+        // `Err` from the audit — a panic fails the test on the spot, and
+        // a flip the checksummed container *accepts* is a codec hole.
+        let store = populated_store("fuzz");
+        let mut mutations = 0usize;
+        let mut rejected = 0usize;
+        for kind in KINDS {
+            for name in store.raw_list(kind).unwrap() {
+                let good = store.raw_get(kind, &name).unwrap();
+                assert!(
+                    audit_artifact_bytes(kind, &name, &good).is_ok(),
+                    "pristine {kind}/{name} must audit clean"
+                );
+                let step = (good.len() / 64).max(1);
+                for pos in (0..good.len()).step_by(step) {
+                    for bit in 0..8 {
+                        let mut bad = good.to_vec();
+                        bad[pos] ^= 1 << bit;
+                        mutations += 1;
+                        if audit_artifact_bytes(kind, &name, &bad).is_err() {
+                            rejected += 1;
+                        }
+                        // The sniffing engine behind `hlp check` must
+                        // hold up against the same bytes.
+                        let _ = audit_artifact_auto(&bad);
+                    }
+                }
+                for len in (0..good.len()).step_by(step) {
+                    mutations += 1;
+                    if audit_artifact_bytes(kind, &name, &good[..len]).is_err() {
+                        rejected += 1;
+                    }
+                    let _ = audit_artifact_auto(&good[..len]);
+                }
+            }
+        }
+        assert!(
+            mutations > 1000,
+            "fuzz actually ran ({mutations} mutations)"
+        );
+        assert_eq!(
+            rejected, mutations,
+            "every mutation of a checksummed artifact must be rejected \
+             ({rejected}/{mutations} were)"
+        );
     }
 }

@@ -226,26 +226,11 @@ impl<'a> BinReader<'a> {
             });
         }
         let body = &data[..data.len() - 8];
-        let stored = u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap());
+        let stored = read_u64(&data[data.len() - 8..]);
         if fnv1a64(body) != stored {
             return Err(BinError::Checksum);
         }
-        let mut sections = Vec::new();
-        let mut pos = 16;
-        while pos < body.len() {
-            if pos + 8 > body.len() {
-                return Err(BinError::Truncated);
-            }
-            let len = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap());
-            pos += 8;
-            let len = usize::try_from(len).map_err(|_| BinError::Truncated)?;
-            if len > body.len() - pos {
-                return Err(BinError::Truncated);
-            }
-            sections.push(&body[pos..pos + len]);
-            pos += len;
-            pos += (8 - pos % 8) % 8;
-        }
+        let sections = split_sections(body)?;
         Ok(BinReader { version, sections })
     }
 
@@ -267,6 +252,46 @@ impl<'a> BinReader<'a> {
     pub fn section(&self, i: usize) -> Result<&'a [u8], BinError> {
         self.sections.get(i).copied().ok_or(BinError::Truncated)
     }
+}
+
+/// Reads a `u64` from a slice whose length was already bounds-checked
+/// to be at least 8 — the one place a fixed-width load is allowed to
+/// assume its width.
+#[inline]
+fn read_u64(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len() >= 8);
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(w)
+}
+
+/// Walks the section table of a container body (header included,
+/// checksum stripped) and returns the payload slices.
+///
+/// Every bound is explicit checked arithmetic: section `len` fields are
+/// untrusted input even after the checksum passes (a future encoder bug
+/// or an engineered collision must fail closed, never index past the
+/// slice), so a length that overruns the body — or overflows `usize`
+/// while being added — is [`BinError::Truncated`].
+fn split_sections(body: &[u8]) -> Result<Vec<&[u8]>, BinError> {
+    let mut sections = Vec::new();
+    let mut pos = 16usize;
+    while pos < body.len() {
+        let payload_start = pos.checked_add(8).ok_or(BinError::Truncated)?;
+        if payload_start > body.len() {
+            return Err(BinError::Truncated);
+        }
+        let len = read_u64(&body[pos..payload_start]);
+        let len = usize::try_from(len).map_err(|_| BinError::Truncated)?;
+        let payload_end = payload_start.checked_add(len).ok_or(BinError::Truncated)?;
+        if payload_end > body.len() {
+            return Err(BinError::Truncated);
+        }
+        sections.push(&body[payload_start..payload_end]);
+        let pad = payload_end.wrapping_neg() & 7;
+        pos = payload_end.checked_add(pad).ok_or(BinError::Truncated)?;
+    }
+    Ok(sections)
 }
 
 /// Sequential little-endian reader over one section's payload.
@@ -310,7 +335,8 @@ impl<'a> Cursor<'a> {
     ///
     /// [`BinError::Truncated`] if fewer than 4 bytes remain.
     pub fn u32(&mut self) -> Result<u32, BinError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Reads a `u64` (little-endian).
@@ -319,7 +345,7 @@ impl<'a> Cursor<'a> {
     ///
     /// [`BinError::Truncated`] if fewer than 8 bytes remain.
     pub fn u64(&mut self) -> Result<u64, BinError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(read_u64(self.bytes(8)?))
     }
 
     /// Reads a `u64` that must fit a `usize`.
@@ -573,6 +599,206 @@ pub fn parse_netlist_bin(data: &[u8]) -> Result<Netlist, BinError> {
     ))
 }
 
+/// What [`validate_deep`] proved about a container.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeepReport {
+    /// The container's kind tag.
+    pub kind: [u8; 4],
+    /// The container's format version.
+    pub version: u32,
+    /// Number of sections indexed (all proven in-bounds).
+    pub sections: usize,
+    /// Total container size in bytes.
+    pub bytes: usize,
+    /// Netlist node count, when the container is (or nests) a netlist
+    /// whose payload was walked index-by-index.
+    pub nodes: Option<usize>,
+}
+
+impl fmt::Display for DeepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hlpbin `{}` v{}: {} sections, {} bytes",
+            String::from_utf8_lossy(&self.kind),
+            self.version,
+            self.sections,
+            self.bytes
+        )?;
+        if let Some(n) = self.nodes {
+            write!(f, ", {n} netlist nodes")?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads and UTF-8-validates one length-prefixed name without building
+/// a `String` — the deep validator allocates nothing per node.
+fn skip_str(c: &mut Cursor<'_>) -> Result<(), BinError> {
+    let n = c.u32()? as usize;
+    let bytes = c.bytes(n)?;
+    std::str::from_utf8(bytes)
+        .map(|_| ())
+        .map_err(|_| BinError::Malformed("name is not UTF-8".to_string()))
+}
+
+/// Walks a `"nlst"` payload (the three sections of
+/// [`write_netlist_bin`]) and proves every index in-range and every
+/// field well-formed **without** allocating nodes, tables, or names.
+/// Returns the proven node count.
+///
+/// This enforces everything [`parse_netlist_bin`] enforces, plus one
+/// stricter rule the bulk decoder delegates to `TruthTable` masking:
+/// LUT init words may not carry set bits beyond their `2^n` rows
+/// (out-of-range init bits are corruption, not data).
+fn validate_netlist_sections(sections: &[&[u8]]) -> Result<usize, BinError> {
+    let malformed = |m: &str| BinError::Malformed(m.to_string());
+    let section = |i: usize| sections.get(i).copied().ok_or(BinError::Truncated);
+
+    let mut meta = Cursor::new(section(0)?);
+    skip_str(&mut meta)?;
+    let expected_nodes = meta.read_len()?;
+    let expected_outputs = meta.read_len()?;
+
+    let mut nodes = 0usize;
+    let mut forward_latch_data: Vec<u32> = Vec::new();
+    let mut c = Cursor::new(section(1)?);
+    while !c.done() {
+        skip_str(&mut c)?;
+        let id = nodes as u32;
+        match c.u8()? {
+            TAG_INPUT => {}
+            TAG_CONSTANT => {
+                if c.u8()? > 1 {
+                    return Err(malformed("bad constant value"));
+                }
+            }
+            TAG_LOGIC => {
+                let arity = c.u32()? as usize;
+                if arity > MAX_INPUTS {
+                    return Err(malformed("table arity exceeds the supported maximum"));
+                }
+                for _ in 0..arity {
+                    if c.u32()? >= id {
+                        return Err(malformed("forward fanin id"));
+                    }
+                }
+                for _ in 0..words_for(arity) {
+                    let word = c.u64()?;
+                    if arity < 6 && word & !((1u64 << (1usize << arity)) - 1) != 0 {
+                        return Err(malformed("LUT init bits beyond the table's rows"));
+                    }
+                }
+            }
+            TAG_LATCH => {
+                if c.u8()? > 1 {
+                    return Err(malformed("bad latch init"));
+                }
+                let data = c.u32()?;
+                if data != u32::MAX && data >= id {
+                    forward_latch_data.push(data);
+                }
+            }
+            _ => return Err(malformed("unknown node tag")),
+        }
+        nodes = nodes.checked_add(1).ok_or(BinError::Truncated)?;
+    }
+    if nodes != expected_nodes {
+        return Err(malformed("node count mismatch"));
+    }
+    for data in forward_latch_data {
+        if data as usize >= nodes {
+            return Err(malformed("latch data refers to a missing node"));
+        }
+    }
+
+    let mut c = Cursor::new(section(2)?);
+    for _ in 0..expected_outputs {
+        skip_str(&mut c)?;
+        if c.u32()? as usize >= nodes {
+            return Err(malformed("output refers to a missing node"));
+        }
+    }
+    if !c.done() {
+        return Err(malformed("trailing bytes after outputs"));
+    }
+    Ok(nodes)
+}
+
+/// Deep container validation: proves a container structurally sound —
+/// magic, checksum, every section in-bounds — and, for netlist-bearing
+/// kinds, walks the payload proving **every index in-range before any
+/// bulk decode** runs.
+///
+/// Works on any container kind. A [`KIND_NETLIST`] payload is walked
+/// node-by-node; a [`KIND_MAPPED`] container has its nested netlist
+/// section walked the same way; other kinds get container-level
+/// validation here and their typed decoder as the payload authority.
+///
+/// # Errors
+///
+/// Any structural defect is a [`BinError`] — the same taxonomy the
+/// decoders use, so an auditor can print one consistent reason.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{validate_deep, write_netlist_bin, Netlist, TruthTable};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_logic("g", vec![a], TruthTable::inverter());
+/// nl.mark_output("o", g);
+/// let report = validate_deep(&write_netlist_bin(&nl)).unwrap();
+/// assert_eq!(report.nodes, Some(2));
+/// ```
+pub fn validate_deep(data: &[u8]) -> Result<DeepReport, BinError> {
+    if data.len() < 24 {
+        return Err(if is_binary(data) {
+            BinError::Truncated
+        } else {
+            BinError::BadMagic
+        });
+    }
+    if !is_binary(data) {
+        return Err(BinError::BadMagic);
+    }
+    let kind = [data[8], data[9], data[10], data[11]];
+    let version = u32::from_le_bytes([data[12], data[13], data[14], data[15]]);
+    let body = &data[..data.len() - 8];
+    let stored = read_u64(&data[data.len() - 8..]);
+    if fnv1a64(body) != stored {
+        return Err(BinError::Checksum);
+    }
+    let sections = split_sections(body)?;
+    let mut nodes = None;
+    if kind == KIND_NETLIST {
+        if version > NETLIST_VERSION {
+            return Err(BinError::Version {
+                found: version,
+                supported: NETLIST_VERSION,
+            });
+        }
+        nodes = Some(validate_netlist_sections(&sections)?);
+    } else if kind == KIND_MAPPED {
+        // A mapped artifact nests one exact-netlist container; walk it
+        // too. (Sniffed, not assumed: only sections that really are
+        // `nlst` containers recurse, and `nlst` itself never recurses,
+        // so crafted nesting cannot stack.)
+        for s in &sections {
+            if sniff_kind(s) == Some(KIND_NETLIST) {
+                nodes = validate_deep(s)?.nodes;
+            }
+        }
+    }
+    Ok(DeepReport {
+        kind,
+        version,
+        sections: sections.len(),
+        bytes: data.len(),
+        nodes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +985,81 @@ mod tests {
         w.section(&nodes);
         w.section(&[]);
         assert!(parse_netlist_bin(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn validate_deep_accepts_real_artifacts_and_rejects_corruption() {
+        let good = write_netlist_bin(&arb_netlist(5));
+        let rep = validate_deep(&good).unwrap();
+        assert_eq!(rep.kind, KIND_NETLIST);
+        assert_eq!(rep.version, NETLIST_VERSION);
+        assert_eq!(rep.sections, 3);
+        assert_eq!(rep.nodes, Some(arb_netlist(5).num_nodes()));
+
+        for cut in 0..good.len() {
+            assert!(validate_deep(&good[..cut]).is_err(), "truncation at {cut}");
+        }
+        let mut flipped = good.clone();
+        for i in 16..good.len() - 8 {
+            flipped[i] ^= 0xff;
+            assert!(validate_deep(&flipped).is_err(), "flip at {i}");
+            flipped[i] ^= 0xff;
+        }
+        assert!(matches!(
+            validate_deep(b"# hlpower netlist v1\n"),
+            Err(BinError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn validate_deep_is_stricter_than_the_bulk_decoder_on_init_words() {
+        // A 1-input LUT whose init word sets bit 2 — beyond its two
+        // rows. `TruthTable::from_words` masks it away, so the bulk
+        // decoder accepts; the deep validator calls it corruption.
+        let mut w = BinWriter::new(KIND_NETLIST, NETLIST_VERSION);
+        let mut meta = Vec::new();
+        put_str(&mut meta, "t");
+        meta.extend_from_slice(&2u64.to_le_bytes());
+        meta.extend_from_slice(&0u64.to_le_bytes());
+        w.section(&meta);
+        let mut nodes = Vec::new();
+        put_str(&mut nodes, "a");
+        nodes.push(TAG_INPUT);
+        put_str(&mut nodes, "g");
+        nodes.push(TAG_LOGIC);
+        nodes.extend_from_slice(&1u32.to_le_bytes());
+        nodes.extend_from_slice(&0u32.to_le_bytes());
+        nodes.extend_from_slice(&0b101u64.to_le_bytes());
+        w.section(&nodes);
+        w.section(&[]);
+        let bytes = w.finish();
+        assert!(parse_netlist_bin(&bytes).is_ok(), "decoder masks the bit");
+        assert!(matches!(validate_deep(&bytes), Err(BinError::Malformed(_))));
+    }
+
+    #[test]
+    fn crafted_section_length_cannot_escape_the_body() {
+        // A section length of u64::MAX behind a re-sealed checksum must
+        // be a clean `Truncated`, never an out-of-bounds index.
+        let mut evil = write_netlist_bin(&arb_netlist(2));
+        evil[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let n = evil.len();
+        let sum = fnv1a64(&evil[..n - 8]).to_le_bytes();
+        evil[n - 8..].copy_from_slice(&sum);
+        assert!(matches!(parse_netlist_bin(&evil), Err(BinError::Truncated)));
+        assert!(matches!(validate_deep(&evil), Err(BinError::Truncated)));
+    }
+
+    #[test]
+    fn validate_deep_walks_the_netlist_nested_in_a_mapped_container() {
+        let nl = arb_netlist(9);
+        let mut w = BinWriter::new(KIND_MAPPED, 1);
+        w.section(&[0u8; 32]);
+        w.section(&write_netlist_bin(&nl));
+        let bytes = w.finish();
+        let rep = validate_deep(&bytes).unwrap();
+        assert_eq!(rep.kind, KIND_MAPPED);
+        assert_eq!(rep.nodes, Some(nl.num_nodes()));
     }
 
     #[test]

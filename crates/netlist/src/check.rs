@@ -1,0 +1,687 @@
+//! Exhaustive semantic checking of a [`Netlist`].
+//!
+//! [`Netlist::check`] answers "is this graph usable?" with the *first*
+//! structural problem it finds — the right contract for constructors and
+//! decoders, which bail on the first defect anyway. An auditor (`hlp
+//! check`, `hlp fsck`, the daemon's validate-on-put) needs the opposite:
+//! **every** problem in one pass, each as a typed [`Violation`] with
+//! enough context to name the offending net in a report, and no panics
+//! no matter how hostile the graph is (all traversals here are
+//! iterative, so adversarial depth cannot blow the stack, and every id
+//! is range-checked before it indexes anything).
+//!
+//! The checker grades findings: structural defects that would make the
+//! mapper, simulator, or estimator produce garbage (cycles, dangling
+//! ids, arity mismatches) are [`Severity::Error`]; hygiene findings a
+//! valid flow can still consume (unreachable nodes) are
+//! [`Severity::Warning`]. [`CheckReport::is_clean`] ignores warnings, so
+//! a swept-but-imperfect netlist still passes `fsck`.
+
+use crate::graph::{Netlist, NodeId, NodeKind};
+use std::fmt;
+
+/// Sentinel for a latch whose data input was never connected (mirrors
+/// the private constant in [`crate::graph`]; the text codec serializes
+/// it as `-`).
+const UNCONNECTED: NodeId = NodeId(u32::MAX);
+
+/// Word-level buses wider than this violate the simulator's 64-lane /
+/// 64-bit word contract (`gatesim` packs one bus bit per `u64` lane and
+/// the datapath generator caps `--width` at 64).
+pub const MAX_BUS_WIDTH: usize = 64;
+
+/// How severe a [`Violation`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Hygiene finding: the flow can still consume the netlist.
+    Warning,
+    /// Structural defect: downstream stages would panic or mis-measure.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One semantic problem found by [`check_netlist`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two nodes drive the same net name (names are the net identity in
+    /// BLIF and in every report, so a duplicate is a multiply-driven
+    /// net).
+    MultiplyDriven {
+        /// The contested net name.
+        name: String,
+        /// Id of the first driver.
+        first: NodeId,
+        /// Id of the second driver.
+        second: NodeId,
+    },
+    /// A fanin, latch-data, or output reference points past the node
+    /// table.
+    DanglingRef {
+        /// Name of the referencing node (or output port).
+        node: String,
+        /// The out-of-range id.
+        target: u32,
+    },
+    /// A latch whose data input was never connected — its net has no
+    /// driver.
+    UndrivenLatch {
+        /// The latch's net name.
+        node: String,
+    },
+    /// Fanin count disagrees with the truth-table input count (a
+    /// truncated or padded LUT init).
+    ArityMismatch {
+        /// Name of the offending node.
+        node: String,
+        /// Number of fanins on the node.
+        fanins: usize,
+        /// Number of inputs its truth table declares.
+        table_inputs: usize,
+    },
+    /// A LUT init word carries set bits beyond its `2^n` rows.
+    InitWordOutOfRange {
+        /// Name of the offending node.
+        node: String,
+    },
+    /// The combinational subgraph has a cycle through this node.
+    CombinationalCycle {
+        /// A node on the cycle.
+        node: String,
+    },
+    /// Two primary outputs claim the same port name.
+    DuplicatePort {
+        /// The contested port name.
+        port: String,
+    },
+    /// An output bus (ports sharing a stem with numeric lane suffixes)
+    /// is wider than [`MAX_BUS_WIDTH`] lanes.
+    BusWidthOverflow {
+        /// The bus stem.
+        bus: String,
+        /// Its lane count.
+        lanes: usize,
+    },
+    /// A node unreachable (backwards) from every primary output, latch,
+    /// and input port — dead logic a sweep would remove.
+    Orphan {
+        /// The unreachable node's name.
+        node: String,
+    },
+}
+
+impl Violation {
+    /// The severity grade of this violation.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Violation::Orphan { .. } => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::MultiplyDriven {
+                name,
+                first,
+                second,
+            } => write!(
+                f,
+                "net `{name}` multiply driven (nodes {first} and {second})"
+            ),
+            Violation::DanglingRef { node, target } => {
+                write!(f, "`{node}` references missing node id {target}")
+            }
+            Violation::UndrivenLatch { node } => {
+                write!(f, "latch `{node}` has no data driver")
+            }
+            Violation::ArityMismatch {
+                node,
+                fanins,
+                table_inputs,
+            } => write!(
+                f,
+                "`{node}` has {fanins} fanins but a {table_inputs}-input table"
+            ),
+            Violation::InitWordOutOfRange { node } => {
+                write!(f, "`{node}` has LUT init bits beyond its row count")
+            }
+            Violation::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through `{node}`")
+            }
+            Violation::DuplicatePort { port } => {
+                write!(f, "output port `{port}` declared twice")
+            }
+            Violation::BusWidthOverflow { bus, lanes } => write!(
+                f,
+                "output bus `{bus}` has {lanes} lanes (limit {MAX_BUS_WIDTH})"
+            ),
+            Violation::Orphan { node } => {
+                write!(f, "`{node}` is unreachable from every output")
+            }
+        }
+    }
+}
+
+/// Everything [`check_netlist`] found, in deterministic (id) order.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// All findings, errors and warnings interleaved in discovery order
+    /// (which is node-id order, so reports are deterministic).
+    pub violations: Vec<Violation>,
+    /// Number of nodes examined.
+    pub checked_nodes: usize,
+}
+
+impl CheckReport {
+    /// Count of [`Severity::Error`] findings.
+    pub fn errors(&self) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Count of [`Severity::Warning`] findings.
+    pub fn warnings(&self) -> usize {
+        self.violations.len() - self.errors()
+    }
+
+    /// True when no **error**-grade violation was found (warnings are
+    /// hygiene, not corruption).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            return write!(f, "ok: {} nodes checked", self.checked_nodes);
+        }
+        for v in &self.violations {
+            writeln!(f, "{}: {v}", v.severity())?;
+        }
+        write!(
+            f,
+            "{} nodes checked: {} errors, {} warnings",
+            self.checked_nodes,
+            self.errors(),
+            self.warnings()
+        )
+    }
+}
+
+/// Strips a trailing run of ASCII digits: the bus stem of a lane port
+/// name (`s13` → `s`), or `None` if the name has no digit suffix.
+fn bus_stem(port: &str) -> Option<&str> {
+    let trimmed = port.trim_end_matches(|c: char| c.is_ascii_digit());
+    if trimmed.len() == port.len() || trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed)
+    }
+}
+
+/// Runs every semantic check over `nl` and reports **all** findings.
+///
+/// Unlike [`Netlist::check`] this never stops at the first problem, and
+/// it tolerates graphs no constructor can build (decoded from hostile
+/// bytes via [`crate::graph::Netlist`] internals): every id is
+/// range-checked before use and cycle detection is an iterative Kahn
+/// peel, so no input can panic or overflow the stack.
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{check_netlist, Netlist, TruthTable};
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_logic("g", vec![a], TruthTable::inverter());
+/// nl.mark_output("o", g);
+/// let report = check_netlist(&nl);
+/// assert!(report.is_clean());
+/// ```
+pub fn check_netlist(nl: &Netlist) -> CheckReport {
+    let mut report = CheckReport {
+        violations: Vec::new(),
+        checked_nodes: nl.num_nodes(),
+    };
+    let n = nl.num_nodes() as u32;
+
+    // Multiply-driven nets: two nodes with one name. Sort-based so the
+    // scan is deterministic and allocation-bounded (no hash iteration).
+    let mut by_name: Vec<(&str, NodeId)> = nl
+        .nodes()
+        .map(|(id, node)| (node.name.as_str(), id))
+        .collect();
+    by_name.sort();
+    for pair in by_name.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            report.violations.push(Violation::MultiplyDriven {
+                name: pair[0].0.to_string(),
+                first: pair[0].1,
+                second: pair[1].1,
+            });
+        }
+    }
+
+    // Per-node structural checks. `dangling[id]` remembers nodes whose
+    // references escape the table so cycle detection can skip the edges
+    // it must not follow.
+    for (_, node) in nl.nodes() {
+        match &node.kind {
+            NodeKind::Logic { fanins, table } => {
+                if fanins.len() != table.num_inputs() {
+                    report.violations.push(Violation::ArityMismatch {
+                        node: node.name.clone(),
+                        fanins: fanins.len(),
+                        table_inputs: table.num_inputs(),
+                    });
+                }
+                for f in fanins {
+                    if f.0 >= n {
+                        report.violations.push(Violation::DanglingRef {
+                            node: node.name.clone(),
+                            target: f.0,
+                        });
+                    }
+                }
+                // LUT init rows past 2^n must be zero. `TruthTable`
+                // masks them on construction, so a finding here means
+                // the table type's invariant was bypassed.
+                let rows = 1usize << table.num_inputs().min(6);
+                let tail = if rows >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << rows) - 1
+                };
+                if table
+                    .words()
+                    .first()
+                    .is_some_and(|w| table.num_inputs() < 6 && w & !tail != 0)
+                {
+                    report.violations.push(Violation::InitWordOutOfRange {
+                        node: node.name.clone(),
+                    });
+                }
+            }
+            NodeKind::Latch { data, .. } => {
+                if *data == UNCONNECTED {
+                    report.violations.push(Violation::UndrivenLatch {
+                        node: node.name.clone(),
+                    });
+                } else if data.0 >= n {
+                    report.violations.push(Violation::DanglingRef {
+                        node: node.name.clone(),
+                        target: data.0,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Output ports: in-range targets, unique names, bounded buses.
+    let mut ports: Vec<&str> = Vec::with_capacity(nl.outputs().len());
+    for (port, id) in nl.outputs() {
+        if id.0 >= n {
+            report.violations.push(Violation::DanglingRef {
+                node: port.clone(),
+                target: id.0,
+            });
+        }
+        ports.push(port.as_str());
+    }
+    ports.sort_unstable();
+    for pair in ports.windows(2) {
+        if pair[0] == pair[1] {
+            report.violations.push(Violation::DuplicatePort {
+                port: pair[0].to_string(),
+            });
+        }
+    }
+    ports.dedup();
+    let mut stems: Vec<&str> = ports.iter().copied().filter_map(bus_stem).collect();
+    stems.sort_unstable();
+    let mut i = 0;
+    while i < stems.len() {
+        let mut j = i + 1;
+        while j < stems.len() && stems[j] == stems[i] {
+            j += 1;
+        }
+        if j - i > MAX_BUS_WIDTH {
+            report.violations.push(Violation::BusWidthOverflow {
+                bus: stems[i].to_string(),
+                lanes: j - i,
+            });
+        }
+        i = j;
+    }
+
+    // Combinational cycles: iterative Kahn peel over the logic
+    // subgraph, following only in-range fanin edges (dangling ids were
+    // already reported above and must not index the degree arrays).
+    let nodes = nl.num_nodes();
+    let mut indeg = vec![0usize; nodes];
+    let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); nodes];
+    for (id, node) in nl.nodes() {
+        if let NodeKind::Logic { fanins, .. } = &node.kind {
+            for f in fanins {
+                if f.0 < n {
+                    indeg[id.index()] += 1;
+                    fanouts[f.index()].push(id);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<NodeId> = nl
+        .nodes()
+        .filter(|(id, _)| indeg[id.index()] == 0 || nl.is_source(*id))
+        .map(|(id, _)| id)
+        .collect();
+    let mut peeled = vec![false; nodes];
+    while let Some(id) = queue.pop() {
+        if peeled[id.index()] {
+            continue;
+        }
+        peeled[id.index()] = true;
+        for &fo in &fanouts[id.index()] {
+            // A source node never waits on its fanins (latch outputs
+            // break combinational feedback), so only logic consumers
+            // count down.
+            if nl.is_source(fo) || peeled[fo.index()] {
+                continue;
+            }
+            indeg[fo.index()] -= 1;
+            if indeg[fo.index()] == 0 {
+                queue.push(fo);
+            }
+        }
+    }
+    for (id, node) in nl.nodes() {
+        if matches!(node.kind, NodeKind::Logic { .. }) && !peeled[id.index()] {
+            report.violations.push(Violation::CombinationalCycle {
+                node: node.name.clone(),
+            });
+        }
+    }
+
+    // Orphans: iterative backwards reachability from outputs, latches,
+    // and input ports (the same liveness rule as `Netlist::sweep`, so a
+    // swept netlist reports zero).
+    let mut live = vec![false; nodes];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for (_, id) in nl.outputs() {
+        if id.0 < n {
+            stack.push(*id);
+        }
+    }
+    for &l in nl.latches() {
+        stack.push(l);
+    }
+    for &i in nl.inputs() {
+        stack.push(i);
+    }
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        for f in nl.fanins(id) {
+            if f.0 < n {
+                stack.push(*f);
+            }
+        }
+    }
+    for (id, node) in nl.nodes() {
+        if !live[id.index()] {
+            report.violations.push(Violation::Orphan {
+                node: node.name.clone(),
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Netlist, Node, NodeKind};
+    use crate::truth::TruthTable;
+
+    /// Assembles a netlist from raw parts, bypassing the builder's
+    /// asserts — how hostile decoded graphs reach the checker.
+    fn raw(nodes: Vec<Node>, outputs: Vec<(&str, u32)>) -> Netlist {
+        let inputs = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Input))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        let latches = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Latch { .. }))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        Netlist::from_parts_unindexed(
+            "raw".to_string(),
+            nodes,
+            inputs,
+            outputs
+                .into_iter()
+                .map(|(p, id)| (p.to_string(), NodeId(id)))
+                .collect(),
+            latches,
+        )
+    }
+
+    fn input(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            kind: NodeKind::Input,
+        }
+    }
+
+    fn logic(name: &str, fanins: Vec<u32>, table: TruthTable) -> Node {
+        Node {
+            name: name.to_string(),
+            kind: NodeKind::Logic {
+                fanins: fanins.into_iter().map(NodeId).collect(),
+                table,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_netlist_reports_nothing() {
+        let mut nl = Netlist::new("ok");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_logic("g", vec![a, b], TruthTable::and(2));
+        nl.mark_output("o", g);
+        let r = check_netlist(&nl);
+        assert!(r.violations.is_empty(), "{r}");
+        assert!(r.is_clean());
+        assert_eq!(r.checked_nodes, 3);
+    }
+
+    #[test]
+    fn golden_combinational_loop() {
+        // g1 -> g2 -> g1, both fed by input a.
+        let nodes = vec![
+            input("a"),
+            logic("g1", vec![0, 2], TruthTable::and(2)),
+            logic("g2", vec![1, 0], TruthTable::or(2)),
+        ];
+        let nl = raw(nodes, vec![("o", 2)]);
+        let r = check_netlist(&nl);
+        let cycles: Vec<_> = r
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::CombinationalCycle { .. }))
+            .collect();
+        assert_eq!(cycles.len(), 2, "both loop members flagged: {r}");
+        assert!(!r.is_clean());
+        // Exactly the expected kind — no collateral findings.
+        assert!(r
+            .violations
+            .iter()
+            .all(|v| matches!(v, Violation::CombinationalCycle { .. })));
+    }
+
+    #[test]
+    fn golden_multiply_driven_net() {
+        let nodes = vec![
+            input("a"),
+            logic("x", vec![0], TruthTable::buffer()),
+            logic("x", vec![0], TruthTable::inverter()),
+        ];
+        let nl = raw(nodes, vec![("o", 1), ("p", 2)]);
+        let r = check_netlist(&nl);
+        assert_eq!(
+            r.violations,
+            vec![Violation::MultiplyDriven {
+                name: "x".to_string(),
+                first: NodeId(1),
+                second: NodeId(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn golden_truncated_truth_table() {
+        // Two fanins against a 1-input table: a truncated LUT init.
+        let nodes = vec![
+            input("a"),
+            input("b"),
+            logic("g", vec![0, 1], TruthTable::inverter()),
+        ];
+        let nl = raw(nodes, vec![("o", 2)]);
+        let r = check_netlist(&nl);
+        assert_eq!(
+            r.violations,
+            vec![Violation::ArityMismatch {
+                node: "g".to_string(),
+                fanins: 2,
+                table_inputs: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn dangling_ids_are_reported_not_panicked() {
+        let nodes = vec![input("a"), logic("g", vec![0, 99], TruthTable::and(2))];
+        let nl = raw(nodes, vec![("o", 1), ("ghost", 77)]);
+        let r = check_netlist(&nl);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DanglingRef { target: 99, .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DanglingRef { target: 77, .. })));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn undriven_latch_reported() {
+        let mut nl = Netlist::new("u");
+        nl.add_latch("q", false);
+        nl.mark_output("o", NodeId(0));
+        let r = check_netlist(&nl);
+        assert_eq!(
+            r.violations,
+            vec![Violation::UndrivenLatch {
+                node: "q".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn orphan_is_a_warning_not_an_error() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let live = nl.add_logic("live", vec![a], TruthTable::buffer());
+        let _dead = nl.add_logic("dead", vec![a], TruthTable::inverter());
+        nl.mark_output("o", live);
+        let r = check_netlist(&nl);
+        assert_eq!(
+            r.violations,
+            vec![Violation::Orphan {
+                node: "dead".to_string()
+            }]
+        );
+        assert!(r.is_clean(), "warnings must not fail the check");
+        assert_eq!(r.warnings(), 1);
+    }
+
+    #[test]
+    fn duplicate_port_and_bus_overflow() {
+        let mut nl = Netlist::new("bus");
+        let a = nl.add_input("a");
+        for i in 0..(MAX_BUS_WIDTH + 1) {
+            let g = nl.add_logic(format!("g{i}"), vec![a], TruthTable::buffer());
+            nl.mark_output(format!("s{i}"), g);
+        }
+        nl.mark_output("dup", a);
+        nl.mark_output("dup", a);
+        let r = check_netlist(&nl);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DuplicatePort { .. })));
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            Violation::BusWidthOverflow { bus, lanes } if bus == "s" && *lanes == MAX_BUS_WIDTH + 1
+        )));
+    }
+
+    #[test]
+    fn sixty_four_lane_bus_is_legal() {
+        let mut nl = Netlist::new("bus64");
+        let a = nl.add_input("a");
+        for i in 0..MAX_BUS_WIDTH {
+            let g = nl.add_logic(format!("g{i}"), vec![a], TruthTable::buffer());
+            nl.mark_output(format!("s{i}"), g);
+        }
+        assert!(check_netlist(&nl).is_clean());
+    }
+
+    #[test]
+    fn latch_feedback_is_not_a_cycle() {
+        let mut nl = Netlist::new("toggle");
+        let en = nl.add_input("en");
+        let q = nl.add_latch("q", false);
+        let d = nl.add_logic("d", vec![q, en], TruthTable::xor(2));
+        nl.set_latch_data(q, d);
+        nl.mark_output("out", q);
+        let r = check_netlist(&nl);
+        assert!(r.violations.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 200k-node inverter chain: a recursive DFS would blow the
+        // stack; the iterative peel and sweep must not.
+        let mut nl = Netlist::new("deep");
+        let mut prev = nl.add_input("i");
+        for k in 0..200_000u32 {
+            prev = nl.add_logic(format!("n{k}"), vec![prev], TruthTable::inverter());
+        }
+        nl.mark_output("o", prev);
+        assert!(check_netlist(&nl).violations.is_empty());
+    }
+}

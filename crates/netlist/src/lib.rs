@@ -15,6 +15,9 @@
 //! * [`binio`] — the `hlpbin v1` binary container and the exact binary
 //!   netlist codec: the store's hot-path format, decodable from an
 //!   mmap'd file with no per-node text parsing;
+//! * [`check`] — the exhaustive semantic checker behind `hlp check` and
+//!   `hlp fsck`: every violation in one pass, typed and severity-graded,
+//!   panic-free on hostile graphs;
 //! * [`cells`] — word-level generators for the paper's resource library:
 //!   balanced mux trees, adder/subtractors, carry-save array multipliers,
 //!   and registers with write enables.
@@ -42,15 +45,17 @@
 pub mod binio;
 pub mod blif;
 pub mod cells;
+pub mod check;
 pub mod graph;
 #[cfg(test)]
 pub(crate) mod testgen;
 pub mod textio;
 pub mod truth;
 
-pub use binio::{parse_netlist_bin, write_netlist_bin, BinError};
+pub use binio::{parse_netlist_bin, validate_deep, write_netlist_bin, BinError, DeepReport};
 pub use blif::{parse_blif, write_blif, BlifError, BlifFile, BlifModel};
 pub use cells::Bus;
+pub use check::{check_netlist, CheckReport, Severity, Violation};
 pub use graph::{Netlist, NetlistError, NetlistStats, Node, NodeId, NodeKind};
 pub use textio::{parse_netlist_text, write_netlist_text, NetlistTextError};
 pub use truth::{TruthTable, MAX_INPUTS};

@@ -13,8 +13,20 @@
 //!                                   unlink the socket)
 //! hlp table <out.txt> [options]     precompute an SA table to a file
 //! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
+//! hlp check <file>...               static semantic checking: .blif and
+//!                                   .cdfg sources, exact netlist text,
+//!                                   and store artifacts of either format
+//!                                   (one verdict line per file; exit 1
+//!                                   if any fails)
+//! hlp fsck --store DIR|remote:ADDR [--repair]
+//!                                   audit every artifact in a store
+//!                                   (container proof, codec decode,
+//!                                   semantic check); --repair renames
+//!                                   defective files aside to *.bad
 //! hlp gc --store DIR [--max-age-days D] [--max-bytes B]
 //!                                   store size accounting and pruning
+//!                                   (quarantined *.bad files are counted
+//!                                   but never pruned)
 //! hlp store convert DIR [--store-format binary|text]
 //!                                   re-encode every artifact in place
 //! hlp suite [--requests]            list the built-in benchmarks
@@ -95,12 +107,13 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: hlp <run FILE | bench NAME | serve | table OUT | merge DST SRC... | \
-         gc | store convert DIR | suite> [--width N] [--adders N] [--mults N] [--alpha A] \
-         [--binder B] [--cycles N] [--lanes N] [--sa-mode M] [--seed N] [--fsm] \
-         [--remote ADDR] [--vhdl P] [--blif P] [--dot P] [--sa-table P] \
+         check FILE... | fsck | gc | store convert DIR | suite> [--width N] [--adders N] \
+         [--mults N] [--alpha A] [--binder B] [--cycles N] [--lanes N] [--sa-mode M] \
+         [--seed N] [--fsm] [--remote ADDR] [--vhdl P] [--blif P] [--dot P] [--sa-table P] \
          [--store DIR|remote:ADDR] [--store-format binary|text]\n\
          hlp serve (--socket P | --port N) [--store DIR] [--store-format F] \
-         [--max-clients N] | --stop"
+         [--max-clients N] | --stop\n\
+         hlp fsck --store DIR|remote:ADDR [--repair]"
     );
     exit(2)
 }
@@ -574,6 +587,137 @@ fn serve(args: &[String]) -> ! {
     }
 }
 
+/// Formats a netlist check verdict: a one-line summary for a clean
+/// pass, the first error (plus the count) otherwise.
+fn netlist_verdict(nl: &netlist::Netlist, what: &str) -> Result<String, String> {
+    let report = netlist::check_netlist(nl);
+    if report.is_clean() {
+        Ok(format!(
+            "{what}: {} node(s) checked, {} warning(s)",
+            report.checked_nodes,
+            report.warnings()
+        ))
+    } else {
+        let first = report
+            .violations
+            .iter()
+            .find(|v| v.severity() == netlist::Severity::Error)
+            .expect("unclean report has an error");
+        Err(format!(
+            "{what} fails semantic check ({} error(s); first: {first})",
+            report.errors()
+        ))
+    }
+}
+
+/// Audits one file for `hlp check`, dispatching on what it holds:
+/// `.blif` and `.cdfg` sources parse and run their semantic checker;
+/// everything else is treated as store-artifact bytes (either format,
+/// sniffed) and audited like `hlp fsck` would.
+fn check_one(path: &str) -> Result<String, String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read: {e}"))?;
+    if path.ends_with(".blif") {
+        let text =
+            String::from_utf8(data).map_err(|_| "BLIF file is not UTF-8 text".to_string())?;
+        let file = netlist::parse_blif(&text).map_err(|e| format!("BLIF parse: {e}"))?;
+        // Flattening itself refuses combinational loops and dangling
+        // nets; whatever it accepts still gets the exhaustive checker.
+        let nl = file
+            .flatten(None, &[])
+            .map_err(|e| format!("BLIF elaboration: {e}"))?;
+        netlist_verdict(&nl, "BLIF netlist")
+    } else if path.ends_with(".cdfg") {
+        let text =
+            String::from_utf8(data).map_err(|_| "CDFG file is not UTF-8 text".to_string())?;
+        let (g, _sched) = cdfg::parse_cdfg(&text).map_err(|e| format!("CDFG parse: {e}"))?;
+        let report = cdfg::check_cdfg(&g);
+        if report.is_clean() {
+            Ok(format!("CDFG: {} op(s) checked", report.checked_ops))
+        } else {
+            let first = report
+                .violations
+                .iter()
+                .find(|v| v.is_error())
+                .expect("unclean report has an error");
+            Err(format!(
+                "CDFG fails semantic check ({} error(s); first: {first})",
+                report.errors()
+            ))
+        }
+    } else {
+        hlpower::audit_artifact_auto(&data)
+    }
+}
+
+/// `hlp check FILE...`: static checking of netlists, CDFGs, and store
+/// artifacts, one verdict line per file. Exit 1 when any file fails.
+fn check_files(args: &[String]) {
+    if args.is_empty() {
+        eprintln!("hlp check: at least one file argument is required");
+        usage()
+    }
+    let mut failed = 0usize;
+    for path in args {
+        match check_one(path) {
+            Ok(summary) => println!("ok: {path}: {summary}"),
+            Err(problem) => {
+                println!("bad: {path}: {problem}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("hlp check: {failed} of {} file(s) failed", args.len());
+        exit(1);
+    }
+}
+
+/// `hlp fsck`: audit every artifact in a store, optionally renaming
+/// defective files aside to `*.bad`. Exit 1 when any artifact fails.
+fn fsck(args: &[String]) {
+    let mut store: Option<String> = None;
+    let mut repair = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--store" => store = Some(take_value(args, &mut i, &flag)),
+            "--repair" => repair = true,
+            other => {
+                eprintln!("hlp fsck: unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    let Some(spec) = store else {
+        eprintln!("hlp fsck: --store DIR|remote:ADDR is required");
+        usage()
+    };
+    if repair && spec.starts_with("remote:") {
+        // The audit walks fine over the wire, but quarantine renames
+        // files where the bytes live.
+        eprintln!("hlp fsck: --repair is local-only; run it on the daemon host");
+        usage()
+    }
+    // Strict open for directories: fsck must never materialize an empty
+    // store at a mistyped path (and then report it clean).
+    let store = if spec.starts_with("remote:") {
+        ArtifactStore::open_spec(&spec)
+            .unwrap_or_else(|e| die(format!("cannot reach remote store: {e}")))
+    } else {
+        ArtifactStore::open_existing(&spec)
+            .unwrap_or_else(|e| die(format!("cannot open artifact store: {e}")))
+    };
+    let report = store
+        .fsck(repair)
+        .unwrap_or_else(|e| die(format!("fsck of `{spec}` failed: {e}")));
+    println!("{report}");
+    if !report.is_clean() {
+        exit(1);
+    }
+}
+
 /// `hlp gc`: per-kind size accounting, optional age/size pruning.
 fn gc(args: &[String]) {
     let mut store: Option<String> = None;
@@ -721,6 +865,8 @@ fn main() {
             run_job(&o, hlpower::JobSource::Suite(name.clone()));
         }
         "serve" => serve(&argv[1..]),
+        "check" => check_files(&argv[1..]),
+        "fsck" => fsck(&argv[1..]),
         "gc" => gc(&argv[1..]),
         "store" => store_command(&argv[1..]),
         "table" => {

@@ -102,21 +102,34 @@ fn remote_backend_round_trips_artifacts_through_the_daemon() {
     assert_eq!(remote.describe(), format!("remote:{}", socket.display()));
 
     // Content-addressed artifacts: put remotely, visible locally (and
-    // back), byte for byte — the backend only moves bytes.
-    assert!(!remote.raw_stat("sims", "feedc0de"));
-    remote.raw_put("sims", "feedc0de", b"summary body\nwith lines\n");
-    assert!(remote.raw_stat("sims", "feedc0de"));
-    assert_eq!(
-        remote.raw_get("sims", "feedc0de").as_deref(),
-        Some(b"summary body\nwith lines\n".as_ref())
-    );
+    // back), byte for byte — the backend moves bytes verbatim, but the
+    // daemon audits them first, so the name must be a real fingerprint
+    // and the body a valid artifact of its kind.
+    let name = "feedc0defeedc0defeedc0defeedc0de";
+    let body = b"# hlpower sim v1\ncycles 100 total 640 functional 600 glitch 40 nodes 9\n";
+    assert!(!remote.raw_stat("sims", name));
+    remote.raw_put("sims", name, body);
+    assert!(remote.raw_stat("sims", name));
+    assert_eq!(remote.raw_get("sims", name).as_deref(), Some(body.as_ref()));
     let local = ArtifactStore::open(&store_dir).unwrap();
     assert_eq!(
-        local.raw_get("sims", "feedc0de").as_deref(),
-        remote.raw_get("sims", "feedc0de").as_deref(),
+        local.raw_get("sims", name).as_deref(),
+        remote.raw_get("sims", name).as_deref(),
         "remote put lands in the daemon's local store"
     );
-    assert_eq!(remote.raw_list("sims").unwrap(), vec!["feedc0de"]);
+    assert_eq!(remote.raw_list("sims").unwrap(), vec![name]);
+
+    // A body that fails the static audit is refused server-side and
+    // never lands: garbage under a fingerprint name reads back absent.
+    remote.raw_put(
+        "sims",
+        "deadbeefdeadbeefdeadbeefdeadbeef",
+        b"not a summary\n",
+    );
+    assert!(
+        !remote.raw_stat("sims", "deadbeefdeadbeefdeadbeefdeadbeef"),
+        "daemon must reject a semantically invalid store put"
+    );
 
     // SA shards merge server-side with absorb semantics: existing
     // entries win and conflicts are reported over the wire.
