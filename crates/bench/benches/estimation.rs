@@ -8,7 +8,9 @@
 
 use activity::{analyze, analyze_zero_delay, ActivityConfig, ZeroDelayModel};
 use cdfg::FuType;
-use gatesim::{run_random, run_random_word};
+use gatesim::{
+    CycleSim, SlabSim, SlabVectorSource, VectorSource, WordSim, WordVectorSource, MAX_LANES,
+};
 use hlpower::partial_datapath;
 use mapper::{enumerate_cuts, map, CutConfig, MapConfig, MapObjective};
 use netlist::{cells, Netlist, NodeId};
@@ -80,17 +82,57 @@ fn bench_sa_table_entry() {
     });
 }
 
-/// Scalar vs word-parallel unit-delay simulation throughput on the
-/// mapped array-multiplier benchmark — the bit-slicing payoff, reported
-/// as simulated transitions per second. The word engine advances 64
-/// vector lanes per event-wheel pass, so its per-lane cost collapses.
+/// Scalar vs word-parallel vs multi-word slab simulation throughput on
+/// the mapped 16×16 array multiplier — the bit-slicing payoff, reported
+/// as simulated transitions per second. All stimulus is pregenerated
+/// outside the timed region so every engine pays zero RNG cost and the
+/// floors below measure pure engine throughput: the word engine
+/// advances 64 lanes per event-wheel pass, and the slab engine advances
+/// four 64-lane words per pass with one shared wheel and an
+/// autovectorizable straight-line kernel.
+///
+/// Besides the printed table, the rates land in `BENCH_sim.json` at the
+/// workspace root so future PRs can track the throughput curve.
 fn bench_simulators() {
-    let nl = multiplier_netlist(8);
+    const SLAB_WORDS: usize = 4;
+    let nl = multiplier_netlist(16);
     let mapped = map(&nl, &MapConfig::new(4, MapObjective::GlitchSa)).netlist;
-    let steps = 2000u64;
+    let steps = 500usize;
     let seed = 42u64;
+    let inputs = mapped.inputs().len();
+    let slab_lanes = SLAB_WORDS * MAX_LANES;
+
+    // Pregenerated stimulus, one buffer per cycle, identical seeding to
+    // the `run_random*` drivers (lane L draws from `lane_seed(seed, L)`).
+    let scalar_stim: Vec<Vec<bool>> = {
+        let mut src = VectorSource::new(seed);
+        (0..steps).map(|_| src.next_vector(inputs)).collect()
+    };
+    let word_stim = |lanes: usize| -> Vec<Vec<u64>> {
+        let mut src = WordVectorSource::new(seed, lanes);
+        (0..steps)
+            .map(|_| {
+                let mut w = vec![0u64; inputs];
+                src.fill_words(&mut w);
+                w
+            })
+            .collect()
+    };
+    let lane1_stim = word_stim(1);
+    let word64_stim = word_stim(MAX_LANES);
+    let slab_stim: Vec<Vec<u64>> = {
+        let mut src = SlabVectorSource::new(seed, slab_lanes);
+        (0..steps)
+            .map(|_| {
+                let mut s = vec![0u64; inputs * SLAB_WORDS];
+                src.fill_slab(&mut s);
+                s
+            })
+            .collect()
+    };
+
     // Median of three timed repetitions (after one warm-up) so a single
-    // scheduler hiccup cannot fail the floor assert below.
+    // scheduler hiccup cannot fail the floor asserts below.
     let rate = |label: &str, f: &dyn Fn() -> u64| -> f64 {
         f(); // warm-up
         let mut rates = [0.0f64; 3];
@@ -105,17 +147,104 @@ fn bench_simulators() {
         println!("{label:40} {per_s:14.0} transitions/s  ({transitions} transitions)");
         per_s
     };
-    let scalar = rate("simulation/scalar_mult8", &|| {
-        run_random(&mapped, steps, seed).total_transitions
+
+    let scalar = rate("simulation/scalar_mult16", &|| {
+        let mut sim = CycleSim::new(&mapped);
+        for v in &scalar_stim {
+            sim.step(v);
+        }
+        sim.stats().total_transitions
     });
-    let word = rate("simulation/word64_mult8", &|| {
-        run_random_word(&mapped, steps, seed, 64).total_transitions
+    let lane1 = rate("simulation/lanes1_mult16", &|| {
+        let mut sim = WordSim::new(&mapped, 1);
+        for w in &lane1_stim {
+            sim.step(w);
+        }
+        sim.stats().total_transitions
     });
-    let speedup = word / scalar;
-    println!("simulation/word64_vs_scalar_speedup      {speedup:13.1}x  (acceptance floor: 8x)");
+    let word64 = rate("simulation/lanes64_mult16", &|| {
+        let mut sim = WordSim::new(&mapped, MAX_LANES);
+        for w in &word64_stim {
+            sim.step(w);
+        }
+        sim.stats().total_transitions
+    });
+    let skip_rate = std::cell::Cell::new(0.0f64);
+    let slab256 = rate("simulation/lanes256_slab_mult16", &|| {
+        let mut sim = SlabSim::<SLAB_WORDS>::new(&mapped, slab_lanes);
+        for s in &slab_stim {
+            sim.step(s);
+        }
+        skip_rate.set(sim.activity().skip_rate());
+        sim.stats().total_transitions
+    });
+    let skip_rate = skip_rate.get();
+
+    // The activity gate under a quiescent workload: only the low 64
+    // lanes toggle, so three of the four slab words should be skipped
+    // wholesale. (Under fully random stimulus above, every word is
+    // dirty and the skip rate is ~0 — the gate costs nothing there.)
+    let sparse_stim: Vec<Vec<u64>> = word64_stim
+        .iter()
+        .map(|w| {
+            let mut s = vec![0u64; inputs * SLAB_WORDS];
+            for (i, &word) in w.iter().enumerate() {
+                s[i * SLAB_WORDS] = word;
+            }
+            s
+        })
+        .collect();
+    let sparse_skip = std::cell::Cell::new(0.0f64);
+    rate("simulation/lanes256_slab_sparse_mult16", &|| {
+        let mut sim = SlabSim::<SLAB_WORDS>::new(&mapped, slab_lanes);
+        for s in &sparse_stim {
+            sim.step(s);
+        }
+        sparse_skip.set(sim.activity().skip_rate());
+        sim.stats().total_transitions
+    });
+    let sparse_skip = sparse_skip.get();
+    println!(
+        "simulation/slab_sparse_skip_rate         {:13.3}",
+        sparse_skip
+    );
+    println!(
+        "simulation/slab_activity_skip_rate       {:13.3}",
+        skip_rate
+    );
+
+    let word_speedup = word64 / scalar;
+    let slab_speedup = slab256 / word64;
+    println!(
+        "simulation/word64_vs_scalar_speedup      {word_speedup:13.1}x  (acceptance floor: 8x)"
+    );
+    println!(
+        "simulation/slab256_vs_word64_speedup     {slab_speedup:13.1}x  (acceptance floor: 2x)"
+    );
+
+    // Machine-readable trajectory for future PRs, at the workspace root.
+    let json = format!(
+        "{{\n  \"benchmark\": \"mapped_mult16\",\n  \"steps\": {steps},\n  \"seed\": {seed},\n  \
+         \"transitions_per_sec\": {{\n    \"scalar\": {scalar:.0},\n    \"lanes1\": {lane1:.0},\n    \
+         \"lanes64\": {word64:.0},\n    \"lanes256_slab\": {slab256:.0}\n  }},\n  \
+         \"slab_activity_skip_rate\": {skip_rate:.4},\n  \
+         \"slab_sparse_skip_rate\": {sparse_skip:.4},\n  \
+         \"word64_vs_scalar_speedup\": {word_speedup:.2},\n  \
+         \"slab256_vs_word64_speedup\": {slab_speedup:.2},\n  \
+         \"slab256_vs_word64_floor\": 2.0\n}}\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("simulation/trajectory written to         {out}");
+
     assert!(
-        speedup >= 8.0,
-        "word-parallel simulation regressed below the 8x acceptance floor: {speedup:.1}x"
+        word_speedup >= 8.0,
+        "word-parallel simulation regressed below the 8x acceptance floor: {word_speedup:.1}x"
+    );
+    assert!(
+        slab_speedup >= 2.0,
+        "slab simulation regressed below the 2x acceptance floor vs the \
+         64-lane word engine: {slab_speedup:.1}x"
     );
 }
 

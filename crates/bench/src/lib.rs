@@ -30,7 +30,8 @@ pub const DEFAULT_LANES: usize = 64;
 ///
 /// Flags: `--width N`, `--cycles N`, `--sa-width N`, `--seed N` (sets
 /// both the simulation and the register-port seed), `--lanes N`
-/// (word-parallel simulation lanes, 1..=64; `0` selects the scalar
+/// (word-parallel simulation lanes, 1..=512 — above 64 the multi-word
+/// slab engine packs `lanes/64` words per node; `0` selects the scalar
 /// reference engine; default [`DEFAULT_LANES`]), `--paper-exact`
 /// (restore the paper's `--lanes 1` single-stream tables),
 /// `--bench NAME` (repeatable), `--binder SPEC` (repeatable, see
@@ -117,11 +118,12 @@ impl Args {
                 "--sa-width" => flow.sa_width = parsed(&flag, &take_value(&mut i), "an integer"),
                 "--cycles" => flow.sim_cycles = parsed(&flag, &take_value(&mut i), "an integer"),
                 "--lanes" => {
-                    // 0 = scalar reference engine, 1..=64 = word engine.
+                    // 0 = scalar reference engine, 1..=64 = word engine,
+                    // 65..=512 = multi-word slab engine.
                     let v = take_value(&mut i);
-                    flow.lanes = parsed(&flag, &v, "a lane count in 0..=64");
-                    if flow.lanes > gatesim::MAX_LANES {
-                        bad_value(&flag, &v, "a lane count in 0..=64");
+                    flow.lanes = parsed(&flag, &v, "a lane count in 0..=512");
+                    if flow.lanes > gatesim::MAX_SLAB_LANES {
+                        bad_value(&flag, &v, "a lane count in 0..=512");
                     }
                 }
                 "--paper-exact" => {

@@ -162,7 +162,8 @@ pub struct JobRequest {
     pub binder: Binder,
     /// Simulated clock cycles.
     pub cycles: u64,
-    /// Word-parallel simulation lanes (0 = scalar reference engine).
+    /// Word-parallel simulation lanes (0 = scalar reference engine,
+    /// 1..=64 = single-word engine, 65..=512 = multi-word slab engine).
     pub lanes: usize,
     /// SA-table training mode.
     pub sa_mode: SaMode,
@@ -414,8 +415,8 @@ impl JobRequest {
                 "cycles" => req.cycles = value.parse().map_err(|_| bad("an integer"))?,
                 "lanes" => {
                     req.lanes = value.parse().map_err(|_| bad("an integer"))?;
-                    if req.lanes > gatesim::MAX_LANES {
-                        return Err(bad("a lane count in 0..=64"));
+                    if req.lanes > gatesim::MAX_SLAB_LANES {
+                        return Err(bad("a lane count in 0..=512"));
                     }
                 }
                 "sa-mode" => {
@@ -976,7 +977,9 @@ fn install_shutdown_signals() {
             fn signal(signum: i32, handler: usize) -> usize;
         }
         unsafe {
+            // lint:allow(trunc-cast): fn pointer -> usize is the sigaction ABI, not a narrowing
             signal(2, flag_shutdown as *const () as usize); // SIGINT
+                                                            // lint:allow(trunc-cast): fn pointer -> usize is the sigaction ABI, not a narrowing
             signal(15, flag_shutdown as *const () as usize); // SIGTERM
         }
     });
@@ -1919,7 +1922,7 @@ mod tests {
             .sa_width(1 + g.below(16))
             .binder(binder)
             .cycles(g.next() % 100_000)
-            .lanes(g.below(65))
+            .lanes(g.below(513))
             .sa_mode(
                 [
                     SaMode::Precalculated,
@@ -1974,7 +1977,10 @@ mod tests {
         assert!(err("hlpower-job v1").contains("source"));
         assert!(err("hlpower-job v1 source=bench:pr width=0").contains("width"));
         assert!(err("hlpower-job v1 source=bench:pr width=x").contains("`x`"));
-        assert!(err("hlpower-job v1 source=bench:pr lanes=65").contains("lanes"));
+        assert!(err("hlpower-job v1 source=bench:pr lanes=513").contains("lanes"));
+        // Boundary: the slab maximum itself is valid.
+        let max = JobRequest::parse_line("hlpower-job v1 source=bench:pr lanes=512").unwrap();
+        assert_eq!(max.lanes, gatesim::MAX_SLAB_LANES);
         assert!(err("hlpower-job v1 source=bench:pr binder=foo").contains("binder"));
         assert!(err("hlpower-job v1 source=bench:pr width=4 width=5").contains("duplicate"));
         assert!(err("hlpower-job v1 source=bench:pr nope=1").contains("unknown key"));

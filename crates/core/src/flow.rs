@@ -138,12 +138,16 @@ pub struct FlowConfig {
     /// Seed for simulation vectors.
     pub sim_seed: u64,
     /// Word-parallel simulation lanes. `0` selects the scalar reference
-    /// engine ([`gatesim::CycleSim`]); `N >= 1` selects the bit-sliced
-    /// [`gatesim::WordSim`] with `N` independent vector lanes, each
-    /// seeded via [`gatesim::lane_seed`]`(sim_seed, lane)`. Lane 0
-    /// replays the scalar stream, so `lanes == 1` is byte-identical to
-    /// `lanes == 0` while `lanes == 64` simulates a 64× vector budget at
-    /// roughly one event-wheel pass per cycle.
+    /// engine ([`gatesim::CycleSim`]); `1..=64` selects the bit-sliced
+    /// [`gatesim::WordSim`]; `65..=512` ([`gatesim::MAX_SLAB_LANES`])
+    /// selects the multi-word [`gatesim::SlabSim`] with
+    /// `lanes.div_ceil(64)` words per node. Every lane is an independent
+    /// vector stream seeded via [`gatesim::lane_seed`]`(sim_seed, lane)`:
+    /// lane 0 replays the scalar stream, so `lanes == 1` is
+    /// byte-identical to `lanes == 0`, and any lane count is the exact
+    /// lane-decomposition of its 64-lane sub-runs — `lanes == 256`
+    /// simulates a 256× vector budget in one activity-gated wheel pass
+    /// per cycle.
     pub lanes: usize,
     /// Seed for the register binding's random port assignment (shared by
     /// all binders).
@@ -472,15 +476,19 @@ pub fn measure(
 /// datapath's structure.
 ///
 /// Dispatches on `cfg.lanes`: `0` runs the scalar reference engine
-/// ([`simulate_scalar`]); `N >= 1` runs the word-parallel engine
-/// ([`simulate_word`]) with `N` lanes. Because lane 0 replays the scalar
-/// vector stream, `lanes == 1` produces statistics byte-identical to the
-/// scalar engine's.
+/// ([`simulate_scalar`]); `1..=64` runs the word-parallel engine
+/// ([`simulate_word`]); above 64 runs the multi-word slab engine
+/// ([`simulate_slab`]) up to [`gatesim::MAX_SLAB_LANES`] lanes. Because
+/// lane 0 replays the scalar vector stream, `lanes == 1` produces
+/// statistics byte-identical to the scalar engine's, and every slab lane
+/// replays the scalar run seeded [`gatesim::lane_seed`]`(sim_seed, L)`.
 pub fn simulate(dp: &Datapath, mapped: &netlist::Netlist, cfg: &FlowConfig) -> gatesim::SimStats {
     if cfg.lanes == 0 {
         simulate_scalar(dp, mapped, cfg)
-    } else {
+    } else if cfg.lanes <= gatesim::MAX_LANES {
         simulate_word(dp, mapped, cfg, cfg.lanes)
+    } else {
+        simulate_slab(dp, mapped, cfg, cfg.lanes)
     }
 }
 
@@ -571,6 +579,81 @@ pub fn simulate_word(
             }
         }
         sim.step(&words);
+    }
+    sim.stats().clone()
+}
+
+/// The multi-word slab implementation of [`simulate`] on
+/// [`gatesim::SlabSim`]: up to [`gatesim::MAX_SLAB_LANES`] independent
+/// vector streams advance in one activity-gated event-wheel pass per
+/// clock cycle. Global lane `L` (slab word `L / 64`, bit `L % 64`) draws
+/// its data-pin noise from [`gatesim::lane_seed`]`(cfg.sim_seed, L)` in
+/// the exact per-cycle order of the scalar engine, and the
+/// schedule-driven control pins are identical across lanes — so every
+/// lane is a faithful replay of a scalar run, the first 64 lanes replay
+/// [`simulate_word`]'s, and the cumulative statistics cover
+/// `cfg.sim_cycles × lanes` lane-cycles.
+pub fn simulate_slab(
+    dp: &Datapath,
+    mapped: &netlist::Netlist,
+    cfg: &FlowConfig,
+    lanes: usize,
+) -> gatesim::SimStats {
+    assert!(
+        lanes <= gatesim::MAX_SLAB_LANES,
+        "lanes limited to {}, got {lanes}",
+        gatesim::MAX_SLAB_LANES
+    );
+    match lanes.div_ceil(64) {
+        1 => simulate_slab_width::<1>(dp, mapped, cfg, lanes),
+        2 => simulate_slab_width::<2>(dp, mapped, cfg, lanes),
+        3 => simulate_slab_width::<3>(dp, mapped, cfg, lanes),
+        4 => simulate_slab_width::<4>(dp, mapped, cfg, lanes),
+        5 => simulate_slab_width::<5>(dp, mapped, cfg, lanes),
+        6 => simulate_slab_width::<6>(dp, mapped, cfg, lanes),
+        7 => simulate_slab_width::<7>(dp, mapped, cfg, lanes),
+        8 => simulate_slab_width::<8>(dp, mapped, cfg, lanes),
+        _ => unreachable!("lane bound checked above"),
+    }
+}
+
+fn simulate_slab_width<const W: usize>(
+    dp: &Datapath,
+    mapped: &netlist::Netlist,
+    cfg: &FlowConfig,
+    lanes: usize,
+) -> gatesim::SimStats {
+    let mut sim = gatesim::SlabSim::<W>::new(mapped, lanes);
+    // One stream per global lane, seeded by the SlabVectorSource contract
+    // (lane 0 == the scalar stream). Data-port values are drawn per lane
+    // in the scalar engine's per-cycle order, then the resulting scalar
+    // PI vectors are packed one bit per lane into input-major slabs.
+    let mut src = gatesim::SlabVectorSource::new(cfg.sim_seed, lanes);
+    let mask = width_mask(cfg.width);
+    let mut data: Vec<u64> = vec![0; dp.data_ports.len()];
+    let mut slabs: Vec<u64> = vec![0; mapped.inputs().len() * W];
+    // Reused scratch: drawing 512 lanes x data_ports vectors per cycle
+    // must not allocate, or PI generation would dominate the event-wheel
+    // savings.
+    let mut bits = vec![false; cfg.width];
+    let mut pi = vec![false; mapped.inputs().len()];
+    for c in 0..cfg.sim_cycles {
+        let step = (c % dp.num_steps as u64) as u32;
+        slabs.fill(0);
+        for lane in 0..lanes {
+            let (w, bit) = (lane / 64, lane % 64);
+            for d in &mut data {
+                // Same per-port draw order as the scalar engine (`fill`
+                // and `next_vector` consume the stream identically).
+                src.lane(lane).fill(&mut bits);
+                *d = pack_bits(&bits, mask);
+            }
+            dp.fill_input_vector(step, &data, &mut pi);
+            for (i, &b) in pi.iter().enumerate() {
+                slabs[i * W + w] |= (b as u64) << bit;
+            }
+        }
+        sim.step(&slabs);
     }
     sim.stats().clone()
 }
@@ -734,6 +817,63 @@ mod tests {
         // (more vectors tighten the estimate, they don't rescale it).
         let ratio = r8a.power.dynamic_power_mw / r1.power.dynamic_power_mw;
         assert!((0.5..2.0).contains(&ratio), "power ratio {ratio}");
+    }
+
+    #[test]
+    fn slab_simulation_scales_past_64_lanes() {
+        // Above 64 lanes `simulate` dispatches to the multi-word slab
+        // engine; the full flow must stay deterministic and the vector
+        // budget must scale with the lane count.
+        let p = cdfg::profile("pr").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("pr").unwrap();
+        let cfg64 = FlowConfig {
+            lanes: 64,
+            sim_cycles: 50,
+            ..FlowConfig::fast()
+        };
+        let cfg256 = FlowConfig {
+            lanes: 256,
+            sim_cycles: 50,
+            ..FlowConfig::fast()
+        };
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let r64 = run_benchmark(&g, &rc, binder, &cfg64);
+        let a = run_benchmark(&g, &rc, binder, &cfg256);
+        let b = run_benchmark(&g, &rc, binder, &cfg256);
+        assert_eq!(a.power.total_transitions, b.power.total_transitions);
+        assert_eq!(a.power.glitch_fraction, b.power.glitch_fraction);
+        // 256 lanes simulate 4x the lane-cycles of 64.
+        assert!(a.power.total_transitions > 2 * r64.power.total_transitions);
+        let ratio = a.power.dynamic_power_mw / r64.power.dynamic_power_mw;
+        assert!((0.5..2.0).contains(&ratio), "power ratio {ratio}");
+    }
+
+    #[test]
+    fn slab_flow_decomposes_into_word_flow_lanes() {
+        // The flow-level lane contract: the first 64 lanes of a slab
+        // simulation are exactly the word engine's 64 lanes, because
+        // both seed global lane L with lane_seed(sim_seed, L). A 64-lane
+        // slab run (one word) must therefore reproduce simulate_word
+        // stat for stat through the full flow.
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig {
+            sim_cycles: 40,
+            ..FlowConfig::fast()
+        };
+        let binder = Binder::HlPower { alpha: 0.5 };
+        let (sched, rb) = prepare(&g, &rc, &cfg);
+        let mut table = sa_table_for(&cfg, binder);
+        let outcome = bind(&g, &sched, &rb, &rc, binder, &mut table);
+        let (dp, mapped) = elaborate_map(&g, &sched, &rb, &outcome.fb, &cfg);
+        let word = simulate_word(&dp, &mapped.netlist, &cfg, 64);
+        let slab = simulate_slab(&dp, &mapped.netlist, &cfg, 64);
+        assert_eq!(slab.total_transitions, word.total_transitions);
+        assert_eq!(slab.functional_transitions, word.functional_transitions);
+        assert_eq!(slab.glitch_transitions, word.glitch_transitions);
+        assert_eq!(slab.per_node, word.per_node);
     }
 
     #[test]

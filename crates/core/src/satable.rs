@@ -12,10 +12,10 @@
 //! reports ("the same results ... but with a much shorter run time").
 //!
 //! Beyond the paper's estimator, [`SaMode::Simulated`] trains table
-//! entries by *measuring* each partial datapath with the word-parallel
-//! unit-delay simulator ([`gatesim::WordSim`]): 64 independent vector
-//! lanes per event-wheel pass make simulation cheap enough to use as a
-//! ground-truth training source ([`simulate_sa`]).
+//! entries by *measuring* each partial datapath with the multi-word slab
+//! unit-delay simulator ([`gatesim::SlabSim`]): 256 independent vector
+//! lanes per activity-gated event-wheel pass make simulation cheap
+//! enough to use as a ground-truth training source ([`simulate_sa`]).
 
 use activity::{analyze_zero_delay, ActivityConfig, ZeroDelayModel};
 use cdfg::FuType;
@@ -97,17 +97,18 @@ pub fn compute_sa(
 
 /// Clock cycles per lane in one [`SaMode::Simulated`] training run.
 pub const SIM_TRAIN_STEPS: u64 = 64;
-/// Word-parallel lanes per training run: `SIM_TRAIN_STEPS × SIM_TRAIN_LANES`
-/// random vectors are simulated per table entry at roughly the event-wheel
-/// cost of a single scalar stream.
-pub const SIM_TRAIN_LANES: usize = gatesim::MAX_LANES;
+/// Slab lanes per training run: `SIM_TRAIN_STEPS × SIM_TRAIN_LANES`
+/// random vectors are simulated per table entry in `SIM_TRAIN_STEPS`
+/// activity-gated event-wheel passes of the multi-word slab engine
+/// ([`gatesim::SlabSim`], 4 words per node at 256 lanes).
+pub const SIM_TRAIN_LANES: usize = 4 * gatesim::MAX_LANES;
 /// Fixed vector seed of the training runs — part of the table's identity
 /// (two tables trained with the same constants are bit-identical).
 pub const SIM_TRAIN_SEED: u64 = 0x5A7AB1E;
 
 /// The *simulated* switching activity of one partial datapath: map to
 /// K-LUTs, then measure mean transitions per node-cycle with the
-/// word-parallel unit-delay simulator ([`gatesim::WordSim`]) under
+/// multi-word slab unit-delay simulator ([`gatesim::SlabSim`]) under
 /// uniform random stimulus — the measurement the paper's estimator
 /// approximates, made affordable as a training source by bit-slicing
 /// ([`SIM_TRAIN_LANES`] vector streams per event-wheel pass).
@@ -117,7 +118,7 @@ pub const SIM_TRAIN_SEED: u64 = 0x5A7AB1E;
 pub fn simulate_sa(fu: FuType, mux_a: usize, mux_b: usize, width: usize, k: usize) -> f64 {
     let nl = partial_datapath(fu, mux_a, mux_b, width);
     let mapped = map(&nl, &MapConfig::new(k, MapObjective::GlitchSa));
-    let stats = gatesim::run_random_word(
+    let stats = gatesim::run_random_slab(
         &mapped.netlist,
         SIM_TRAIN_STEPS,
         SIM_TRAIN_SEED,

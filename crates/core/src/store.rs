@@ -1132,7 +1132,7 @@ impl LocalStore {
                 return Some(ArtifactBytes(BytesRepr::Mapped(map)));
             }
         }
-        let mut buf = Vec::with_capacity(len as usize);
+        let mut buf = Vec::with_capacity(usize::try_from(len).ok()?);
         let mut file = file;
         file.read_to_end(&mut buf).ok()?;
         Some(ArtifactBytes::owned(buf))
@@ -2276,6 +2276,7 @@ fn parse_prepared_bin(data: &[u8]) -> Option<(Schedule, RegisterBinding)> {
         num_regs,
         reg_of: u32s_from(r.section(2).ok()?)?
             .into_iter()
+            // lint:allow(trunc-cast): u32 register index widens losslessly to usize
             .map(|v| v as usize)
             .collect(),
         swap: r.section(3).ok()?.iter().map(|&b| b != 0).collect(),
@@ -2407,6 +2408,7 @@ fn parse_prepared(text: &str) -> Option<(Schedule, RegisterBinding)> {
             }
             "cstep" => cstep = Some(u32s(&rest)?),
             "num_regs" => num_regs = Some(rest.first()?.parse().ok()?),
+            // lint:allow(trunc-cast): u32 register index widens losslessly to usize
             "reg_of" => reg_of = Some(u32s(&rest)?.into_iter().map(|v| v as usize).collect()),
             "swap" => {
                 swap = Some(

@@ -78,10 +78,30 @@ impl WordVectorSource {
     ///
     /// Panics if `lanes` is 0 or exceeds 64.
     pub fn new(seed: u64, lanes: usize) -> Self {
+        Self::with_lane_offset(seed, lanes, 0)
+    }
+
+    /// Creates one stream per lane, seeding lane `L` as **global** lane
+    /// `offset + L` (i.e. [`lane_seed`]`(seed, offset + L)`). This is the
+    /// 64-lane sub-run of a wider slab simulation: word `j` of a
+    /// [`crate::SlabSim`] run equals a [`crate::WordSim`] run driven with
+    /// `offset = 64 j` — the lane-decomposition identity the differential
+    /// tests enforce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds 64, or if `offset + lanes`
+    /// exceeds [`crate::MAX_SLAB_LANES`].
+    pub fn with_lane_offset(seed: u64, lanes: usize, offset: usize) -> Self {
         assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
+        assert!(
+            offset + lanes <= crate::MAX_SLAB_LANES,
+            "lane offset {offset} + {lanes} lanes exceeds {}",
+            crate::MAX_SLAB_LANES
+        );
         WordVectorSource {
             sources: (0..lanes)
-                .map(|l| VectorSource::new(lane_seed(seed, l)))
+                .map(|l| VectorSource::new(lane_seed(seed, offset + l)))
                 .collect(),
             scratch: Vec::new(),
         }
@@ -117,6 +137,90 @@ impl WordVectorSource {
         let mut words = vec![0u64; n];
         self.fill_words(&mut words);
         words
+    }
+}
+
+/// Deterministic random vector source for slab simulation: one
+/// independent [`VectorSource`] per lane, up to
+/// [`crate::MAX_SLAB_LANES`], each seeded via [`lane_seed`] on the
+/// **global** lane index.
+///
+/// Global lane `L` (word `L / 64`, bit `L % 64`) draws exactly the bit
+/// stream `VectorSource::new(lane_seed(seed, L))` would, in the same
+/// per-cycle order — so slab runs decompose lane-by-lane into scalar
+/// runs and word-by-word into [`WordVectorSource::with_lane_offset`]
+/// sub-runs.
+#[derive(Debug)]
+pub struct SlabVectorSource {
+    sources: Vec<VectorSource>,
+    words: usize,
+    scratch: Vec<bool>,
+}
+
+impl SlabVectorSource {
+    /// Creates one stream per lane from a base seed. The slab width is
+    /// `lanes.div_ceil(64)` words per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or exceeds [`crate::MAX_SLAB_LANES`].
+    pub fn new(seed: u64, lanes: usize) -> Self {
+        assert!(
+            (1..=crate::MAX_SLAB_LANES).contains(&lanes),
+            "lanes must be in 1..={}",
+            crate::MAX_SLAB_LANES
+        );
+        SlabVectorSource {
+            sources: (0..lanes)
+                .map(|l| VectorSource::new(lane_seed(seed, l)))
+                .collect(),
+            words: lanes.div_ceil(64),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Slab words per input (`lanes.div_ceil(64)`).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The per-lane scalar stream (global lane `L` of every slab drawn so
+    /// far came from this source). Exposed so drivers can interleave slab
+    /// draws with per-lane scalar draws without desynchronizing.
+    pub fn lane(&mut self, lane: usize) -> &mut VectorSource {
+        &mut self.sources[lane]
+    }
+
+    /// Fills `slabs` with [`SlabVectorSource::words`] words per primary
+    /// input, input-major (`slabs[input * words + w]`): bit `L` of word
+    /// `w` is global lane `w * 64 + L`'s fresh random value for that
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slabs.len()` is not a multiple of the slab width.
+    pub fn fill_slab(&mut self, slabs: &mut [u64]) {
+        let width = self.words;
+        assert_eq!(
+            slabs.len() % width,
+            0,
+            "slab buffer must hold {width} word(s) per input"
+        );
+        let inputs = slabs.len() / width;
+        slabs.fill(0);
+        self.scratch.resize(inputs, false);
+        for (lane, src) in self.sources.iter_mut().enumerate() {
+            src.fill(&mut self.scratch);
+            let (w, bit) = (lane / 64, lane % 64);
+            for (i, &b) in self.scratch.iter().enumerate() {
+                slabs[i * width + w] |= (b as u64) << bit;
+            }
+        }
     }
 }
 

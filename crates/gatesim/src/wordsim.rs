@@ -54,7 +54,7 @@ pub const MAX_LANES: usize = 64;
 /// Evaluates one truth table bitwise across all lanes: OR over the true
 /// rows of the AND of each fanin word (inverted where the row has a 0).
 /// `mask` limits the result to the active lanes.
-fn eval_word(table: &TruthTable, fanins: &[u64], mask: u64) -> u64 {
+pub(crate) fn eval_word(table: &TruthTable, fanins: &[u64], mask: u64) -> u64 {
     let mut out = 0u64;
     for row in 0..(1u32 << fanins.len()) {
         if !table.eval(row) {

@@ -367,6 +367,7 @@ impl<'a> Cursor<'a> {
     /// [`BinError::Truncated`] on short data, [`BinError::Malformed`] if
     /// the bytes are not UTF-8.
     pub fn str(&mut self) -> Result<String, BinError> {
+        // lint:allow(trunc-cast): u32 widens losslessly to usize on all supported (>=32-bit) targets
         let n = self.u32()? as usize;
         let bytes = self.bytes(n)?;
         String::from_utf8(bytes.to_vec())
@@ -512,6 +513,7 @@ pub fn parse_netlist_bin(data: &[u8]) -> Result<Netlist, BinError> {
                 b => return Err(malformed(format!("bad constant value {b}"))),
             },
             TAG_LOGIC => {
+                // lint:allow(trunc-cast): u32 widens losslessly to usize on all supported (>=32-bit) targets
                 let arity = c.u32()? as usize;
                 if arity > MAX_INPUTS {
                     return Err(malformed(format!(
@@ -635,6 +637,7 @@ impl fmt::Display for DeepReport {
 /// Reads and UTF-8-validates one length-prefixed name without building
 /// a `String` — the deep validator allocates nothing per node.
 fn skip_str(c: &mut Cursor<'_>) -> Result<(), BinError> {
+    // lint:allow(trunc-cast): u32 widens losslessly to usize on all supported (>=32-bit) targets
     let n = c.u32()? as usize;
     let bytes = c.bytes(n)?;
     std::str::from_utf8(bytes)
@@ -674,6 +677,7 @@ fn validate_netlist_sections(sections: &[&[u8]]) -> Result<usize, BinError> {
                 }
             }
             TAG_LOGIC => {
+                // lint:allow(trunc-cast): u32 widens losslessly to usize on all supported (>=32-bit) targets
                 let arity = c.u32()? as usize;
                 if arity > MAX_INPUTS {
                     return Err(malformed("table arity exceeds the supported maximum"));
@@ -707,6 +711,7 @@ fn validate_netlist_sections(sections: &[&[u8]]) -> Result<usize, BinError> {
         return Err(malformed("node count mismatch"));
     }
     for data in forward_latch_data {
+        // lint:allow(trunc-cast): u32 widens losslessly to usize on all supported (>=32-bit) targets
         if data as usize >= nodes {
             return Err(malformed("latch data refers to a missing node"));
         }
@@ -715,6 +720,7 @@ fn validate_netlist_sections(sections: &[&[u8]]) -> Result<usize, BinError> {
     let mut c = Cursor::new(section(2)?);
     for _ in 0..expected_outputs {
         skip_str(&mut c)?;
+        // lint:allow(trunc-cast): u32 widens losslessly to usize on all supported (>=32-bit) targets
         if c.u32()? as usize >= nodes {
             return Err(malformed("output refers to a missing node"));
         }

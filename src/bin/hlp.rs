@@ -42,9 +42,10 @@
 //!                    hlpower-zd[:A]  (default hlpower; a `:A` suffix
 //!                    overrides --alpha)
 //!   --cycles N       simulation cycles             (default 1000)
-//!   --lanes N        word-parallel simulation lanes, 1..=64
-//!                    (default 1 — byte-identical to the scalar engine,
-//!                    which `--lanes 0` selects explicitly)
+//!   --lanes N        word-parallel simulation lanes, 1..=512; above 64
+//!                    the multi-word slab engine packs lanes/64 words
+//!                    per node (default 1 — byte-identical to the scalar
+//!                    engine, which `--lanes 0` selects explicitly)
 //!   --sa-mode M      SA-table training: precalculated | zero-delay |
 //!                    simulated | dynamic  (see README)
 //!   --seed N         simulation + register-port seed
@@ -187,9 +188,9 @@ fn parse_options(args: &[String]) -> Options {
             "--cycles" => o.cycles = parsed(&flag, &value(&mut i), "an integer"),
             "--lanes" => {
                 let v = value(&mut i);
-                o.lanes = parsed(&flag, &v, "a lane count in 0..=64");
-                if o.lanes > gatesim::MAX_LANES {
-                    bad_value(&flag, &v, "a lane count in 0..=64");
+                o.lanes = parsed(&flag, &v, "a lane count in 0..=512");
+                if o.lanes > gatesim::MAX_SLAB_LANES {
+                    bad_value(&flag, &v, "a lane count in 0..=512");
                 }
             }
             "--sa-mode" => {

@@ -25,6 +25,10 @@
 //! * `wire-unwrap` — modules that parse bytes from the wire or the
 //!   store must not `.unwrap()`: malformed input has to surface as an
 //!   error, never a panic.
+//! * `trunc-cast` — codec and wire modules must not use bare
+//!   `as usize` casts. A `u64` length narrowed on a 32-bit target
+//!   silently truncates and desynchronizes the cursor; use
+//!   `usize::try_from` or waive with a proof the value is in range.
 //!
 //! Lines inside `#[cfg(test)]` regions and comment lines are skipped
 //! (test modules are last-in-file by repo convention, which the lint
@@ -70,26 +74,40 @@ const WIRE_UNWRAP: Rule = Rule {
               must surface as an error, never a panic",
 };
 
+const TRUNC_CAST: Rule = Rule {
+    name: "trunc-cast",
+    needles: &["as usize"],
+    message: "bare `as usize` in a codec/wire module can silently \
+              truncate; use usize::try_from or waive with a \
+              `lint:allow(trunc-cast)` stating why the value is in range",
+};
+
 /// Which rules each guarded file is held to.
 const TARGETS: &[(&str, &[&Rule])] = &[
     // Codec + fingerprint modules: everything they emit is fingerprinted
     // or diffed byte-for-byte in CI.
     (
         "crates/netlist/src/binio.rs",
-        &[&NO_HASH_CONTAINER, &WALL_CLOCK, &WIRE_UNWRAP],
+        &[&NO_HASH_CONTAINER, &WALL_CLOCK, &WIRE_UNWRAP, &TRUNC_CAST],
     ),
     (
         "crates/netlist/src/textio.rs",
-        &[&NO_HASH_CONTAINER, &WALL_CLOCK, &WIRE_UNWRAP],
+        &[&NO_HASH_CONTAINER, &WALL_CLOCK, &WIRE_UNWRAP, &TRUNC_CAST],
     ),
     (
         "crates/core/src/fingerprint.rs",
-        &[&NO_HASH_CONTAINER, &WALL_CLOCK, &WIRE_UNWRAP],
+        &[&NO_HASH_CONTAINER, &WALL_CLOCK, &WIRE_UNWRAP, &TRUNC_CAST],
     ),
     // Wire/store modules: they may use hash maps internally but must not
     // iterate them unexplained, and must never panic on foreign bytes.
-    ("crates/core/src/api.rs", &[&MAP_ITER, &WIRE_UNWRAP]),
-    ("crates/core/src/store.rs", &[&MAP_ITER, &WIRE_UNWRAP]),
+    (
+        "crates/core/src/api.rs",
+        &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
+    ),
+    (
+        "crates/core/src/store.rs",
+        &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
+    ),
 ];
 
 /// A single lint hit, printed `path:line: [rule] message`.
@@ -263,6 +281,8 @@ mod tests {
                 "    let ok: u32 = m.values().sum(); // lint:allow(map-iter): sum is order-insensitive\n",
                 "    let bad: u32 = m.keys().sum();\n",
                 "    ok + bad + t.elapsed().unwrap().as_secs() as u32\n",
+                "        + len as usize as u32\n",
+                "        + checked as usize as u32 // lint:allow(trunc-cast): provably < 16\n",
                 "}\n",
                 "#[cfg(test)]\n",
                 "mod tests {\n",
@@ -273,15 +293,21 @@ mod tests {
         .unwrap();
 
         let mut findings = Vec::new();
-        let rules: &[&Rule] = &[&NO_HASH_CONTAINER, &WALL_CLOCK, &MAP_ITER, &WIRE_UNWRAP];
+        let rules: &[&Rule] = &[
+            &NO_HASH_CONTAINER,
+            &WALL_CLOCK,
+            &MAP_ITER,
+            &WIRE_UNWRAP,
+            &TRUNC_CAST,
+        ];
         lint_file(Path::new("/"), path.to_str().unwrap(), rules, &mut findings);
         let hits: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
         std::fs::remove_dir_all(&dir).ok();
 
         // Two HashMap mentions, one wall-clock read, one unwaived map
-        // iteration, one unwrap — and nothing from the comment, the
-        // waived line, or the test module.
-        assert_eq!(hits.len(), 5, "{hits:?}");
+        // iteration, one unwrap, one unwaived truncating cast — and
+        // nothing from the comment, the waived lines, or the test module.
+        assert_eq!(hits.len(), 6, "{hits:?}");
         assert!(
             hits.iter()
                 .filter(|h| h.contains("no-hash-container"))
@@ -291,5 +317,6 @@ mod tests {
         assert!(hits.iter().any(|h| h.contains(":4: [wall-clock]")));
         assert!(hits.iter().any(|h| h.contains(":6: [map-iter]")));
         assert!(hits.iter().any(|h| h.contains(":7: [wire-unwrap]")));
+        assert!(hits.iter().any(|h| h.contains(":8: [trunc-cast]")));
     }
 }
