@@ -1532,14 +1532,22 @@ fn serve_store_line<R: BufRead, W: Write>(
                     Err(e) => return fail(format!("unparseable SA table: {e}")),
                 }
             } else {
-                let Ok(text) = String::from_utf8(body) else {
+                let Ok(text) = std::str::from_utf8(&body) else {
                     return fail("SA table body is neither hlpbin nor UTF-8 text".to_string());
                 };
-                match SaTable::from_text(&text) {
+                match SaTable::from_text(text) {
                     Ok(table) => table,
                     Err(e) => return fail(format!("unparseable SA table: {e}")),
                 }
             };
+            // The parsed header names the shard this body would merge
+            // into; run the body through the same audit `hlp fsck`
+            // applies to stored shards BEFORE merging, so one corrupt
+            // client cannot poison a shard every other client shares.
+            let shard = crate::store::sa_shard_name(table.mode(), table.width(), table.k());
+            if let Err(e) = crate::store::audit_artifact_bytes("satables", &shard, &body) {
+                return fail(format!("SA table rejected: {e}"));
+            }
             let stats = store.merge_sa_table(&table);
             writer.write_all(
                 format!(
@@ -1551,8 +1559,82 @@ fn serve_store_line<R: BufRead, W: Write>(
             writer.flush()?;
             Ok(format!("put-sa {len} bytes: {stats}"))
         }
+        ["store", "audit", kind, name, len] => {
+            let len = match body_len(len) {
+                BodyLen::Ok(len) => len,
+                BodyLen::TooBig(len) => {
+                    read_body(reader, len, shutdown, None)?;
+                    return fail(format!("body of {len} bytes exceeds the 64 MiB cap"));
+                }
+                BodyLen::Bad(e) => return fail(e),
+            };
+            let mut body = Vec::new();
+            read_body(reader, len, shutdown, Some(&mut body))?;
+            if let Err(e) = check(kind, name) {
+                return fail(e);
+            }
+            // Audit without storing: the `store put` gate as a verb of
+            // its own, so clients can vet bytes they do NOT intend to
+            // merge (pre-flight checks, CI gates) against the daemon's
+            // auditor version instead of their own.
+            match crate::store::audit_artifact_bytes(kind, name, &body) {
+                Ok(()) => {
+                    writer.write_all(b"ok audited\n")?;
+                    writer.flush()?;
+                    Ok(format!("audit {kind}/{name} ({len} bytes) clean"))
+                }
+                Err(e) => fail(format!("artifact rejected: {e}")),
+            }
+        }
+        ["store", "fsck", mode, scope] => {
+            let repair = match *mode {
+                "off" => crate::RepairMode::Off,
+                "repair" => crate::RepairMode::Quarantine,
+                "repair-fix" => crate::RepairMode::Fix,
+                other => {
+                    return fail(format!(
+                        "unknown fsck mode `{other}` (expected off/repair/repair-fix)"
+                    ))
+                }
+            };
+            let full = match *scope {
+                "full" => true,
+                "fast" => false,
+                other => return fail(format!("unknown fsck scope `{other}` (expected fast/full)")),
+            };
+            // The daemon audits its own store in place and streams only
+            // verdicts — one `bad` line per defect, then the `done`
+            // counters. Artifact bodies never cross the wire.
+            match store.fsck_with(&crate::FsckOptions { repair, full }) {
+                Ok(report) => {
+                    let mut reply = String::new();
+                    for issue in &report.issues {
+                        reply.push_str(&format!(
+                            "bad {} {} {} {} {}\n",
+                            issue.kind,
+                            issue.name,
+                            u8::from(issue.quarantined),
+                            u8::from(issue.fixed),
+                            escape(&issue.problem)
+                        ));
+                    }
+                    reply.push_str(&format!(
+                        "done {} {} {} {} {}\n",
+                        report.scanned,
+                        report.skipped_unchanged,
+                        report.issues.len(),
+                        report.quarantined,
+                        report.fixed
+                    ));
+                    writer.write_all(reply.as_bytes())?;
+                    writer.flush()?;
+                    Ok(format!("fsck {mode} {scope}: {report}"))
+                }
+                Err(e) => fail(format!("fsck failed: {e}")),
+            }
+        }
         _ => fail(format!(
-            "unknown store request `{}` (expected get/put/stat/list/put-sa)",
+            "unknown store request `{}` (expected get/put/stat/list/put-sa/audit/fsck)",
             line.split_whitespace()
                 .take(2)
                 .collect::<Vec<_>>()

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod audit;
 pub mod datapath;
 pub mod fingerprint;
 pub mod flow;
@@ -58,6 +59,7 @@ pub mod vhdl;
 pub use api::{
     Endpoint, JobReport, JobRequest, JobSource, ServeOptions, Server, Service, ServiceError,
 };
+pub use audit::{FsckOptions, RepairMode, AUDITOR_VERSION};
 pub use datapath::{
     elaborate, execute, ControlProgram, ControlStyle, DataPort, Datapath, DatapathConfig,
 };
@@ -74,8 +76,9 @@ pub use satable::{
     SharedSaTable,
 };
 pub use store::{
-    audit_artifact_auto, audit_artifact_bytes, ArtifactBytes, ArtifactStore, CodecNanos,
-    ConvertReport, FsckIssue, FsckReport, GcPolicy, GcReport, KindUsage, LocalStore,
-    MappedArtifact, MergeReport, RemoteStore, StoreBackend, StoreCounts, StoreFormat, StoreUsage,
+    audit_artifact_auto, audit_artifact_bytes, fix_artifact_auto, ArtifactBytes, ArtifactStore,
+    CodecNanos, ConvertReport, FixVerdict, FsckIssue, FsckReport, GcPolicy, GcReport, KindUsage,
+    LocalStore, MappedArtifact, MergeReport, RemoteStore, StoreBackend, StoreCounts, StoreFormat,
+    StoreUsage,
 };
 pub use vhdl::write_vhdl;

@@ -362,6 +362,16 @@ impl Pipeline {
         self.store.as_ref().map(|s| s.fsck(repair))
     }
 
+    /// [`Pipeline::fsck`] with the full option surface
+    /// ([`crate::FsckOptions`]): watermark-skipping warm passes,
+    /// `--full` re-audits, and the quarantine/fix repair modes.
+    pub fn fsck_with(
+        &self,
+        options: &crate::FsckOptions,
+    ) -> Option<std::io::Result<crate::store::FsckReport>> {
+        self.store.as_ref().map(|s| s.fsck_with(options))
+    }
+
     /// Merges the in-memory SA caches back into the store's on-disk
     /// shards (merge-on-absorb: entries already on disk win; conflicts
     /// are warned about). No-op without a store. Called automatically at

@@ -67,13 +67,22 @@
 //! store stat KIND NAME       →  present  |  absent
 //! store list KIND            →  names N\n<N name lines>
 //! store put-sa LEN\n<LEN bytes of SaTable, either format>  →  ok I M C
+//! store audit KIND NAME LEN\n<LEN bytes>  →  ok SUMMARY  |  error MSG
+//! store fsck MODE SCOPE      →  bad KIND NAME Q F PROBLEM (per defect)
+//!                               done SCANNED SKIPPED DEFECTIVE QUAR FIXED
 //! ```
 //!
 //! (`put-sa` merges server-side under the daemon's shard lock and
 //! reports inserted/matched/conflicting counts; failures are `error
-//! MSG` lines.) A warm run against a remote store is byte-identical to
-//! the same run against the daemon's directory mounted locally: the
-//! backend only moves bytes, every format decision stays in this module.
+//! MSG` lines.) `store fsck` (`MODE` ∈ `off|repair|repair-fix`, `SCOPE`
+//! ∈ `fast|full`) audits the daemon's store **in place** — no artifact
+//! body crosses the wire; only one verdict line per defective slot and
+//! a summary come back, with `--repair` quarantine and `--repair=fix`
+//! autofixes honored on the daemon host. `store audit` checks bytes
+//! without storing them. A warm run against a remote store is
+//! byte-identical to the same run against the daemon's directory
+//! mounted locally: the backend only moves bytes, every format decision
+//! stays in this module.
 //!
 //! # On-disk layout
 //!
@@ -103,6 +112,7 @@
 //! ```
 
 use crate::api::{unescape, Endpoint};
+use crate::audit::{self, FsckOptions, RepairMode};
 use crate::fingerprint::Fingerprint;
 use crate::regbind::RegisterBinding;
 use crate::satable::{AbsorbStats, SaMode, SaTable, SharedSaTable};
@@ -436,8 +446,13 @@ pub struct FsckIssue {
     /// What the audit found wrong, human-readable.
     pub problem: String,
     /// Whether the file was renamed aside to `*.bad` (`--repair` on a
-    /// local store).
+    /// local store; for a fixed slot these are the **pre-fix** bytes).
     pub quarantined: bool,
+    /// Whether a mechanical repair replaced the slot (`--repair=fix`):
+    /// the rewritten artifact re-audited clean under the full auditor
+    /// before it was installed, and the defective original is the
+    /// quarantined `*.bad` twin.
+    pub fixed: bool,
 }
 
 impl fmt::Display for FsckIssue {
@@ -445,6 +460,9 @@ impl fmt::Display for FsckIssue {
         write!(f, "{}/{}: {}", self.kind, self.name, self.problem)?;
         if self.quarantined {
             write!(f, " [quarantined]")?;
+        }
+        if self.fixed {
+            write!(f, " [fixed]")?;
         }
         Ok(())
     }
@@ -455,11 +473,19 @@ impl fmt::Display for FsckIssue {
 pub struct FsckReport {
     /// Artifacts examined (every listed name of every kind).
     pub scanned: usize,
+    /// Slots whose persisted audit watermark (auditor version + mtime +
+    /// size + content fingerprint) still matched, so the expensive
+    /// decode + semantic check was skipped. Always zero on a `--full`
+    /// pass and on stores without a watermark index.
+    pub skipped_unchanged: usize,
     /// Every artifact that failed its audit, in walk order
     /// (kind-by-kind, names sorted).
     pub issues: Vec<FsckIssue>,
     /// How many of the issues were renamed aside to `*.bad`.
     pub quarantined: usize,
+    /// How many of the issues were mechanically repaired in place
+    /// (`--repair=fix`), with the pre-fix bytes quarantined.
+    pub fixed: usize,
 }
 
 impl FsckReport {
@@ -467,23 +493,40 @@ impl FsckReport {
     pub fn is_clean(&self) -> bool {
         self.issues.is_empty()
     }
+
+    /// Slots that actually ran the full audit this pass.
+    pub fn audited(&self) -> usize {
+        self.scanned.saturating_sub(self.skipped_unchanged)
+    }
 }
 
 impl fmt::Display for FsckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.issues.is_empty() {
-            return write!(f, "ok: {} artifact(s) scanned, no defects", self.scanned);
+            return write!(
+                f,
+                "ok: {} artifact(s) scanned ({} audited, {} unchanged), no defects",
+                self.scanned,
+                self.audited(),
+                self.skipped_unchanged
+            );
         }
         for issue in &self.issues {
             writeln!(f, "bad: {issue}")?;
         }
         write!(
             f,
-            "{} artifact(s) scanned: {} defective, {} quarantined",
+            "{} artifact(s) scanned ({} audited, {} unchanged): {} defective, {} quarantined",
             self.scanned,
+            self.audited(),
+            self.skipped_unchanged,
             self.issues.len(),
             self.quarantined
-        )
+        )?;
+        if self.fixed > 0 {
+            write!(f, ", {} fixed", self.fixed)?;
+        }
+        Ok(())
     }
 }
 
@@ -827,13 +870,21 @@ pub trait StoreBackend: Send + Sync + fmt::Debug {
         None
     }
 
+    /// Runs fsck **where the bytes live**, when the backend can
+    /// delegate it (a remote store asks its daemon, which audits in
+    /// place — no artifact body crosses the wire). `None` means the
+    /// caller must walk the slots itself via `list`/`get`.
+    fn delegate_fsck(&self, _options: &FsckOptions) -> Option<io::Result<FsckReport>> {
+        None
+    }
+
     /// Human-readable address for logs and error messages.
     fn describe(&self) -> String;
 }
 
 /// The SA shard stem for `(mode, width, k)` — shared by both backends
 /// and the daemon, so every side addresses the same shard.
-fn sa_shard_name(mode: SaMode, width: usize, k: usize) -> String {
+pub(crate) fn sa_shard_name(mode: SaMode, width: usize, k: usize) -> String {
     format!("{}-w{width}-k{k}", mode.name())
 }
 
@@ -1064,6 +1115,114 @@ pub fn audit_artifact_auto(data: &[u8]) -> Result<String, String> {
     }
 }
 
+/// Outcome of [`fix_artifact_auto`] — `hlp check --fix` on one file.
+#[derive(Debug)]
+pub enum FixVerdict {
+    /// The bytes already audit clean; nothing needs rewriting. Carries
+    /// the audit summary.
+    Clean(String),
+    /// A mechanical fix converged and the replacement bytes re-audit
+    /// clean. The caller decides where they go (the CLI backs up the
+    /// original first — a fix never silently destroys evidence).
+    Fixed {
+        /// Replacement file content, in the original encoding.
+        bytes: Vec<u8>,
+        /// Individual graph edits applied across all passes.
+        applied: usize,
+        /// Check→plan→apply passes the fix loop needed.
+        passes: usize,
+        /// Post-fix audit summary.
+        summary: String,
+    },
+    /// The defect has no sound mechanical fix (or the file carries no
+    /// netlist to fix). Carries the original problem and the reason.
+    Unfixable(String),
+}
+
+/// Attempts a mechanical repair of standalone artifact bytes
+/// ([`netlist::fix_netlist`]: drop orphans, rewire singleton muxes,
+/// dedupe identical multiply-drivers). Only netlist-carrying files —
+/// bare netlists and mapped artifacts, either encoding — are fixable;
+/// the result is accepted only when the fix loop converges to zero
+/// violations, actually changed something, and the re-encoded bytes
+/// pass [`audit_artifact_auto`].
+pub fn fix_artifact_auto(data: &[u8]) -> FixVerdict {
+    let problem = match audit_artifact_auto(data) {
+        Ok(summary) => return FixVerdict::Clean(summary),
+        Err(problem) => problem,
+    };
+    // Decode whatever netlist the bytes carry, remembering which
+    // carrier shape (and encoding) the fixed graph must go back into.
+    enum Carrier {
+        Bare(netlist::Netlist),
+        Mapped(MappedArtifact),
+    }
+    let format = if binio::is_binary(data) {
+        StoreFormat::Binary
+    } else {
+        StoreFormat::Text
+    };
+    let carrier = if binio::is_binary(data) {
+        match netlist::validate_deep(data).map(|deep| deep.kind) {
+            Ok(binio::KIND_NETLIST) => netlist::parse_netlist_bin(data).ok().map(Carrier::Bare),
+            Ok(binio::KIND_MAPPED) => parse_mapped_bin_unchecked(data).map(Carrier::Mapped),
+            _ => None,
+        }
+    } else {
+        match std::str::from_utf8(data) {
+            Ok(text) => {
+                let header = text.lines().next().unwrap_or("");
+                if header == "# hlpower netlist v1" {
+                    parse_netlist_text(text).ok().map(Carrier::Bare)
+                } else if header == MAPPED_HEADER {
+                    parse_mapped_unchecked(text).map(Carrier::Mapped)
+                } else {
+                    None
+                }
+            }
+            Err(_) => None,
+        }
+    };
+    let Some(carrier) = carrier else {
+        return FixVerdict::Unfixable(format!("{problem}; no decodable netlist to fix"));
+    };
+    let nl = match &carrier {
+        Carrier::Bare(nl) => nl,
+        Carrier::Mapped(artifact) => &artifact.netlist,
+    };
+    let out = netlist::fix_netlist(nl);
+    if out.applied == 0 || !out.report.violations.is_empty() {
+        return FixVerdict::Unfixable(format!("{problem}; no sound mechanical fix"));
+    }
+    let bytes = match carrier {
+        Carrier::Bare(_) => match format {
+            StoreFormat::Binary => netlist::write_netlist_bin(&out.netlist),
+            StoreFormat::Text => netlist::write_netlist_text(&out.netlist).into_bytes(),
+        },
+        Carrier::Mapped(artifact) => {
+            // Derived metrics must describe the repaired graph; depth()
+            // is safe on a violation-free (proved acyclic) netlist.
+            let repaired = MappedArtifact {
+                luts: out.netlist.num_logic(),
+                depth: out.netlist.depth(),
+                estimated_sa: artifact.estimated_sa,
+                registers: artifact.registers,
+                netlist: out.netlist,
+            };
+            encode_mapped(&repaired, format)
+        }
+    };
+    match audit_artifact_auto(&bytes) {
+        Ok(summary) => FixVerdict::Fixed {
+            bytes,
+            applied: out.applied,
+            passes: out.passes,
+            summary,
+        },
+        Err(e) => FixVerdict::Unfixable(format!("{problem}; fix did not re-audit clean: {e}")),
+    }
+}
+
 // ---- LocalStore ------------------------------------------------------------
 
 /// The on-disk backend: the layout in the [module docs](self), atomic
@@ -1178,6 +1337,10 @@ impl StoreBackend for LocalStore {
             // A name exists in one extension, never both: drop the
             // other-format twin a convert (or format switch) replaced.
             let _ = fs::remove_file(self.path_ext(kind, name, stale));
+            // The slot's bytes changed, so any persisted audit verdict
+            // no longer vouches for them — a rewrite (convert, format
+            // switch, recompute) must re-audit on the next fsck pass.
+            audit::invalidate_watermark(&self.root, kind, name);
         }
     }
 
@@ -1474,6 +1637,70 @@ impl RemoteStore {
         })
     }
 
+    /// Asks the daemon to audit its own store in place (`store fsck`).
+    /// Bodies never cross the wire: the reply is one `bad` line per
+    /// defective slot plus a `done` summary.
+    fn try_fsck(&self, options: &FsckOptions) -> io::Result<FsckReport> {
+        let mode = match options.repair {
+            RepairMode::Off => "off",
+            RepairMode::Quarantine => "repair",
+            RepairMode::Fix => "repair-fix",
+        };
+        let scope = if options.full { "full" } else { "fast" };
+        self.op(&mut |conn| {
+            writeln!(conn.get_mut(), "store fsck {mode} {scope}")?;
+            conn.get_mut().flush()?;
+            let mut report = FsckReport::default();
+            loop {
+                let line = Self::reply_line(conn)?;
+                let toks: Vec<&str> = line.split_whitespace().collect();
+                match toks.as_slice() {
+                    ["bad", kind, name, quarantined, fixed, problem] => {
+                        let kind = KINDS
+                            .iter()
+                            .find(|k| *k == kind)
+                            .copied()
+                            .ok_or_else(|| Self::unexpected(&line, "a known artifact kind"))?;
+                        let quarantined = *quarantined == "1";
+                        let fixed = *fixed == "1";
+                        report.issues.push(FsckIssue {
+                            kind,
+                            name: (*name).to_string(),
+                            problem: unescape(problem).unwrap_or_else(|_| (*problem).to_string()),
+                            quarantined,
+                            fixed,
+                        });
+                    }
+                    ["done", scanned, skipped, defective, quarantined, fixed] => {
+                        report.scanned = scanned
+                            .parse()
+                            .map_err(|_| Self::unexpected(&line, "`done` counters"))?;
+                        report.skipped_unchanged = skipped
+                            .parse()
+                            .map_err(|_| Self::unexpected(&line, "`done` counters"))?;
+                        let defective: usize = defective
+                            .parse()
+                            .map_err(|_| Self::unexpected(&line, "`done` counters"))?;
+                        if defective != report.issues.len() {
+                            return Err(Self::unexpected(
+                                &line,
+                                "a defect count matching the streamed verdicts",
+                            ));
+                        }
+                        report.quarantined = quarantined
+                            .parse()
+                            .map_err(|_| Self::unexpected(&line, "`done` counters"))?;
+                        report.fixed = fixed
+                            .parse()
+                            .map_err(|_| Self::unexpected(&line, "`done` counters"))?;
+                        return Ok(report);
+                    }
+                    _ => return Err(Self::unexpected(&line, "`bad ...` or `done ...`")),
+                }
+            }
+        })
+    }
+
     fn warn(&self, what: &str, e: &io::Error) {
         eprintln!("warning: remote store {}: {what}: {e}", self.endpoint);
     }
@@ -1522,6 +1749,10 @@ impl StoreBackend for RemoteStore {
 
     fn describe(&self) -> String {
         format!("remote:{}", self.endpoint)
+    }
+
+    fn delegate_fsck(&self, options: &FsckOptions) -> Option<io::Result<FsckReport>> {
+        Some(self.try_fsck(options))
     }
 }
 
@@ -2080,33 +2311,103 @@ impl ArtifactStore {
     }
 
     /// Audits every artifact in the store ([`audit_artifact_bytes`] per
-    /// `(kind, name)`) and reports each defect. Works against both
-    /// backends — the walk goes through `raw_list`/`raw_get`, so a
-    /// remote store is audited over the wire.
+    /// `(kind, name)`) and reports each defect. Compatibility wrapper
+    /// over [`ArtifactStore::fsck_with`]: `repair` maps to
+    /// [`RepairMode::Quarantine`], warm watermarks are honored.
     ///
-    /// With `repair` set, each defective file is renamed aside to
-    /// `<file>.bad` (local stores only; a remote audit reports but
-    /// cannot rename). Quarantined files stop serving lookups — the
-    /// next run recomputes the artifact — but stay on disk as evidence,
-    /// counted by [`ArtifactStore::usage`] and [`ArtifactStore::gc`].
+    /// # Errors
+    ///
+    /// See [`ArtifactStore::fsck_with`].
+    pub fn fsck(&self, repair: bool) -> io::Result<FsckReport> {
+        self.fsck_with(&FsckOptions {
+            repair: if repair {
+                RepairMode::Quarantine
+            } else {
+                RepairMode::Off
+            },
+            full: false,
+        })
+    }
+
+    /// Audits the store and reports each defect. Works against both
+    /// backends: a remote store delegates the whole pass to its daemon
+    /// (`store fsck` on the wire — only verdicts travel, never bodies),
+    /// a local store is walked in place.
+    ///
+    /// The walk is **incremental**: every slot's bytes are read and
+    /// fingerprinted, but the expensive decode + semantic check is
+    /// skipped when the slot's persisted [`crate::audit`] watermark
+    /// still matches (same auditor version, mtime, size, and content
+    /// fingerprint). `options.full` ignores watermarks; a bumped
+    /// [`crate::AUDITOR_VERSION`] invalidates them all implicitly.
+    ///
+    /// With [`RepairMode::Quarantine`], each defective file is renamed
+    /// aside to `<file>.bad`. With [`RepairMode::Fix`], defective
+    /// netlist artifacts first get a mechanical repair attempt
+    /// ([`netlist::fix_netlist`]): the pre-fix bytes are quarantined as
+    /// evidence, and the fixed artifact is written back only after it
+    /// re-audits clean under the full auditor — otherwise the slot
+    /// falls back to plain quarantine. Quarantined files stop serving
+    /// lookups but stay on disk, counted by [`ArtifactStore::usage`]
+    /// and [`ArtifactStore::gc`].
     ///
     /// # Errors
     ///
     /// Propagates enumeration failures (a walk that silently skipped a
-    /// kind would report a clean store it never examined).
-    pub fn fsck(&self, repair: bool) -> io::Result<FsckReport> {
+    /// kind would report a clean store it never examined) and, for
+    /// remote stores, wire failures.
+    pub fn fsck_with(&self, options: &FsckOptions) -> io::Result<FsckReport> {
+        if let Some(delegated) = self.backend.delegate_fsck(options) {
+            return delegated;
+        }
+        let root = self.backend.root();
         let mut report = FsckReport::default();
         for kind in KINDS {
-            for name in self.raw_list(kind)? {
+            let names = self.raw_list(kind)?;
+            if let Some(root) = root {
+                audit::sweep_orphan_watermarks(root, kind, &names);
+            }
+            for name in names {
                 report.scanned += 1;
                 let problem = match self.raw_get(kind, &name) {
                     None => "listed but unreadable".to_string(),
-                    Some(data) => match audit_artifact_bytes(kind, &name, &data) {
-                        Ok(()) => continue,
-                        Err(problem) => problem,
-                    },
+                    Some(data) => {
+                        // The watermark the slot would earn if it audits
+                        // clean right now; also the skip criterion.
+                        let wm_now = root.and_then(|root| {
+                            let path = audit::slot_path(root, kind, &name)?;
+                            audit::Watermark::of(&path, &data)
+                        });
+                        if !options.full {
+                            let stored =
+                                root.and_then(|root| audit::read_watermark(root, kind, &name));
+                            if stored.is_some() && stored == wm_now {
+                                report.skipped_unchanged += 1;
+                                continue;
+                            }
+                        }
+                        match audit_artifact_bytes(kind, &name, &data) {
+                            Ok(()) => {
+                                if let (Some(root), Some(wm)) = (root, wm_now) {
+                                    audit::write_watermark(root, kind, &name, &wm);
+                                }
+                                continue;
+                            }
+                            Err(problem) => {
+                                self.handle_defect(
+                                    kind,
+                                    &name,
+                                    &data,
+                                    problem,
+                                    options,
+                                    &mut report,
+                                );
+                                continue;
+                            }
+                        }
+                    }
                 };
-                let quarantined = repair && self.quarantine(kind, &name);
+                let quarantined = options.repair != RepairMode::Off && self.quarantine(kind, &name);
                 if quarantined {
                     report.quarantined += 1;
                 }
@@ -2115,15 +2416,100 @@ impl ArtifactStore {
                     name,
                     problem,
                     quarantined,
+                    fixed: false,
                 });
             }
         }
         Ok(report)
     }
 
+    /// Handles one audit-failing slot per `options.repair`: fix (with
+    /// quarantine of the pre-fix bytes), quarantine, or report only.
+    fn handle_defect(
+        &self,
+        kind: &'static str,
+        name: &str,
+        data: &[u8],
+        problem: String,
+        options: &FsckOptions,
+        report: &mut FsckReport,
+    ) {
+        let mut quarantined = false;
+        let mut fixed = false;
+        if options.repair == RepairMode::Fix {
+            if let Some(repaired) = self.try_fix_artifact(kind, name, data) {
+                // Quarantine the evidence FIRST so a crash between the
+                // two steps loses the defective bytes, never keeps them
+                // serving; then install the re-audited replacement.
+                quarantined = self.quarantine(kind, name);
+                self.raw_put(kind, name, &repaired);
+                if let Some(root) = self.backend.root() {
+                    if let Some(wm) = audit::slot_path(root, kind, name)
+                        .and_then(|path| audit::Watermark::of(&path, &repaired))
+                    {
+                        audit::write_watermark(root, kind, name, &wm);
+                    }
+                }
+                fixed = true;
+            }
+        }
+        if !fixed && options.repair != RepairMode::Off {
+            quarantined = self.quarantine(kind, name);
+        }
+        if quarantined {
+            report.quarantined += 1;
+        }
+        if fixed {
+            report.fixed += 1;
+        }
+        report.issues.push(FsckIssue {
+            kind,
+            name: name.to_string(),
+            problem,
+            quarantined,
+            fixed,
+        });
+    }
+
+    /// Attempts a mechanical repair of a defective artifact. Only
+    /// netlist artifacts are fixable (the checker's [`netlist::Fix`]
+    /// plans operate on graphs); the result is accepted only when the
+    /// fix loop converges to zero violations, the fix actually changed
+    /// something, and the re-encoded bytes pass the **full** audit
+    /// stack. Returns the replacement bytes, in the slot's original
+    /// format, or `None` when no sound fix exists.
+    fn try_fix_artifact(&self, kind: &str, name: &str, data: &[u8]) -> Option<Vec<u8>> {
+        if kind != "netlists" {
+            return None;
+        }
+        let artifact = decode_mapped_unchecked(data)?;
+        let out = netlist::fix_netlist(&artifact.netlist);
+        if out.applied == 0 || !out.report.violations.is_empty() {
+            return None;
+        }
+        // Derived metrics must describe the repaired graph. depth() is
+        // safe here: a violation-free graph proved acyclic.
+        let repaired = MappedArtifact {
+            luts: out.netlist.num_logic(),
+            depth: out.netlist.depth(),
+            estimated_sa: artifact.estimated_sa,
+            registers: artifact.registers,
+            netlist: out.netlist,
+        };
+        let format = if binio::is_binary(data) {
+            StoreFormat::Binary
+        } else {
+            StoreFormat::Text
+        };
+        let bytes = encode_mapped(&repaired, format);
+        audit_artifact_bytes(kind, name, &bytes).ok()?;
+        Some(bytes)
+    }
+
     /// Renames a defective artifact's file(s) aside to `*.bad` so they
-    /// stop serving lookups. Local stores only; returns whether any
-    /// file was actually moved.
+    /// stop serving lookups, and drops the slot's audit watermark (the
+    /// clean verdict died with the bytes). Local stores only; returns
+    /// whether any file was actually moved.
     fn quarantine(&self, kind: &str, name: &str) -> bool {
         let Ok(root) = self.local_root() else {
             return false;
@@ -2135,6 +2521,9 @@ impl ArtifactStore {
             if path.is_file() && fs::rename(&path, dir.join(format!("{name}.{ext}.bad"))).is_ok() {
                 moved = true;
             }
+        }
+        if moved {
+            audit::invalidate_watermark(root, kind, name);
         }
         moved
     }
@@ -3184,7 +3573,25 @@ mod tests {
         let report = store.fsck(false).unwrap();
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.scanned, 4, "one artifact of every kind walked");
-        assert_eq!(format!("{report}"), "ok: 4 artifact(s) scanned, no defects");
+        assert_eq!(
+            format!("{report}"),
+            "ok: 4 artifact(s) scanned (4 audited, 0 unchanged), no defects"
+        );
+        // A second, warm pass audits nothing: every slot's watermark
+        // still matches.
+        let warm = store.fsck(false).unwrap();
+        assert!(warm.is_clean(), "{warm}");
+        assert_eq!(warm.skipped_unchanged, 4, "{warm}");
+        assert_eq!(warm.audited(), 0, "{warm}");
+        // --full ignores the watermarks and re-audits everything.
+        let full = store
+            .fsck_with(&FsckOptions {
+                repair: RepairMode::Off,
+                full: true,
+            })
+            .unwrap();
+        assert_eq!(full.audited(), 4, "{full}");
+        assert_eq!(full.skipped_unchanged, 0, "{full}");
     }
 
     #[test]
@@ -3350,5 +3757,301 @@ mod tests {
             "every mutation of a checksummed artifact must be rejected \
              ({rejected}/{mutations} were)"
         );
+    }
+
+    #[test]
+    fn watermark_invalidation_matrix() {
+        use std::time::SystemTime;
+        let store = populated_store("wm-matrix");
+        // Cold pass audits everything and persists watermarks; the warm
+        // pass right after it audits nothing.
+        assert_eq!(store.fsck(false).unwrap().audited(), 4);
+        let warm = store.fsck(false).unwrap();
+        assert_eq!(warm.audited(), 0, "{warm}");
+        assert_eq!(warm.skipped_unchanged, 4);
+
+        let sims_dir = store.root().join("sims");
+        let sim_file = fs::read_dir(&sims_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "bin"))
+            .expect("populated store has a binary sim summary");
+        let sim_name = sim_file.file_stem().unwrap().to_str().unwrap().to_string();
+        let pristine = fs::read(&sim_file).unwrap();
+
+        // (1) Touched mtime, identical bytes: the slot re-audits once
+        // (clean), earns a fresh watermark, and goes quiet again.
+        std::thread::sleep(Duration::from_millis(15));
+        fs::write(&sim_file, &pristine).unwrap();
+        let touched = store.fsck(false).unwrap();
+        assert!(touched.is_clean(), "{touched}");
+        assert_eq!(touched.audited(), 1, "mtime change forces one re-audit");
+        assert_eq!(store.fsck(false).unwrap().audited(), 0);
+
+        // (2) Flipped byte under a forged (restored) mtime: mtime and
+        // size both still match the watermark, so only the content
+        // fingerprint can catch it — and must.
+        let mtime = fs::metadata(&sim_file).unwrap().modified().unwrap();
+        let mut flipped = pristine.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        fs::write(&sim_file, &flipped).unwrap();
+        fs::File::options()
+            .write(true)
+            .open(&sim_file)
+            .unwrap()
+            .set_modified(mtime)
+            .unwrap();
+        assert_eq!(
+            fs::metadata(&sim_file).unwrap().modified().unwrap(),
+            mtime,
+            "mtime forged back"
+        );
+        let caught = store.fsck(false).unwrap();
+        assert_eq!(caught.audited(), 1, "{caught}");
+        assert_eq!(caught.issues.len(), 1, "{caught}");
+        assert_eq!(caught.issues[0].name, sim_name);
+        // Restore the pristine bytes; the slot re-audits clean once.
+        fs::write(&sim_file, &pristine).unwrap();
+        fs::File::options()
+            .write(true)
+            .open(&sim_file)
+            .unwrap()
+            .set_modified(SystemTime::now())
+            .unwrap();
+        assert!(store.fsck(false).unwrap().is_clean());
+        assert_eq!(store.fsck(false).unwrap().audited(), 0);
+
+        // (3) Auditor-version bump: a watermark from an older (or
+        // newer) auditor never vouches for a slot, bytes untouched.
+        let wm_path = store
+            .root()
+            .join("audit")
+            .join("sims")
+            .join(format!("{sim_name}.wm"));
+        let wm_line = fs::read_to_string(&wm_path).unwrap();
+        let expected = format!("auditor {}", crate::AUDITOR_VERSION);
+        assert!(wm_line.contains(&expected), "{wm_line}");
+        fs::write(&wm_path, wm_line.replace(&expected, "auditor 99999")).unwrap();
+        let bumped = store.fsck(false).unwrap();
+        assert!(bumped.is_clean(), "{bumped}");
+        assert_eq!(bumped.audited(), 1, "version skew forces a re-audit");
+        assert_eq!(store.fsck(false).unwrap().audited(), 0);
+
+        // (4) --full ignores every watermark.
+        let full = store
+            .fsck_with(&FsckOptions {
+                repair: RepairMode::Off,
+                full: true,
+            })
+            .unwrap();
+        assert_eq!(full.audited(), 4, "{full}");
+        assert_eq!(full.skipped_unchanged, 0);
+        // ... and still leaves the warm path warm.
+        assert_eq!(store.fsck(false).unwrap().audited(), 0);
+    }
+
+    /// A binary mapped artifact whose netlist carries an error-grade but
+    /// mechanically fixable defect: two identically-named, identical
+    /// AND drivers (`MultiplyDriven`), plus a dead node that becomes a
+    /// droppable orphan. Hand-assembled with the public container
+    /// writer because every in-crate encoder (correctly) refuses to
+    /// build duplicate-name graphs — which is exactly why the binary
+    /// decode path trusts names and the checker must not.
+    fn fixable_mapped_bin() -> Vec<u8> {
+        use netlist::binio::{put_str, BinWriter, KIND_MAPPED, KIND_NETLIST, NETLIST_VERSION};
+        use netlist::TruthTable;
+        let mut w = BinWriter::new(KIND_NETLIST, NETLIST_VERSION);
+        let mut meta = Vec::new();
+        put_str(&mut meta, "hostile");
+        meta.extend_from_slice(&5u64.to_le_bytes()); // nodes
+        meta.extend_from_slice(&2u64.to_le_bytes()); // outputs
+        w.section(&meta);
+        let mut nodes = Vec::new();
+        let logic = |nodes: &mut Vec<u8>, name: &str, fanins: &[u32], table: &TruthTable| {
+            put_str(nodes, name);
+            nodes.push(2u8); // TAG_LOGIC
+            nodes.extend_from_slice(&(fanins.len() as u32).to_le_bytes());
+            for f in fanins {
+                nodes.extend_from_slice(&f.to_le_bytes());
+            }
+            for word in table.words() {
+                nodes.extend_from_slice(&word.to_le_bytes());
+            }
+        };
+        put_str(&mut nodes, "a");
+        nodes.push(0u8); // TAG_INPUT
+        logic(&mut nodes, "dup", &[0, 0], &TruthTable::and(2));
+        logic(&mut nodes, "dup", &[0, 0], &TruthTable::and(2));
+        logic(&mut nodes, "y", &[2, 0], &TruthTable::or(2));
+        logic(&mut nodes, "deadend", &[0], &TruthTable::inverter());
+        w.section(&nodes);
+        let mut outputs = Vec::new();
+        put_str(&mut outputs, "o");
+        outputs.extend_from_slice(&1u32.to_le_bytes());
+        put_str(&mut outputs, "p");
+        outputs.extend_from_slice(&3u32.to_le_bytes());
+        w.section(&outputs);
+        let nl_bytes = w.finish();
+
+        let mut m = BinWriter::new(KIND_MAPPED, MAPPED_BIN_VERSION);
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&4u64.to_le_bytes()); // luts (stale on purpose)
+        meta.extend_from_slice(&0u64.to_le_bytes()); // registers
+        meta.extend_from_slice(&2u32.to_le_bytes()); // depth
+        meta.extend_from_slice(&0u32.to_le_bytes()); // pad
+        meta.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        m.section(&meta);
+        m.section(&nl_bytes);
+        m.finish()
+    }
+
+    #[test]
+    fn fsck_repair_fix_mends_what_it_can_and_quarantines_the_rest() {
+        let store = populated_store("fsck-fix");
+        assert!(store.fsck(false).unwrap().is_clean());
+        // Plant the fixable defect and one unfixable one (an undriven
+        // latch has no sound mechanical repair).
+        let fixable_fp = Fingerprint(0xf1f).to_string();
+        store.raw_put("netlists", &fixable_fp, &fixable_mapped_bin());
+        let mut nl = Netlist::new("hopeless");
+        nl.add_latch("q", false);
+        let unfixable = MappedArtifact {
+            netlist: nl,
+            luts: 0,
+            depth: 0,
+            estimated_sa: 0.0,
+            registers: 1,
+        };
+        let unfixable_fp = Fingerprint(0xdead).to_string();
+        store.raw_put(
+            "netlists",
+            &unfixable_fp,
+            mapped_text(&unfixable).as_bytes(),
+        );
+        assert!(
+            audit_artifact_bytes("netlists", &fixable_fp, &fixable_mapped_bin()).is_err(),
+            "the planted artifact really is defective"
+        );
+
+        let report = store
+            .fsck_with(&FsckOptions {
+                repair: RepairMode::Fix,
+                full: false,
+            })
+            .unwrap();
+        assert_eq!(report.issues.len(), 2, "{report}");
+        assert_eq!(report.fixed, 1, "{report}");
+        assert_eq!(report.quarantined, 2, "pre-fix bytes are evidence too");
+        let fixed_issue = report
+            .issues
+            .iter()
+            .find(|i| i.name == fixable_fp)
+            .expect("fixable slot reported");
+        assert!(fixed_issue.fixed && fixed_issue.quarantined, "{report}");
+        let hopeless = report
+            .issues
+            .iter()
+            .find(|i| i.name == unfixable_fp)
+            .expect("unfixable slot reported");
+        assert!(!hopeless.fixed && hopeless.quarantined, "{report}");
+        assert!(format!("{report}").contains("1 fixed"), "{report}");
+
+        // The fixed slot serves again, audits clean under the full
+        // auditor, stayed binary, and its repaired netlist lost the
+        // duplicate driver and the dead cone but kept both outputs.
+        let fixed_bytes = store
+            .raw_get("netlists", &fixable_fp)
+            .expect("fixed slot still serves");
+        assert!(audit_artifact_bytes("netlists", &fixable_fp, &fixed_bytes).is_ok());
+        assert!(binio::is_binary(&fixed_bytes), "original encoding kept");
+        let fixed = decode_mapped_unchecked(&fixed_bytes).unwrap();
+        assert_eq!(fixed.netlist.num_nodes(), 3, "a, dup, y survive");
+        assert_eq!(fixed.netlist.outputs().len(), 2);
+        assert_eq!(fixed.luts, 2, "derived metrics recomputed");
+        // The pre-fix bytes are quarantined, not destroyed.
+        let bad = store
+            .root()
+            .join("netlists")
+            .join(format!("{fixable_fp}.bin.bad"));
+        assert_eq!(
+            fs::read(&bad).expect("pre-fix bytes preserved"),
+            fixable_mapped_bin()
+        );
+        // The unfixable slot is gone from service.
+        assert!(store.raw_get("netlists", &unfixable_fp).is_none());
+        // A rerun is clean — and warm: the fixed slot's watermark was
+        // written from the repaired bytes.
+        let rerun = store.fsck(false).unwrap();
+        assert!(rerun.is_clean(), "{rerun}");
+        assert_eq!(rerun.audited(), 0, "{rerun}");
+        // Byte-stability: fixing an already-fixed store changes nothing.
+        let again = store
+            .fsck_with(&FsckOptions {
+                repair: RepairMode::Fix,
+                full: true,
+            })
+            .unwrap();
+        assert!(again.is_clean(), "{again}");
+        assert_eq!(
+            store.raw_get("netlists", &fixable_fp).unwrap().to_vec(),
+            fixed_bytes.to_vec(),
+            "repaired bytes are a fixpoint"
+        );
+    }
+
+    #[test]
+    fn convert_never_resurrects_quarantine_and_resets_the_audit_story() {
+        let store = temp_store("convert-bad-twins").with_format(StoreFormat::Text);
+        let p = cdfg::profile("wang").unwrap();
+        let g = cdfg::generate(p, p.seed);
+        let rc = paper_constraint("wang").unwrap();
+        let cfg = FlowConfig::fast();
+        let (sched, rb) = flow::prepare(&g, &rc, &cfg);
+        store.save_prepared(prepared_fingerprint(&g, &rc, &cfg), &sched, &rb);
+        // Quarantine a corrupt slot, then put a *good* artifact under
+        // the same name: the live slot and its `.bad` twin now coexist.
+        let fp = Fingerprint(0xc0).to_string();
+        store.raw_put("sims", &fp, b"# hlpower sim v1\ngarbage\n");
+        let report = store.fsck(true).unwrap();
+        assert_eq!(report.quarantined, 1, "{report}");
+        let stats = SimStats {
+            cycles: 2,
+            total_transitions: 4,
+            functional_transitions: 3,
+            glitch_transitions: 1,
+            per_node: vec![2, 2],
+        };
+        store.raw_put("sims", &fp, stats.to_summary_text().as_bytes());
+        assert!(store.fsck(false).unwrap().is_clean());
+
+        // Convert text -> binary. The live slots transcode; the `.bad`
+        // twin must be neither converted, deleted, nor resurrected.
+        let bad_path = store.root().join("sims").join(format!("{fp}.txt.bad"));
+        let bad_before = fs::read(&bad_path).expect("quarantine evidence exists");
+        let conv = store.convert(StoreFormat::Binary).unwrap();
+        assert!(conv.converted >= 2, "{conv:?}");
+        assert_eq!(fs::read(&bad_path).unwrap(), bad_before);
+        assert!(
+            !store
+                .root()
+                .join("sims")
+                .join(format!("{fp}.bin.bad"))
+                .exists(),
+            "convert must not touch quarantined files"
+        );
+
+        // Every converted slot was rewritten, so every pre-convert
+        // watermark is stale and must have been dropped: the next fsck
+        // re-audits the whole store rather than vouching for bytes it
+        // never saw.
+        let after = store.fsck(false).unwrap();
+        assert!(after.is_clean(), "{after}");
+        assert_eq!(
+            after.audited(),
+            after.scanned,
+            "convert invalidates every watermark ({after})"
+        );
+        assert_eq!(store.fsck(false).unwrap().audited(), 0, "then warm again");
     }
 }

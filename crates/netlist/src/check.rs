@@ -13,12 +13,28 @@
 //! The checker grades findings: structural defects that would make the
 //! mapper, simulator, or estimator produce garbage (cycles, dangling
 //! ids, arity mismatches) are [`Severity::Error`]; hygiene findings a
-//! valid flow can still consume (unreachable nodes) are
-//! [`Severity::Warning`]. [`CheckReport::is_clean`] ignores warnings, so
-//! a swept-but-imperfect netlist still passes `fsck`.
+//! valid flow can still consume (unreachable nodes, pass-through
+//! buffers) are [`Severity::Warning`]. [`CheckReport::is_clean`] ignores
+//! warnings, so a swept-but-imperfect netlist still passes `fsck`.
+//!
+//! A subset of violations is mechanically repairable: [`plan_fixes`]
+//! turns a report into a [`FixPlan`] (drop orphans, rewire singleton
+//! muxes, dedupe structurally identical multiply-drivers) and
+//! [`apply_fixes`] rebuilds the graph with the plan applied. Nothing
+//! here rewrites an artifact — callers (`hlp check --fix`,
+//! `fsck --repair=fix`) decide when a plan may touch bytes.
 
-use crate::graph::{Netlist, NodeId, NodeKind};
+use crate::graph::{Netlist, Node, NodeId, NodeKind};
+use crate::truth::TruthTable;
 use std::fmt;
+
+/// Version of the semantic checker. Bump it whenever the set of
+/// [`Violation`] kinds or any detection rule changes, so persisted fsck
+/// watermarks (which embed the auditor version) invalidate and every
+/// slot is re-audited under the new rules. The
+/// `checker_version_covers_every_violation_kind` test pins the variant
+/// set to this number.
+pub const CHECKER_VERSION: u32 = 2;
 
 /// Sentinel for a latch whose data input was never connected (mirrors
 /// the private constant in [`crate::graph`]; the text codec serializes
@@ -115,13 +131,21 @@ pub enum Violation {
         /// The unreachable node's name.
         node: String,
     },
+    /// A one-fanin logic node whose table is the identity — the
+    /// degenerate mux the binder emits when a resource has a single
+    /// source. It burns a LUT to wire a net through; consumers can be
+    /// rewired to its fanin.
+    SingletonMux {
+        /// The pass-through node's name.
+        node: String,
+    },
 }
 
 impl Violation {
     /// The severity grade of this violation.
     pub fn severity(&self) -> Severity {
         match self {
-            Violation::Orphan { .. } => Severity::Warning,
+            Violation::Orphan { .. } | Violation::SingletonMux { .. } => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -167,6 +191,9 @@ impl fmt::Display for Violation {
             ),
             Violation::Orphan { node } => {
                 write!(f, "`{node}` is unreachable from every output")
+            }
+            Violation::SingletonMux { node } => {
+                write!(f, "`{node}` is a pass-through buffer (singleton mux)")
             }
         }
     }
@@ -314,6 +341,11 @@ pub fn check_netlist(nl: &Netlist) -> CheckReport {
                         node: node.name.clone(),
                     });
                 }
+                if fanins.len() == 1 && *table == TruthTable::buffer() {
+                    report.violations.push(Violation::SingletonMux {
+                        node: node.name.clone(),
+                    });
+                }
             }
             NodeKind::Latch { data, .. } => {
                 if *data == UNCONNECTED {
@@ -454,6 +486,337 @@ pub fn check_netlist(nl: &Netlist) -> CheckReport {
     report
 }
 
+/// One mechanical repair derived from a [`Violation`].
+///
+/// Fixes name nodes by id against the netlist the plan was computed
+/// from; applying a plan to any other netlist is a logic error (and is
+/// why [`apply_fixes`] consumes plan and netlist together).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fix {
+    /// Delete a node unreachable from every output, latch, and input.
+    DropOrphan {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// Replace every reference to a pass-through buffer with its fanin
+    /// and delete the buffer.
+    RewireSingletonMux {
+        /// The pass-through node.
+        node: NodeId,
+        /// Its single fanin, which consumers are rewired to.
+        to: NodeId,
+    },
+    /// Collapse two structurally identical drivers of one net: keep the
+    /// first, redirect the second's consumers to it, delete the second.
+    DedupeDrivers {
+        /// The surviving driver.
+        keep: NodeId,
+        /// The redundant twin.
+        drop: NodeId,
+    },
+}
+
+impl fmt::Display for Fix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fix::DropOrphan { node } => write!(f, "drop orphan {node}"),
+            Fix::RewireSingletonMux { node, to } => {
+                write!(f, "rewire singleton mux {node} to {to}")
+            }
+            Fix::DedupeDrivers { keep, drop } => {
+                write!(f, "dedupe driver {drop} into {keep}")
+            }
+        }
+    }
+}
+
+/// What [`plan_fixes`] could and could not repair.
+#[derive(Clone, Debug, Default)]
+pub struct FixPlan {
+    /// Repairs to apply, in report order.
+    pub fixes: Vec<Fix>,
+    /// Violations with no mechanical repair (cycles, dangling refs,
+    /// arity mismatches, non-identical multiply-drivers, ...).
+    pub unfixable: usize,
+}
+
+impl FixPlan {
+    /// True when the plan repairs nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fixes.is_empty()
+    }
+}
+
+/// True when two nodes compute the same value given the same netlist
+/// context — the only multiply-driven shape a fix may collapse.
+fn drivers_identical(a: &Node, b: &Node) -> bool {
+    a.kind == b.kind
+}
+
+/// Finds the node with this name by linear scan. The name index cannot
+/// be used here: fix planning runs on netlists with duplicate names
+/// (multiply-driven nets), which the index rejects.
+fn find_by_name(nl: &Netlist, name: &str) -> Option<NodeId> {
+    nl.nodes()
+        .find(|(_, node)| node.name == name)
+        .map(|(id, _)| id)
+}
+
+/// Derives the mechanical repairs for `report`'s violations against the
+/// netlist it was computed from.
+///
+/// Fixable: warning-grade [`Violation::Orphan`] and
+/// [`Violation::SingletonMux`], plus [`Violation::MultiplyDriven`] when
+/// the two drivers are structurally identical. Everything else counts
+/// toward [`FixPlan::unfixable`] — corruption has no mechanical repair.
+pub fn plan_fixes(nl: &Netlist, report: &CheckReport) -> FixPlan {
+    let n = nl.num_nodes() as u32;
+    let mut plan = FixPlan::default();
+    // Nodes a dedupe in this plan will keep. An orphan drop on a keeper
+    // would strand the redirected consumers, so those drops are
+    // deferred to the next pass (dedupe usually resolves them anyway:
+    // redirected consumers make the keeper reachable).
+    let mut keepers: Vec<NodeId> = report
+        .violations
+        .iter()
+        .filter_map(|v| match v {
+            Violation::MultiplyDriven { first, second, .. }
+                if first.0 < n
+                    && second.0 < n
+                    && drivers_identical(nl.node(*first), nl.node(*second)) =>
+            {
+                Some(*first)
+            }
+            _ => None,
+        })
+        .collect();
+    keepers.sort_unstable();
+    for v in &report.violations {
+        match v {
+            Violation::Orphan { node } => match find_by_name(nl, node) {
+                // Inputs and latches are seeded live by the orphan scan,
+                // so a hit here is a duplicate-name misidentification —
+                // never drop a port or a state bit on a name collision.
+                Some(id)
+                    if keepers.binary_search(&id).is_err()
+                        && matches!(
+                            nl.node(id).kind,
+                            NodeKind::Logic { .. } | NodeKind::Constant(_)
+                        ) =>
+                {
+                    plan.fixes.push(Fix::DropOrphan { node: id });
+                }
+                Some(_) => {}
+                None => plan.unfixable += 1,
+            },
+            Violation::SingletonMux { node } => {
+                let fix = find_by_name(nl, node).and_then(|id| match &nl.node(id).kind {
+                    NodeKind::Logic { fanins, .. } if fanins.len() == 1 && fanins[0].0 < n => {
+                        Some(Fix::RewireSingletonMux {
+                            node: id,
+                            to: fanins[0],
+                        })
+                    }
+                    _ => None,
+                });
+                match fix {
+                    Some(fix) => plan.fixes.push(fix),
+                    None => plan.unfixable += 1,
+                }
+            }
+            Violation::MultiplyDriven { first, second, .. }
+                if first.0 < n
+                    && second.0 < n
+                    && drivers_identical(nl.node(*first), nl.node(*second)) =>
+            {
+                plan.fixes.push(Fix::DedupeDrivers {
+                    keep: *first,
+                    drop: *second,
+                });
+            }
+            _ => plan.unfixable += 1,
+        }
+    }
+    plan
+}
+
+/// Rebuilds `nl` with every fix in `plan` applied: dropped nodes
+/// removed, redirected references (singleton-mux fanins, deduped
+/// drivers) resolved transitively, and ids compacted.
+///
+/// Returns `None` when the plan cannot be applied soundly — a redirect
+/// chain that loops (mutually pass-through muxes) or a surviving
+/// reference to a dropped node. Callers fall back to quarantine; a
+/// `None` here must never turn into a rewritten artifact.
+pub fn apply_fixes(nl: &Netlist, plan: &FixPlan) -> Option<Netlist> {
+    let n = nl.num_nodes();
+    // Per-node disposition: `redirect[i]` sends i's consumers elsewhere,
+    // `dropped[i]` removes the node itself.
+    let mut redirect: Vec<Option<NodeId>> = vec![None; n];
+    let mut dropped = vec![false; n];
+    for fix in &plan.fixes {
+        match fix {
+            Fix::DropOrphan { node } => {
+                if node.index() >= n {
+                    return None;
+                }
+                dropped[node.index()] = true;
+            }
+            Fix::RewireSingletonMux { node, to }
+            | Fix::DedupeDrivers {
+                keep: to,
+                drop: node,
+            } => {
+                if node.index() >= n || to.index() >= n {
+                    return None;
+                }
+                redirect[node.index()] = Some(*to);
+                dropped[node.index()] = true;
+            }
+        }
+    }
+    // Resolve redirect chains (mux feeding mux, deduped twin of a mux).
+    // A chain longer than the node count is a loop: unsound, bail.
+    let resolve = |mut id: NodeId| -> Option<NodeId> {
+        let mut steps = 0usize;
+        while let Some(next) = redirect[id.index()] {
+            id = next;
+            steps += 1;
+            if steps > n {
+                return None;
+            }
+        }
+        if dropped[id.index()] {
+            None
+        } else {
+            Some(id)
+        }
+    };
+    // Compact surviving ids, preserving relative order (same contract as
+    // `Netlist::sweep`, so fixed netlists stay deterministic).
+    let mut remap: Vec<Option<NodeId>> = vec![None; n];
+    let mut kept = 0u32;
+    for i in 0..n {
+        if !dropped[i] {
+            remap[i] = Some(NodeId(kept));
+            kept += 1;
+        }
+    }
+    let map_ref = |id: NodeId| -> Option<NodeId> {
+        if id.index() >= n {
+            return None;
+        }
+        remap[resolve(id)?.index()]
+    };
+    let mut nodes = Vec::with_capacity(kept as usize);
+    for (id, node) in nl.nodes() {
+        if dropped[id.index()] {
+            continue;
+        }
+        let kind = match &node.kind {
+            NodeKind::Logic { fanins, table } => NodeKind::Logic {
+                fanins: fanins
+                    .iter()
+                    .map(|f| map_ref(*f))
+                    .collect::<Option<Vec<_>>>()?,
+                table: table.clone(),
+            },
+            NodeKind::Latch { data, init } => NodeKind::Latch {
+                data: map_ref(*data)?,
+                init: *init,
+            },
+            other => other.clone(),
+        };
+        nodes.push(Node {
+            name: node.name.clone(),
+            kind,
+        });
+    }
+    let inputs = nl
+        .inputs()
+        .iter()
+        .filter(|i| i.index() < n && !dropped[i.index()])
+        .map(|i| remap[i.index()])
+        .collect::<Option<Vec<_>>>()?;
+    let latches = nl
+        .latches()
+        .iter()
+        .filter(|l| l.index() < n && !dropped[l.index()])
+        .map(|l| remap[l.index()])
+        .collect::<Option<Vec<_>>>()?;
+    let outputs = nl
+        .outputs()
+        .iter()
+        .map(|(port, id)| Some((port.clone(), map_ref(*id)?)))
+        .collect::<Option<Vec<_>>>()?;
+    Some(Netlist::from_parts_unindexed(
+        nl.name().to_string(),
+        nodes,
+        inputs,
+        outputs,
+        latches,
+    ))
+}
+
+/// Result of [`fix_netlist`]'s repair loop.
+#[derive(Debug)]
+pub struct FixOutcome {
+    /// The (possibly rebuilt) netlist.
+    pub netlist: Netlist,
+    /// Total fixes applied across all passes.
+    pub applied: usize,
+    /// Repair passes run (each pass re-checks from scratch).
+    pub passes: usize,
+    /// The final check report of `netlist`.
+    pub report: CheckReport,
+}
+
+/// Bound on [`fix_netlist`] passes. Each pass strictly shrinks the node
+/// count (every fix drops a node), so convergence is guaranteed; the
+/// bound only caps pathological cascade depth per invocation.
+const MAX_FIX_PASSES: usize = 8;
+
+/// Repairs `nl` to a fixpoint: check, plan, apply, repeat — bounded by
+/// [`MAX_FIX_PASSES`] — until no fix remains applicable. Fixes cascade
+/// (deduping a driver can orphan its fanin cone; rewiring a mux can
+/// expose another singleton), which is why one pass is not enough.
+///
+/// The caller decides what the final [`FixOutcome::report`] means:
+/// `fsck --repair=fix` demands it comes back fully clean before any
+/// byte is rewritten, `hlp check --fix` reports residual violations.
+pub fn fix_netlist(nl: &Netlist) -> FixOutcome {
+    let mut current = nl.clone();
+    let mut applied = 0usize;
+    let mut passes = 0usize;
+    loop {
+        let report = check_netlist(&current);
+        let plan = plan_fixes(&current, &report);
+        if plan.is_empty() || passes >= MAX_FIX_PASSES {
+            return FixOutcome {
+                netlist: current,
+                applied,
+                passes,
+                report,
+            };
+        }
+        match apply_fixes(&current, &plan) {
+            Some(next) => {
+                applied += plan.fixes.len();
+                passes += 1;
+                current = next;
+            }
+            None => {
+                return FixOutcome {
+                    netlist: current,
+                    applied,
+                    passes,
+                    report,
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,8 +908,8 @@ mod tests {
     fn golden_multiply_driven_net() {
         let nodes = vec![
             input("a"),
-            logic("x", vec![0], TruthTable::buffer()),
-            logic("x", vec![0], TruthTable::inverter()),
+            logic("x", vec![0, 0], TruthTable::and(2)),
+            logic("x", vec![0, 0], TruthTable::or(2)),
         ];
         let nl = raw(nodes, vec![("o", 1), ("p", 2)]);
         let r = check_netlist(&nl);
@@ -614,7 +977,7 @@ mod tests {
     fn orphan_is_a_warning_not_an_error() {
         let mut nl = Netlist::new("dead");
         let a = nl.add_input("a");
-        let live = nl.add_logic("live", vec![a], TruthTable::buffer());
+        let live = nl.add_logic("live", vec![a], TruthTable::inverter());
         let _dead = nl.add_logic("dead", vec![a], TruthTable::inverter());
         nl.mark_output("o", live);
         let r = check_netlist(&nl);
@@ -670,6 +1033,174 @@ mod tests {
         nl.mark_output("out", q);
         let r = check_netlist(&nl);
         assert!(r.violations.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn checker_version_covers_every_violation_kind() {
+        // Exhaustive on purpose: adding a `Violation` variant fails this
+        // match at compile time — extend it AND bump `CHECKER_VERSION`
+        // so persisted fsck watermarks invalidate fleet-wide.
+        fn kind_ordinal(v: &Violation) -> u32 {
+            match v {
+                Violation::MultiplyDriven { .. } => 0,
+                Violation::DanglingRef { .. } => 1,
+                Violation::UndrivenLatch { .. } => 2,
+                Violation::ArityMismatch { .. } => 3,
+                Violation::InitWordOutOfRange { .. } => 4,
+                Violation::CombinationalCycle { .. } => 5,
+                Violation::DuplicatePort { .. } => 6,
+                Violation::BusWidthOverflow { .. } => 7,
+                Violation::Orphan { .. } => 8,
+                Violation::SingletonMux { .. } => 9,
+            }
+        }
+        assert_eq!(
+            kind_ordinal(&Violation::SingletonMux {
+                node: String::new()
+            }),
+            9,
+            "10 violation kinds as of checker v2"
+        );
+        assert_eq!(CHECKER_VERSION, 2);
+    }
+
+    #[test]
+    fn singleton_mux_is_flagged_and_rewired() {
+        let mut nl = Netlist::new("mux1");
+        let a = nl.add_input("a");
+        let m = nl.add_logic("m", vec![a], TruthTable::buffer());
+        let g = nl.add_logic("g", vec![m, a], TruthTable::and(2));
+        nl.mark_output("o", g);
+        let r = check_netlist(&nl);
+        assert_eq!(
+            r.violations,
+            vec![Violation::SingletonMux {
+                node: "m".to_string()
+            }]
+        );
+        assert!(r.is_clean(), "singleton mux is hygiene, not corruption");
+
+        let plan = plan_fixes(&nl, &r);
+        assert_eq!(plan.fixes, vec![Fix::RewireSingletonMux { node: m, to: a }]);
+        assert_eq!(plan.unfixable, 0);
+        let fixed = apply_fixes(&nl, &plan).expect("plan applies");
+        assert_eq!(fixed.num_logic(), 1, "the buffer is gone");
+        let r2 = check_netlist(&fixed);
+        assert!(r2.violations.is_empty(), "{r2}");
+        // `g` survives with both fanins rewired to the input.
+        let gid = fixed.find("g").unwrap();
+        assert_eq!(fixed.fanins(gid), &[NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    fn identical_multiply_drivers_dedupe() {
+        let nodes = vec![
+            input("a"),
+            logic("x", vec![0, 0], TruthTable::and(2)),
+            logic("x", vec![0, 0], TruthTable::and(2)),
+            logic("y", vec![2, 0], TruthTable::or(2)),
+        ];
+        let nl = raw(nodes, vec![("o", 1), ("p", 3)]);
+        let r = check_netlist(&nl);
+        assert!(!r.is_clean());
+        let plan = plan_fixes(&nl, &r);
+        assert_eq!(
+            plan.fixes,
+            vec![Fix::DedupeDrivers {
+                keep: NodeId(1),
+                drop: NodeId(2),
+            }]
+        );
+        let fixed = apply_fixes(&nl, &plan).expect("identical twins dedupe");
+        let r2 = check_netlist(&fixed);
+        assert!(r2.violations.is_empty(), "{r2}");
+        // `y` now reads the surviving driver; output `p` still works.
+        let y = fixed.find("y").unwrap();
+        assert_eq!(fixed.fanins(y)[0], fixed.find("x").unwrap());
+    }
+
+    #[test]
+    fn differing_multiply_drivers_are_unfixable() {
+        let nodes = vec![
+            input("a"),
+            logic("x", vec![0, 0], TruthTable::and(2)),
+            logic("x", vec![0, 0], TruthTable::or(2)),
+        ];
+        let nl = raw(nodes, vec![("o", 1)]);
+        let r = check_netlist(&nl);
+        let plan = plan_fixes(&nl, &r);
+        assert!(plan
+            .fixes
+            .iter()
+            .all(|f| !matches!(f, Fix::DedupeDrivers { .. })));
+        assert!(
+            plan.unfixable >= 1,
+            "conflicting drivers must not be collapsed"
+        );
+    }
+
+    #[test]
+    fn fix_loop_cascades_to_a_clean_netlist() {
+        // Deduping x2 into x1 orphans x2's private fanin cone (m feeds
+        // only x2); the orphan is only visible on the second pass.
+        let nodes = vec![
+            input("a"),
+            logic("m", vec![0], TruthTable::buffer()),
+            logic("x", vec![0, 0], TruthTable::and(2)),
+            logic("x", vec![0, 0], TruthTable::and(2)),
+            logic("z", vec![1, 3], TruthTable::or(2)),
+        ];
+        let nl = raw(nodes, vec![("o", 4)]);
+        let out = fix_netlist(&nl);
+        assert!(out.applied >= 2, "cascade applied {} fixes", out.applied);
+        assert!(out.passes >= 1);
+        assert!(out.report.violations.is_empty(), "{}", out.report);
+        // Simulation semantics preserved: z = buffer(a) | and(a, a) = a.
+        let fixed = out.netlist;
+        assert!(fixed.find("z").is_some());
+        assert_eq!(fixed.outputs().len(), 1);
+        fixed
+            .check()
+            .expect("fixed netlist passes the strict check");
+    }
+
+    #[test]
+    fn mutually_passthrough_muxes_refuse_to_apply() {
+        // m1 and m2 buffer each other: a combinational loop of singleton
+        // muxes. The redirect chain cycles, so apply_fixes must bail
+        // rather than emit dangling references.
+        let nodes = vec![
+            input("a"),
+            logic("m1", vec![2], TruthTable::buffer()),
+            logic("m2", vec![1], TruthTable::buffer()),
+        ];
+        let nl = raw(nodes, vec![("o", 1)]);
+        let r = check_netlist(&nl);
+        let plan = plan_fixes(&nl, &r);
+        if !plan.is_empty() {
+            assert!(
+                apply_fixes(&nl, &plan).is_none(),
+                "cyclic rewire is unsound"
+            );
+        }
+        // And the bounded loop terminates without panicking.
+        let out = fix_netlist(&nl);
+        assert!(out.passes <= 8);
+    }
+
+    #[test]
+    fn orphan_fix_drops_only_dead_nodes() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let live = nl.add_logic("live", vec![a], TruthTable::inverter());
+        let _dead = nl.add_logic("dead", vec![a], TruthTable::inverter());
+        nl.mark_output("o", live);
+        let out = fix_netlist(&nl);
+        assert_eq!(out.applied, 1);
+        assert!(out.report.violations.is_empty());
+        assert!(out.netlist.find("dead").is_none());
+        assert!(out.netlist.find("live").is_some());
+        assert_eq!(out.netlist.inputs().len(), 1, "input ports never dropped");
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub mod truth;
 pub use binio::{parse_netlist_bin, validate_deep, write_netlist_bin, BinError, DeepReport};
 pub use blif::{parse_blif, write_blif, BlifError, BlifFile, BlifModel};
 pub use cells::Bus;
-pub use check::{check_netlist, CheckReport, Severity, Violation};
+pub use check::{
+    apply_fixes, check_netlist, fix_netlist, plan_fixes, CheckReport, Fix, FixOutcome, FixPlan,
+    Severity, Violation, CHECKER_VERSION,
+};
 pub use graph::{Netlist, NetlistError, NetlistStats, Node, NodeId, NodeKind};
 pub use textio::{parse_netlist_text, write_netlist_text, NetlistTextError};
 pub use truth::{TruthTable, MAX_INPUTS};

@@ -13,16 +13,26 @@
 //!                                   unlink the socket)
 //! hlp table <out.txt> [options]     precompute an SA table to a file
 //! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
-//! hlp check <file>...               static semantic checking: .blif and
+//! hlp check [--fix] <file>...       static semantic checking: .blif and
 //!                                   .cdfg sources, exact netlist text,
 //!                                   and store artifacts of either format
 //!                                   (one verdict line per file; exit 1
-//!                                   if any fails)
-//! hlp fsck --store DIR|remote:ADDR [--repair]
+//!                                   if any fails); --fix mechanically
+//!                                   repairs netlist-carrying files in
+//!                                   place (original kept at FILE.bak)
+//! hlp fsck --store DIR|remote:ADDR [--repair[=fix]] [--full]
 //!                                   audit every artifact in a store
 //!                                   (container proof, codec decode,
-//!                                   semantic check); --repair renames
-//!                                   defective files aside to *.bad
+//!                                   semantic check); incremental — slots
+//!                                   whose audit watermark still matches
+//!                                   are skipped unless --full; --repair
+//!                                   renames defective files aside to
+//!                                   *.bad, --repair=fix first attempts a
+//!                                   mechanical fix (pre-fix bytes are
+//!                                   quarantined, the fix must re-audit
+//!                                   clean); a remote store is audited in
+//!                                   place by its daemon — verdicts, not
+//!                                   artifact bodies, cross the wire
 //! hlp gc --store DIR [--max-age-days D] [--max-bytes B]
 //!                                   store size accounting and pruning
 //!                                   (quarantined *.bad files are counted
@@ -114,7 +124,8 @@ fn usage() -> ! {
          [--store DIR|remote:ADDR] [--store-format binary|text]\n\
          hlp serve (--socket P | --port N) [--store DIR] [--store-format F] \
          [--max-clients N] | --stop\n\
-         hlp fsck --store DIR|remote:ADDR [--repair]"
+         hlp fsck --store DIR|remote:ADDR [--repair[=fix]] [--full]\n\
+         hlp check [--fix] FILE..."
     );
     exit(2)
 }
@@ -650,16 +661,51 @@ fn check_one(path: &str) -> Result<String, String> {
     }
 }
 
-/// `hlp check FILE...`: static checking of netlists, CDFGs, and store
-/// artifacts, one verdict line per file. Exit 1 when any file fails.
+/// Repairs one file in place for `hlp check --fix`: the original is
+/// kept at `FILE.bak` and the fix must re-audit clean before the slot
+/// is rewritten. Source files (`.blif`/`.cdfg`) are check-only.
+fn fix_one(path: &str) -> Result<String, String> {
+    if path.ends_with(".blif") || path.ends_with(".cdfg") {
+        // Sources are authored, not derived; a mechanical rewrite of
+        // them would edit the user's input. Check only.
+        return check_one(path).map(|s| format!("{s} (source file, check only)"));
+    }
+    let data = std::fs::read(path).map_err(|e| format!("cannot read: {e}"))?;
+    match hlpower::fix_artifact_auto(&data) {
+        hlpower::FixVerdict::Clean(summary) => Ok(format!("{summary} (no fix needed)")),
+        hlpower::FixVerdict::Fixed {
+            bytes,
+            applied,
+            passes,
+            summary,
+        } => {
+            let backup = format!("{path}.bak");
+            std::fs::write(&backup, &data)
+                .map_err(|e| format!("cannot back up original to `{backup}`: {e}"))?;
+            std::fs::write(path, &bytes).map_err(|e| format!("cannot rewrite: {e}"))?;
+            Ok(format!(
+                "fixed ({applied} edit(s), {passes} pass(es)); {summary}; original at {backup}"
+            ))
+        }
+        hlpower::FixVerdict::Unfixable(problem) => Err(problem),
+    }
+}
+
+/// `hlp check [--fix] FILE...`: static checking of netlists, CDFGs, and
+/// store artifacts, one verdict line per file. Exit 1 when any file
+/// fails. `--fix` mechanically repairs netlist-carrying files in place
+/// (original kept at `FILE.bak`).
 fn check_files(args: &[String]) {
-    if args.is_empty() {
+    let fix = args.iter().any(|a| a == "--fix");
+    let files: Vec<&String> = args.iter().filter(|a| *a != "--fix").collect();
+    if files.is_empty() {
         eprintln!("hlp check: at least one file argument is required");
         usage()
     }
     let mut failed = 0usize;
-    for path in args {
-        match check_one(path) {
+    for path in files.iter() {
+        let verdict = if fix { fix_one(path) } else { check_one(path) };
+        match verdict {
             Ok(summary) => println!("ok: {path}: {summary}"),
             Err(problem) => {
                 println!("bad: {path}: {problem}");
@@ -668,22 +714,29 @@ fn check_files(args: &[String]) {
         }
     }
     if failed > 0 {
-        eprintln!("hlp check: {failed} of {} file(s) failed", args.len());
+        eprintln!("hlp check: {failed} of {} file(s) failed", files.len());
         exit(1);
     }
 }
 
-/// `hlp fsck`: audit every artifact in a store, optionally renaming
-/// defective files aside to `*.bad`. Exit 1 when any artifact fails.
+/// `hlp fsck`: audit every artifact in a store — incrementally, via the
+/// persisted audit watermarks — optionally repairing defects
+/// (`--repair` quarantines, `--repair=fix` tries a mechanical fix
+/// first). Exit 1 when any artifact fails. Remote stores are audited
+/// in place by their daemon: verdicts cross the wire, bodies do not.
 fn fsck(args: &[String]) {
+    use hlpower::{FsckOptions, RepairMode};
     let mut store: Option<String> = None;
-    let mut repair = false;
+    let mut repair = RepairMode::Off;
+    let mut full = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].clone();
         match flag.as_str() {
             "--store" => store = Some(take_value(args, &mut i, &flag)),
-            "--repair" => repair = true,
+            "--repair" => repair = RepairMode::Quarantine,
+            "--repair=fix" => repair = RepairMode::Fix,
+            "--full" => full = true,
             other => {
                 eprintln!("hlp fsck: unknown flag `{other}`");
                 usage()
@@ -695,12 +748,6 @@ fn fsck(args: &[String]) {
         eprintln!("hlp fsck: --store DIR|remote:ADDR is required");
         usage()
     };
-    if repair && spec.starts_with("remote:") {
-        // The audit walks fine over the wire, but quarantine renames
-        // files where the bytes live.
-        eprintln!("hlp fsck: --repair is local-only; run it on the daemon host");
-        usage()
-    }
     // Strict open for directories: fsck must never materialize an empty
     // store at a mistyped path (and then report it clean).
     let store = if spec.starts_with("remote:") {
@@ -711,7 +758,7 @@ fn fsck(args: &[String]) {
             .unwrap_or_else(|e| die(format!("cannot open artifact store: {e}")))
     };
     let report = store
-        .fsck(repair)
+        .fsck_with(&FsckOptions { repair, full })
         .unwrap_or_else(|e| die(format!("fsck of `{spec}` failed: {e}")));
     println!("{report}");
     if !report.is_clean() {

@@ -13,13 +13,21 @@
 //!   connection stays protocol-aligned (no unbounded buffering);
 //! * connections beyond `--max-clients` are rejected politely;
 //! * binding over a live daemon's socket is refused; stale socket
-//!   files are cleaned up.
+//!   files are cleaned up;
+//! * `store fsck` audits the daemon's slots in place — only verdict
+//!   lines cross the wire, repairs quarantine daemon-side, and warm
+//!   watermarks short-circuit the re-audit;
+//! * a corrupt `put-sa` body is refused with a protocol-clean error
+//!   and never poisons the shared shard;
+//! * fsck runs concurrently with a live put stream without tripping
+//!   on half-arrived state.
 
 #![cfg(unix)]
 
 use hlpower::api::{self, Endpoint, JobReport, JobRequest, Server, Service};
 use hlpower::{
-    paper_constraint, ArtifactStore, Binder, FlowConfig, Pipeline, SaMode, SaTable, ServeOptions,
+    paper_constraint, ArtifactStore, Binder, FlowConfig, FsckOptions, Pipeline, RepairMode, SaMode,
+    SaTable, ServeOptions,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -467,4 +475,256 @@ fn remote_spec_without_a_daemon_fails_fast() {
     assert!(err.to_string().contains("no store"), "{err}");
     api::stop_daemon(&Endpoint::Unix(bare_socket)).unwrap();
     handle.join().unwrap().unwrap();
+}
+
+/// A sim summary that passes the static audit under any fingerprint name.
+const VALID_SIM: &[u8] =
+    b"# hlpower sim v1\ncycles 100 total 640 functional 600 glitch 40 nodes 9\n";
+
+/// The on-disk slot file for `name` under the daemon's store directory
+/// (extension is sniffed at put time, so locate by prefix).
+fn slot_file(store_dir: &std::path::Path, kind: &str, name: &str) -> PathBuf {
+    let dir = store_dir.join(kind);
+    let mut hits: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            let f = p.file_name().unwrap().to_string_lossy().into_owned();
+            f.starts_with(name) && !f.ends_with(".bad")
+        })
+        .collect();
+    assert_eq!(hits.len(), 1, "exactly one live slot for {kind}/{name}");
+    hits.pop().unwrap()
+}
+
+#[test]
+fn remote_fsck_audits_daemon_side_and_streams_only_verdicts() {
+    let store_dir = temp_path("fsck-store");
+    let socket = temp_path("fsck-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let remote = ArtifactStore::connect(&daemon.endpoint).unwrap();
+
+    // Two valid sims over the wire (the daemon audits-on-put, so both land).
+    let good = "feedc0defeedc0defeedc0defeedc0de";
+    let victim = "0123456789abcdef0123456789abcdef";
+    remote.raw_put("sims", good, VALID_SIM);
+    remote.raw_put("sims", victim, VALID_SIM);
+
+    // Cold fsck: the daemon audits its own slots; this side only ever
+    // sees counters and verdicts.
+    let off = FsckOptions {
+        repair: RepairMode::Off,
+        full: false,
+    };
+    let cold = remote.fsck_with(&off).unwrap();
+    assert!(cold.issues.is_empty(), "{cold}");
+    assert_eq!(cold.scanned, 2);
+    assert_eq!(cold.audited(), 2, "cold pass audits everything");
+
+    // Warm fsck: watermarks written daemon-side short-circuit the audit.
+    let warm = remote.fsck_with(&off).unwrap();
+    assert_eq!(warm.skipped_unchanged, 2, "{warm}");
+    assert_eq!(warm.audited(), 0, "warm pass re-audits nothing");
+
+    // Corrupt one slot behind the daemon's back, then ask the daemon to
+    // repair remotely: the verdict crosses the wire, the quarantine
+    // happens in the DAEMON's directory.
+    std::fs::write(slot_file(&store_dir, "sims", victim), b"rotted bytes\n").unwrap();
+    let repaired = remote
+        .fsck_with(&FsckOptions {
+            repair: RepairMode::Quarantine,
+            full: false,
+        })
+        .unwrap();
+    assert_eq!(repaired.issues.len(), 1, "{repaired}");
+    assert_eq!(repaired.issues[0].kind, "sims");
+    assert_eq!(repaired.issues[0].name, victim);
+    assert!(repaired.issues[0].quarantined);
+    assert!(!repaired.issues[0].fixed);
+    assert!(
+        !repaired.issues[0].problem.is_empty(),
+        "the defect description survives wire escaping"
+    );
+    assert_eq!(repaired.quarantined, 1);
+    let bad = store_dir.join("sims").join(format!("{victim}.txt.bad"));
+    assert!(bad.exists(), "quarantine lands in the daemon's store dir");
+    assert!(
+        !remote.raw_stat("sims", victim),
+        "bad slot no longer served"
+    );
+    assert!(remote.raw_stat("sims", good), "healthy slot untouched");
+
+    // Raw wire transcript: a full fsck streams verdict lines only —
+    // never a `data N` frame, i.e. no artifact body ever crosses.
+    let stream = UnixStream::connect(&socket).unwrap();
+    let mut writer = &stream;
+    writer.write_all(b"store fsck off full\n").unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("bad ") || line.starts_with("done "),
+            "fsck replies are verdicts only, got `{line}`"
+        );
+        if line.starts_with("done ") {
+            assert_eq!(line.trim_end(), "done 1 0 0 0 0", "one clean slot left");
+            break;
+        }
+    }
+
+    // `store audit` on the same connection: vet bytes without storing.
+    let probe = format!("store audit sims {victim} {}\n", VALID_SIM.len());
+    writer.write_all(probe.as_bytes()).unwrap();
+    writer.write_all(VALID_SIM).unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ok audited");
+    assert!(
+        !remote.raw_stat("sims", victim),
+        "audit must not store the body"
+    );
+    let garbage = b"rotted bytes\n";
+    let probe = format!("store audit sims {victim} {}\n", garbage.len());
+    writer.write_all(probe.as_bytes()).unwrap();
+    writer.write_all(garbage).unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("error ") && line.contains("rejected"),
+        "got `{line}`"
+    );
+    // Connection still aligned after the refusal.
+    writer.write_all(b"store stat prepared 0\n").unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "absent");
+
+    daemon.stop();
+}
+
+#[test]
+fn corrupt_put_sa_is_refused_without_poisoning_the_shard() {
+    let store_dir = temp_path("sa-store");
+    let socket = temp_path("sa-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let remote = ArtifactStore::connect(&daemon.endpoint).unwrap();
+
+    // Seed the shared shard with one known-good entry.
+    let mut seed = SaTable::new(4, 4);
+    seed.insert(cdfg::FuType::AddSub, 1, 1, 2.0);
+    let stats = remote.merge_sa_table(&seed);
+    assert_eq!((stats.inserted, stats.conflicting), (1, 0));
+
+    // A corrupt body straight onto the wire: the daemon reads the full
+    // body (keeping the stream aligned), refuses with an error line, and
+    // merges nothing.
+    let stream = UnixStream::connect(&socket).unwrap();
+    let mut writer = &stream;
+    let garbage = b"not an sa table at all\n";
+    writer
+        .write_all(format!("store put-sa {}\n", garbage.len()).as_bytes())
+        .unwrap();
+    writer.write_all(garbage).unwrap();
+    writer.flush().unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("error ") && line.contains("unparseable"),
+        "got `{line}`"
+    );
+
+    // Same connection, a valid merge right after: protocol-clean refusal.
+    let mut more = SaTable::new(4, 4);
+    more.insert(cdfg::FuType::Mul, 2, 2, 5.0);
+    let body = more.to_bin();
+    writer
+        .write_all(format!("store put-sa {}\n", body.len()).as_bytes())
+        .unwrap();
+    writer.write_all(&body).unwrap();
+    writer.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "ok 1 0 0", "merge resumes after refusal");
+
+    // The shard holds exactly the two good entries — nothing from the
+    // poisoned body, nothing lost.
+    let shard = remote.load_sa_table(SaMode::Precalculated, 4, 4).unwrap();
+    assert_eq!(shard.len(), 2);
+    assert_eq!(shard.lookup(cdfg::FuType::AddSub, 1, 1), Some(2.0));
+    assert_eq!(shard.lookup(cdfg::FuType::Mul, 2, 2), Some(5.0));
+
+    // And the stored shard still passes a daemon-side audit.
+    let report = remote
+        .fsck_with(&FsckOptions {
+            repair: RepairMode::Off,
+            full: true,
+        })
+        .unwrap();
+    assert!(report.issues.is_empty(), "{report}");
+    daemon.stop();
+}
+
+#[test]
+fn fsck_runs_concurrently_with_a_live_put_stream() {
+    let store_dir = temp_path("live-store");
+    let socket = temp_path("live-sock");
+    let daemon = Daemon::start(&socket, &store_dir, ServeOptions::default());
+    let endpoint = daemon.endpoint.clone();
+
+    // One client streams puts while another loops fsck against the same
+    // daemon: the checker may observe any prefix of the put stream, but
+    // must never report a defect or torn slot.
+    const PUTS: u64 = 24;
+    let writer = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            let remote = ArtifactStore::connect(&endpoint).unwrap();
+            for i in 0..PUTS {
+                let name = format!("{:032x}", 0xabc0_de00_u64 + i);
+                remote.raw_put("sims", &name, VALID_SIM);
+            }
+        })
+    };
+    let checker = std::thread::spawn(move || {
+        let remote = ArtifactStore::connect(&endpoint).unwrap();
+        for _ in 0..12 {
+            let report = remote
+                .fsck_with(&FsckOptions {
+                    repair: RepairMode::Off,
+                    full: false,
+                })
+                .unwrap();
+            assert!(report.issues.is_empty(), "mid-stream fsck: {report}");
+            assert!(report.scanned <= PUTS as usize, "{report}");
+        }
+    });
+    writer.join().unwrap();
+    checker.join().unwrap();
+
+    // Settled: a full pass sees every put, clean, and leaves watermarks
+    // coherent enough that a fast pass re-audits nothing.
+    let remote = ArtifactStore::connect(&daemon.endpoint).unwrap();
+    let full = remote
+        .fsck_with(&FsckOptions {
+            repair: RepairMode::Off,
+            full: true,
+        })
+        .unwrap();
+    assert_eq!(full.scanned, PUTS as usize, "{full}");
+    assert!(full.issues.is_empty(), "{full}");
+    let warm = remote
+        .fsck_with(&FsckOptions {
+            repair: RepairMode::Off,
+            full: false,
+        })
+        .unwrap();
+    assert_eq!(warm.audited(), 0, "{warm}");
+    daemon.stop();
 }

@@ -29,6 +29,11 @@
 //!   `as usize` casts. A `u64` length narrowed on a 32-bit target
 //!   silently truncates and desynchronizes the cursor; use
 //!   `usize::try_from` or waive with a proof the value is in range.
+//! * `tests-last` — the `#[cfg(test)]` module must be the last item in
+//!   a guarded file. Everything after the first test-module guard is
+//!   skipped by every rule above, so a code line trailing the module's
+//!   closing brace would be invisible to the lint; this rule
+//!   brace-counts to the module's close and flags whatever follows.
 //!
 //! Lines inside `#[cfg(test)]` regions and comment lines are skipped
 //! (test modules are last-in-file by repo convention, which the lint
@@ -108,6 +113,12 @@ const TARGETS: &[(&str, &[&Rule])] = &[
         "crates/core/src/store.rs",
         &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
     ),
+    // The audit-watermark index feeds fsck's skip decisions; a panic or
+    // nondeterministic fold here would silently un-audit slots.
+    (
+        "crates/core/src/audit.rs",
+        &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
+    ),
 ];
 
 /// A single lint hit, printed `path:line: [rule] message`.
@@ -175,6 +186,62 @@ fn lint_file(root: &Path, rel: &str, rules: &[&Rule], findings: &mut Vec<Finding
                 message: "first #[cfg(test)] does not guard a trailing test module; \
                           the lint's skip heuristic assumes tests come last",
             });
+        } else {
+            // The tail must actually be all-test: every rule above skips
+            // everything from the guard down, so a plain code line after
+            // a test module's closing brace would be invisible to the
+            // lint. Brace-count each `#[cfg(test)]`-guarded item to its
+            // close (comment lines excluded; string-literal braces come
+            // in balanced pairs in practice) and flag anything between
+            // one close and the next guard.
+            let mut idx = at;
+            'tail: while idx < lines.len() {
+                // `idx` is at a `#[cfg(test)]` guard; skip its item.
+                let mut depth = 0usize;
+                let mut opened = false;
+                loop {
+                    let Some(raw) = lines.get(idx) else {
+                        break 'tail; // unbalanced braces: give up quietly
+                    };
+                    if !raw.trim_start().starts_with("//") {
+                        for c in raw.chars() {
+                            match c {
+                                '{' => {
+                                    depth += 1;
+                                    opened = true;
+                                }
+                                '}' => depth = depth.saturating_sub(1),
+                                _ => {}
+                            }
+                        }
+                    }
+                    idx += 1;
+                    if opened && depth == 0 {
+                        break;
+                    }
+                }
+                // Flag code until the next guarded item (or EOF).
+                while idx < lines.len() {
+                    let line = lines[idx].trim_start();
+                    if line.starts_with("#[cfg(test)]") {
+                        continue 'tail;
+                    }
+                    if !(line.is_empty()
+                        || line.starts_with("//")
+                        || line.contains("lint:allow(tests-last)"))
+                    {
+                        findings.push(Finding {
+                            path: rel.to_string(),
+                            line: idx + 1,
+                            rule: "tests-last",
+                            message: "code after a #[cfg(test)] module is invisible \
+                                      to every other rule; keep tests last in \
+                                      guarded files",
+                        });
+                    }
+                    idx += 1;
+                }
+            }
         }
     }
     let scan_until = test_start.unwrap_or(lines.len());
@@ -318,5 +385,44 @@ mod tests {
         assert!(hits.iter().any(|h| h.contains(":6: [map-iter]")));
         assert!(hits.iter().any(|h| h.contains(":7: [wire-unwrap]")));
         assert!(hits.iter().any(|h| h.contains(":8: [trunc-cast]")));
+    }
+
+    #[test]
+    fn code_after_the_test_module_is_flagged() {
+        let dir = std::env::temp_dir().join(format!("xtask-lint-tl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trailing.rs");
+        std::fs::write(
+            &path,
+            concat!(
+                "fn shipped() {}\n",
+                "#[cfg(test)]\n",
+                "mod tests {\n",
+                "    // a comment with a stray { does not derail the count\n",
+                "    fn t() { let _ = format!(\"{}\", 1); }\n",
+                "}\n",
+                "\n",
+                "// trailing comments are fine\n",
+                "fn smuggled() { None::<u32>.unwrap(); }\n",
+                "fn waived() {} // lint:allow(tests-last): generated re-export\n",
+            ),
+        )
+        .unwrap();
+
+        let mut findings = Vec::new();
+        lint_file(
+            Path::new("/"),
+            path.to_str().unwrap(),
+            &[&WIRE_UNWRAP],
+            &mut findings,
+        );
+        let hits: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Exactly one finding: the unwaived code line after the test
+        // module — note its .unwrap() itself dodged wire-unwrap, which
+        // is precisely why tests-last exists.
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains(":9: [tests-last]"), "{hits:?}");
     }
 }
