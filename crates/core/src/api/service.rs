@@ -1,0 +1,487 @@
+//! The request-execution facade and the batch cost-model scheduler.
+//!
+//! [`Service`] owns one optional hot [`ArtifactStore`] and a
+//! [`Pipeline`] per distinct flow configuration; it is what the `hlp`
+//! CLI, the experiment binaries' shared `Args` layer, and the daemon
+//! all drive. All entry points are `&self` and thread-safe.
+//!
+//! Batches are **bin-packed, not round-robined**: every completed job
+//! deposits a deterministic cost measurement (derived from its
+//! [`PipelineStats`] delta and SA-query count — never wall clock, so
+//! scheduling decisions are reproducible) into a per-job-key cost
+//! model, and [`Service::schedule`] orders a request list
+//! longest-job-first for the worker pool. Jobs with no recorded cost
+//! sort first — an unknown job might be the batch's longest, and
+//! starting it late is the classic makespan mistake.
+
+use crate::api::proto::{JobReport, JobRequest};
+use crate::fingerprint::{Fingerprint, Hasher128};
+use crate::flow::FlowConfig;
+use crate::pipeline::{Pipeline, PipelineStats, StageCounts};
+use crate::store::ArtifactStore;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Why a request could not be executed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request named a benchmark outside the built-in suite.
+    UnknownBenchmark(String),
+    /// Inline CDFG text failed to parse or validate.
+    InvalidCdfg(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark `{name}` (see `hlp suite`)")
+            }
+            ServiceError::InvalidCdfg(e) => write!(f, "invalid CDFG source: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Hashes every [`FlowConfig`] knob into the key the service's pipeline
+/// map is sharded by — two requests whose configurations agree share one
+/// [`Pipeline`] (and therefore its prepared artifacts and SA caches).
+fn config_fingerprint(cfg: &FlowConfig) -> Fingerprint {
+    let mut h = Hasher128::new("hlpower/service-config/v1");
+    h.write_usize(cfg.width);
+    h.write_usize(cfg.sa_width);
+    h.write_str(cfg.sa_mode.name());
+    h.write_usize(cfg.k);
+    h.write_u64(cfg.sim_cycles);
+    h.write_u64(cfg.sim_seed);
+    h.write_usize(cfg.lanes);
+    h.write_u64(cfg.port_seed);
+    h.write_f64(cfg.power.c_eff);
+    h.write_f64(cfg.power.vdd);
+    h.write_f64(cfg.power.lut_level_delay_ns);
+    h.write_f64(cfg.power.clock_overhead_ns);
+    h.write_u64(match cfg.map_objective {
+        mapper::MapObjective::Depth => 0,
+        mapper::MapObjective::AreaFlow => 1,
+        mapper::MapObjective::GlitchSa => 2,
+    });
+    h.write_u64(cfg.library.addsub_latency as u64);
+    h.write_u64(cfg.library.mul_latency as u64);
+    h.write_u64(match cfg.control {
+        crate::datapath::ControlStyle::External => 0,
+        crate::datapath::ControlStyle::Fsm => 1,
+    });
+    h.finish()
+}
+
+/// The request-execution facade: one optional hot [`ArtifactStore`]
+/// shared by a [`Pipeline`] per distinct flow configuration. All entry
+/// points are `&self` and thread-safe — a daemon serves many concurrent
+/// clients from one `Service`, and [`Service::execute_all`] /
+/// [`Service::execute_batch`] fan request lists over worker threads
+/// with deterministic result order.
+#[derive(Debug, Default)]
+pub struct Service {
+    template: FlowConfig,
+    store: Option<Arc<ArtifactStore>>,
+    pipelines: Mutex<HashMap<Fingerprint, Arc<Pipeline>>>,
+    /// Measured per-job cost, keyed by [`Service::job_cost_key`]. The
+    /// latest measurement wins — costs are deterministic in the job, so
+    /// repeats agree except for warm/cold transitions, where the newer
+    /// (warm) value is the better predictor.
+    costs: Mutex<HashMap<Fingerprint, u64>>,
+}
+
+impl Service {
+    /// A storeless service with the default configuration template.
+    pub fn new() -> Service {
+        Service::default()
+    }
+
+    /// Replaces the configuration template — the [`FlowConfig`] supplying
+    /// the knobs a [`JobRequest`] does not carry (LUT size, mapping
+    /// objective, resource library, power model).
+    pub fn with_template(mut self, template: FlowConfig) -> Service {
+        self.template = template;
+        self
+    }
+
+    /// Attaches the hot artifact store every pipeline will share.
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> Service {
+        self.store = Some(store);
+        self
+    }
+
+    /// The configuration template.
+    pub fn template(&self) -> &FlowConfig {
+        &self.template
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    /// The pipeline a request executes on (creating it on first use).
+    /// Exposed so callers that need pipeline-level access — seeding the
+    /// SA cache from a legacy `--sa-table` file, exporting artifacts —
+    /// act on exactly the pipeline the request will use.
+    pub fn pipeline(&self, req: &JobRequest) -> Arc<Pipeline> {
+        self.pipeline_for(&req.flow_config(&self.template))
+    }
+
+    /// The pipeline for an explicit flow configuration (creating it on
+    /// first use). Configurations beyond the request vocabulary — custom
+    /// resource libraries, mapping objectives — get their own pipeline
+    /// here while still sharing the service's store.
+    pub fn pipeline_for(&self, cfg: &FlowConfig) -> Arc<Pipeline> {
+        let key = config_fingerprint(cfg);
+        let mut map = self.pipelines.lock().expect("service pipeline lock");
+        map.entry(key)
+            .or_insert_with(|| {
+                Arc::new(match &self.store {
+                    Some(store) => Pipeline::with_store(cfg.clone(), store.clone()),
+                    None => Pipeline::new(cfg.clone()),
+                })
+            })
+            .clone()
+    }
+
+    /// Executes one request without flushing SA caches — the building
+    /// block batch execution composes (one flush per batch, not per
+    /// job). The daemon's worker pool calls this directly.
+    pub(crate) fn execute_unflushed(&self, req: &JobRequest) -> Result<JobReport, ServiceError> {
+        let (cdfg, rc) = req.resolve()?;
+        let pipeline = self.pipeline(req);
+        let before = pipeline.stats();
+        let result = pipeline.run(&cdfg, &rc, req.binder);
+        let stats = pipeline.stats().since(&before);
+        Ok(JobReport { result, stats })
+    }
+
+    /// Executes one request, flushing its pipeline's SA cache to the
+    /// store afterwards (only that pipeline — a daemon must not touch
+    /// every configuration's shard per request — and the flush itself
+    /// skips when nothing new was learned).
+    ///
+    /// # Errors
+    ///
+    /// Source-resolution failures (see [`JobRequest::resolve`]).
+    pub fn execute(&self, req: &JobRequest) -> Result<JobReport, ServiceError> {
+        let report = self.execute_unflushed(req);
+        if let Ok(rep) = &report {
+            self.observe_cost(req, rep);
+            self.pipeline(req).flush_store();
+        }
+        report
+    }
+
+    /// Executes a request list over up to `jobs` worker threads.
+    /// Results come back in request order regardless of the worker
+    /// count, and (as with [`Pipeline::run_matrix`]) every value is
+    /// deterministic in the request list alone. SA caches are flushed to
+    /// the store once at the end.
+    pub fn execute_all(
+        &self,
+        reqs: &[JobRequest],
+        jobs: usize,
+    ) -> Vec<Result<JobReport, ServiceError>> {
+        let order: Vec<usize> = (0..reqs.len()).collect();
+        self.execute_ordered(reqs, &order, jobs)
+    }
+
+    /// [`Service::execute_all`] with the cost-model schedule applied:
+    /// the batch's jobs are dispatched longest-first across the worker
+    /// pool ([`Service::schedule`]), results still land in request
+    /// order. This is what a `batch N` wire frame executes.
+    pub fn execute_batch(
+        &self,
+        reqs: &[JobRequest],
+        jobs: usize,
+    ) -> Vec<Result<JobReport, ServiceError>> {
+        let order = self.schedule(reqs);
+        self.execute_ordered(reqs, &order, jobs)
+    }
+
+    /// Fans `reqs` out over up to `jobs` workers, pulling work in
+    /// `order` (a permutation of indices); result slots stay in request
+    /// order. One SA flush at the end.
+    fn execute_ordered(
+        &self,
+        reqs: &[JobRequest],
+        order: &[usize],
+        jobs: usize,
+    ) -> Vec<Result<JobReport, ServiceError>> {
+        let slots: Vec<OnceLock<Result<JobReport, ServiceError>>> =
+            reqs.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.max(1).min(reqs.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let n = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(n) else { break };
+                    let Some(req) = reqs.get(i) else { break };
+                    let report = self.execute_unflushed(req);
+                    if let Ok(report) = &report {
+                        self.observe_cost(req, report);
+                    }
+                    assert!(slots[i].set(report).is_ok(), "request slot set once");
+                });
+            }
+        });
+        self.flush();
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all requests executed"))
+            .collect()
+    }
+
+    /// The key the cost model files a request under: the full flow
+    /// configuration plus the job identity (source and binder) — the
+    /// same two axes that decide how much work the job is.
+    fn job_cost_key(&self, req: &JobRequest) -> Fingerprint {
+        let cfg = config_fingerprint(&req.flow_config(&self.template));
+        let mut h = Hasher128::new("hlpower/job-cost/v1");
+        h.write_str(&cfg.to_string());
+        match &req.source {
+            crate::api::proto::JobSource::Suite(name) => {
+                h.write_str("bench");
+                h.write_str(name);
+            }
+            crate::api::proto::JobSource::CdfgText(text) => {
+                h.write_str("cdfg");
+                h.write_str(text);
+            }
+        }
+        h.write_str(&req.binder.spec());
+        match req.constraint {
+            Some((a, m)) => {
+                h.write_usize(a);
+                h.write_usize(m);
+            }
+            None => h.write_str("default"),
+        }
+        h.finish()
+    }
+
+    /// Deterministic cost units for one executed job: a fixed weighting
+    /// of its stage executions (heavyweight stages dominate) plus its
+    /// SA-query count, which scales with CDFG size and so keeps warm
+    /// jobs — whose stage counts are all zero — comparable. Arbitrary
+    /// units; only the ordering matters.
+    fn measure_cost(report: &JobReport) -> u64 {
+        let s = &report.stats.stages;
+        1 + s.schedules * 500
+            + s.register_bindings * 100
+            + s.fu_bindings * 200
+            + s.elaborations * 300
+            + s.mappings * 2_000
+            + s.simulations * 4_000
+            + report.result.sa_queries / 16
+    }
+
+    /// Records the measured cost of a completed job in the scheduler's
+    /// model (latest measurement wins).
+    pub fn observe_cost(&self, req: &JobRequest, report: &JobReport) {
+        let key = self.job_cost_key(req);
+        let cost = Self::measure_cost(report);
+        self.costs
+            .lock()
+            .expect("service cost lock")
+            .insert(key, cost);
+    }
+
+    /// The measured cost of a job, if one has been recorded.
+    pub fn predicted_cost(&self, req: &JobRequest) -> Option<u64> {
+        self.costs
+            .lock()
+            .expect("service cost lock")
+            .get(&self.job_cost_key(req))
+            .copied()
+    }
+
+    /// Orders a batch's job indices for the worker pool: jobs with no
+    /// recorded cost first (in request order — an unmeasured job may be
+    /// the longest, and starting the longest job late is the classic
+    /// makespan mistake), then measured jobs longest-first, ties broken
+    /// by request order. Deterministic in the request list and the
+    /// model's contents.
+    pub fn schedule(&self, reqs: &[JobRequest]) -> Vec<usize> {
+        let mut keyed: Vec<(usize, Option<u64>)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, req)| (i, self.predicted_cost(req)))
+            .collect();
+        keyed.sort_by(|(ia, ca), (ib, cb)| match (ca, cb) {
+            (None, None) => ia.cmp(ib),
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(a), Some(b)) => b.cmp(a).then(ia.cmp(ib)),
+        });
+        keyed.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Merges every pipeline's in-memory SA cache into the store's
+    /// on-disk shards (no-op without a store).
+    pub fn flush(&self) {
+        let pipelines: Vec<Arc<Pipeline>> = {
+            let map = self.pipelines.lock().expect("service pipeline lock");
+            // lint:allow(map-iter): every pipeline gets flushed; order is irrelevant.
+            map.values().cloned().collect()
+        };
+        for p in pipelines {
+            p.flush_store();
+        }
+    }
+
+    /// Combined accounting: stage executions summed over every pipeline,
+    /// store hit/miss counters read once from the shared store handle.
+    pub fn stats(&self) -> PipelineStats {
+        let map = self.pipelines.lock().expect("service pipeline lock");
+        let mut stages = StageCounts::default();
+        // lint:allow(map-iter): commutative sum over counters; order is irrelevant.
+        for p in map.values() {
+            let s = p.counters();
+            stages.schedules += s.schedules;
+            stages.register_bindings += s.register_bindings;
+            stages.fu_bindings += s.fu_bindings;
+            stages.elaborations += s.elaborations;
+            stages.mappings += s.mappings;
+            stages.simulations += s.simulations;
+        }
+        PipelineStats {
+            stages,
+            store: self
+                .store
+                .as_ref()
+                .map(|s| s.counters())
+                .unwrap_or_default(),
+            codec: self.store.as_ref().map(|s| s.codec()).unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Binder;
+
+    fn fast(name: &str) -> JobRequest {
+        JobRequest::suite(name).width(4).sa_width(4).cycles(100)
+    }
+
+    #[test]
+    fn service_shares_pipelines_per_configuration() {
+        let service = Service::new();
+        let a = fast("pr");
+        let b = a.clone().binder(Binder::Lopass);
+        let c = a.clone().width(8);
+        assert!(Arc::ptr_eq(&service.pipeline(&a), &service.pipeline(&b)));
+        assert!(!Arc::ptr_eq(&service.pipeline(&a), &service.pipeline(&c)));
+        // Binder choice does not re-key the pipeline; width does.
+        service.execute(&a).unwrap();
+        service.execute(&b).unwrap();
+        assert_eq!(
+            service.stats().stages.schedules,
+            1,
+            "two binders share one prepared artifact"
+        );
+    }
+
+    #[test]
+    fn execute_all_is_deterministic_across_worker_counts() {
+        let reqs: Vec<JobRequest> = ["pr", "wang"]
+            .iter()
+            .flat_map(|n| {
+                [Binder::Lopass, Binder::HlPower { alpha: 0.5 }]
+                    .into_iter()
+                    .map(|b| fast(n).binder(b))
+            })
+            .collect();
+        let serial = Service::new().execute_all(&reqs, 1);
+        let parallel = Service::new().execute_all(&reqs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.result.name, p.result.name);
+            assert_eq!(s.result.binder, p.result.binder);
+            assert_eq!(s.result.luts, p.result.luts);
+            assert_eq!(
+                s.result.power.total_transitions,
+                p.result.power.total_transitions
+            );
+            assert_eq!(s.result.sa_queries, p.result.sa_queries);
+        }
+    }
+
+    #[test]
+    fn execute_reports_errors_not_panics() {
+        let service = Service::new();
+        let unknown = JobRequest::suite("nope");
+        assert_eq!(
+            service.execute(&unknown).unwrap_err(),
+            ServiceError::UnknownBenchmark("nope".to_string())
+        );
+        let garbage = JobRequest::from_cdfg_text("this is not a cdfg");
+        assert!(matches!(
+            service.execute(&garbage).unwrap_err(),
+            ServiceError::InvalidCdfg(_)
+        ));
+    }
+
+    #[test]
+    fn schedule_orders_measured_jobs_longest_first_and_unknown_first() {
+        let service = Service::new();
+        let big = fast("pr");
+        let small = fast("wang");
+        let unknown = fast("chem");
+        // Nothing measured yet: request order.
+        assert_eq!(service.schedule(&[small.clone(), big.clone()]), vec![0, 1]);
+        service.execute(&big).unwrap();
+        service.execute(&small).unwrap();
+        let cb = service.predicted_cost(&big).expect("big measured");
+        let cs = service.predicted_cost(&small).expect("small measured");
+        // Measured jobs: strictly costlier first; ties keep request
+        // order. (Which benchmark measures costlier at these tiny knobs
+        // is close; the sort contract is what matters.)
+        let expect = match cb.cmp(&cs) {
+            std::cmp::Ordering::Greater => vec![1, 0],
+            _ => vec![0, 1],
+        };
+        assert_eq!(service.schedule(&[small.clone(), big.clone()]), expect);
+        // Unmeasured jobs jump the queue, ahead of every measured one.
+        let mut with_unknown = vec![2];
+        with_unknown.extend(&expect);
+        assert_eq!(
+            service.schedule(&[small.clone(), big.clone(), unknown.clone()]),
+            with_unknown
+        );
+        // The model re-keys on configuration: the same benchmark at a
+        // different width is an unknown job again.
+        assert!(service.predicted_cost(&big.clone().width(8)).is_none());
+    }
+
+    #[test]
+    fn execute_batch_matches_execute_all_results() {
+        let reqs: Vec<JobRequest> = vec![fast("pr"), fast("wang"), fast("pr").width(5)];
+        let a = Service::new().execute_all(&reqs, 2);
+        let service = Service::new();
+        // Warm the cost model so the batch actually reorders.
+        for r in &reqs {
+            service.execute(r).unwrap();
+        }
+        let b = service.execute_batch(&reqs, 2);
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+            assert_eq!(x.result.name, y.result.name);
+            assert_eq!(x.result.luts, y.result.luts);
+            assert_eq!(
+                x.result.power.total_transitions,
+                y.result.power.total_transitions
+            );
+        }
+    }
+}

@@ -1516,14 +1516,22 @@ impl RemoteStore {
     }
 
     fn reply_line(conn: &mut BufReader<Conn>) -> io::Result<String> {
-        let mut line = String::new();
-        if conn.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection mid-reply",
-            ));
+        loop {
+            let mut line = String::new();
+            if conn.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection mid-reply",
+                ));
+            }
+            let line = line.trim_end_matches(['\n', '\r']).to_string();
+            // A parked connection hears one `busy` line before its
+            // eventual reply; it is backpressure advice, not a reply.
+            if line == "busy" || line.starts_with("busy ") {
+                continue;
+            }
+            return Ok(line);
         }
-        Ok(line.trim_end_matches(['\n', '\r']).to_string())
     }
 
     /// Maps an unexpected reply line to the error the caller reports:

@@ -4,13 +4,35 @@
 //! hlp run <file.cdfg> [options]     bind a CDFG file and report
 //! hlp bench <name> [options]        run one suite benchmark end to end
 //! hlp serve (--socket P | --port N) [--store DIR] [--max-clients N]
+//!           [--workers N] [--queue-depth N] [--flush-every SECS]
 //!                                   daemon: one hot store, many clients
-//!                                   (jobs + artifact get/put/stat on one
-//!                                   socket; per-request log on stderr)
+//!                                   (jobs, `batch N` frames, artifact
+//!                                   get/put/stat on one socket; a fixed
+//!                                   worker pool behind a poll-based
+//!                                   event loop; per-request log on
+//!                                   stderr). Connections beyond
+//!                                   --max-clients park with a `busy`
+//!                                   line (up to --queue-depth) and are
+//!                                   served FIFO as slots free; dirty SA
+//!                                   shards flush every --flush-every
+//!                                   seconds (0 disables) and on every
+//!                                   batch completion
 //! hlp serve --stop (--socket P | --port N)
 //!                                   gracefully stop a running daemon
 //!                                   (drain clients, flush SA shards,
 //!                                   unlink the socket)
+//! hlp serve --stats (--socket P | --port N)
+//!                                   print a running daemon's monotonic
+//!                                   counters (requests/errors/bytes/
+//!                                   latency buckets per verb, store
+//!                                   hit/miss, batch sizes, admission)
+//! hlp serve --fsck-status (--socket P | --port N)
+//!                                   print the counters of the daemon's
+//!                                   most recent `store fsck` sweep
+//! hlp batch --remote ADDR [FILE]    ship every request line in FILE (or
+//!                                   stdin) to a daemon as one `batch N`
+//!                                   frame; stdout is byte-identical to
+//!                                   running the lines sequentially
 //! hlp table <out.txt> [options]     precompute an SA table to a file
 //! hlp merge <dst> <src>...          merge artifact stores (shard fan-in)
 //! hlp check [--fix] <file>...       static semantic checking: .blif and
@@ -117,13 +139,15 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: hlp <run FILE | bench NAME | serve | table OUT | merge DST SRC... | \
+        "usage: hlp <run FILE | bench NAME | serve | batch | table OUT | merge DST SRC... | \
          check FILE... | fsck | gc | store convert DIR | suite> [--width N] [--adders N] \
          [--mults N] [--alpha A] [--binder B] [--cycles N] [--lanes N] [--sa-mode M] \
          [--seed N] [--fsm] [--remote ADDR] [--vhdl P] [--blif P] [--dot P] [--sa-table P] \
          [--store DIR|remote:ADDR] [--store-format binary|text]\n\
          hlp serve (--socket P | --port N) [--store DIR] [--store-format F] \
-         [--max-clients N] | --stop\n\
+         [--max-clients N] [--workers N] [--queue-depth N] [--flush-every SECS] \
+         | --stop | --stats | --fsck-status\n\
+         hlp batch --remote ADDR [FILE]\n\
          hlp fsck --store DIR|remote:ADDR [--repair[=fix]] [--full]\n\
          hlp check [--fix] FILE..."
     );
@@ -518,6 +542,8 @@ fn serve(args: &[String]) -> ! {
     let mut store: Option<String> = None;
     let mut store_format = StoreFormat::default();
     let mut stop = false;
+    let mut stats = false;
+    let mut fsck_status = false;
     let mut opts = ServeOptions {
         log: true,
         handle_signals: true,
@@ -537,12 +563,32 @@ fn serve(args: &[String]) -> ! {
                     StoreFormat::parse(&v).unwrap_or_else(|| bad_value(&flag, &v, "binary | text"));
             }
             "--stop" => stop = true,
+            "--stats" => stats = true,
+            "--fsck-status" => fsck_status = true,
             "--max-clients" => {
                 let v = value(&mut i);
                 opts.max_clients = parsed(&flag, &v, "a positive integer");
                 if opts.max_clients == 0 {
                     bad_value(&flag, &v, "a positive integer");
                 }
+            }
+            "--workers" => {
+                let v = value(&mut i);
+                opts.workers = parsed(&flag, &v, "a positive integer");
+                if opts.workers == 0 {
+                    bad_value(&flag, &v, "a positive integer");
+                }
+            }
+            "--queue-depth" => {
+                opts.queue_depth = parsed(&flag, &value(&mut i), "an integer");
+            }
+            "--flush-every" => {
+                let secs: u64 = parsed(&flag, &value(&mut i), "a number of seconds (0 disables)");
+                opts.flush_every = if secs == 0 {
+                    None
+                } else {
+                    Some(std::time::Duration::from_secs(secs))
+                };
             }
             other => {
                 eprintln!("hlp serve: unknown flag `{other}`");
@@ -559,6 +605,10 @@ fn serve(args: &[String]) -> ! {
             usage()
         }
     };
+    if usize::from(stop) + usize::from(stats) + usize::from(fsck_status) > 1 {
+        eprintln!("hlp serve: --stop, --stats and --fsck-status are mutually exclusive");
+        usage();
+    }
     if stop {
         if store.is_some() {
             eprintln!("hlp serve: --stop takes only the endpoint to stop");
@@ -572,6 +622,27 @@ fn serve(args: &[String]) -> ! {
             Err(e) => die(format!("cannot stop daemon at `{endpoint}`: {e}")),
         }
     }
+    if stats {
+        // The snapshot is re-rendered through the same codec it crossed
+        // the wire in, so scraping `hlp serve --stats` and speaking
+        // `control stats` directly see identical bytes.
+        match api::fetch_stats(&endpoint) {
+            Ok(snapshot) => {
+                print!("{}", snapshot.to_text());
+                exit(0)
+            }
+            Err(e) => die(format!("cannot fetch stats from `{endpoint}`: {e}")),
+        }
+    }
+    if fsck_status {
+        match api::fetch_fsck_status(&endpoint) {
+            Ok(status) => {
+                print!("{}", status.to_text());
+                exit(0)
+            }
+            Err(e) => die(format!("cannot fetch fsck status from `{endpoint}`: {e}")),
+        }
+    }
     let service = match &store {
         Some(spec) => Service::new().with_store(Arc::new(open_store_or_die(
             spec,
@@ -583,12 +654,14 @@ fn serve(args: &[String]) -> ! {
     let server =
         Server::bind(&endpoint).unwrap_or_else(|e| die(format!("cannot bind `{endpoint}`: {e}")));
     eprintln!(
-        "hlp serve: listening on {endpoint}{} (at most {} client(s))",
+        "hlp serve: listening on {endpoint}{} (at most {} client(s), {} queued, {} worker(s))",
         match &store {
             Some(spec) => format!(" (hot store `{spec}`)"),
             None => " (no store: every request recomputes)".to_string(),
         },
         opts.max_clients,
+        opts.queue_depth,
+        opts.effective_workers(),
     );
     match server.serve_with(Arc::new(service), opts) {
         Ok(()) => {
@@ -597,6 +670,80 @@ fn serve(args: &[String]) -> ! {
         }
         Err(e) => die(format!("serve failed: {e}")),
     }
+}
+
+/// `hlp batch`: parse every request line in FILE (or stdin), ship them
+/// to a daemon as one `batch N` frame, and render the reports in
+/// request order — stdout is byte-identical to running the same lines
+/// sequentially, the round-trip count is 1 instead of N, and the daemon
+/// schedules the jobs longest-first across its worker pool.
+fn batch(args: &[String]) -> ! {
+    let mut remote: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--remote" => remote = Some(take_value(args, &mut i, &flag)),
+            other if other.starts_with("--") => {
+                eprintln!("hlp batch: unknown flag `{other}`");
+                usage()
+            }
+            operand => {
+                if file.is_some() {
+                    eprintln!("hlp batch: more than one input file");
+                    usage()
+                }
+                file = Some(operand.to_string());
+            }
+        }
+        i += 1;
+    }
+    let Some(addr) = remote else {
+        eprintln!("hlp batch: --remote ADDR is required (batches execute on a daemon)");
+        usage()
+    };
+    let text = match file.as_deref() {
+        Some(path) if path != "-" => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(format!("cannot read `{path}`: {e}"))),
+        _ => {
+            let mut s = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)
+                .unwrap_or_else(|e| die(format!("cannot read stdin: {e}")));
+            s
+        }
+    };
+    // Parse locally so a typo names the offending line here instead of
+    // surfacing as a mid-batch daemon rejection.
+    let mut reqs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JobRequest::parse_line(line) {
+            Ok(req) => reqs.push(req),
+            Err(e) => die(format!("bad request line {}: {e}", lineno + 1)),
+        }
+    }
+    if reqs.is_empty() {
+        die("no request lines to batch");
+    }
+    let endpoint = Endpoint::parse(&addr);
+    let replies = api::request_batch(&endpoint, &reqs).unwrap_or_else(|e| die(e));
+    let mut failed = false;
+    for (req, reply) in reqs.iter().zip(&replies) {
+        match reply {
+            Ok(rep) => {
+                print!("{}", render_report(req, rep));
+                report_stats(rep);
+            }
+            Err(e) => {
+                eprintln!("hlp batch: job `{}` failed: {e}", req.to_line());
+                failed = true;
+            }
+        }
+    }
+    exit(i32::from(failed))
 }
 
 /// Formats a netlist check verdict: a one-line summary for a clean
@@ -913,6 +1060,7 @@ fn main() {
             run_job(&o, hlpower::JobSource::Suite(name.clone()));
         }
         "serve" => serve(&argv[1..]),
+        "batch" => batch(&argv[1..]),
         "check" => check_files(&argv[1..]),
         "fsck" => fsck(&argv[1..]),
         "gc" => gc(&argv[1..]),

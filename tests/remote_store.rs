@@ -342,7 +342,7 @@ fn oversize_request_lines_get_an_error_and_the_connection_survives() {
 }
 
 #[test]
-fn connections_beyond_the_limit_are_rejected_politely() {
+fn connections_beyond_the_limit_park_with_busy_then_serve_after_drain() {
     let store_dir = temp_path("limit-store");
     let socket = temp_path("limit-sock");
     let daemon = Daemon::start(
@@ -350,6 +350,7 @@ fn connections_beyond_the_limit_are_rejected_politely() {
         &store_dir,
         ServeOptions {
             max_clients: 1,
+            queue_depth: 4,
             ..ServeOptions::default()
         },
     );
@@ -366,9 +367,68 @@ fn connections_beyond_the_limit_are_rejected_politely() {
         assert_eq!(line.trim_end(), "absent");
     }
 
-    // Second client is turned away with a protocol-clean error line
-    // (it sends a normal request; only `control stop` gets through at
-    // the cap).
+    // Second client is parked, not rejected: it hears one `busy` line,
+    // and its already-sent request is buffered for promotion.
+    let second = UnixStream::connect(&socket).unwrap();
+    {
+        let mut writer = &second;
+        writer.write_all(b"store stat prepared 0\n").unwrap();
+        writer.flush().unwrap();
+    }
+    let mut reader = BufReader::new(&second);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line == "busy" || line.starts_with("busy "),
+        "parked client must hear a busy line, got `{line}`"
+    );
+
+    // Once the first client hangs up, the parked one is promoted and
+    // its buffered request is served — no retry, same connection.
+    drop(first);
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(
+        line.trim_end(),
+        "absent",
+        "promoted client must be served its buffered request"
+    );
+
+    // And a saturated daemon can still be stopped gracefully: the
+    // `control stop` connection is over the limit but parked control
+    // lines are answered in place.
+    daemon.stop();
+}
+
+#[test]
+fn a_zero_depth_admission_queue_rejects_overflow_with_an_error_line() {
+    let store_dir = temp_path("reject-store");
+    let socket = temp_path("reject-sock");
+    let daemon = Daemon::start(
+        &socket,
+        &store_dir,
+        ServeOptions {
+            max_clients: 1,
+            queue_depth: 0,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Occupy the only slot.
+    let first = UnixStream::connect(&socket).unwrap();
+    {
+        let mut writer = &first;
+        writer.write_all(b"store stat prepared 0\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(&first).read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "absent");
+    }
+
+    // With no queue, an overflow connection asking for normal service
+    // is turned away with a protocol-clean error line (only `control`
+    // lines get through). The message is wire-escaped, so match a
+    // single word.
     let second = UnixStream::connect(&socket).unwrap();
     {
         let mut writer = &second;
@@ -377,32 +437,11 @@ fn connections_beyond_the_limit_are_rejected_politely() {
     }
     let mut line = String::new();
     BufReader::new(&second).read_line(&mut line).unwrap();
-    // The message is wire-escaped (`\s` for spaces), so match a word.
     assert!(
         line.starts_with("error ") && line.contains("limit"),
         "got `{line}`"
     );
-
-    // Once the first client hangs up, the slot frees and service resumes.
     drop(first);
-    let mut holder = None;
-    for _ in 0..100 {
-        let retry = UnixStream::connect(&socket).unwrap();
-        let mut writer = &retry;
-        writer.write_all(b"store stat prepared 0\n").unwrap();
-        writer.flush().unwrap();
-        let mut line = String::new();
-        BufReader::new(&retry).read_line(&mut line).unwrap();
-        if line.trim_end() == "absent" {
-            holder = Some(retry);
-            break;
-        }
-        std::thread::sleep(std::time::Duration::from_millis(20));
-    }
-    let _holder = holder.expect("slot must free after the first client disconnects");
-
-    // And a saturated daemon can still be stopped gracefully: the
-    // `control stop` connection is over the limit but gets through.
     daemon.stop();
 }
 

@@ -106,7 +106,19 @@ const TARGETS: &[(&str, &[&Rule])] = &[
     // Wire/store modules: they may use hash maps internally but must not
     // iterate them unexplained, and must never panic on foreign bytes.
     (
-        "crates/core/src/api.rs",
+        "crates/core/src/api/mod.rs",
+        &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
+    ),
+    (
+        "crates/core/src/api/proto.rs",
+        &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
+    ),
+    (
+        "crates/core/src/api/service.rs",
+        &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
+    ),
+    (
+        "crates/core/src/api/server.rs",
         &[&MAP_ITER, &WIRE_UNWRAP, &TRUNC_CAST],
     ),
     (
